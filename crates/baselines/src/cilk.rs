@@ -1,0 +1,208 @@
+//! Cilk work-stealing scheduler adapted to DAGs (paper §4.1, A.1).
+//!
+//! Every processor keeps a stack of ready tasks. When the last direct
+//! predecessor of node `v` finishes on processor `p`, `v` is pushed on top
+//! of `p`'s stack. An idle processor pops the top of its own stack; if the
+//! stack is empty it selects a non-empty victim uniformly at random and
+//! *steals from the bottom* of that victim's stack. Initial source nodes are
+//! pushed on processor 0's stack (mirroring a root task that spawns them),
+//! in descending id order so the smallest id is executed first.
+
+use bsp_dag::{Dag, NodeId};
+use bsp_model::BspParams;
+use bsp_schedule::{BspSchedule, ClassicalSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Runs the work-stealing simulation and returns the classical schedule.
+/// Fully deterministic for a given `seed` (used only for victim selection).
+pub fn cilk_schedule(dag: &Dag, machine: &BspParams, seed: u64) -> ClassicalSchedule {
+    let n = dag.n();
+    let p = machine.p();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Deques: push/pop at the back (top), steal from the front (bottom).
+    let mut stacks: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); p];
+    let mut remaining_preds: Vec<u32> = (0..n).map(|v| dag.in_degree(v as NodeId) as u32).collect();
+
+    let mut sources: Vec<NodeId> = dag.sources();
+    sources.sort_unstable_by(|a, b| b.cmp(a)); // smallest id ends on top
+    for s in sources {
+        stacks[0].push_back(s);
+    }
+
+    let mut proc = vec![0u32; n];
+    let mut start = vec![0u64; n];
+    // Min-heap of (finish_time, sequence, node, proc).
+    let mut events: BinaryHeap<std::cmp::Reverse<(u64, u64, NodeId, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut idle: Vec<bool> = vec![true; p];
+    let mut now = 0u64;
+    let mut scheduled = 0usize;
+
+    // Assign work to idle processors until nothing more can start at `now`.
+    let dispatch = |now: u64,
+                        stacks: &mut Vec<VecDeque<NodeId>>,
+                        idle: &mut Vec<bool>,
+                        events: &mut BinaryHeap<std::cmp::Reverse<(u64, u64, NodeId, u32)>>,
+                        proc: &mut Vec<u32>,
+                        start: &mut Vec<u64>,
+                        seq: &mut u64,
+                        scheduled: &mut usize,
+                        rng: &mut StdRng| {
+        loop {
+            let mut progressed = false;
+            for q in 0..p {
+                if !idle[q] {
+                    continue;
+                }
+                let task = if let Some(v) = stacks[q].pop_back() {
+                    Some(v)
+                } else {
+                    let victims: Vec<usize> = (0..p).filter(|&r| !stacks[r].is_empty()).collect();
+                    if victims.is_empty() {
+                        None
+                    } else {
+                        let victim = victims[rng.gen_range(0..victims.len())];
+                        stacks[victim].pop_front()
+                    }
+                };
+                if let Some(v) = task {
+                    idle[q] = false;
+                    proc[v as usize] = q as u32;
+                    start[v as usize] = now;
+                    *seq += 1;
+                    events.push(std::cmp::Reverse((now + dag.work(v), *seq, v, q as u32)));
+                    *scheduled += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    };
+
+    dispatch(now, &mut stacks, &mut idle, &mut events, &mut proc, &mut start, &mut seq, &mut scheduled, &mut rng);
+
+    while let Some(std::cmp::Reverse((t, _, v, q))) = events.pop() {
+        now = t;
+        idle[q as usize] = true;
+        for &w in dag.successors(v) {
+            remaining_preds[w as usize] -= 1;
+            if remaining_preds[w as usize] == 0 {
+                stacks[q as usize].push_back(w);
+            }
+        }
+        // Process all events at the same timestamp before dispatching, so
+        // simultaneous finishes release their successors together.
+        while let Some(&std::cmp::Reverse((t2, _, _, _))) = events.peek() {
+            if t2 != now {
+                break;
+            }
+            let std::cmp::Reverse((_, _, v2, q2)) = events.pop().unwrap();
+            idle[q2 as usize] = true;
+            for &w in dag.successors(v2) {
+                remaining_preds[w as usize] -= 1;
+                if remaining_preds[w as usize] == 0 {
+                    stacks[q2 as usize].push_back(w);
+                }
+            }
+        }
+        dispatch(now, &mut stacks, &mut idle, &mut events, &mut proc, &mut start, &mut seq, &mut scheduled, &mut rng);
+    }
+
+    debug_assert_eq!(scheduled, n, "all nodes must be scheduled");
+    ClassicalSchedule { proc, start }
+}
+
+/// [`cilk_schedule`] converted to a BSP assignment (Appendix A.1 slicing).
+pub fn cilk_bsp(dag: &Dag, machine: &BspParams, seed: u64) -> BspSchedule {
+    cilk_schedule(dag, machine, seed).to_bsp(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::validity::validate_lazy;
+
+    #[test]
+    fn chain_runs_sequentially() {
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_node(2, 1)).collect();
+        for i in 0..3 {
+            b.add_edge(v[i], v[i + 1]).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 1, 1);
+        let s = cilk_schedule(&dag, &machine, 1);
+        assert!(s.is_valid(&dag));
+        assert_eq!(s.makespan(&dag), 8); // no parallelism available
+        // Chain stays on one processor: every node ready on the same proc.
+        assert!(s.proc.iter().all(|&q| q == s.proc[0]));
+    }
+
+    #[test]
+    fn independent_nodes_spread_via_stealing() {
+        let mut b = DagBuilder::new();
+        for _ in 0..8 {
+            b.add_node(5, 1);
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 1, 1);
+        let s = cilk_schedule(&dag, &machine, 7);
+        assert!(s.is_valid(&dag));
+        // 8 equal tasks on 4 processors: perfect makespan 10.
+        assert_eq!(s.makespan(&dag), 10);
+        let used: std::collections::HashSet<u32> = s.proc.iter().copied().collect();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dag = random_layered_dag(3, LayeredConfig::default());
+        let machine = BspParams::new(4, 1, 1);
+        let a = cilk_schedule(&dag, &machine, 42);
+        let b = cilk_schedule(&dag, &machine, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn produces_valid_classical_and_bsp_schedules() {
+        for seed in 0..5 {
+            let dag = random_layered_dag(seed, LayeredConfig { layers: 6, width: 7, ..Default::default() });
+            let machine = BspParams::new(4, 2, 3);
+            let s = cilk_schedule(&dag, &machine, seed);
+            assert!(s.is_valid(&dag), "seed {seed}");
+            let bsp = cilk_bsp(&dag, &machine, seed);
+            assert!(validate_lazy(&dag, 4, &bsp).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = DagBuilder::new().build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let s = cilk_schedule(&dag, &machine, 0);
+        assert_eq!(s.makespan(&dag), 0);
+    }
+
+    #[test]
+    fn no_processor_idles_while_work_is_ready() {
+        // Work-stealing guarantee: with w independent tasks and P procs,
+        // makespan <= ceil(w_total / P) + max_w for equal-ready workloads.
+        let mut b = DagBuilder::new();
+        for i in 0..16 {
+            b.add_node(1 + (i % 3) as u64, 1);
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 1, 1);
+        let s = cilk_schedule(&dag, &machine, 11);
+        let total: u64 = dag.total_work();
+        assert!(s.makespan(&dag) <= total / 4 + 3);
+    }
+}

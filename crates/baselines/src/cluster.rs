@@ -1,0 +1,255 @@
+//! DSC-style clustering baseline (paper §4.1).
+//!
+//! Besides list-based schedulers, the paper names *clustering* as the other
+//! prominent heuristic family, citing Dominant Sequence Clustering \[42\] and
+//! the finding of \[27\] that clustering is consistently outperformed by
+//! BL-EST and ETF in models with communication costs. This module
+//! implements a simplified DSC so that claim can be checked within our cost
+//! model:
+//!
+//! 1. **Clustering** — nodes are processed in topological order; each node
+//!    either joins the cluster of its *dominant* predecessor (the one
+//!    determining its earliest start, whose edge then stops costing
+//!    communication) when that does not delay it, or starts a new cluster.
+//!    Clusters execute sequentially, so joining also serializes behind the
+//!    cluster's last node.
+//! 2. **Mapping** — clusters are assigned to the `P` processors by
+//!    longest-processing-time-first (largest total work onto the currently
+//!    least-loaded processor).
+//! 3. **Ordering** — nodes are list-scheduled at their earliest start time
+//!    on their preassigned processor, with the same `g · λ̄ · c(u)`
+//!    cross-processor delay model as the list baselines.
+
+use crate::list::{CommModel, ListState};
+use bsp_dag::topo::TopoInfo;
+use bsp_dag::{Dag, NodeId};
+use bsp_model::BspParams;
+use bsp_schedule::{BspSchedule, ClassicalSchedule};
+
+/// Result of the clustering phase: a cluster id per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster id of every node (ids are dense, `0..n_clusters`).
+    pub cluster: Vec<u32>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+/// Phase 1: simplified Dominant Sequence Clustering. Deterministic.
+pub fn dsc_clusters(dag: &Dag, machine: &BspParams) -> Clustering {
+    let n = dag.n();
+    let delay = |u: NodeId| -> u64 {
+        (machine.g() as f64 * machine.numa().mean_lambda_offdiag() * dag.comm(u) as f64).round()
+            as u64
+    };
+    let topo = TopoInfo::new(dag);
+    let mut cluster: Vec<u32> = vec![u32::MAX; n];
+    // Earliest start per node under the current (partial) clustering, and
+    // the time each cluster's sequential tail becomes free.
+    let mut start = vec![0u64; n];
+    let mut cluster_free: Vec<u64> = Vec::new();
+    let mut next_cluster = 0u32;
+
+    for &v in &topo.order {
+        // Arrival time of v's inputs if v sat in its own fresh cluster, and
+        // the dominant predecessor (latest arrival, ties to larger delay —
+        // zeroing the costlier edge first is the classic DSC move).
+        let mut dominant: Option<(u64, u64, NodeId)> = None; // (arrival, delay, u)
+        for &u in dag.predecessors(v) {
+            let arrival = start[u as usize] + dag.work(u) + delay(u);
+            let key = (arrival, delay(u));
+            if dominant.is_none_or(|(a, d, _)| key > (a, d)) {
+                dominant = Some((arrival, delay(u), u));
+            }
+        }
+
+        match dominant {
+            None => {
+                // Source: always its own cluster.
+                cluster[v as usize] = next_cluster;
+                start[v as usize] = 0;
+                cluster_free.push(dag.work(v));
+                next_cluster += 1;
+            }
+            Some((own_cluster_start_bound, _, u_star)) => {
+                // Option A: fresh cluster — start at the dominant arrival.
+                // (A fresh cluster is free at time 0.)
+                let fresh_start = own_cluster_start_bound;
+
+                // Option B: join the dominant predecessor's cluster — the
+                // u*→v edge becomes free, but v must wait for the cluster
+                // tail and for all *other* predecessors' arrivals.
+                let c = cluster[u_star as usize];
+                let mut join_ready = start[u_star as usize] + dag.work(u_star);
+                for &u in dag.predecessors(v) {
+                    if u == u_star {
+                        continue;
+                    }
+                    let d = if cluster[u as usize] == c { 0 } else { delay(u) };
+                    join_ready = join_ready.max(start[u as usize] + dag.work(u) + d);
+                }
+                let join_start = join_ready.max(cluster_free[c as usize]);
+
+                if join_start <= fresh_start {
+                    cluster[v as usize] = c;
+                    start[v as usize] = join_start;
+                    cluster_free[c as usize] = join_start + dag.work(v);
+                } else {
+                    cluster[v as usize] = next_cluster;
+                    start[v as usize] = fresh_start;
+                    cluster_free.push(fresh_start + dag.work(v));
+                    next_cluster += 1;
+                }
+            }
+        }
+    }
+    Clustering { cluster, n_clusters: next_cluster as usize }
+}
+
+/// Phase 2: LPT mapping of clusters onto `P` processors. Returns the
+/// processor per cluster.
+pub fn map_clusters(dag: &Dag, clustering: &Clustering, p: usize) -> Vec<u32> {
+    let mut work = vec![0u64; clustering.n_clusters];
+    for v in dag.nodes() {
+        work[clustering.cluster[v as usize] as usize] += dag.work(v);
+    }
+    let mut order: Vec<usize> = (0..clustering.n_clusters).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(work[c]), c));
+    let mut load = vec![0u64; p];
+    let mut proc_of = vec![0u32; clustering.n_clusters];
+    for c in order {
+        let q = (0..p).min_by_key(|&q| (load[q], q)).expect("p >= 1");
+        proc_of[c] = q as u32;
+        load[q] += work[c];
+    }
+    proc_of
+}
+
+/// Runs the full DSC baseline and returns the classical schedule.
+pub fn dsc_schedule(dag: &Dag, machine: &BspParams) -> ClassicalSchedule {
+    let clustering = dsc_clusters(dag, machine);
+    let proc_of = map_clusters(dag, &clustering, machine.p());
+    // Phase 3: EST list scheduling with the processor forced per node.
+    let topo = TopoInfo::new(dag);
+    let mut st = ListState::with_model(dag, machine, CommModel::MeanLambda);
+    for &v in &topo.order {
+        let q = proc_of[clustering.cluster[v as usize] as usize];
+        let t = st.est(v, q);
+        st.place(v, q, t);
+    }
+    st.finish()
+}
+
+/// [`dsc_schedule`] converted to BSP supersteps (Appendix A.1 rule).
+pub fn dsc_bsp(dag: &Dag, machine: &BspParams) -> BspSchedule {
+    dsc_schedule(dag, machine).to_bsp(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::validity::validate_lazy;
+
+    #[test]
+    fn expensive_chain_collapses_into_one_cluster() {
+        // A chain with heavy outputs: every edge should be zeroed.
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..5).map(|_| b.add_node(1, 50)).collect();
+        for i in 0..4 {
+            b.add_edge(v[i], v[i + 1]).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 2, 1);
+        let c = dsc_clusters(&dag, &machine);
+        assert_eq!(c.n_clusters, 1);
+        let sch = dsc_schedule(&dag, &machine);
+        assert!(sch.is_valid(&dag));
+        assert_eq!(sch.makespan(&dag), dag.total_work());
+    }
+
+    #[test]
+    fn independent_nodes_get_separate_clusters_and_spread() {
+        let mut b = DagBuilder::new();
+        for _ in 0..6 {
+            b.add_node(4, 1);
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(3, 1, 1);
+        let c = dsc_clusters(&dag, &machine);
+        assert_eq!(c.n_clusters, 6);
+        let sch = dsc_schedule(&dag, &machine);
+        assert_eq!(sch.makespan(&dag), 8); // 6 × 4 work over 3 procs
+    }
+
+    #[test]
+    fn fork_join_zeroes_the_dominant_edge() {
+        // s → {a, b} → t, with a's output much costlier than b's: t must
+        // join a's cluster (the dominant one).
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1, 1);
+        let a = b.add_node(4, 40);
+        let bb = b.add_node(4, 1);
+        let t = b.add_node(1, 1);
+        b.add_edge(s, a).unwrap();
+        b.add_edge(s, bb).unwrap();
+        b.add_edge(a, t).unwrap();
+        b.add_edge(bb, t).unwrap();
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 3, 1);
+        let c = dsc_clusters(&dag, &machine);
+        assert_eq!(c.cluster[t as usize], c.cluster[a as usize]);
+    }
+
+    #[test]
+    fn lpt_mapping_balances_cluster_work() {
+        let mut b = DagBuilder::new();
+        for w in [9u64, 8, 2, 2, 2, 1] {
+            b.add_node(w, 1);
+        }
+        let dag = b.build().unwrap();
+        let clustering = Clustering { cluster: vec![0, 1, 2, 3, 4, 5], n_clusters: 6 };
+        let proc_of = map_clusters(&dag, &clustering, 2);
+        let mut load = [0u64; 2];
+        for v in dag.nodes() {
+            load[proc_of[clustering.cluster[v as usize] as usize] as usize] += dag.work(v);
+        }
+        assert_eq!(load.iter().sum::<u64>(), 24);
+        assert!(load[0].abs_diff(load[1]) <= 2, "loads {load:?}");
+    }
+
+    #[test]
+    fn valid_on_random_dags_and_bsp_convertible() {
+        for seed in 0..6 {
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig { layers: 5, width: 6, edge_prob: 0.35, ..Default::default() },
+            );
+            let machine = BspParams::new(4, 3, 5);
+            let sch = dsc_schedule(&dag, &machine);
+            assert!(sch.is_valid(&dag), "seed {seed}");
+            let bsp = dsc_bsp(&dag, &machine);
+            assert!(validate_lazy(&dag, 4, &bsp).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_processor_serializes() {
+        let dag = random_layered_dag(3, LayeredConfig::default());
+        let machine = BspParams::new(1, 2, 1);
+        let sch = dsc_schedule(&dag, &machine);
+        assert!(sch.is_valid(&dag));
+        assert_eq!(sch.makespan(&dag), dag.total_work());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = DagBuilder::new().build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let c = dsc_clusters(&dag, &machine);
+        assert_eq!(c.n_clusters, 0);
+        let sch = dsc_schedule(&dag, &machine);
+        assert_eq!(sch.proc.len(), 0);
+    }
+}

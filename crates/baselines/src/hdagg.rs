@@ -1,0 +1,195 @@
+//! HDagg-style wavefront scheduler (paper §4.1, A.1; algorithm of \[46\]).
+//!
+//! HDagg sorts the DAG into wavefronts (level sets) and aggregates
+//! consecutive wavefronts into one superstep as long as the work can still
+//! be balanced across processors. Within a superstep, *whole weakly
+//! connected components* (of the subgraph induced by the superstep's nodes)
+//! are assigned to a single processor — this keeps every intra-superstep
+//! dependency processor-local, exactly the property that makes the schedule
+//! a valid BSP schedule, and minimizes communication between wavefronts.
+
+use bsp_dag::traversal::weakly_connected_components;
+use bsp_dag::{Dag, NodeId, TopoInfo};
+use bsp_model::BspParams;
+use bsp_schedule::BspSchedule;
+
+/// Tuning knobs of the aggregation heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct HDaggConfig {
+    /// A merged superstep is accepted while
+    /// `max_proc_load ≤ balance_factor · (total_work / P)`.
+    /// \[46\] uses a comparable balance threshold on wavefront cost.
+    pub balance_factor: f64,
+}
+
+impl Default for HDaggConfig {
+    fn default() -> Self {
+        HDaggConfig { balance_factor: 1.15 }
+    }
+}
+
+/// Runs the HDagg-style scheduler, returning a superstep-structured
+/// assignment directly (no classical-schedule intermediate).
+pub fn hdagg_schedule(dag: &Dag, machine: &BspParams, cfg: HDaggConfig) -> BspSchedule {
+    let p = machine.p();
+    let topo = TopoInfo::new(dag);
+    let levels = topo.level_sets();
+    let mut sched = BspSchedule::zeroed(dag.n());
+    if dag.n() == 0 {
+        return sched;
+    }
+
+    let mut superstep = 0u32;
+    let mut group: Vec<NodeId> = Vec::new();
+    let mut li = 0usize;
+    while li < levels.len() {
+        // Tentatively extend the group with the next wavefront. Keep the
+        // candidate sorted: pack_components returns processors in sorted
+        // node order.
+        let mut candidate = group.clone();
+        candidate.extend_from_slice(&levels[li]);
+        candidate.sort_unstable();
+        let (assignment, balanced) = pack_components(dag, &candidate, p, cfg.balance_factor);
+        if balanced || group.is_empty() {
+            // Accept the extension (forced when the group would otherwise be
+            // empty: we must make progress even on unbalanced wavefronts).
+            group = candidate;
+            for (&v, &q) in group.iter().zip(assignment.iter()) {
+                sched.set(v, q, superstep);
+            }
+            li += 1;
+        } else {
+            // Close the current superstep and start a new group.
+            superstep += 1;
+            group.clear();
+        }
+    }
+    sched
+}
+
+/// Assigns whole weakly connected components of the induced subgraph to
+/// processors by greedy longest-processing-time bin packing. Returns the
+/// per-node processor (aligned with `nodes`, which must be sorted) and
+/// whether the packing meets the balance criterion.
+fn pack_components(dag: &Dag, nodes: &[NodeId], p: usize, balance_factor: f64) -> (Vec<u32>, bool) {
+    let (sub, map) = dag.induced_subgraph(nodes);
+    let comps = weakly_connected_components(&sub);
+    // Sort components by descending work.
+    let mut weighted: Vec<(u64, usize)> = comps
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.iter().map(|&v| sub.work(v)).sum::<u64>(), i))
+        .collect();
+    weighted.sort_by_key(|&(w, i)| (std::cmp::Reverse(w), i));
+
+    let mut load = vec![0u64; p];
+    let mut comp_proc = vec![0u32; comps.len()];
+    for &(w, i) in &weighted {
+        let q = (0..p).min_by_key(|&q| (load[q], q)).unwrap();
+        comp_proc[i] = q as u32;
+        load[q] += w;
+    }
+
+    // Per-node processors, in the order of `nodes`.
+    let mut node_comp = vec![0usize; sub.n()];
+    for (ci, c) in comps.iter().enumerate() {
+        for &v in c {
+            node_comp[v as usize] = ci;
+        }
+    }
+    let mut sorted_nodes = nodes.to_vec();
+    sorted_nodes.sort_unstable();
+    let assignment: Vec<u32> = sorted_nodes
+        .iter()
+        .map(|&v| comp_proc[node_comp[map[v as usize].unwrap() as usize]])
+        .collect();
+
+    let total: u64 = load.iter().sum();
+    let max = load.iter().copied().max().unwrap_or(0);
+    let balanced = (max as f64) <= balance_factor * (total as f64 / p as f64).max(1.0);
+    (assignment, balanced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::validity::validate_lazy;
+
+    #[test]
+    fn independent_chains_each_on_one_processor() {
+        // 4 disjoint chains of length 3: components must not be split.
+        let mut b = DagBuilder::new();
+        let mut chains = Vec::new();
+        for _ in 0..4 {
+            let v: Vec<_> = (0..3).map(|_| b.add_node(1, 1)).collect();
+            b.add_edge(v[0], v[1]).unwrap();
+            b.add_edge(v[1], v[2]).unwrap();
+            chains.push(v);
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 1, 5);
+        let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+        assert!(validate_lazy(&dag, 4, &s).is_ok());
+        for c in &chains {
+            let q = s.proc(c[0]);
+            assert!(c.iter().all(|&v| s.proc(v) == q), "chain split across processors");
+        }
+        // Perfectly balanced: everything fits in one superstep.
+        assert_eq!(s.n_supersteps(), 1);
+    }
+
+    #[test]
+    fn aggregation_stops_when_imbalanced() {
+        // A single long chain: after the first wavefront the whole component
+        // collapses onto one processor. With 2 processors and a parallel part
+        // afterwards, the balance criterion forces a new superstep.
+        let mut b = DagBuilder::new();
+        let chain: Vec<_> = (0..6).map(|_| b.add_node(10, 1)).collect();
+        for i in 0..5 {
+            b.add_edge(chain[i], chain[i + 1]).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 1, 5);
+        let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+        assert!(validate_lazy(&dag, 2, &s).is_ok());
+        // A chain is a single component at every prefix: it stays on one
+        // processor; supersteps may or may not split, but validity holds and
+        // all nodes share a processor.
+        let q = s.proc(chain[0]);
+        assert!(chain.iter().all(|&v| s.proc(v) == q));
+    }
+
+    #[test]
+    fn no_intra_superstep_cross_processor_edges() {
+        for seed in 0..8 {
+            let dag = random_layered_dag(seed, LayeredConfig { layers: 6, width: 8, ..Default::default() });
+            let machine = BspParams::new(4, 1, 5);
+            let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+            assert!(validate_lazy(&dag, 4, &s).is_ok(), "seed {seed}");
+            for (u, v) in dag.edges() {
+                if s.step(u) == s.step(v) {
+                    assert_eq!(s.proc(u), s.proc(v), "seed {seed}: edge ({u},{v}) crosses processors in one superstep");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_single_superstep() {
+        let dag = random_layered_dag(5, LayeredConfig::default());
+        let machine = BspParams::new(1, 1, 5);
+        let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+        assert_eq!(s.n_supersteps(), 1);
+        assert!(validate_lazy(&dag, 1, &s).is_ok());
+    }
+
+    #[test]
+    fn empty_dag_handled() {
+        let dag = DagBuilder::new().build().unwrap();
+        let machine = BspParams::new(4, 1, 5);
+        let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+        assert_eq!(s.n(), 0);
+    }
+}

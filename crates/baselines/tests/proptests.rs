@@ -1,0 +1,130 @@
+//! Property tests: every baseline returns a complete, valid BSP schedule
+//! on random DAGs and machines (uniform and NUMA), and the classical
+//! schedulers' intermediate schedules are classically valid.
+
+use bsp_baselines::hdagg::HDaggConfig;
+use bsp_baselines::{blest_bsp, blest_schedule, cilk_bsp, cilk_schedule, etf_bsp, etf_schedule, hdagg_schedule};
+use bsp_dag::random::{random_layered_dag, LayeredConfig};
+use bsp_dag::Dag;
+use bsp_model::{BspParams, NumaTopology};
+use bsp_schedule::validity::validate_lazy;
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (0u64..500, 1usize..6, 1usize..7, 0.1f64..0.8).prop_map(|(seed, layers, width, p)| {
+        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 9, max_comm: 6 })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = BspParams> {
+    (0usize..3, 1u64..6, 0u64..9, proptest::bool::ANY).prop_map(|(pi, g, l, numa)| {
+        let p = [2usize, 4, 8][pi];
+        let m = BspParams::new(p, g, l);
+        if numa {
+            m.with_numa(NumaTopology::binary_tree(p, 3))
+        } else {
+            m
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn cilk_valid(dag in arb_dag(), machine in arb_machine(), seed in 0u64..100) {
+        let classical = cilk_schedule(&dag, &machine, seed);
+        prop_assert!(classical.is_valid(&dag));
+        prop_assert!(validate_lazy(&dag, machine.p(), &cilk_bsp(&dag, &machine, seed)).is_ok());
+    }
+
+    #[test]
+    fn blest_valid(dag in arb_dag(), machine in arb_machine()) {
+        let classical = blest_schedule(&dag, &machine);
+        prop_assert!(classical.is_valid(&dag));
+        prop_assert!(validate_lazy(&dag, machine.p(), &blest_bsp(&dag, &machine)).is_ok());
+    }
+
+    #[test]
+    fn etf_valid(dag in arb_dag(), machine in arb_machine()) {
+        let classical = etf_schedule(&dag, &machine);
+        prop_assert!(classical.is_valid(&dag));
+        prop_assert!(validate_lazy(&dag, machine.p(), &etf_bsp(&dag, &machine)).is_ok());
+    }
+
+    #[test]
+    fn hdagg_valid_and_component_local(dag in arb_dag(), machine in arb_machine()) {
+        let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+        prop_assert!(validate_lazy(&dag, machine.p(), &s).is_ok());
+        // Defining property: no intra-superstep cross-processor edges.
+        for (u, v) in dag.edges() {
+            if s.step(u) == s.step(v) {
+                prop_assert_eq!(s.proc(u), s.proc(v));
+            }
+        }
+    }
+
+    /// Work-conservation: single-processor machines serialize everything.
+    #[test]
+    fn single_processor_makespan_is_total_work(dag in arb_dag(), seed in 0u64..50) {
+        let machine = BspParams::new(1, 3, 2);
+        let c = cilk_schedule(&dag, &machine, seed);
+        prop_assert_eq!(c.makespan(&dag), dag.total_work());
+        let b = blest_schedule(&dag, &machine);
+        prop_assert_eq!(b.makespan(&dag), dag.total_work());
+    }
+
+    /// The DSC clustering baseline: clusters cover all nodes with dense
+    /// ids, the classical schedule is valid, and so is its BSP conversion.
+    #[test]
+    fn dsc_valid_and_clusters_dense(dag in arb_dag(), machine in arb_machine()) {
+        use bsp_baselines::cluster::{dsc_bsp, dsc_clusters, dsc_schedule};
+        let c = dsc_clusters(&dag, &machine);
+        prop_assert_eq!(c.cluster.len(), dag.n());
+        for &cl in &c.cluster {
+            prop_assert!((cl as usize) < c.n_clusters);
+        }
+        // Dense: every cluster id below n_clusters is used.
+        let mut used = vec![false; c.n_clusters];
+        for &cl in &c.cluster {
+            used[cl as usize] = true;
+        }
+        prop_assert!(used.iter().all(|&u| u));
+        let classical = dsc_schedule(&dag, &machine);
+        prop_assert!(classical.is_valid(&dag));
+        prop_assert!(validate_lazy(&dag, machine.p(), &dsc_bsp(&dag, &machine)).is_ok());
+    }
+
+    /// NUMA-aware EST variants: always valid, on both uniform and tree
+    /// machines.
+    #[test]
+    fn numa_aware_list_schedulers_valid(dag in arb_dag(), machine in arb_machine()) {
+        use bsp_baselines::{blest_bsp_numa_aware, etf_bsp_numa_aware};
+        prop_assert!(
+            validate_lazy(&dag, machine.p(), &etf_bsp_numa_aware(&dag, &machine)).is_ok()
+        );
+        prop_assert!(
+            validate_lazy(&dag, machine.p(), &blest_bsp_numa_aware(&dag, &machine)).is_ok()
+        );
+    }
+
+    /// On uniform machines the per-pair λ model degenerates to the mean-λ
+    /// model, so both ETF variants take identical decisions.
+    #[test]
+    fn numa_aware_equals_plain_on_uniform(
+        dag in arb_dag(),
+        pi in 0usize..3,
+        g in 1u64..6,
+    ) {
+        use bsp_baselines::list::CommModel;
+        use bsp_baselines::etf::etf_schedule_with;
+        use bsp_baselines::blest::blest_schedule_with;
+        let machine = BspParams::new([2usize, 4, 8][pi], g, 3);
+        let a = etf_schedule_with(&dag, &machine, CommModel::MeanLambda);
+        let b = etf_schedule_with(&dag, &machine, CommModel::PerPairLambda);
+        prop_assert_eq!(a.proc, b.proc);
+        prop_assert_eq!(a.start, b.start);
+        let a = blest_schedule_with(&dag, &machine, CommModel::MeanLambda);
+        let b = blest_schedule_with(&dag, &machine, CommModel::PerPairLambda);
+        prop_assert_eq!(a.proc, b.proc);
+        prop_assert_eq!(a.start, b.start);
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablation benches for the design choices DESIGN.md calls out: local
+//! search variants under equal move budgets, mean-λ vs per-pair-λ list
+//! scheduling, branch-and-bound with and without presolve, and the
+//! multilevel coarsening ratio. These measure *time*; the quality side of
+//! the same ablations is printed by `bsp-experiments -- ablation`.
+
+use bsp_bench::{bench_instances, machine, medium_instance, numa_machine};
+use bsp_core::anneal::{simulated_annealing, AnnealConfig};
+use bsp_core::hc::{hill_climb, HillClimbConfig};
+use bsp_core::init::bspg_schedule;
+use bsp_core::multilevel::{coarsen, MultilevelConfig};
+use bsp_core::state::ScheduleState;
+use bsp_core::steepest::hill_climb_steepest;
+use bsp_core::tabu::{tabu_search, TabuConfig};
+use bsp_baselines::etf::etf_schedule_with;
+use bsp_baselines::list::CommModel;
+use bsp_ilp::{Model, Sense, SolveLimits};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_local_search_variants(c: &mut Criterion) {
+    let dag = medium_instance();
+    let m = machine(4, 3);
+    let init = bspg_schedule(&dag, &m);
+    let mut group = c.benchmark_group("ablation/local_search");
+    group.sample_size(10);
+
+    group.bench_function("greedy_hc_100", |b| {
+        b.iter(|| {
+            let mut st = ScheduleState::new(&dag, &m, &init);
+            hill_climb(
+                &mut st,
+                &HillClimbConfig { max_moves: Some(100), time_limit: None },
+            );
+            black_box(st.cost())
+        })
+    });
+    group.bench_function("steepest_hc_100", |b| {
+        b.iter(|| {
+            let mut st = ScheduleState::new(&dag, &m, &init);
+            hill_climb_steepest(
+                &mut st,
+                &HillClimbConfig { max_moves: Some(100), time_limit: None },
+            );
+            black_box(st.cost())
+        })
+    });
+    group.bench_function("anneal_2000_proposals", |b| {
+        b.iter(|| {
+            let cfg = AnnealConfig { max_steps: 2000, time_limit: None, ..AnnealConfig::default() };
+            black_box(simulated_annealing(&dag, &m, &init, &cfg).1)
+        })
+    });
+    group.bench_function("tabu_100_iters", |b| {
+        b.iter(|| {
+            let cfg =
+                TabuConfig { max_iters: 100, stall_limit: 100, time_limit: None, tenure: 12 };
+            black_box(tabu_search(&dag, &m, &init, &cfg).1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_est_models(c: &mut Criterion) {
+    let m = numa_machine(8, 4);
+    let mut group = c.benchmark_group("ablation/est_model");
+    for (name, dag) in bench_instances() {
+        group.bench_function(format!("mean_lambda/{name}"), |b| {
+            b.iter(|| black_box(etf_schedule_with(&dag, &m, CommModel::MeanLambda).makespan(&dag)))
+        });
+        group.bench_function(format!("per_pair/{name}"), |b| {
+            b.iter(|| {
+                black_box(etf_schedule_with(&dag, &m, CommModel::PerPairLambda).makespan(&dag))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A knapsack-style model family exercising the presolve-vs-plain solve.
+fn knapsack_model(n: usize) -> Model {
+    let mut m = Model::new();
+    let xs: Vec<_> = (0..n).map(|i| m.add_binary(-(((i * 7) % 13) as f64 + 1.0))).collect();
+    let w: Vec<f64> = (0..n).map(|i| ((i * 5) % 9) as f64 + 1.0).collect();
+    m.add_constraint(
+        xs.iter().zip(&w).map(|(&x, &wi)| (x, wi)).collect(),
+        Sense::Le,
+        w.iter().sum::<f64>() * 0.4,
+    );
+    // Side constraints that presolve can tighten.
+    for i in 0..n / 2 {
+        m.add_constraint(vec![(xs[2 * i], 2.0), (xs[2 * i + 1], 2.0)], Sense::Le, 3.0);
+    }
+    m
+}
+
+fn bench_presolve(c: &mut Criterion) {
+    let limits =
+        SolveLimits { max_nodes: 4000, time_limit: Duration::from_secs(10), gap: 1e-6 };
+    let mut group = c.benchmark_group("ablation/presolve");
+    group.sample_size(10);
+    for n in [12usize, 20] {
+        let m = knapsack_model(n);
+        group.bench_function(format!("plain/{n}"), |b| {
+            b.iter(|| black_box(m.solve(None, &limits).objective))
+        });
+        group.bench_function(format!("presolve/{n}"), |b| {
+            b.iter(|| black_box(bsp_ilp::solve_with_presolve(&m, None, &limits).objective))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coarsening_ratio(c: &mut Criterion) {
+    let dag = medium_instance();
+    let cfg = MultilevelConfig::default();
+    let mut group = c.benchmark_group("ablation/coarsen_ratio");
+    group.sample_size(10);
+    for ratio in [0.3f64, 0.15] {
+        let target = ((dag.n() as f64) * ratio).ceil() as usize;
+        group.bench_function(format!("to_{:02}pct", (ratio * 100.0) as u32), |b| {
+            b.iter(|| black_box(coarsen(&dag, target, &cfg).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_search_variants,
+    bench_est_models,
+    bench_presolve,
+    bench_coarsening_ratio
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Component micro-benchmarks: the primitives whose speed determines how
+//! far each pipeline stage scales (cost evaluation, incremental moves,
+//! lazy Γ derivation, the LP solver).
+
+use bsp_bench::{machine, medium_instance};
+use bsp_core::state::ScheduleState;
+use bsp_dag::TopoInfo;
+use bsp_ilp::{Model, Sense, SolveLimits};
+use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::{BspSchedule, CommSchedule};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn spread_schedule(dag: &bsp_dag::Dag, p: u32) -> BspSchedule {
+    let topo = TopoInfo::new(dag);
+    let mut s = BspSchedule::zeroed(dag.n());
+    for v in dag.nodes() {
+        s.set(v, v % p, topo.level[v as usize]);
+    }
+    s
+}
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let dag = medium_instance();
+    let m = machine(8, 3);
+    let sched = spread_schedule(&dag, 8);
+    c.bench_function("components/full_cost_eval", |b| {
+        b.iter(|| black_box(lazy_cost(&dag, &m, &sched)))
+    });
+    c.bench_function("components/lazy_gamma_derivation", |b| {
+        b.iter(|| black_box(CommSchedule::lazy(&dag, &sched).len()))
+    });
+}
+
+fn bench_incremental_move(c: &mut Criterion) {
+    let dag = medium_instance();
+    let m = machine(8, 3);
+    let sched = spread_schedule(&dag, 8);
+    let mut st = ScheduleState::new(&dag, &m, &sched);
+    // Pick a node with a valid move up one superstep.
+    let v = dag.nodes().find(|&v| st.is_move_valid(v, st.proc(v), st.step(v) + 1)).unwrap();
+    let (p0, s0) = (st.proc(v), st.step(v));
+    c.bench_function("components/apply_revert_move", |b| {
+        b.iter(|| {
+            st.apply_move(v, p0, s0 + 1);
+            black_box(st.apply_move(v, p0, s0))
+        })
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // A 40-variable assignment LP: representative of an ILPcs node solve.
+    let mut m = Model::new();
+    let mut vars = Vec::new();
+    for i in 0..8 {
+        for j in 0..5 {
+            vars.push(m.add_binary(((i * 7 + j * 3) % 11) as f64));
+        }
+    }
+    for i in 0..8 {
+        m.add_constraint((0..5).map(|j| (vars[i * 5 + j], 1.0)).collect(), Sense::Eq, 1.0);
+    }
+    for j in 0..5 {
+        m.add_constraint((0..8).map(|i| (vars[i * 5 + j], 1.0)).collect(), Sense::Le, 2.0);
+    }
+    c.bench_function("components/lp_relaxation", |b| {
+        b.iter(|| black_box(bsp_ilp::simplex::solve_lp(&m).objective))
+    });
+    c.bench_function("components/branch_and_bound", |b| {
+        b.iter(|| {
+            black_box(
+                m.solve(
+                    None,
+                    &SolveLimits {
+                        max_nodes: 200,
+                        time_limit: std::time::Duration::from_secs(5),
+                        gap: 1e-6,
+                    },
+                )
+                .objective,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost_eval, bench_incremental_move, bench_simplex);
+criterion_main!(benches);

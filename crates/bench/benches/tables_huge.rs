@@ -1,0 +1,45 @@
+//! Bench targets for the huge-dataset experiments (Table 11 and Figure 7):
+//! Init + HC + HCcs only — the non-ILP path the paper uses at this scale.
+
+use bsp_bench::{bench_pipeline_cfg, large_instance, machine};
+use bsp_core::hc::{hill_climb, HillClimbConfig};
+use bsp_core::init::bspg_schedule;
+use bsp_core::pipeline::schedule_dag;
+use bsp_core::state::ScheduleState;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table11_huge_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11_fig7/huge_no_ilp");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let dag = large_instance();
+    for p in [4usize, 16] {
+        let m = machine(p, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("P{p}")), &m, |b, m| {
+            b.iter(|| black_box(schedule_dag(&dag, m, &bench_pipeline_cfg(false)).cost))
+        });
+    }
+    group.finish();
+}
+
+/// The dominant inner loop at huge scale: HC sweeps.
+fn bench_hc_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11_fig7/hc_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let dag = large_instance();
+    let m = machine(8, 3);
+    let init = bspg_schedule(&dag, &m);
+    group.bench_function("hc_200_moves", |b| {
+        b.iter(|| {
+            let mut st = ScheduleState::new(&dag, &m, &init);
+            hill_climb(&mut st, &HillClimbConfig { max_moves: Some(200), time_limit: None });
+            black_box(st.cost())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table11_huge_path, bench_hc_sweep);
+criterion_main!(benches);

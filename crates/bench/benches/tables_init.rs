@@ -1,0 +1,46 @@
+//! Bench targets for the initializer comparison (Tables 4 and 5):
+//! BSPg, Source, and ILPinit on the training-set families.
+
+use bsp_bench::{bench_instances, bench_pipeline_cfg, machine};
+use bsp_core::ilp::init::ilp_init;
+use bsp_core::init::{bspg_schedule, source_schedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_initializers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_table5/initializers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let instances = bench_instances();
+    for p in [4usize, 16] {
+        let m = machine(p, 3);
+        group.bench_with_input(BenchmarkId::new("bspg", p), &m, |b, m| {
+            b.iter(|| {
+                for (_, dag) in &instances {
+                    black_box(bspg_schedule(dag, m));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("source", p), &m, |b, m| {
+            b.iter(|| {
+                for (_, dag) in &instances {
+                    black_box(source_schedule(dag, m));
+                }
+            })
+        });
+    }
+    let m4 = machine(4, 3);
+    let ilp_cfg = bench_pipeline_cfg(true).ilp;
+    group.sample_size(10);
+    group.bench_function("ilp_init/P4", |b| {
+        b.iter(|| {
+            for (_, dag) in &instances {
+                black_box(ilp_init(dag, &m4, &ilp_cfg));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_initializers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench targets for the multilevel experiments (Tables 3, 13, 14 and the
+//! ML column of Figure 6): coarsening, the full multilevel pipeline, and
+//! the uncoarsen-refine loop.
+
+use bsp_bench::{bench_pipeline_cfg, medium_instance, numa_machine};
+use bsp_core::multilevel::{coarsen, stage_graph, MultilevelConfig};
+use bsp_core::pipeline::schedule_dag_multilevel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_coarsening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table13/coarsening");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let dag = medium_instance();
+    for ratio in [0.3f64, 0.15] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("r{ratio}")), &ratio, |b, &r| {
+            b.iter(|| {
+                let target = ((dag.n() as f64) * r) as usize;
+                let log = coarsen(&dag, target, &MultilevelConfig::default());
+                black_box(stage_graph(&dag, &log).0.n())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multilevel_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_table14_fig6ml/multilevel");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let dag = medium_instance();
+    for delta in [2u64, 4] {
+        let m = numa_machine(8, delta);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("d{delta}")), &m, |b, m| {
+            b.iter(|| {
+                let cfg = bench_pipeline_cfg(false);
+                let ml = MultilevelConfig::default();
+                black_box(schedule_dag_multilevel(&dag, m, &cfg, &ml).cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening, bench_multilevel_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Bench targets for the non-NUMA experiments: Table 1, Figure 5, Tables
+//! 6, 7, 8 (full pipeline vs the four baselines) and Table 9 (latency
+//! sweep). Each benchmark runs the exact code path the experiment harness
+//! uses to regenerate the corresponding table row.
+
+use bsp_baselines::hdagg::HDaggConfig;
+use bsp_baselines::{blest_bsp, cilk_bsp, etf_bsp, hdagg_schedule};
+use bsp_bench::{bench_instances, bench_pipeline_cfg, machine};
+use bsp_core::pipeline::schedule_dag;
+use bsp_model::BspParams;
+use bsp_schedule::cost::lazy_cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Table 1 / Figure 5 / Table 6: our pipeline across (P, g).
+fn bench_table1_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fig5_table6/pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let instances = bench_instances();
+    for p in [4usize, 8] {
+        for g in [1u64, 5] {
+            let m = machine(p, g);
+            group.bench_with_input(BenchmarkId::from_parameter(format!("P{p}_g{g}")), &m, |b, m| {
+                b.iter(|| {
+                    for (_, dag) in &instances {
+                        black_box(schedule_dag(dag, m, &bench_pipeline_cfg(true)).cost);
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Table 7: all four baselines (BL-EST, ETF, Cilk, HDagg) at g = 5.
+fn bench_table7_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_table8/baselines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let instances = bench_instances();
+    let m = machine(4, 5);
+    group.bench_function("cilk", |b| {
+        b.iter(|| {
+            for (_, dag) in &instances {
+                black_box(lazy_cost(dag, &m, &cilk_bsp(dag, &m, 42)));
+            }
+        })
+    });
+    group.bench_function("hdagg", |b| {
+        b.iter(|| {
+            for (_, dag) in &instances {
+                black_box(lazy_cost(dag, &m, &hdagg_schedule(dag, &m, HDaggConfig::default())));
+            }
+        })
+    });
+    group.bench_function("blest", |b| {
+        b.iter(|| {
+            for (_, dag) in &instances {
+                black_box(lazy_cost(dag, &m, &blest_bsp(dag, &m)));
+            }
+        })
+    });
+    group.bench_function("etf", |b| {
+        b.iter(|| {
+            for (_, dag) in &instances {
+                black_box(lazy_cost(dag, &m, &etf_bsp(dag, &m)));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Table 9: latency sensitivity (pipeline at varying ℓ).
+fn bench_table9_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table9/latency_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let instances = bench_instances();
+    for l in [2u64, 20] {
+        let m = BspParams::new(8, 1, l);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("l{l}")), &m, |b, m| {
+            b.iter(|| {
+                for (_, dag) in &instances {
+                    black_box(schedule_dag(dag, m, &bench_pipeline_cfg(false)).cost);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_pipeline, bench_table7_baselines, bench_table9_latency);
+criterion_main!(benches);

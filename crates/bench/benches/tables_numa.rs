@@ -1,0 +1,58 @@
+//! Bench targets for the NUMA experiments: Table 2, Figure 6, Table 10
+//! (base scheduler under binary-tree hierarchies) and Table 12 (huge,
+//! NUMA, non-ILP path).
+
+use bsp_baselines::hdagg::HDaggConfig;
+use bsp_baselines::{cilk_bsp, hdagg_schedule};
+use bsp_bench::{bench_instances, bench_pipeline_cfg, large_instance, numa_machine};
+use bsp_core::pipeline::schedule_dag;
+use bsp_schedule::cost::lazy_cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Table 2 / Figure 6 / Table 10: pipeline under NUMA (P, Δ) grid.
+fn bench_table2_numa_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_fig6_table10/numa_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let instances = bench_instances();
+    for p in [8usize, 16] {
+        for delta in [2u64, 4] {
+            let m = numa_machine(p, delta);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("P{p}_d{delta}")),
+                &m,
+                |b, m| {
+                    b.iter(|| {
+                        for (_, dag) in &instances {
+                            black_box(schedule_dag(dag, m, &bench_pipeline_cfg(true)).cost);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Table 12: the huge-dataset NUMA path (baselines + non-ILP pipeline).
+fn bench_table12_huge_numa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table12/huge_numa");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let dag = large_instance();
+    let m = numa_machine(8, 3);
+    group.bench_function("baselines", |b| {
+        b.iter(|| {
+            black_box(lazy_cost(&dag, &m, &cilk_bsp(&dag, &m, 42)));
+            black_box(lazy_cost(&dag, &m, &hdagg_schedule(&dag, &m, HDaggConfig::default())));
+        })
+    });
+    group.bench_function("pipeline_no_ilp", |b| {
+        b.iter(|| black_box(schedule_dag(&dag, &m, &bench_pipeline_cfg(false)).cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_numa_pipeline, bench_table12_huge_numa);
+criterion_main!(benches);

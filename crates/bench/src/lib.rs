@@ -1,0 +1,71 @@
+//! Shared fixtures for the Criterion benchmark targets.
+//!
+//! Each bench target corresponds to a group of paper tables/figures (see
+//! DESIGN.md §4) and exercises exactly the code path that regenerates them,
+//! on miniature instances so `cargo bench` stays fast. The experiment
+//! binary (`bsp-experiments`) produces the actual tables.
+
+use bsp_core::hc::HillClimbConfig;
+use bsp_core::hccs::CommHillClimbConfig;
+use bsp_core::ilp::IlpConfig;
+use bsp_core::pipeline::PipelineConfig;
+use bsp_dagdb::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
+use bsp_dagdb::SparsePattern;
+use bsp_dag::Dag;
+use bsp_model::{BspParams, NumaTopology};
+use std::time::Duration;
+
+/// A small representative instance of each fine-grained family.
+pub fn bench_instances() -> Vec<(&'static str, Dag)> {
+    vec![
+        ("spmv", spmv_dag(&SparsePattern::random(16, 0.25, 1))),
+        ("exp", exp_dag(&SparsePattern::random(10, 0.25, 2), 3)),
+        ("cg", cg_dag(&SparsePattern::random_with_diagonal(8, 0.3, 3), 2)),
+        ("knn", knn_dag(&SparsePattern::random_with_diagonal(12, 0.3, 4), 0, 3)),
+    ]
+}
+
+/// A single mid-size instance for the heavier paths.
+pub fn medium_instance() -> Dag {
+    exp_dag(&SparsePattern::random(24, 0.18, 9), 5)
+}
+
+/// A larger instance for the huge-dataset (non-ILP) path.
+pub fn large_instance() -> Dag {
+    exp_dag(&SparsePattern::random(60, 0.08, 10), 8)
+}
+
+/// Uniform machine used across benches.
+pub fn machine(p: usize, g: u64) -> BspParams {
+    BspParams::new(p, g, 5)
+}
+
+/// NUMA machine with a binary-tree hierarchy.
+pub fn numa_machine(p: usize, delta: u64) -> BspParams {
+    BspParams::new(p, 1, 5).with_numa(NumaTopology::binary_tree(p, delta))
+}
+
+/// Bench-sized pipeline budgets.
+pub fn bench_pipeline_cfg(ilp: bool) -> PipelineConfig {
+    PipelineConfig {
+        hc: HillClimbConfig { max_moves: Some(300), time_limit: Some(Duration::from_millis(300)) },
+        hccs: CommHillClimbConfig {
+            max_moves: Some(300),
+            time_limit: Some(Duration::from_millis(150)),
+        },
+        ilp: IlpConfig {
+            full_max_vars: 500,
+            part_target_vars: 250,
+            limits: bsp_ilp::SolveLimits {
+                max_nodes: 40,
+                time_limit: Duration::from_millis(150),
+                gap: 1e-6,
+            },
+            part_rounds: 1,
+            use_presolve: true,
+        },
+        enable_ilp: ilp,
+        use_ilp_init: Some(false),
+        escape: None,
+    }
+}

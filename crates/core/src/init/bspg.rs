@@ -1,0 +1,266 @@
+//! The `BSPg` greedy initializer (paper §4.2, Appendix A.2, Algorithm 1).
+//!
+//! A BSP-tailored greedy scheduler: it tracks concrete start/finish times
+//! inside each superstep (like classical schedulers) to balance work, but
+//! only allows assigning a node to a processor if all its predecessors are
+//! already available there *within the current superstep* — i.e. computed on
+//! that processor, or in an earlier superstep. When at least half of the
+//! processors become idle, the computation phase closes and the next
+//! superstep starts, releasing every pending ready node to all processors.
+
+use bsp_dag::{Dag, NodeId};
+use bsp_model::BspParams;
+use bsp_schedule::BspSchedule;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Runs BSPg and returns the superstep assignment.
+pub fn bspg_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
+    let n = dag.n();
+    let p = machine.p();
+    let mut sched = BspSchedule::zeroed(n);
+    if n == 0 {
+        return sched;
+    }
+
+    let mut superstep = 0u32;
+    let mut end_step = false;
+    let mut assigned = vec![false; n];
+    let mut finished = vec![false; n];
+    let mut unfinished_preds: Vec<u32> = (0..n).map(|v| dag.in_degree(v as NodeId) as u32).collect();
+
+    // Global pool of ready-but-unassigned nodes.
+    let mut ready: BTreeSet<NodeId> = BTreeSet::new();
+    // Per-processor pools: assignable in the current superstep.
+    let mut ready_proc: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); p];
+    // Pool assignable on every processor in the current superstep.
+    let mut ready_all: BTreeSet<NodeId> = BTreeSet::new();
+    for s in dag.sources() {
+        ready.insert(s);
+        ready_all.insert(s);
+    }
+
+    let mut free = vec![true; p];
+    // Finish events (time, node); a node's processor is in `sched`.
+    let mut events: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    let mut now = 0u64;
+    let mut n_assigned = 0usize;
+
+    while n_assigned < n {
+        if end_step && events.is_empty() {
+            // Superstep transition: everything ready becomes available to
+            // every processor.
+            for rp in &mut ready_proc {
+                rp.clear();
+            }
+            ready_all = ready.clone();
+            superstep += 1;
+            end_step = false;
+            now = 0;
+            free.iter_mut().for_each(|f| *f = true);
+        }
+
+        // Process all nodes finishing at the earliest event time.
+        if let Some(&std::cmp::Reverse((t, _))) = events.peek() {
+            now = t;
+            while let Some(&std::cmp::Reverse((t2, v))) = events.peek() {
+                if t2 != now {
+                    break;
+                }
+                events.pop();
+                finished[v as usize] = true;
+                let pv = sched.proc(v);
+                free[pv as usize] = true;
+                for &u in dag.successors(v) {
+                    unfinished_preds[u as usize] -= 1;
+                    if unfinished_preds[u as usize] == 0 {
+                        ready.insert(u);
+                        // u is assignable on pv within this superstep iff
+                        // every predecessor is on pv or in an earlier superstep.
+                        let local = dag.predecessors(u).iter().all(|&u0| {
+                            sched.proc(u0) == pv || sched.step(u0) < superstep
+                        });
+                        if local {
+                            ready_proc[pv as usize].insert(u);
+                        }
+                    }
+                }
+            }
+        }
+
+        if !end_step {
+            // Assign nodes to free processors while possible.
+            loop {
+                let mut progress = false;
+                for q in 0..p {
+                    if !free[q] {
+                        continue;
+                    }
+                    let from_own = !ready_proc[q].is_empty();
+                    if !from_own && ready_all.is_empty() {
+                        continue;
+                    }
+                    let pool: Vec<NodeId> = if from_own {
+                        ready_proc[q].iter().copied().collect()
+                    } else {
+                        ready_all.iter().copied().collect()
+                    };
+                    let v = choose_node(dag, &sched, &assigned, q as u32, &pool);
+                    ready.remove(&v);
+                    ready_all.remove(&v);
+                    for rp in &mut ready_proc {
+                        rp.remove(&v);
+                    }
+                    sched.set(v, q as u32, superstep);
+                    assigned[v as usize] = true;
+                    n_assigned += 1;
+                    events.push(std::cmp::Reverse((now + dag.work(v), v)));
+                    free[q] = false;
+                    progress = true;
+                }
+                if !progress {
+                    break;
+                }
+            }
+        }
+
+        // Close the computation phase when at least half the processors are
+        // idle, nothing universal remains, AND some ready node is actually
+        // blocked waiting for a communication phase. (Without the last
+        // condition — which Algorithm 1 leaves implicit — a sequential
+        // chain would close a superstep after every node, despite the next
+        // node being assignable locally.)
+        let idle = (0..p).filter(|&q| free[q] && ready_proc[q].is_empty()).count();
+        if ready_all.is_empty() && idle * 2 >= p && !ready.is_empty() {
+            end_step = true;
+        }
+
+        // Nothing running and nothing assigned this round: force the step to
+        // end to guarantee progress.
+        if events.is_empty() && !end_step && n_assigned < n {
+            end_step = true;
+        }
+    }
+    sched
+}
+
+/// The `ChooseNode` tie-break of Appendix A.2: prefer the node with the
+/// highest communication-saving score `Σ c(u)/outdeg(u)` over predecessors
+/// `u` that have (or whose direct successor has) already been assigned to
+/// processor `q`. Ties go to the smaller node id.
+fn choose_node(
+    dag: &Dag,
+    sched: &BspSchedule,
+    assigned: &[bool],
+    q: u32,
+    pool: &[NodeId],
+) -> NodeId {
+    let mut best = pool[0];
+    let mut best_score = f64::NEG_INFINITY;
+    for &v in pool {
+        let mut score = 0.0f64;
+        for &u in dag.predecessors(v) {
+            let u_on_q = assigned[u as usize] && sched.proc(u) == q;
+            let succ_on_q = dag
+                .successors(u)
+                .iter()
+                .any(|&w| assigned[w as usize] && sched.proc(w) == q);
+            if u_on_q || succ_on_q {
+                score += dag.comm(u) as f64 / dag.out_degree(u).max(1) as f64;
+            }
+        }
+        if score > best_score {
+            best_score = score;
+            best = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::validity::validate_lazy;
+
+    #[test]
+    fn independent_nodes_fill_processors_in_one_superstep() {
+        let mut b = DagBuilder::new();
+        for _ in 0..8 {
+            b.add_node(2, 1);
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 1, 5);
+        let s = bspg_schedule(&dag, &machine);
+        assert!(validate_lazy(&dag, 4, &s).is_ok());
+        assert_eq!(s.n_supersteps(), 1);
+        // Load balanced: 2 nodes per processor.
+        for q in 0..4 {
+            assert_eq!(s.work_of(&dag, q, 0), 4);
+        }
+    }
+
+    #[test]
+    fn chain_stays_on_one_processor_one_superstep() {
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..5).map(|_| b.add_node(1, 1)).collect();
+        for i in 0..4 {
+            b.add_edge(v[i], v[i + 1]).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 1, 5);
+        let s = bspg_schedule(&dag, &machine);
+        assert!(validate_lazy(&dag, 2, &s).is_ok());
+        // Each next chain node is ready exactly on the processor that
+        // finished its predecessor: no superstep break, no migration.
+        assert_eq!(s.n_supersteps(), 1, "chain must not splinter supersteps");
+        let q = s.proc(0);
+        assert!((0..5).all(|i| s.proc(i) == q));
+    }
+
+    #[test]
+    fn cross_dependencies_force_new_superstep() {
+        // Butterfly: two sources, each feeding both of two sinks. The sinks
+        // have predecessors on two processors -> must wait for superstep 2.
+        let mut b = DagBuilder::new();
+        let s1 = b.add_node(4, 1);
+        let s2 = b.add_node(4, 1);
+        let t1 = b.add_node(1, 1);
+        let t2 = b.add_node(1, 1);
+        for s in [s1, s2] {
+            for t in [t1, t2] {
+                b.add_edge(s, t).unwrap();
+            }
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let s = bspg_schedule(&dag, &machine);
+        assert!(validate_lazy(&dag, 2, &s).is_ok());
+        if s.proc(s1) != s.proc(s2) {
+            assert!(s.step(t1) > s.step(s1));
+        }
+    }
+
+    #[test]
+    fn valid_on_random_dags_all_nodes_assigned() {
+        for seed in 0..8 {
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig { layers: 6, width: 7, edge_prob: 0.35, ..Default::default() },
+            );
+            for p in [1usize, 2, 4, 8] {
+                let machine = BspParams::new(p, 2, 3);
+                let s = bspg_schedule(&dag, &machine);
+                assert!(validate_lazy(&dag, p, &s).is_ok(), "seed {seed} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = DagBuilder::new().build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let s = bspg_schedule(&dag, &machine);
+        assert_eq!(s.n(), 0);
+    }
+}

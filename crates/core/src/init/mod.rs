@@ -1,0 +1,7 @@
+//! Initialization heuristics (paper §4.2, Appendix A.2).
+
+pub mod bspg;
+pub mod source;
+
+pub use bspg::bspg_schedule;
+pub use source::source_schedule;

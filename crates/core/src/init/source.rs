@@ -1,0 +1,244 @@
+//! The `Source` wavefront initializer (paper §4.2, Appendix A.2,
+//! Algorithm 2).
+//!
+//! Each superstep takes the current source nodes (nodes whose predecessors
+//! have all been assigned) and distributes them round-robin. The first
+//! superstep first clusters sources that share an out-neighbour (so sibling
+//! inputs of the same operation land on one processor); later supersteps
+//! sort by descending work weight for load balance. After each round-robin
+//! pass, a successor whose in-neighbours all sit on one processor is pulled
+//! into the current superstep on that processor — a free extension that
+//! avoids unnecessary supersteps.
+
+use bsp_dag::{Dag, NodeId};
+use bsp_model::BspParams;
+use bsp_schedule::BspSchedule;
+
+/// Runs the Source heuristic and returns the superstep assignment.
+pub fn source_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
+    let n = dag.n();
+    let p = machine.p() as u32;
+    let mut sched = BspSchedule::zeroed(n);
+    let mut assigned = vec![false; n];
+    let mut remaining_preds: Vec<u32> = (0..n).map(|v| dag.in_degree(v as NodeId) as u32).collect();
+    let mut n_assigned = 0usize;
+    let mut superstep = 0u32;
+
+    let assign = |v: NodeId,
+                      q: u32,
+                      s: u32,
+                      sched: &mut BspSchedule,
+                      assigned: &mut Vec<bool>,
+                      remaining_preds: &mut Vec<u32>,
+                      n_assigned: &mut usize| {
+        debug_assert!(!assigned[v as usize]);
+        sched.set(v, q, s);
+        assigned[v as usize] = true;
+        *n_assigned += 1;
+        for &w in dag.successors(v) {
+            remaining_preds[w as usize] -= 1;
+        }
+    };
+
+    while n_assigned < n {
+        let sources: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| !assigned[v as usize] && remaining_preds[v as usize] == 0)
+            .collect();
+        debug_assert!(!sources.is_empty(), "a DAG always has a source among unassigned nodes");
+
+        let mut q = 0u32;
+        if superstep == 0 {
+            // Cluster sources sharing an out-neighbour (union-find), then
+            // round-robin whole clusters.
+            let clusters = cluster_sources(dag, &sources);
+            for c in clusters {
+                for v in c {
+                    assign(v, q, superstep, &mut sched, &mut assigned, &mut remaining_preds, &mut n_assigned);
+                }
+                q = (q + 1) % p;
+            }
+        } else {
+            let mut order = sources.clone();
+            order.sort_by_key(|&v| (std::cmp::Reverse(dag.work(v)), v));
+            for v in order {
+                assign(v, q, superstep, &mut sched, &mut assigned, &mut remaining_preds, &mut n_assigned);
+                q = (q + 1) % p;
+            }
+        }
+
+        // Pull in successors whose in-neighbours all live on one processor.
+        for &v in &sources {
+            let pv = sched.proc(v);
+            for &u in dag.successors(v) {
+                if assigned[u as usize] {
+                    continue;
+                }
+                let all_same = dag
+                    .predecessors(u)
+                    .iter()
+                    .all(|&u0| assigned[u0 as usize] && sched.proc(u0) == pv);
+                if all_same {
+                    assign(u, pv, superstep, &mut sched, &mut assigned, &mut remaining_preds, &mut n_assigned);
+                }
+            }
+        }
+        superstep += 1;
+    }
+    sched
+}
+
+/// Groups `sources` into clusters joined whenever two sources share an
+/// out-neighbour; returns clusters ordered by smallest member, members
+/// sorted. Sources sharing nothing form singleton clusters.
+fn cluster_sources(dag: &Dag, sources: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut parent: Vec<usize> = (0..sources.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    // Union sources that share an out-neighbour.
+    let mut by_target: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    for (i, &v) in sources.iter().enumerate() {
+        for &w in dag.successors(v) {
+            match by_target.entry(w) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let a = find(&mut parent, *e.get());
+                    let b = find(&mut parent, i);
+                    if a != b {
+                        parent[b] = a;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let mut root_members: std::collections::BTreeMap<usize, Vec<NodeId>> = std::collections::BTreeMap::new();
+    for i in 0..sources.len() {
+        let r = find(&mut parent, i);
+        root_members.entry(r).or_default().push(sources[i]);
+    }
+    let mut out: Vec<Vec<NodeId>> = root_members
+        .into_values()
+        .map(|mut m| {
+            m.sort_unstable();
+            m
+        })
+        .collect();
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::validity::validate_lazy;
+
+    #[test]
+    fn siblings_with_common_successor_are_clustered() {
+        // Sources a, b share child x; sources c, d share child y.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_node(1, 1);
+        let b = bld.add_node(1, 1);
+        let c = bld.add_node(1, 1);
+        let d = bld.add_node(1, 1);
+        let x = bld.add_node(1, 1);
+        let y = bld.add_node(1, 1);
+        bld.add_edge(a, x).unwrap();
+        bld.add_edge(b, x).unwrap();
+        bld.add_edge(c, y).unwrap();
+        bld.add_edge(d, y).unwrap();
+        let dag = bld.build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let s = source_schedule(&dag, &machine);
+        assert!(validate_lazy(&dag, 2, &s).is_ok());
+        assert_eq!(s.proc(a), s.proc(b));
+        assert_eq!(s.proc(c), s.proc(d));
+        // x and y are pulled into superstep 0 on their parents' processor.
+        assert_eq!(s.step(x), 0);
+        assert_eq!(s.proc(x), s.proc(a));
+    }
+
+    #[test]
+    fn round_robin_balances_by_descending_work() {
+        // Superstep 0: roots r1, r2 (shared child m -> one cluster on p0)
+        // and r3 (child m2 -> second cluster on p1); m and m2 are pulled to
+        // their parents' processors. Superstep 1: kids with preds {m, m2}
+        // on different processors cannot be pulled, so they are distributed
+        // round-robin in descending work order: 6,5,4,3 -> p0,p1,p0,p1
+        // giving loads 10/8 (id order 6,4,5,3 would give 11/7).
+        let mut bld = DagBuilder::new();
+        let r1 = bld.add_node(1, 1);
+        let r2 = bld.add_node(1, 1);
+        let r3 = bld.add_node(1, 1);
+        let m = bld.add_node(1, 1);
+        let m2 = bld.add_node(1, 1);
+        bld.add_edge(r1, m).unwrap();
+        bld.add_edge(r2, m).unwrap();
+        bld.add_edge(r3, m2).unwrap();
+        let works = [6u64, 4, 5, 3];
+        for &w in &works {
+            let k = bld.add_node(w, 1);
+            bld.add_edge(m, k).unwrap();
+            bld.add_edge(m2, k).unwrap();
+        }
+        let dag = bld.build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let s = source_schedule(&dag, &machine);
+        assert!(validate_lazy(&dag, 2, &s).is_ok());
+        assert_eq!(s.proc(m), s.proc(r1));
+        assert_ne!(s.proc(m), s.proc(m2));
+        let load0 = s.work_of(&dag, 0, 1);
+        let load1 = s.work_of(&dag, 1, 1);
+        assert_eq!(load0 + load1, 18);
+        assert_eq!(load0.max(load1), 10, "descending round-robin expected");
+    }
+
+    #[test]
+    fn all_nodes_assigned_and_valid_on_random_dags() {
+        for seed in 0..8 {
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig { layers: 5, width: 6, edge_prob: 0.4, ..Default::default() },
+            );
+            for p in [1usize, 3, 4] {
+                let machine = BspParams::new(p, 1, 5);
+                let s = source_schedule(&dag, &machine);
+                assert!(validate_lazy(&dag, p, &s).is_ok(), "seed {seed} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_stays_local_with_single_pull_per_step() {
+        let mut bld = DagBuilder::new();
+        let v: Vec<_> = (0..5).map(|_| bld.add_node(1, 1)).collect();
+        for i in 0..4 {
+            bld.add_edge(v[i], v[i + 1]).unwrap();
+        }
+        let dag = bld.build().unwrap();
+        let machine = BspParams::new(4, 1, 1);
+        let s = source_schedule(&dag, &machine);
+        assert!(validate_lazy(&dag, 4, &s).is_ok());
+        // Algorithm 2's pull rule is a single pass over edges out of the
+        // current sources, so each superstep takes the source plus one
+        // pulled successor: ceil(5/2) = 3 supersteps, all on one processor.
+        assert_eq!(s.n_supersteps(), 3);
+        let q = s.proc(v[0]);
+        assert!(v.iter().all(|&x| s.proc(x) == q));
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = DagBuilder::new().build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+        let s = source_schedule(&dag, &machine);
+        assert_eq!(s.n(), 0);
+    }
+}

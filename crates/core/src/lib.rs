@@ -1,0 +1,58 @@
+//! The BSP+NUMA scheduling framework — the paper's primary contribution.
+//!
+//! This crate implements the full algorithm suite of *Efficient
+//! Multi-Processor Scheduling in Increasingly Realistic Models* (SPAA 2024):
+//!
+//! * **Initialization heuristics** (§4.2): [`init::bspg`] (Algorithm 1),
+//!   [`init::source`] (Algorithm 2), and the ILP-based [`ilp::init`].
+//! * **Local search** (§4.3): [`hc`] — single-node-move hill climbing over
+//!   an incrementally maintained cost ([`state::ScheduleState`]) — and
+//!   [`hccs`] — hill climbing on communication-phase choices.
+//! * **ILP refinement** (§4.4): [`ilp`] — `ILPfull`, `ILPpart` window
+//!   reoptimization, and `ILPcs`, all solved by the in-tree
+//!   branch-and-bound solver (`bsp-ilp`) with warm starts and an
+//!   accept-only-if-better contract.
+//! * **Multilevel scheduling** (§4.5): [`multilevel`] — coarsen / solve /
+//!   uncoarsen-and-refine, for communication-dominated instances.
+//! * **The combined pipelines** (§6, Figures 3–4): [`pipeline`].
+//!
+//! Beyond the paper's evaluated configuration, the crate implements the
+//! extensions its conclusion (§8) and appendices name as future work:
+//!
+//! * [`steepest`] — the best-improvement hill-climbing variant of A.3;
+//! * [`anneal`] and [`tabu`] — local search that escapes local minima
+//!   (Metropolis acceptance / forced best-admissible moves with a tabu
+//!   list), both guaranteed never to return worse than their input;
+//! * [`auto`] — CCR-driven selection between the base and multilevel
+//!   pipelines ("decide if coarsification is even necessary", §7.3/C.6).
+//!
+//! ```
+//! use bsp_core::pipeline::{schedule_dag, PipelineConfig};
+//! use bsp_dag::random::{random_layered_dag, LayeredConfig};
+//! use bsp_model::BspParams;
+//!
+//! let dag = random_layered_dag(1, LayeredConfig::default());
+//! let machine = BspParams::new(4, 3, 5);
+//! let mut cfg = PipelineConfig::default();
+//! cfg.enable_ilp = false; // quick run
+//! let result = schedule_dag(&dag, &machine, &cfg);
+//! assert!(result.cost <= result.init_cost);
+//! ```
+
+pub mod anneal;
+pub mod auto;
+pub mod hc;
+pub mod hccs;
+pub mod ilp;
+pub mod init;
+pub mod multilevel;
+pub mod pipeline;
+pub mod state;
+pub mod steepest;
+pub mod tabu;
+
+pub use auto::{schedule_dag_auto, AutoConfig, Strategy};
+pub use pipeline::{
+    schedule_dag, schedule_dag_multilevel, EscapeSearch, PipelineConfig, PipelineResult,
+};
+pub use state::ScheduleState;

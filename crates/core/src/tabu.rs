@@ -1,0 +1,265 @@
+//! Tabu search over the hill-climbing move space.
+//!
+//! A second "escape local minima" strategy from the paper's future-work list
+//! (§8), complementing [`crate::anneal`]: the search always applies the best
+//! available move — *even when it worsens the cost* — but forbids returning
+//! a node to a placement it recently left (the *tabu list*), which forces
+//! the walk out of local minima instead of oscillating. A tabu move is
+//! still allowed when it would beat the best schedule seen so far (the
+//! standard *aspiration* criterion).
+//!
+//! The best schedule encountered is returned, so the result is never worse
+//! than the input.
+
+use crate::state::ScheduleState;
+use bsp_dag::{Dag, NodeId};
+use bsp_model::BspParams;
+use bsp_schedule::BspSchedule;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Tabu-search parameters.
+#[derive(Debug, Clone)]
+pub struct TabuConfig {
+    /// Iterations for which a reversed placement stays forbidden.
+    pub tenure: usize,
+    /// Stop after this many consecutive iterations without a new best.
+    pub stall_limit: usize,
+    /// Hard cap on iterations.
+    pub max_iters: usize,
+    /// Wall-clock limit.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            tenure: 12,
+            stall_limit: 60,
+            max_iters: 5_000,
+            time_limit: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Outcome counters of a tabu run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TabuStats {
+    /// Iterations executed (one move each, unless the neighbourhood was empty).
+    pub iterations: usize,
+    /// Applied moves that increased the cost.
+    pub uphill: usize,
+    /// Moves admitted through the aspiration criterion.
+    pub aspirated: usize,
+    /// Times a new global best was recorded.
+    pub improved_best: usize,
+}
+
+/// Runs tabu search from `sched`; returns the best schedule found, its lazy
+/// cost, and statistics. The returned cost is never above the input's.
+///
+/// ```
+/// use bsp_core::tabu::{tabu_search, TabuConfig};
+/// use bsp_core::init::bspg_schedule;
+/// use bsp_dag::random::{random_layered_dag, LayeredConfig};
+/// use bsp_model::BspParams;
+/// use bsp_schedule::cost::lazy_cost;
+///
+/// let dag = random_layered_dag(3, LayeredConfig::default());
+/// let machine = BspParams::new(4, 2, 5);
+/// let start = bspg_schedule(&dag, &machine);
+/// let cfg = TabuConfig { max_iters: 50, time_limit: None, ..Default::default() };
+/// let (best, cost, _stats) = tabu_search(&dag, &machine, &start, &cfg);
+/// assert!(cost <= lazy_cost(&dag, &machine, &start));
+/// assert_eq!(cost, lazy_cost(&dag, &machine, &best));
+/// ```
+pub fn tabu_search(
+    dag: &Dag,
+    machine: &BspParams,
+    sched: &BspSchedule,
+    cfg: &TabuConfig,
+) -> (BspSchedule, u64, TabuStats) {
+    let mut state = ScheduleState::new(dag, machine, sched);
+    let mut stats = TabuStats::default();
+    let mut best = sched.clone();
+    let mut best_cost = state.cost();
+    if dag.n() == 0 {
+        return (best, best_cost, stats);
+    }
+
+    let deadline = cfg.time_limit.map(|t| Instant::now() + t);
+    let n = dag.n() as u32;
+    let p = machine.p() as u32;
+    // (node, proc, step) → iteration index until which the placement is tabu.
+    let mut tabu: HashMap<(NodeId, u32, u32), usize> = HashMap::new();
+    let mut stall = 0usize;
+
+    for iter in 0..cfg.max_iters {
+        if stall >= cfg.stall_limit {
+            break;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        let Some((v, q, s, after, aspirated)) =
+            best_admissible_move(&mut state, &tabu, iter, best_cost, n, p)
+        else {
+            break; // no valid move anywhere (degenerate neighbourhood)
+        };
+        let before = state.cost();
+        let (old_p, old_s) = (state.proc(v), state.step(v));
+        state.apply_move(v, q, s);
+        // Forbid undoing this move for `tenure` iterations.
+        tabu.insert((v, old_p, old_s), iter + cfg.tenure);
+        stats.iterations += 1;
+        if aspirated {
+            stats.aspirated += 1;
+        }
+        if after > before {
+            stats.uphill += 1;
+        }
+        if after < best_cost {
+            best_cost = after;
+            best = state.snapshot();
+            stats.improved_best += 1;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+        // Keep the tabu map from growing without bound on long runs.
+        if tabu.len() > 4 * dag.n() + 64 {
+            tabu.retain(|_, &mut until| until > iter);
+        }
+    }
+    (best, best_cost, stats)
+}
+
+/// Scans the whole neighbourhood and returns the admissible move with the
+/// lowest resulting cost: non-tabu moves always qualify; tabu moves qualify
+/// only if they beat `best_cost` (aspiration). Returns
+/// `(node, proc, step, resulting_cost, was_aspirated)`.
+fn best_admissible_move(
+    state: &mut ScheduleState<'_>,
+    tabu: &HashMap<(NodeId, u32, u32), usize>,
+    iter: usize,
+    best_cost: u64,
+    n: u32,
+    p: u32,
+) -> Option<(NodeId, u32, u32, u64, bool)> {
+    let mut best: Option<(u64, NodeId, u32, u32, bool)> = None;
+    for v in 0..n as NodeId {
+        let (cur_p, cur_s) = (state.proc(v), state.step(v));
+        let lo = cur_s.saturating_sub(1);
+        for s in lo..=cur_s + 1 {
+            for q in 0..p {
+                if (q, s) == (cur_p, cur_s) || !state.is_move_valid(v, q, s) {
+                    continue;
+                }
+                let after = state.apply_move(v, q, s);
+                state.apply_move(v, cur_p, cur_s);
+                let is_tabu = tabu.get(&(v, q, s)).is_some_and(|&until| until > iter);
+                let aspirated = is_tabu && after < best_cost;
+                if is_tabu && !aspirated {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|&(b, ..)| after < b) {
+                    best = Some((after, v, q, s, aspirated));
+                }
+            }
+        }
+    }
+    best.map(|(c, v, q, s, a)| (v, q, s, c, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hc::{hill_climb, HillClimbConfig};
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::cost::lazy_cost;
+    use bsp_schedule::validity::validate_lazy;
+
+    fn quick_cfg() -> TabuConfig {
+        TabuConfig { max_iters: 400, stall_limit: 40, time_limit: None, ..TabuConfig::default() }
+    }
+
+    #[test]
+    fn never_worse_than_input_and_valid() {
+        for seed in 0..5 {
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig { layers: 5, width: 5, edge_prob: 0.4, ..Default::default() },
+            );
+            let machine = BspParams::new(4, 3, 5);
+            let sched = BspSchedule::zeroed(dag.n());
+            let input = lazy_cost(&dag, &machine, &sched);
+            let (out, cost, _) = tabu_search(&dag, &machine, &sched, &quick_cfg());
+            assert!(cost <= input, "seed {seed}");
+            assert_eq!(cost, lazy_cost(&dag, &machine, &out), "seed {seed}");
+            assert!(validate_lazy(&dag, 4, &out).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crosses_the_plateau_greedy_cannot() {
+        // Same construction as the annealing test: greedy HC is stuck at 22;
+        // tabu's forced best-admissible move walks across the plateau
+        // deterministically.
+        let mut b = DagBuilder::new();
+        for _ in 0..4 {
+            b.add_node(10, 1);
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(4, 1, 2);
+        let sched = BspSchedule::from_parts(vec![0, 0, 1, 1], vec![0; 4]);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: None });
+        assert_eq!(st.cost(), 22, "premise: greedy is plateau-stuck");
+
+        let (_, cost, stats) = tabu_search(&dag, &machine, &sched, &quick_cfg());
+        assert_eq!(cost, 12, "tabu should reach the 1-per-processor optimum");
+        assert!(stats.improved_best >= 1);
+    }
+
+    #[test]
+    fn tabu_is_deterministic() {
+        let dag = random_layered_dag(9, LayeredConfig::default());
+        let machine = BspParams::new(4, 2, 3);
+        let sched = BspSchedule::zeroed(dag.n());
+        let (a, ca, sa) = tabu_search(&dag, &machine, &sched, &quick_cfg());
+        let (b, cb, sb) = tabu_search(&dag, &machine, &sched, &quick_cfg());
+        assert_eq!(ca, cb);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn stall_limit_bounds_iterations() {
+        let dag = random_layered_dag(2, LayeredConfig::default());
+        let machine = BspParams::new(4, 2, 3);
+        let sched = BspSchedule::zeroed(dag.n());
+        let cfg = TabuConfig { stall_limit: 5, max_iters: 10_000, time_limit: None, tenure: 3 };
+        let (_, _, stats) = tabu_search(&dag, &machine, &sched, &cfg);
+        // Each improvement resets the stall counter, but iterations are
+        // bounded by improvements · stall_limit + stall_limit.
+        assert!(stats.iterations <= (stats.improved_best + 1) * 5 + 5);
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let machine = BspParams::new(2, 1, 1);
+        let empty = DagBuilder::new().build().unwrap();
+        let (_, c, stats) =
+            tabu_search(&empty, &machine, &BspSchedule::zeroed(0), &quick_cfg());
+        assert_eq!((c, stats.iterations), (0, 0));
+
+        let mut b = DagBuilder::new();
+        b.add_node(3, 1);
+        let one = b.build().unwrap();
+        let (out, c, _) = tabu_search(&one, &machine, &BspSchedule::zeroed(1), &quick_cfg());
+        assert_eq!(c, lazy_cost(&one, &machine, &out));
+    }
+}

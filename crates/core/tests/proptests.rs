@@ -1,0 +1,283 @@
+//! Property tests for the scheduling framework.
+//!
+//! The central invariants:
+//! 1. the incremental cost bookkeeping of `ScheduleState` agrees with a
+//!    from-scratch evaluation after arbitrary valid move sequences;
+//! 2. every algorithm's output is a valid BSP schedule;
+//! 3. every refinement stage is monotone (never returns something worse).
+
+use bsp_core::hc::{hill_climb, HillClimbConfig};
+use bsp_core::hccs::{optimize_comm_schedule, CommHillClimbConfig};
+use bsp_core::init::{bspg_schedule, source_schedule};
+use bsp_core::multilevel::{coarsen, multilevel_schedule, stage_graph, MultilevelConfig};
+use bsp_core::state::ScheduleState;
+use bsp_dag::random::{random_layered_dag, LayeredConfig};
+use bsp_dag::topo::is_topological_order;
+use bsp_dag::{Dag, TopoInfo};
+use bsp_model::{BspParams, NumaTopology};
+use bsp_schedule::cost::{lazy_cost, total_cost};
+use bsp_schedule::validity::{validate, validate_lazy};
+use bsp_schedule::BspSchedule;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (0u64..400, 2usize..6, 2usize..6, 0.15f64..0.7).prop_map(|(seed, layers, width, p)| {
+        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 7, max_comm: 5 })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = BspParams> {
+    (1usize..3u32 as usize, 1u64..6, 0u64..8, proptest::bool::ANY).prop_map(|(pe, g, l, numa)| {
+        let p = [2usize, 4, 8][pe];
+        let m = BspParams::new(p, g, l);
+        if numa {
+            m.with_numa(NumaTopology::binary_tree(p, 2 + g % 3))
+        } else {
+            m
+        }
+    })
+}
+
+fn random_valid_assignment(dag: &Dag, p: u32, seed: u64) -> BspSchedule {
+    let topo = TopoInfo::new(dag);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sched = BspSchedule::zeroed(dag.n());
+    for &v in &topo.order {
+        let proc = rng.gen_range(0..p);
+        let mut min_step = 0u32;
+        for &u in dag.predecessors(v) {
+            let req = if sched.proc(u) == proc { sched.step(u) } else { sched.step(u) + 1 };
+            min_step = min_step.max(req);
+        }
+        sched.set(v, proc, min_step + rng.gen_range(0..2));
+    }
+    sched
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The heart of HC: incremental cost == full re-evaluation after any
+    /// sequence of random valid moves (applied AND reverted).
+    #[test]
+    fn incremental_cost_matches_full_recompute(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        let p = machine.p() as u32;
+        let sched = random_valid_assignment(&dag, p, seed);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        prop_assert_eq!(st.cost(), st.recomputed_cost());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for _ in 0..40 {
+            let v = rng.gen_range(0..dag.n() as u32);
+            let q = rng.gen_range(0..p);
+            let s = st.step(v).saturating_sub(1) + rng.gen_range(0..3);
+            if st.is_move_valid(v, q, s) {
+                st.apply_move(v, q, s);
+                if rng.gen_bool(0.3) {
+                    prop_assert_eq!(
+                        st.cost(),
+                        st.recomputed_cost(),
+                        "after move of {} to ({}, {})",
+                        v,
+                        q,
+                        s
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(st.cost(), st.recomputed_cost());
+        prop_assert!(validate_lazy(&dag, machine.p(), &st.snapshot()).is_ok());
+    }
+
+    /// Hill climbing: monotone, consistent, valid.
+    #[test]
+    fn hill_climb_monotone_and_consistent(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        let sched = random_valid_assignment(&dag, machine.p() as u32, seed);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        let before = st.cost();
+        hill_climb(&mut st, &HillClimbConfig { max_moves: Some(200), time_limit: None });
+        prop_assert!(st.cost() <= before);
+        prop_assert_eq!(st.cost(), st.recomputed_cost());
+        prop_assert!(validate_lazy(&dag, machine.p(), &st.snapshot()).is_ok());
+    }
+
+    /// Initializers always produce valid schedules covering all nodes.
+    #[test]
+    fn initializers_always_valid(dag in arb_dag(), machine in arb_machine()) {
+        let a = bspg_schedule(&dag, &machine);
+        prop_assert!(validate_lazy(&dag, machine.p(), &a).is_ok());
+        let b = source_schedule(&dag, &machine);
+        prop_assert!(validate_lazy(&dag, machine.p(), &b).is_ok());
+    }
+
+    /// HCcs: the explicit Γ it returns is valid and costs no more than lazy.
+    #[test]
+    fn hccs_valid_and_never_worse_than_lazy(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        let sched = random_valid_assignment(&dag, machine.p() as u32, seed);
+        let (comm, cost) = optimize_comm_schedule(
+            &dag,
+            &machine,
+            &sched,
+            &CommHillClimbConfig { max_moves: Some(300), time_limit: None },
+        );
+        prop_assert!(validate(&dag, machine.p(), &sched, &comm).is_ok());
+        prop_assert_eq!(cost, total_cost(&dag, &machine, &sched, &comm));
+        prop_assert!(cost <= lazy_cost(&dag, &machine, &sched));
+    }
+
+    /// Coarsening invariants: acyclic at every prefix, weights conserved.
+    #[test]
+    fn coarsening_prefixes_stay_acyclic(dag in arb_dag(), keep in 0.1f64..0.9) {
+        let target = ((dag.n() as f64) * keep) as usize;
+        let log = coarsen(&dag, target.max(1), &MultilevelConfig::default());
+        for k in [log.len() / 2, log.len()] {
+            let (stage, map) = stage_graph(&dag, &log[..k]);
+            let topo = TopoInfo::new(&stage);
+            prop_assert!(is_topological_order(&stage, &topo.order));
+            prop_assert_eq!(stage.total_work(), dag.total_work());
+            prop_assert_eq!(map.iter().filter(|m| m.is_some()).count(), stage.n());
+        }
+    }
+
+    /// The window-ILP formulation: the incumbent schedule always maps to a
+    /// feasible point of the model, for random windows — the strongest
+    /// single check of the ILPfull/ILPpart constraint system.
+    #[test]
+    fn window_ilp_warm_start_always_feasible(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        use bsp_core::ilp::window::{WindowIlp, WindowOptions};
+        use bsp_schedule::compact::compact_lazy;
+        let sched = random_valid_assignment(&dag, machine.p() as u32, seed);
+        let sched = compact_lazy(&dag, &sched);
+        let s_max = sched.n_supersteps();
+        if s_max == 0 {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc1);
+        let s1 = rng.gen_range(0..s_max);
+        let s2 = rng.gen_range(s1..s_max);
+        let w = WindowIlp::build(&dag, &machine, &sched, s1, s2, WindowOptions::default());
+        let warm = w.warm_start(&dag, &machine, &sched);
+        prop_assert!(
+            w.model.is_feasible(&warm, 1e-5),
+            "warm start infeasible for window [{},{}] of {} steps", s1, s2, s_max
+        );
+    }
+
+    /// End-to-end multilevel produces valid schedules.
+    #[test]
+    fn multilevel_valid(dag in arb_dag(), machine in arb_machine()) {
+        let mut base = |d: &Dag, m: &BspParams| {
+            let s = bspg_schedule(d, m);
+            let mut st = ScheduleState::new(d, m, &s);
+            hill_climb(&mut st, &HillClimbConfig { max_moves: Some(100), time_limit: None });
+            st.snapshot()
+        };
+        let cfg = MultilevelConfig { ratios: vec![0.3], ..Default::default() };
+        let sched = multilevel_schedule(&dag, &machine, &cfg, &mut base);
+        prop_assert!(validate_lazy(&dag, machine.p(), &sched).is_ok());
+    }
+
+    /// Steepest-descent HC: monotone, incrementally consistent, valid.
+    #[test]
+    fn steepest_monotone_and_consistent(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        use bsp_core::steepest::hill_climb_steepest;
+        let sched = random_valid_assignment(&dag, machine.p() as u32, seed);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        let before = st.cost();
+        hill_climb_steepest(&mut st, &HillClimbConfig { max_moves: Some(40), time_limit: None });
+        prop_assert!(st.cost() <= before);
+        prop_assert_eq!(st.cost(), st.recomputed_cost());
+        prop_assert!(validate_lazy(&dag, machine.p(), &st.snapshot()).is_ok());
+    }
+
+    /// Simulated annealing: the returned best is valid, its reported cost is
+    /// exact, and it never loses to the input — even though the walk climbs.
+    #[test]
+    fn annealing_never_worse_and_exact(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        use bsp_core::anneal::{simulated_annealing, AnnealConfig};
+        let sched = random_valid_assignment(&dag, machine.p() as u32, seed);
+        let input = lazy_cost(&dag, &machine, &sched);
+        let cfg = AnnealConfig {
+            max_steps: 3_000,
+            time_limit: None,
+            seed,
+            ..AnnealConfig::default()
+        };
+        let (best, cost, stats) = simulated_annealing(&dag, &machine, &sched, &cfg);
+        prop_assert!(cost <= input);
+        prop_assert_eq!(cost, lazy_cost(&dag, &machine, &best));
+        prop_assert!(validate_lazy(&dag, machine.p(), &best).is_ok());
+        prop_assert!(stats.accepted <= stats.proposed);
+        prop_assert!(stats.uphill <= stats.accepted);
+    }
+
+    /// Tabu search: same contract as annealing, plus determinism.
+    #[test]
+    fn tabu_never_worse_and_deterministic(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        use bsp_core::tabu::{tabu_search, TabuConfig};
+        let sched = random_valid_assignment(&dag, machine.p() as u32, seed);
+        let input = lazy_cost(&dag, &machine, &sched);
+        let cfg = TabuConfig { max_iters: 60, stall_limit: 25, time_limit: None, tenure: 8 };
+        let (best, cost, _) = tabu_search(&dag, &machine, &sched, &cfg);
+        prop_assert!(cost <= input);
+        prop_assert_eq!(cost, lazy_cost(&dag, &machine, &best));
+        prop_assert!(validate_lazy(&dag, machine.p(), &best).is_ok());
+        let (best2, cost2, _) = tabu_search(&dag, &machine, &sched, &cfg);
+        prop_assert_eq!(cost, cost2);
+        prop_assert_eq!(best, best2);
+    }
+
+    /// Auto-selection: the chosen strategy is consistent with the dominance
+    /// metric and the result is always a valid schedule.
+    #[test]
+    fn auto_strategy_consistent_with_dominance(
+        dag in arb_dag(),
+        machine in arb_machine(),
+    ) {
+        use bsp_core::auto::{comm_dominance, schedule_dag_auto, AutoConfig, Strategy};
+        use bsp_core::pipeline::PipelineConfig;
+        let pipe = PipelineConfig { enable_ilp: false, ..Default::default() };
+        let auto = AutoConfig { min_nodes_for_ml: 10, ..AutoConfig::default() };
+        let (r, strat) = schedule_dag_auto(&dag, &machine, &pipe, &auto);
+        prop_assert!(validate(&dag, machine.p(), &r.sched, &r.comm).is_ok());
+        let dom = comm_dominance(&dag, &machine);
+        if dag.n() >= auto.min_nodes_for_ml {
+            match strat {
+                Strategy::Base => prop_assert!(dom < auto.ccr_lo),
+                Strategy::Multilevel => prop_assert!(dom >= auto.ccr_hi),
+                Strategy::Both => prop_assert!(dom >= auto.ccr_lo && dom < auto.ccr_hi),
+            }
+        } else {
+            prop_assert_eq!(strat, Strategy::Base);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Immutable CSR-backed DAG with node weights.
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier. DAGs in this framework are bounded well below `u32::MAX`
+/// nodes (the paper's largest dataset has 100 000), so a 32-bit id keeps the
+/// CSR arrays compact and cache-friendly.
+pub type NodeId = u32;
+
+/// A weighted computational DAG in compressed sparse row form.
+///
+/// Both successor and predecessor adjacency are stored so that schedulers can
+/// iterate either direction in O(degree). Edges within each adjacency list
+/// are sorted and deduplicated. Node `v` carries a work weight `w(v)` and a
+/// communication weight `c(v)` (paper §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    succ_offsets: Vec<u32>,
+    succ: Vec<NodeId>,
+    pred_offsets: Vec<u32>,
+    pred: Vec<NodeId>,
+    work: Vec<u64>,
+    comm: Vec<u64>,
+}
+
+impl Dag {
+    /// Builds a `Dag` directly from parts. `edges` must describe an acyclic
+    /// graph; this is checked by [`crate::DagBuilder`], which is the public
+    /// construction path.
+    pub(crate) fn from_parts(n: usize, mut edges: Vec<(NodeId, NodeId)>, work: Vec<u64>, comm: Vec<u64>) -> Self {
+        debug_assert_eq!(work.len(), n);
+        debug_assert_eq!(comm.len(), n);
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &(u, _) in &edges {
+            succ_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let succ: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+
+        let mut pred_offsets = vec![0u32; n + 1];
+        for &(_, v) in &edges {
+            pred_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut cursor = pred_offsets.clone();
+        let mut pred = vec![0 as NodeId; edges.len()];
+        for &(u, v) in &edges {
+            let slot = cursor[v as usize] as usize;
+            pred[slot] = u;
+            cursor[v as usize] += 1;
+        }
+
+        Dag { succ_offsets, succ, pred_offsets, pred, work, comm }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Work weight `w(v)`.
+    #[inline]
+    pub fn work(&self, v: NodeId) -> u64 {
+        self.work[v as usize]
+    }
+
+    /// Communication weight `c(v)` — size of `v`'s output.
+    #[inline]
+    pub fn comm(&self, v: NodeId) -> u64 {
+        self.comm[v as usize]
+    }
+
+    /// Direct successors (out-neighbours) of `v`, sorted ascending.
+    #[inline]
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.succ[self.succ_offsets[v] as usize..self.succ_offsets[v + 1] as usize]
+    }
+
+    /// Direct predecessors (in-neighbours) of `v`, sorted ascending.
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.pred[self.pred_offsets[v] as usize..self.pred_offsets[v + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.successors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.predecessors(v).len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n() as NodeId
+    }
+
+    /// Iterator over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Whether the edge `(u, v)` exists. O(log out-degree).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.successors(u).binary_search(&v).is_ok()
+    }
+
+    /// Source nodes (in-degree 0).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Sink nodes (out-degree 0).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Sum of all work weights.
+    pub fn total_work(&self) -> u64 {
+        self.work.iter().sum()
+    }
+
+    /// Sum of all communication weights.
+    pub fn total_comm(&self) -> u64 {
+        self.comm.iter().sum()
+    }
+
+    /// All work weights as a slice.
+    #[inline]
+    pub fn work_weights(&self) -> &[u64] {
+        &self.work
+    }
+
+    /// All communication weights as a slice.
+    #[inline]
+    pub fn comm_weights(&self) -> &[u64] {
+        &self.comm
+    }
+
+    /// Returns the sub-DAG induced by `keep` (a set of node ids) together
+    /// with the mapping `old id -> new id`. Nodes not in `keep` and edges
+    /// touching them are dropped; relative order of ids is preserved.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Dag, Vec<Option<NodeId>>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.n()];
+        let mut sorted = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (new, &old) in sorted.iter().enumerate() {
+            map[old as usize] = Some(new as NodeId);
+        }
+        let work: Vec<u64> = sorted.iter().map(|&v| self.work(v)).collect();
+        let comm: Vec<u64> = sorted.iter().map(|&v| self.comm(v)).collect();
+        let mut edges = Vec::new();
+        for &u in &sorted {
+            for &v in self.successors(u) {
+                if let (Some(nu), Some(nv)) = (map[u as usize], map[v as usize]) {
+                    edges.push((nu, nv));
+                }
+            }
+        }
+        (Dag::from_parts(sorted.len(), edges, work, comm), map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DagBuilder;
+
+    fn diamond() -> crate::Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(1, 2);
+        let x = b.add_node(2, 3);
+        let y = b.add_node(3, 4);
+        let d = b.add_node(4, 5);
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, d).unwrap();
+        b.add_edge(y, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let d = diamond();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.successors(0), &[1, 2]);
+        assert_eq!(d.predecessors(3), &[1, 2]);
+        assert_eq!(d.in_degree(0), 0);
+        assert_eq!(d.out_degree(3), 0);
+        assert!(d.has_edge(0, 1));
+        assert!(!d.has_edge(1, 0));
+    }
+
+    #[test]
+    fn weights_and_totals() {
+        let d = diamond();
+        assert_eq!(d.work(2), 3);
+        assert_eq!(d.comm(2), 4);
+        assert_eq!(d.total_work(), 10);
+        assert_eq!(d.total_comm(), 14);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let d = diamond();
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(1, 1);
+        let c = b.add_node(1, 1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.m(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_edges() {
+        let d = diamond();
+        let (sub, map) = d.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sub.n(), 3);
+        // surviving edges: 0->1 and 1->3 (old ids) => (0,1), (1,2) new.
+        assert_eq!(sub.m(), 2);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[2], None);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_iterator_matches_m() {
+        let d = diamond();
+        assert_eq!(d.edges().count(), d.m());
+    }
+}

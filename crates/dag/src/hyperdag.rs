@@ -1,0 +1,193 @@
+//! HyperDAG text interchange format (paper §5, Appendix B).
+//!
+//! The paper's DAG database stores instances as *hyperDAGs*: one hyperedge
+//! per non-sink node `v`, containing `v` (the source pin) and all of `v`'s
+//! direct successors. This emphasizes that `v`'s output is a single value
+//! that is sent at most once per target processor. The representation is
+//! information-equivalent to the DAG, and all algorithms convert back to the
+//! plain DAG form first — exactly as in the paper.
+//!
+//! Concrete grammar (a MatrixMarket-like plain text format):
+//!
+//! ```text
+//! %% comment lines start with '%'
+//! <H> <V> <P>          header: hyperedge, vertex and pin counts
+//! <h> <v>              P pin lines: hyperedge h contains vertex v;
+//!                      the FIRST pin listed for h is its source vertex
+//! <v> <w> <c>          V vertex lines: work and communication weights
+//! ```
+
+use crate::builder::{DagBuilder, DagError};
+use crate::graph::{Dag, NodeId};
+
+/// Serializes `dag` to the hyperDAG text format. Hyperedges are emitted for
+/// non-sink nodes in ascending id order; the source pin comes first.
+pub fn to_hyperdag_string(dag: &Dag) -> String {
+    use std::fmt::Write;
+    let hyperedges: Vec<NodeId> = dag.nodes().filter(|&v| dag.out_degree(v) > 0).collect();
+    let pins: usize = hyperedges.iter().map(|&v| 1 + dag.out_degree(v)).sum();
+    let mut s = String::new();
+    writeln!(s, "%% HyperDAG representation").unwrap();
+    writeln!(s, "%% first pin of each hyperedge is its source vertex").unwrap();
+    writeln!(s, "{} {} {}", hyperedges.len(), dag.n(), pins).unwrap();
+    for (h, &v) in hyperedges.iter().enumerate() {
+        writeln!(s, "{} {}", h, v).unwrap();
+        for &t in dag.successors(v) {
+            writeln!(s, "{} {}", h, t).unwrap();
+        }
+    }
+    for v in dag.nodes() {
+        writeln!(s, "{} {} {}", v, dag.work(v), dag.comm(v)).unwrap();
+    }
+    s
+}
+
+/// Parses the hyperDAG text format back into a [`Dag`].
+pub fn from_hyperdag_str(input: &str) -> Result<Dag, DagError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
+
+    let (hline_no, header) = lines
+        .next()
+        .ok_or(DagError::Parse { line: 0, msg: "missing header".into() })?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 3 {
+        return Err(DagError::Parse { line: hline_no, msg: "header must be '<H> <V> <P>'".into() });
+    }
+    let parse_usize = |tok: &str, line: usize| -> Result<usize, DagError> {
+        tok.parse().map_err(|_| DagError::Parse { line, msg: format!("bad integer '{tok}'") })
+    };
+    let h = parse_usize(parts[0], hline_no)?;
+    let v_count = parse_usize(parts[1], hline_no)?;
+    let p = parse_usize(parts[2], hline_no)?;
+
+    // Pins: first pin per hyperedge is the source.
+    let mut source: Vec<Option<NodeId>> = vec![None; h];
+    let mut targets: Vec<Vec<NodeId>> = vec![Vec::new(); h];
+    for _ in 0..p {
+        let (no, l) = lines.next().ok_or(DagError::Parse { line: 0, msg: "missing pin line".into() })?;
+        let toks: Vec<&str> = l.split_whitespace().collect();
+        if toks.len() != 2 {
+            return Err(DagError::Parse { line: no, msg: "pin line must be '<h> <v>'".into() });
+        }
+        let he = parse_usize(toks[0], no)?;
+        let vv = parse_usize(toks[1], no)? as NodeId;
+        if he >= h {
+            return Err(DagError::Parse { line: no, msg: format!("hyperedge {he} out of range") });
+        }
+        if vv as usize >= v_count {
+            return Err(DagError::Parse { line: no, msg: format!("vertex {vv} out of range") });
+        }
+        match source[he] {
+            None => source[he] = Some(vv),
+            Some(_) => targets[he].push(vv),
+        }
+    }
+
+    let mut b = DagBuilder::with_capacity(v_count, p.saturating_sub(h));
+    let mut weights_seen = vec![false; v_count];
+    let mut work = vec![1u64; v_count];
+    let mut comm = vec![1u64; v_count];
+    for _ in 0..v_count {
+        let (no, l) =
+            lines.next().ok_or(DagError::Parse { line: 0, msg: "missing vertex weight line".into() })?;
+        let toks: Vec<&str> = l.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(DagError::Parse { line: no, msg: "vertex line must be '<v> <w> <c>'".into() });
+        }
+        let v = parse_usize(toks[0], no)?;
+        if v >= v_count {
+            return Err(DagError::Parse { line: no, msg: format!("vertex {v} out of range") });
+        }
+        if weights_seen[v] {
+            return Err(DagError::Parse { line: no, msg: format!("duplicate weights for vertex {v}") });
+        }
+        weights_seen[v] = true;
+        work[v] = parse_usize(toks[1], no)? as u64;
+        comm[v] = parse_usize(toks[2], no)? as u64;
+    }
+    for v in 0..v_count {
+        b.add_node(work[v], comm[v]);
+    }
+    for he in 0..h {
+        let s = source[he].ok_or(DagError::Parse { line: 0, msg: format!("hyperedge {he} has no pins") })?;
+        for &t in &targets[he] {
+            b.add_edge(s, t)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(1, 2);
+        let x = b.add_node(3, 4);
+        let y = b.add_node(5, 6);
+        let z = b.add_node(7, 8);
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let d = sample();
+        let s = to_hyperdag_string(&d);
+        let d2 = from_hyperdag_str(&s).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn hyperedge_counts() {
+        let d = sample();
+        let s = to_hyperdag_string(&d);
+        let header = s.lines().find(|l| !l.starts_with('%')).unwrap();
+        // 3 non-sink nodes, 4 vertices, pins = (1+2)+(1+1)+(1+1) = 7.
+        assert_eq!(header, "3 4 7");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(from_hyperdag_str("1 2"), Err(DagError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_pin() {
+        let bad = "1 2 2\n0 0\n0 9\n0 1 1\n1 1 1\n";
+        assert!(matches!(from_hyperdag_str(bad), Err(DagError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_cyclic_hyperdag() {
+        // Two hyperedges forming 0 -> 1 and 1 -> 0.
+        let bad = "2 2 4\n0 0\n0 1\n1 1\n1 0\n0 1 1\n1 1 1\n";
+        assert!(matches!(from_hyperdag_str(bad), Err(DagError::Cycle(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let d = sample();
+        let s = format!("% leading comment\n\n{}", to_hyperdag_string(&d));
+        assert_eq!(from_hyperdag_str(&s).unwrap(), d);
+    }
+
+    #[test]
+    fn isolated_nodes_survive_round_trip() {
+        let mut b = DagBuilder::new();
+        b.add_node(4, 9);
+        b.add_node(2, 7);
+        let d = b.build().unwrap();
+        let d2 = from_hyperdag_str(&to_hyperdag_string(&d)).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Seeded random DAG generation, for tests and synthetic benchmarks.
+
+use crate::builder::DagBuilder;
+use crate::graph::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_layered_dag`].
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredConfig {
+    /// Number of layers (≥ 1).
+    pub layers: usize,
+    /// Nodes per layer (≥ 1).
+    pub width: usize,
+    /// Probability of an edge between consecutive-layer node pairs.
+    pub edge_prob: f64,
+    /// Work weights are drawn uniformly from `1..=max_work`.
+    pub max_work: u64,
+    /// Communication weights are drawn uniformly from `1..=max_comm`.
+    pub max_comm: u64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig { layers: 5, width: 8, edge_prob: 0.3, max_work: 8, max_comm: 4 }
+    }
+}
+
+/// Generates a layered random DAG: nodes arranged in `layers` rows of
+/// `width`, independent edges between consecutive layers with probability
+/// `edge_prob`, and every node guaranteed at least one predecessor in the
+/// previous layer (except layer 0) so the graph is connected layer-to-layer.
+/// Fully deterministic given `seed`.
+pub fn random_layered_dag(seed: u64, cfg: LayeredConfig) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_capacity(cfg.layers * cfg.width, cfg.layers * cfg.width * 2);
+    let mut ids: Vec<Vec<NodeId>> = Vec::with_capacity(cfg.layers);
+    for _ in 0..cfg.layers {
+        let row: Vec<NodeId> = (0..cfg.width)
+            .map(|_| b.add_node(rng.gen_range(1..=cfg.max_work), rng.gen_range(1..=cfg.max_comm)))
+            .collect();
+        ids.push(row);
+    }
+    for l in 1..cfg.layers {
+        for &v in &ids[l] {
+            let mut has_pred = false;
+            for &u in &ids[l - 1] {
+                if rng.gen_bool(cfg.edge_prob) {
+                    b.add_edge(u, v).unwrap();
+                    has_pred = true;
+                }
+            }
+            if !has_pred {
+                let u = ids[l - 1][rng.gen_range(0..cfg.width)];
+                b.add_edge(u, v).unwrap();
+            }
+        }
+    }
+    b.build().expect("layered construction is acyclic")
+}
+
+/// Generates a random DAG on `n` nodes where each ordered pair `(i, j)` with
+/// `i < j` gets an edge with probability `p` — a DAG analogue of the
+/// Erdős–Rényi model. Deterministic given `seed`.
+pub fn random_order_dag(seed: u64, n: usize, p: f64, max_work: u64, max_comm: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_capacity(n, (n * n / 4).max(4));
+    let ids: Vec<NodeId> =
+        (0..n).map(|_| b.add_node(rng.gen_range(1..=max_work), rng.gen_range(1..=max_comm))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    b.build().expect("forward edges are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{is_topological_order, TopoInfo};
+
+    #[test]
+    fn layered_dag_is_deterministic() {
+        let a = random_layered_dag(7, LayeredConfig::default());
+        let b = random_layered_dag(7, LayeredConfig::default());
+        assert_eq!(a, b);
+        let c = random_layered_dag(8, LayeredConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn layered_dag_every_nonfirst_layer_node_has_pred() {
+        let d = random_layered_dag(3, LayeredConfig { layers: 6, width: 5, ..Default::default() });
+        let t = TopoInfo::new(&d);
+        assert!(is_topological_order(&d, &t.order));
+        for v in d.nodes() {
+            if v >= 5 {
+                assert!(d.in_degree(v) > 0, "node {v} in layer >0 must have a predecessor");
+            }
+        }
+    }
+
+    #[test]
+    fn order_dag_is_acyclic_and_seeded() {
+        let d = random_order_dag(42, 30, 0.2, 5, 5);
+        let t = TopoInfo::new(&d);
+        assert!(is_topological_order(&d, &t.order));
+        assert_eq!(d, random_order_dag(42, 30, 0.2, 5, 5));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let d = random_layered_dag(1, LayeredConfig { layers: 1, width: 1, ..Default::default() });
+        assert_eq!(d.n(), 1);
+        let e = random_order_dag(1, 1, 0.5, 3, 3);
+        assert_eq!(e.n(), 1);
+        assert_eq!(e.m(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Failure-injection tests for the hyperDAG parser: arbitrary and
+//! near-valid inputs must never panic — they either parse or return a
+//! structured error.
+
+use bsp_dag::hyperdag::{from_hyperdag_str, to_hyperdag_string};
+use bsp_dag::random::{random_layered_dag, LayeredConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC{0,200}") {
+        let _ = from_hyperdag_str(&s);
+    }
+
+    #[test]
+    fn arbitrary_numeric_soup_never_panics(
+        nums in proptest::collection::vec(0u32..50, 0..60),
+        newline_every in 1usize..6,
+    ) {
+        let mut s = String::new();
+        for (i, n) in nums.iter().enumerate() {
+            s.push_str(&n.to_string());
+            s.push(if i % newline_every == 0 { '\n' } else { ' ' });
+        }
+        let _ = from_hyperdag_str(&s);
+    }
+
+    /// Mutating one character of a valid file either parses or errors.
+    #[test]
+    fn single_character_corruption_is_handled(seed in 0u64..200, pos_frac in 0.0f64..1.0, c in "[0-9a-z %.\\-]") {
+        let dag = random_layered_dag(seed, LayeredConfig { layers: 3, width: 3, ..Default::default() });
+        let mut text = to_hyperdag_string(&dag);
+        let pos = ((text.len() as f64 - 1.0) * pos_frac) as usize;
+        let ch = c.chars().next().unwrap();
+        // Splice at a char boundary.
+        let pos = (0..=pos).rev().find(|&p| text.is_char_boundary(p)).unwrap_or(0);
+        text.replace_range(pos..pos, &ch.to_string());
+        let _ = from_hyperdag_str(&text);
+    }
+
+    /// Truncating a valid file anywhere is handled gracefully.
+    #[test]
+    fn truncation_is_handled(seed in 0u64..200, keep_frac in 0.0f64..1.0) {
+        let dag = random_layered_dag(seed, LayeredConfig { layers: 3, width: 4, ..Default::default() });
+        let text = to_hyperdag_string(&dag);
+        let keep = ((text.len() as f64) * keep_frac) as usize;
+        let keep = (0..=keep).rev().find(|&p| text.is_char_boundary(p)).unwrap_or(0);
+        let _ = from_hyperdag_str(&text[..keep]);
+    }
+}

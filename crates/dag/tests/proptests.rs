@@ -1,0 +1,117 @@
+//! Property-based tests for the DAG substrate.
+
+use bsp_dag::random::{random_layered_dag, random_order_dag, LayeredConfig};
+use bsp_dag::topo::{bottom_level, is_topological_order, top_level};
+use bsp_dag::traversal::{reaches, reaches_pruned, weakly_connected_components};
+use bsp_dag::{hyperdag, MutableDag, TopoInfo};
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = bsp_dag::Dag> {
+    (0u64..1000, 1usize..6, 1usize..7, 0.05f64..0.9).prop_map(|(seed, layers, width, p)| {
+        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 9, max_comm: 5 })
+    })
+}
+
+fn arb_dense_dag() -> impl Strategy<Value = bsp_dag::Dag> {
+    (0u64..1000, 1usize..25, 0.0f64..0.5).prop_map(|(seed, n, p)| random_order_dag(seed, n, p, 9, 5))
+}
+
+proptest! {
+    #[test]
+    fn topo_order_always_valid(dag in arb_dag()) {
+        let t = TopoInfo::new(&dag);
+        prop_assert!(is_topological_order(&dag, &t.order));
+    }
+
+    #[test]
+    fn level_respects_edges(dag in arb_dense_dag()) {
+        let t = TopoInfo::new(&dag);
+        for (u, v) in dag.edges() {
+            prop_assert!(t.level[u as usize] < t.level[v as usize]);
+        }
+    }
+
+    #[test]
+    fn bottom_plus_top_bounded_by_critical_path(dag in arb_dag()) {
+        let t = TopoInfo::new(&dag);
+        let bl = bottom_level(&dag, &t);
+        let tl = top_level(&dag, &t);
+        let cp = bl.iter().copied().max().unwrap_or(0);
+        for v in dag.nodes() {
+            // Any source-to-sink path through v has length tl(v) + bl(v).
+            prop_assert!(tl[v as usize] + bl[v as usize] <= cp);
+        }
+    }
+
+    #[test]
+    fn pruned_reachability_agrees(dag in arb_dense_dag()) {
+        let t = TopoInfo::new(&dag);
+        let n = dag.n() as u32;
+        for u in 0..n.min(12) {
+            for v in 0..n.min(12) {
+                prop_assert_eq!(reaches(&dag, u, v), reaches_pruned(&dag, &t, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn hyperdag_round_trip(dag in arb_dag()) {
+        let s = hyperdag::to_hyperdag_string(&dag);
+        let back = hyperdag::from_hyperdag_str(&s).unwrap();
+        prop_assert_eq!(dag, back);
+    }
+
+    #[test]
+    fn components_partition_nodes(dag in arb_dense_dag()) {
+        let comps = weakly_connected_components(&dag);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, dag.n());
+        let mut seen = vec![false; dag.n()];
+        for c in &comps {
+            for &v in c {
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_totals_and_acyclicity(dag in arb_dag(), steps in 0usize..10) {
+        let mut m = MutableDag::from_dag(&dag);
+        for _ in 0..steps {
+            let edges = m.contractable_edges();
+            let Some(&(u, v)) = edges.first() else { break };
+            m.contract_edge(u, v);
+        }
+        let (c, map) = m.compact();
+        // Weight totals invariant under contraction.
+        prop_assert_eq!(c.total_work(), dag.total_work());
+        prop_assert_eq!(c.total_comm(), dag.total_comm());
+        // Result is still a DAG (TopoInfo would have too short an order otherwise).
+        let t = TopoInfo::new(&c);
+        prop_assert!(is_topological_order(&c, &t.order));
+        // Mapping covers exactly the live nodes.
+        let live = map.iter().filter(|x| x.is_some()).count();
+        prop_assert_eq!(live, c.n());
+    }
+
+    #[test]
+    fn contractability_means_no_alternative_path(dag in arb_dense_dag()) {
+        let m = MutableDag::from_dag(&dag);
+        for (u, v) in dag.edges().take(30) {
+            let contractable = m.is_contractable(u, v);
+            // Check against a direct definition: remove edge, test reachability.
+            let mut b = bsp_dag::DagBuilder::new();
+            for x in dag.nodes() {
+                b.add_node(dag.work(x), dag.comm(x));
+            }
+            for (a2, b2) in dag.edges() {
+                if (a2, b2) != (u, v) {
+                    b.add_edge(a2, b2).unwrap();
+                }
+            }
+            let without = b.build().unwrap();
+            prop_assert_eq!(contractable, !reaches(&without, u, v));
+        }
+    }
+}

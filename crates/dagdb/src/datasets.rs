@@ -1,0 +1,322 @@
+//! Dataset assembly (Appendix B.3).
+//!
+//! The paper builds size-stratified test sets:
+//!
+//! | set      | node range        | fine-grained content                          |
+//! |----------|-------------------|-----------------------------------------------|
+//! | training | 15 … 1950         | 10 assorted instances                         |
+//! | tiny     | [40, 80]          | 3 positions × 4 generators                    |
+//! | small    | [250, 500]        | 3 positions × (spmv + deep/wide × 3 others)   |
+//! | medium   | [1000, 2000]      | as small                                      |
+//! | large    | [5000, 10000]     | as small                                      |
+//! | huge     | [50000, 100000]   | 1 spmv + 2 each of exp/cg/knn                 |
+//!
+//! plus every coarse-grained trace whose size falls into the interval.
+//! A `scale` factor shrinks the intervals proportionally so the full
+//! experiment pipeline stays laptop-sized; `scale = 1.0` reproduces the
+//! paper's sizes.
+
+use crate::coarse::algorithms::{
+    bicgstab, cg as coarse_cg, k_hop, label_propagation, link_matrix, pagerank, spd_matrix,
+    Iterations,
+};
+use crate::coarse::Ctx;
+use crate::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
+use crate::matrix::SparsePattern;
+use bsp_dag::Dag;
+
+/// A named benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable name, e.g. `fine/cg/deep/mid`.
+    pub name: String,
+    /// The computational DAG.
+    pub dag: Dag,
+}
+
+/// The five evaluation datasets plus the training set size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// `n ∈ [40, 80]` (× scale).
+    Tiny,
+    /// `n ∈ [250, 500]`.
+    Small,
+    /// `n ∈ [1000, 2000]`.
+    Medium,
+    /// `n ∈ [5000, 10000]`.
+    Large,
+    /// `n ∈ [50000, 100000]`.
+    Huge,
+}
+
+impl DatasetKind {
+    /// Paper node-count interval for this dataset.
+    pub fn interval(self) -> (usize, usize) {
+        match self {
+            DatasetKind::Tiny => (40, 80),
+            DatasetKind::Small => (250, 500),
+            DatasetKind::Medium => (1000, 2000),
+            DatasetKind::Large => (5000, 10000),
+            DatasetKind::Huge => (50000, 100000),
+        }
+    }
+
+    /// All kinds in ascending size order.
+    pub fn all() -> [DatasetKind; 5] {
+        [DatasetKind::Tiny, DatasetKind::Small, DatasetKind::Medium, DatasetKind::Large, DatasetKind::Huge]
+    }
+
+    /// Display name (lowercase, as in the paper).
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Tiny => "tiny",
+            DatasetKind::Small => "small",
+            DatasetKind::Medium => "medium",
+            DatasetKind::Large => "large",
+            DatasetKind::Huge => "huge",
+        }
+    }
+}
+
+/// Grows a generator parameter until the produced DAG lands in
+/// `[lo, hi]`; the generator must be monotone in its parameter. Returns
+/// `None` if the interval cannot be hit (degenerate at tiny scales).
+fn fit<F: Fn(usize) -> Dag>(lo: usize, hi: usize, start: usize, make: F) -> Option<Dag> {
+    let mut param = start.max(2);
+    let mut best: Option<Dag> = None;
+    for _ in 0..40 {
+        let d = make(param);
+        if d.n() >= lo && d.n() <= hi {
+            return Some(d);
+        }
+        if d.n() > hi {
+            break;
+        }
+        best = Some(d);
+        param = (param as f64 * 1.3).ceil() as usize + 1;
+    }
+    // Fine-tune downward from the overshoot by binary search.
+    let mut lo_p = start.max(2);
+    let mut hi_p = param;
+    for _ in 0..30 {
+        if hi_p <= lo_p + 1 {
+            break;
+        }
+        let mid = (lo_p + hi_p) / 2;
+        let d = make(mid);
+        if d.n() < lo {
+            lo_p = mid;
+        } else if d.n() > hi {
+            hi_p = mid;
+        } else {
+            return Some(d);
+        }
+    }
+    best.filter(|d| d.n() >= lo && d.n() <= hi)
+}
+
+/// Target positions within an interval: beginning, middle, end.
+fn positions(lo: usize, hi: usize) -> [(usize, usize, &'static str); 3] {
+    let third = (hi - lo) / 3;
+    [
+        (lo, lo + third, "begin"),
+        (lo + third, hi - third, "mid"),
+        (hi - third, hi, "end"),
+    ]
+}
+
+/// The 10-instance fine-grained training set (n ranging ≈15…1950 at
+/// `scale = 1`).
+pub fn training_set(scale: f64) -> Vec<Instance> {
+    let s = |n: usize| ((n as f64 * scale).round() as usize).max(4);
+    let mut out = Vec::new();
+    let specs: [(&str, Box<dyn Fn() -> Dag>); 10] = [
+        ("train/spmv/0", Box::new(move || spmv_dag(&SparsePattern::random(s(6), 0.35, 100)))),
+        ("train/spmv/1", Box::new(move || spmv_dag(&SparsePattern::random(s(16), 0.25, 101)))),
+        ("train/spmv/2", Box::new(move || spmv_dag(&SparsePattern::random(s(40), 0.15, 102)))),
+        ("train/exp/0", Box::new(move || exp_dag(&SparsePattern::random(s(8), 0.3, 103), 3))),
+        ("train/exp/1", Box::new(move || exp_dag(&SparsePattern::random(s(20), 0.2, 104), 5))),
+        ("train/cg/0", Box::new(move || cg_dag(&SparsePattern::random_with_diagonal(s(8), 0.3, 105), 2))),
+        ("train/cg/1", Box::new(move || cg_dag(&SparsePattern::random_with_diagonal(s(20), 0.2, 106), 4))),
+        ("train/knn/0", Box::new(move || knn_dag(&SparsePattern::random_with_diagonal(s(12), 0.3, 107), 0, 3))),
+        ("train/knn/1", Box::new(move || knn_dag(&SparsePattern::random_with_diagonal(s(30), 0.15, 108), 0, 5))),
+        ("train/exp/2", Box::new(move || exp_dag(&SparsePattern::random(s(32), 0.12, 109), 8))),
+    ];
+    for (name, make) in specs {
+        out.push(Instance { name: name.to_string(), dag: make() });
+    }
+    out
+}
+
+/// Builds a dataset at the given scale (`1.0` = paper sizes). Fully
+/// deterministic for a fixed `(kind, scale)`.
+pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
+    let (lo_raw, hi_raw) = kind.interval();
+    let lo = ((lo_raw as f64 * scale).round() as usize).max(8);
+    let hi = ((hi_raw as f64 * scale).round() as usize).max(lo + 8);
+    let mut out = Vec::new();
+
+    if kind == DatasetKind::Huge {
+        // 1 spmv + 2 each of exp/cg/knn + coarse traces in range.
+        let mid = (lo + hi) / 2;
+        push_fit(&mut out, "fine/spmv/huge", lo, hi, mid / 40, |n| {
+            spmv_dag(&SparsePattern::random(n, 18.0 / n as f64, 900))
+        });
+        for (i, k) in [4usize, 10].iter().enumerate() {
+            let k = *k;
+            push_fit(&mut out, &format!("fine/exp/huge{i}"), lo, hi, mid / (30 * k), move |n| {
+                exp_dag(&SparsePattern::random(n, 12.0 / n as f64, 901 + i as u64), k)
+            });
+            push_fit(&mut out, &format!("fine/cg/huge{i}"), lo, hi, mid / (80 * k), move |n| {
+                cg_dag(&SparsePattern::random_with_diagonal(n, 8.0 / n as f64, 903 + i as u64), k)
+            });
+            push_fit(&mut out, &format!("fine/knn/huge{i}"), lo, hi, mid / (20 * k), move |n| {
+                knn_dag(&SparsePattern::random_with_diagonal(n, 14.0 / n as f64, 905 + i as u64), 0, k)
+            });
+        }
+        out.extend(coarse_in_range(lo, hi, scale));
+        return out;
+    }
+
+    for (plo, phi, pos) in positions(lo, hi) {
+        // spmv: one instance per position.
+        push_fit(&mut out, &format!("fine/spmv/{pos}"), plo, phi, plo / 30 + 2, move |n| {
+            spmv_dag(&SparsePattern::random(n, (10.0 / n as f64).min(0.5), 200))
+        });
+        // exp/cg/knn: deep and wide variants (tiny: only wide, matching the
+        // paper's 12-instance tiny set).
+        let variants: &[(&str, usize)] =
+            if kind == DatasetKind::Tiny { &[("wide", 2)] } else { &[("wide", 2), ("deep", 6)] };
+        for &(variant, k) in variants {
+            push_fit(&mut out, &format!("fine/exp/{variant}/{pos}"), plo, phi, 3, move |n| {
+                exp_dag(&SparsePattern::random(n, (6.0 / n as f64).min(0.5), 300), k)
+            });
+            push_fit(&mut out, &format!("fine/cg/{variant}/{pos}"), plo, phi, 3, move |n| {
+                cg_dag(&SparsePattern::random_with_diagonal(n, (4.0 / n as f64).min(0.5), 400), k)
+            });
+            push_fit(&mut out, &format!("fine/knn/{variant}/{pos}"), plo, phi, 3, move |n| {
+                knn_dag(
+                    &SparsePattern::random_with_diagonal(n, (8.0 / n as f64).min(0.6), 500),
+                    0,
+                    k + 1,
+                )
+            });
+        }
+    }
+    out.extend(coarse_in_range(lo, hi, scale));
+    out
+}
+
+fn push_fit<F: Fn(usize) -> Dag>(out: &mut Vec<Instance>, name: &str, lo: usize, hi: usize, start: usize, make: F) {
+    if let Some(dag) = fit(lo, hi, start, make) {
+        out.push(Instance { name: name.to_string(), dag });
+    }
+}
+
+/// All coarse-grained traces whose extracted DAG size lies in `[lo, hi]`.
+fn coarse_in_range(lo: usize, hi: usize, scale: f64) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for (name, dag) in coarse_catalog(scale) {
+        if dag.n() >= lo && dag.n() <= hi {
+            out.push(Instance { name, dag });
+        }
+    }
+    out
+}
+
+/// The catalogue of coarse-grained traces, generated at several problem
+/// sizes (mirroring the paper's GraphBLAS extraction over many inputs).
+fn coarse_catalog(scale: f64) -> Vec<(String, Dag)> {
+    let mut out = Vec::new();
+    let sizes = [8usize, 16, 32, 64, 128];
+    for (si, &base) in sizes.iter().enumerate() {
+        let n = ((base as f64 * scale.max(0.05).sqrt()) as usize).max(4);
+        let seed = 700 + si as u64;
+        // CG: fixed 3 iterations and until convergence.
+        for (label, iters) in
+            [("it3", Iterations::Fixed(3)), ("conv", Iterations::Converge(1e-8, 25))]
+        {
+            let ctx = Ctx::new();
+            let a = spd_matrix(&ctx, n, 0.2, seed);
+            let b = ctx.vector(vec![1.0; n]);
+            coarse_cg(&ctx, &a, &b, iters);
+            out.push((format!("coarse/cg/{label}/{n}"), ctx.extract_dag()));
+
+            let ctx = Ctx::new();
+            let a = spd_matrix(&ctx, n, 0.2, seed + 40);
+            let b = ctx.vector(vec![1.0; n]);
+            bicgstab(&ctx, &a, &b, iters);
+            out.push((format!("coarse/bicgstab/{label}/{n}"), ctx.extract_dag()));
+
+            let ctx = Ctx::new();
+            let m = link_matrix(&ctx, n, 0.2, seed + 80);
+            pagerank(&ctx, &m, iters);
+            out.push((format!("coarse/pagerank/{label}/{n}"), ctx.extract_dag()));
+
+            let ctx = Ctx::new();
+            let m = link_matrix(&ctx, n, 0.2, seed + 120);
+            label_propagation(&ctx, &m, iters);
+            out.push((format!("coarse/labelprop/{label}/{n}"), ctx.extract_dag()));
+        }
+        let ctx = Ctx::new();
+        let m = link_matrix(&ctx, n, 0.15, seed + 160);
+        k_hop(&ctx, &m, 3);
+        out.push((format!("coarse/khop/3/{n}"), ctx.extract_dag()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_set_has_ten_instances() {
+        let t = training_set(0.5);
+        assert_eq!(t.len(), 10);
+        for i in &t {
+            assert!(i.dag.n() >= 4, "{} too small", i.name);
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_sizes_in_interval() {
+        let d = dataset(DatasetKind::Tiny, 1.0);
+        assert!(d.len() >= 10, "tiny should have ~12 fine + coarse, got {}", d.len());
+        for i in &d {
+            assert!(
+                i.dag.n() >= 40 && i.dag.n() <= 80,
+                "{}: n = {} outside [40, 80]",
+                i.name,
+                i.dag.n()
+            );
+        }
+    }
+
+    #[test]
+    fn small_dataset_has_deep_and_wide_variants() {
+        let d = dataset(DatasetKind::Small, 0.3);
+        let names: Vec<&str> = d.iter().map(|i| i.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("deep")));
+        assert!(names.iter().any(|n| n.contains("wide")));
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = dataset(DatasetKind::Tiny, 0.5);
+        let b = dataset(DatasetKind::Tiny, 0.5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.dag, y.dag);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_instances() {
+        let full = dataset(DatasetKind::Small, 0.4);
+        let half = dataset(DatasetKind::Small, 0.2);
+        let avg = |v: &[Instance]| v.iter().map(|i| i.dag.n()).sum::<usize>() / v.len().max(1);
+        assert!(avg(&half) < avg(&full));
+    }
+}

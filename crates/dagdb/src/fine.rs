@@ -1,0 +1,295 @@
+//! Fine-grained computational DAG generators (Appendix B.2).
+//!
+//! Each generator mirrors the paper's tool: given a sparse pattern `A`,
+//! it emits the scalar-operation DAG of the kernel, with one node per
+//! nonzero input element and one node per produced scalar (multiply-and-
+//! accumulate fused per output, as in Figure 2).
+
+use crate::matrix::SparsePattern;
+use crate::weights::build_with_db_weights;
+use bsp_dag::{Dag, NodeId};
+
+/// `spmv`: one multiplication of the sparse matrix with a dense vector.
+/// Nodes: every nonzero `A[i,j]`, every `u[j]`, and one output node per
+/// non-empty row combining `{A[i,j], u[j]}`.
+pub fn spmv_dag(a: &SparsePattern) -> Dag {
+    let n = a.n();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next = 0 as NodeId;
+    // u[j] nodes.
+    let u: Vec<NodeId> = (0..n).map(|_| post_inc(&mut next)).collect();
+    // A[i,j] nodes.
+    let mut a_nodes = Vec::with_capacity(a.nnz());
+    for i in 0..n {
+        for &j in a.row(i) {
+            a_nodes.push((i, j, post_inc(&mut next)));
+        }
+    }
+    // Output nodes per non-empty row.
+    let mut row_out = vec![None; n];
+    for i in 0..n {
+        if !a.row(i).is_empty() {
+            row_out[i] = Some(post_inc(&mut next));
+        }
+    }
+    for &(i, j, an) in &a_nodes {
+        let out = row_out[i].unwrap();
+        edges.push((an, out));
+        edges.push((u[j as usize], out));
+    }
+    build_with_db_weights(next as usize, &edges)
+}
+
+/// `exp`: the iterated product `A^k · u` computed as `k` consecutive spmv
+/// operations; the `A[i,j]` nodes feed every iteration.
+pub fn exp_dag(a: &SparsePattern, k: usize) -> Dag {
+    let n = a.n();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next = 0 as NodeId;
+    let mut u: Vec<NodeId> = (0..n).map(|_| post_inc(&mut next)).collect();
+    let mut a_node = std::collections::HashMap::new();
+    for i in 0..n {
+        for &j in a.row(i) {
+            a_node.insert((i as u32, j), post_inc(&mut next));
+        }
+    }
+    for _ in 0..k {
+        let mut newu = Vec::with_capacity(n);
+        for i in 0..n {
+            if a.row(i).is_empty() {
+                // Zero output: a fresh source standing for the zero value.
+                newu.push(post_inc(&mut next));
+                continue;
+            }
+            let out = post_inc(&mut next);
+            for &j in a.row(i) {
+                edges.push((a_node[&(i as u32, j)], out));
+                edges.push((u[j as usize], out));
+            }
+            newu.push(out);
+        }
+        u = newu;
+    }
+    build_with_db_weights(next as usize, &edges)
+}
+
+/// `knn`: `k`-hop pattern propagation from `start` — the iterated product
+/// of `A` with a vector holding a single nonzero, tracking only nonzero
+/// entries (Appendix B.2's GraphBLAS-style k-NN).
+pub fn knn_dag(a: &SparsePattern, start: usize, k: usize) -> Dag {
+    let n = a.n();
+    assert!(start < n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next = 0 as NodeId;
+    let mut a_node = std::collections::HashMap::new();
+    // Lazily created A nodes: only the entries actually touched appear.
+    let mut frontier: Vec<Option<NodeId>> = vec![None; n];
+    frontier[start] = Some(post_inc(&mut next));
+    for _ in 0..k {
+        let mut nextv: Vec<Option<NodeId>> = vec![None; n];
+        for i in 0..n {
+            let touched: Vec<u32> = a
+                .row(i)
+                .iter()
+                .copied()
+                .filter(|&j| frontier[j as usize].is_some())
+                .collect();
+            if touched.is_empty() {
+                continue;
+            }
+            let out = post_inc(&mut next);
+            for j in touched {
+                let an = *a_node.entry((i as u32, j)).or_insert_with(|| post_inc(&mut next));
+                edges.push((an, out));
+                edges.push((frontier[j as usize].unwrap(), out));
+            }
+            nextv[i] = Some(out);
+        }
+        frontier = nextv;
+    }
+    build_with_db_weights(next as usize, &edges)
+}
+
+/// `cg`: `k` iterations of the conjugate gradient method on `A` (pattern
+/// only; the DAG structure does not depend on the numeric values).
+/// Per iteration: `q = A·p`, two dot products, the step size `α`, the
+/// element-wise updates of `x`, `r`, the ratio `β`, and the new direction
+/// `p` — exactly the data flow of the textbook algorithm.
+pub fn cg_dag(a: &SparsePattern, k: usize) -> Dag {
+    let n = a.n();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next = 0 as NodeId;
+    let mut a_node = std::collections::HashMap::new();
+    for i in 0..n {
+        for &j in a.row(i) {
+            a_node.insert((i as u32, j), post_inc(&mut next));
+        }
+    }
+    let mut x: Vec<NodeId> = (0..n).map(|_| post_inc(&mut next)).collect();
+    let mut r: Vec<NodeId> = (0..n).map(|_| post_inc(&mut next)).collect();
+    let mut p: Vec<NodeId> = (0..n).map(|_| post_inc(&mut next)).collect();
+    // rr = r·r carried across iterations.
+    let mut rr = {
+        let d = post_inc(&mut next);
+        for &ri in &r {
+            edges.push((ri, d));
+        }
+        d
+    };
+    for _ in 0..k {
+        // q = A p
+        let mut q = Vec::with_capacity(n);
+        for i in 0..n {
+            if a.row(i).is_empty() {
+                q.push(post_inc(&mut next));
+                continue;
+            }
+            let out = post_inc(&mut next);
+            for &j in a.row(i) {
+                edges.push((a_node[&(i as u32, j)], out));
+                edges.push((p[j as usize], out));
+            }
+            q.push(out);
+        }
+        // pq = p · q
+        let pq = post_inc(&mut next);
+        for i in 0..n {
+            edges.push((p[i], pq));
+            edges.push((q[i], pq));
+        }
+        // alpha = rr / pq
+        let alpha = post_inc(&mut next);
+        edges.push((rr, alpha));
+        edges.push((pq, alpha));
+        // x' = x + alpha p ; r' = r - alpha q
+        let mut x2 = Vec::with_capacity(n);
+        let mut r2 = Vec::with_capacity(n);
+        for i in 0..n {
+            let xi = post_inc(&mut next);
+            edges.push((x[i], xi));
+            edges.push((alpha, xi));
+            edges.push((p[i], xi));
+            x2.push(xi);
+            let ri = post_inc(&mut next);
+            edges.push((r[i], ri));
+            edges.push((alpha, ri));
+            edges.push((q[i], ri));
+            r2.push(ri);
+        }
+        // rr' = r'·r' ; beta = rr'/rr ; p' = r' + beta p
+        let rr2 = post_inc(&mut next);
+        for &ri in &r2 {
+            edges.push((ri, rr2));
+        }
+        let beta = post_inc(&mut next);
+        edges.push((rr2, beta));
+        edges.push((rr, beta));
+        let mut p2 = Vec::with_capacity(n);
+        for i in 0..n {
+            let pi = post_inc(&mut next);
+            edges.push((r2[i], pi));
+            edges.push((beta, pi));
+            edges.push((p[i], pi));
+            p2.push(pi);
+        }
+        x = x2;
+        r = r2;
+        p = p2;
+        rr = rr2;
+    }
+    let _ = x;
+    build_with_db_weights(next as usize, &edges)
+}
+
+fn post_inc(next: &mut NodeId) -> NodeId {
+    let v = *next;
+    *next += 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::analysis::DagStats;
+    use bsp_dag::TopoInfo;
+
+    fn pattern() -> SparsePattern {
+        SparsePattern::random_with_diagonal(12, 0.2, 7)
+    }
+
+    #[test]
+    fn spmv_structure() {
+        // 2x2 example of Figure 2: A = [[a11, 0], [a21, a22]].
+        let a = SparsePattern::from_rows(2, vec![vec![0], vec![0, 1]]);
+        let d = spmv_dag(&a);
+        // nodes: u[0], u[1], A11, A21, A22, out0, out1 = 7.
+        assert_eq!(d.n(), 7);
+        // out0 has indeg 2 (A11, u0); out1 indeg 4.
+        let stats = DagStats::compute(&d);
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.sinks, 2);
+        // spmv DAGs are shallow: longest path is 2 nodes.
+    }
+
+    #[test]
+    fn exp_depth_grows_with_iterations() {
+        let a = pattern();
+        let d1 = exp_dag(&a, 1);
+        let d3 = exp_dag(&a, 3);
+        let s1 = DagStats::compute(&d1);
+        let s3 = DagStats::compute(&d3);
+        assert!(s3.depth > s1.depth);
+        assert!(s3.n > s1.n);
+        // All acyclic by construction.
+        let t = TopoInfo::new(&d3);
+        assert!(bsp_dag::topo::is_topological_order(&d3, &t.order));
+    }
+
+    #[test]
+    fn knn_reaches_out_gradually() {
+        // A path graph: 1-hop reachability from node 0 touches 1 element.
+        let mut rows = vec![Vec::new(); 6];
+        for i in 1..6 {
+            rows[i] = vec![i as u32 - 1];
+        }
+        let a = SparsePattern::from_rows(6, rows);
+        let d1 = knn_dag(&a, 0, 1);
+        let d4 = knn_dag(&a, 0, 4);
+        assert!(d4.n() > d1.n());
+        // Start + (A entry + output) per hop.
+        assert_eq!(d1.n(), 3);
+    }
+
+    #[test]
+    fn knn_empty_frontier_stops() {
+        // No outgoing structure: after one hop nothing is reachable.
+        let a = SparsePattern::from_rows(3, vec![vec![], vec![], vec![]]);
+        let d = knn_dag(&a, 0, 5);
+        assert_eq!(d.n(), 1); // only the start node
+    }
+
+    #[test]
+    fn cg_has_iteration_structure() {
+        let a = pattern();
+        let d2 = cg_dag(&a, 2);
+        let d4 = cg_dag(&a, 4);
+        assert!(d4.n() > d2.n());
+        assert!(DagStats::compute(&d4).depth > DagStats::compute(&d2).depth);
+        // Dot-product nodes make CG much deeper than exp for the same k.
+        let e4 = exp_dag(&a, 4);
+        assert!(DagStats::compute(&d4).depth > DagStats::compute(&e4).depth);
+    }
+
+    #[test]
+    fn db_weights_respected() {
+        let d = cg_dag(&pattern(), 2);
+        for v in d.nodes() {
+            if d.in_degree(v) == 0 {
+                assert_eq!(d.work(v), 1);
+            } else {
+                assert_eq!(d.work(v), d.in_degree(v) as u64 - 1);
+            }
+            assert_eq!(d.comm(v), 1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Computational DAG database (paper §5, Appendix B).
+//!
+//! Two families of instances are provided:
+//!
+//! * **Fine-grained** DAGs ([`fine`]): synthetically generated from a sparse
+//!   matrix nonzero pattern for four algebraic kernels — `spmv`, `exp`
+//!   (iterated spmv), `cg` (conjugate gradient) and `knn` (k-hop
+//!   reachability as iterated pattern spmv). One node per scalar operation,
+//!   exactly as in the paper's Figure 2.
+//! * **Coarse-grained** DAGs ([`coarse`]): extracted by *running* real
+//!   algebraic algorithms (CG, BiCGStab, PageRank, label propagation, k-hop
+//!   reachability) on a miniature GraphBLAS-like algebra whose recording
+//!   backend traces every container-producing primitive into a DAG node —
+//!   the same extraction mechanism as the paper's hyperDAG backend.
+//!
+//! Node weights follow Appendix B: `w(v) = indeg(v) − 1` (sources get 1)
+//! and `c(v) = 1`.
+//!
+//! [`datasets`] reassembles the paper's `training`, `tiny`, `small`,
+//! `medium`, `large` and `huge` test sets from seeded generators, with a
+//! global scale factor for laptop-sized runs.
+
+//! Real-world nonzero patterns can be loaded through the MatrixMarket
+//! reader in [`mmio`] (the "load input matrices from a file" option of
+//! Appendix B.2) and fed to any fine-grained generator.
+
+//! [`structured`] supplies classic structured families (SpTRSV, FFT
+//! butterfly, stencils, broadcast/reduction trees) under the same weight
+//! rule, for workloads beyond the algebraic generators.
+
+pub mod coarse;
+pub mod datasets;
+pub mod fine;
+pub mod matrix;
+pub mod mmio;
+pub mod structured;
+pub mod weights;
+
+pub use datasets::{dataset, training_set, DatasetKind, Instance};
+pub use matrix::SparsePattern;
+pub use mmio::{pattern_from_matrix_market, pattern_to_matrix_market, MmError};

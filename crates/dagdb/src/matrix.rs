@@ -1,0 +1,107 @@
+//! Sparse nonzero patterns for the fine-grained generators (Appendix B.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An `n × n` sparse nonzero pattern stored as row lists of column indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePattern {
+    n: usize,
+    rows: Vec<Vec<u32>>,
+}
+
+impl SparsePattern {
+    /// Random pattern: every entry is nonzero independently with
+    /// probability `q` (paper's generator). Deterministic per `seed`.
+    pub fn random(n: usize, q: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..n)
+            .map(|_| (0..n as u32).filter(|_| rng.gen_bool(q)).collect())
+            .collect();
+        SparsePattern { n, rows }
+    }
+
+    /// Like [`SparsePattern::random`] but with a guaranteed nonzero
+    /// diagonal — used where a non-singular system matters (CG) and to make
+    /// k-hop patterns cumulative.
+    pub fn random_with_diagonal(n: usize, q: f64, seed: u64) -> Self {
+        let mut m = Self::random(n, q, seed);
+        for (i, row) in m.rows.iter_mut().enumerate() {
+            if !row.contains(&(i as u32)) {
+                row.push(i as u32);
+                row.sort_unstable();
+            }
+        }
+        m
+    }
+
+    /// Builds from explicit row lists (for loading real matrices).
+    ///
+    /// # Panics
+    /// Panics if any column index is out of range.
+    pub fn from_rows(n: usize, rows: Vec<Vec<u32>>) -> Self {
+        assert_eq!(rows.len(), n);
+        for r in &rows {
+            assert!(r.iter().all(|&c| (c as usize) < n));
+        }
+        let rows = rows
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        SparsePattern { n, rows }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Column indices of the nonzeros in row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.rows[i]
+    }
+
+    /// Total number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_density_plausible() {
+        let a = SparsePattern::random(50, 0.2, 9);
+        let b = SparsePattern::random(50, 0.2, 9);
+        assert_eq!(a, b);
+        let density = a.nnz() as f64 / (50.0 * 50.0);
+        assert!((0.1..0.3).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn diagonal_guaranteed() {
+        let a = SparsePattern::random_with_diagonal(30, 0.05, 3);
+        for i in 0..30 {
+            assert!(a.row(i).contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let m = SparsePattern::from_rows(3, vec![vec![2, 0, 2], vec![], vec![1]]);
+        assert_eq!(m.row(0), &[0, 2]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        SparsePattern::from_rows(2, vec![vec![5], vec![]]);
+    }
+}

@@ -1,0 +1,276 @@
+//! MatrixMarket coordinate-format I/O for [`SparsePattern`].
+//!
+//! Appendix B.2 notes that the fine-grained generator "also has the option
+//! to load input matrices (i.e. nonzero patterns) from a file"; this module
+//! provides that option. The supported subset is the ubiquitous
+//! `%%MatrixMarket matrix coordinate <field> <symmetry>` header with fields
+//! `pattern`, `real` or `integer` (values are ignored — only the nonzero
+//! *pattern* matters for DAG generation) and symmetries `general` or
+//! `symmetric` (symmetric entries are mirrored).
+//!
+//! Only square matrices are accepted, since every generator in
+//! [`crate::fine`] operates on `N × N` systems.
+
+use crate::matrix::SparsePattern;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing a MatrixMarket stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmError {
+    /// The `%%MatrixMarket` banner is missing or malformed.
+    BadHeader(String),
+    /// Unsupported format/field/symmetry combination.
+    Unsupported(String),
+    /// The size line (rows cols nnz) is missing or malformed.
+    BadSizeLine(String),
+    /// The matrix is not square.
+    NotSquare {
+        /// Parsed row count.
+        rows: usize,
+        /// Parsed column count.
+        cols: usize,
+    },
+    /// A data line could not be parsed or is out of range.
+    BadEntry {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Fewer data lines than the declared nnz.
+    TruncatedData {
+        /// Declared number of entries.
+        expected: usize,
+        /// Entries actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::BadHeader(h) => write!(f, "bad MatrixMarket header: {h}"),
+            MmError::Unsupported(w) => write!(f, "unsupported MatrixMarket variant: {w}"),
+            MmError::BadSizeLine(l) => write!(f, "bad size line: {l}"),
+            MmError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, but generators need a square matrix")
+            }
+            MmError::BadEntry { line, msg } => write!(f, "bad entry on line {line}: {msg}"),
+            MmError::TruncatedData { expected, got } => {
+                write!(f, "expected {expected} entries, found {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// Parses a MatrixMarket *coordinate* stream into a nonzero pattern.
+/// Values of `real`/`integer` matrices are ignored; `symmetric` inputs are
+/// expanded by mirroring every off-diagonal entry.
+pub fn pattern_from_matrix_market(text: &str) -> Result<SparsePattern, MmError> {
+    let mut lines = text.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MmError::BadHeader("empty input".into()))?;
+    let tokens: Vec<String> =
+        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() != 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(MmError::BadHeader(header.into()));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(MmError::Unsupported(format!("format '{}'", tokens[2])));
+    }
+    let field = tokens[3].as_str();
+    if !matches!(field, "pattern" | "real" | "integer") {
+        return Err(MmError::Unsupported(format!("field '{field}'")));
+    }
+    let symmetric = match tokens[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(MmError::Unsupported(format!("symmetry '{other}'"))),
+    };
+    let has_value = field != "pattern";
+
+    // Skip comments/blank lines up to the size line.
+    let size_line = loop {
+        match lines.next() {
+            Some((_, l)) if l.trim_start().starts_with('%') || l.trim().is_empty() => continue,
+            Some((_, l)) => break l,
+            None => return Err(MmError::BadSizeLine("missing".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| MmError::BadSizeLine(size_line.into())))
+        .collect::<Result<_, _>>()?;
+    let [rows, cols, nnz] = dims[..] else {
+        return Err(MmError::BadSizeLine(size_line.into()));
+    };
+    if rows != cols {
+        return Err(MmError::NotSquare { rows, cols });
+    }
+
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); rows];
+    let mut seen = 0usize;
+    for (idx, l) in lines {
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (Some(i), Some(j)) = (it.next(), it.next()) else {
+            return Err(MmError::BadEntry { line: idx + 1, msg: "missing indices".into() });
+        };
+        if has_value && it.next().is_none() {
+            return Err(MmError::BadEntry { line: idx + 1, msg: "missing value".into() });
+        }
+        let parse = |s: &str, what: &str| -> Result<usize, MmError> {
+            s.parse::<usize>()
+                .map_err(|_| MmError::BadEntry { line: idx + 1, msg: format!("bad {what} '{s}'") })
+        };
+        let (i, j) = (parse(i, "row")?, parse(j, "column")?);
+        if i == 0 || j == 0 || i > rows || j > cols {
+            return Err(MmError::BadEntry {
+                line: idx + 1,
+                msg: format!("index ({i}, {j}) out of 1..={rows}"),
+            });
+        }
+        out[i - 1].push((j - 1) as u32);
+        if symmetric && i != j {
+            out[j - 1].push((i - 1) as u32);
+        }
+        seen += 1;
+    }
+    if seen < nnz {
+        return Err(MmError::TruncatedData { expected: nnz, got: seen });
+    }
+    Ok(SparsePattern::from_rows(rows, out))
+}
+
+/// Serializes a pattern as `%%MatrixMarket matrix coordinate pattern
+/// general` with 1-based indices, suitable for [`pattern_from_matrix_market`].
+pub fn pattern_to_matrix_market(p: &SparsePattern) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "%%MatrixMarket matrix coordinate pattern general");
+    let _ = writeln!(s, "% written by bsp-dagdb");
+    let _ = writeln!(s, "{} {} {}", p.n(), p.n(), p.nnz());
+    for i in 0..p.n() {
+        for &j in p.row(i) {
+            let _ = writeln!(s, "{} {}", i + 1, j + 1);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pattern_general() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1\n\
+                    2 3\n\
+                    3 1\n\
+                    3 3\n";
+        let p = pattern_from_matrix_market(text).unwrap();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.row(0), &[0]);
+        assert_eq!(p.row(1), &[2]);
+        assert_eq!(p.row(2), &[0, 2]);
+    }
+
+    #[test]
+    fn parses_real_values_ignoring_them() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 2\n\
+                    1 2 3.5e-2\n\
+                    2 1 -7.0\n";
+        let p = pattern_from_matrix_market(text).unwrap();
+        assert_eq!(p.row(0), &[1]);
+        assert_eq!(p.row(1), &[0]);
+    }
+
+    #[test]
+    fn symmetric_entries_are_mirrored() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 3\n\
+                    2 1\n\
+                    3 2\n\
+                    3 3\n";
+        let p = pattern_from_matrix_market(text).unwrap();
+        assert_eq!(p.row(0), &[1]); // mirror of (2,1)
+        assert_eq!(p.row(1), &[0, 2]);
+        assert_eq!(p.row(2), &[1, 2]); // diagonal not duplicated
+        assert_eq!(p.nnz(), 5);
+    }
+
+    #[test]
+    fn round_trip_preserves_pattern() {
+        let p = SparsePattern::random(25, 0.15, 42);
+        let text = pattern_to_matrix_market(&p);
+        let back = pattern_from_matrix_market(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            pattern_from_matrix_market("%%NotMatrixMarket x y z w\n1 1 0\n"),
+            Err(MmError::BadHeader(_))
+        ));
+        assert!(matches!(pattern_from_matrix_market(""), Err(MmError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_unsupported_variants() {
+        let arr = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        assert!(matches!(pattern_from_matrix_market(arr), Err(MmError::Unsupported(_))));
+        let cpx = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
+        assert!(matches!(pattern_from_matrix_market(cpx), Err(MmError::Unsupported(_))));
+        let skew = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n";
+        assert!(matches!(pattern_from_matrix_market(skew), Err(MmError::Unsupported(_))));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n";
+        assert_eq!(
+            pattern_from_matrix_market(text),
+            Err(MmError::NotSquare { rows: 2, cols: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_zero_indices() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(matches!(pattern_from_matrix_market(text), Err(MmError::BadEntry { .. })));
+        let text2 = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(matches!(pattern_from_matrix_market(text2), Err(MmError::BadEntry { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        assert_eq!(
+            pattern_from_matrix_market(text),
+            Err(MmError::TruncatedData { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn loaded_pattern_feeds_the_generators() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    4 4 7\n\
+                    1 1\n1 2\n2 2\n3 1\n3 3\n4 3\n4 4\n";
+        let p = pattern_from_matrix_market(text).unwrap();
+        let dag = crate::fine::spmv_dag(&p);
+        // spmv: one node per input vector entry used, per nonzero product,
+        // and per row sum — at minimum nnz product nodes exist.
+        assert!(dag.n() >= p.nnz());
+    }
+}

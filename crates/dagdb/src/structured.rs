@@ -1,0 +1,267 @@
+//! Structured computational DAG families beyond the four algebraic
+//! generators of Appendix B.2.
+//!
+//! These complement the database with classic parallel-computing shapes:
+//!
+//! * [`sptrsv_dag`] — fine-grained sparse triangular solve, the native
+//!   workload of the HDagg baseline \[46\]: solving `L·x = b` row by row,
+//!   one node per scalar product and per solved unknown;
+//! * [`butterfly_dag`] — the FFT butterfly of `2^k` points (`k` stages of
+//!   pairwise exchanges), the canonical BSP benchmark circuit;
+//! * [`stencil1d_dag`] — `steps` iterations of a 3-point stencil over a
+//!   line of `width` cells (wavefront-parallel, locality-sensitive);
+//! * [`out_tree_dag`] / [`in_tree_dag`] — complete `arity`-ary
+//!   broadcast/reduction trees.
+//!
+//! All families carry the database weight rule of Appendix B
+//! (`w(v) = indeg − 1`, sources 1, `c(v) = 1`), so they drop into the same
+//! pipelines and experiments as the Appendix B generators.
+
+use crate::matrix::SparsePattern;
+use crate::weights::build_with_db_weights;
+use bsp_dag::{Dag, NodeId};
+
+/// Fine-grained DAG of a sparse lower-triangular solve `L·x = b`.
+///
+/// Only the strictly-lower-triangular nonzeros of `pattern` are used (the
+/// diagonal is implicit — the division by `L_ii` is folded into the node of
+/// `x_i`). Per row `i`: a source for `b_i`, a source per strictly-lower
+/// nonzero `L_ij`, a product node `L_ij · x_j` for each such nonzero, and
+/// the unknown `x_i` combining `b_i` with all products of its row.
+pub fn sptrsv_dag(pattern: &SparsePattern) -> Dag {
+    let n = pattern.n();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next: NodeId = 0;
+    let mut alloc = || {
+        let v = next;
+        next += 1;
+        v
+    };
+    // Allocate x_i and b_i up front so products can reference x_j (j < i).
+    let xs: Vec<NodeId> = (0..n).map(|_| alloc()).collect();
+    let bs: Vec<NodeId> = (0..n).map(|_| alloc()).collect();
+    for i in 0..n {
+        edges.push((bs[i], xs[i]));
+        for &j in pattern.row(i) {
+            let j = j as usize;
+            if j >= i {
+                continue; // strictly lower triangle only
+            }
+            let lij = alloc();
+            let prod = alloc();
+            edges.push((lij, prod));
+            edges.push((xs[j], prod));
+            edges.push((prod, xs[i]));
+        }
+    }
+    build_with_db_weights(next as usize, &edges)
+}
+
+/// The `2^k`-point FFT butterfly: `k` stages; the node for value `i` at
+/// stage `s` combines the stage-`s−1` values of `i` and `i XOR 2^{s−1}`.
+///
+/// # Panics
+/// Panics if `k = 0` or the graph would exceed `u32` node ids.
+pub fn butterfly_dag(k: u32) -> Dag {
+    assert!(k >= 1, "butterfly needs at least one stage");
+    let width = 1usize << k;
+    let total = width * (k as usize + 1);
+    assert!(total <= u32::MAX as usize);
+    let id = |stage: usize, i: usize| (stage * width + i) as NodeId;
+    let mut edges = Vec::with_capacity(2 * width * k as usize);
+    for stage in 1..=k as usize {
+        let flip = 1usize << (stage - 1);
+        for i in 0..width {
+            edges.push((id(stage - 1, i), id(stage, i)));
+            edges.push((id(stage - 1, i ^ flip), id(stage, i)));
+        }
+    }
+    build_with_db_weights(total, &edges)
+}
+
+/// `steps` time steps of a 3-point stencil over `width` cells; cell `(t, i)`
+/// depends on `(t−1, i−1)`, `(t−1, i)`, `(t−1, i+1)` (clamped at the ends).
+///
+/// # Panics
+/// Panics if `width` is 0.
+pub fn stencil1d_dag(width: usize, steps: usize) -> Dag {
+    assert!(width > 0, "stencil needs at least one cell");
+    let id = |t: usize, i: usize| (t * width + i) as NodeId;
+    let mut edges = Vec::new();
+    for t in 1..=steps {
+        for i in 0..width {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(width - 1);
+            for j in lo..=hi {
+                edges.push((id(t - 1, j), id(t, i)));
+            }
+        }
+    }
+    build_with_db_weights(width * (steps + 1), &edges)
+}
+
+/// Complete `arity`-ary out-tree (broadcast) of the given `depth`:
+/// `depth = 0` is a single node.
+///
+/// # Panics
+/// Panics if `arity = 0`.
+pub fn out_tree_dag(depth: u32, arity: u32) -> Dag {
+    assert!(arity >= 1);
+    let mut edges = Vec::new();
+    let mut level: Vec<NodeId> = vec![0];
+    let mut next: NodeId = 1;
+    for _ in 0..depth {
+        let mut below = Vec::with_capacity(level.len() * arity as usize);
+        for &u in &level {
+            for _ in 0..arity {
+                edges.push((u, next));
+                below.push(next);
+                next += 1;
+            }
+        }
+        level = below;
+    }
+    build_with_db_weights(next as usize, &edges)
+}
+
+/// Complete `arity`-ary in-tree (reduction): the edge-reversed
+/// [`out_tree_dag`] with the sink carrying the last reduction.
+pub fn in_tree_dag(depth: u32, arity: u32) -> Dag {
+    let out = out_tree_dag(depth, arity);
+    let n = out.n();
+    let edges: Vec<(NodeId, NodeId)> = out
+        .edges()
+        .map(|(u, v)| (n as NodeId - 1 - v, n as NodeId - 1 - u))
+        .collect();
+    build_with_db_weights(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::topo::is_topological_order;
+    use bsp_dag::TopoInfo;
+
+    fn check_weights(dag: &Dag) {
+        for v in dag.nodes() {
+            if dag.in_degree(v) == 0 {
+                assert_eq!(dag.work(v), 1);
+            } else {
+                assert_eq!(dag.work(v), dag.in_degree(v) as u64 - 1);
+            }
+            assert_eq!(dag.comm(v), 1);
+        }
+        let topo = TopoInfo::new(dag);
+        assert!(is_topological_order(dag, &topo.order));
+    }
+
+    #[test]
+    fn sptrsv_dense_lower_triangle() {
+        // Fully dense 4×4: row i has i strictly-lower nonzeros.
+        let rows = (0..4).map(|i| (0..=i as u32).collect()).collect();
+        let p = SparsePattern::from_rows(4, rows);
+        let dag = sptrsv_dag(&p);
+        check_weights(&dag);
+        // Nodes: 4 x, 4 b, and (L, product) per strictly-lower nonzero (6).
+        assert_eq!(dag.n(), 4 + 4 + 2 * 6);
+        // x_3 depends (transitively) on x_0: the solve is sequential along
+        // the dense chain.
+        let topo = TopoInfo::new(&dag);
+        assert!(topo.depth() >= 4, "depth {}", topo.depth());
+    }
+
+    #[test]
+    fn sptrsv_diagonal_matrix_is_fully_parallel() {
+        let rows = (0..5).map(|i| vec![i as u32]).collect();
+        let p = SparsePattern::from_rows(5, rows);
+        let dag = sptrsv_dag(&p);
+        // No strictly-lower nonzeros: only b_i → x_i pairs.
+        assert_eq!(dag.n(), 10);
+        assert_eq!(dag.m(), 5);
+        let topo = TopoInfo::new(&dag);
+        assert_eq!(topo.depth(), 2);
+    }
+
+    #[test]
+    fn sptrsv_ignores_upper_triangle() {
+        let p = SparsePattern::from_rows(3, vec![vec![0, 2], vec![1], vec![2]]);
+        let dag = sptrsv_dag(&p);
+        // The (0,2) entry is upper-triangular: no products at all.
+        assert_eq!(dag.n(), 6);
+        assert_eq!(dag.m(), 3);
+    }
+
+    #[test]
+    fn butterfly_structure() {
+        let k = 3;
+        let dag = butterfly_dag(k);
+        check_weights(&dag);
+        let width = 1 << k;
+        assert_eq!(dag.n(), width * (k as usize + 1));
+        assert_eq!(dag.m(), 2 * width * k as usize);
+        // Every non-source has exactly two predecessors.
+        for v in dag.nodes() {
+            let d = dag.in_degree(v);
+            assert!(d == 0 || d == 2);
+        }
+        // Depth = k + 1 levels; every sink depends on every source.
+        let topo = TopoInfo::new(&dag);
+        assert_eq!(topo.depth(), k as usize + 1);
+    }
+
+    #[test]
+    fn stencil_interior_has_three_preds() {
+        let dag = stencil1d_dag(6, 3);
+        check_weights(&dag);
+        assert_eq!(dag.n(), 6 * 4);
+        // Interior node of layer 1 (cell 2): preds 1, 2, 3 of layer 0.
+        assert_eq!(dag.in_degree(6 + 2), 3);
+        // Boundary cells have two.
+        assert_eq!(dag.in_degree(6), 2);
+        assert_eq!(dag.in_degree(6 + 5), 2);
+        let topo = TopoInfo::new(&dag);
+        assert_eq!(topo.depth(), 4);
+    }
+
+    #[test]
+    fn trees_mirror_each_other() {
+        let out = out_tree_dag(3, 2);
+        let inn = in_tree_dag(3, 2);
+        check_weights(&out);
+        check_weights(&inn);
+        assert_eq!(out.n(), 15);
+        assert_eq!(inn.n(), 15);
+        assert_eq!(out.sources().len(), 1);
+        assert_eq!(out.sinks().len(), 8);
+        assert_eq!(inn.sources().len(), 8);
+        assert_eq!(inn.sinks().len(), 1);
+        let topo = TopoInfo::new(&inn);
+        assert_eq!(topo.depth(), 4);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(out_tree_dag(0, 3).n(), 1);
+        assert_eq!(stencil1d_dag(1, 0).n(), 1);
+        let b = butterfly_dag(1);
+        assert_eq!(b.n(), 4);
+    }
+
+    #[test]
+    fn structured_families_are_level_schedulable() {
+        // Levels form a valid wavefront decomposition: every edge crosses
+        // to a strictly higher level (the property HDagg and the Source
+        // heuristic rely on).
+        for dag in [
+            sptrsv_dag(&SparsePattern::random_with_diagonal(8, 0.4, 7)),
+            butterfly_dag(3),
+            stencil1d_dag(8, 4),
+            in_tree_dag(3, 2),
+        ] {
+            let topo = TopoInfo::new(&dag);
+            for (u, v) in dag.edges() {
+                assert!(topo.level[u as usize] < topo.level[v as usize]);
+            }
+        }
+    }
+}

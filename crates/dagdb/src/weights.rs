@@ -1,0 +1,40 @@
+//! The database weight rule (Appendix B): `w(v) = indeg(v) − 1` with
+//! sources getting `w = 1` (inputs still cost something to load), and
+//! `c(v) = 1` for every node.
+
+use bsp_dag::{Dag, DagBuilder, NodeId};
+
+/// Builds a [`Dag`] from an edge list over `n` nodes, assigning the
+/// database weights. Panics on cyclic input (the generators only produce
+/// acyclic edge sets).
+pub fn build_with_db_weights(n: usize, edges: &[(NodeId, NodeId)]) -> Dag {
+    let mut indeg = vec![0u64; n];
+    for &(_, v) in edges {
+        indeg[v as usize] += 1;
+    }
+    let mut b = DagBuilder::with_capacity(n, edges.len());
+    for &d in indeg.iter() {
+        let w = if d == 0 { 1 } else { d.saturating_sub(1).max(0) };
+        b.add_node(w, 1);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v).unwrap();
+    }
+    b.build().expect("generator edge sets are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_rule_applied() {
+        // 0, 1 -> 2 ; 2 -> 3.
+        let d = build_with_db_weights(4, &[(0, 2), (1, 2), (2, 3)]);
+        assert_eq!(d.work(0), 1); // source
+        assert_eq!(d.work(1), 1); // source
+        assert_eq!(d.work(2), 1); // indeg 2 - 1
+        assert_eq!(d.work(3), 0); // indeg 1 - 1
+        assert!(d.comm_weights().iter().all(|&c| c == 1));
+    }
+}

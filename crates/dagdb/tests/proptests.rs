@@ -1,0 +1,95 @@
+//! Property tests for the DAG database generators.
+
+use bsp_dagdb::coarse::algorithms::{cg, link_matrix, pagerank, spd_matrix, Iterations};
+use bsp_dagdb::coarse::Ctx;
+use bsp_dagdb::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
+use bsp_dagdb::SparsePattern;
+use bsp_dag::topo::is_topological_order;
+use bsp_dag::TopoInfo;
+use proptest::prelude::*;
+
+fn check_db_invariants(dag: &bsp_dag::Dag) {
+    let topo = TopoInfo::new(dag);
+    assert!(is_topological_order(dag, &topo.order));
+    for v in dag.nodes() {
+        if dag.in_degree(v) == 0 {
+            assert_eq!(dag.work(v), 1, "source weight");
+        } else {
+            assert_eq!(dag.work(v), dag.in_degree(v) as u64 - 1, "indeg-1 rule");
+        }
+        assert_eq!(dag.comm(v), 1);
+    }
+}
+
+proptest! {
+    #[test]
+    fn spmv_invariants(n in 2usize..25, q in 0.05f64..0.6, seed in 0u64..500) {
+        let a = SparsePattern::random(n, q, seed);
+        let d = spmv_dag(&a);
+        check_db_invariants(&d);
+        // spmv is shallow: depth at most 2 node-levels.
+        prop_assert!(TopoInfo::new(&d).depth() <= 2);
+    }
+
+    #[test]
+    fn exp_invariants(n in 2usize..15, q in 0.1f64..0.5, k in 1usize..6, seed in 0u64..500) {
+        let a = SparsePattern::random(n, q, seed);
+        let d = exp_dag(&a, k);
+        check_db_invariants(&d);
+        // Depth grows with k but is bounded by 1 + k levels of outputs.
+        prop_assert!(TopoInfo::new(&d).depth() <= k + 1);
+    }
+
+    #[test]
+    fn knn_invariants(n in 2usize..15, q in 0.1f64..0.5, k in 1usize..6, seed in 0u64..500) {
+        let a = SparsePattern::random_with_diagonal(n, q, seed);
+        let d = knn_dag(&a, 0, k);
+        check_db_invariants(&d);
+    }
+
+    #[test]
+    fn cg_invariants(n in 2usize..10, q in 0.1f64..0.5, k in 1usize..4, seed in 0u64..500) {
+        let a = SparsePattern::random_with_diagonal(n, q, seed);
+        let d = cg_dag(&a, k);
+        check_db_invariants(&d);
+        // CG contains global dot products: at least one node of in-degree n.
+        prop_assert!(d.nodes().any(|v| d.in_degree(v) >= n));
+    }
+
+    /// The recording algebra's traces are always DAGs with DB weights.
+    #[test]
+    fn coarse_traces_valid(n in 3usize..14, q in 0.1f64..0.4, seed in 0u64..300) {
+        let ctx = Ctx::new();
+        let a = spd_matrix(&ctx, n, q, seed);
+        let b = ctx.vector(vec![1.0; n]);
+        cg(&ctx, &a, &b, Iterations::Fixed(2));
+        let d = ctx.extract_dag();
+        check_db_invariants(&d);
+
+        let ctx2 = Ctx::new();
+        let m = link_matrix(&ctx2, n, q, seed);
+        pagerank(&ctx2, &m, Iterations::Fixed(2));
+        check_db_invariants(&ctx2.extract_dag());
+    }
+
+    /// MatrixMarket writer/reader: a lossless round trip for any pattern.
+    #[test]
+    fn matrix_market_round_trip(n in 1usize..30, q in 0.0f64..0.6, seed in 0u64..500) {
+        use bsp_dagdb::{pattern_from_matrix_market, pattern_to_matrix_market};
+        let p = SparsePattern::random(n, q, seed);
+        let text = pattern_to_matrix_market(&p);
+        let back = pattern_from_matrix_market(&text).unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// A pattern loaded from MatrixMarket drives every generator to the
+    /// same DAG as the in-memory pattern.
+    #[test]
+    fn loaded_pattern_generates_identical_dags(n in 2usize..12, q in 0.1f64..0.5, seed in 0u64..200) {
+        use bsp_dagdb::{pattern_from_matrix_market, pattern_to_matrix_market};
+        let p = SparsePattern::random_with_diagonal(n, q, seed);
+        let loaded = pattern_from_matrix_market(&pattern_to_matrix_market(&p)).unwrap();
+        prop_assert_eq!(spmv_dag(&p), spmv_dag(&loaded));
+        prop_assert_eq!(cg_dag(&p, 2), cg_dag(&loaded, 2));
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6–§7, Appendix C). Run with an experiment id:
+//!
+//! ```text
+//! cargo run -p bsp-experiments --release -- table1 [--scale 0.15] [--threads N]
+//! cargo run -p bsp-experiments --release -- all
+//! ```
+//!
+//! Defaults are scaled down (instances and budgets) so a full sweep runs on
+//! a laptop; `--scale 1.0` restores paper-sized instances. Absolute costs
+//! are not comparable with the paper's testbed, but the reported *ratios*
+//! reproduce its comparisons.
+
+mod ablations;
+mod metrics;
+mod runner;
+mod tables;
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut cfg = runner::RunConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("--threads takes an integer");
+            }
+            "--quick" => cfg.quick = true,
+            other if id.is_none() => id = Some(other.to_string()),
+            other => panic!("unexpected argument: {other}"),
+        }
+        i += 1;
+    }
+    let id = id.unwrap_or_else(|| "all".to_string());
+
+    let run = |name: &str| {
+        println!("\n================ {name} ================");
+        match name {
+            "table1" => tables::table1(&cfg),
+            "table2" => tables::table2(&cfg),
+            "table3" => tables::table3_and_14(&cfg),
+            "table4" => tables::table4_and_5(&cfg),
+            "table5" => tables::table4_and_5(&cfg),
+            "table6" => tables::table6(&cfg),
+            "table7" => tables::table7_and_8(&cfg),
+            "table8" => tables::table7_and_8(&cfg),
+            "table9" => tables::table9(&cfg),
+            "table10" => tables::table10(&cfg),
+            "table11" => tables::table11_and_fig7(&cfg),
+            "table12" => tables::table12(&cfg),
+            "table13" => tables::table3_and_14(&cfg),
+            "table14" => tables::table3_and_14(&cfg),
+            "fig5" => tables::fig5(&cfg),
+            "fig6" => tables::fig6(&cfg),
+            "fig7" => tables::table11_and_fig7(&cfg),
+            "trivial" => tables::trivial_counts(&cfg),
+            "ablation" => ablations::all(&cfg),
+            "ablation-ls" => ablations::ablation_local_search(&cfg),
+            "ablation-est" => ablations::ablation_numa_est(&cfg),
+            "ablation-presolve" => ablations::ablation_presolve(&cfg),
+            "ablation-auto" => ablations::ablation_auto(&cfg),
+            "ablation-cluster" => ablations::ablation_cluster(&cfg),
+            other => panic!("unknown experiment id: {other}"),
+        }
+    };
+
+    if id == "all" {
+        // Experiments sharing a sweep are grouped into suites so `all`
+        // computes each sweep exactly once.
+        run("table4"); // + table5 (same jobs)
+        println!("\n================ table1 + fig5 + table6 + table7 + table8 ================");
+        tables::no_numa_suite(&cfg);
+        run("table9");
+        println!("\n================ table2 + table10 ================");
+        tables::numa_base_suite(&cfg);
+        println!("\n================ fig6 + table3/13/14 + trivial ================");
+        tables::numa_ml_suite(&cfg);
+        run("table11"); // + fig7 (same jobs)
+        run("table12");
+        run("ablation");
+    } else {
+        run(&id);
+    }
+}

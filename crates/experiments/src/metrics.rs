@@ -1,0 +1,47 @@
+//! Ratio aggregation (paper §7: geometric means of per-instance cost
+//! ratios).
+
+/// Geometric mean of a slice of positive ratios; 1.0 for an empty slice.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.max(1e-12).ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+/// Ratio `ours / baseline` guarding against a zero baseline.
+pub fn ratio(ours: u64, baseline: u64) -> f64 {
+    ours as f64 / (baseline.max(1)) as f64
+}
+
+/// Percentage cost reduction corresponding to a geometric-mean ratio
+/// (`0.76 -> 24`).
+pub fn reduction_pct(geo: f64) -> i64 {
+    ((1.0 - geo) * 100.0).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[0.25]) - 0.25).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn reduction_examples_from_paper() {
+        // §7.1: mean ratio 0.56 vs Cilk = 44% reduction; 0.76 vs HDagg = 24%.
+        assert_eq!(reduction_pct(0.56), 44);
+        assert_eq!(reduction_pct(0.76), 24);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(5, 0), 5.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Instance evaluation and parallel sweep execution.
+
+use bsp_core::hc::HillClimbConfig;
+use bsp_core::hccs::CommHillClimbConfig;
+use bsp_core::ilp::IlpConfig;
+use bsp_core::multilevel::MultilevelConfig;
+use bsp_core::pipeline::{schedule_dag, schedule_dag_multilevel, PipelineConfig};
+use bsp_baselines::hdagg::HDaggConfig;
+use bsp_baselines::{blest_bsp, cilk_bsp, etf_bsp, hdagg_schedule};
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::trivial::trivial_cost;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Global run options.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Instance-size scale (1.0 = paper sizes).
+    pub scale: f64,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+    /// Smaller parameter grids for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: 0.12,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            quick: false,
+        }
+    }
+}
+
+/// What to compute for an instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Run the ILP stages of the pipeline.
+    pub ilp: bool,
+    /// Run the multilevel scheduler (both coarsening ratios).
+    pub multilevel: bool,
+    /// Also run the BL-EST and ETF baselines.
+    pub list_baselines: bool,
+}
+
+/// All costs measured for one (instance, machine) pair. Baseline schedules
+/// are evaluated under the paper's cost model with lazy Γ; the pipeline
+/// stages use their optimized Γ.
+#[derive(Debug, Clone)]
+pub struct Eval {
+    /// Instance name.
+    pub name: String,
+    /// Node count.
+    pub n: usize,
+    /// Trivial single-processor cost.
+    pub trivial: u64,
+    /// Cilk baseline.
+    pub cilk: u64,
+    /// HDagg baseline.
+    pub hdagg: u64,
+    /// BL-EST baseline (0 if not run).
+    pub blest: u64,
+    /// ETF baseline (0 if not run).
+    pub etf: u64,
+    /// Best initialization cost.
+    pub init: u64,
+    /// After HC + HCcs.
+    pub hc: u64,
+    /// After ILPfull/ILPpart (before ILPcs).
+    pub part: u64,
+    /// Final pipeline cost.
+    pub ours: u64,
+    /// Multilevel with 15% coarsening (0 if not run).
+    pub ml15: u64,
+    /// Multilevel with 30% coarsening (0 if not run).
+    pub ml30: u64,
+}
+
+impl Eval {
+    /// Best multilevel result (`C_opt`): min of the two ratios.
+    pub fn ml_opt(&self) -> u64 {
+        match (self.ml15, self.ml30) {
+            (0, x) | (x, 0) => x,
+            (a, b) => a.min(b),
+        }
+    }
+}
+
+/// Budgets adapted to instance size so sweeps stay laptop-sized.
+pub fn pipeline_config(n: usize, opts: EvalOptions) -> PipelineConfig {
+    let hc_moves = if n <= 600 { 4000 } else { 20_000_000 / n.max(1) };
+    let hc_time = if n <= 2000 { Duration::from_millis(1500) } else { Duration::from_secs(6) };
+    let enable_ilp = opts.ilp && n <= 1500;
+    PipelineConfig {
+        hc: HillClimbConfig { max_moves: Some(hc_moves), time_limit: Some(hc_time) },
+        hccs: CommHillClimbConfig {
+            max_moves: Some(4000),
+            time_limit: Some(Duration::from_millis(800)),
+        },
+        ilp: IlpConfig {
+            full_max_vars: 900,
+            part_target_vars: 400,
+            limits: bsp_ilp_limits(n),
+            part_rounds: 1,
+            use_presolve: true,
+        },
+        enable_ilp,
+        use_ilp_init: Some(false), // run explicitly where tables need it
+        escape: None,
+    }
+}
+
+fn bsp_ilp_limits(n: usize) -> bsp_ilp::SolveLimits {
+    bsp_ilp::SolveLimits {
+        max_nodes: 120,
+        time_limit: Duration::from_millis(if n <= 200 { 900 } else { 400 }),
+        gap: 1e-6,
+    }
+}
+
+/// Evaluates one (dag, machine) pair.
+pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -> Eval {
+    let cilk = lazy_cost(dag, machine, &cilk_bsp(dag, machine, 42));
+    let hdagg = lazy_cost(dag, machine, &hdagg_schedule(dag, machine, HDaggConfig::default()));
+    let (blest, etf) = if opts.list_baselines {
+        (
+            lazy_cost(dag, machine, &blest_bsp(dag, machine)),
+            lazy_cost(dag, machine, &etf_bsp(dag, machine)),
+        )
+    } else {
+        (0, 0)
+    };
+    let cfg = pipeline_config(dag.n(), opts);
+    let r = schedule_dag(dag, machine, &cfg);
+
+    let (ml15, ml30) = if opts.multilevel && dag.n() >= 20 {
+        let ml_cost = |ratio: f64| {
+            let ml = MultilevelConfig { ratios: vec![ratio], ..Default::default() };
+            schedule_dag_multilevel(dag, machine, &cfg, &ml).cost
+        };
+        (ml_cost(0.15), ml_cost(0.3))
+    } else {
+        (0, 0)
+    };
+
+    Eval {
+        name: name.to_string(),
+        n: dag.n(),
+        trivial: trivial_cost(dag, machine),
+        cilk,
+        hdagg,
+        blest,
+        etf,
+        init: r.init_cost,
+        hc: r.hc_cost,
+        part: r.part_cost,
+        ours: r.cost,
+        ml15,
+        ml30,
+    }
+}
+
+/// Runs `f` over `jobs` on `threads` workers, preserving job order in the
+/// output.
+pub fn parallel_map<T, R, F>(threads: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = jobs.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                **slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter().map(|r| r.expect("worker completed every job")).collect()
+}

@@ -1,0 +1,246 @@
+//! MILP model representation.
+
+use std::fmt;
+
+/// Variable handle into a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable inside its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        })
+    }
+}
+
+/// A linear constraint `Σ coeff·var  sense  rhs`. Terms are stored sparsely.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse terms `(variable, coefficient)`.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation between expression and right-hand side.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A mixed-integer linear program. The objective is always **minimized**.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    integer: Vec<bool>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and objective
+    /// coefficient `obj`.
+    pub fn add_continuous(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
+        debug_assert!(lower <= upper, "empty variable domain");
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.integer.push(false);
+        self.objective.push(obj);
+        VarId(self.lower.len() - 1)
+    }
+
+    /// Adds an integer variable with bounds `[lower, upper]`.
+    pub fn add_integer(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
+        let v = self.add_continuous(lower, upper, obj);
+        self.integer[v.0] = true;
+        v
+    }
+
+    /// Adds a binary (`{0, 1}`) variable.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_integer(0.0, 1.0, obj)
+    }
+
+    /// Adds the constraint `Σ terms  sense  rhs`. Duplicate variables in
+    /// `terms` are merged.
+    pub fn add_constraint(&mut self, mut terms: Vec<(VarId, f64)>, sense: Sense, rhs: f64) {
+        terms.sort_by_key(|&(v, _)| v);
+        terms.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        terms.retain(|&(_, c)| c != 0.0);
+        self.constraints.push(Constraint { terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Lower bound of `v`.
+    pub fn lower(&self, v: VarId) -> f64 {
+        self.lower[v.0]
+    }
+
+    /// Upper bound of `v`.
+    pub fn upper(&self, v: VarId) -> f64 {
+        self.upper[v.0]
+    }
+
+    /// Whether `v` is integer-constrained.
+    pub fn is_integer(&self, v: VarId) -> bool {
+        self.integer[v.0]
+    }
+
+    /// Objective coefficient of `v`.
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.objective[v.0]
+    }
+
+    /// Tightens the bounds of `v` (used by branch and bound).
+    pub fn set_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        self.lower[v.0] = lower;
+        self.upper[v.0] = upper;
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Raw bound slices `(lower, upper)`.
+    pub fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lower, &self.upper)
+    }
+
+    /// Objective value of the point `x`.
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Whether `x` satisfies all constraints, bounds, and integrality within
+    /// tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars() {
+            return false;
+        }
+        for i in 0..self.n_vars() {
+            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+                return false;
+            }
+            if self.integer[i] && (x[i] - x[i].round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, coef)| coef * x[v.0]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Indices of all integer variables whose value in `x` is fractional
+    /// beyond `tol`.
+    pub fn fractional_vars(&self, x: &[f64], tol: f64) -> Vec<VarId> {
+        (0..self.n_vars())
+            .filter(|&i| self.integer[i] && (x[i] - x[i].round()).abs() > tol)
+            .map(VarId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_and_bounds() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 5.0, 1.0);
+        let y = m.add_binary(-2.0);
+        assert_eq!(m.n_vars(), 2);
+        assert!(!m.is_integer(x));
+        assert!(m.is_integer(y));
+        assert_eq!(m.upper(y), 1.0);
+        m.set_bounds(y, 1.0, 1.0);
+        assert_eq!(m.lower(y), 1.0);
+    }
+
+    #[test]
+    fn constraint_merging() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 0.0);
+        m.add_constraint(vec![(x, 1.0), (x, 2.0)], Sense::Le, 4.0);
+        assert_eq!(m.constraints()[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 0.0);
+        let y = m.add_continuous(0.0, 1.0, 0.0);
+        m.add_constraint(vec![(x, 1.0), (y, 0.0)], Sense::Ge, 0.5);
+        assert_eq!(m.constraints()[0].terms.len(), 1);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut m = Model::new();
+        let x = m.add_binary(0.0);
+        let y = m.add_continuous(0.0, 2.0, 0.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 1.5);
+        assert!(m.is_feasible(&[1.0, 0.5], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[1.0, 1.0], 1e-9)); // equality violated
+        assert!(!m.is_feasible(&[1.0, 3.0], 1e-9)); // bound violated
+        assert_eq!(m.fractional_vars(&[0.5, 0.5], 1e-9), vec![VarId(0)]);
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let mut m = Model::new();
+        let _x = m.add_continuous(0.0, 1.0, 2.0);
+        let _y = m.add_continuous(0.0, 1.0, -3.0);
+        assert_eq!(m.eval_objective(&[1.0, 2.0]), 2.0 - 6.0);
+    }
+}

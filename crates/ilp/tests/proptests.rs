@@ -1,0 +1,114 @@
+//! Property tests: the MILP solver against exhaustive search on random
+//! small binary programs, and LP relaxation sanity.
+
+use bsp_ilp::{Model, Sense, SolveLimits};
+use bsp_ilp::simplex::{solve_lp, LpStatus};
+use bsp_ilp::MipStatus;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomBinaryProgram {
+    objective: Vec<i8>,
+    rows: Vec<(Vec<(usize, i8)>, u8, i8)>, // (terms, sense 0/1/2, rhs)
+}
+
+fn arb_program() -> impl Strategy<Value = RandomBinaryProgram> {
+    let n = 3usize..8;
+    n.prop_flat_map(|n| {
+        let obj = proptest::collection::vec(-9i8..10, n);
+        let row = (
+            proptest::collection::vec((0..n, -4i8..5), 1..=n),
+            0u8..3,
+            -3i8..7,
+        );
+        let rows = proptest::collection::vec(row, 1..5);
+        (obj, rows).prop_map(|(objective, rows)| RandomBinaryProgram { objective, rows })
+    })
+}
+
+fn build(p: &RandomBinaryProgram) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = p.objective.iter().map(|&c| m.add_binary(c as f64)).collect();
+    for (terms, sense, rhs) in &p.rows {
+        let sense = match sense {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        let t: Vec<_> = terms.iter().map(|&(i, c)| (vars[i], c as f64)).collect();
+        m.add_constraint(t, sense, *rhs as f64);
+    }
+    m
+}
+
+fn brute_force(m: &Model) -> Option<f64> {
+    let n = m.n_vars();
+    let mut best: Option<f64> = None;
+    for mask in 0..(1u32 << n) {
+        let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+        if m.is_feasible(&x, 1e-9) {
+            let obj = m.eval_objective(&x);
+            best = Some(best.map_or(obj, |b| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_matches_brute_force(p in arb_program()) {
+        let m = build(&p);
+        let limits = SolveLimits {
+            max_nodes: 50_000,
+            time_limit: std::time::Duration::from_secs(30),
+            gap: 1e-9,
+        };
+        let sol = m.solve(None, &limits);
+        match brute_force(&m) {
+            None => prop_assert_eq!(sol.status, MipStatus::Infeasible),
+            Some(opt) => {
+                prop_assert_eq!(sol.status, MipStatus::Optimal);
+                prop_assert!((sol.objective - opt).abs() < 1e-5,
+                    "solver {} vs brute force {opt}", sol.objective);
+                prop_assert!(m.is_feasible(&sol.x, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_mip(p in arb_program()) {
+        let m = build(&p);
+        let lp = solve_lp(&m);
+        if lp.status != LpStatus::Optimal {
+            return Ok(());
+        }
+        if let Some(opt) = brute_force(&m) {
+            prop_assert!(lp.objective <= opt + 1e-6,
+                "LP bound {} above integer optimum {opt}", lp.objective);
+        }
+    }
+
+    #[test]
+    fn warm_start_respected(p in arb_program()) {
+        let m = build(&p);
+        let Some(opt) = brute_force(&m) else { return Ok(()) };
+        // Find any feasible point to use as a warm start.
+        let n = m.n_vars();
+        let warm = (0..(1u32 << n)).find_map(|mask| {
+            let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+            m.is_feasible(&x, 1e-9).then_some(x)
+        }).unwrap();
+        let warm_obj = m.eval_objective(&warm);
+        // Zero budget: solver must return at least the warm start.
+        let tight = SolveLimits {
+            max_nodes: 1,
+            time_limit: std::time::Duration::from_millis(50),
+            gap: 1e-9,
+        };
+        let sol = m.solve(Some(&warm), &tight);
+        prop_assert!(sol.objective <= warm_obj + 1e-9);
+        prop_assert!(sol.objective >= opt - 1e-6);
+    }
+}

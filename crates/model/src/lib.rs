@@ -1,0 +1,29 @@
+//! BSP machine model with NUMA extensions (paper §3.2, §3.4).
+//!
+//! A machine is described by:
+//!
+//! * `P` — the number of processors,
+//! * `g` — time cost of sending one unit of data between processors,
+//! * `ℓ` — fixed latency overhead charged per superstep,
+//! * optionally a NUMA coefficient matrix `λ[p1][p2]` multiplying the
+//!   per-unit cost of traffic between each concrete processor pair.
+//!
+//! The uniform (NUMA-free) case is `λ[p1][p2] = 1` for `p1 ≠ p2` and `0` on
+//! the diagonal. The paper's NUMA experiments use a binary-tree hierarchy
+//! where the coefficient grows by a factor `Δ` per level crossed
+//! ([`NumaTopology::binary_tree`]).
+//!
+//! ```
+//! use bsp_model::{BspParams, NumaTopology};
+//!
+//! let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 3));
+//! assert_eq!(machine.lambda(0, 1), 1); // siblings
+//! assert_eq!(machine.lambda(0, 2), 3); // one level up
+//! assert_eq!(machine.lambda(0, 7), 9); // across the root
+//! ```
+
+pub mod numa;
+pub mod params;
+
+pub use numa::NumaTopology;
+pub use params::BspParams;

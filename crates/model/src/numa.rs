@@ -1,0 +1,318 @@
+//! NUMA coefficient matrices (paper §3.4).
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric per-pair communication coefficient matrix `λ[p1][p2]`.
+///
+/// Coefficients multiply the per-unit communication cost between the given
+/// processor pair in both the send and the receive cost of the h-relation.
+/// The diagonal is always 0 (local data needs no transfer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumaTopology {
+    p: usize,
+    /// Row-major `p × p` coefficient matrix.
+    lambda: Vec<u64>,
+}
+
+impl NumaTopology {
+    /// Uniform topology: `λ = 1` off-diagonal, `0` on the diagonal. This is
+    /// exactly the plain BSP model.
+    pub fn uniform(p: usize) -> Self {
+        let mut lambda = vec![1u64; p * p];
+        for i in 0..p {
+            lambda[i * p + i] = 0;
+        }
+        NumaTopology { p, lambda }
+    }
+
+    /// Binary-tree hierarchy over `p` leaf processors (paper §6): processors
+    /// are leaves of a complete binary tree and the coefficient between two
+    /// processors is `Δ^(h-1)` where `h` is the number of tree levels between
+    /// them (i.e. siblings cost 1, each further level multiplies by `Δ`).
+    ///
+    /// For `p = 8, Δ = 3`: `λ(0,1) = 1`, `λ(0,2) = λ(0,3) = 3`,
+    /// `λ(0,p) = 9` for `p ∈ {4..7}` — matching the paper's example.
+    ///
+    /// # Panics
+    /// Panics unless `p` is a power of two with `p ≥ 2`.
+    pub fn binary_tree(p: usize, delta: u64) -> Self {
+        assert!(p >= 2 && p.is_power_of_two(), "binary tree NUMA needs a power-of-two P >= 2");
+        let mut lambda = vec![0u64; p * p];
+        for a in 0..p {
+            for b in 0..p {
+                if a == b {
+                    continue;
+                }
+                // Number of levels up to the lowest common ancestor:
+                // position of the highest differing bit, 1-based.
+                let diff = a ^ b;
+                let levels = usize::BITS - diff.leading_zeros(); // >= 1
+                lambda[a * p + b] = delta.pow(levels - 1);
+            }
+        }
+        NumaTopology { p, lambda }
+    }
+
+    /// Two-level hierarchy of `sockets × cores_per_socket` processors, the
+    /// most common real-world NUMA shape: cores on the same socket
+    /// communicate at coefficient 1, cores on different sockets at `delta`.
+    /// Unlike [`NumaTopology::binary_tree`], `P` need not be a power of two.
+    ///
+    /// # Panics
+    /// Panics if either dimension is 0.
+    pub fn two_level(sockets: usize, cores_per_socket: usize, delta: u64) -> Self {
+        assert!(sockets >= 1 && cores_per_socket >= 1, "dimensions must be positive");
+        let p = sockets * cores_per_socket;
+        let mut lambda = vec![0u64; p * p];
+        for a in 0..p {
+            for b in 0..p {
+                if a == b {
+                    continue;
+                }
+                lambda[a * p + b] =
+                    if a / cores_per_socket == b / cores_per_socket { 1 } else { delta };
+            }
+        }
+        NumaTopology { p, lambda }
+    }
+
+    /// Ring interconnect: `λ(a, b)` is the hop distance around a ring of
+    /// `p` processors (1 for neighbours, up to `⌊p/2⌋` across).
+    ///
+    /// # Panics
+    /// Panics for `p < 2`.
+    pub fn ring(p: usize) -> Self {
+        assert!(p >= 2, "a ring needs at least two processors");
+        let mut lambda = vec![0u64; p * p];
+        for a in 0..p {
+            for b in 0..p {
+                if a == b {
+                    continue;
+                }
+                let d = a.abs_diff(b);
+                lambda[a * p + b] = d.min(p - d) as u64;
+            }
+        }
+        NumaTopology { p, lambda }
+    }
+
+    /// 2D mesh interconnect of `rows × cols` processors (row-major ids):
+    /// `λ` is the Manhattan distance between grid positions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is 0.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "dimensions must be positive");
+        let p = rows * cols;
+        let mut lambda = vec![0u64; p * p];
+        for a in 0..p {
+            for b in 0..p {
+                if a == b {
+                    continue;
+                }
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                lambda[a * p + b] = (ar.abs_diff(br) + ac.abs_diff(bc)) as u64;
+            }
+        }
+        NumaTopology { p, lambda }
+    }
+
+    /// Builds a topology from an explicit row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `p × p`, not symmetric, or has a nonzero
+    /// diagonal.
+    pub fn explicit(p: usize, lambda: Vec<u64>) -> Self {
+        assert_eq!(lambda.len(), p * p, "matrix must be p*p");
+        for a in 0..p {
+            assert_eq!(lambda[a * p + a], 0, "diagonal must be zero");
+            for b in 0..p {
+                assert_eq!(lambda[a * p + b], lambda[b * p + a], "matrix must be symmetric");
+            }
+        }
+        NumaTopology { p, lambda }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Coefficient for the ordered pair `(from, to)`.
+    #[inline]
+    pub fn lambda(&self, from: usize, to: usize) -> u64 {
+        self.lambda[from * self.p + to]
+    }
+
+    /// Mean coefficient over *all* ordered pairs `Σλ / P²`, used by the
+    /// NUMA-aware EST computation of the baselines (Appendix A.1).
+    pub fn mean_lambda(&self) -> f64 {
+        self.lambda.iter().sum::<u64>() as f64 / (self.p * self.p) as f64
+    }
+
+    /// Mean coefficient over ordered pairs with `p1 ≠ p2`. Equals 1 for the
+    /// uniform topology, which makes it the natural NUMA generalization of
+    /// the baselines' `g·c(v)` communication delay (Appendix A.1). Returns 0
+    /// for a single processor.
+    pub fn mean_lambda_offdiag(&self) -> f64 {
+        if self.p < 2 {
+            return 0.0;
+        }
+        self.lambda.iter().sum::<u64>() as f64 / (self.p * (self.p - 1)) as f64
+    }
+
+    /// Largest coefficient in the matrix.
+    pub fn max_lambda(&self) -> u64 {
+        self.lambda.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True if the topology equals [`NumaTopology::uniform`].
+    pub fn is_uniform(&self) -> bool {
+        *self == NumaTopology::uniform(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix() {
+        let t = NumaTopology::uniform(4);
+        assert_eq!(t.lambda(0, 0), 0);
+        assert_eq!(t.lambda(0, 3), 1);
+        assert!(t.is_uniform());
+        assert_eq!(t.max_lambda(), 1);
+    }
+
+    #[test]
+    fn binary_tree_matches_paper_example() {
+        // Paper §6: P=8, Δ=3 -> λ(1,2)=1, λ(1,p)=3 for p in {3,4}, λ(1,p)=9
+        // for p in {5..8} (1-indexed). Our processors are 0-indexed.
+        let t = NumaTopology::binary_tree(8, 3);
+        assert_eq!(t.lambda(0, 1), 1);
+        assert_eq!(t.lambda(0, 2), 3);
+        assert_eq!(t.lambda(0, 3), 3);
+        for p in 4..8 {
+            assert_eq!(t.lambda(0, p), 9);
+        }
+        assert!(!t.is_uniform());
+    }
+
+    #[test]
+    fn binary_tree_is_symmetric_with_zero_diagonal() {
+        for delta in [2u64, 3, 4] {
+            for p in [2usize, 4, 8, 16] {
+                let t = NumaTopology::binary_tree(p, delta);
+                for a in 0..p {
+                    assert_eq!(t.lambda(a, a), 0);
+                    for b in 0..p {
+                        assert_eq!(t.lambda(a, b), t.lambda(b, a));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_max_coefficient() {
+        // P=16, Δ=4: highest level coefficient is Δ^(log2 P - 1) = 4^3 = 64
+        // (paper Appendix C.4 mentions 64 for exactly this setting).
+        let t = NumaTopology::binary_tree(16, 4);
+        assert_eq!(t.max_lambda(), 64);
+        // And P=16, Δ=3 gives 27 (paper §7.3).
+        assert_eq!(NumaTopology::binary_tree(16, 3).max_lambda(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn binary_tree_rejects_non_power_of_two() {
+        NumaTopology::binary_tree(6, 2);
+    }
+
+    #[test]
+    fn explicit_round_trip() {
+        let m = vec![0, 2, 2, 0];
+        let t = NumaTopology::explicit(2, m);
+        assert_eq!(t.lambda(0, 1), 2);
+        assert!((t.mean_lambda() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn explicit_rejects_asymmetric() {
+        NumaTopology::explicit(2, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn mean_lambda_uniform() {
+        let t = NumaTopology::uniform(4);
+        // 12 off-diagonal ones over 16 entries.
+        assert!((t.mean_lambda() - 0.75).abs() < 1e-12);
+        assert!((t.mean_lambda_offdiag() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_lambda_offdiag_tree() {
+        // P=4, Δ=2: pairs at distance 1 cost 1 (4 ordered pairs), distance 2
+        // cost 2 (8 ordered pairs) -> mean = (4*1 + 8*2) / 12 = 20/12.
+        let t = NumaTopology::binary_tree(4, 2);
+        assert!((t.mean_lambda_offdiag() - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_level_sockets() {
+        // 3 sockets × 2 cores (P=6, not a power of two).
+        let t = NumaTopology::two_level(3, 2, 5);
+        assert_eq!(t.p(), 6);
+        assert_eq!(t.lambda(0, 1), 1); // same socket
+        assert_eq!(t.lambda(0, 2), 5); // cross socket
+        assert_eq!(t.lambda(4, 5), 1);
+        assert_eq!(t.lambda(5, 0), 5);
+        for a in 0..6 {
+            assert_eq!(t.lambda(a, a), 0);
+            for b in 0..6 {
+                assert_eq!(t.lambda(a, b), t.lambda(b, a));
+            }
+        }
+        // Two-level with one core per socket and delta=1 is uniform.
+        assert!(NumaTopology::two_level(4, 1, 1).is_uniform());
+    }
+
+    #[test]
+    fn ring_distances_wrap() {
+        let t = NumaTopology::ring(5);
+        assert_eq!(t.lambda(0, 1), 1);
+        assert_eq!(t.lambda(0, 2), 2);
+        assert_eq!(t.lambda(0, 3), 2); // wraps: 0 -> 4 -> 3
+        assert_eq!(t.lambda(0, 4), 1);
+        assert_eq!(t.max_lambda(), 2);
+        // Even ring: the antipode is exactly p/2 away.
+        assert_eq!(NumaTopology::ring(6).lambda(0, 3), 3);
+    }
+
+    #[test]
+    fn grid_manhattan_distances() {
+        // 2×3 grid: ids 0 1 2 / 3 4 5.
+        let t = NumaTopology::grid(2, 3);
+        assert_eq!(t.p(), 6);
+        assert_eq!(t.lambda(0, 1), 1);
+        assert_eq!(t.lambda(0, 3), 1);
+        assert_eq!(t.lambda(0, 4), 2);
+        assert_eq!(t.lambda(0, 5), 3);
+        assert_eq!(t.max_lambda(), 3);
+        // 1×p grid degenerates to a line.
+        assert_eq!(NumaTopology::grid(1, 4).lambda(0, 3), 3);
+    }
+
+    #[test]
+    fn new_topologies_feed_bsp_params() {
+        use crate::BspParams;
+        let m = BspParams::new(6, 2, 5).with_numa(NumaTopology::two_level(3, 2, 4));
+        assert_eq!(m.lambda(0, 2), 4);
+        let m = BspParams::new(6, 1, 5).with_numa(NumaTopology::grid(2, 3));
+        assert_eq!(m.lambda(0, 5), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Machine parameters `(P, g, ℓ)` plus optional NUMA topology.
+
+use crate::numa::NumaTopology;
+use serde::{Deserialize, Serialize};
+
+/// Full description of the target machine (paper §3.2/§3.4): processor
+/// count `P`, per-unit communication cost `g`, per-superstep latency `ℓ`,
+/// and the NUMA coefficient matrix λ (uniform by default).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BspParams {
+    p: usize,
+    g: u64,
+    l: u64,
+    numa: NumaTopology,
+}
+
+impl BspParams {
+    /// Uniform-communication machine with `p` processors, per-unit cost `g`
+    /// and latency `l`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize, g: u64, l: u64) -> Self {
+        assert!(p > 0, "need at least one processor");
+        BspParams { p, g, l, numa: NumaTopology::uniform(p) }
+    }
+
+    /// Replaces the NUMA topology. The topology's processor count must match.
+    ///
+    /// # Panics
+    /// Panics on a processor-count mismatch.
+    pub fn with_numa(mut self, numa: NumaTopology) -> Self {
+        assert_eq!(numa.p(), self.p, "NUMA topology size must match P");
+        self.numa = numa;
+        self
+    }
+
+    /// Number of processors `P`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Per-unit communication cost `g`.
+    #[inline]
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// Per-superstep latency `ℓ`.
+    #[inline]
+    pub fn l(&self) -> u64 {
+        self.l
+    }
+
+    /// NUMA coefficient for the ordered processor pair `(from, to)`.
+    #[inline]
+    pub fn lambda(&self, from: usize, to: usize) -> u64 {
+        self.numa.lambda(from, to)
+    }
+
+    /// The underlying NUMA topology.
+    #[inline]
+    pub fn numa(&self) -> &NumaTopology {
+        &self.numa
+    }
+
+    /// Whether communication costs are uniform (no NUMA effects).
+    pub fn is_uniform(&self) -> bool {
+        self.numa.is_uniform()
+    }
+
+    /// Mean λ over all ordered processor pairs; the baselines' EST rule
+    /// multiplies `c(v)·g` by this (Appendix A.1).
+    pub fn mean_lambda(&self) -> f64 {
+        self.numa.mean_lambda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = BspParams::new(4, 3, 5);
+        assert_eq!(m.p(), 4);
+        assert_eq!(m.g(), 3);
+        assert_eq!(m.l(), 5);
+        assert!(m.is_uniform());
+        assert_eq!(m.lambda(1, 2), 1);
+        assert_eq!(m.lambda(2, 2), 0);
+    }
+
+    #[test]
+    fn with_numa_swaps_topology() {
+        let m = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 2));
+        assert!(!m.is_uniform());
+        assert_eq!(m.lambda(0, 7), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match P")]
+    fn with_numa_rejects_size_mismatch() {
+        let _ = BspParams::new(4, 1, 5).with_numa(NumaTopology::uniform(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_processors_rejected() {
+        BspParams::new(0, 1, 1);
+    }
+}

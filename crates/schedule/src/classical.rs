@@ -1,0 +1,193 @@
+//! Classical (time-indexed) schedules and their conversion to BSP.
+//!
+//! The Cilk, BL-EST and ETF baselines assign nodes to concrete points in
+//! time on a processor. Appendix A.1 describes how such a schedule is
+//! organized into supersteps: scanning forward in time, the current
+//! computation phase must close right before the earliest node `v` that
+//! (i) is not yet assigned to a superstep, (ii) has a direct predecessor
+//! `v0` also not yet assigned, and (iii) has `π(v) ≠ π(v0)` — because `v`
+//! needs data that can only arrive through a communication phase.
+
+use crate::schedule::BspSchedule;
+use bsp_dag::{Dag, NodeId};
+
+/// A schedule in the classical model: each node has a processor and a start
+/// time; it executes for `w(v)` time units without preemption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalSchedule {
+    /// Processor of each node.
+    pub proc: Vec<u32>,
+    /// Start time of each node.
+    pub start: Vec<u64>,
+}
+
+impl ClassicalSchedule {
+    /// Finish time of `v` (`start + w(v)`).
+    pub fn finish(&self, dag: &Dag, v: NodeId) -> u64 {
+        self.start[v as usize] + dag.work(v)
+    }
+
+    /// Makespan (latest finish time; 0 when empty).
+    pub fn makespan(&self, dag: &Dag) -> u64 {
+        dag.nodes().map(|v| self.finish(dag, v)).max().unwrap_or(0)
+    }
+
+    /// Checks the classical validity conditions: nodes on one processor do
+    /// not overlap in time, and every node starts no earlier than each
+    /// predecessor's finish (communication delays are *not* modelled here —
+    /// they appear once converted to BSP).
+    pub fn is_valid(&self, dag: &Dag) -> bool {
+        // Precedence.
+        if !dag.edges().all(|(u, v)| self.finish(dag, u) <= self.start[v as usize]) {
+            return false;
+        }
+        // No overlap per processor.
+        let mut by_proc: Vec<Vec<NodeId>> = Vec::new();
+        for v in dag.nodes() {
+            let p = self.proc[v as usize] as usize;
+            if by_proc.len() <= p {
+                by_proc.resize(p + 1, Vec::new());
+            }
+            by_proc[p].push(v);
+        }
+        for nodes in &mut by_proc {
+            nodes.sort_by_key(|&v| self.start[v as usize]);
+            for w in nodes.windows(2) {
+                if self.finish(dag, w[0]) > self.start[w[1] as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Converts to a BSP assignment by the superstep-slicing rule of
+    /// Appendix A.1. The resulting assignment keeps `π` and satisfies
+    /// [`BspSchedule::respects_precedence_lazy`].
+    pub fn to_bsp(&self, dag: &Dag) -> BspSchedule {
+        let n = dag.n();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&v| (self.start[v as usize], v));
+
+        let mut step = vec![0u32; n];
+        let mut assigned = vec![false; n];
+        let mut superstep = 0u32;
+        let mut i = 0usize;
+        while i < n {
+            // Find the earliest unassigned node with an unassigned
+            // cross-processor predecessor: the barrier time.
+            let mut barrier: Option<u64> = None;
+            for &v in &order[i..] {
+                let needs_comm = dag.predecessors(v).iter().any(|&u| {
+                    !assigned[u as usize] && self.proc[u as usize] != self.proc[v as usize]
+                });
+                if needs_comm {
+                    barrier = Some(self.start[v as usize]);
+                    break;
+                }
+            }
+            match barrier {
+                None => {
+                    for &v in &order[i..] {
+                        step[v as usize] = superstep;
+                        assigned[v as usize] = true;
+                    }
+                    i = n;
+                }
+                Some(t) => {
+                    let mut j = i;
+                    while j < n && self.start[order[j] as usize] < t {
+                        let v = order[j];
+                        step[v as usize] = superstep;
+                        assigned[v as usize] = true;
+                        j += 1;
+                    }
+                    debug_assert!(j > i, "conversion must make progress");
+                    i = j;
+                    superstep += 1;
+                }
+            }
+        }
+        BspSchedule::from_parts(self.proc.clone(), step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::DagBuilder;
+
+    /// Figure-1-like example: two processors, cross dependencies.
+    fn cross() -> Dag {
+        // p0: a(0..2), b(2..4); p1: c(0..3); edges a->c? no -- build:
+        // a -> b (same proc), a -> d (cross), c -> b (cross), c -> d (same).
+        let mut bld = DagBuilder::new();
+        let a = bld.add_node(2, 1);
+        let b = bld.add_node(2, 1);
+        let c = bld.add_node(3, 1);
+        let d = bld.add_node(1, 1);
+        bld.add_edge(a, b).unwrap();
+        bld.add_edge(a, d).unwrap();
+        bld.add_edge(c, b).unwrap();
+        bld.add_edge(c, d).unwrap();
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn classical_validity() {
+        let dag = cross();
+        // a,b on p0; c,d on p1.
+        let s = ClassicalSchedule { proc: vec![0, 0, 1, 1], start: vec![0, 3, 0, 3] };
+        assert!(s.is_valid(&dag));
+        assert_eq!(s.makespan(&dag), 5);
+        // Overlap on p0.
+        let bad = ClassicalSchedule { proc: vec![0, 0, 1, 1], start: vec![0, 1, 0, 3] };
+        assert!(!bad.is_valid(&dag));
+        // Precedence violation: b before a finishes.
+        let bad2 = ClassicalSchedule { proc: vec![0, 1, 1, 1], start: vec![0, 0, 0, 3] };
+        assert!(!bad2.is_valid(&dag));
+    }
+
+    #[test]
+    fn conversion_splits_at_cross_dependencies() {
+        let dag = cross();
+        let s = ClassicalSchedule { proc: vec![0, 0, 1, 1], start: vec![0, 3, 0, 3] };
+        let bsp = s.to_bsp(&dag);
+        // b (on p0) needs c (p1): barrier before start of b and d.
+        assert_eq!(bsp.step(0), 0);
+        assert_eq!(bsp.step(2), 0);
+        assert_eq!(bsp.step(1), 1);
+        assert_eq!(bsp.step(3), 1);
+        assert!(bsp.respects_precedence_lazy(&dag));
+    }
+
+    #[test]
+    fn conversion_keeps_single_superstep_when_local() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node(1, 1);
+        let y = b.add_node(1, 1);
+        b.add_edge(x, y).unwrap();
+        let dag = b.build().unwrap();
+        let s = ClassicalSchedule { proc: vec![0, 0], start: vec![0, 1] };
+        let bsp = s.to_bsp(&dag);
+        assert_eq!(bsp.n_supersteps(), 1);
+    }
+
+    #[test]
+    fn conversion_of_long_alternating_chain() {
+        // Chain alternating processors: every edge forces a new superstep.
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_node(1, 1)).collect();
+        for i in 0..5 {
+            b.add_edge(v[i], v[i + 1]).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let s = ClassicalSchedule {
+            proc: vec![0, 1, 0, 1, 0, 1],
+            start: vec![0, 1, 2, 3, 4, 5],
+        };
+        let bsp = s.to_bsp(&dag);
+        assert_eq!(bsp.n_supersteps(), 6);
+        assert!(bsp.respects_precedence_lazy(&dag));
+    }
+}

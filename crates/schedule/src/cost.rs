@@ -1,0 +1,192 @@
+//! BSP cost evaluation with NUMA effects (paper §3.3–§3.4).
+//!
+//! The cost of superstep `s` is `Cwork(s) + g·Ccomm(s) + ℓ` with
+//!
+//! * `Cwork(s)  = max_p Σ_{π(v)=p, τ(v)=s} w(v)` and
+//! * `Ccomm(s)  = max_p max(Csend(p,s), Crecv(p,s))` where the send/receive
+//!   costs sum `c(v)·λ[p1][p2]` over the Γ entries of the phase (h-relation).
+//!
+//! The latency `ℓ` is charged for every *non-empty* superstep (one that
+//! computes at least one node or carries at least one transfer). After
+//! [`crate::compact`]ion this equals the paper's per-superstep charge, and it
+//! lets local search claim the ℓ saving the moment it empties a superstep.
+
+use crate::comm::CommSchedule;
+use crate::schedule::BspSchedule;
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+
+/// Per-superstep cost components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuperstepCost {
+    /// `Cwork(s)`: maximum work on any processor.
+    pub work: u64,
+    /// `Ccomm(s)`: maximum λ-weighted h-relation entry (before multiplying
+    /// by `g`).
+    pub comm: u64,
+    /// Latency charged (`ℓ` if non-empty, else 0).
+    pub latency: u64,
+}
+
+impl SuperstepCost {
+    /// `Cwork + g·Ccomm + latency` for the machine's `g`.
+    pub fn total(&self, g: u64) -> u64 {
+        self.work + g * self.comm + self.latency
+    }
+}
+
+/// Full cost breakdown of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Total cost of the schedule.
+    pub total: u64,
+    /// Per-superstep components, indexed by superstep.
+    pub per_step: Vec<SuperstepCost>,
+    /// Σ Cwork over supersteps.
+    pub work_total: u64,
+    /// Σ g·Ccomm over supersteps.
+    pub comm_total: u64,
+    /// Σ latency over supersteps.
+    pub latency_total: u64,
+}
+
+/// Evaluates the cost of `(π, τ, Γ)` on `machine`. Does not check validity;
+/// see [`crate::validate`].
+pub fn schedule_cost(
+    dag: &Dag,
+    machine: &BspParams,
+    sched: &BspSchedule,
+    comm: &CommSchedule,
+) -> CostBreakdown {
+    let p = machine.p();
+    let comp_steps = sched.n_supersteps();
+    let comm_steps = comm.max_step().map_or(0, |s| s + 1);
+    let n_steps = comp_steps.max(comm_steps) as usize;
+
+    let mut work = vec![0u64; n_steps * p];
+    let mut nodes_in_step = vec![0u32; n_steps];
+    for v in dag.nodes() {
+        work[sched.step(v) as usize * p + sched.proc(v) as usize] += dag.work(v);
+        nodes_in_step[sched.step(v) as usize] += 1;
+    }
+    let mut send = vec![0u64; n_steps * p];
+    let mut recv = vec![0u64; n_steps * p];
+    let mut comms_in_step = vec![0u32; n_steps];
+    for e in comm.entries() {
+        let weighted = dag.comm(e.node) * machine.lambda(e.from as usize, e.to as usize);
+        send[e.step as usize * p + e.from as usize] += weighted;
+        recv[e.step as usize * p + e.to as usize] += weighted;
+        comms_in_step[e.step as usize] += 1;
+    }
+
+    let mut per_step = Vec::with_capacity(n_steps);
+    let (mut total, mut work_total, mut comm_total, mut latency_total) = (0, 0, 0, 0);
+    for s in 0..n_steps {
+        let row = s * p;
+        let w = work[row..row + p].iter().copied().max().unwrap_or(0);
+        let c = (0..p).map(|q| send[row + q].max(recv[row + q])).max().unwrap_or(0);
+        let nonempty = nodes_in_step[s] > 0 || comms_in_step[s] > 0;
+        let latency = if nonempty { machine.l() } else { 0 };
+        let sc = SuperstepCost { work: w, comm: c, latency };
+        total += sc.total(machine.g());
+        work_total += w;
+        comm_total += machine.g() * c;
+        latency_total += latency;
+        per_step.push(sc);
+    }
+    CostBreakdown { total, per_step, work_total, comm_total, latency_total }
+}
+
+/// Total cost only (convenience wrapper around [`schedule_cost`]).
+pub fn total_cost(dag: &Dag, machine: &BspParams, sched: &BspSchedule, comm: &CommSchedule) -> u64 {
+    schedule_cost(dag, machine, sched, comm).total
+}
+
+/// Cost of an assignment under its lazy communication schedule.
+pub fn lazy_cost(dag: &Dag, machine: &BspParams, sched: &BspSchedule) -> u64 {
+    total_cost(dag, machine, sched, &CommSchedule::lazy(dag, sched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::DagBuilder;
+    use bsp_model::NumaTopology;
+
+    fn pair() -> Dag {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(2, 3);
+        let v = b.add_node(5, 1);
+        b.add_edge(u, v).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_style_cost() {
+        // u on p0 step 0, v on p1 step 1: work phases 2 then 5, one transfer
+        // of c(u)=3 units, g=2, l=4.
+        let dag = pair();
+        let machine = BspParams::new(2, 2, 4);
+        let sched = BspSchedule::from_parts(vec![0, 1], vec![0, 1]);
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let c = schedule_cost(&dag, &machine, &sched, &comm);
+        assert_eq!(c.per_step.len(), 2);
+        assert_eq!(c.per_step[0], SuperstepCost { work: 2, comm: 3, latency: 4 });
+        assert_eq!(c.per_step[1], SuperstepCost { work: 5, comm: 0, latency: 4 });
+        assert_eq!(c.total, (2 + 6 + 4) + (5 + 4));
+        assert_eq!(c.work_total, 7);
+        assert_eq!(c.comm_total, 6);
+        assert_eq!(c.latency_total, 8);
+    }
+
+    #[test]
+    fn h_relation_takes_max_of_send_and_recv() {
+        // Three nodes on p0 all feeding one node on p1: p0 sends 3 values in
+        // one phase, p1 receives 3; Ccomm = sum on the bottleneck processor.
+        let mut b = DagBuilder::new();
+        let s: Vec<_> = (0..3).map(|_| b.add_node(1, 2)).collect();
+        let t = b.add_node(1, 1);
+        for &x in &s {
+            b.add_edge(x, t).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 1, 0);
+        let sched = BspSchedule::from_parts(vec![0, 0, 0, 1], vec![0, 0, 0, 1]);
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let c = schedule_cost(&dag, &machine, &sched, &comm);
+        assert_eq!(c.per_step[0].comm, 6); // 3 transfers * c=2
+    }
+
+    #[test]
+    fn numa_lambda_scales_both_sides() {
+        let dag = pair();
+        let machine =
+            BspParams::new(4, 1, 0).with_numa(NumaTopology::binary_tree(4, 3));
+        // u on p0, v on p3 => lambda = 3 (level 2 of a 4-leaf tree).
+        let sched = BspSchedule::from_parts(vec![0, 3], vec![0, 1]);
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let c = schedule_cost(&dag, &machine, &sched, &comm);
+        assert_eq!(c.per_step[0].comm, 3 * 3); // c(u)=3 times lambda 3
+    }
+
+    #[test]
+    fn empty_supersteps_carry_no_latency() {
+        let dag = pair();
+        let machine = BspParams::new(2, 1, 10);
+        // Nodes in supersteps 0 and 5; 1..4 are empty except the lazy comm at 4.
+        let sched = BspSchedule::from_parts(vec![0, 1], vec![0, 5]);
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let c = schedule_cost(&dag, &machine, &sched, &comm);
+        assert_eq!(c.per_step.len(), 6);
+        // steps 0, 4 (comm), 5 are non-empty -> 3 latency charges.
+        assert_eq!(c.latency_total, 30);
+    }
+
+    #[test]
+    fn trivial_schedule_cost_is_work_plus_latency() {
+        let dag = pair();
+        let machine = BspParams::new(4, 3, 7);
+        let sched = BspSchedule::zeroed(dag.n());
+        assert_eq!(lazy_cost(&dag, &machine, &sched), dag.total_work() + 7);
+    }
+}

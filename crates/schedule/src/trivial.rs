@@ -1,0 +1,50 @@
+//! The trivial single-processor schedule (paper §7.3).
+//!
+//! Assigning every node to processor 0 in superstep 0 is always valid and
+//! costs `Σ w(v) + ℓ`. In communication-dominated settings this is a serious
+//! baseline: the paper reports that without the multilevel algorithm, found
+//! schedules were sometimes *worse* than this trivial one.
+
+use crate::comm::CommSchedule;
+use crate::cost::total_cost;
+use crate::schedule::BspSchedule;
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+
+/// The all-on-processor-0, single-superstep schedule.
+pub fn trivial_schedule(dag: &Dag) -> BspSchedule {
+    BspSchedule::zeroed(dag.n())
+}
+
+/// Cost of the trivial schedule: total work plus one latency charge
+/// (zero for the empty DAG).
+pub fn trivial_cost(dag: &Dag, machine: &BspParams) -> u64 {
+    total_cost(dag, machine, &trivial_schedule(dag), &CommSchedule::empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::DagBuilder;
+    use crate::validity::validate;
+
+    #[test]
+    fn trivial_is_valid_and_costs_work_plus_latency() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node(4, 9);
+        let y = b.add_node(6, 9);
+        b.add_edge(x, y).unwrap();
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(8, 5, 3);
+        let s = trivial_schedule(&dag);
+        assert!(validate(&dag, 8, &s, &CommSchedule::empty()).is_ok());
+        assert_eq!(trivial_cost(&dag, &machine), 10 + 3);
+    }
+
+    #[test]
+    fn empty_dag_trivial_cost_zero() {
+        let dag = DagBuilder::new().build().unwrap();
+        let machine = BspParams::new(2, 1, 5);
+        assert_eq!(trivial_cost(&dag, &machine), 0);
+    }
+}

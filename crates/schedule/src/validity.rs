@@ -1,0 +1,285 @@
+//! Full validity checking of BSP schedules (paper §3.2).
+//!
+//! A schedule `(π, τ, Γ)` is valid iff
+//!
+//! 1. for each edge `(u, v)`: if `π(u) = π(v)` then `τ(u) ≤ τ(v)`; otherwise
+//!    `Γ` contains an entry `(u, p1, π(v), s)` with `s < τ(v)` whose own
+//!    availability chain is satisfied;
+//! 2. for each `(v, p1, p2, s) ∈ Γ`: either `π(v) = p1` and `τ(v) ≤ s`, or
+//!    some earlier entry `(v, p', p1, s')` with `s' < s` delivered the value
+//!    to `p1` first (relaying is permitted).
+
+use crate::comm::CommSchedule;
+use crate::schedule::BspSchedule;
+use bsp_dag::{Dag, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reasons a schedule can be invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidSchedule {
+    /// The assignment covers a different number of nodes than the DAG.
+    SizeMismatch {
+        /// Node count of the DAG.
+        expected: usize,
+        /// Node count covered by the schedule.
+        got: usize,
+    },
+    /// A node is mapped to a processor outside `0..P`.
+    ProcOutOfRange {
+        /// Offending node.
+        node: NodeId,
+        /// Its out-of-range processor.
+        proc: u32,
+    },
+    /// A `Γ` entry sends from a processor that does not hold the value yet.
+    CommTooEarly {
+        /// Node whose value is sent.
+        node: NodeId,
+        /// Sending processor.
+        from: u32,
+        /// Superstep of the premature transfer.
+        step: u32,
+    },
+    /// A `Γ` entry has `from == to`.
+    CommSelfSend {
+        /// Node whose value is sent.
+        node: NodeId,
+        /// The processor sending to itself.
+        proc: u32,
+    },
+    /// An edge's data dependency is not satisfied at computation time.
+    MissingData {
+        /// The violated edge `(producer, consumer)`.
+        edge: (NodeId, NodeId),
+        /// Processor computing the consumer.
+        needed_on: u32,
+        /// Superstep of the consumer.
+        at_step: u32,
+    },
+}
+
+impl fmt::Display for InvalidSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidSchedule::SizeMismatch { expected, got } => {
+                write!(f, "schedule covers {got} nodes, DAG has {expected}")
+            }
+            InvalidSchedule::ProcOutOfRange { node, proc } => {
+                write!(f, "node {node} assigned to out-of-range processor {proc}")
+            }
+            InvalidSchedule::CommTooEarly { node, from, step } => {
+                write!(f, "value of node {node} sent from processor {from} in superstep {step} before it is present there")
+            }
+            InvalidSchedule::CommSelfSend { node, proc } => {
+                write!(f, "value of node {node} 'sent' from processor {proc} to itself")
+            }
+            InvalidSchedule::MissingData { edge: (u, v), needed_on, at_step } => {
+                write!(f, "edge ({u},{v}): value of {u} not present on processor {needed_on} when {v} is computed in superstep {at_step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidSchedule {}
+
+/// Validates `(π, τ, Γ)` against `dag` on a machine with `p` processors.
+///
+/// Runs in `O((n + |Γ|) log |Γ| + Σ deg)`.
+pub fn validate(
+    dag: &Dag,
+    p: usize,
+    sched: &BspSchedule,
+    comm: &CommSchedule,
+) -> Result<(), InvalidSchedule> {
+    if sched.n() != dag.n() {
+        return Err(InvalidSchedule::SizeMismatch { expected: dag.n(), got: sched.n() });
+    }
+    for v in dag.nodes() {
+        if sched.proc(v) as usize >= p {
+            return Err(InvalidSchedule::ProcOutOfRange { node: v, proc: sched.proc(v) });
+        }
+    }
+
+    // present_from[(v, q)] = earliest superstep index from which v's value is
+    // usable on q (computable in that superstep, sendable in its comm phase).
+    let mut present_from: HashMap<(NodeId, u32), u32> = HashMap::with_capacity(dag.n() + comm.len());
+    for v in dag.nodes() {
+        present_from.insert((v, sched.proc(v)), sched.step(v));
+    }
+
+    // Process Γ in ascending step order (entries() is sorted by (node, from,
+    // to, step); re-sort by step).
+    let mut by_step: Vec<_> = comm.entries().to_vec();
+    by_step.sort_unstable_by_key(|e| e.step);
+    for e in &by_step {
+        if e.from == e.to {
+            return Err(InvalidSchedule::CommSelfSend { node: e.node, proc: e.from });
+        }
+        match present_from.get(&(e.node, e.from)) {
+            Some(&avail) if avail <= e.step => {}
+            _ => {
+                return Err(InvalidSchedule::CommTooEarly { node: e.node, from: e.from, step: e.step })
+            }
+        }
+        let slot = present_from.entry((e.node, e.to)).or_insert(u32::MAX);
+        *slot = (*slot).min(e.step + 1);
+    }
+
+    for (u, v) in dag.edges() {
+        let q = sched.proc(v);
+        match present_from.get(&(u, q)) {
+            Some(&avail) if avail <= sched.step(v) => {}
+            _ => {
+                return Err(InvalidSchedule::MissingData {
+                    edge: (u, v),
+                    needed_on: q,
+                    at_step: sched.step(v),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: validate an assignment under its lazy communication
+/// schedule.
+pub fn validate_lazy(dag: &Dag, p: usize, sched: &BspSchedule) -> Result<(), InvalidSchedule> {
+    if sched.n() != dag.n() {
+        return Err(InvalidSchedule::SizeMismatch { expected: dag.n(), got: sched.n() });
+    }
+    if !sched.respects_precedence_lazy(dag) {
+        // Identify a witness edge for the error payload.
+        for (u, v) in dag.edges() {
+            let ok = if sched.proc(u) == sched.proc(v) {
+                sched.step(u) <= sched.step(v)
+            } else {
+                sched.step(u) < sched.step(v)
+            };
+            if !ok {
+                return Err(InvalidSchedule::MissingData {
+                    edge: (u, v),
+                    needed_on: sched.proc(v),
+                    at_step: sched.step(v),
+                });
+            }
+        }
+        unreachable!("precedence check failed but no witness edge found");
+    }
+    let comm = CommSchedule::lazy(dag, sched);
+    validate(dag, p, sched, &comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommStep;
+    use bsp_dag::DagBuilder;
+
+    fn chain() -> Dag {
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_node(1, 1)).collect();
+        b.add_edge(v[0], v[1]).unwrap();
+        b.add_edge(v[1], v[2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_local_schedule() {
+        let dag = chain();
+        let s = BspSchedule::from_parts(vec![0, 0, 0], vec![0, 0, 0]);
+        assert!(validate(&dag, 1, &s, &CommSchedule::empty()).is_ok());
+    }
+
+    #[test]
+    fn cross_processor_needs_comm_entry() {
+        let dag = chain();
+        let s = BspSchedule::from_parts(vec![0, 1, 1], vec![0, 1, 1]);
+        // Missing Γ: invalid.
+        assert!(matches!(
+            validate(&dag, 2, &s, &CommSchedule::empty()),
+            Err(InvalidSchedule::MissingData { edge: (0, 1), .. })
+        ));
+        // With the right entry: valid.
+        let comm = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 1, step: 0 }]);
+        assert!(validate(&dag, 2, &s, &comm).is_ok());
+        // Entry too late (same superstep as consumer): invalid.
+        let late = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 1, step: 1 }]);
+        assert!(validate(&dag, 2, &s, &late).is_err());
+    }
+
+    #[test]
+    fn sending_before_computation_rejected() {
+        let dag = chain();
+        let s = BspSchedule::from_parts(vec![0, 1, 1], vec![1, 2, 2]);
+        // Node 0 computed in superstep 1 but "sent" in phase 0.
+        let comm = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 1, step: 0 }]);
+        assert!(matches!(
+            validate(&dag, 2, &s, &comm),
+            Err(InvalidSchedule::CommTooEarly { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn relayed_communication_is_accepted() {
+        // 0 computed on p0, relayed p0 -> p1 (step 0), p1 -> p2 (step 1),
+        // consumer on p2 at superstep 2.
+        let mut b = DagBuilder::new();
+        let u = b.add_node(1, 1);
+        let v = b.add_node(1, 1);
+        b.add_edge(u, v).unwrap();
+        let dag = b.build().unwrap();
+        let s = BspSchedule::from_parts(vec![0, 2], vec![0, 2]);
+        let comm = CommSchedule::from_entries(vec![
+            CommStep { node: 0, from: 0, to: 1, step: 0 },
+            CommStep { node: 0, from: 1, to: 2, step: 1 },
+        ]);
+        assert!(validate(&dag, 3, &s, &comm).is_ok());
+        // Relay in the same phase as arrival is too early.
+        let bad = CommSchedule::from_entries(vec![
+            CommStep { node: 0, from: 0, to: 1, step: 0 },
+            CommStep { node: 0, from: 1, to: 2, step: 0 },
+        ]);
+        assert!(validate(&dag, 3, &s, &bad).is_err());
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let dag = chain();
+        let s = BspSchedule::from_parts(vec![0, 0, 0], vec![0, 0, 0]);
+        let comm = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 0, step: 0 }]);
+        assert!(matches!(
+            validate(&dag, 1, &s, &comm),
+            Err(InvalidSchedule::CommSelfSend { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_proc_rejected() {
+        let dag = chain();
+        let s = BspSchedule::from_parts(vec![0, 5, 0], vec![0, 1, 2]);
+        assert!(matches!(
+            validate(&dag, 2, &s, &CommSchedule::empty()),
+            Err(InvalidSchedule::ProcOutOfRange { node: 1, proc: 5 })
+        ));
+    }
+
+    #[test]
+    fn validate_lazy_agrees_with_explicit() {
+        let dag = chain();
+        let good = BspSchedule::from_parts(vec![0, 1, 0], vec![0, 1, 2]);
+        assert!(validate_lazy(&dag, 2, &good).is_ok());
+        let bad = BspSchedule::from_parts(vec![0, 1, 0], vec![0, 0, 1]);
+        assert!(validate_lazy(&dag, 2, &bad).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let dag = chain();
+        let s = BspSchedule::zeroed(2);
+        assert!(matches!(
+            validate(&dag, 1, &s, &CommSchedule::empty()),
+            Err(InvalidSchedule::SizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for schedules: lazy Γ validity, compaction invariance,
+//! classical conversion validity.
+
+use bsp_dag::random::{random_layered_dag, LayeredConfig};
+use bsp_dag::{Dag, TopoInfo};
+use bsp_model::{BspParams, NumaTopology};
+use bsp_schedule::comm::required_transfers;
+use bsp_schedule::compact::compact;
+use bsp_schedule::cost::total_cost;
+use bsp_schedule::validity::{validate, validate_lazy};
+use bsp_schedule::{BspSchedule, ClassicalSchedule, CommSchedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (0u64..500, 1usize..6, 1usize..6, 0.1f64..0.8).prop_map(|(seed, layers, width, p)| {
+        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 9, max_comm: 5 })
+    })
+}
+
+/// A random assignment that respects the lazy precedence conditions: place
+/// nodes in topological order; each node's superstep exceeds all its
+/// cross-processor predecessors' and is ≥ same-processor predecessors'.
+fn random_valid_assignment(dag: &Dag, p: u32, seed: u64) -> BspSchedule {
+    let topo = TopoInfo::new(dag);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sched = BspSchedule::zeroed(dag.n());
+    for &v in &topo.order {
+        let proc = rng.gen_range(0..p);
+        let mut min_step = 0u32;
+        for &u in dag.predecessors(v) {
+            let req = if sched.proc(u) == proc { sched.step(u) } else { sched.step(u) + 1 };
+            min_step = min_step.max(req);
+        }
+        let step = min_step + rng.gen_range(0..2);
+        sched.set(v, proc, step);
+    }
+    sched
+}
+
+fn machine_for(seed: u64, p: usize) -> BspParams {
+    let g = 1 + (seed % 5);
+    let l = seed % 8;
+    let m = BspParams::new(p, g, l);
+    if p.is_power_of_two() && p >= 2 && seed % 2 == 0 {
+        m.with_numa(NumaTopology::binary_tree(p, 2 + seed % 3))
+    } else {
+        m
+    }
+}
+
+proptest! {
+    #[test]
+    fn lazy_comm_is_always_valid(dag in arb_dag(), p in 1u32..6, seed in 0u64..1000) {
+        let sched = random_valid_assignment(&dag, p, seed);
+        prop_assert!(validate_lazy(&dag, p as usize, &sched).is_ok());
+    }
+
+    #[test]
+    fn compaction_preserves_validity_and_cost(dag in arb_dag(), p in 1u32..6, seed in 0u64..1000) {
+        let sched = random_valid_assignment(&dag, p, seed);
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let machine = machine_for(seed, p as usize);
+        let before = total_cost(&dag, &machine, &sched, &comm);
+        let (cs, cc) = compact(&dag, &sched, &comm);
+        prop_assert!(validate(&dag, p as usize, &cs, &cc).is_ok());
+        prop_assert_eq!(before, total_cost(&dag, &machine, &cs, &cc));
+        // Compacted schedules have no empty supersteps: every latency charge present.
+        let breakdown = bsp_schedule::schedule_cost(&dag, &machine, &cs, &cc);
+        for sc in &breakdown.per_step {
+            prop_assert_eq!(sc.latency, machine.l());
+        }
+    }
+
+    #[test]
+    fn transfers_within_window_stay_valid(dag in arb_dag(), p in 2u32..6, seed in 0u64..1000) {
+        let sched = random_valid_assignment(&dag, p, seed);
+        let transfers = required_transfers(&dag, &sched);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        // Place each transfer at a random step in its window: must validate.
+        let entries: Vec<_> = transfers
+            .iter()
+            .map(|t| bsp_schedule::CommStep {
+                node: t.node,
+                from: t.from,
+                to: t.to,
+                step: rng.gen_range(t.earliest..=t.latest),
+            })
+            .collect();
+        let comm = CommSchedule::from_entries(entries);
+        prop_assert!(validate(&dag, p as usize, &sched, &comm).is_ok());
+    }
+
+    #[test]
+    fn classical_list_schedule_converts_validly(dag in arb_dag(), p in 1u32..5, seed in 0u64..1000) {
+        // Build a simple valid classical schedule: greedy EST on random procs.
+        let topo = TopoInfo::new(&dag);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut proc_free = vec![0u64; p as usize];
+        let mut proc = vec![0u32; dag.n()];
+        let mut start = vec![0u64; dag.n()];
+        for &v in &topo.order {
+            let q = rng.gen_range(0..p);
+            let ready = dag
+                .predecessors(v)
+                .iter()
+                .map(|&u| start[u as usize] + dag.work(u))
+                .max()
+                .unwrap_or(0);
+            let t = ready.max(proc_free[q as usize]);
+            proc[v as usize] = q;
+            start[v as usize] = t;
+            proc_free[q as usize] = t + dag.work(v);
+        }
+        let classical = ClassicalSchedule { proc, start };
+        prop_assert!(classical.is_valid(&dag));
+        let bsp = classical.to_bsp(&dag);
+        prop_assert!(validate_lazy(&dag, p as usize, &bsp).is_ok());
+    }
+
+    /// DOT export: structurally complete for any DAG and schedule — every
+    /// node appears once per renderer, every edge once, and the dashed
+    /// count equals the number of cross-processor edges.
+    #[test]
+    fn dot_exports_structurally_complete(dag in arb_dag(), seed in 0u64..500) {
+        use bsp_schedule::export::{dag_to_dot, schedule_to_dot};
+        let p = 4u32;
+        let sched = random_valid_assignment(&dag, p, seed);
+        let plain = dag_to_dot(&dag);
+        let scheduled = schedule_to_dot(&dag, &sched);
+        for v in dag.nodes() {
+            let label = format!("n{v} [label=");
+            prop_assert_eq!(plain.matches(&label).count(), 1);
+            prop_assert_eq!(scheduled.matches(&label).count(), 1);
+        }
+        prop_assert_eq!(plain.matches("->").count(), dag.m());
+        prop_assert_eq!(scheduled.matches("->").count(), dag.m());
+        let cross = dag.edges().filter(|&(u, v)| sched.proc(u) != sched.proc(v)).count();
+        prop_assert_eq!(scheduled.matches("[style=dashed]").count(), cross);
+    }
+
+    /// Text export: reports exactly the lazy cost (or the explicit-Γ cost)
+    /// and one line per superstep.
+    #[test]
+    fn text_export_reports_exact_cost(dag in arb_dag(), seed in 0u64..500) {
+        use bsp_schedule::cost::lazy_cost;
+        use bsp_schedule::export::schedule_to_text;
+        let machine = machine_for(seed, 4);
+        let sched = random_valid_assignment(&dag, 4, seed);
+        let txt = schedule_to_text(&dag, &machine, &sched, None);
+        let needle = format!("total cost = {}", lazy_cost(&dag, &machine, &sched));
+        prop_assert!(txt.contains(&needle));
+        prop_assert_eq!(txt.matches("  superstep ").count(), sched.n_supersteps() as usize);
+
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let txt2 = schedule_to_text(&dag, &machine, &sched, Some(&comm));
+        let needle2 = format!("total cost = {}", total_cost(&dag, &machine, &sched, &comm));
+        prop_assert!(txt2.contains(&needle2));
+    }
+}

@@ -1,0 +1,46 @@
+//! CCR-driven automatic base/multilevel selection across a NUMA sweep —
+//! the "decide if coarsification is even necessary" idea of §7.3 / C.6.
+//!
+//! ```text
+//! cargo run --release --example autotune_numa
+//! ```
+
+use bsp_sched::baselines::{cilk_bsp, hdagg_schedule};
+use bsp_sched::baselines::hdagg::HDaggConfig;
+use bsp_sched::core::auto::comm_dominance;
+use bsp_sched::dagdb::fine::cg_dag;
+use bsp_sched::dagdb::SparsePattern;
+use bsp_sched::prelude::*;
+
+fn main() {
+    let dag = cg_dag(&SparsePattern::random_with_diagonal(12, 0.25, 11), 2);
+    println!("CG fine-grained DAG: {} nodes, {} edges", dag.n(), dag.m());
+    println!();
+    println!("{:>3} {:>9} {:>12} {:>8} {:>8} {:>8}", "Δ", "CCR_λ", "strategy", "auto", "Cilk", "HDagg");
+
+    let mut cfg = PipelineConfig::default();
+    cfg.enable_ilp = false; // keep the sweep fast
+    for delta in [0u64, 2, 3, 4] {
+        let mut machine = BspParams::new(8, 1, 5);
+        if delta > 0 {
+            machine = machine.with_numa(NumaTopology::binary_tree(8, delta));
+        }
+        let dom = comm_dominance(&dag, &machine);
+        let (result, strategy) = schedule_dag_auto(&dag, &machine, &cfg, &AutoConfig::default());
+        let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
+        let hdagg =
+            lazy_cost(&dag, &machine, &hdagg_schedule(&dag, &machine, HDaggConfig::default()));
+        println!(
+            "{:>3} {:>9.2} {:>12} {:>8} {:>8} {:>8}",
+            delta,
+            dom,
+            format!("{strategy:?}"),
+            result.cost,
+            cilk,
+            hdagg
+        );
+    }
+    println!();
+    println!("(Δ = 0 is the uniform machine; strategy flips to Multilevel once");
+    println!(" the generalized CCR crosses the configured threshold.)");
+}

@@ -1,0 +1,61 @@
+//! Compare hill climbing with the two escape-local-minima searches
+//! (simulated annealing, tabu search) the paper's conclusion proposes as
+//! future work (§8).
+//!
+//! ```text
+//! cargo run --release --example escape_local_minima
+//! ```
+
+use bsp_sched::core::anneal::{simulated_annealing, AnnealConfig};
+use bsp_sched::core::hc::{hill_climb, HillClimbConfig};
+use bsp_sched::core::init::bspg_schedule;
+use bsp_sched::core::state::ScheduleState;
+use bsp_sched::core::tabu::{tabu_search, TabuConfig};
+use bsp_sched::dagdb::fine::exp_dag;
+use bsp_sched::dagdb::SparsePattern;
+use bsp_sched::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // A plateau microcosm: four independent heavy tasks started as two
+    // pairs. Any single move keeps the maximum load unchanged, so plain
+    // hill climbing is stuck; annealing and tabu walk across.
+    let mut b = DagBuilder::new();
+    for _ in 0..4 {
+        b.add_node(10, 1);
+    }
+    let plateau = b.build().unwrap();
+    let machine = BspParams::new(4, 1, 2);
+    let start = BspSchedule::from_parts(vec![0, 0, 1, 1], vec![0; 4]);
+    println!("--- plateau microcosm (4 independent tasks, pairwise start) ---");
+    report(&plateau, &machine, &start);
+
+    // A realistic instance: iterated sparse matrix-vector product.
+    let dag = exp_dag(&SparsePattern::random_with_diagonal(14, 0.2, 3), 3);
+    let machine = BspParams::new(4, 3, 5);
+    let start = bspg_schedule(&dag, &machine);
+    println!();
+    println!("--- exp fine-grained DAG ({} nodes), BSPg start ---", dag.n());
+    report(&dag, &machine, &start);
+}
+
+fn report(dag: &Dag, machine: &BspParams, start: &BspSchedule) {
+    let budget = Duration::from_millis(500);
+    let start_cost = lazy_cost(dag, machine, start);
+
+    let mut st = ScheduleState::new(dag, machine, start);
+    hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: Some(budget) });
+    let hc = st.cost();
+
+    let sa_cfg = AnnealConfig { time_limit: Some(budget), ..AnnealConfig::default() };
+    let (_, sa, sa_stats) = simulated_annealing(dag, machine, start, &sa_cfg);
+
+    let tb_cfg = TabuConfig { time_limit: Some(budget), ..TabuConfig::default() };
+    let (_, tb, tb_stats) = tabu_search(dag, machine, start, &tb_cfg);
+
+    println!("start cost:          {start_cost}");
+    println!("hill climbing:       {hc}");
+    println!("simulated annealing: {sa} ({} uphill moves accepted)", sa_stats.uphill);
+    println!("tabu search:         {tb} ({} uphill moves, {} aspirations)",
+        tb_stats.uphill, tb_stats.aspirated);
+}

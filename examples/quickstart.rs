@@ -1,0 +1,54 @@
+//! Quickstart: build a DAG by hand, schedule it, inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bsp_sched::prelude::*;
+
+fn main() {
+    // A small fork-join computation:
+    //        load
+    //      /  |   \
+    //    f1   f2   f3        (three parallel filters)
+    //      \  |   /
+    //       reduce
+    let mut b = DagBuilder::new();
+    let load = b.add_node(2, 1); // work 2, output size 1
+    let filters: Vec<_> = (0..3).map(|_| b.add_node(9, 1)).collect();
+    let reduce = b.add_node(3, 1);
+    for &f in &filters {
+        b.add_edge(load, f).unwrap();
+        b.add_edge(f, reduce).unwrap();
+    }
+    let dag = b.build().unwrap();
+
+    // A 4-processor BSP machine: per-unit communication cost g = 1,
+    // per-superstep latency l = 2.
+    let machine = BspParams::new(4, 1, 2);
+
+    let result = schedule_dag(&dag, &machine, &PipelineConfig::default());
+
+    println!("nodes: {}, edges: {}", dag.n(), dag.m());
+    println!("best initialization cost: {}", result.init_cost);
+    println!("after hill climbing:      {}", result.hc_cost);
+    println!("final cost:               {}", result.cost);
+    println!();
+    for v in dag.nodes() {
+        println!(
+            "node {v}: processor {}, superstep {}",
+            result.sched.proc(v),
+            result.sched.step(v)
+        );
+    }
+    println!();
+    println!("communication schedule:");
+    for e in result.comm.entries() {
+        println!("  value of {} sent {} -> {} in phase {}", e.node, e.from, e.to, e.step);
+    }
+
+    // The trivial single-processor schedule costs total work + latency.
+    let trivial = bsp_sched::schedule::trivial::trivial_cost(&dag, &machine);
+    println!();
+    println!("trivial cost {trivial}, ours {} ({}x)", result.cost, trivial as f64 / result.cost as f64);
+}

@@ -1,0 +1,52 @@
+//! `bsp-sched` — BSP + NUMA multiprocessor DAG scheduling.
+//!
+//! A full Rust implementation of the scheduling framework of
+//! *Efficient Multi-Processor Scheduling in Increasingly Realistic Models*
+//! (Papp, Anegg, Karanasiou, Yzelman — SPAA 2024): the BSP cost model with
+//! NUMA extensions, classic baselines (Cilk, BL-EST, ETF, HDagg),
+//! initialization heuristics, hill-climbing local search, ILP refinement
+//! (with an in-tree MILP solver), and a multilevel coarsen-solve-refine
+//! scheduler.
+//!
+//! This façade crate re-exports the sub-crates; see each for details:
+//!
+//! * [`dag`] — computational DAGs, hyperDAG format, contraction;
+//! * [`model`] — machine descriptions `(P, g, ℓ, λ)`;
+//! * [`schedule`] — BSP schedules, validity, cost;
+//! * [`ilp`] — the MILP substrate;
+//! * [`baselines`] — comparison schedulers;
+//! * [`core`] — the paper's algorithm framework;
+//! * [`dagdb`] — the computational DAG database and generators.
+//!
+//! ```
+//! use bsp_sched::prelude::*;
+//!
+//! let dag = bsp_sched::dagdb::fine::spmv_dag(
+//!     &bsp_sched::dagdb::SparsePattern::random(12, 0.3, 7),
+//! );
+//! let machine = BspParams::new(4, 3, 5);
+//! let mut cfg = PipelineConfig::default();
+//! cfg.enable_ilp = false;
+//! let result = schedule_dag(&dag, &machine, &cfg);
+//! assert!(result.cost > 0);
+//! ```
+
+pub use bsp_baselines as baselines;
+pub use bsp_core as core;
+pub use bsp_dag as dag;
+pub use bsp_dagdb as dagdb;
+pub use bsp_ilp as ilp;
+pub use bsp_model as model;
+pub use bsp_schedule as schedule;
+
+/// Common imports for applications.
+pub mod prelude {
+    pub use bsp_core::auto::{schedule_dag_auto, AutoConfig, Strategy};
+    pub use bsp_core::pipeline::{
+        schedule_dag, schedule_dag_multilevel, PipelineConfig, PipelineResult,
+    };
+    pub use bsp_dag::{Dag, DagBuilder};
+    pub use bsp_model::{BspParams, NumaTopology};
+    pub use bsp_schedule::cost::{lazy_cost, schedule_cost, total_cost};
+    pub use bsp_schedule::{BspSchedule, CommSchedule};
+}

@@ -1,0 +1,227 @@
+//! Cross-crate integration tests for the future-work extensions: escape
+//! local-minima searches, NUMA-aware list baselines, MatrixMarket loading,
+//! presolve-backed ILP stages, export renderers, and auto-selection.
+
+use bsp_sched::baselines::{blest_bsp_numa_aware, etf_bsp, etf_bsp_numa_aware};
+use bsp_sched::core::anneal::{simulated_annealing, AnnealConfig};
+use bsp_sched::core::hc::{hill_climb, HillClimbConfig};
+use bsp_sched::core::ilp::{ilp_full, IlpConfig};
+use bsp_sched::core::init::bspg_schedule;
+use bsp_sched::core::state::ScheduleState;
+use bsp_sched::core::steepest::hill_climb_steepest;
+use bsp_sched::core::tabu::{tabu_search, TabuConfig};
+use bsp_sched::dagdb::fine::{cg_dag, spmv_dag};
+use bsp_sched::dagdb::{pattern_from_matrix_market, pattern_to_matrix_market, SparsePattern};
+use bsp_sched::prelude::*;
+use bsp_sched::schedule::validity::{validate, validate_lazy};
+use bsp_sched::schedule::{dag_to_dot, schedule_to_dot, schedule_to_text};
+
+fn sample_dag() -> Dag {
+    cg_dag(&SparsePattern::random_with_diagonal(8, 0.3, 21), 2)
+}
+
+#[test]
+fn all_local_searches_refine_the_same_init() {
+    let dag = sample_dag();
+    let machine = BspParams::new(4, 3, 5);
+    let init = bspg_schedule(&dag, &machine);
+    let init_cost = lazy_cost(&dag, &machine, &init);
+
+    let mut st = ScheduleState::new(&dag, &machine, &init);
+    hill_climb(&mut st, &HillClimbConfig { max_moves: Some(2000), time_limit: None });
+    let greedy = st.cost();
+
+    let mut st2 = ScheduleState::new(&dag, &machine, &init);
+    hill_climb_steepest(&mut st2, &HillClimbConfig { max_moves: Some(300), time_limit: None });
+    let steepest = st2.cost();
+
+    let (sa_sched, sa, _) = simulated_annealing(
+        &dag,
+        &machine,
+        &init,
+        &AnnealConfig { max_steps: 30_000, time_limit: None, ..AnnealConfig::default() },
+    );
+    let (tb_sched, tb, _) = tabu_search(
+        &dag,
+        &machine,
+        &init,
+        &TabuConfig { max_iters: 300, time_limit: None, ..TabuConfig::default() },
+    );
+
+    for (name, cost) in [("greedy", greedy), ("steepest", steepest), ("sa", sa), ("tabu", tb)] {
+        assert!(cost <= init_cost, "{name} worsened the init: {cost} > {init_cost}");
+    }
+    assert!(validate_lazy(&dag, 4, &sa_sched).is_ok());
+    assert!(validate_lazy(&dag, 4, &tb_sched).is_ok());
+}
+
+#[test]
+fn numa_aware_baselines_schedule_database_instances() {
+    let dag = sample_dag();
+    let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 4));
+    for (name, sched) in [
+        ("etf-aware", etf_bsp_numa_aware(&dag, &machine)),
+        ("blest-aware", blest_bsp_numa_aware(&dag, &machine)),
+    ] {
+        assert!(validate_lazy(&dag, 8, &sched).is_ok(), "{name}");
+    }
+    // The aware variant must behave identically on the uniform machine.
+    let uniform = BspParams::new(8, 1, 5);
+    assert_eq!(
+        lazy_cost(&dag, &uniform, &etf_bsp(&dag, &uniform)),
+        lazy_cost(&dag, &uniform, &etf_bsp_numa_aware(&dag, &uniform)),
+    );
+}
+
+#[test]
+fn matrix_market_to_schedule_end_to_end() {
+    // Round-trip a generated pattern through the MatrixMarket text format,
+    // build the spmv fine-grained DAG, and push it through the pipeline.
+    let p = SparsePattern::random_with_diagonal(9, 0.3, 5);
+    let text = pattern_to_matrix_market(&p);
+    let loaded = pattern_from_matrix_market(&text).unwrap();
+    assert_eq!(p, loaded);
+
+    let dag = spmv_dag(&loaded);
+    let machine = BspParams::new(4, 2, 5);
+    let mut cfg = PipelineConfig::default();
+    cfg.enable_ilp = false;
+    let r = schedule_dag(&dag, &machine, &cfg);
+    assert!(validate(&dag, 4, &r.sched, &r.comm).is_ok());
+    assert!(r.cost <= lazy_cost(&dag, &machine, &bspg_schedule(&dag, &machine)));
+}
+
+#[test]
+fn presolve_does_not_change_ilp_stage_semantics() {
+    // ILPfull with and without presolve must both be monotone; with enough
+    // budget on a tiny DAG they find the same optimum.
+    let dag = spmv_dag(&SparsePattern::random_with_diagonal(3, 0.25, 2));
+    let machine = BspParams::new(2, 2, 3);
+    let init = bspg_schedule(&dag, &machine);
+    let init_cost = lazy_cost(&dag, &machine, &init);
+    let mk_cfg = |presolve: bool| {
+        let mut cfg = IlpConfig::default();
+        cfg.full_max_vars = 6000;
+        cfg.limits.max_nodes = 200_000;
+        cfg.limits.time_limit = std::time::Duration::from_secs(20);
+        cfg.use_presolve = presolve;
+        cfg
+    };
+    let (with, proven_with) = ilp_full(&dag, &machine, &init, &mk_cfg(true));
+    let (without, proven_without) = ilp_full(&dag, &machine, &init, &mk_cfg(false));
+    let (cw, cwo) = (lazy_cost(&dag, &machine, &with), lazy_cost(&dag, &machine, &without));
+    assert!(cw <= init_cost && cwo <= init_cost, "ILPfull must be monotone");
+    if proven_with && proven_without {
+        assert_eq!(cw, cwo, "presolve changed the optimum");
+    } else {
+        // Budgets were exhausted: both must still hold the anytime contract.
+        assert!(validate_lazy(&dag, 2, &with).is_ok());
+        assert!(validate_lazy(&dag, 2, &without).is_ok());
+    }
+}
+
+#[test]
+fn exports_render_pipeline_results() {
+    let dag = sample_dag();
+    let machine = BspParams::new(4, 2, 5);
+    let mut cfg = PipelineConfig::default();
+    cfg.enable_ilp = false;
+    let r = schedule_dag(&dag, &machine, &cfg);
+
+    let dot = schedule_to_dot(&dag, &r.sched);
+    assert_eq!(dot.matches("->").count(), dag.m());
+    assert!(dag_to_dot(&dag).contains("digraph dag"));
+
+    let txt = schedule_to_text(&dag, &machine, &r.sched, Some(&r.comm));
+    assert!(txt.contains(&format!("total cost = {}", r.cost)));
+}
+
+#[test]
+fn structured_families_schedule_on_every_topology() {
+    use bsp_sched::dagdb::structured::{
+        butterfly_dag, in_tree_dag, sptrsv_dag, stencil1d_dag,
+    };
+    let dags = [
+        ("sptrsv", sptrsv_dag(&SparsePattern::random_with_diagonal(10, 0.35, 3))),
+        ("butterfly", butterfly_dag(3)),
+        ("stencil", stencil1d_dag(10, 4)),
+        ("in_tree", in_tree_dag(3, 2)),
+    ];
+    let machines = [
+        ("uniform", BspParams::new(6, 2, 5)),
+        ("two_level", BspParams::new(6, 2, 5).with_numa(NumaTopology::two_level(3, 2, 4))),
+        ("ring", BspParams::new(6, 2, 5).with_numa(NumaTopology::ring(6))),
+        ("grid", BspParams::new(6, 2, 5).with_numa(NumaTopology::grid(2, 3))),
+    ];
+    let mut cfg = PipelineConfig::default();
+    cfg.enable_ilp = false;
+    for (dname, dag) in &dags {
+        for (mname, machine) in &machines {
+            let r = schedule_dag(dag, machine, &cfg);
+            assert!(
+                validate(dag, machine.p(), &r.sched, &r.comm).is_ok(),
+                "{dname} on {mname}"
+            );
+            assert_eq!(r.cost, total_cost(dag, machine, &r.sched, &r.comm), "{dname} on {mname}");
+        }
+    }
+}
+
+#[test]
+fn sptrsv_wavefronts_match_hdagg_structure() {
+    // SpTRSV is HDagg's native workload: its schedule on the sptrsv DAG
+    // must be valid and carry no intra-superstep cross-processor edges.
+    use bsp_sched::baselines::hdagg::HDaggConfig;
+    use bsp_sched::baselines::hdagg_schedule;
+    use bsp_sched::dagdb::structured::sptrsv_dag;
+    let dag = sptrsv_dag(&SparsePattern::random_with_diagonal(12, 0.3, 9));
+    let machine = BspParams::new(4, 2, 5);
+    let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
+    assert!(validate_lazy(&dag, 4, &s).is_ok());
+    for (u, v) in dag.edges() {
+        if s.step(u) == s.step(v) {
+            assert_eq!(s.proc(u), s.proc(v), "intra-superstep cross edge {u}->{v}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_escape_stage_end_to_end() {
+    use bsp_sched::core::pipeline::EscapeSearch;
+    use bsp_sched::core::tabu::TabuConfig;
+    let dag = sample_dag();
+    let machine = BspParams::new(4, 3, 5);
+    let mut cfg = PipelineConfig::default();
+    cfg.enable_ilp = false;
+    cfg.escape = Some(EscapeSearch::Tabu(TabuConfig {
+        max_iters: 150,
+        time_limit: Some(std::time::Duration::from_secs(2)),
+        ..TabuConfig::default()
+    }));
+    let r = schedule_dag(&dag, &machine, &cfg);
+    assert!(validate(&dag, 4, &r.sched, &r.comm).is_ok());
+    assert!(r.hc_cost <= r.init_cost);
+    assert!(r.cost <= r.hc_cost);
+}
+
+#[test]
+fn auto_selection_on_database_instances() {
+    let dag = sample_dag();
+    let mut cfg = PipelineConfig::default();
+    cfg.enable_ilp = false;
+    let auto = AutoConfig::default();
+
+    // Uniform machine: low dominance, base strategy.
+    let uniform = BspParams::new(8, 1, 5);
+    let (r, strat) = schedule_dag_auto(&dag, &uniform, &cfg, &auto);
+    assert_eq!(strat, Strategy::Base);
+    assert!(validate(&dag, 8, &r.sched, &r.comm).is_ok());
+
+    // Steep hierarchy: high dominance, multilevel engaged (the DAG is large
+    // enough to coarsen).
+    assert!(dag.n() >= auto.min_nodes_for_ml);
+    let steep = BspParams::new(16, 3, 5).with_numa(NumaTopology::binary_tree(16, 4));
+    let (r2, strat2) = schedule_dag_auto(&dag, &steep, &cfg, &auto);
+    assert_eq!(strat2, Strategy::Multilevel);
+    assert!(validate(&dag, 16, &r2.sched, &r2.comm).is_ok());
+}

@@ -1,0 +1,84 @@
+//! The paper's Figure 1 as an executable worked example.
+//!
+//! Figure 1 shows a two-processor BSP schedule: in superstep 1, processor 1
+//! computes 4 nodes and processor 2 computes 5; in the communication phase,
+//! processor 1 sends one value to processor 2 while processor 2 sends two
+//! values to processor 1; superstep 2 then computes on both processors.
+//! With unit weights, §3.3 prices this as
+//! `C(s) = Cwork(s) + g·Ccomm(s) + ℓ` per superstep, with
+//! `Cwork(1) = max(4, 5) = 5` and `Ccomm(1) = max over processors of
+//! max(sent, received) = 2` (the h-relation).
+
+use bsp_sched::prelude::*;
+use bsp_sched::schedule::cost::schedule_cost;
+use bsp_sched::schedule::validity::validate;
+
+/// Builds the Figure-1 instance: nodes `a1..a4` on processor 0 and
+/// `b1..b5` on processor 1 in superstep 0; consumers in superstep 1 that
+/// need `a1` on processor 1 and `b1`, `b2` on processor 0.
+fn figure1() -> (Dag, BspSchedule) {
+    let mut b = DagBuilder::new();
+    let a: Vec<_> = (0..4).map(|_| b.add_node(1, 1)).collect();
+    let bs: Vec<_> = (0..5).map(|_| b.add_node(1, 1)).collect();
+    let d1 = b.add_node(1, 1); // proc 0, needs b1
+    let d2 = b.add_node(1, 1); // proc 0, needs b2
+    let c1 = b.add_node(1, 1); // proc 1, needs a1
+    b.add_edge(bs[0], d1).unwrap();
+    b.add_edge(bs[1], d2).unwrap();
+    b.add_edge(a[0], c1).unwrap();
+    // Local edges keep the second superstep attached to the first.
+    b.add_edge(a[1], d1).unwrap();
+    b.add_edge(bs[2], c1).unwrap();
+    let dag = b.build().unwrap();
+
+    let mut proc = vec![0u32; 4];
+    proc.extend([1u32; 5]);
+    proc.extend([0, 0, 1]);
+    let mut step = vec![0u32; 9];
+    step.extend([1, 1, 1]);
+    (dag, BspSchedule::from_parts(proc, step))
+}
+
+#[test]
+fn figure1_cost_components_match_section_3_3() {
+    let (dag, sched) = figure1();
+    let comm = CommSchedule::lazy(&dag, &sched);
+    for (g, l) in [(1u64, 0u64), (2, 5), (5, 3)] {
+        let machine = BspParams::new(2, g, l);
+        assert!(validate(&dag, 2, &sched, &comm).is_ok());
+        let cost = schedule_cost(&dag, &machine, &sched, &comm);
+
+        // Superstep 1 of the figure: work max(4,5) = 5, h-relation 2.
+        assert_eq!(cost.per_step[0].work, 5, "Cwork(1)");
+        assert_eq!(cost.per_step[0].comm, 2, "Ccomm(1) h-relation");
+        // Superstep 2: the three consumers, no further communication.
+        assert_eq!(cost.per_step[1].work, 2, "Cwork(2) = max(2, 1)");
+        assert_eq!(cost.per_step[1].comm, 0);
+        // Total follows §3.3 exactly.
+        assert_eq!(cost.total, (5 + 2 * g + l) + (2 + l), "g={g}, l={l}");
+    }
+}
+
+#[test]
+fn figure1_communication_phase_contents() {
+    let (dag, sched) = figure1();
+    let comm = CommSchedule::lazy(&dag, &sched);
+    // Exactly three transfers, all in the communication phase of
+    // superstep 0: one 0→1 and two 1→0.
+    assert_eq!(comm.len(), 3);
+    assert!(comm.entries().iter().all(|e| e.step == 0));
+    assert_eq!(comm.entries().iter().filter(|e| e.from == 0 && e.to == 1).count(), 1);
+    assert_eq!(comm.entries().iter().filter(|e| e.from == 1 && e.to == 0).count(), 2);
+}
+
+#[test]
+fn figure1_numa_scales_the_h_relation() {
+    let (dag, sched) = figure1();
+    let comm = CommSchedule::lazy(&dag, &sched);
+    // λ(0,1) = 3 multiplies every transferred unit in both directions.
+    let machine =
+        BspParams::new(2, 1, 0).with_numa(NumaTopology::explicit(2, vec![0, 3, 3, 0]));
+    let cost = schedule_cost(&dag, &machine, &sched, &comm);
+    assert_eq!(cost.per_step[0].comm, 6, "λ-weighted h-relation");
+    assert_eq!(cost.total, (5 + 6) + 2);
+}
