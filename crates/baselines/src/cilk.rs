@@ -44,14 +44,14 @@ pub fn cilk_schedule(dag: &Dag, machine: &BspParams, seed: u64) -> ClassicalSche
 
     // Assign work to idle processors until nothing more can start at `now`.
     let dispatch = |now: u64,
-                        stacks: &mut Vec<VecDeque<NodeId>>,
-                        idle: &mut Vec<bool>,
-                        events: &mut BinaryHeap<std::cmp::Reverse<(u64, u64, NodeId, u32)>>,
-                        proc: &mut Vec<u32>,
-                        start: &mut Vec<u64>,
-                        seq: &mut u64,
-                        scheduled: &mut usize,
-                        rng: &mut StdRng| {
+                    stacks: &mut Vec<VecDeque<NodeId>>,
+                    idle: &mut Vec<bool>,
+                    events: &mut BinaryHeap<std::cmp::Reverse<(u64, u64, NodeId, u32)>>,
+                    proc: &mut Vec<u32>,
+                    start: &mut Vec<u64>,
+                    seq: &mut u64,
+                    scheduled: &mut usize,
+                    rng: &mut StdRng| {
         loop {
             let mut progressed = false;
             for q in 0..p {
@@ -85,7 +85,17 @@ pub fn cilk_schedule(dag: &Dag, machine: &BspParams, seed: u64) -> ClassicalSche
         }
     };
 
-    dispatch(now, &mut stacks, &mut idle, &mut events, &mut proc, &mut start, &mut seq, &mut scheduled, &mut rng);
+    dispatch(
+        now,
+        &mut stacks,
+        &mut idle,
+        &mut events,
+        &mut proc,
+        &mut start,
+        &mut seq,
+        &mut scheduled,
+        &mut rng,
+    );
 
     while let Some(std::cmp::Reverse((t, _, v, q))) = events.pop() {
         now = t;
@@ -111,7 +121,17 @@ pub fn cilk_schedule(dag: &Dag, machine: &BspParams, seed: u64) -> ClassicalSche
                 }
             }
         }
-        dispatch(now, &mut stacks, &mut idle, &mut events, &mut proc, &mut start, &mut seq, &mut scheduled, &mut rng);
+        dispatch(
+            now,
+            &mut stacks,
+            &mut idle,
+            &mut events,
+            &mut proc,
+            &mut start,
+            &mut seq,
+            &mut scheduled,
+            &mut rng,
+        );
     }
 
     debug_assert_eq!(scheduled, n, "all nodes must be scheduled");
@@ -142,7 +162,7 @@ mod tests {
         let s = cilk_schedule(&dag, &machine, 1);
         assert!(s.is_valid(&dag));
         assert_eq!(s.makespan(&dag), 8); // no parallelism available
-        // Chain stays on one processor: every node ready on the same proc.
+                                         // Chain stays on one processor: every node ready on the same proc.
         assert!(s.proc.iter().all(|&q| q == s.proc[0]));
     }
 
@@ -174,7 +194,14 @@ mod tests {
     #[test]
     fn produces_valid_classical_and_bsp_schedules() {
         for seed in 0..5 {
-            let dag = random_layered_dag(seed, LayeredConfig { layers: 6, width: 7, ..Default::default() });
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig {
+                    layers: 6,
+                    width: 7,
+                    ..Default::default()
+                },
+            );
             let machine = BspParams::new(4, 2, 3);
             let s = cilk_schedule(&dag, &machine, seed);
             assert!(s.is_valid(&dag), "seed {seed}");

@@ -85,7 +85,11 @@ pub fn dsc_clusters(dag: &Dag, machine: &BspParams) -> Clustering {
                     if u == u_star {
                         continue;
                     }
-                    let d = if cluster[u as usize] == c { 0 } else { delay(u) };
+                    let d = if cluster[u as usize] == c {
+                        0
+                    } else {
+                        delay(u)
+                    };
                     join_ready = join_ready.max(start[u as usize] + dag.work(u) + d);
                 }
                 let join_start = join_ready.max(cluster_free[c as usize]);
@@ -103,7 +107,10 @@ pub fn dsc_clusters(dag: &Dag, machine: &BspParams) -> Clustering {
             }
         }
     }
-    Clustering { cluster, n_clusters: next_cluster as usize }
+    Clustering {
+        cluster,
+        n_clusters: next_cluster as usize,
+    }
 }
 
 /// Phase 2: LPT mapping of clusters onto `P` processors. Returns the
@@ -209,7 +216,10 @@ mod tests {
             b.add_node(w, 1);
         }
         let dag = b.build().unwrap();
-        let clustering = Clustering { cluster: vec![0, 1, 2, 3, 4, 5], n_clusters: 6 };
+        let clustering = Clustering {
+            cluster: vec![0, 1, 2, 3, 4, 5],
+            n_clusters: 6,
+        };
         let proc_of = map_clusters(&dag, &clustering, 2);
         let mut load = [0u64; 2];
         for v in dag.nodes() {
@@ -224,7 +234,12 @@ mod tests {
         for seed in 0..6 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 5, width: 6, edge_prob: 0.35, ..Default::default() },
+                LayeredConfig {
+                    layers: 5,
+                    width: 6,
+                    edge_prob: 0.35,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 3, 5);
             let sch = dsc_schedule(&dag, &machine);

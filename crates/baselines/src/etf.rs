@@ -17,11 +17,7 @@ pub fn etf_schedule(dag: &Dag, machine: &BspParams) -> ClassicalSchedule {
 /// Runs ETF under an explicit EST communication model. With
 /// [`CommModel::PerPairLambda`] this is the NUMA-aware extension that
 /// Appendix A.1 leaves to future work.
-pub fn etf_schedule_with(
-    dag: &Dag,
-    machine: &BspParams,
-    model: CommModel,
-) -> ClassicalSchedule {
+pub fn etf_schedule_with(dag: &Dag, machine: &BspParams, model: CommModel) -> ClassicalSchedule {
     let topo = TopoInfo::new(dag);
     let bl = bottom_level(dag, &topo);
     let mut st = ListState::with_model(dag, machine, model);
@@ -98,7 +94,14 @@ mod tests {
     #[test]
     fn valid_bsp_conversion_on_random_dags() {
         for seed in 0..6 {
-            let dag = random_layered_dag(seed, LayeredConfig { layers: 5, width: 6, ..Default::default() });
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig {
+                    layers: 5,
+                    width: 6,
+                    ..Default::default()
+                },
+            );
             let machine = BspParams::new(4, 3, 5);
             let bsp = etf_bsp(&dag, &machine);
             assert!(validate_lazy(&dag, 4, &bsp).is_ok(), "seed {seed}");
@@ -147,7 +150,11 @@ mod tests {
         for seed in 0..3 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 4, width: 5, ..Default::default() },
+                LayeredConfig {
+                    layers: 4,
+                    width: 5,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 2, 5);
             let a = etf_schedule(&dag, &machine);
@@ -163,7 +170,11 @@ mod tests {
         for seed in 0..4 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 5, width: 6, ..Default::default() },
+                LayeredConfig {
+                    layers: 5,
+                    width: 6,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 3));
             let bsp = etf_bsp_numa_aware(&dag, &machine);

@@ -24,7 +24,9 @@ pub struct HDaggConfig {
 
 impl Default for HDaggConfig {
     fn default() -> Self {
-        HDaggConfig { balance_factor: 1.15 }
+        HDaggConfig {
+            balance_factor: 1.15,
+        }
     }
 }
 
@@ -134,7 +136,10 @@ mod tests {
         assert!(validate_lazy(&dag, 4, &s).is_ok());
         for c in &chains {
             let q = s.proc(c[0]);
-            assert!(c.iter().all(|&v| s.proc(v) == q), "chain split across processors");
+            assert!(
+                c.iter().all(|&v| s.proc(v) == q),
+                "chain split across processors"
+            );
         }
         // Perfectly balanced: everything fits in one superstep.
         assert_eq!(s.n_supersteps(), 1);
@@ -164,13 +169,24 @@ mod tests {
     #[test]
     fn no_intra_superstep_cross_processor_edges() {
         for seed in 0..8 {
-            let dag = random_layered_dag(seed, LayeredConfig { layers: 6, width: 8, ..Default::default() });
+            let dag = random_layered_dag(
+                seed,
+                LayeredConfig {
+                    layers: 6,
+                    width: 8,
+                    ..Default::default()
+                },
+            );
             let machine = BspParams::new(4, 1, 5);
             let s = hdagg_schedule(&dag, &machine, HDaggConfig::default());
             assert!(validate_lazy(&dag, 4, &s).is_ok(), "seed {seed}");
             for (u, v) in dag.edges() {
                 if s.step(u) == s.step(v) {
-                    assert_eq!(s.proc(u), s.proc(v), "seed {seed}: edge ({u},{v}) crosses processors in one superstep");
+                    assert_eq!(
+                        s.proc(u),
+                        s.proc(v),
+                        "seed {seed}: edge ({u},{v}) crosses processors in one superstep"
+                    );
                 }
             }
         }

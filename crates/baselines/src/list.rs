@@ -134,7 +134,10 @@ impl<'a> ListState<'a> {
     /// Finalizes into a classical schedule.
     pub fn finish(self) -> ClassicalSchedule {
         debug_assert!(self.placed.iter().all(|&b| b));
-        ClassicalSchedule { proc: self.proc, start: self.start }
+        ClassicalSchedule {
+            proc: self.proc,
+            start: self.start,
+        }
     }
 }
 
@@ -199,9 +202,9 @@ mod tests {
         let machine = BspParams::new(4, 2, 0).with_numa(NumaTopology::binary_tree(4, 3));
         let mut st = ListState::with_model(&dag, &machine, CommModel::PerPairLambda);
         st.place(0, 0, 0);
-        assert_eq!(st.est(1, 1), 1 + 2 * 2 * 1); // g·c·λ = 2·2·1
+        assert_eq!(st.est(1, 1), 1 + (2 * 2)); // g·c·λ = 2·2·1
         assert_eq!(st.est(1, 2), 1 + 2 * 2 * 3); // g·c·λ = 2·2·3
-        // Mean-λ model cannot tell processors 1 and 2 apart.
+                                                 // Mean-λ model cannot tell processors 1 and 2 apart.
         let mut mean = ListState::new(&dag, &machine);
         mean.place(0, 0, 0);
         assert_eq!(mean.est(1, 1), mean.est(1, 2));

@@ -1,0 +1,137 @@
+//! [`Scheduler`] implementations for the baseline algorithms.
+//!
+//! Each struct is a ready-to-run, configuration-carrying instance of one
+//! baseline; `bsp_sched::registry()` enumerates them next to the paper's
+//! own pipelines so every harness compares against the same field.
+//! Baselines are costed under the lazy communication schedule, exactly as
+//! the paper evaluates them.
+
+use crate::blest::{blest_bsp, blest_bsp_numa_aware};
+use crate::cilk::cilk_bsp;
+use crate::cluster::dsc_bsp;
+use crate::etf::{etf_bsp, etf_bsp_numa_aware};
+use crate::hdagg::{hdagg_schedule, HDaggConfig};
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
+
+/// The Cilk work-stealing baseline. Stealing victims are drawn from a
+/// deterministic stream, so a given `seed` always reproduces the same
+/// schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct CilkScheduler {
+    /// Seed of the steal-victim stream.
+    pub seed: u64,
+}
+
+impl Default for CilkScheduler {
+    fn default() -> Self {
+        // The seed the experiment harness has always used for its tables.
+        CilkScheduler { seed: 42 }
+    }
+}
+
+impl Scheduler for CilkScheduler {
+    fn name(&self) -> &str {
+        "cilk"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Baseline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        ScheduleResult::from_lazy(dag, machine, cilk_bsp(dag, machine, self.seed))
+    }
+}
+
+/// The BL-EST list-scheduling baseline, optionally with the NUMA-aware EST
+/// extension of Appendix A.1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlestScheduler {
+    /// Use per-pair λ coefficients in the EST communication delays.
+    pub numa_aware: bool,
+}
+
+impl Scheduler for BlestScheduler {
+    fn name(&self) -> &str {
+        if self.numa_aware {
+            "bl-est-numa"
+        } else {
+            "bl-est"
+        }
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Baseline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        let sched = if self.numa_aware {
+            blest_bsp_numa_aware(dag, machine)
+        } else {
+            blest_bsp(dag, machine)
+        };
+        ScheduleResult::from_lazy(dag, machine, sched)
+    }
+}
+
+/// The ETF list-scheduling baseline, optionally with the NUMA-aware EST
+/// extension of Appendix A.1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EtfScheduler {
+    /// Use per-pair λ coefficients in the EST communication delays.
+    pub numa_aware: bool,
+}
+
+impl Scheduler for EtfScheduler {
+    fn name(&self) -> &str {
+        if self.numa_aware {
+            "etf-numa"
+        } else {
+            "etf"
+        }
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Baseline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        let sched = if self.numa_aware {
+            etf_bsp_numa_aware(dag, machine)
+        } else {
+            etf_bsp(dag, machine)
+        };
+        ScheduleResult::from_lazy(dag, machine, sched)
+    }
+}
+
+/// The HDagg wavefront-aggregation baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HDaggScheduler {
+    /// Aggregation tuning.
+    pub cfg: HDaggConfig,
+}
+
+impl Scheduler for HDaggScheduler {
+    fn name(&self) -> &str {
+        "hdagg"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Baseline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        ScheduleResult::from_lazy(dag, machine, hdagg_schedule(dag, machine, self.cfg))
+    }
+}
+
+/// The Dominant Sequence Clustering baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DscScheduler;
+
+impl Scheduler for DscScheduler {
+    fn name(&self) -> &str {
+        "dsc"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Baseline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        ScheduleResult::from_lazy(dag, machine, dsc_bsp(dag, machine))
+    }
+}

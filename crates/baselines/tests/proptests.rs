@@ -3,7 +3,9 @@
 //! schedulers' intermediate schedules are classically valid.
 
 use bsp_baselines::hdagg::HDaggConfig;
-use bsp_baselines::{blest_bsp, blest_schedule, cilk_bsp, cilk_schedule, etf_bsp, etf_schedule, hdagg_schedule};
+use bsp_baselines::{
+    blest_bsp, blest_schedule, cilk_bsp, cilk_schedule, etf_bsp, etf_schedule, hdagg_schedule,
+};
 use bsp_dag::random::{random_layered_dag, LayeredConfig};
 use bsp_dag::Dag;
 use bsp_model::{BspParams, NumaTopology};
@@ -12,7 +14,16 @@ use proptest::prelude::*;
 
 fn arb_dag() -> impl Strategy<Value = Dag> {
     (0u64..500, 1usize..6, 1usize..7, 0.1f64..0.8).prop_map(|(seed, layers, width, p)| {
-        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 9, max_comm: 6 })
+        random_layered_dag(
+            seed,
+            LayeredConfig {
+                layers,
+                width,
+                edge_prob: p,
+                max_work: 9,
+                max_comm: 6,
+            },
+        )
     })
 }
 

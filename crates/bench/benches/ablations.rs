@@ -4,6 +4,8 @@
 //! multilevel coarsening ratio. These measure *time*; the quality side of
 //! the same ablations is printed by `bsp-experiments -- ablation`.
 
+use bsp_baselines::etf::etf_schedule_with;
+use bsp_baselines::list::CommModel;
 use bsp_bench::{bench_instances, machine, medium_instance, numa_machine};
 use bsp_core::anneal::{simulated_annealing, AnnealConfig};
 use bsp_core::hc::{hill_climb, HillClimbConfig};
@@ -12,8 +14,6 @@ use bsp_core::multilevel::{coarsen, MultilevelConfig};
 use bsp_core::state::ScheduleState;
 use bsp_core::steepest::hill_climb_steepest;
 use bsp_core::tabu::{tabu_search, TabuConfig};
-use bsp_baselines::etf::etf_schedule_with;
-use bsp_baselines::list::CommModel;
 use bsp_ilp::{Model, Sense, SolveLimits};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -31,7 +31,10 @@ fn bench_local_search_variants(c: &mut Criterion) {
             let mut st = ScheduleState::new(&dag, &m, &init);
             hill_climb(
                 &mut st,
-                &HillClimbConfig { max_moves: Some(100), time_limit: None },
+                &HillClimbConfig {
+                    max_moves: Some(100),
+                    time_limit: None,
+                },
             );
             black_box(st.cost())
         })
@@ -41,21 +44,32 @@ fn bench_local_search_variants(c: &mut Criterion) {
             let mut st = ScheduleState::new(&dag, &m, &init);
             hill_climb_steepest(
                 &mut st,
-                &HillClimbConfig { max_moves: Some(100), time_limit: None },
+                &HillClimbConfig {
+                    max_moves: Some(100),
+                    time_limit: None,
+                },
             );
             black_box(st.cost())
         })
     });
     group.bench_function("anneal_2000_proposals", |b| {
         b.iter(|| {
-            let cfg = AnnealConfig { max_steps: 2000, time_limit: None, ..AnnealConfig::default() };
+            let cfg = AnnealConfig {
+                max_steps: 2000,
+                time_limit: None,
+                ..AnnealConfig::default()
+            };
             black_box(simulated_annealing(&dag, &m, &init, &cfg).1)
         })
     });
     group.bench_function("tabu_100_iters", |b| {
         b.iter(|| {
-            let cfg =
-                TabuConfig { max_iters: 100, stall_limit: 100, time_limit: None, tenure: 12 };
+            let cfg = TabuConfig {
+                max_iters: 100,
+                stall_limit: 100,
+                time_limit: None,
+                tenure: 12,
+            };
             black_box(tabu_search(&dag, &m, &init, &cfg).1)
         })
     });
@@ -81,7 +95,9 @@ fn bench_est_models(c: &mut Criterion) {
 /// A knapsack-style model family exercising the presolve-vs-plain solve.
 fn knapsack_model(n: usize) -> Model {
     let mut m = Model::new();
-    let xs: Vec<_> = (0..n).map(|i| m.add_binary(-(((i * 7) % 13) as f64 + 1.0))).collect();
+    let xs: Vec<_> = (0..n)
+        .map(|i| m.add_binary(-(((i * 7) % 13) as f64 + 1.0)))
+        .collect();
     let w: Vec<f64> = (0..n).map(|i| ((i * 5) % 9) as f64 + 1.0).collect();
     m.add_constraint(
         xs.iter().zip(&w).map(|(&x, &wi)| (x, wi)).collect(),
@@ -96,8 +112,11 @@ fn knapsack_model(n: usize) -> Model {
 }
 
 fn bench_presolve(c: &mut Criterion) {
-    let limits =
-        SolveLimits { max_nodes: 4000, time_limit: Duration::from_secs(10), gap: 1e-6 };
+    let limits = SolveLimits {
+        max_nodes: 4000,
+        time_limit: Duration::from_secs(10),
+        gap: 1e-6,
+    };
     let mut group = c.benchmark_group("ablation/presolve");
     group.sample_size(10);
     for n in [12usize, 20] {

@@ -38,7 +38,10 @@ fn bench_incremental_move(c: &mut Criterion) {
     let sched = spread_schedule(&dag, 8);
     let mut st = ScheduleState::new(&dag, &m, &sched);
     // Pick a node with a valid move up one superstep.
-    let v = dag.nodes().find(|&v| st.is_move_valid(v, st.proc(v), st.step(v) + 1)).unwrap();
+    let v = dag
+        .nodes()
+        .find(|&v| st.is_move_valid(v, st.proc(v), st.step(v) + 1))
+        .unwrap();
     let (p0, s0) = (st.proc(v), st.step(v));
     c.bench_function("components/apply_revert_move", |b| {
         b.iter(|| {
@@ -58,10 +61,18 @@ fn bench_simplex(c: &mut Criterion) {
         }
     }
     for i in 0..8 {
-        m.add_constraint((0..5).map(|j| (vars[i * 5 + j], 1.0)).collect(), Sense::Eq, 1.0);
+        m.add_constraint(
+            (0..5).map(|j| (vars[i * 5 + j], 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
     }
     for j in 0..5 {
-        m.add_constraint((0..8).map(|i| (vars[i * 5 + j], 1.0)).collect(), Sense::Le, 2.0);
+        m.add_constraint(
+            (0..8).map(|i| (vars[i * 5 + j], 1.0)).collect(),
+            Sense::Le,
+            2.0,
+        );
     }
     c.bench_function("components/lp_relaxation", |b| {
         b.iter(|| black_box(bsp_ilp::simplex::solve_lp(&m).objective))
@@ -83,5 +94,10 @@ fn bench_simplex(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cost_eval, bench_incremental_move, bench_simplex);
+criterion_group!(
+    benches,
+    bench_cost_eval,
+    bench_incremental_move,
+    bench_simplex
+);
 criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Registry-driven benchmark: one timing per registered scheduler on the
+//! fine-grained instance families, all through the polymorphic
+//! [`bsp_sched::registry`] entry point. A new algorithm added to the
+//! registry shows up here with zero bench changes.
+
+use bsp_bench::{bench_instances, bench_pipeline_cfg, machine};
+use bsp_sched::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_registry(c: &mut Criterion) {
+    let instances = bench_instances();
+    let m = machine(4, 3);
+    let mut group = c.benchmark_group("registry/all_schedulers");
+    group.sample_size(10);
+    for scheduler in bsp_sched::registry_with(&bench_pipeline_cfg(false)) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheduler.name()),
+            &scheduler,
+            |b, s| {
+                b.iter(|| {
+                    for (_, dag) in &instances {
+                        black_box(s.schedule(dag, &m).total());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

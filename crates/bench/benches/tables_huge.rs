@@ -34,7 +34,13 @@ fn bench_hc_sweep(c: &mut Criterion) {
     group.bench_function("hc_200_moves", |b| {
         b.iter(|| {
             let mut st = ScheduleState::new(&dag, &m, &init);
-            hill_climb(&mut st, &HillClimbConfig { max_moves: Some(200), time_limit: None });
+            hill_climb(
+                &mut st,
+                &HillClimbConfig {
+                    max_moves: Some(200),
+                    time_limit: None,
+                },
+            );
             black_box(st.cost())
         })
     });

@@ -14,13 +14,17 @@ fn bench_coarsening(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     let dag = medium_instance();
     for ratio in [0.3f64, 0.15] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("r{ratio}")), &ratio, |b, &r| {
-            b.iter(|| {
-                let target = ((dag.n() as f64) * r) as usize;
-                let log = coarsen(&dag, target, &MultilevelConfig::default());
-                black_box(stage_graph(&dag, &log).0.n())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{ratio}")),
+            &ratio,
+            |b, &r| {
+                b.iter(|| {
+                    let target = ((dag.n() as f64) * r) as usize;
+                    let log = coarsen(&dag, target, &MultilevelConfig::default());
+                    black_box(stage_graph(&dag, &log).0.n())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -32,13 +36,17 @@ fn bench_multilevel_pipeline(c: &mut Criterion) {
     let dag = medium_instance();
     for delta in [2u64, 4] {
         let m = numa_machine(8, delta);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("d{delta}")), &m, |b, m| {
-            b.iter(|| {
-                let cfg = bench_pipeline_cfg(false);
-                let ml = MultilevelConfig::default();
-                black_box(schedule_dag_multilevel(&dag, m, &cfg, &ml).cost)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{delta}")),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    let cfg = bench_pipeline_cfg(false);
+                    let ml = MultilevelConfig::default();
+                    black_box(schedule_dag_multilevel(&dag, m, &cfg, &ml).cost)
+                })
+            },
+        );
     }
     group.finish();
 }

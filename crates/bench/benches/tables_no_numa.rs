@@ -21,13 +21,17 @@ fn bench_table1_pipeline(c: &mut Criterion) {
     for p in [4usize, 8] {
         for g in [1u64, 5] {
             let m = machine(p, g);
-            group.bench_with_input(BenchmarkId::from_parameter(format!("P{p}_g{g}")), &m, |b, m| {
-                b.iter(|| {
-                    for (_, dag) in &instances {
-                        black_box(schedule_dag(dag, m, &bench_pipeline_cfg(true)).cost);
-                    }
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("P{p}_g{g}")),
+                &m,
+                |b, m| {
+                    b.iter(|| {
+                        for (_, dag) in &instances {
+                            black_box(schedule_dag(dag, m, &bench_pipeline_cfg(true)).cost);
+                        }
+                    })
+                },
+            );
         }
     }
     group.finish();
@@ -50,7 +54,11 @@ fn bench_table7_baselines(c: &mut Criterion) {
     group.bench_function("hdagg", |b| {
         b.iter(|| {
             for (_, dag) in &instances {
-                black_box(lazy_cost(dag, &m, &hdagg_schedule(dag, &m, HDaggConfig::default())));
+                black_box(lazy_cost(
+                    dag,
+                    &m,
+                    &hdagg_schedule(dag, &m, HDaggConfig::default()),
+                ));
             }
         })
     });
@@ -90,5 +98,10 @@ fn bench_table9_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table1_pipeline, bench_table7_baselines, bench_table9_latency);
+criterion_group!(
+    benches,
+    bench_table1_pipeline,
+    bench_table7_baselines,
+    bench_table9_latency
+);
 criterion_main!(benches);

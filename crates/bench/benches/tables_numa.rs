@@ -45,7 +45,11 @@ fn bench_table12_huge_numa(c: &mut Criterion) {
     group.bench_function("baselines", |b| {
         b.iter(|| {
             black_box(lazy_cost(&dag, &m, &cilk_bsp(&dag, &m, 42)));
-            black_box(lazy_cost(&dag, &m, &hdagg_schedule(&dag, &m, HDaggConfig::default())));
+            black_box(lazy_cost(
+                &dag,
+                &m,
+                &hdagg_schedule(&dag, &m, HDaggConfig::default()),
+            ));
         })
     });
     group.bench_function("pipeline_no_ilp", |b| {

@@ -9,9 +9,9 @@ use bsp_core::hc::HillClimbConfig;
 use bsp_core::hccs::CommHillClimbConfig;
 use bsp_core::ilp::IlpConfig;
 use bsp_core::pipeline::PipelineConfig;
+use bsp_dag::Dag;
 use bsp_dagdb::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
 use bsp_dagdb::SparsePattern;
-use bsp_dag::Dag;
 use bsp_model::{BspParams, NumaTopology};
 use std::time::Duration;
 
@@ -20,8 +20,14 @@ pub fn bench_instances() -> Vec<(&'static str, Dag)> {
     vec![
         ("spmv", spmv_dag(&SparsePattern::random(16, 0.25, 1))),
         ("exp", exp_dag(&SparsePattern::random(10, 0.25, 2), 3)),
-        ("cg", cg_dag(&SparsePattern::random_with_diagonal(8, 0.3, 3), 2)),
-        ("knn", knn_dag(&SparsePattern::random_with_diagonal(12, 0.3, 4), 0, 3)),
+        (
+            "cg",
+            cg_dag(&SparsePattern::random_with_diagonal(8, 0.3, 3), 2),
+        ),
+        (
+            "knn",
+            knn_dag(&SparsePattern::random_with_diagonal(12, 0.3, 4), 0, 3),
+        ),
     ]
 }
 
@@ -48,7 +54,10 @@ pub fn numa_machine(p: usize, delta: u64) -> BspParams {
 /// Bench-sized pipeline budgets.
 pub fn bench_pipeline_cfg(ilp: bool) -> PipelineConfig {
     PipelineConfig {
-        hc: HillClimbConfig { max_moves: Some(300), time_limit: Some(Duration::from_millis(300)) },
+        hc: HillClimbConfig {
+            max_moves: Some(300),
+            time_limit: Some(Duration::from_millis(300)),
+        },
         hccs: CommHillClimbConfig {
             max_moves: Some(300),
             time_limit: Some(Duration::from_millis(150)),

@@ -175,12 +175,7 @@ fn propose(
 
 /// Samples random valid moves and returns a temperature at which the mean
 /// uphill delta is accepted with probability ≈ 0.6 (T = Δ̄ / ln(1/0.6)).
-fn calibrate_temperature(
-    state: &mut ScheduleState<'_>,
-    rng: &mut SmallRng,
-    n: u32,
-    p: u32,
-) -> f64 {
+fn calibrate_temperature(state: &mut ScheduleState<'_>, rng: &mut SmallRng, n: u32, p: u32) -> f64 {
     let mut total_uphill = 0u64;
     let mut count = 0u32;
     for _ in 0..256 {
@@ -227,7 +222,12 @@ mod tests {
         for seed in 0..5 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 5, width: 5, edge_prob: 0.4, ..Default::default() },
+                LayeredConfig {
+                    layers: 5,
+                    width: 5,
+                    edge_prob: 0.4,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 3, 5);
             let sched = BspSchedule::zeroed(dag.n());
@@ -257,7 +257,12 @@ mod tests {
         // moves must be accepted (that is the entire point of annealing).
         let dag = random_layered_dag(
             11,
-            LayeredConfig { layers: 6, width: 5, edge_prob: 0.35, ..Default::default() },
+            LayeredConfig {
+                layers: 6,
+                width: 5,
+                edge_prob: 0.35,
+                ..Default::default()
+            },
         );
         let machine = BspParams::new(4, 4, 5);
         let sched = BspSchedule::zeroed(dag.n());
@@ -281,7 +286,13 @@ mod tests {
         let machine = BspParams::new(4, 1, 2);
         let sched = BspSchedule::from_parts(vec![0, 0, 1, 1], vec![0; 4]);
         let mut st = ScheduleState::new(&dag, &machine, &sched);
-        hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: None });
+        hill_climb(
+            &mut st,
+            &HillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
+        );
         let greedy = st.cost();
         assert_eq!(greedy, 22, "premise: greedy is plateau-stuck");
 
@@ -313,7 +324,11 @@ mod tests {
         let dag = random_layered_dag(1, LayeredConfig::default());
         let machine = BspParams::new(4, 2, 3);
         let sched = BspSchedule::zeroed(dag.n());
-        let cfg = AnnealConfig { max_steps: 100, time_limit: None, ..AnnealConfig::default() };
+        let cfg = AnnealConfig {
+            max_steps: 100,
+            time_limit: None,
+            ..AnnealConfig::default()
+        };
         let (_, _, stats) = simulated_annealing(&dag, &machine, &sched, &cfg);
         assert!(stats.proposed <= 100);
     }

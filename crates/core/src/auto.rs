@@ -95,7 +95,10 @@ pub fn schedule_dag_auto(
         return (schedule_dag(dag, machine, cfg), Strategy::Base);
     }
     if dominance >= auto.ccr_hi {
-        return (schedule_dag_multilevel(dag, machine, cfg, &auto.ml), Strategy::Multilevel);
+        return (
+            schedule_dag_multilevel(dag, machine, cfg, &auto.ml),
+            Strategy::Multilevel,
+        );
     }
     let base = schedule_dag(dag, machine, cfg);
     let ml = schedule_dag_multilevel(dag, machine, cfg, &auto.ml);
@@ -112,13 +115,21 @@ mod tests {
     use bsp_schedule::validity::validate;
 
     fn fast_cfg() -> PipelineConfig {
-        PipelineConfig { enable_ilp: false, ..Default::default() }
+        PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        }
     }
 
     fn sample(n_layers: usize) -> Dag {
         random_layered_dag(
             17,
-            LayeredConfig { layers: n_layers, width: 8, edge_prob: 0.3, ..Default::default() },
+            LayeredConfig {
+                layers: n_layers,
+                width: 8,
+                edge_prob: 0.3,
+                ..Default::default()
+            },
         )
     }
 
@@ -167,7 +178,10 @@ mod tests {
     fn small_dags_never_use_ml() {
         let dag = sample(2); // well under min_nodes_for_ml with width 8
         let machine = BspParams::new(16, 5, 5).with_numa(NumaTopology::binary_tree(16, 4));
-        let auto = AutoConfig { min_nodes_for_ml: 1_000, ..AutoConfig::default() };
+        let auto = AutoConfig {
+            min_nodes_for_ml: 1_000,
+            ..AutoConfig::default()
+        };
         let (_, strat) = schedule_dag_auto(&dag, &machine, &fast_cfg(), &auto);
         assert_eq!(strat, Strategy::Base);
     }

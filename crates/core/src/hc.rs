@@ -22,7 +22,10 @@ pub struct HillClimbConfig {
 
 impl Default for HillClimbConfig {
     fn default() -> Self {
-        HillClimbConfig { max_moves: None, time_limit: Some(Duration::from_secs(5)) }
+        HillClimbConfig {
+            max_moves: None,
+            time_limit: Some(Duration::from_secs(5)),
+        }
     }
 }
 
@@ -45,18 +48,27 @@ pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillC
     let mut accepted = 0usize;
 
     if n == 0 {
-        return HillClimbStats { accepted: 0, local_minimum: true };
+        return HillClimbStats {
+            accepted: 0,
+            local_minimum: true,
+        };
     }
 
     loop {
         let mut improved_this_sweep = false;
         for v in 0..n as NodeId {
             if accepted >= max_moves {
-                return HillClimbStats { accepted, local_minimum: false };
+                return HillClimbStats {
+                    accepted,
+                    local_minimum: false,
+                };
             }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
-                    return HillClimbStats { accepted, local_minimum: false };
+                    return HillClimbStats {
+                        accepted,
+                        local_minimum: false,
+                    };
                 }
             }
             // Try moves for v until none improves (a node can profitably
@@ -68,7 +80,10 @@ pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillC
                         accepted += 1;
                         improved_this_sweep = true;
                         if accepted >= max_moves {
-                            return HillClimbStats { accepted, local_minimum: false };
+                            return HillClimbStats {
+                                accepted,
+                                local_minimum: false,
+                            };
                         }
                     }
                     false => break,
@@ -76,7 +91,10 @@ pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillC
             }
         }
         if !improved_this_sweep {
-            return HillClimbStats { accepted, local_minimum: true };
+            return HillClimbStats {
+                accepted,
+                local_minimum: true,
+            };
         }
     }
 }
@@ -129,7 +147,13 @@ mod tests {
         let mut st = ScheduleState::new(&dag, &machine, &sched);
         let before = st.cost(); // 6 work + 5 transfers * 25 + 6 latencies = 149
         assert_eq!(before, 149);
-        let stats = hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: None });
+        let stats = hill_climb(
+            &mut st,
+            &HillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
+        );
         assert!(stats.local_minimum);
         assert_eq!(st.cost(), st.recomputed_cost());
         assert!(validate_lazy(&dag, 2, &st.snapshot()).is_ok());
@@ -156,18 +180,37 @@ mod tests {
         let sched = BspSchedule::zeroed(4);
         let mut st = ScheduleState::new(&dag, &machine, &sched);
         assert_eq!(st.cost(), 42);
-        hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: None });
+        hill_climb(
+            &mut st,
+            &HillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
+        );
         assert!(st.cost() <= 22, "got {}", st.cost());
         assert_eq!(st.cost(), st.recomputed_cost());
     }
 
     #[test]
     fn respects_move_budget() {
-        let dag = random_layered_dag(1, LayeredConfig { layers: 4, width: 6, ..Default::default() });
+        let dag = random_layered_dag(
+            1,
+            LayeredConfig {
+                layers: 4,
+                width: 6,
+                ..Default::default()
+            },
+        );
         let machine = BspParams::new(4, 2, 3);
         let sched = BspSchedule::zeroed(dag.n());
         let mut st = ScheduleState::new(&dag, &machine, &sched);
-        let stats = hill_climb(&mut st, &HillClimbConfig { max_moves: Some(3), time_limit: None });
+        let stats = hill_climb(
+            &mut st,
+            &HillClimbConfig {
+                max_moves: Some(3),
+                time_limit: None,
+            },
+        );
         assert!(stats.accepted <= 3);
     }
 
@@ -176,16 +219,30 @@ mod tests {
         for seed in 0..6 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 5, width: 5, edge_prob: 0.4, ..Default::default() },
+                LayeredConfig {
+                    layers: 5,
+                    width: 5,
+                    edge_prob: 0.4,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 3, 5);
             let sched = BspSchedule::zeroed(dag.n());
             let mut st = ScheduleState::new(&dag, &machine, &sched);
             let before = st.cost();
-            hill_climb(&mut st, &HillClimbConfig { max_moves: Some(500), time_limit: None });
+            hill_climb(
+                &mut st,
+                &HillClimbConfig {
+                    max_moves: Some(500),
+                    time_limit: None,
+                },
+            );
             assert!(st.cost() <= before, "seed {seed}");
             assert_eq!(st.cost(), st.recomputed_cost(), "seed {seed}");
-            assert!(validate_lazy(&dag, 4, &st.snapshot()).is_ok(), "seed {seed}");
+            assert!(
+                validate_lazy(&dag, 4, &st.snapshot()).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -23,7 +23,10 @@ pub struct CommHillClimbConfig {
 
 impl Default for CommHillClimbConfig {
     fn default() -> Self {
-        CommHillClimbConfig { max_moves: None, time_limit: Some(Duration::from_secs(2)) }
+        CommHillClimbConfig {
+            max_moves: None,
+            time_limit: Some(Duration::from_secs(2)),
+        }
     }
 }
 
@@ -124,7 +127,10 @@ impl<'a> CommState<'a> {
     fn compute_step_cost(&self, s: usize) -> u64 {
         let p = self.machine.p();
         let row = s * p;
-        let c = (0..p).map(|q| self.send[row + q].max(self.recv[row + q])).max().unwrap_or(0);
+        let c = (0..p)
+            .map(|q| self.send[row + q].max(self.recv[row + q]))
+            .max()
+            .unwrap_or(0);
         let nonempty = self.has_work[s] || self.comm_count[s] > 0;
         self.work_max[s] + self.machine.g() * c + if nonempty { self.machine.l() } else { 0 }
     }
@@ -160,7 +166,12 @@ impl<'a> CommState<'a> {
             self.transfers
                 .iter()
                 .zip(&self.phase)
-                .map(|(t, &s)| CommStep { node: t.node, from: t.from, to: t.to, step: s })
+                .map(|(t, &s)| CommStep {
+                    node: t.node,
+                    from: t.from,
+                    to: t.to,
+                    step: s,
+                })
                 .collect(),
         )
     }
@@ -255,7 +266,13 @@ mod tests {
         let sched = BspSchedule::from_parts(vec![0, 0, 2, 1, 1, 3], vec![0, 1, 0, 1, 2, 2]);
         let mut st = CommState::new(&dag, &machine, &sched);
         let lazy = st.cost();
-        let moves = comm_hill_climb(&mut st, &CommHillClimbConfig { max_moves: None, time_limit: None });
+        let moves = comm_hill_climb(
+            &mut st,
+            &CommHillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
+        );
         assert!(moves >= 1);
         assert_eq!(st.cost(), lazy - 4, "expected 15 -> 11 comm units");
         // Result must stay a valid explicit schedule.
@@ -298,7 +315,10 @@ mod tests {
             &dag,
             &machine,
             &sched,
-            &CommHillClimbConfig { max_moves: None, time_limit: None },
+            &CommHillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
         );
         assert!(validate(&dag, 3, &sched, &comm).is_ok());
         assert_eq!(cost, total_cost(&dag, &machine, &sched, &comm));

@@ -58,14 +58,25 @@ pub fn ilp_comm(
         for s in t.earliest..=t.latest {
             vars.push((s, model.add_binary(0.0)));
         }
-        model.add_constraint(vars.iter().map(|&(_, v)| (v, 1.0)).collect(), Sense::Eq, 1.0);
+        model.add_constraint(
+            vars.iter().map(|&(_, v)| (v, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
         x.push(vars);
     }
     // commMax per step (objective g) and used for workless steps (objective ℓ).
-    let comm_max: Vec<VarId> =
-        (0..n_steps).map(|_| model.add_continuous(0.0, f64::INFINITY, machine.g() as f64)).collect();
+    let comm_max: Vec<VarId> = (0..n_steps)
+        .map(|_| model.add_continuous(0.0, f64::INFINITY, machine.g() as f64))
+        .collect();
     let used: Vec<Option<VarId>> = (0..n_steps)
-        .map(|s| if has_work[s] { None } else { Some(model.add_binary(machine.l() as f64)) })
+        .map(|s| {
+            if has_work[s] {
+                None
+            } else {
+                Some(model.add_binary(machine.l() as f64))
+            }
+        })
         .collect();
 
     // h-relation rows.
@@ -131,14 +142,21 @@ pub fn ilp_comm(
     let mut recv = vec![0u64; n_steps * p];
     let mut carries = vec![false; n_steps];
     for (i, t) in transfers.iter().enumerate() {
-        let phase = x[i].iter().find(|&&(_, v)| warm[v.index()] > 0.5).unwrap().0 as usize;
+        let phase = x[i]
+            .iter()
+            .find(|&&(_, v)| warm[v.index()] > 0.5)
+            .unwrap()
+            .0 as usize;
         let wgt = dag.comm(t.node) * machine.lambda(t.from as usize, t.to as usize);
         send[phase * p + t.from as usize] += wgt;
         recv[phase * p + t.to as usize] += wgt;
         carries[phase] = true;
     }
     for s in 0..n_steps {
-        let m = (0..p).map(|q| send[s * p + q].max(recv[s * p + q])).max().unwrap_or(0);
+        let m = (0..p)
+            .map(|q| send[s * p + q].max(recv[s * p + q]))
+            .max()
+            .unwrap_or(0);
         warm[comm_max[s].index()] = m as f64;
         if let Some(us) = used[s] {
             if model.upper(us) > 0.5 {
@@ -146,7 +164,10 @@ pub fn ilp_comm(
             }
         }
     }
-    debug_assert!(model.is_feasible(&warm, 1e-5), "ILPcs warm start must be feasible");
+    debug_assert!(
+        model.is_feasible(&warm, 1e-5),
+        "ILPcs warm start must be feasible"
+    );
 
     // ILPcs models are pure-binary with tight LP relaxations; the presolve
     // pass (region-preserving, see `bsp_ilp::presolve`) only shrinks them.
@@ -163,7 +184,12 @@ pub fn ilp_comm(
                 .find(|&&(_, v)| sol.x[v.index()] > 0.5)
                 .map(|&(sp, _)| sp)
                 .unwrap_or(t.latest);
-            CommStep { node: t.node, from: t.from, to: t.to, step: phase }
+            CommStep {
+                node: t.node,
+                from: t.from,
+                to: t.to,
+                step: phase,
+            }
         })
         .collect();
     let cand = CommSchedule::from_entries(entries);

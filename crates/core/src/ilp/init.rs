@@ -77,10 +77,15 @@ pub fn ilp_init(dag: &Dag, machine: &BspParams, cfg: &IlpConfig) -> BspSchedule 
             &sched,
             s1,
             s2,
-            WindowOptions { require_external_delivery: false },
+            WindowOptions {
+                require_external_delivery: false,
+            },
         );
         let warm = w.warm_start(dag, machine, &sched);
-        debug_assert!(w.model.is_feasible(&warm, 1e-5), "ILPinit warm start must be feasible");
+        debug_assert!(
+            w.model.is_feasible(&warm, 1e-5),
+            "ILPinit warm start must be feasible"
+        );
         let sol = super::solve_model(&w.model, Some(&warm), &cfg.limits, cfg.use_presolve);
         if !sol.x.is_empty() {
             let cand = w.extract(&sol.x, &sched);
@@ -124,7 +129,12 @@ mod tests {
         for seed in 0..4 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 4, width: 4, edge_prob: 0.4, ..Default::default() },
+                LayeredConfig {
+                    layers: 4,
+                    width: 4,
+                    edge_prob: 0.4,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(2, 1, 3);
             let s = ilp_init(&dag, &machine, &IlpConfig::default());

@@ -92,7 +92,10 @@ pub fn ilp_full(
     }
     let w = WindowIlp::build(dag, machine, &base, 0, s_max - 1, WindowOptions::default());
     let warm = w.warm_start(dag, machine, &base);
-    debug_assert!(w.model.is_feasible(&warm, 1e-5), "warm start must satisfy the window model");
+    debug_assert!(
+        w.model.is_feasible(&warm, 1e-5),
+        "warm start must satisfy the window model"
+    );
     let sol = solve_model(&w.model, Some(&warm), &cfg.limits, cfg.use_presolve);
     let proven = sol.status == bsp_ilp::MipStatus::Optimal;
     if sol.x.is_empty() {
@@ -162,7 +165,11 @@ pub fn ilp_part(
 }
 
 fn count_nodes_in(sched: &BspSchedule, s1: u32, s2: u32) -> usize {
-    sched.steps().iter().filter(|&&s| s >= s1 && s <= s2).count()
+    sched
+        .steps()
+        .iter()
+        .filter(|&&s| s >= s1 && s <= s2)
+        .count()
 }
 
 fn accept_if_better(
@@ -217,7 +224,10 @@ mod tests {
         let after = lazy_cost(&dag, &machine, &better);
         assert!(validate_lazy(&dag, 2, &better).is_ok());
         assert!(after <= before);
-        assert!(after < before, "expected strict improvement: {before} -> {after}");
+        assert!(
+            after < before,
+            "expected strict improvement: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -225,10 +235,16 @@ mod tests {
         let dag = tiny_dag();
         let machine = BspParams::new(2, 1, 2);
         let sched = BspSchedule::from_parts(vec![0, 0, 0, 0, 0], vec![0, 1, 2, 3, 4]);
-        let cfg = IlpConfig { full_max_vars: 1, ..Default::default() };
+        let cfg = IlpConfig {
+            full_max_vars: 1,
+            ..Default::default()
+        };
         let (out, proven) = ilp_full(&dag, &machine, &sched, &cfg);
         assert!(!proven);
-        assert_eq!(lazy_cost(&dag, &machine, &out), lazy_cost(&dag, &machine, &sched));
+        assert_eq!(
+            lazy_cost(&dag, &machine, &out),
+            lazy_cost(&dag, &machine, &sched)
+        );
     }
 
     #[test]
@@ -238,7 +254,10 @@ mod tests {
         let sched = BspSchedule::from_parts(vec![0, 1, 1, 0, 1], vec![0, 1, 0, 1, 2]);
         assert!(validate_lazy(&dag, 2, &sched).is_ok());
         let before = lazy_cost(&dag, &machine, &sched);
-        let cfg = IlpConfig { part_target_vars: 200, ..Default::default() };
+        let cfg = IlpConfig {
+            part_target_vars: 200,
+            ..Default::default()
+        };
         let out = ilp_part(&dag, &machine, &sched, &cfg);
         assert!(validate_lazy(&dag, 2, &out).is_ok());
         assert!(lazy_cost(&dag, &machine, &out) <= before);

@@ -42,7 +42,9 @@ pub struct WindowOptions {
 
 impl Default for WindowOptions {
     fn default() -> Self {
-        WindowOptions { require_external_delivery: true }
+        WindowOptions {
+            require_external_delivery: true,
+        }
     }
 }
 
@@ -140,7 +142,7 @@ impl WindowIlp {
             }
             let pu = sched.proc(u);
             w.avail.insert((u, pu), 0); // present on its own processor always
-            // first external need per processor
+                                        // first external need per processor
             let mut fne: HashMap<u32, u32> = HashMap::new();
             for &c in dag.successors(u) {
                 if w.in_v0[c as usize] {
@@ -221,13 +223,14 @@ impl WindowIlp {
             w.work_max.insert(s, id);
         }
         for s in phase_lo..=s2 {
-            let id = w.model.add_continuous(0.0, f64::INFINITY, machine.g() as f64);
+            let id = w
+                .model
+                .add_continuous(0.0, f64::INFINITY, machine.g() as f64);
             w.comm_max.insert(s, id);
         }
         for s in phase_lo..=s2 {
-            let has_const = (0..p as u32).any(|q| {
-                const_send.contains_key(&(s, q)) || const_recv.contains_key(&(s, q))
-            });
+            let has_const = (0..p as u32)
+                .any(|q| const_send.contains_key(&(s, q)) || const_recv.contains_key(&(s, q)));
             if !has_const {
                 let id = w.model.add_binary(machine.l() as f64);
                 w.used.insert(s, id);
@@ -249,11 +252,17 @@ impl WindowIlp {
         for &v in &all_pres_nodes {
             for q in 0..p as u32 {
                 for s in s1..=s2 {
-                    let Some(&pv) = w.pres.get(&(v, q, s)) else { continue };
+                    let Some(&pv) = w.pres.get(&(v, q, s)) else {
+                        continue;
+                    };
                     // pres <= prev + comp(v,q,s) + sum comm into q at s-1.
                     let mut terms: Vec<(VarId, f64)> = vec![(pv, 1.0)];
                     let mut rhs = 0.0;
-                    let prev = if s == s1 { w.pres_base(v, q) } else { w.pres_ref(v, q, s - 1) };
+                    let prev = if s == s1 {
+                        w.pres_base(v, q)
+                    } else {
+                        w.pres_ref(v, q, s - 1)
+                    };
                     match prev {
                         Pres::One => rhs += 1.0,
                         Pres::Zero => {}
@@ -286,7 +295,8 @@ impl WindowIlp {
                                 w.model.set_bounds(c, 0.0, 0.0);
                             }
                             Pres::Var(pu) => {
-                                w.model.add_constraint(vec![(c, 1.0), (pu, -1.0)], Sense::Le, 0.0);
+                                w.model
+                                    .add_constraint(vec![(c, 1.0), (pu, -1.0)], Sense::Le, 0.0);
                             }
                         }
                     }
@@ -299,14 +309,19 @@ impl WindowIlp {
         let comm_keys: Vec<(NodeId, u32, u32, u32)> = w.comm.keys().copied().collect();
         for (v, p1, _p2, s) in comm_keys {
             let cm = w.comm[&(v, p1, _p2, s)];
-            let pres = if s < s1 { w.pres_base(v, p1) } else { w.pres_ref(v, p1, s) };
+            let pres = if s < s1 {
+                w.pres_base(v, p1)
+            } else {
+                w.pres_ref(v, p1, s)
+            };
             match pres {
                 Pres::One => {}
                 Pres::Zero => {
                     w.model.set_bounds(cm, 0.0, 0.0);
                 }
                 Pres::Var(pv) => {
-                    w.model.add_constraint(vec![(cm, 1.0), (pv, -1.0)], Sense::Le, 0.0);
+                    w.model
+                        .add_constraint(vec![(cm, 1.0), (pv, -1.0)], Sense::Le, 0.0);
                 }
             }
         }
@@ -338,11 +353,10 @@ impl WindowIlp {
         // 6. Work aggregation rows.
         for s in s1..=s2 {
             for q in 0..p as u32 {
-                let mut terms: Vec<(VarId, f64)> = w
-                    .v0
-                    .iter()
-                    .map(|&v| (w.comp[&(v, q, s)], dag.work(v) as f64))
-                    .collect();
+                let mut terms: Vec<(VarId, f64)> =
+                    w.v0.iter()
+                        .map(|&v| (w.comp[&(v, q, s)], dag.work(v) as f64))
+                        .collect();
                 terms.push((w.work_max[&s], -1.0));
                 w.model.add_constraint(terms, Sense::Le, 0.0);
             }
@@ -415,7 +429,7 @@ impl WindowIlp {
             return Pres::Zero;
         }
         match self.avail.get(&(v, q)) {
-            Some(&f) if f <= self.s1 - 1 => Pres::One,
+            Some(&f) if f < self.s1 => Pres::One,
             _ => Pres::Zero,
         }
     }
@@ -485,7 +499,10 @@ impl WindowIlp {
             let mut base = 0.0f64;
             for c in self.model.constraints() {
                 // rows are  Σ terms - commMax <= -const; find rows with this commMax
-                if c.terms.iter().any(|&(vid, coef)| vid == cid && coef == -1.0) {
+                if c.terms
+                    .iter()
+                    .any(|&(vid, coef)| vid == cid && coef == -1.0)
+                {
                     let mut lhs = 0.0;
                     for &(vid, coef) in &c.terms {
                         if vid != cid {

@@ -26,7 +26,8 @@ pub fn bspg_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
     let mut end_step = false;
     let mut assigned = vec![false; n];
     let mut finished = vec![false; n];
-    let mut unfinished_preds: Vec<u32> = (0..n).map(|v| dag.in_degree(v as NodeId) as u32).collect();
+    let mut unfinished_preds: Vec<u32> =
+        (0..n).map(|v| dag.in_degree(v as NodeId) as u32).collect();
 
     // Global pool of ready-but-unassigned nodes.
     let mut ready: BTreeSet<NodeId> = BTreeSet::new();
@@ -76,9 +77,10 @@ pub fn bspg_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
                         ready.insert(u);
                         // u is assignable on pv within this superstep iff
                         // every predecessor is on pv or in an earlier superstep.
-                        let local = dag.predecessors(u).iter().all(|&u0| {
-                            sched.proc(u0) == pv || sched.step(u0) < superstep
-                        });
+                        let local = dag
+                            .predecessors(u)
+                            .iter()
+                            .all(|&u0| sched.proc(u0) == pv || sched.step(u0) < superstep);
                         if local {
                             ready_proc[pv as usize].insert(u);
                         }
@@ -129,7 +131,9 @@ pub fn bspg_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
         // condition — which Algorithm 1 leaves implicit — a sequential
         // chain would close a superstep after every node, despite the next
         // node being assignable locally.)
-        let idle = (0..p).filter(|&q| free[q] && ready_proc[q].is_empty()).count();
+        let idle = (0..p)
+            .filter(|&q| free[q] && ready_proc[q].is_empty())
+            .count();
         if ready_all.is_empty() && idle * 2 >= p && !ready.is_empty() {
             end_step = true;
         }
@@ -246,7 +250,12 @@ mod tests {
         for seed in 0..8 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 6, width: 7, edge_prob: 0.35, ..Default::default() },
+                LayeredConfig {
+                    layers: 6,
+                    width: 7,
+                    edge_prob: 0.35,
+                    ..Default::default()
+                },
             );
             for p in [1usize, 2, 4, 8] {
                 let machine = BspParams::new(p, 2, 3);

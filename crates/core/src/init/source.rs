@@ -25,12 +25,12 @@ pub fn source_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
     let mut superstep = 0u32;
 
     let assign = |v: NodeId,
-                      q: u32,
-                      s: u32,
-                      sched: &mut BspSchedule,
-                      assigned: &mut Vec<bool>,
-                      remaining_preds: &mut Vec<u32>,
-                      n_assigned: &mut usize| {
+                  q: u32,
+                  s: u32,
+                  sched: &mut BspSchedule,
+                  assigned: &mut Vec<bool>,
+                  remaining_preds: &mut Vec<u32>,
+                  n_assigned: &mut usize| {
         debug_assert!(!assigned[v as usize]);
         sched.set(v, q, s);
         assigned[v as usize] = true;
@@ -44,7 +44,10 @@ pub fn source_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
         let sources: Vec<NodeId> = (0..n as NodeId)
             .filter(|&v| !assigned[v as usize] && remaining_preds[v as usize] == 0)
             .collect();
-        debug_assert!(!sources.is_empty(), "a DAG always has a source among unassigned nodes");
+        debug_assert!(
+            !sources.is_empty(),
+            "a DAG always has a source among unassigned nodes"
+        );
 
         let mut q = 0u32;
         if superstep == 0 {
@@ -53,7 +56,15 @@ pub fn source_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
             let clusters = cluster_sources(dag, &sources);
             for c in clusters {
                 for v in c {
-                    assign(v, q, superstep, &mut sched, &mut assigned, &mut remaining_preds, &mut n_assigned);
+                    assign(
+                        v,
+                        q,
+                        superstep,
+                        &mut sched,
+                        &mut assigned,
+                        &mut remaining_preds,
+                        &mut n_assigned,
+                    );
                 }
                 q = (q + 1) % p;
             }
@@ -61,7 +72,15 @@ pub fn source_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
             let mut order = sources.clone();
             order.sort_by_key(|&v| (std::cmp::Reverse(dag.work(v)), v));
             for v in order {
-                assign(v, q, superstep, &mut sched, &mut assigned, &mut remaining_preds, &mut n_assigned);
+                assign(
+                    v,
+                    q,
+                    superstep,
+                    &mut sched,
+                    &mut assigned,
+                    &mut remaining_preds,
+                    &mut n_assigned,
+                );
                 q = (q + 1) % p;
             }
         }
@@ -78,7 +97,15 @@ pub fn source_schedule(dag: &Dag, machine: &BspParams) -> BspSchedule {
                     .iter()
                     .all(|&u0| assigned[u0 as usize] && sched.proc(u0) == pv);
                 if all_same {
-                    assign(u, pv, superstep, &mut sched, &mut assigned, &mut remaining_preds, &mut n_assigned);
+                    assign(
+                        u,
+                        pv,
+                        superstep,
+                        &mut sched,
+                        &mut assigned,
+                        &mut remaining_preds,
+                        &mut n_assigned,
+                    );
                 }
             }
         }
@@ -117,7 +144,8 @@ fn cluster_sources(dag: &Dag, sources: &[NodeId]) -> Vec<Vec<NodeId>> {
             }
         }
     }
-    let mut root_members: std::collections::BTreeMap<usize, Vec<NodeId>> = std::collections::BTreeMap::new();
+    let mut root_members: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
     for i in 0..sources.len() {
         let r = find(&mut parent, i);
         root_members.entry(r).or_default().push(sources[i]);
@@ -205,7 +233,12 @@ mod tests {
         for seed in 0..8 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 5, width: 6, edge_prob: 0.4, ..Default::default() },
+                LayeredConfig {
+                    layers: 5,
+                    width: 6,
+                    edge_prob: 0.4,
+                    ..Default::default()
+                },
             );
             for p in [1usize, 3, 4] {
                 let machine = BspParams::new(p, 1, 5);

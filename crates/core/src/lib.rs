@@ -1,7 +1,7 @@
 //! The BSP+NUMA scheduling framework — the paper's primary contribution.
 //!
 //! This crate implements the full algorithm suite of *Efficient
-//! Multi-Processor Scheduling in Increasingly Realistic Models* (SPAA 2024):
+//! Multi-Processor Scheduling in Increasingly Realistic Models* (IPPS 2024):
 //!
 //! * **Initialization heuristics** (§4.2): [`init::bspg`] (Algorithm 1),
 //!   [`init::source`] (Algorithm 2), and the ILP-based [`ilp::init`].
@@ -47,6 +47,7 @@ pub mod ilp;
 pub mod init;
 pub mod multilevel;
 pub mod pipeline;
+pub mod schedulers;
 pub mod state;
 pub mod steepest;
 pub mod tabu;
@@ -55,4 +56,5 @@ pub use auto::{schedule_dag_auto, AutoConfig, Strategy};
 pub use pipeline::{
     schedule_dag, schedule_dag_multilevel, EscapeSearch, PipelineConfig, PipelineResult,
 };
+pub use schedulers::{AutoScheduler, BasePipeline, BspgInit, MultilevelPipeline, SourceInit};
 pub use state::ScheduleState;

@@ -41,7 +41,12 @@ pub struct MultilevelConfig {
 
 impl Default for MultilevelConfig {
     fn default() -> Self {
-        MultilevelConfig { ratios: vec![0.3, 0.15], refine_interval: 5, refine_moves: 100, refresh_period: 64 }
+        MultilevelConfig {
+            ratios: vec![0.3, 0.15],
+            refine_interval: 5,
+            refine_moves: 100,
+            refresh_period: 64,
+        }
     }
 }
 
@@ -184,7 +189,10 @@ pub fn multilevel_with_log(
         let mut st = ScheduleState::new(&stage, machine, &projected);
         hill_climb(
             &mut st,
-            &HillClimbConfig { max_moves: Some(cfg.refine_moves), time_limit: None },
+            &HillClimbConfig {
+                max_moves: Some(cfg.refine_moves),
+                time_limit: None,
+            },
         );
         prev_sched = st.snapshot();
         prev_k = k;
@@ -229,7 +237,13 @@ mod tests {
     fn sample(seed: u64) -> Dag {
         random_layered_dag(
             seed,
-            LayeredConfig { layers: 6, width: 6, edge_prob: 0.3, max_work: 5, max_comm: 6 },
+            LayeredConfig {
+                layers: 6,
+                width: 6,
+                edge_prob: 0.3,
+                max_work: 5,
+                max_comm: 6,
+            },
         )
     }
 
@@ -251,7 +265,10 @@ mod tests {
         let reps = representatives(dag.n(), &log);
         let (_, map) = stage_graph(&dag, &log);
         for v in dag.nodes() {
-            assert!(map[reps[v as usize] as usize].is_some(), "rep of {v} must be alive");
+            assert!(
+                map[reps[v as usize] as usize].is_some(),
+                "rep of {v} must be alive"
+            );
         }
     }
 
@@ -274,12 +291,21 @@ mod tests {
         let mut base = |d: &Dag, m: &BspParams| {
             let s = crate::init::bspg::bspg_schedule(d, m);
             let mut st = ScheduleState::new(d, m, &s);
-            hill_climb(&mut st, &HillClimbConfig { max_moves: Some(300), time_limit: None });
+            hill_climb(
+                &mut st,
+                &HillClimbConfig {
+                    max_moves: Some(300),
+                    time_limit: None,
+                },
+            );
             st.snapshot()
         };
         let sched = multilevel_schedule(&dag, &machine, &MultilevelConfig::default(), &mut base);
         assert!(validate_lazy(&dag, 4, &sched).is_ok());
         let cost = lazy_cost(&dag, &machine, &sched);
-        assert!(cost <= trivial + trivial / 2, "multilevel wildly off: {cost} vs trivial {trivial}");
+        assert!(
+            cost <= trivial + trivial / 2,
+            "multilevel wildly off: {cost} vs trivial {trivial}"
+        );
     }
 }

@@ -108,8 +108,10 @@ pub struct PipelineResult {
 
 /// Runs the Figure-3 pipeline.
 pub fn schedule_dag(dag: &Dag, machine: &BspParams, cfg: &PipelineConfig) -> PipelineResult {
-    let use_ilp_init =
-        cfg.use_ilp_init.unwrap_or(machine.p() <= 4 && cfg.enable_ilp) && cfg.enable_ilp;
+    let use_ilp_init = cfg
+        .use_ilp_init
+        .unwrap_or(machine.p() <= 4 && cfg.enable_ilp)
+        && cfg.enable_ilp;
 
     let mut candidates: Vec<(Initializer, BspSchedule)> = vec![
         (Initializer::BspG, bspg_schedule(dag, machine)),
@@ -168,8 +170,11 @@ pub fn schedule_dag(dag: &Dag, machine: &BspParams, cfg: &PipelineConfig) -> Pip
         part_cost = part_cost.min(hccs_cost);
         let (ilpcs_comm, ilpcs_cost) =
             ilp_comm(dag, machine, &assignment, &hccs_comm, &cfg.ilp.limits);
-        let (new_comm, new_cost) =
-            if ilpcs_cost <= hccs_cost { (ilpcs_comm, ilpcs_cost) } else { (hccs_comm, hccs_cost) };
+        let (new_comm, new_cost) = if ilpcs_cost <= hccs_cost {
+            (ilpcs_comm, ilpcs_cost)
+        } else {
+            (hccs_comm, hccs_cost)
+        };
         if new_cost < cost {
             sched = assignment;
             comm = new_comm;
@@ -177,7 +182,16 @@ pub fn schedule_dag(dag: &Dag, machine: &BspParams, cfg: &PipelineConfig) -> Pip
         }
     }
 
-    PipelineResult { sched, comm, cost, init_cost, best_init, hc_cost, part_cost, ilp_cost: cost }
+    PipelineResult {
+        sched,
+        comm,
+        cost,
+        init_cost,
+        best_init,
+        hc_cost,
+        part_cost,
+        ilp_cost: cost,
+    }
 }
 
 /// Runs the Figure-4 multilevel pipeline: coarsen, schedule the coarse DAG
@@ -194,8 +208,7 @@ pub fn schedule_dag_multilevel(
     // schedule_dag applies ILPcs internally but its result is only used
     // through the assignment, so this is naturally satisfied.
     base_cfg.hc = cfg.hc;
-    let mut base =
-        |d: &Dag, m: &BspParams| -> BspSchedule { schedule_dag(d, m, &base_cfg).sched };
+    let mut base = |d: &Dag, m: &BspParams| -> BspSchedule { schedule_dag(d, m, &base_cfg).sched };
     let sched = multilevel_schedule(dag, machine, ml, &mut base);
     let init_cost = lazy_cost(dag, machine, &sched);
 
@@ -253,7 +266,12 @@ mod tests {
         for seed in 0..3 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 4, width: 5, edge_prob: 0.35, ..Default::default() },
+                LayeredConfig {
+                    layers: 4,
+                    width: 5,
+                    edge_prob: 0.35,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 3, 5);
             let r = schedule_dag(&dag, &machine, &fast_cfg());
@@ -265,16 +283,29 @@ mod tests {
     fn pipeline_without_ilp() {
         let dag = random_layered_dag(7, LayeredConfig::default());
         let machine = BspParams::new(8, 1, 5);
-        let cfg = PipelineConfig { enable_ilp: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
         let r = schedule_dag(&dag, &machine, &cfg);
         check_result(&dag, &machine, &r);
     }
 
     #[test]
     fn pipeline_with_numa() {
-        let dag = random_layered_dag(11, LayeredConfig { layers: 5, width: 4, ..Default::default() });
+        let dag = random_layered_dag(
+            11,
+            LayeredConfig {
+                layers: 5,
+                width: 4,
+                ..Default::default()
+            },
+        );
         let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 3));
-        let cfg = PipelineConfig { enable_ilp: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
         let r = schedule_dag(&dag, &machine, &cfg);
         check_result(&dag, &machine, &r);
     }
@@ -285,7 +316,12 @@ mod tests {
         use crate::tabu::TabuConfig;
         let dag = random_layered_dag(
             21,
-            LayeredConfig { layers: 5, width: 5, edge_prob: 0.35, ..Default::default() },
+            LayeredConfig {
+                layers: 5,
+                width: 5,
+                edge_prob: 0.35,
+                ..Default::default()
+            },
         );
         let machine = BspParams::new(4, 3, 5);
         for escape in [
@@ -318,7 +354,10 @@ mod tests {
         }
         let dag = b.build().unwrap();
         let machine = BspParams::new(4, 1, 2);
-        let mut cfg = PipelineConfig { enable_ilp: false, ..Default::default() };
+        let mut cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
         let plain = schedule_dag(&dag, &machine, &cfg);
         cfg.escape = Some(EscapeSearch::Tabu(TabuConfig {
             max_iters: 300,
@@ -332,9 +371,19 @@ mod tests {
 
     #[test]
     fn multilevel_pipeline_valid() {
-        let dag = random_layered_dag(13, LayeredConfig { layers: 6, width: 5, ..Default::default() });
+        let dag = random_layered_dag(
+            13,
+            LayeredConfig {
+                layers: 6,
+                width: 5,
+                ..Default::default()
+            },
+        );
         let machine = BspParams::new(4, 10, 5).with_numa(NumaTopology::binary_tree(4, 4));
-        let cfg = PipelineConfig { enable_ilp: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
         let r = schedule_dag_multilevel(&dag, &machine, &cfg, &MultilevelConfig::default());
         assert!(validate(&dag, 4, &r.sched, &r.comm).is_ok());
         assert_eq!(r.cost, total_cost(&dag, &machine, &r.sched, &r.comm));

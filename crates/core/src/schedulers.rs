@@ -1,0 +1,113 @@
+//! [`Scheduler`] implementations for the paper's own algorithms: the two
+//! stand-alone initialization heuristics, the Figure-3 base pipeline, the
+//! Figure-4 multilevel pipeline, and the CCR-driven auto-selector.
+//!
+//! The initializers are costed under the lazy `Γ` (they produce only an
+//! assignment); the pipelines return their own optimized communication
+//! schedule.
+
+use crate::auto::{schedule_dag_auto, AutoConfig};
+use crate::init::bspg::bspg_schedule;
+use crate::init::source::source_schedule;
+use crate::multilevel::MultilevelConfig;
+use crate::pipeline::{schedule_dag, schedule_dag_multilevel, PipelineConfig};
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
+
+/// The BSP-tailored greedy initializer (Algorithm 1), run stand-alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BspgInit;
+
+impl Scheduler for BspgInit {
+    fn name(&self) -> &str {
+        "init/bspg"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Initializer
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        ScheduleResult::from_lazy(dag, machine, bspg_schedule(dag, machine))
+    }
+}
+
+/// The wavefront initializer (Algorithm 2), run stand-alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceInit;
+
+impl Scheduler for SourceInit {
+    fn name(&self) -> &str {
+        "init/source"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Initializer
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        ScheduleResult::from_lazy(dag, machine, source_schedule(dag, machine))
+    }
+}
+
+/// The Figure-3 base pipeline (init → HC/HCcs → ILP stages).
+#[derive(Debug, Clone, Default)]
+pub struct BasePipeline {
+    /// Stage budgets and switches.
+    pub cfg: PipelineConfig,
+}
+
+impl Scheduler for BasePipeline {
+    fn name(&self) -> &str {
+        "pipeline/base"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Pipeline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        let r = schedule_dag(dag, machine, &self.cfg);
+        ScheduleResult::from_parts(dag, machine, r.sched, r.comm)
+    }
+}
+
+/// The Figure-4 multilevel pipeline (coarsen → solve → uncoarsen-refine).
+#[derive(Debug, Clone, Default)]
+pub struct MultilevelPipeline {
+    /// Stage budgets and switches forwarded to the inner base pipeline.
+    pub cfg: PipelineConfig,
+    /// Coarsening and refinement tuning.
+    pub ml: MultilevelConfig,
+}
+
+impl Scheduler for MultilevelPipeline {
+    fn name(&self) -> &str {
+        "pipeline/multilevel"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Pipeline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        let r = schedule_dag_multilevel(dag, machine, &self.cfg, &self.ml);
+        ScheduleResult::from_parts(dag, machine, r.sched, r.comm)
+    }
+}
+
+/// The communication-dominance-driven selector between the base and
+/// multilevel pipelines (§7.3 / Appendix C.6 future work).
+#[derive(Debug, Clone, Default)]
+pub struct AutoScheduler {
+    /// Stage budgets and switches for whichever pipeline runs.
+    pub cfg: PipelineConfig,
+    /// Selection thresholds and multilevel tuning.
+    pub auto: AutoConfig,
+}
+
+impl Scheduler for AutoScheduler {
+    fn name(&self) -> &str {
+        "auto"
+    }
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Pipeline
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        let (r, _strategy) = schedule_dag_auto(dag, machine, &self.cfg, &self.auto);
+        ScheduleResult::from_parts(dag, machine, r.sched, r.comm)
+    }
+}

@@ -46,7 +46,9 @@ impl Needs {
 
     fn remove(&mut self, q: u32, s: u32) {
         let b = self.bucket_mut(q);
-        let c = b.get_mut(&s).expect("removing a consumer step that is not recorded");
+        let c = b
+            .get_mut(&s)
+            .expect("removing a consumer step that is not recorded");
         *c -= 1;
         if *c == 0 {
             b.remove(&s);
@@ -336,7 +338,10 @@ impl<'a> ScheduleState<'a> {
         let p = self.machine.p();
         let row = s * p;
         let w = self.work[row..row + p].iter().copied().max().unwrap_or(0);
-        let c = (0..p).map(|q| self.send[row + q].max(self.recv[row + q])).max().unwrap_or(0);
+        let c = (0..p)
+            .map(|q| self.send[row + q].max(self.recv[row + q]))
+            .max()
+            .unwrap_or(0);
         let nonempty = self.nodes_count[s] > 0 || self.comm_count[s] > 0;
         w + self.machine.g() * c + if nonempty { self.machine.l() } else { 0 }
     }
@@ -427,6 +432,9 @@ mod tests {
         let before = st.cost();
         let after = st.apply_move(3, 0, 1);
         assert_eq!(after, st.recomputed_cost());
-        assert!(after + 100 <= before, "latency saving not captured: {before} -> {after}");
+        assert!(
+            after + 100 <= before,
+            "latency saving not captured: {before} -> {after}"
+        );
     }
 }

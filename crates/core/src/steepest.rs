@@ -18,10 +18,7 @@ use std::time::Instant;
 /// `n · 3 · P` move neighbourhood is evaluated and the single best improving
 /// move is applied. Stops at a local minimum or when the budget runs out.
 /// The cost of `state` never increases.
-pub fn hill_climb_steepest(
-    state: &mut ScheduleState<'_>,
-    cfg: &HillClimbConfig,
-) -> HillClimbStats {
+pub fn hill_climb_steepest(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillClimbStats {
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
     let max_moves = cfg.max_moves.unwrap_or(usize::MAX);
     let n = state.dag().n() as u32;
@@ -29,13 +26,19 @@ pub fn hill_climb_steepest(
     let mut accepted = 0usize;
 
     if n == 0 {
-        return HillClimbStats { accepted: 0, local_minimum: true };
+        return HillClimbStats {
+            accepted: 0,
+            local_minimum: true,
+        };
     }
 
     while accepted < max_moves {
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                return HillClimbStats { accepted, local_minimum: false };
+                return HillClimbStats {
+                    accepted,
+                    local_minimum: false,
+                };
             }
         }
         match best_move(state, n, p) {
@@ -43,10 +46,18 @@ pub fn hill_climb_steepest(
                 state.apply_move(v, q, s);
                 accepted += 1;
             }
-            None => return HillClimbStats { accepted, local_minimum: true },
+            None => {
+                return HillClimbStats {
+                    accepted,
+                    local_minimum: true,
+                }
+            }
         }
     }
-    HillClimbStats { accepted, local_minimum: false }
+    HillClimbStats {
+        accepted,
+        local_minimum: false,
+    }
 }
 
 /// Evaluates every valid move and returns the one with the strictly largest
@@ -100,12 +111,19 @@ mod tests {
         let before = st.cost(); // max work 13 + latency
         let stats = hill_climb_steepest(
             &mut st,
-            &HillClimbConfig { max_moves: Some(1), time_limit: None },
+            &HillClimbConfig {
+                max_moves: Some(1),
+                time_limit: None,
+            },
         );
         assert_eq!(stats.accepted, 1);
         // Best single move separates the 10-weight node (or equivalently
         // leaves max at 10): cost drop of 3 beats any other option.
-        assert!(before - st.cost() >= 3, "drop {} too small", before - st.cost());
+        assert!(
+            before - st.cost() >= 3,
+            "drop {} too small",
+            before - st.cost()
+        );
         assert_eq!(st.cost(), st.recomputed_cost());
     }
 
@@ -114,7 +132,12 @@ mod tests {
         for seed in 0..4 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 4, width: 5, edge_prob: 0.4, ..Default::default() },
+                LayeredConfig {
+                    layers: 4,
+                    width: 5,
+                    edge_prob: 0.4,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 3, 5);
             let sched = BspSchedule::zeroed(dag.n());
@@ -122,12 +145,18 @@ mod tests {
             let before = st.cost();
             let stats = hill_climb_steepest(
                 &mut st,
-                &HillClimbConfig { max_moves: None, time_limit: None },
+                &HillClimbConfig {
+                    max_moves: None,
+                    time_limit: None,
+                },
             );
             assert!(stats.local_minimum, "seed {seed}");
             assert!(st.cost() <= before, "seed {seed}");
             assert_eq!(st.cost(), st.recomputed_cost(), "seed {seed}");
-            assert!(validate_lazy(&dag, 4, &st.snapshot()).is_ok(), "seed {seed}");
+            assert!(
+                validate_lazy(&dag, 4, &st.snapshot()).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -138,11 +167,19 @@ mod tests {
         // the scattered start and end within 2x of each other.
         let dag = random_layered_dag(
             99,
-            LayeredConfig { layers: 5, width: 6, edge_prob: 0.35, ..Default::default() },
+            LayeredConfig {
+                layers: 5,
+                width: 6,
+                edge_prob: 0.35,
+                ..Default::default()
+            },
         );
         let machine = BspParams::new(4, 2, 3);
         let sched = BspSchedule::zeroed(dag.n());
-        let unlimited = HillClimbConfig { max_moves: None, time_limit: None };
+        let unlimited = HillClimbConfig {
+            max_moves: None,
+            time_limit: None,
+        };
 
         let mut greedy_state = ScheduleState::new(&dag, &machine, &sched);
         hill_climb(&mut greedy_state, &unlimited);
@@ -159,8 +196,13 @@ mod tests {
         let machine = BspParams::new(2, 1, 1);
         let sched = BspSchedule::zeroed(0);
         let mut st = ScheduleState::new(&dag, &machine, &sched);
-        let stats =
-            hill_climb_steepest(&mut st, &HillClimbConfig { max_moves: None, time_limit: None });
+        let stats = hill_climb_steepest(
+            &mut st,
+            &HillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
+        );
         assert!(stats.local_minimum);
         assert_eq!(stats.accepted, 0);
     }

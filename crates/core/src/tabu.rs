@@ -183,7 +183,12 @@ mod tests {
     use bsp_schedule::validity::validate_lazy;
 
     fn quick_cfg() -> TabuConfig {
-        TabuConfig { max_iters: 400, stall_limit: 40, time_limit: None, ..TabuConfig::default() }
+        TabuConfig {
+            max_iters: 400,
+            stall_limit: 40,
+            time_limit: None,
+            ..TabuConfig::default()
+        }
     }
 
     #[test]
@@ -191,7 +196,12 @@ mod tests {
         for seed in 0..5 {
             let dag = random_layered_dag(
                 seed,
-                LayeredConfig { layers: 5, width: 5, edge_prob: 0.4, ..Default::default() },
+                LayeredConfig {
+                    layers: 5,
+                    width: 5,
+                    edge_prob: 0.4,
+                    ..Default::default()
+                },
             );
             let machine = BspParams::new(4, 3, 5);
             let sched = BspSchedule::zeroed(dag.n());
@@ -216,7 +226,13 @@ mod tests {
         let machine = BspParams::new(4, 1, 2);
         let sched = BspSchedule::from_parts(vec![0, 0, 1, 1], vec![0; 4]);
         let mut st = ScheduleState::new(&dag, &machine, &sched);
-        hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: None });
+        hill_climb(
+            &mut st,
+            &HillClimbConfig {
+                max_moves: None,
+                time_limit: None,
+            },
+        );
         assert_eq!(st.cost(), 22, "premise: greedy is plateau-stuck");
 
         let (_, cost, stats) = tabu_search(&dag, &machine, &sched, &quick_cfg());
@@ -241,7 +257,12 @@ mod tests {
         let dag = random_layered_dag(2, LayeredConfig::default());
         let machine = BspParams::new(4, 2, 3);
         let sched = BspSchedule::zeroed(dag.n());
-        let cfg = TabuConfig { stall_limit: 5, max_iters: 10_000, time_limit: None, tenure: 3 };
+        let cfg = TabuConfig {
+            stall_limit: 5,
+            max_iters: 10_000,
+            time_limit: None,
+            tenure: 3,
+        };
         let (_, _, stats) = tabu_search(&dag, &machine, &sched, &cfg);
         // Each improvement resets the stall counter, but iterations are
         // bounded by improvements · stall_limit + stall_limit.
@@ -252,8 +273,7 @@ mod tests {
     fn empty_and_single_node() {
         let machine = BspParams::new(2, 1, 1);
         let empty = DagBuilder::new().build().unwrap();
-        let (_, c, stats) =
-            tabu_search(&empty, &machine, &BspSchedule::zeroed(0), &quick_cfg());
+        let (_, c, stats) = tabu_search(&empty, &machine, &BspSchedule::zeroed(0), &quick_cfg());
         assert_eq!((c, stats.iterations), (0, 0));
 
         let mut b = DagBuilder::new();

@@ -24,7 +24,16 @@ use rand::{Rng, SeedableRng};
 
 fn arb_dag() -> impl Strategy<Value = Dag> {
     (0u64..400, 2usize..6, 2usize..6, 0.15f64..0.7).prop_map(|(seed, layers, width, p)| {
-        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 7, max_comm: 5 })
+        random_layered_dag(
+            seed,
+            LayeredConfig {
+                layers,
+                width,
+                edge_prob: p,
+                max_work: 7,
+                max_comm: 5,
+            },
+        )
     })
 }
 
@@ -48,7 +57,11 @@ fn random_valid_assignment(dag: &Dag, p: u32, seed: u64) -> BspSchedule {
         let proc = rng.gen_range(0..p);
         let mut min_step = 0u32;
         for &u in dag.predecessors(v) {
-            let req = if sched.proc(u) == proc { sched.step(u) } else { sched.step(u) + 1 };
+            let req = if sched.proc(u) == proc {
+                sched.step(u)
+            } else {
+                sched.step(u) + 1
+            };
             min_step = min_step.max(req);
         }
         sched.set(v, proc, min_step + rng.gen_range(0..2));

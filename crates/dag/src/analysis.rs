@@ -44,7 +44,11 @@ impl DagStats {
             max_width: level_sets.iter().map(Vec::len).max().unwrap_or(0),
             total_work,
             total_comm,
-            ccr: if total_work == 0 { 0.0 } else { total_comm as f64 / total_work as f64 },
+            ccr: if total_work == 0 {
+                0.0
+            } else {
+                total_comm as f64 / total_work as f64
+            },
         }
     }
 }

@@ -103,7 +103,9 @@ impl DagBuilder {
             adj_next[i] = adj_heads[u as usize];
             adj_heads[u as usize] = i as u32;
         }
-        let mut queue: Vec<NodeId> = (0..n as NodeId).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
         let mut seen = 0usize;
         while let Some(u) = queue.pop() {
             seen += 1;
@@ -185,7 +187,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = DagError::Parse { line: 3, msg: "bad pin".into() };
+        let e = DagError::Parse {
+            line: 3,
+            msg: "bad pin".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

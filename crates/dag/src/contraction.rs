@@ -96,7 +96,8 @@ impl MutableDag {
     /// from the other successors of `u`; worst case O(E), matching the
     /// paper's implementation notes (Appendix A.5).
     pub fn is_contractable(&self, u: NodeId, v: NodeId) -> bool {
-        if !self.alive[u as usize] || !self.alive[v as usize] || !self.succ[u as usize].contains(&v) {
+        if !self.alive[u as usize] || !self.alive[v as usize] || !self.succ[u as usize].contains(&v)
+        {
             return false;
         }
         // Fast path: if v's only predecessor is u there can be no other path.
@@ -104,8 +105,11 @@ impl MutableDag {
             return true;
         }
         let mut visited = vec![false; self.alive.len()];
-        let mut stack: Vec<NodeId> =
-            self.succ[u as usize].iter().copied().filter(|&w| w != v).collect();
+        let mut stack: Vec<NodeId> = self.succ[u as usize]
+            .iter()
+            .copied()
+            .filter(|&w| w != v)
+            .collect();
         for &w in &stack {
             visited[w as usize] = true;
         }
@@ -128,7 +132,10 @@ impl MutableDag {
 
     /// Every contractable edge in deterministic (ascending) order.
     pub fn contractable_edges(&self) -> Vec<(NodeId, NodeId)> {
-        self.live_edges().into_iter().filter(|&(u, v)| self.is_contractable(u, v)).collect()
+        self.live_edges()
+            .into_iter()
+            .filter(|&(u, v)| self.is_contractable(u, v))
+            .collect()
     }
 
     /// Contracts the edge `(u, v)`: merges `v` into `u`, summing work and
@@ -140,9 +147,15 @@ impl MutableDag {
     /// is the caller's responsibility (checked in debug builds); contracting
     /// a non-contractable edge would create a cycle.
     pub fn contract_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!(self.alive[u as usize] && self.alive[v as usize], "endpoints must be alive");
+        assert!(
+            self.alive[u as usize] && self.alive[v as usize],
+            "endpoints must be alive"
+        );
         assert!(self.succ[u as usize].contains(&v), "edge must exist");
-        debug_assert!(self.is_contractable(u, v), "contracting ({u},{v}) would create a cycle");
+        debug_assert!(
+            self.is_contractable(u, v),
+            "contracting ({u},{v}) would create a cycle"
+        );
         let (ui, vi) = (u as usize, v as usize);
         self.succ[ui].remove(&v);
         self.pred[vi].remove(&u);

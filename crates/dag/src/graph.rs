@@ -27,7 +27,12 @@ impl Dag {
     /// Builds a `Dag` directly from parts. `edges` must describe an acyclic
     /// graph; this is checked by [`crate::DagBuilder`], which is the public
     /// construction path.
-    pub(crate) fn from_parts(n: usize, mut edges: Vec<(NodeId, NodeId)>, work: Vec<u64>, comm: Vec<u64>) -> Self {
+    pub(crate) fn from_parts(
+        n: usize,
+        mut edges: Vec<(NodeId, NodeId)>,
+        work: Vec<u64>,
+        comm: Vec<u64>,
+    ) -> Self {
         debug_assert_eq!(work.len(), n);
         debug_assert_eq!(comm.len(), n);
         edges.sort_unstable();
@@ -57,7 +62,14 @@ impl Dag {
             cursor[v as usize] += 1;
         }
 
-        Dag { succ_offsets, succ, pred_offsets, pred, work, comm }
+        Dag {
+            succ_offsets,
+            succ,
+            pred_offsets,
+            pred,
+            work,
+            comm,
+        }
     }
 
     /// Number of nodes.
@@ -117,7 +129,8 @@ impl Dag {
 
     /// Iterator over all edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+        self.nodes()
+            .flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Whether the edge `(u, v)` exists. O(log out-degree).

@@ -50,15 +50,22 @@ pub fn from_hyperdag_str(input: &str) -> Result<Dag, DagError> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
 
-    let (hline_no, header) = lines
-        .next()
-        .ok_or(DagError::Parse { line: 0, msg: "missing header".into() })?;
+    let (hline_no, header) = lines.next().ok_or(DagError::Parse {
+        line: 0,
+        msg: "missing header".into(),
+    })?;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 3 {
-        return Err(DagError::Parse { line: hline_no, msg: "header must be '<H> <V> <P>'".into() });
+        return Err(DagError::Parse {
+            line: hline_no,
+            msg: "header must be '<H> <V> <P>'".into(),
+        });
     }
     let parse_usize = |tok: &str, line: usize| -> Result<usize, DagError> {
-        tok.parse().map_err(|_| DagError::Parse { line, msg: format!("bad integer '{tok}'") })
+        tok.parse().map_err(|_| DagError::Parse {
+            line,
+            msg: format!("bad integer '{tok}'"),
+        })
     };
     let h = parse_usize(parts[0], hline_no)?;
     let v_count = parse_usize(parts[1], hline_no)?;
@@ -68,18 +75,30 @@ pub fn from_hyperdag_str(input: &str) -> Result<Dag, DagError> {
     let mut source: Vec<Option<NodeId>> = vec![None; h];
     let mut targets: Vec<Vec<NodeId>> = vec![Vec::new(); h];
     for _ in 0..p {
-        let (no, l) = lines.next().ok_or(DagError::Parse { line: 0, msg: "missing pin line".into() })?;
+        let (no, l) = lines.next().ok_or(DagError::Parse {
+            line: 0,
+            msg: "missing pin line".into(),
+        })?;
         let toks: Vec<&str> = l.split_whitespace().collect();
         if toks.len() != 2 {
-            return Err(DagError::Parse { line: no, msg: "pin line must be '<h> <v>'".into() });
+            return Err(DagError::Parse {
+                line: no,
+                msg: "pin line must be '<h> <v>'".into(),
+            });
         }
         let he = parse_usize(toks[0], no)?;
         let vv = parse_usize(toks[1], no)? as NodeId;
         if he >= h {
-            return Err(DagError::Parse { line: no, msg: format!("hyperedge {he} out of range") });
+            return Err(DagError::Parse {
+                line: no,
+                msg: format!("hyperedge {he} out of range"),
+            });
         }
         if vv as usize >= v_count {
-            return Err(DagError::Parse { line: no, msg: format!("vertex {vv} out of range") });
+            return Err(DagError::Parse {
+                line: no,
+                msg: format!("vertex {vv} out of range"),
+            });
         }
         match source[he] {
             None => source[he] = Some(vv),
@@ -92,18 +111,29 @@ pub fn from_hyperdag_str(input: &str) -> Result<Dag, DagError> {
     let mut work = vec![1u64; v_count];
     let mut comm = vec![1u64; v_count];
     for _ in 0..v_count {
-        let (no, l) =
-            lines.next().ok_or(DagError::Parse { line: 0, msg: "missing vertex weight line".into() })?;
+        let (no, l) = lines.next().ok_or(DagError::Parse {
+            line: 0,
+            msg: "missing vertex weight line".into(),
+        })?;
         let toks: Vec<&str> = l.split_whitespace().collect();
         if toks.len() != 3 {
-            return Err(DagError::Parse { line: no, msg: "vertex line must be '<v> <w> <c>'".into() });
+            return Err(DagError::Parse {
+                line: no,
+                msg: "vertex line must be '<v> <w> <c>'".into(),
+            });
         }
         let v = parse_usize(toks[0], no)?;
         if v >= v_count {
-            return Err(DagError::Parse { line: no, msg: format!("vertex {v} out of range") });
+            return Err(DagError::Parse {
+                line: no,
+                msg: format!("vertex {v} out of range"),
+            });
         }
         if weights_seen[v] {
-            return Err(DagError::Parse { line: no, msg: format!("duplicate weights for vertex {v}") });
+            return Err(DagError::Parse {
+                line: no,
+                msg: format!("duplicate weights for vertex {v}"),
+            });
         }
         weights_seen[v] = true;
         work[v] = parse_usize(toks[1], no)? as u64;
@@ -113,7 +143,10 @@ pub fn from_hyperdag_str(input: &str) -> Result<Dag, DagError> {
         b.add_node(work[v], comm[v]);
     }
     for he in 0..h {
-        let s = source[he].ok_or(DagError::Parse { line: 0, msg: format!("hyperedge {he} has no pins") })?;
+        let s = source[he].ok_or(DagError::Parse {
+            line: 0,
+            msg: format!("hyperedge {he} has no pins"),
+        })?;
         for &t in &targets[he] {
             b.add_edge(s, t)?;
         }
@@ -158,13 +191,19 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(matches!(from_hyperdag_str("1 2"), Err(DagError::Parse { .. })));
+        assert!(matches!(
+            from_hyperdag_str("1 2"),
+            Err(DagError::Parse { .. })
+        ));
     }
 
     #[test]
     fn rejects_out_of_range_pin() {
         let bad = "1 2 2\n0 0\n0 9\n0 1 1\n1 1 1\n";
-        assert!(matches!(from_hyperdag_str(bad), Err(DagError::Parse { .. })));
+        assert!(matches!(
+            from_hyperdag_str(bad),
+            Err(DagError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -22,7 +22,13 @@ pub struct LayeredConfig {
 
 impl Default for LayeredConfig {
     fn default() -> Self {
-        LayeredConfig { layers: 5, width: 8, edge_prob: 0.3, max_work: 8, max_comm: 4 }
+        LayeredConfig {
+            layers: 5,
+            width: 8,
+            edge_prob: 0.3,
+            max_work: 8,
+            max_comm: 4,
+        }
     }
 }
 
@@ -37,7 +43,12 @@ pub fn random_layered_dag(seed: u64, cfg: LayeredConfig) -> Dag {
     let mut ids: Vec<Vec<NodeId>> = Vec::with_capacity(cfg.layers);
     for _ in 0..cfg.layers {
         let row: Vec<NodeId> = (0..cfg.width)
-            .map(|_| b.add_node(rng.gen_range(1..=cfg.max_work), rng.gen_range(1..=cfg.max_comm)))
+            .map(|_| {
+                b.add_node(
+                    rng.gen_range(1..=cfg.max_work),
+                    rng.gen_range(1..=cfg.max_comm),
+                )
+            })
             .collect();
         ids.push(row);
     }
@@ -65,8 +76,9 @@ pub fn random_layered_dag(seed: u64, cfg: LayeredConfig) -> Dag {
 pub fn random_order_dag(seed: u64, n: usize, p: f64, max_work: u64, max_comm: u64) -> Dag {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = DagBuilder::with_capacity(n, (n * n / 4).max(4));
-    let ids: Vec<NodeId> =
-        (0..n).map(|_| b.add_node(rng.gen_range(1..=max_work), rng.gen_range(1..=max_comm))).collect();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|_| b.add_node(rng.gen_range(1..=max_work), rng.gen_range(1..=max_comm)))
+        .collect();
     for i in 0..n {
         for j in (i + 1)..n {
             if rng.gen_bool(p) {
@@ -93,12 +105,22 @@ mod tests {
 
     #[test]
     fn layered_dag_every_nonfirst_layer_node_has_pred() {
-        let d = random_layered_dag(3, LayeredConfig { layers: 6, width: 5, ..Default::default() });
+        let d = random_layered_dag(
+            3,
+            LayeredConfig {
+                layers: 6,
+                width: 5,
+                ..Default::default()
+            },
+        );
         let t = TopoInfo::new(&d);
         assert!(is_topological_order(&d, &t.order));
         for v in d.nodes() {
             if v >= 5 {
-                assert!(d.in_degree(v) > 0, "node {v} in layer >0 must have a predecessor");
+                assert!(
+                    d.in_degree(v) > 0,
+                    "node {v} in layer >0 must have a predecessor"
+                );
             }
         }
     }
@@ -113,7 +135,14 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        let d = random_layered_dag(1, LayeredConfig { layers: 1, width: 1, ..Default::default() });
+        let d = random_layered_dag(
+            1,
+            LayeredConfig {
+                layers: 1,
+                width: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(d.n(), 1);
         let e = random_order_dag(1, 1, 0.5, 3, 3);
         assert_eq!(e.n(), 1);

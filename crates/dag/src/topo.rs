@@ -47,7 +47,11 @@ impl TopoInfo {
         for (i, &v) in order.iter().enumerate() {
             position[v as usize] = i as u32;
         }
-        TopoInfo { order, position, level }
+        TopoInfo {
+            order,
+            position,
+            level,
+        }
     }
 
     /// Number of levels (`max level + 1`), i.e. the DAG depth in nodes.
@@ -80,7 +84,8 @@ pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
         }
         position[v as usize] = i;
     }
-    dag.edges().all(|(u, v)| position[u as usize] < position[v as usize])
+    dag.edges()
+        .all(|(u, v)| position[u as usize] < position[v as usize])
 }
 
 /// Work-weighted *bottom level* of each node: the maximum total work along
@@ -89,7 +94,12 @@ pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
 pub fn bottom_level(dag: &Dag, topo: &TopoInfo) -> Vec<u64> {
     let mut bl = vec![0u64; dag.n()];
     for &v in topo.order.iter().rev() {
-        let best = dag.successors(v).iter().map(|&s| bl[s as usize]).max().unwrap_or(0);
+        let best = dag
+            .successors(v)
+            .iter()
+            .map(|&s| bl[s as usize])
+            .max()
+            .unwrap_or(0);
         bl[v as usize] = best + dag.work(v);
     }
     bl

@@ -128,7 +128,11 @@ pub fn weakly_connected_components(dag: &Dag) -> Vec<Vec<NodeId>> {
 /// smallest node id.
 pub fn largest_component(dag: &Dag) -> (Dag, Vec<Option<NodeId>>) {
     let comps = weakly_connected_components(dag);
-    let largest = comps.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+    let largest = comps
+        .iter()
+        .max_by_key(|c| c.len())
+        .cloned()
+        .unwrap_or_default();
     dag.induced_subgraph(&largest)
 }
 

@@ -8,12 +8,22 @@ use proptest::prelude::*;
 
 fn arb_dag() -> impl Strategy<Value = bsp_dag::Dag> {
     (0u64..1000, 1usize..6, 1usize..7, 0.05f64..0.9).prop_map(|(seed, layers, width, p)| {
-        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 9, max_comm: 5 })
+        random_layered_dag(
+            seed,
+            LayeredConfig {
+                layers,
+                width,
+                edge_prob: p,
+                max_work: 9,
+                max_comm: 5,
+            },
+        )
     })
 }
 
 fn arb_dense_dag() -> impl Strategy<Value = bsp_dag::Dag> {
-    (0u64..1000, 1usize..25, 0.0f64..0.5).prop_map(|(seed, n, p)| random_order_dag(seed, n, p, 9, 5))
+    (0u64..1000, 1usize..25, 0.0f64..0.5)
+        .prop_map(|(seed, n, p)| random_order_dag(seed, n, p, 9, 5))
 }
 
 proptest! {

@@ -67,17 +67,30 @@ impl Ctx {
     /// Creates a sparse matrix container (one source node).
     pub fn matrix(&self, n: usize, rows: Vec<Vec<(u32, f64)>>) -> Matrix {
         assert_eq!(rows.len(), n);
-        Matrix { ctx: self.clone(), id: self.record(&[]), n, rows }
+        Matrix {
+            ctx: self.clone(),
+            id: self.record(&[]),
+            n,
+            rows,
+        }
     }
 
     /// Creates a dense vector container (one source node).
     pub fn vector(&self, data: Vec<f64>) -> Vector {
-        Vector { ctx: self.clone(), id: self.record(&[]), data }
+        Vector {
+            ctx: self.clone(),
+            id: self.record(&[]),
+            data,
+        }
     }
 
     /// Creates a scalar container (one source node).
     pub fn scalar(&self, value: f64) -> Scalar {
-        Scalar { ctx: self.clone(), id: self.record(&[]), value }
+        Scalar {
+            ctx: self.clone(),
+            id: self.record(&[]),
+            value,
+        }
     }
 
     /// Extracts the coarse-grained DAG recorded so far: database weights
@@ -129,7 +142,11 @@ impl Matrix {
             .iter()
             .map(|r| r.iter().map(|&(j, a)| a * v.data[j as usize]).sum())
             .collect();
-        Vector { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id, v.id]), data }
+        Vector {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id, v.id]),
+            data,
+        }
     }
 
     /// Max-times semiring product — the propagation step of label
@@ -144,7 +161,11 @@ impl Matrix {
                     .fold(0.0f64, f64::max)
             })
             .collect();
-        Vector { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id, v.id]), data }
+        Vector {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id, v.id]),
+            data,
+        }
     }
 }
 
@@ -167,7 +188,11 @@ impl Vector {
     /// Dot product.
     pub fn dot(&self, other: &Vector) -> Scalar {
         let value = self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum();
-        Scalar { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id, other.id]), value }
+        Scalar {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id, other.id]),
+            value,
+        }
     }
 
     /// `self + alpha · other`.
@@ -187,27 +212,58 @@ impl Vector {
 
     /// Element-wise maximum with `other`.
     pub fn ewise_max(&self, other: &Vector) -> Vector {
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a.max(*b)).collect();
-        Vector { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id, other.id]), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        Vector {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id, other.id]),
+            data,
+        }
     }
 
     /// `diff = Σ |self - other|` as a recorded scalar (convergence checks).
     pub fn abs_diff(&self, other: &Vector) -> Scalar {
-        let value = self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum();
-        Scalar { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id, other.id]), value }
+        let value = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        Scalar {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id, other.id]),
+            value,
+        }
     }
 
     /// Element-wise rectified linear unit `max(x, 0)` — the activation of
     /// sparse neural network inference (Appendix B.1).
     pub fn relu(&self) -> Vector {
         let data = self.data.iter().map(|&a| a.max(0.0)).collect();
-        Vector { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id]), data }
+        Vector {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id]),
+            data,
+        }
     }
 
     /// Element-wise sum with `other`.
     pub fn plus(&self, other: &Vector) -> Vector {
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Vector { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id, other.id]), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Vector {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id, other.id]),
+            data,
+        }
     }
 
     /// Per-element index of the nearest value in `centroids` — the
@@ -221,9 +277,7 @@ impl Vector {
                     .data
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        (x - **a).abs().partial_cmp(&(x - **b).abs()).unwrap()
-                    })
+                    .min_by(|(_, a), (_, b)| (x - **a).abs().partial_cmp(&(x - **b).abs()).unwrap())
                     .map(|(i, _)| i as f64)
                     .unwrap_or(0.0)
             })
@@ -247,7 +301,13 @@ impl Vector {
             count[c] += 1;
         }
         let data = (0..k)
-            .map(|c| if count[c] > 0 { sum[c] / count[c] as f64 } else { previous.data[c] })
+            .map(|c| {
+                if count[c] > 0 {
+                    sum[c] / count[c] as f64
+                } else {
+                    previous.data[c]
+                }
+            })
             .collect();
         Vector {
             ctx: self.ctx.clone(),
@@ -274,7 +334,11 @@ impl Scalar {
 
     /// Negation.
     pub fn neg(&self) -> Scalar {
-        Scalar { ctx: self.ctx.clone(), id: self.ctx.record(&[self.id]), value: -self.value }
+        Scalar {
+            ctx: self.ctx.clone(),
+            id: self.ctx.record(&[self.id]),
+            value: -self.value,
+        }
     }
 }
 
@@ -477,12 +541,7 @@ pub mod algorithms {
 
     /// Sparse neural network inference (Appendix B.1): per layer,
     /// `x ← relu(W_l · x + b·1)` with a shared scalar bias.
-    pub fn spnn_inference(
-        ctx: &Ctx,
-        layers: &[Matrix],
-        input: &Vector,
-        bias: f64,
-    ) -> Vector {
+    pub fn spnn_inference(ctx: &Ctx, layers: &[Matrix], input: &Vector, bias: f64) -> Vector {
         let n = input.len();
         let b = ctx.scalar(bias);
         let ones = ctx.vector(vec![1.0; n]);
@@ -504,8 +563,16 @@ pub mod algorithms {
         let init: Vec<f64> = (0..k)
             .map(|c| {
                 // Spread initial centroids over the point range.
-                let lo = points.values().iter().copied().fold(f64::INFINITY, f64::min);
-                let hi = points.values().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let lo = points
+                    .values()
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                let hi = points
+                    .values()
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 lo + (hi - lo) * (c as f64 + 0.5) / k as f64
             })
             .collect();
@@ -640,12 +707,16 @@ mod tests {
             .iter()
             .map(|&depth| {
                 let ctx = Ctx::new();
-                let layers: Vec<Matrix> =
-                    (0..depth).map(|l| layer_matrix(&ctx, 8, 0.3, l as u64)).collect();
+                let layers: Vec<Matrix> = (0..depth)
+                    .map(|l| layer_matrix(&ctx, 8, 0.3, l as u64))
+                    .collect();
                 let input = ctx.vector(vec![1.0; 8]);
                 let out = spnn_inference(&ctx, &layers, &input, 0.1);
                 assert_eq!(out.len(), 8);
-                assert!(out.values().iter().all(|&x| x >= 0.0), "ReLU output negative");
+                assert!(
+                    out.values().iter().all(|&x| x >= 0.0),
+                    "ReLU output negative"
+                );
                 ctx.len()
             })
             .collect();

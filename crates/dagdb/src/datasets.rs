@@ -63,7 +63,13 @@ impl DatasetKind {
 
     /// All kinds in ascending size order.
     pub fn all() -> [DatasetKind; 5] {
-        [DatasetKind::Tiny, DatasetKind::Small, DatasetKind::Medium, DatasetKind::Large, DatasetKind::Huge]
+        [
+            DatasetKind::Tiny,
+            DatasetKind::Small,
+            DatasetKind::Medium,
+            DatasetKind::Large,
+            DatasetKind::Huge,
+        ]
     }
 
     /// Display name (lowercase, as in the paper).
@@ -131,19 +137,52 @@ pub fn training_set(scale: f64) -> Vec<Instance> {
     let s = |n: usize| ((n as f64 * scale).round() as usize).max(4);
     let mut out = Vec::new();
     let specs: [(&str, Box<dyn Fn() -> Dag>); 10] = [
-        ("train/spmv/0", Box::new(move || spmv_dag(&SparsePattern::random(s(6), 0.35, 100)))),
-        ("train/spmv/1", Box::new(move || spmv_dag(&SparsePattern::random(s(16), 0.25, 101)))),
-        ("train/spmv/2", Box::new(move || spmv_dag(&SparsePattern::random(s(40), 0.15, 102)))),
-        ("train/exp/0", Box::new(move || exp_dag(&SparsePattern::random(s(8), 0.3, 103), 3))),
-        ("train/exp/1", Box::new(move || exp_dag(&SparsePattern::random(s(20), 0.2, 104), 5))),
-        ("train/cg/0", Box::new(move || cg_dag(&SparsePattern::random_with_diagonal(s(8), 0.3, 105), 2))),
-        ("train/cg/1", Box::new(move || cg_dag(&SparsePattern::random_with_diagonal(s(20), 0.2, 106), 4))),
-        ("train/knn/0", Box::new(move || knn_dag(&SparsePattern::random_with_diagonal(s(12), 0.3, 107), 0, 3))),
-        ("train/knn/1", Box::new(move || knn_dag(&SparsePattern::random_with_diagonal(s(30), 0.15, 108), 0, 5))),
-        ("train/exp/2", Box::new(move || exp_dag(&SparsePattern::random(s(32), 0.12, 109), 8))),
+        (
+            "train/spmv/0",
+            Box::new(move || spmv_dag(&SparsePattern::random(s(6), 0.35, 100))),
+        ),
+        (
+            "train/spmv/1",
+            Box::new(move || spmv_dag(&SparsePattern::random(s(16), 0.25, 101))),
+        ),
+        (
+            "train/spmv/2",
+            Box::new(move || spmv_dag(&SparsePattern::random(s(40), 0.15, 102))),
+        ),
+        (
+            "train/exp/0",
+            Box::new(move || exp_dag(&SparsePattern::random(s(8), 0.3, 103), 3)),
+        ),
+        (
+            "train/exp/1",
+            Box::new(move || exp_dag(&SparsePattern::random(s(20), 0.2, 104), 5)),
+        ),
+        (
+            "train/cg/0",
+            Box::new(move || cg_dag(&SparsePattern::random_with_diagonal(s(8), 0.3, 105), 2)),
+        ),
+        (
+            "train/cg/1",
+            Box::new(move || cg_dag(&SparsePattern::random_with_diagonal(s(20), 0.2, 106), 4)),
+        ),
+        (
+            "train/knn/0",
+            Box::new(move || knn_dag(&SparsePattern::random_with_diagonal(s(12), 0.3, 107), 0, 3)),
+        ),
+        (
+            "train/knn/1",
+            Box::new(move || knn_dag(&SparsePattern::random_with_diagonal(s(30), 0.15, 108), 0, 5)),
+        ),
+        (
+            "train/exp/2",
+            Box::new(move || exp_dag(&SparsePattern::random(s(32), 0.12, 109), 8)),
+        ),
     ];
     for (name, make) in specs {
-        out.push(Instance { name: name.to_string(), dag: make() });
+        out.push(Instance {
+            name: name.to_string(),
+            dag: make(),
+        });
     }
     out
 }
@@ -164,15 +203,46 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
         });
         for (i, k) in [4usize, 10].iter().enumerate() {
             let k = *k;
-            push_fit(&mut out, &format!("fine/exp/huge{i}"), lo, hi, mid / (30 * k), move |n| {
-                exp_dag(&SparsePattern::random(n, 12.0 / n as f64, 901 + i as u64), k)
-            });
-            push_fit(&mut out, &format!("fine/cg/huge{i}"), lo, hi, mid / (80 * k), move |n| {
-                cg_dag(&SparsePattern::random_with_diagonal(n, 8.0 / n as f64, 903 + i as u64), k)
-            });
-            push_fit(&mut out, &format!("fine/knn/huge{i}"), lo, hi, mid / (20 * k), move |n| {
-                knn_dag(&SparsePattern::random_with_diagonal(n, 14.0 / n as f64, 905 + i as u64), 0, k)
-            });
+            push_fit(
+                &mut out,
+                &format!("fine/exp/huge{i}"),
+                lo,
+                hi,
+                mid / (30 * k),
+                move |n| {
+                    exp_dag(
+                        &SparsePattern::random(n, 12.0 / n as f64, 901 + i as u64),
+                        k,
+                    )
+                },
+            );
+            push_fit(
+                &mut out,
+                &format!("fine/cg/huge{i}"),
+                lo,
+                hi,
+                mid / (80 * k),
+                move |n| {
+                    cg_dag(
+                        &SparsePattern::random_with_diagonal(n, 8.0 / n as f64, 903 + i as u64),
+                        k,
+                    )
+                },
+            );
+            push_fit(
+                &mut out,
+                &format!("fine/knn/huge{i}"),
+                lo,
+                hi,
+                mid / (20 * k),
+                move |n| {
+                    knn_dag(
+                        &SparsePattern::random_with_diagonal(n, 14.0 / n as f64, 905 + i as u64),
+                        0,
+                        k,
+                    )
+                },
+            );
         }
         out.extend(coarse_in_range(lo, hi, scale));
         return out;
@@ -180,36 +250,76 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
 
     for (plo, phi, pos) in positions(lo, hi) {
         // spmv: one instance per position.
-        push_fit(&mut out, &format!("fine/spmv/{pos}"), plo, phi, plo / 30 + 2, move |n| {
-            spmv_dag(&SparsePattern::random(n, (10.0 / n as f64).min(0.5), 200))
-        });
+        push_fit(
+            &mut out,
+            &format!("fine/spmv/{pos}"),
+            plo,
+            phi,
+            plo / 30 + 2,
+            move |n| spmv_dag(&SparsePattern::random(n, (10.0 / n as f64).min(0.5), 200)),
+        );
         // exp/cg/knn: deep and wide variants (tiny: only wide, matching the
         // paper's 12-instance tiny set).
-        let variants: &[(&str, usize)] =
-            if kind == DatasetKind::Tiny { &[("wide", 2)] } else { &[("wide", 2), ("deep", 6)] };
+        let variants: &[(&str, usize)] = if kind == DatasetKind::Tiny {
+            &[("wide", 2)]
+        } else {
+            &[("wide", 2), ("deep", 6)]
+        };
         for &(variant, k) in variants {
-            push_fit(&mut out, &format!("fine/exp/{variant}/{pos}"), plo, phi, 3, move |n| {
-                exp_dag(&SparsePattern::random(n, (6.0 / n as f64).min(0.5), 300), k)
-            });
-            push_fit(&mut out, &format!("fine/cg/{variant}/{pos}"), plo, phi, 3, move |n| {
-                cg_dag(&SparsePattern::random_with_diagonal(n, (4.0 / n as f64).min(0.5), 400), k)
-            });
-            push_fit(&mut out, &format!("fine/knn/{variant}/{pos}"), plo, phi, 3, move |n| {
-                knn_dag(
-                    &SparsePattern::random_with_diagonal(n, (8.0 / n as f64).min(0.6), 500),
-                    0,
-                    k + 1,
-                )
-            });
+            push_fit(
+                &mut out,
+                &format!("fine/exp/{variant}/{pos}"),
+                plo,
+                phi,
+                3,
+                move |n| exp_dag(&SparsePattern::random(n, (6.0 / n as f64).min(0.5), 300), k),
+            );
+            push_fit(
+                &mut out,
+                &format!("fine/cg/{variant}/{pos}"),
+                plo,
+                phi,
+                3,
+                move |n| {
+                    cg_dag(
+                        &SparsePattern::random_with_diagonal(n, (4.0 / n as f64).min(0.5), 400),
+                        k,
+                    )
+                },
+            );
+            push_fit(
+                &mut out,
+                &format!("fine/knn/{variant}/{pos}"),
+                plo,
+                phi,
+                3,
+                move |n| {
+                    knn_dag(
+                        &SparsePattern::random_with_diagonal(n, (8.0 / n as f64).min(0.6), 500),
+                        0,
+                        k + 1,
+                    )
+                },
+            );
         }
     }
     out.extend(coarse_in_range(lo, hi, scale));
     out
 }
 
-fn push_fit<F: Fn(usize) -> Dag>(out: &mut Vec<Instance>, name: &str, lo: usize, hi: usize, start: usize, make: F) {
+fn push_fit<F: Fn(usize) -> Dag>(
+    out: &mut Vec<Instance>,
+    name: &str,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    make: F,
+) {
     if let Some(dag) = fit(lo, hi, start, make) {
-        out.push(Instance { name: name.to_string(), dag });
+        out.push(Instance {
+            name: name.to_string(),
+            dag,
+        });
     }
 }
 
@@ -233,9 +343,10 @@ fn coarse_catalog(scale: f64) -> Vec<(String, Dag)> {
         let n = ((base as f64 * scale.max(0.05).sqrt()) as usize).max(4);
         let seed = 700 + si as u64;
         // CG: fixed 3 iterations and until convergence.
-        for (label, iters) in
-            [("it3", Iterations::Fixed(3)), ("conv", Iterations::Converge(1e-8, 25))]
-        {
+        for (label, iters) in [
+            ("it3", Iterations::Fixed(3)),
+            ("conv", Iterations::Converge(1e-8, 25)),
+        ] {
             let ctx = Ctx::new();
             let a = spd_matrix(&ctx, n, 0.2, seed);
             let b = ctx.vector(vec![1.0; n]);
@@ -282,7 +393,11 @@ mod tests {
     #[test]
     fn tiny_dataset_sizes_in_interval() {
         let d = dataset(DatasetKind::Tiny, 1.0);
-        assert!(d.len() >= 10, "tiny should have ~12 fine + coarse, got {}", d.len());
+        assert!(
+            d.len() >= 10,
+            "tiny should have ~12 fine + coarse, got {}",
+            d.len()
+        );
         for i in &d {
             assert!(
                 i.dag.n() >= 40 && i.dag.n() <= 80,

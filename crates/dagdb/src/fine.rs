@@ -99,7 +99,9 @@ pub fn knn_dag(a: &SparsePattern, start: usize, k: usize) -> Dag {
             }
             let out = post_inc(&mut next);
             for j in touched {
-                let an = *a_node.entry((i as u32, j)).or_insert_with(|| post_inc(&mut next));
+                let an = *a_node
+                    .entry((i as u32, j))
+                    .or_insert_with(|| post_inc(&mut next));
                 edges.push((an, out));
                 edges.push((frontier[j as usize].unwrap(), out));
             }

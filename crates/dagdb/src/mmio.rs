@@ -53,7 +53,10 @@ impl std::fmt::Display for MmError {
             MmError::Unsupported(w) => write!(f, "unsupported MatrixMarket variant: {w}"),
             MmError::BadSizeLine(l) => write!(f, "bad size line: {l}"),
             MmError::NotSquare { rows, cols } => {
-                write!(f, "matrix is {rows}x{cols}, but generators need a square matrix")
+                write!(
+                    f,
+                    "matrix is {rows}x{cols}, but generators need a square matrix"
+                )
             }
             MmError::BadEntry { line, msg } => write!(f, "bad entry on line {line}: {msg}"),
             MmError::TruncatedData { expected, got } => {
@@ -74,8 +77,10 @@ pub fn pattern_from_matrix_market(text: &str) -> Result<SparsePattern, MmError> 
     let (_, header) = lines
         .next()
         .ok_or_else(|| MmError::BadHeader("empty input".into()))?;
-    let tokens: Vec<String> =
-        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() != 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(MmError::BadHeader(header.into()));
     }
@@ -103,7 +108,10 @@ pub fn pattern_from_matrix_market(text: &str) -> Result<SparsePattern, MmError> 
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| MmError::BadSizeLine(size_line.into())))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| MmError::BadSizeLine(size_line.into()))
+        })
         .collect::<Result<_, _>>()?;
     let [rows, cols, nnz] = dims[..] else {
         return Err(MmError::BadSizeLine(size_line.into()));
@@ -121,14 +129,22 @@ pub fn pattern_from_matrix_market(text: &str) -> Result<SparsePattern, MmError> 
         }
         let mut it = t.split_whitespace();
         let (Some(i), Some(j)) = (it.next(), it.next()) else {
-            return Err(MmError::BadEntry { line: idx + 1, msg: "missing indices".into() });
+            return Err(MmError::BadEntry {
+                line: idx + 1,
+                msg: "missing indices".into(),
+            });
         };
         if has_value && it.next().is_none() {
-            return Err(MmError::BadEntry { line: idx + 1, msg: "missing value".into() });
+            return Err(MmError::BadEntry {
+                line: idx + 1,
+                msg: "missing value".into(),
+            });
         }
         let parse = |s: &str, what: &str| -> Result<usize, MmError> {
-            s.parse::<usize>()
-                .map_err(|_| MmError::BadEntry { line: idx + 1, msg: format!("bad {what} '{s}'") })
+            s.parse::<usize>().map_err(|_| MmError::BadEntry {
+                line: idx + 1,
+                msg: format!("bad {what} '{s}'"),
+            })
         };
         let (i, j) = (parse(i, "row")?, parse(j, "column")?);
         if i == 0 || j == 0 || i > rows || j > cols {
@@ -144,7 +160,10 @@ pub fn pattern_from_matrix_market(text: &str) -> Result<SparsePattern, MmError> 
         seen += 1;
     }
     if seen < nnz {
-        return Err(MmError::TruncatedData { expected: nnz, got: seen });
+        return Err(MmError::TruncatedData {
+            expected: nnz,
+            got: seen,
+        });
     }
     Ok(SparsePattern::from_rows(rows, out))
 }
@@ -223,17 +242,29 @@ mod tests {
             pattern_from_matrix_market("%%NotMatrixMarket x y z w\n1 1 0\n"),
             Err(MmError::BadHeader(_))
         ));
-        assert!(matches!(pattern_from_matrix_market(""), Err(MmError::BadHeader(_))));
+        assert!(matches!(
+            pattern_from_matrix_market(""),
+            Err(MmError::BadHeader(_))
+        ));
     }
 
     #[test]
     fn rejects_unsupported_variants() {
         let arr = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
-        assert!(matches!(pattern_from_matrix_market(arr), Err(MmError::Unsupported(_))));
+        assert!(matches!(
+            pattern_from_matrix_market(arr),
+            Err(MmError::Unsupported(_))
+        ));
         let cpx = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
-        assert!(matches!(pattern_from_matrix_market(cpx), Err(MmError::Unsupported(_))));
+        assert!(matches!(
+            pattern_from_matrix_market(cpx),
+            Err(MmError::Unsupported(_))
+        ));
         let skew = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n";
-        assert!(matches!(pattern_from_matrix_market(skew), Err(MmError::Unsupported(_))));
+        assert!(matches!(
+            pattern_from_matrix_market(skew),
+            Err(MmError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -248,9 +279,15 @@ mod tests {
     #[test]
     fn rejects_out_of_range_and_zero_indices() {
         let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
-        assert!(matches!(pattern_from_matrix_market(text), Err(MmError::BadEntry { .. })));
+        assert!(matches!(
+            pattern_from_matrix_market(text),
+            Err(MmError::BadEntry { .. })
+        ));
         let text2 = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
-        assert!(matches!(pattern_from_matrix_market(text2), Err(MmError::BadEntry { .. })));
+        assert!(matches!(
+            pattern_from_matrix_market(text2),
+            Err(MmError::BadEntry { .. })
+        ));
     }
 
     #[test]
@@ -258,7 +295,10 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
         assert_eq!(
             pattern_from_matrix_market(text),
-            Err(MmError::TruncatedData { expected: 2, got: 1 })
+            Err(MmError::TruncatedData {
+                expected: 2,
+                got: 1
+            })
         );
     }
 

@@ -14,7 +14,7 @@ pub fn build_with_db_weights(n: usize, edges: &[(NodeId, NodeId)]) -> Dag {
     }
     let mut b = DagBuilder::with_capacity(n, edges.len());
     for &d in indeg.iter() {
-        let w = if d == 0 { 1 } else { d.saturating_sub(1).max(0) };
+        let w = if d == 0 { 1 } else { d.saturating_sub(1) };
         b.add_node(w, 1);
     }
     for &(u, v) in edges {

@@ -1,11 +1,11 @@
 //! Property tests for the DAG database generators.
 
+use bsp_dag::topo::is_topological_order;
+use bsp_dag::TopoInfo;
 use bsp_dagdb::coarse::algorithms::{cg, link_matrix, pagerank, spd_matrix, Iterations};
 use bsp_dagdb::coarse::Ctx;
 use bsp_dagdb::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
 use bsp_dagdb::SparsePattern;
-use bsp_dag::topo::is_topological_order;
-use bsp_dag::TopoInfo;
 use proptest::prelude::*;
 
 fn check_db_invariants(dag: &bsp_dag::Dag) {

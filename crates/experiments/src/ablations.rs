@@ -25,15 +25,19 @@ use bsp_core::pipeline::{schedule_dag, schedule_dag_multilevel};
 use bsp_core::state::ScheduleState;
 use bsp_core::steepest::hill_climb_steepest;
 use bsp_core::tabu::{tabu_search, TabuConfig};
-use bsp_baselines::{
-    blest_bsp, blest_bsp_numa_aware, cilk_bsp, dsc_bsp, etf_bsp, etf_bsp_numa_aware,
-};
 use bsp_dag::Dag;
 use bsp_dagdb::{dataset, DatasetKind, Instance};
 use bsp_model::{BspParams, NumaTopology};
 use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::scheduler::SharedScheduler;
 use bsp_schedule::BspSchedule;
 use std::time::{Duration, Instant};
+
+/// Fetches a baseline from the scheduler registry by its stable name.
+fn registered(name: &str) -> SharedScheduler {
+    bsp_sched::registry::find(name, &bsp_core::pipeline::PipelineConfig::default())
+        .unwrap_or_else(|| panic!("{name} missing from bsp_sched::registry()"))
+}
 
 const ELL: u64 = 5;
 
@@ -66,7 +70,11 @@ pub fn ablation_local_search(cfg: &RunConfig) {
             }
         }
     }
-    eprintln!("[ablation:ls] {} jobs on {} threads", jobs.len(), cfg.threads);
+    eprintln!(
+        "[ablation:ls] {} jobs on {} threads",
+        jobs.len(),
+        cfg.threads
+    );
 
     struct Row {
         init: u64,
@@ -85,7 +93,10 @@ pub fn ablation_local_search(cfg: &RunConfig) {
             let c = f();
             (c, t0.elapsed())
         };
-        let hc_cfg = HillClimbConfig { max_moves: None, time_limit: Some(budget) };
+        let hc_cfg = HillClimbConfig {
+            max_moves: None,
+            time_limit: Some(budget),
+        };
         let greedy = timed(&|| {
             let mut st = ScheduleState::new(&inst.dag, &machine, &start);
             hill_climb(&mut st, &hc_cfg);
@@ -97,28 +108,54 @@ pub fn ablation_local_search(cfg: &RunConfig) {
             st.cost()
         });
         let anneal = timed(&|| {
-            let sa = AnnealConfig { time_limit: Some(budget), ..AnnealConfig::default() };
+            let sa = AnnealConfig {
+                time_limit: Some(budget),
+                ..AnnealConfig::default()
+            };
             simulated_annealing(&inst.dag, &machine, &start, &sa).1
         });
         let tabu = timed(&|| {
-            let tc = TabuConfig { time_limit: Some(budget), ..TabuConfig::default() };
+            let tc = TabuConfig {
+                time_limit: Some(budget),
+                ..TabuConfig::default()
+            };
             tabu_search(&inst.dag, &machine, &start, &tc).1
         });
-        Row { init, greedy, steepest, anneal, tabu }
+        Row {
+            init,
+            greedy,
+            steepest,
+            anneal,
+            tabu,
+        }
     });
 
     let report = |name: &str, pick: &dyn Fn(&Row) -> (u64, Duration)| {
-        let vs_init =
-            geomean(&rows.iter().map(|r| ratio(pick(r).0, r.init)).collect::<Vec<_>>());
-        let vs_greedy =
-            geomean(&rows.iter().map(|r| ratio(pick(r).0, r.greedy.0)).collect::<Vec<_>>());
-        let ms: f64 = rows.iter().map(|r| pick(r).1.as_secs_f64() * 1e3).sum::<f64>()
+        let vs_init = geomean(
+            &rows
+                .iter()
+                .map(|r| ratio(pick(r).0, r.init))
+                .collect::<Vec<_>>(),
+        );
+        let vs_greedy = geomean(
+            &rows
+                .iter()
+                .map(|r| ratio(pick(r).0, r.greedy.0))
+                .collect::<Vec<_>>(),
+        );
+        let ms: f64 = rows
+            .iter()
+            .map(|r| pick(r).1.as_secs_f64() * 1e3)
+            .sum::<f64>()
             / rows.len() as f64;
         println!(
             "{name:<10} cost/init = {vs_init:.3}   cost/greedyHC = {vs_greedy:.3}   mean time = {ms:.0} ms"
         );
     };
-    println!("Local-search ablation (budget {budget:?} each, {} runs):", rows.len());
+    println!(
+        "Local-search ablation (budget {budget:?} each, {} runs):",
+        rows.len()
+    );
     report("greedyHC", &|r| r.greedy);
     report("steepest", &|r| r.steepest);
     report("anneal", &|r| r.anneal);
@@ -137,21 +174,24 @@ pub fn ablation_numa_est(cfg: &RunConfig) {
             }
         }
     }
-    eprintln!("[ablation:est] {} jobs on {} threads", jobs.len(), cfg.threads);
+    eprintln!(
+        "[ablation:est] {} jobs on {} threads",
+        jobs.len(),
+        cfg.threads
+    );
+    let suite: Vec<SharedScheduler> = ["etf", "etf-numa", "bl-est", "bl-est-numa"]
+        .map(registered)
+        .into();
     let rows = parallel_map(cfg.threads, jobs, |(inst, p, d)| {
         let machine = BspParams::new(*p, 1, ELL).with_numa(NumaTopology::binary_tree(*p, *d));
-        let etf_plain = lazy_cost(&inst.dag, &machine, &etf_bsp(&inst.dag, &machine));
-        let etf_aware = lazy_cost(&inst.dag, &machine, &etf_bsp_numa_aware(&inst.dag, &machine));
-        let bl_plain = lazy_cost(&inst.dag, &machine, &blest_bsp(&inst.dag, &machine));
-        let bl_aware =
-            lazy_cost(&inst.dag, &machine, &blest_bsp_numa_aware(&inst.dag, &machine));
+        let [etf_plain, etf_aware, bl_plain, bl_aware]: [u64; 4] =
+            std::array::from_fn(|i| suite[i].schedule(&inst.dag, &machine).total());
         (*p, *d, etf_plain, etf_aware, bl_plain, bl_aware)
     });
     println!("NUMA-aware EST ablation (ratio aware/plain; < 1 means the extension helps):");
     for &p in ps {
         for &d in deltas {
-            let sel: Vec<_> =
-                rows.iter().filter(|r| r.0 == p && r.1 == d).collect();
+            let sel: Vec<_> = rows.iter().filter(|r| r.0 == p && r.1 == d).collect();
             let etf = geomean(&sel.iter().map(|r| ratio(r.3, r.2)).collect::<Vec<_>>());
             let bl = geomean(&sel.iter().map(|r| ratio(r.5, r.4)).collect::<Vec<_>>());
             println!("  P={p:<3} Δ={d}:  ETF {etf:.3}   BL-EST {bl:.3}");
@@ -173,7 +213,11 @@ pub fn ablation_presolve(cfg: &RunConfig) {
             jobs.push((inst.clone(), p));
         }
     }
-    eprintln!("[ablation:presolve] {} jobs on {} threads", jobs.len(), cfg.threads);
+    eprintln!(
+        "[ablation:presolve] {} jobs on {} threads",
+        jobs.len(),
+        cfg.threads
+    );
     let rows = parallel_map(cfg.threads, jobs, |(inst, p)| {
         let machine = BspParams::new(*p, 2, ELL);
         let sched = best_init(&inst.dag, &machine);
@@ -195,7 +239,13 @@ pub fn ablation_presolve(cfg: &RunConfig) {
         let t1 = Instant::now();
         let pre = bsp_ilp::solve_with_presolve(&w.model, Some(&warm), &limits);
         let t_pre = t1.elapsed();
-        (w.model.n_vars(), plain.objective, pre.objective, t_plain, t_pre)
+        (
+            w.model.n_vars(),
+            plain.objective,
+            pre.objective,
+            t_plain,
+            t_pre,
+        )
     });
     let time_ratio = geomean(
         &rows
@@ -205,9 +255,11 @@ pub fn ablation_presolve(cfg: &RunConfig) {
     );
     let better = rows.iter().filter(|r| r.2 < r.1 - 1e-6).count();
     let worse = rows.iter().filter(|r| r.2 > r.1 + 1e-6).count();
-    let mean_vars: f64 =
-        rows.iter().map(|r| r.0 as f64).sum::<f64>() / rows.len().max(1) as f64;
-    println!("Presolve ablation on {} full-window ILPs (mean {mean_vars:.0} vars):", rows.len());
+    let mean_vars: f64 = rows.iter().map(|r| r.0 as f64).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "Presolve ablation on {} full-window ILPs (mean {mean_vars:.0} vars):",
+        rows.len()
+    );
     println!("  time(presolve)/time(plain) geomean = {time_ratio:.2}");
     println!("  objective better with presolve: {better}, worse: {worse} (same budget)");
 }
@@ -228,7 +280,11 @@ pub fn ablation_auto(cfg: &RunConfig) {
             }
         }
     }
-    eprintln!("[ablation:auto] {} jobs on {} threads", jobs.len(), cfg.threads);
+    eprintln!(
+        "[ablation:auto] {} jobs on {} threads",
+        jobs.len(),
+        cfg.threads
+    );
     let rows = parallel_map(cfg.threads, jobs, |(inst, p, d)| {
         let mut machine = BspParams::new(*p, 1, ELL);
         if *d > 0 {
@@ -237,14 +293,21 @@ pub fn ablation_auto(cfg: &RunConfig) {
         let pipe = pipeline_config(inst.dag.n(), EvalOptions::default());
         let base = schedule_dag(&inst.dag, &machine, &pipe).cost;
         let ml =
-            schedule_dag_multilevel(&inst.dag, &machine, &pipe, &MultilevelConfig::default())
-                .cost;
-        let (auto_r, strat) =
-            schedule_dag_auto(&inst.dag, &machine, &pipe, &AutoConfig::default());
-        (comm_dominance(&inst.dag, &machine), base, ml, auto_r.cost, strat)
+            schedule_dag_multilevel(&inst.dag, &machine, &pipe, &MultilevelConfig::default()).cost;
+        let (auto_r, strat) = schedule_dag_auto(&inst.dag, &machine, &pipe, &AutoConfig::default());
+        (
+            comm_dominance(&inst.dag, &machine),
+            base,
+            ml,
+            auto_r.cost,
+            strat,
+        )
     });
     let vs_best = geomean(
-        &rows.iter().map(|r| ratio(r.3, r.1.min(r.2))).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| ratio(r.3, r.1.min(r.2)))
+            .collect::<Vec<_>>(),
     );
     let vs_base = geomean(&rows.iter().map(|r| ratio(r.3, r.1)).collect::<Vec<_>>());
     let vs_ml = geomean(&rows.iter().map(|r| ratio(r.3, r.2)).collect::<Vec<_>>());
@@ -264,7 +327,10 @@ pub fn ablation_auto(cfg: &RunConfig) {
             (r.4 == Strategy::Base && r.2 < r.1) || (r.4 == Strategy::Multilevel && r.1 < r.2)
         })
         .count();
-    println!("  committed to the wrong side in {misses}/{} runs", rows.len());
+    println!(
+        "  committed to the wrong side in {misses}/{} runs",
+        rows.len()
+    );
 }
 
 /// Clustering-vs-list check of the §4.1 claim: DSC clustering is expected
@@ -278,13 +344,16 @@ pub fn ablation_cluster(cfg: &RunConfig) {
             }
         }
     }
-    eprintln!("[ablation:cluster] {} jobs on {} threads", jobs.len(), cfg.threads);
+    eprintln!(
+        "[ablation:cluster] {} jobs on {} threads",
+        jobs.len(),
+        cfg.threads
+    );
+    let suite: Vec<SharedScheduler> = ["dsc", "etf", "bl-est", "cilk"].map(registered).into();
     let rows = parallel_map(cfg.threads, jobs, |(inst, p, g)| {
         let machine = BspParams::new(*p, *g, ELL);
-        let dsc = lazy_cost(&inst.dag, &machine, &dsc_bsp(&inst.dag, &machine));
-        let etf = lazy_cost(&inst.dag, &machine, &etf_bsp(&inst.dag, &machine));
-        let blest = lazy_cost(&inst.dag, &machine, &blest_bsp(&inst.dag, &machine));
-        let cilk = lazy_cost(&inst.dag, &machine, &cilk_bsp(&inst.dag, &machine, 42));
+        let [dsc, etf, blest, cilk]: [u64; 4] =
+            std::array::from_fn(|i| suite[i].schedule(&inst.dag, &machine).total());
         (*g, dsc, etf, blest, cilk)
     });
     println!("Clustering (DSC) vs list baselines (ratio DSC/other; > 1 = DSC loses):");
@@ -293,7 +362,9 @@ pub fn ablation_cluster(cfg: &RunConfig) {
         let vs_etf = geomean(&sel.iter().map(|r| ratio(r.1, r.2)).collect::<Vec<_>>());
         let vs_blest = geomean(&sel.iter().map(|r| ratio(r.1, r.3)).collect::<Vec<_>>());
         let vs_cilk = geomean(&sel.iter().map(|r| ratio(r.1, r.4)).collect::<Vec<_>>());
-        println!("  g={g}:  DSC/ETF {vs_etf:.3}   DSC/BL-EST {vs_blest:.3}   DSC/Cilk {vs_cilk:.3}");
+        println!(
+            "  g={g}:  DSC/ETF {vs_etf:.3}   DSC/BL-EST {vs_blest:.3}   DSC/Cilk {vs_cilk:.3}"
+        );
     }
 }
 

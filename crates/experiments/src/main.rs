@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p bsp-experiments --release -- table1 [--scale 0.15] [--threads N]
+//! cargo run -p bsp-experiments --release -- registry   # whole-suite overview
 //! cargo run -p bsp-experiments --release -- all
 //! ```
 //!
@@ -62,6 +63,7 @@ fn main() {
             "fig6" => tables::fig6(&cfg),
             "fig7" => tables::table11_and_fig7(&cfg),
             "trivial" => tables::trivial_counts(&cfg),
+            "registry" => tables::registry_overview(&cfg),
             "ablation" => ablations::all(&cfg),
             "ablation-ls" => ablations::ablation_local_search(&cfg),
             "ablation-est" => ablations::ablation_numa_est(&cfg),

@@ -14,7 +14,12 @@ fn datasets(cfg: &RunConfig) -> Vec<(DatasetKind, Vec<Instance>)> {
     let kinds: &[DatasetKind] = if cfg.quick {
         &[DatasetKind::Tiny, DatasetKind::Small]
     } else {
-        &[DatasetKind::Tiny, DatasetKind::Small, DatasetKind::Medium, DatasetKind::Large]
+        &[
+            DatasetKind::Tiny,
+            DatasetKind::Small,
+            DatasetKind::Medium,
+            DatasetKind::Large,
+        ]
     };
     kinds.iter().map(|&k| (k, dataset(k, cfg.scale))).collect()
 }
@@ -69,7 +74,14 @@ fn no_numa_jobs(cfg: &RunConfig, opts: EvalOptions) -> Vec<Job> {
         for p in grid_p(cfg) {
             for g in grid_g(cfg) {
                 for inst in &insts {
-                    jobs.push(Job { set, p, g, delta: 0, inst: inst.clone(), opts });
+                    jobs.push(Job {
+                        set,
+                        p,
+                        g,
+                        delta: 0,
+                        inst: inst.clone(),
+                        opts,
+                    });
                 }
             }
         }
@@ -88,7 +100,14 @@ fn numa_jobs(cfg: &RunConfig, opts: EvalOptions, skip_tiny: bool) -> Vec<Job> {
         for &p in ps {
             for &delta in deltas {
                 for inst in &insts {
-                    jobs.push(Job { set, p, g: 1, delta, inst: inst.clone(), opts });
+                    jobs.push(Job {
+                        set,
+                        p,
+                        g: 1,
+                        delta,
+                        inst: inst.clone(),
+                        opts,
+                    });
                 }
             }
         }
@@ -97,9 +116,23 @@ fn numa_jobs(cfg: &RunConfig, opts: EvalOptions, skip_tiny: bool) -> Vec<Job> {
 }
 
 fn red2(evals: &[&Eval]) -> String {
-    let vs_cilk = geomean(&evals.iter().map(|e| ratio(e.ours, e.cilk)).collect::<Vec<_>>());
-    let vs_hdagg = geomean(&evals.iter().map(|e| ratio(e.ours, e.hdagg)).collect::<Vec<_>>());
-    format!("{:>3}% / {:>3}%", reduction_pct(vs_cilk), reduction_pct(vs_hdagg))
+    let vs_cilk = geomean(
+        &evals
+            .iter()
+            .map(|e| ratio(e.ours, e.cilk))
+            .collect::<Vec<_>>(),
+    );
+    let vs_hdagg = geomean(
+        &evals
+            .iter()
+            .map(|e| ratio(e.ours, e.hdagg))
+            .collect::<Vec<_>>(),
+    );
+    format!(
+        "{:>3}% / {:>3}%",
+        reduction_pct(vs_cilk),
+        reduction_pct(vs_hdagg)
+    )
 }
 
 /// One no-NUMA sweep (with the list baselines) feeding Tables 1, 6, 7, 8
@@ -107,7 +140,14 @@ fn red2(evals: &[&Eval]) -> String {
 pub fn no_numa_suite(cfg: &RunConfig) {
     let results = run_jobs(
         cfg,
-        no_numa_jobs(cfg, EvalOptions { ilp: true, list_baselines: true, ..Default::default() }),
+        no_numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                list_baselines: true,
+                ..Default::default()
+            },
+        ),
     );
     println!("--- Table 1 ---");
     table1_print(cfg, &results);
@@ -122,7 +162,16 @@ pub fn no_numa_suite(cfg: &RunConfig) {
 /// Table 1 (§7.1): cost reduction vs Cilk and HDagg without NUMA, split by
 /// (g, P) and by (g, dataset), plus the headline means.
 pub fn table1(cfg: &RunConfig) {
-    let results = run_jobs(cfg, no_numa_jobs(cfg, EvalOptions { ilp: true, ..Default::default() }));
+    let results = run_jobs(
+        cfg,
+        no_numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                ..Default::default()
+            },
+        ),
+    );
     table1_print(cfg, &results);
 }
 
@@ -130,16 +179,27 @@ fn table1_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
     let all: Vec<&Eval> = results.iter().map(|r| &r.4).collect();
     println!(
         "overall mean ratio: vs Cilk {:.2} (paper 0.56), vs HDagg {:.2} (paper 0.76)",
-        geomean(&all.iter().map(|e| ratio(e.ours, e.cilk)).collect::<Vec<_>>()),
-        geomean(&all.iter().map(|e| ratio(e.ours, e.hdagg)).collect::<Vec<_>>()),
+        geomean(
+            &all.iter()
+                .map(|e| ratio(e.ours, e.cilk))
+                .collect::<Vec<_>>()
+        ),
+        geomean(
+            &all.iter()
+                .map(|e| ratio(e.ours, e.hdagg))
+                .collect::<Vec<_>>()
+        ),
     );
     println!("\nreduction vs Cilk / HDagg by (P, g):");
     println!("{:>6} {:>14} {:>14} {:>14}", "", "g=1", "g=3", "g=5");
     for p in grid_p(cfg) {
         let mut row = format!("P={p:<4}");
         for g in grid_g(cfg) {
-            let sel: Vec<&Eval> =
-                results.iter().filter(|r| r.1 == p && r.2 == g).map(|r| &r.4).collect();
+            let sel: Vec<&Eval> = results
+                .iter()
+                .filter(|r| r.1 == p && r.2 == g)
+                .map(|r| &r.4)
+                .collect();
             row += &format!(" {:>14}", red2(&sel));
         }
         println!("{row}");
@@ -148,8 +208,11 @@ fn table1_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
     for (set, _) in datasets(cfg) {
         let mut row = format!("{:<7}", set.name());
         for g in grid_g(cfg) {
-            let sel: Vec<&Eval> =
-                results.iter().filter(|r| r.0 == set && r.2 == g).map(|r| &r.4).collect();
+            let sel: Vec<&Eval> = results
+                .iter()
+                .filter(|r| r.0 == set && r.2 == g)
+                .map(|r| &r.4)
+                .collect();
             row += &format!(" {:>14}", red2(&sel));
         }
         println!("{row}");
@@ -158,12 +221,24 @@ fn table1_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
 
 /// Figure 5 (§7.1): stage-wise mean cost ratios normalized to Cilk, per g.
 pub fn fig5(cfg: &RunConfig) {
-    let results = run_jobs(cfg, no_numa_jobs(cfg, EvalOptions { ilp: true, ..Default::default() }));
+    let results = run_jobs(
+        cfg,
+        no_numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                ..Default::default()
+            },
+        ),
+    );
     fig5_print(cfg, &results);
 }
 
 fn fig5_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)]) {
-    println!("{:>5} {:>6} {:>6} {:>6} {:>6} {:>6}", "g", "Cilk", "HDagg", "Init", "HCcs", "ILP");
+    println!(
+        "{:>5} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "g", "Cilk", "HDagg", "Init", "HCcs", "ILP"
+    );
     for g in grid_g(cfg) {
         let sel: Vec<&Eval> = results.iter().filter(|r| r.2 == g).map(|r| &r.4).collect();
         let col = |f: &dyn Fn(&Eval) -> u64| {
@@ -183,7 +258,16 @@ fn fig5_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)])
 
 /// Table 6 (App. C.2): the full (g, P, dataset) factorial, vs Cilk/HDagg.
 pub fn table6(cfg: &RunConfig) {
-    let results = run_jobs(cfg, no_numa_jobs(cfg, EvalOptions { ilp: true, ..Default::default() }));
+    let results = run_jobs(
+        cfg,
+        no_numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                ..Default::default()
+            },
+        ),
+    );
     table6_print(cfg, &results);
 }
 
@@ -213,7 +297,11 @@ fn table6_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
 /// Tables 7 and 8 (App. C.2): per-algorithm ratios at g = 5 (normalized to
 /// Cilk) including BL-EST/ETF, and the tiny-vs-ETF reduction grid.
 pub fn table7_and_8(cfg: &RunConfig) {
-    let opts = EvalOptions { ilp: true, list_baselines: true, ..Default::default() };
+    let opts = EvalOptions {
+        ilp: true,
+        list_baselines: true,
+        ..Default::default()
+    };
     let results = run_jobs(cfg, no_numa_jobs(cfg, opts));
     table7_print(cfg, &results);
 }
@@ -225,8 +313,11 @@ fn table7_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
         "", "BL-EST", "ETF", "Cilk", "HDagg", "Init", "HCcs", "ILPpart", "ILPcs"
     );
     for (set, _) in datasets(cfg) {
-        let sel: Vec<&Eval> =
-            results.iter().filter(|r| r.0 == set && r.2 == 5).map(|r| &r.4).collect();
+        let sel: Vec<&Eval> = results
+            .iter()
+            .filter(|r| r.0 == set && r.2 == 5)
+            .map(|r| &r.4)
+            .collect();
         if sel.is_empty() {
             continue;
         }
@@ -271,9 +362,16 @@ fn table7_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
 /// Table 9 (App. C.3): the effect of the latency parameter ℓ on the medium
 /// dataset at g = 1, P = 8.
 pub fn table9(cfg: &RunConfig) {
-    let kind = if cfg.quick { DatasetKind::Small } else { DatasetKind::Medium };
+    let kind = if cfg.quick {
+        DatasetKind::Small
+    } else {
+        DatasetKind::Medium
+    };
     let insts = dataset(kind, cfg.scale);
-    let opts = EvalOptions { ilp: true, ..Default::default() };
+    let opts = EvalOptions {
+        ilp: true,
+        ..Default::default()
+    };
     let ells: Vec<u64> = vec![2, 5, 10, 20];
     let mut jobs = Vec::new();
     for &l in &ells {
@@ -294,24 +392,54 @@ pub fn table9(cfg: &RunConfig) {
 
 /// One NUMA base-scheduler sweep feeding Tables 2 and 10.
 pub fn numa_base_suite(cfg: &RunConfig) {
-    let results = run_jobs(cfg, numa_jobs(cfg, EvalOptions { ilp: true, ..Default::default() }, false));
+    let results = run_jobs(
+        cfg,
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                ..Default::default()
+            },
+            false,
+        ),
+    );
     println!("--- Table 2 ---");
     println!("reduction vs Cilk / HDagg with NUMA (g=1, l=5):");
-    numa_grid(cfg, &results, |sel| red2(sel));
+    numa_grid(cfg, &results, red2);
     println!("\n--- Table 10 ---");
     table10_print(cfg, &results);
 }
 
 /// Table 2 (§7.2): NUMA, base scheduler, aggregated per (P, Δ).
 pub fn table2(cfg: &RunConfig) {
-    let results = run_jobs(cfg, numa_jobs(cfg, EvalOptions { ilp: true, ..Default::default() }, false));
+    let results = run_jobs(
+        cfg,
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                ..Default::default()
+            },
+            false,
+        ),
+    );
     println!("reduction vs Cilk / HDagg with NUMA (g=1, l=5):");
-    numa_grid(cfg, &results, |sel| red2(sel));
+    numa_grid(cfg, &results, red2);
 }
 
 /// Table 10 (App. C.4): NUMA reduction per (P, Δ, dataset).
 pub fn table10(cfg: &RunConfig) {
-    let results = run_jobs(cfg, numa_jobs(cfg, EvalOptions { ilp: true, ..Default::default() }, false));
+    let results = run_jobs(
+        cfg,
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                ..Default::default()
+            },
+            false,
+        ),
+    );
     table10_print(cfg, &results);
 }
 
@@ -345,7 +473,15 @@ fn table10_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval
 pub fn numa_ml_suite(cfg: &RunConfig) {
     let results = run_jobs(
         cfg,
-        numa_jobs(cfg, EvalOptions { ilp: true, multilevel: true, ..Default::default() }, true),
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                multilevel: true,
+                ..Default::default()
+            },
+            true,
+        ),
     );
     println!("--- Figure 6 ---");
     fig6_print(cfg, &results);
@@ -359,7 +495,15 @@ pub fn numa_ml_suite(cfg: &RunConfig) {
 pub fn fig6(cfg: &RunConfig) {
     let results = run_jobs(
         cfg,
-        numa_jobs(cfg, EvalOptions { ilp: true, multilevel: true, ..Default::default() }, true),
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                multilevel: true,
+                ..Default::default()
+            },
+            true,
+        ),
     );
     fig6_print(cfg, &results);
 }
@@ -373,8 +517,11 @@ fn fig6_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)])
     let deltas: &[u64] = if cfg.quick { &[2, 4] } else { &[2, 3, 4] };
     for &p in ps {
         for &d in deltas {
-            let sel: Vec<&Eval> =
-                results.iter().filter(|r| r.1 == p && r.3 == d).map(|r| &r.4).collect();
+            let sel: Vec<&Eval> = results
+                .iter()
+                .filter(|r| r.1 == p && r.3 == d)
+                .map(|r| &r.4)
+                .collect();
             let col = |f: &dyn Fn(&Eval) -> u64| {
                 geomean(&sel.iter().map(|e| ratio(f(e), e.cilk)).collect::<Vec<_>>())
             };
@@ -397,27 +544,45 @@ fn fig6_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)])
 pub fn table3_and_14(cfg: &RunConfig) {
     let results = run_jobs(
         cfg,
-        numa_jobs(cfg, EvalOptions { ilp: true, multilevel: true, ..Default::default() }, true),
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                multilevel: true,
+                ..Default::default()
+            },
+            true,
+        ),
     );
     table3_print(cfg, &results);
 }
 
 fn table3_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)]) {
     println!("Tables 3+13 — ML reduction vs Cilk / HDagg per (P, Δ) (C15; C30; Copt):");
-    numa_grid(cfg, &results, |sel| {
+    numa_grid(cfg, results, |sel| {
         let red = |f: &dyn Fn(&Eval) -> u64| {
             let c = geomean(&sel.iter().map(|e| ratio(f(e), e.cilk)).collect::<Vec<_>>());
             let h = geomean(&sel.iter().map(|e| ratio(f(e), e.hdagg)).collect::<Vec<_>>());
             format!("{}%/{}%", reduction_pct(c), reduction_pct(h))
         };
-        format!("{} ; {} ; {}", red(&|e| e.ml15), red(&|e| e.ml30), red(&|e| e.ml_opt()))
+        format!(
+            "{} ; {} ; {}",
+            red(&|e| e.ml15),
+            red(&|e| e.ml30),
+            red(&|e| e.ml_opt())
+        )
     });
     println!("\nTable 14 — ML-to-base-scheduler cost ratio per (P, Δ) (C15; C30; Copt):");
-    numa_grid(cfg, &results, |sel| {
+    numa_grid(cfg, results, |sel| {
         let rr = |f: &dyn Fn(&Eval) -> u64| {
             geomean(&sel.iter().map(|e| ratio(f(e), e.ours)).collect::<Vec<_>>())
         };
-        format!("{:.3} ; {:.3} ; {:.3}", rr(&|e| e.ml15), rr(&|e| e.ml30), rr(&|e| e.ml_opt()))
+        format!(
+            "{:.3} ; {:.3} ; {:.3}",
+            rr(&|e| e.ml15),
+            rr(&|e| e.ml30),
+            rr(&|e| e.ml_opt())
+        )
     });
 }
 
@@ -426,20 +591,34 @@ fn table3_print(cfg: &RunConfig, results: &[(DatasetKind, usize, u64, u64, Eval)
 pub fn trivial_counts(cfg: &RunConfig) {
     let results = run_jobs(
         cfg,
-        numa_jobs(cfg, EvalOptions { ilp: true, multilevel: true, ..Default::default() }, true),
+        numa_jobs(
+            cfg,
+            EvalOptions {
+                ilp: true,
+                multilevel: true,
+                ..Default::default()
+            },
+            true,
+        ),
     );
     trivial_print(&results);
 }
 
 fn trivial_print(results: &[(DatasetKind, usize, u64, u64, Eval)]) {
     let base_bad: Vec<_> = results.iter().filter(|r| r.4.ours >= r.4.trivial).collect();
-    let ml_bad = results.iter().filter(|r| r.4.ml_opt().max(1) >= r.4.trivial).count();
+    let ml_bad = results
+        .iter()
+        .filter(|r| r.4.ml_opt().max(1) >= r.4.trivial)
+        .count();
     println!(
         "base scheduler >= trivial: {} / {} cases (paper: 114/396)",
         base_bad.len(),
         results.len()
     );
-    println!("multilevel     >= trivial: {ml_bad} / {} cases (paper: 8/396)", results.len());
+    println!(
+        "multilevel     >= trivial: {ml_bad} / {} cases (paper: 8/396)",
+        results.len()
+    );
     for r in base_bad.iter().take(8) {
         println!(
             "  e.g. {} (n={}, P={}, delta={}): ours {} vs trivial {}",
@@ -457,7 +636,14 @@ pub fn table11_and_fig7(cfg: &RunConfig) {
     for p in grid_p(cfg) {
         for g in grid_g(cfg) {
             for inst in &insts {
-                jobs.push(Job { set: DatasetKind::Huge, p, g, delta: 0, inst: inst.clone(), opts });
+                jobs.push(Job {
+                    set: DatasetKind::Huge,
+                    p,
+                    g,
+                    delta: 0,
+                    inst: inst.clone(),
+                    opts,
+                });
             }
         }
     }
@@ -471,14 +657,20 @@ pub fn table11_and_fig7(cfg: &RunConfig) {
     for p in grid_p(cfg) {
         print!("P={p:<4}");
         for g in grid_g(cfg) {
-            let sel: Vec<&Eval> =
-                results.iter().filter(|r| r.1 == p && r.2 == g).map(|r| &r.4).collect();
+            let sel: Vec<&Eval> = results
+                .iter()
+                .filter(|r| r.1 == p && r.2 == g)
+                .map(|r| &r.4)
+                .collect();
             print!("{:>16}", red2(&sel));
         }
         println!();
     }
     println!("\nFigure 7 — stage ratios vs Cilk per P:");
-    println!("{:>5} {:>6} {:>7} {:>6} {:>6}", "P", "Cilk", "HDagg", "Init", "HCcs");
+    println!(
+        "{:>5} {:>6} {:>7} {:>6} {:>6}",
+        "P", "Cilk", "HDagg", "Init", "HCcs"
+    );
     for p in grid_p(cfg) {
         let sel: Vec<&Eval> = results.iter().filter(|r| r.1 == p).map(|r| &r.4).collect();
         let col = |f: &dyn Fn(&Eval) -> u64| {
@@ -505,13 +697,20 @@ pub fn table12(cfg: &RunConfig) {
     for &p in ps {
         for &delta in deltas {
             for inst in &insts {
-                jobs.push(Job { set: DatasetKind::Huge, p, g: 1, delta, inst: inst.clone(), opts });
+                jobs.push(Job {
+                    set: DatasetKind::Huge,
+                    p,
+                    g: 1,
+                    delta,
+                    inst: inst.clone(),
+                    opts,
+                });
             }
         }
     }
     let results = run_jobs(cfg, jobs);
     println!("Table 12 — reduction vs Cilk / HDagg on huge with NUMA:");
-    numa_grid(cfg, &results, |sel| red2(sel));
+    numa_grid(cfg, &results, red2);
 }
 
 /// Tables 4 + 5 (App. C.1): which initializer wins on the training set.
@@ -534,8 +733,14 @@ pub fn table4_and_5(cfg: &RunConfig) {
         // initialization" (App. A.4) and runs once per ~2-8 nodes.
         let ilp_feasible = inst.dag.n() * p * p * 3 <= 20_000;
         let ilp_cost = if ilp_feasible {
-            let mut icfg =
-                pipeline_config(inst.dag.n(), EvalOptions { ilp: true, ..Default::default() }).ilp;
+            let mut icfg = pipeline_config(
+                inst.dag.n(),
+                EvalOptions {
+                    ilp: true,
+                    ..Default::default()
+                },
+            )
+            .ilp;
             icfg.limits.max_nodes = 25;
             icfg.limits.time_limit = std::time::Duration::from_millis(120);
             lazy_cost(&inst.dag, &machine, &ilp_init(&inst.dag, &machine, &icfg))
@@ -557,19 +762,27 @@ pub fn table4_and_5(cfg: &RunConfig) {
         for r in results.iter().filter(|r| r.0 == p && r.2.contains("spmv")) {
             wins[r.4] += 1;
         }
-        println!("P={p:<3} BSPg: {}  Source: {}  ILPinit: {}", wins[0], wins[1], wins[2]);
+        println!(
+            "P={p:<3} BSPg: {}  Source: {}  ILPinit: {}",
+            wins[0], wins[1], wins[2]
+        );
     }
     println!("\nTable 5 — wins on exp/cg/knn per (P, size tercile):");
-    let mut sizes: Vec<usize> =
-        results.iter().filter(|r| !r.2.contains("spmv")).map(|r| r.3).collect();
+    let mut sizes: Vec<usize> = results
+        .iter()
+        .filter(|r| !r.2.contains("spmv"))
+        .map(|r| r.3)
+        .collect();
     sizes.sort_unstable();
     sizes.dedup();
     let cut = |q: f64| sizes[((sizes.len() - 1) as f64 * q) as usize];
     let (c1, c2) = (cut(0.34), cut(0.67));
     for p in grid_p(cfg) {
-        for (lo, hi, label) in
-            [(0, c1, "small-n"), (c1 + 1, c2, "mid-n"), (c2 + 1, usize::MAX, "large-n")]
-        {
+        for (lo, hi, label) in [
+            (0, c1, "small-n"),
+            (c1 + 1, c2, "mid-n"),
+            (c2 + 1, usize::MAX, "large-n"),
+        ] {
             let mut wins = [0usize; 3];
             for r in results
                 .iter()
@@ -601,10 +814,66 @@ fn numa_grid<F: Fn(&[&Eval]) -> String>(
     for &p in ps {
         print!("P={p:<4}");
         for &d in deltas {
-            let sel: Vec<&Eval> =
-                results.iter().filter(|r| r.1 == p && r.3 == d).map(|r| &r.4).collect();
+            let sel: Vec<&Eval> = results
+                .iter()
+                .filter(|r| r.1 == p && r.3 == d)
+                .map(|r| &r.4)
+                .collect();
             print!("{:>28}", cell(&sel));
         }
         println!();
+    }
+}
+
+/// Registry overview: every scheduler in `bsp_sched::registry()` on the
+/// tiny + small datasets, reported as geomean cost ratio vs the trivial
+/// single-processor schedule. Not a paper table — a health dashboard for
+/// the whole suite that grows automatically as algorithms are registered.
+pub fn registry_overview(cfg: &RunConfig) {
+    use bsp_schedule::trivial::trivial_cost;
+
+    let mut insts = dataset(DatasetKind::Tiny, cfg.scale);
+    if !cfg.quick {
+        insts.extend(dataset(DatasetKind::Small, cfg.scale));
+    }
+    let machines = [
+        ("P=4 uniform g=3", BspParams::new(4, 3, ELL)),
+        (
+            "P=8 numa d=3 g=1",
+            BspParams::new(8, 1, ELL).with_numa(NumaTopology::binary_tree(8, 3)),
+        ),
+    ];
+    let schedulers = bsp_sched::registry_with(&pipeline_config(
+        insts.iter().map(|i| i.dag.n()).max().unwrap_or(0),
+        EvalOptions::default(),
+    ));
+    eprintln!(
+        "[registry] {} schedulers x {} instances x {} machines on {} threads",
+        schedulers.len(),
+        insts.len(),
+        machines.len(),
+        cfg.threads
+    );
+    for (mname, machine) in &machines {
+        let jobs: Vec<_> = schedulers
+            .iter()
+            .flat_map(|s| insts.iter().map(move |inst| (s, inst)))
+            .collect();
+        let rows = parallel_map(cfg.threads, jobs, |(s, inst)| {
+            let r = s.schedule(&inst.dag, machine);
+            (
+                s.name().to_string(),
+                ratio(r.total(), trivial_cost(&inst.dag, machine)),
+            )
+        });
+        println!("machine {mname} (geomean cost / trivial; lower is better):");
+        for s in &schedulers {
+            let rs: Vec<f64> = rows
+                .iter()
+                .filter(|(n, _)| n == s.name())
+                .map(|&(_, r)| r)
+                .collect();
+            println!("  {:<20} {:.3}", s.name(), geomean(&rs));
+        }
     }
 }

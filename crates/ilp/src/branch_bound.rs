@@ -23,7 +23,11 @@ pub struct SolveLimits {
 
 impl Default for SolveLimits {
     fn default() -> Self {
-        SolveLimits { max_nodes: 20_000, time_limit: Duration::from_secs(10), gap: 1e-6 }
+        SolveLimits {
+            max_nodes: 20_000,
+            time_limit: Duration::from_secs(10),
+            gap: 1e-6,
+        }
     }
 }
 
@@ -153,7 +157,7 @@ fn dfs(work: &mut Model, state: &mut SearchState, depth: usize) {
 
     // Rounding heuristic: fix integers at rounded LP values, re-solve for
     // the continuous part. Cheap relative to the subtree it may prune.
-    if depth % 4 == 0 {
+    if depth.is_multiple_of(4) {
         try_rounding(work, &x, state);
     }
 
@@ -242,7 +246,11 @@ mod tests {
     use crate::model::Sense;
 
     fn limits() -> SolveLimits {
-        SolveLimits { max_nodes: 10_000, time_limit: Duration::from_secs(20), gap: 1e-6 }
+        SolveLimits {
+            max_nodes: 10_000,
+            time_limit: Duration::from_secs(20),
+            gap: 1e-6,
+        }
     }
 
     /// Brute force over all binary assignments for cross-checking.
@@ -267,11 +275,20 @@ mod tests {
         let weights = [5.0, 6.0, 3.0, 5.0, 1.0, 4.0];
         let mut m = Model::new();
         let xs: Vec<_> = values.iter().map(|&v| m.add_binary(-v)).collect();
-        m.add_constraint(xs.iter().zip(weights).map(|(&x, w)| (x, w)).collect(), Sense::Le, 12.0);
+        m.add_constraint(
+            xs.iter().zip(weights).map(|(&x, w)| (x, w)).collect(),
+            Sense::Le,
+            12.0,
+        );
         let sol = m.solve(None, &limits());
         assert_eq!(sol.status, MipStatus::Optimal);
         let bf = brute_force_binary(&m).unwrap();
-        assert!((sol.objective - bf).abs() < 1e-6, "{} vs {}", sol.objective, bf);
+        assert!(
+            (sol.objective - bf).abs() < 1e-6,
+            "{} vs {}",
+            sol.objective,
+            bf
+        );
     }
 
     #[test]
@@ -313,7 +330,11 @@ mod tests {
         let xs: Vec<_> = (0..8).map(|_| m.add_binary(-1.0)).collect();
         m.add_constraint(xs.iter().map(|&x| (x, 1.0)).collect(), Sense::Le, 4.0);
         let warm = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let tight = SolveLimits { max_nodes: 1, time_limit: Duration::from_secs(5), gap: 1e-6 };
+        let tight = SolveLimits {
+            max_nodes: 1,
+            time_limit: Duration::from_secs(5),
+            gap: 1e-6,
+        };
         let sol = m.solve(Some(&warm), &tight);
         assert!(sol.objective <= -2.0 + 1e-9);
         assert!(!sol.x.is_empty());
@@ -354,7 +375,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = rng.gen_range(3..9);
             let mut m = Model::new();
-            let xs: Vec<_> = (0..n).map(|_| m.add_binary(rng.gen_range(-9.0..9.0_f64).round())).collect();
+            let xs: Vec<_> = (0..n)
+                .map(|_| m.add_binary(rng.gen_range(-9.0..9.0_f64).round()))
+                .collect();
             for _ in 0..rng.gen_range(1..5) {
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
                 for &x in &xs {
@@ -379,7 +402,11 @@ mod tests {
                 None => assert_eq!(sol.status, MipStatus::Infeasible, "seed {seed}"),
                 Some(opt) => {
                     assert_eq!(sol.status, MipStatus::Optimal, "seed {seed}");
-                    assert!((sol.objective - opt).abs() < 1e-5, "seed {seed}: {} vs {opt}", sol.objective);
+                    assert!(
+                        (sol.objective - opt).abs() < 1e-5,
+                        "seed {seed}: {} vs {opt}",
+                        sol.objective
+                    );
                 }
             }
         }

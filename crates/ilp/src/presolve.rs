@@ -120,7 +120,14 @@ pub fn presolve(model: &Model) -> PresolveResult {
             out.add_constraint(c.terms.clone(), c.sense, c.rhs);
         }
     }
-    PresolveResult { model: out, rounds, tightened, fixed, dropped, infeasible }
+    PresolveResult {
+        model: out,
+        rounds,
+        tightened,
+        fixed,
+        dropped,
+        infeasible,
+    }
 }
 
 enum RowOutcome {
@@ -327,8 +334,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = rng.gen_range(3..9);
             let mut m = Model::new();
-            let xs: Vec<_> =
-                (0..n).map(|_| m.add_binary(rng.gen_range(-9.0..9.0_f64).round())).collect();
+            let xs: Vec<_> = (0..n)
+                .map(|_| m.add_binary(rng.gen_range(-9.0..9.0_f64).round()))
+                .collect();
             for _ in 0..rng.gen_range(1..6) {
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
                 for &x in &xs {

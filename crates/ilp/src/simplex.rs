@@ -61,7 +61,11 @@ pub fn solve_lp_with_deadline(model: &Model, deadline: Option<Instant>) -> LpSol
             col_of[v] = var_of.len();
             var_of.push(v);
         } else if upper[v] < lower[v] - EPS {
-            return LpSolution { status: LpStatus::Infeasible, x: vec![], objective: f64::INFINITY };
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                x: vec![],
+                objective: f64::INFINITY,
+            };
         }
     }
     let ns = var_of.len(); // structural columns
@@ -85,12 +89,20 @@ pub fn solve_lp_with_deadline(model: &Model, deadline: Option<Instant>) -> LpSol
                 terms.push((col_of[vi], coef));
             }
         }
-        rows.push(Row { terms, sense: c.sense, rhs });
+        rows.push(Row {
+            terms,
+            sense: c.sense,
+            rhs,
+        });
     }
     // Bound rows x' <= upper - lower for finite upper bounds.
     for (col, &v) in var_of.iter().enumerate() {
         if upper[v].is_finite() {
-            rows.push(Row { terms: vec![(col, 1.0)], sense: Sense::Le, rhs: upper[v] - lower[v] });
+            rows.push(Row {
+                terms: vec![(col, 1.0)],
+                sense: Sense::Le,
+                rhs: upper[v] - lower[v],
+            });
         }
     }
 
@@ -181,19 +193,41 @@ pub fn solve_lp_with_deadline(model: &Model, deadline: Option<Instant>) -> LpSol
                 }
             }
         }
-        match run_simplex(&mut t, &mut basis, m, total, width, max_iters, bland_after, None, deadline) {
+        match run_simplex(
+            &mut t,
+            &mut basis,
+            m,
+            total,
+            width,
+            max_iters,
+            bland_after,
+            None,
+            deadline,
+        ) {
             SimplexOutcome::Optimal => {}
             SimplexOutcome::Unbounded => {
                 // Phase 1 objective is bounded below by 0; numerical trouble.
-                return LpSolution { status: LpStatus::IterationLimit, x: vec![], objective: 0.0 };
+                return LpSolution {
+                    status: LpStatus::IterationLimit,
+                    x: vec![],
+                    objective: 0.0,
+                };
             }
             SimplexOutcome::IterationLimit => {
-                return LpSolution { status: LpStatus::IterationLimit, x: vec![], objective: 0.0 };
+                return LpSolution {
+                    status: LpStatus::IterationLimit,
+                    x: vec![],
+                    objective: 0.0,
+                };
             }
         }
         // Phase-1 objective value is -t[total] (row 0 holds -obj).
         if -t[total] > 1e-6 {
-            return LpSolution { status: LpStatus::Infeasible, x: vec![], objective: f64::INFINITY };
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                x: vec![],
+                objective: f64::INFINITY,
+            };
         }
         // Pivot remaining artificials out of the basis where possible.
         for i in 0..m {
@@ -242,7 +276,11 @@ pub fn solve_lp_with_deadline(model: &Model, deadline: Option<Instant>) -> LpSol
     let status = match outcome {
         SimplexOutcome::Optimal => LpStatus::Optimal,
         SimplexOutcome::Unbounded => {
-            return LpSolution { status: LpStatus::Unbounded, x: vec![], objective: f64::NEG_INFINITY }
+            return LpSolution {
+                status: LpStatus::Unbounded,
+                x: vec![],
+                objective: f64::NEG_INFINITY,
+            }
         }
         SimplexOutcome::IterationLimit => LpStatus::IterationLimit,
     };
@@ -258,7 +296,11 @@ pub fn solve_lp_with_deadline(model: &Model, deadline: Option<Instant>) -> LpSol
         }
     }
     let objective = model.eval_objective(&x);
-    LpSolution { status, x, objective }
+    LpSolution {
+        status,
+        x,
+        objective,
+    }
 }
 
 enum SimplexOutcome {
@@ -315,7 +357,10 @@ fn run_simplex(
             if a > PIVOT_EPS {
                 let ratio = t[(i + 1) * width + total] / a;
                 if ratio < best_ratio - 1e-12
-                    || (bland && (ratio - best_ratio).abs() <= 1e-12 && leave != usize::MAX && basis[i] < basis[leave])
+                    || (bland
+                        && (ratio - best_ratio).abs() <= 1e-12
+                        && leave != usize::MAX
+                        && basis[i] < basis[leave])
                 {
                     best_ratio = ratio;
                     leave = i;

@@ -1,9 +1,9 @@
 //! Property tests: the MILP solver against exhaustive search on random
 //! small binary programs, and LP relaxation sanity.
 
-use bsp_ilp::{Model, Sense, SolveLimits};
 use bsp_ilp::simplex::{solve_lp, LpStatus};
 use bsp_ilp::MipStatus;
+use bsp_ilp::{Model, Sense, SolveLimits};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -28,7 +28,11 @@ fn arb_program() -> impl Strategy<Value = RandomBinaryProgram> {
 
 fn build(p: &RandomBinaryProgram) -> Model {
     let mut m = Model::new();
-    let vars: Vec<_> = p.objective.iter().map(|&c| m.add_binary(c as f64)).collect();
+    let vars: Vec<_> = p
+        .objective
+        .iter()
+        .map(|&c| m.add_binary(c as f64))
+        .collect();
     for (terms, sense, rhs) in &p.rows {
         let sense = match sense {
             0 => Sense::Le,

@@ -36,7 +36,10 @@ impl NumaTopology {
     /// # Panics
     /// Panics unless `p` is a power of two with `p ≥ 2`.
     pub fn binary_tree(p: usize, delta: u64) -> Self {
-        assert!(p >= 2 && p.is_power_of_two(), "binary tree NUMA needs a power-of-two P >= 2");
+        assert!(
+            p >= 2 && p.is_power_of_two(),
+            "binary tree NUMA needs a power-of-two P >= 2"
+        );
         let mut lambda = vec![0u64; p * p];
         for a in 0..p {
             for b in 0..p {
@@ -61,7 +64,10 @@ impl NumaTopology {
     /// # Panics
     /// Panics if either dimension is 0.
     pub fn two_level(sockets: usize, cores_per_socket: usize, delta: u64) -> Self {
-        assert!(sockets >= 1 && cores_per_socket >= 1, "dimensions must be positive");
+        assert!(
+            sockets >= 1 && cores_per_socket >= 1,
+            "dimensions must be positive"
+        );
         let p = sockets * cores_per_socket;
         let mut lambda = vec![0u64; p * p];
         for a in 0..p {
@@ -69,8 +75,11 @@ impl NumaTopology {
                 if a == b {
                     continue;
                 }
-                lambda[a * p + b] =
-                    if a / cores_per_socket == b / cores_per_socket { 1 } else { delta };
+                lambda[a * p + b] = if a / cores_per_socket == b / cores_per_socket {
+                    1
+                } else {
+                    delta
+                };
             }
         }
         NumaTopology { p, lambda }
@@ -128,7 +137,11 @@ impl NumaTopology {
         for a in 0..p {
             assert_eq!(lambda[a * p + a], 0, "diagonal must be zero");
             for b in 0..p {
-                assert_eq!(lambda[a * p + b], lambda[b * p + a], "matrix must be symmetric");
+                assert_eq!(
+                    lambda[a * p + b],
+                    lambda[b * p + a],
+                    "matrix must be symmetric"
+                );
             }
         }
         NumaTopology { p, lambda }

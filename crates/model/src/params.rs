@@ -22,7 +22,12 @@ impl BspParams {
     /// Panics if `p == 0`.
     pub fn new(p: usize, g: u64, l: u64) -> Self {
         assert!(p > 0, "need at least one processor");
-        BspParams { p, g, l, numa: NumaTopology::uniform(p) }
+        BspParams {
+            p,
+            g,
+            l,
+            numa: NumaTopology::uniform(p),
+        }
     }
 
     /// Replaces the NUMA topology. The topology's processor count must match.

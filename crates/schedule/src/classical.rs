@@ -38,7 +38,10 @@ impl ClassicalSchedule {
     /// they appear once converted to BSP).
     pub fn is_valid(&self, dag: &Dag) -> bool {
         // Precedence.
-        if !dag.edges().all(|(u, v)| self.finish(dag, u) <= self.start[v as usize]) {
+        if !dag
+            .edges()
+            .all(|(u, v)| self.finish(dag, u) <= self.start[v as usize])
+        {
             return false;
         }
         // No overlap per processor.
@@ -137,21 +140,33 @@ mod tests {
     fn classical_validity() {
         let dag = cross();
         // a,b on p0; c,d on p1.
-        let s = ClassicalSchedule { proc: vec![0, 0, 1, 1], start: vec![0, 3, 0, 3] };
+        let s = ClassicalSchedule {
+            proc: vec![0, 0, 1, 1],
+            start: vec![0, 3, 0, 3],
+        };
         assert!(s.is_valid(&dag));
         assert_eq!(s.makespan(&dag), 5);
         // Overlap on p0.
-        let bad = ClassicalSchedule { proc: vec![0, 0, 1, 1], start: vec![0, 1, 0, 3] };
+        let bad = ClassicalSchedule {
+            proc: vec![0, 0, 1, 1],
+            start: vec![0, 1, 0, 3],
+        };
         assert!(!bad.is_valid(&dag));
         // Precedence violation: b before a finishes.
-        let bad2 = ClassicalSchedule { proc: vec![0, 1, 1, 1], start: vec![0, 0, 0, 3] };
+        let bad2 = ClassicalSchedule {
+            proc: vec![0, 1, 1, 1],
+            start: vec![0, 0, 0, 3],
+        };
         assert!(!bad2.is_valid(&dag));
     }
 
     #[test]
     fn conversion_splits_at_cross_dependencies() {
         let dag = cross();
-        let s = ClassicalSchedule { proc: vec![0, 0, 1, 1], start: vec![0, 3, 0, 3] };
+        let s = ClassicalSchedule {
+            proc: vec![0, 0, 1, 1],
+            start: vec![0, 3, 0, 3],
+        };
         let bsp = s.to_bsp(&dag);
         // b (on p0) needs c (p1): barrier before start of b and d.
         assert_eq!(bsp.step(0), 0);
@@ -168,7 +183,10 @@ mod tests {
         let y = b.add_node(1, 1);
         b.add_edge(x, y).unwrap();
         let dag = b.build().unwrap();
-        let s = ClassicalSchedule { proc: vec![0, 0], start: vec![0, 1] };
+        let s = ClassicalSchedule {
+            proc: vec![0, 0],
+            start: vec![0, 1],
+        };
         let bsp = s.to_bsp(&dag);
         assert_eq!(bsp.n_supersteps(), 1);
     }

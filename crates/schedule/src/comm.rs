@@ -66,8 +66,16 @@ impl CommSchedule {
                 }
             }
             for &(q, s) in &first_need {
-                debug_assert!(s > 0, "lazy schedule needs strict step increase across processors");
-                entries.push(CommStep { node: u, from: pu, to: q, step: s - 1 });
+                debug_assert!(
+                    s > 0,
+                    "lazy schedule needs strict step increase across processors"
+                );
+                entries.push(CommStep {
+                    node: u,
+                    from: pu,
+                    to: q,
+                    step: s - 1,
+                });
             }
         }
         Self::from_entries(entries)
@@ -102,7 +110,10 @@ impl CommSchedule {
         match self.entries.binary_search(&old) {
             Ok(i) => {
                 self.entries.remove(i);
-                let updated = CommStep { step: new_step, ..old };
+                let updated = CommStep {
+                    step: new_step,
+                    ..old
+                };
                 let pos = self.entries.binary_search(&updated).unwrap_or_else(|e| e);
                 self.entries.insert(pos, updated);
                 true
@@ -152,7 +163,13 @@ pub fn required_transfers(dag: &Dag, sched: &BspSchedule) -> Vec<Transfer> {
         first_need.sort_unstable();
         for &(q, s0) in &first_need {
             debug_assert!(s0 > sched.step(u));
-            out.push(Transfer { node: u, from: pu, to: q, earliest: sched.step(u), latest: s0 - 1 });
+            out.push(Transfer {
+                node: u,
+                from: pu,
+                to: q,
+                earliest: sched.step(u),
+                latest: s0 - 1,
+            });
         }
     }
     out
@@ -183,8 +200,18 @@ mod tests {
         assert_eq!(
             comm.entries(),
             &[
-                CommStep { node: 0, from: 0, to: 1, step: 1 }, // min(2,3) - 1
-                CommStep { node: 0, from: 0, to: 2, step: 0 }, // 1 - 1
+                CommStep {
+                    node: 0,
+                    from: 0,
+                    to: 1,
+                    step: 1
+                }, // min(2,3) - 1
+                CommStep {
+                    node: 0,
+                    from: 0,
+                    to: 2,
+                    step: 0
+                }, // 1 - 1
             ]
         );
     }
@@ -204,15 +231,32 @@ mod tests {
         assert_eq!(
             t,
             vec![
-                Transfer { node: 0, from: 0, to: 1, earliest: 1, latest: 2 },
-                Transfer { node: 0, from: 0, to: 2, earliest: 1, latest: 1 },
+                Transfer {
+                    node: 0,
+                    from: 0,
+                    to: 1,
+                    earliest: 1,
+                    latest: 2
+                },
+                Transfer {
+                    node: 0,
+                    from: 0,
+                    to: 2,
+                    earliest: 1,
+                    latest: 1
+                },
             ]
         );
     }
 
     #[test]
     fn reschedule_moves_entry() {
-        let e = CommStep { node: 0, from: 0, to: 1, step: 3 };
+        let e = CommStep {
+            node: 0,
+            from: 0,
+            to: 1,
+            step: 3,
+        };
         let mut c = CommSchedule::from_entries(vec![e]);
         assert!(c.reschedule(e, 1));
         assert_eq!(c.entries()[0].step, 1);
@@ -221,8 +265,18 @@ mod tests {
 
     #[test]
     fn from_entries_sorts_and_dedups() {
-        let a = CommStep { node: 1, from: 0, to: 1, step: 0 };
-        let b = CommStep { node: 0, from: 0, to: 1, step: 0 };
+        let a = CommStep {
+            node: 1,
+            from: 0,
+            to: 1,
+            step: 0,
+        };
+        let b = CommStep {
+            node: 0,
+            from: 0,
+            to: 1,
+            step: 0,
+        };
         let c = CommSchedule::from_entries(vec![a, b, a]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.entries()[0], b);

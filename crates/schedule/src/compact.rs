@@ -37,7 +37,10 @@ pub fn compact(dag: &Dag, sched: &BspSchedule, comm: &CommSchedule) -> (BspSched
     let new_comm = CommSchedule::from_entries(
         comm.entries()
             .iter()
-            .map(|e| CommStep { step: remap[e.step as usize], ..*e })
+            .map(|e| CommStep {
+                step: remap[e.step as usize],
+                ..*e
+            })
             .collect(),
     );
     (new_sched, new_comm)
@@ -55,8 +58,8 @@ mod tests {
     use super::*;
     use crate::cost::total_cost;
     use crate::validity::validate;
-    use bsp_model::BspParams;
     use bsp_dag::DagBuilder;
+    use bsp_model::BspParams;
 
     #[test]
     fn compaction_removes_gaps_and_preserves_cost() {

@@ -84,17 +84,30 @@ pub fn schedule_cost(
     for s in 0..n_steps {
         let row = s * p;
         let w = work[row..row + p].iter().copied().max().unwrap_or(0);
-        let c = (0..p).map(|q| send[row + q].max(recv[row + q])).max().unwrap_or(0);
+        let c = (0..p)
+            .map(|q| send[row + q].max(recv[row + q]))
+            .max()
+            .unwrap_or(0);
         let nonempty = nodes_in_step[s] > 0 || comms_in_step[s] > 0;
         let latency = if nonempty { machine.l() } else { 0 };
-        let sc = SuperstepCost { work: w, comm: c, latency };
+        let sc = SuperstepCost {
+            work: w,
+            comm: c,
+            latency,
+        };
         total += sc.total(machine.g());
         work_total += w;
         comm_total += machine.g() * c;
         latency_total += latency;
         per_step.push(sc);
     }
-    CostBreakdown { total, per_step, work_total, comm_total, latency_total }
+    CostBreakdown {
+        total,
+        per_step,
+        work_total,
+        comm_total,
+        latency_total,
+    }
 }
 
 /// Total cost only (convenience wrapper around [`schedule_cost`]).
@@ -131,8 +144,22 @@ mod tests {
         let comm = CommSchedule::lazy(&dag, &sched);
         let c = schedule_cost(&dag, &machine, &sched, &comm);
         assert_eq!(c.per_step.len(), 2);
-        assert_eq!(c.per_step[0], SuperstepCost { work: 2, comm: 3, latency: 4 });
-        assert_eq!(c.per_step[1], SuperstepCost { work: 5, comm: 0, latency: 4 });
+        assert_eq!(
+            c.per_step[0],
+            SuperstepCost {
+                work: 2,
+                comm: 3,
+                latency: 4
+            }
+        );
+        assert_eq!(
+            c.per_step[1],
+            SuperstepCost {
+                work: 5,
+                comm: 0,
+                latency: 4
+            }
+        );
         assert_eq!(c.total, (2 + 6 + 4) + (5 + 4));
         assert_eq!(c.work_total, 7);
         assert_eq!(c.comm_total, 6);
@@ -160,8 +187,7 @@ mod tests {
     #[test]
     fn numa_lambda_scales_both_sides() {
         let dag = pair();
-        let machine =
-            BspParams::new(4, 1, 0).with_numa(NumaTopology::binary_tree(4, 3));
+        let machine = BspParams::new(4, 1, 0).with_numa(NumaTopology::binary_tree(4, 3));
         // u on p0, v on p3 => lambda = 3 (level 2 of a 4-leaf tree).
         let sched = BspSchedule::from_parts(vec![0, 3], vec![0, 1]);
         let comm = CommSchedule::lazy(&dag, &sched);

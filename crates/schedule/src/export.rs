@@ -44,7 +44,8 @@ pub fn dag_to_dot(dag: &Dag) -> String {
 /// processor shown by fill color, cross-processor edges dashed.
 pub fn schedule_to_dot(dag: &Dag, sched: &BspSchedule) -> String {
     assert_eq!(sched.n(), dag.n());
-    let mut s = String::from("digraph schedule {\n  rankdir=TB;\n  node [shape=box, style=filled];\n");
+    let mut s =
+        String::from("digraph schedule {\n  rankdir=TB;\n  node [shape=box, style=filled];\n");
     let n_steps = sched.n_supersteps();
     for step in 0..n_steps {
         let nodes = sched.nodes_in_step(step);
@@ -91,10 +92,19 @@ pub fn schedule_to_text(
         Some(c) => c.entries().iter().map(|e| (e.step, e.from, e.to)).collect(),
         None => {
             let lazy = CommSchedule::lazy(dag, sched);
-            lazy.entries().iter().map(|e| (e.step, e.from, e.to)).collect()
+            lazy.entries()
+                .iter()
+                .map(|e| (e.step, e.from, e.to))
+                .collect()
         }
     };
-    let _ = writeln!(out, "schedule: {} nodes, {} supersteps, {} processors", dag.n(), n_steps, p);
+    let _ = writeln!(
+        out,
+        "schedule: {} nodes, {} supersteps, {} processors",
+        dag.n(),
+        n_steps,
+        p
+    );
     for s in 0..n_steps {
         let loads: Vec<u64> = (0..p as u32).map(|q| sched.work_of(dag, q, s)).collect();
         let sent = transfers.iter().filter(|&&(st, ..)| st == s).count();
@@ -108,7 +118,12 @@ pub fn schedule_to_text(
         Some(c) => total_cost(dag, machine, sched, c),
         None => lazy_cost(dag, machine, sched),
     };
-    let _ = writeln!(out, "  total cost = {cost} (g={}, l={})", machine.g(), machine.l());
+    let _ = writeln!(
+        out,
+        "  total cost = {cost} (g={}, l={})",
+        machine.g(),
+        machine.l()
+    );
     out
 }
 
@@ -122,7 +137,12 @@ pub fn lazy_transfer_count(dag: &Dag, sched: &BspSchedule) -> usize {
 /// processor, one column per time unit (compressed to at most `max_width`
 /// columns), node ids shown at their start positions where space allows.
 pub fn classical_to_gantt(dag: &Dag, sched: &crate::ClassicalSchedule, max_width: usize) -> String {
-    let p = sched.proc.iter().copied().max().map_or(1, |m| m as usize + 1);
+    let p = sched
+        .proc
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
     let makespan = sched.makespan(dag).max(1);
     let width = max_width.clamp(10, 400).min(makespan as usize);
     let scale = makespan as f64 / width as f64;
@@ -131,8 +151,15 @@ pub fn classical_to_gantt(dag: &Dag, sched: &crate::ClassicalSchedule, max_width
     let mut rows = vec![vec![b'.'; width]; p];
     for v in dag.nodes() {
         let q = sched.proc[v as usize] as usize;
-        let (from, to) = (sched.start[v as usize], sched.start[v as usize] + dag.work(v));
-        for cell in rows[q].iter_mut().take(col(to.max(from + 1)) + 1).skip(col(from)) {
+        let (from, to) = (
+            sched.start[v as usize],
+            sched.start[v as usize] + dag.work(v),
+        );
+        for cell in rows[q]
+            .iter_mut()
+            .take(col(to.max(from + 1)) + 1)
+            .skip(col(from))
+        {
             if *cell == b'.' {
                 *cell = b'#';
             }
@@ -147,7 +174,10 @@ pub fn classical_to_gantt(dag: &Dag, sched: &crate::ClassicalSchedule, max_width
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "gantt: makespan {makespan}, 1 column ≈ {scale:.1} time units");
+    let _ = writeln!(
+        out,
+        "gantt: makespan {makespan}, 1 column ≈ {scale:.1} time units"
+    );
     for (q, row) in rows.iter().enumerate() {
         let _ = writeln!(out, "  p{q:<2} |{}|", String::from_utf8_lossy(row));
     }
@@ -233,7 +263,10 @@ mod tests {
         use crate::ClassicalSchedule;
         let dag = diamond();
         // p0: a at 0 (w1), x at 1 (w2); p1: y at 1 (w3); p0: d at 4 (w1).
-        let sched = ClassicalSchedule { proc: vec![0, 0, 1, 0], start: vec![0, 1, 1, 4] };
+        let sched = ClassicalSchedule {
+            proc: vec![0, 0, 1, 0],
+            start: vec![0, 1, 1, 4],
+        };
         let g = classical_to_gantt(&dag, &sched, 40);
         assert!(g.contains("makespan 5"));
         assert_eq!(g.matches('|').count(), 4); // two rows, two bars each
@@ -255,12 +288,18 @@ mod tests {
             b.add_edge(u, v).unwrap();
             b.build().unwrap()
         };
-        let sched = ClassicalSchedule { proc: vec![0, 0], start: vec![0, 1000] };
+        let sched = ClassicalSchedule {
+            proc: vec![0, 0],
+            start: vec![0, 1000],
+        };
         let g = classical_to_gantt(&dag, &sched, 50);
         let row = g.lines().nth(1).unwrap();
         let bar = row.split('|').nth(1).unwrap();
         assert!(bar.len() <= 50);
-        assert!(!bar.contains('.'), "fully busy processor shows no idle cells");
+        assert!(
+            !bar.contains('.'),
+            "fully busy processor shows no idle cells"
+        );
     }
 
     #[test]

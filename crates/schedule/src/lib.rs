@@ -40,12 +40,14 @@ pub mod compact;
 pub mod cost;
 pub mod export;
 pub mod schedule;
+pub mod scheduler;
 pub mod trivial;
 pub mod validity;
 
 pub use classical::ClassicalSchedule;
 pub use comm::{CommSchedule, CommStep, Transfer};
 pub use cost::{schedule_cost, CostBreakdown};
-pub use schedule::BspSchedule;
 pub use export::{classical_to_gantt, dag_to_dot, schedule_to_dot, schedule_to_text};
+pub use schedule::BspSchedule;
+pub use scheduler::{ScheduleResult, Scheduler, SchedulerKind};
 pub use validity::{validate, InvalidSchedule};

@@ -27,7 +27,10 @@ impl BspSchedule {
     /// An all-zero assignment for `n` nodes (everything on processor 0,
     /// superstep 0) — the paper's "trivial schedule" starting point.
     pub fn zeroed(n: usize) -> Self {
-        BspSchedule { proc: vec![0; n], step: vec![0; n] }
+        BspSchedule {
+            proc: vec![0; n],
+            step: vec![0; n],
+        }
     }
 
     /// Number of nodes covered.
@@ -101,7 +104,9 @@ impl BspSchedule {
 
     /// Nodes assigned to superstep `s`, ascending by id.
     pub fn nodes_in_step(&self, s: u32) -> Vec<NodeId> {
-        (0..self.n() as NodeId).filter(|&v| self.step(v) == s).collect()
+        (0..self.n() as NodeId)
+            .filter(|&v| self.step(v) == s)
+            .collect()
     }
 }
 

@@ -1,0 +1,161 @@
+//! The polymorphic [`Scheduler`] interface.
+//!
+//! Every scheduling algorithm in the workspace — the four comparison
+//! baselines, DSC clustering, the paper's initialization heuristics, the
+//! Figure-3 and Figure-4 pipelines, and the CCR-driven auto-selector —
+//! implements this one trait, so harnesses (the experiment runner, the
+//! criterion benches, the examples, and future evaluation services) iterate
+//! a single registry instead of hand-wiring each algorithm. The registry
+//! itself lives in the `bsp-sched` façade crate (`bsp_sched::registry()`),
+//! which is the only crate that can see every implementation.
+//!
+//! A [`Scheduler`] consumes a DAG and a machine description and produces a
+//! complete, costed result: the assignment `(π, τ)`, a communication
+//! schedule `Γ`, and the full [`CostBreakdown`] under the paper's BSP+NUMA
+//! cost model. Algorithms that only produce an assignment (the baselines and
+//! initializers) are costed under the lazy `Γ` — exactly how the paper
+//! evaluates them — via [`ScheduleResult::from_lazy`].
+
+use crate::comm::CommSchedule;
+use crate::cost::{schedule_cost, CostBreakdown};
+use crate::schedule::BspSchedule;
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+
+/// Which family a scheduler belongs to; lets harnesses select comparable
+/// subsets (e.g. "all baselines" for a table's comparison columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Prior-work comparison schedulers (Cilk, BL-EST, ETF, HDagg, DSC).
+    Baseline,
+    /// The paper's initialization heuristics, run stand-alone.
+    Initializer,
+    /// Full pipelines (Figure 3, Figure 4, and the auto-selector).
+    Pipeline,
+}
+
+/// A complete, costed scheduling outcome.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// The node → (processor, superstep) assignment.
+    pub sched: BspSchedule,
+    /// The communication schedule the cost was evaluated under.
+    pub comm: CommSchedule,
+    /// Full cost breakdown of `(sched, comm)` on the machine.
+    pub cost: CostBreakdown,
+}
+
+impl ScheduleResult {
+    /// Costs an assignment under its lazy communication schedule (values
+    /// sent in the superstep their producer computes in).
+    pub fn from_lazy(dag: &Dag, machine: &BspParams, sched: BspSchedule) -> Self {
+        let comm = CommSchedule::lazy(dag, &sched);
+        let cost = schedule_cost(dag, machine, &sched, &comm);
+        ScheduleResult { sched, comm, cost }
+    }
+
+    /// Costs an assignment under an explicitly optimized `Γ`.
+    pub fn from_parts(
+        dag: &Dag,
+        machine: &BspParams,
+        sched: BspSchedule,
+        comm: CommSchedule,
+    ) -> Self {
+        let cost = schedule_cost(dag, machine, &sched, &comm);
+        ScheduleResult { sched, comm, cost }
+    }
+
+    /// Total schedule cost (shorthand for `self.cost.total`).
+    pub fn total(&self) -> u64 {
+        self.cost.total
+    }
+}
+
+/// A named scheduling algorithm: DAG + machine in, costed schedule out.
+///
+/// Implementations are configuration-carrying structs (seed, NUMA-awareness,
+/// pipeline budgets, …), so a registry entry is a ready-to-run instance and
+/// two entries of the same algorithm with different tuning can coexist.
+pub trait Scheduler {
+    /// Stable identifier used in tables, bench ids and lookups
+    /// (e.g. `"etf"`, `"pipeline/base"`).
+    fn name(&self) -> &str;
+
+    /// The family this scheduler belongs to.
+    fn kind(&self) -> SchedulerKind;
+
+    /// Schedules `dag` on `machine`, returning a valid, costed schedule.
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult;
+}
+
+/// A boxed scheduler shareable across harness worker threads.
+pub type SharedScheduler = Box<dyn Scheduler + Send + Sync>;
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn kind(&self) -> SchedulerKind {
+        (**self).kind()
+    }
+    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        (**self).schedule(dag, machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::DagBuilder;
+
+    struct RoundRobin;
+
+    impl Scheduler for RoundRobin {
+        fn name(&self) -> &str {
+            "round-robin"
+        }
+        fn kind(&self) -> SchedulerKind {
+            SchedulerKind::Baseline
+        }
+        fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+            // One superstep per node, processors round-robin: always valid.
+            let p = machine.p() as u32;
+            let n = dag.n() as u32;
+            let sched = BspSchedule::from_parts((0..n).map(|v| v % p).collect(), (0..n).collect());
+            ScheduleResult::from_lazy(dag, machine, sched)
+        }
+    }
+
+    #[test]
+    fn trait_object_round_trips_through_box() {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(2, 1);
+        let v = b.add_node(3, 1);
+        b.add_edge(u, v).unwrap();
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 1, 1);
+
+        let boxed: Box<dyn Scheduler> = Box::new(RoundRobin);
+        assert_eq!(boxed.name(), "round-robin");
+        assert_eq!(boxed.kind(), SchedulerKind::Baseline);
+        let r = boxed.schedule(&dag, &machine);
+        assert!(crate::validity::validate(&dag, 2, &r.sched, &r.comm).is_ok());
+        assert_eq!(r.total(), r.cost.total);
+        assert!(r.total() > 0);
+    }
+
+    #[test]
+    fn lazy_and_parts_agree_on_lazy_comm() {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(1, 2);
+        let v = b.add_node(1, 1);
+        b.add_edge(u, v).unwrap();
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 2, 3);
+        let sched = BspSchedule::from_parts(vec![0, 1], vec![0, 1]);
+        let comm = CommSchedule::lazy(&dag, &sched);
+        let a = ScheduleResult::from_lazy(&dag, &machine, sched.clone());
+        let b2 = ScheduleResult::from_parts(&dag, &machine, sched, comm);
+        assert_eq!(a.cost, b2.cost);
+    }
+}

@@ -25,8 +25,8 @@ pub fn trivial_cost(dag: &Dag, machine: &BspParams) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsp_dag::DagBuilder;
     use crate::validity::validate;
+    use bsp_dag::DagBuilder;
 
     #[test]
     fn trivial_is_valid_and_costs_work_plus_latency() {

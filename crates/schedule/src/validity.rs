@@ -72,9 +72,16 @@ impl fmt::Display for InvalidSchedule {
                 write!(f, "value of node {node} sent from processor {from} in superstep {step} before it is present there")
             }
             InvalidSchedule::CommSelfSend { node, proc } => {
-                write!(f, "value of node {node} 'sent' from processor {proc} to itself")
+                write!(
+                    f,
+                    "value of node {node} 'sent' from processor {proc} to itself"
+                )
             }
-            InvalidSchedule::MissingData { edge: (u, v), needed_on, at_step } => {
+            InvalidSchedule::MissingData {
+                edge: (u, v),
+                needed_on,
+                at_step,
+            } => {
                 write!(f, "edge ({u},{v}): value of {u} not present on processor {needed_on} when {v} is computed in superstep {at_step}")
             }
         }
@@ -93,17 +100,24 @@ pub fn validate(
     comm: &CommSchedule,
 ) -> Result<(), InvalidSchedule> {
     if sched.n() != dag.n() {
-        return Err(InvalidSchedule::SizeMismatch { expected: dag.n(), got: sched.n() });
+        return Err(InvalidSchedule::SizeMismatch {
+            expected: dag.n(),
+            got: sched.n(),
+        });
     }
     for v in dag.nodes() {
         if sched.proc(v) as usize >= p {
-            return Err(InvalidSchedule::ProcOutOfRange { node: v, proc: sched.proc(v) });
+            return Err(InvalidSchedule::ProcOutOfRange {
+                node: v,
+                proc: sched.proc(v),
+            });
         }
     }
 
     // present_from[(v, q)] = earliest superstep index from which v's value is
     // usable on q (computable in that superstep, sendable in its comm phase).
-    let mut present_from: HashMap<(NodeId, u32), u32> = HashMap::with_capacity(dag.n() + comm.len());
+    let mut present_from: HashMap<(NodeId, u32), u32> =
+        HashMap::with_capacity(dag.n() + comm.len());
     for v in dag.nodes() {
         present_from.insert((v, sched.proc(v)), sched.step(v));
     }
@@ -114,12 +128,19 @@ pub fn validate(
     by_step.sort_unstable_by_key(|e| e.step);
     for e in &by_step {
         if e.from == e.to {
-            return Err(InvalidSchedule::CommSelfSend { node: e.node, proc: e.from });
+            return Err(InvalidSchedule::CommSelfSend {
+                node: e.node,
+                proc: e.from,
+            });
         }
         match present_from.get(&(e.node, e.from)) {
             Some(&avail) if avail <= e.step => {}
             _ => {
-                return Err(InvalidSchedule::CommTooEarly { node: e.node, from: e.from, step: e.step })
+                return Err(InvalidSchedule::CommTooEarly {
+                    node: e.node,
+                    from: e.from,
+                    step: e.step,
+                })
             }
         }
         let slot = present_from.entry((e.node, e.to)).or_insert(u32::MAX);
@@ -146,7 +167,10 @@ pub fn validate(
 /// schedule.
 pub fn validate_lazy(dag: &Dag, p: usize, sched: &BspSchedule) -> Result<(), InvalidSchedule> {
     if sched.n() != dag.n() {
-        return Err(InvalidSchedule::SizeMismatch { expected: dag.n(), got: sched.n() });
+        return Err(InvalidSchedule::SizeMismatch {
+            expected: dag.n(),
+            got: sched.n(),
+        });
     }
     if !sched.respects_precedence_lazy(dag) {
         // Identify a witness edge for the error payload.
@@ -201,10 +225,20 @@ mod tests {
             Err(InvalidSchedule::MissingData { edge: (0, 1), .. })
         ));
         // With the right entry: valid.
-        let comm = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 1, step: 0 }]);
+        let comm = CommSchedule::from_entries(vec![CommStep {
+            node: 0,
+            from: 0,
+            to: 1,
+            step: 0,
+        }]);
         assert!(validate(&dag, 2, &s, &comm).is_ok());
         // Entry too late (same superstep as consumer): invalid.
-        let late = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 1, step: 1 }]);
+        let late = CommSchedule::from_entries(vec![CommStep {
+            node: 0,
+            from: 0,
+            to: 1,
+            step: 1,
+        }]);
         assert!(validate(&dag, 2, &s, &late).is_err());
     }
 
@@ -213,7 +247,12 @@ mod tests {
         let dag = chain();
         let s = BspSchedule::from_parts(vec![0, 1, 1], vec![1, 2, 2]);
         // Node 0 computed in superstep 1 but "sent" in phase 0.
-        let comm = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 1, step: 0 }]);
+        let comm = CommSchedule::from_entries(vec![CommStep {
+            node: 0,
+            from: 0,
+            to: 1,
+            step: 0,
+        }]);
         assert!(matches!(
             validate(&dag, 2, &s, &comm),
             Err(InvalidSchedule::CommTooEarly { node: 0, .. })
@@ -231,14 +270,34 @@ mod tests {
         let dag = b.build().unwrap();
         let s = BspSchedule::from_parts(vec![0, 2], vec![0, 2]);
         let comm = CommSchedule::from_entries(vec![
-            CommStep { node: 0, from: 0, to: 1, step: 0 },
-            CommStep { node: 0, from: 1, to: 2, step: 1 },
+            CommStep {
+                node: 0,
+                from: 0,
+                to: 1,
+                step: 0,
+            },
+            CommStep {
+                node: 0,
+                from: 1,
+                to: 2,
+                step: 1,
+            },
         ]);
         assert!(validate(&dag, 3, &s, &comm).is_ok());
         // Relay in the same phase as arrival is too early.
         let bad = CommSchedule::from_entries(vec![
-            CommStep { node: 0, from: 0, to: 1, step: 0 },
-            CommStep { node: 0, from: 1, to: 2, step: 0 },
+            CommStep {
+                node: 0,
+                from: 0,
+                to: 1,
+                step: 0,
+            },
+            CommStep {
+                node: 0,
+                from: 1,
+                to: 2,
+                step: 0,
+            },
         ]);
         assert!(validate(&dag, 3, &s, &bad).is_err());
     }
@@ -247,7 +306,12 @@ mod tests {
     fn self_send_rejected() {
         let dag = chain();
         let s = BspSchedule::from_parts(vec![0, 0, 0], vec![0, 0, 0]);
-        let comm = CommSchedule::from_entries(vec![CommStep { node: 0, from: 0, to: 0, step: 0 }]);
+        let comm = CommSchedule::from_entries(vec![CommStep {
+            node: 0,
+            from: 0,
+            to: 0,
+            step: 0,
+        }]);
         assert!(matches!(
             validate(&dag, 1, &s, &comm),
             Err(InvalidSchedule::CommSelfSend { .. })

@@ -15,7 +15,16 @@ use rand::{Rng, SeedableRng};
 
 fn arb_dag() -> impl Strategy<Value = Dag> {
     (0u64..500, 1usize..6, 1usize..6, 0.1f64..0.8).prop_map(|(seed, layers, width, p)| {
-        random_layered_dag(seed, LayeredConfig { layers, width, edge_prob: p, max_work: 9, max_comm: 5 })
+        random_layered_dag(
+            seed,
+            LayeredConfig {
+                layers,
+                width,
+                edge_prob: p,
+                max_work: 9,
+                max_comm: 5,
+            },
+        )
     })
 }
 
@@ -30,7 +39,11 @@ fn random_valid_assignment(dag: &Dag, p: u32, seed: u64) -> BspSchedule {
         let proc = rng.gen_range(0..p);
         let mut min_step = 0u32;
         for &u in dag.predecessors(v) {
-            let req = if sched.proc(u) == proc { sched.step(u) } else { sched.step(u) + 1 };
+            let req = if sched.proc(u) == proc {
+                sched.step(u)
+            } else {
+                sched.step(u) + 1
+            };
             min_step = min_step.max(req);
         }
         let step = min_step + rng.gen_range(0..2);
@@ -43,7 +56,7 @@ fn machine_for(seed: u64, p: usize) -> BspParams {
     let g = 1 + (seed % 5);
     let l = seed % 8;
     let m = BspParams::new(p, g, l);
-    if p.is_power_of_two() && p >= 2 && seed % 2 == 0 {
+    if p.is_power_of_two() && p >= 2 && seed.is_multiple_of(2) {
         m.with_numa(NumaTopology::binary_tree(p, 2 + seed % 3))
     } else {
         m

@@ -5,8 +5,8 @@
 //! cargo run --release --example autotune_numa
 //! ```
 
-use bsp_sched::baselines::{cilk_bsp, hdagg_schedule};
 use bsp_sched::baselines::hdagg::HDaggConfig;
+use bsp_sched::baselines::{cilk_bsp, hdagg_schedule};
 use bsp_sched::core::auto::comm_dominance;
 use bsp_sched::dagdb::fine::cg_dag;
 use bsp_sched::dagdb::SparsePattern;
@@ -16,7 +16,10 @@ fn main() {
     let dag = cg_dag(&SparsePattern::random_with_diagonal(12, 0.25, 11), 2);
     println!("CG fine-grained DAG: {} nodes, {} edges", dag.n(), dag.m());
     println!();
-    println!("{:>3} {:>9} {:>12} {:>8} {:>8} {:>8}", "Δ", "CCR_λ", "strategy", "auto", "Cilk", "HDagg");
+    println!(
+        "{:>3} {:>9} {:>12} {:>8} {:>8} {:>8}",
+        "Δ", "CCR_λ", "strategy", "auto", "Cilk", "HDagg"
+    );
 
     let mut cfg = PipelineConfig::default();
     cfg.enable_ilp = false; // keep the sweep fast
@@ -28,8 +31,11 @@ fn main() {
         let dom = comm_dominance(&dag, &machine);
         let (result, strategy) = schedule_dag_auto(&dag, &machine, &cfg, &AutoConfig::default());
         let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
-        let hdagg =
-            lazy_cost(&dag, &machine, &hdagg_schedule(&dag, &machine, HDaggConfig::default()));
+        let hdagg = lazy_cost(
+            &dag,
+            &machine,
+            &hdagg_schedule(&dag, &machine, HDaggConfig::default()),
+        );
         println!(
             "{:>3} {:>9.2} {:>12} {:>8} {:>8} {:>8}",
             delta,

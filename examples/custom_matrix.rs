@@ -37,17 +37,27 @@ const BUILTIN: &str = "%%MatrixMarket matrix coordinate pattern symmetric
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => BUILTIN.to_string(),
     };
     let pattern = pattern_from_matrix_market(&text).expect("invalid MatrixMarket input");
-    println!("loaded pattern: {}x{} with {} nonzeros", pattern.n(), pattern.n(), pattern.nnz());
+    println!(
+        "loaded pattern: {}x{} with {} nonzeros",
+        pattern.n(),
+        pattern.n(),
+        pattern.nnz()
+    );
 
     // Fine-grained DAG of 2 conjugate-gradient iterations on this pattern
     // (one node per scalar operation, as in the paper's Figure 2).
     let dag = cg_dag(&pattern, 2);
-    println!("CG(2) fine-grained DAG: {} nodes, {} edges", dag.n(), dag.m());
+    println!(
+        "CG(2) fine-grained DAG: {} nodes, {} edges",
+        dag.n(),
+        dag.m()
+    );
 
     let machine = BspParams::new(4, 3, 5);
     let mut cfg = PipelineConfig::default();
@@ -55,9 +65,15 @@ fn main() {
     let result = schedule_dag(&dag, &machine, &cfg);
 
     println!();
-    print!("{}", schedule_to_text(&dag, &machine, &result.sched, Some(&result.comm)));
+    print!(
+        "{}",
+        schedule_to_text(&dag, &machine, &result.sched, Some(&result.comm))
+    );
     println!();
-    println!("stage costs: init {} -> HC+HCcs {} -> ILP {}", result.init_cost, result.hc_cost, result.cost);
+    println!(
+        "stage costs: init {} -> HC+HCcs {} -> ILP {}",
+        result.init_cost, result.hc_cost, result.cost
+    );
 
     // Graphviz rendering of the first few supersteps (pipe into `dot -Tsvg`).
     let dot = schedule_to_dot(&dag, &result.sched);

@@ -35,7 +35,10 @@ fn main() {
     let machine = BspParams::new(4, 3, 5);
     let start = bspg_schedule(&dag, &machine);
     println!();
-    println!("--- exp fine-grained DAG ({} nodes), BSPg start ---", dag.n());
+    println!(
+        "--- exp fine-grained DAG ({} nodes), BSPg start ---",
+        dag.n()
+    );
     report(&dag, &machine, &start);
 }
 
@@ -44,18 +47,35 @@ fn report(dag: &Dag, machine: &BspParams, start: &BspSchedule) {
     let start_cost = lazy_cost(dag, machine, start);
 
     let mut st = ScheduleState::new(dag, machine, start);
-    hill_climb(&mut st, &HillClimbConfig { max_moves: None, time_limit: Some(budget) });
+    hill_climb(
+        &mut st,
+        &HillClimbConfig {
+            max_moves: None,
+            time_limit: Some(budget),
+        },
+    );
     let hc = st.cost();
 
-    let sa_cfg = AnnealConfig { time_limit: Some(budget), ..AnnealConfig::default() };
+    let sa_cfg = AnnealConfig {
+        time_limit: Some(budget),
+        ..AnnealConfig::default()
+    };
     let (_, sa, sa_stats) = simulated_annealing(dag, machine, start, &sa_cfg);
 
-    let tb_cfg = TabuConfig { time_limit: Some(budget), ..TabuConfig::default() };
+    let tb_cfg = TabuConfig {
+        time_limit: Some(budget),
+        ..TabuConfig::default()
+    };
     let (_, tb, tb_stats) = tabu_search(dag, machine, start, &tb_cfg);
 
     println!("start cost:          {start_cost}");
     println!("hill climbing:       {hc}");
-    println!("simulated annealing: {sa} ({} uphill moves accepted)", sa_stats.uphill);
-    println!("tabu search:         {tb} ({} uphill moves, {} aspirations)",
-        tb_stats.uphill, tb_stats.aspirated);
+    println!(
+        "simulated annealing: {sa} ({} uphill moves accepted)",
+        sa_stats.uphill
+    );
+    println!(
+        "tabu search:         {tb} ({} uphill moves, {} aspirations)",
+        tb_stats.uphill, tb_stats.aspirated
+    );
 }

@@ -6,8 +6,8 @@
 //! cargo run --release --example exact_ilp_tiny
 //! ```
 
-use bsp_sched::baselines::{cilk_bsp, hdagg_schedule};
 use bsp_sched::baselines::hdagg::HDaggConfig;
+use bsp_sched::baselines::{cilk_bsp, hdagg_schedule};
 use bsp_sched::core::ilp::{ilp_full, IlpConfig};
 use bsp_sched::core::init::bspg_schedule;
 use bsp_sched::prelude::*;
@@ -30,8 +30,11 @@ fn main() {
     for g in [1u64, 4, 12] {
         let machine = BspParams::new(2, g, 3);
         let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
-        let hdagg =
-            lazy_cost(&dag, &machine, &hdagg_schedule(&dag, &machine, HDaggConfig::default()));
+        let hdagg = lazy_cost(
+            &dag,
+            &machine,
+            &hdagg_schedule(&dag, &machine, HDaggConfig::default()),
+        );
         let init = bspg_schedule(&dag, &machine);
         let init_cost = lazy_cost(&dag, &machine, &init);
 
@@ -44,8 +47,10 @@ fn main() {
         let (best, proven) = ilp_full(&dag, &machine, &init, &cfg);
         let opt = lazy_cost(&dag, &machine, &best);
 
-        println!("g = {g:>2}: Cilk {cilk:>3}  HDagg {hdagg:>3}  BSPg {init_cost:>3}  ILPfull {opt:>3}{}",
-            if proven { " (proven optimal)" } else { "" });
+        println!(
+            "g = {g:>2}: Cilk {cilk:>3}  HDagg {hdagg:>3}  BSPg {init_cost:>3}  ILPfull {opt:>3}{}",
+            if proven { " (proven optimal)" } else { "" }
+        );
         if g >= 12 {
             // With very expensive communication the optimum serializes both
             // chains on one processor — the "trivial" shape of §7.3.

@@ -21,7 +21,10 @@ fn main() {
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .unwrap();
-    println!("pagerank converged; top node {} with rank {:.4}", top.0, top.1);
+    println!(
+        "pagerank converged; top node {} with rank {:.4}",
+        top.0, top.1
+    );
 
     // The recorded trace *is* the computational DAG.
     let dag = ctx.extract_dag();

@@ -44,11 +44,32 @@ fn main() {
     println!();
     println!("communication schedule:");
     for e in result.comm.entries() {
-        println!("  value of {} sent {} -> {} in phase {}", e.node, e.from, e.to, e.step);
+        println!(
+            "  value of {} sent {} -> {} in phase {}",
+            e.node, e.from, e.to, e.step
+        );
     }
 
     // The trivial single-processor schedule costs total work + latency.
     let trivial = bsp_sched::schedule::trivial::trivial_cost(&dag, &machine);
     println!();
-    println!("trivial cost {trivial}, ours {} ({}x)", result.cost, trivial as f64 / result.cost as f64);
+    println!(
+        "trivial cost {trivial}, ours {} ({}x)",
+        result.cost,
+        trivial as f64 / result.cost as f64
+    );
+
+    // The same DAG through every scheduler in the registry — baselines,
+    // initializers, and pipelines behind the one `Scheduler` trait.
+    println!();
+    println!("the full suite, via bsp_sched::registry_default_fast() (ILP stages off):");
+    for scheduler in bsp_sched::registry_default_fast() {
+        let r = scheduler.schedule(&dag, &machine);
+        println!(
+            "  {:<20} cost {:>4}  ({} supersteps)",
+            scheduler.name(),
+            r.total(),
+            r.cost.per_step.len()
+        );
+    }
 }

@@ -31,8 +31,11 @@ fn main() {
         println!("== {name}: n = {}, m = {} ==", dag.n(), dag.m());
 
         let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
-        let hdagg =
-            lazy_cost(&dag, &machine, &hdagg_schedule(&dag, &machine, HDaggConfig::default()));
+        let hdagg = lazy_cost(
+            &dag,
+            &machine,
+            &hdagg_schedule(&dag, &machine, HDaggConfig::default()),
+        );
         let blest = lazy_cost(&dag, &machine, &blest_bsp(&dag, &machine));
         let etf = lazy_cost(&dag, &machine, &etf_bsp(&dag, &machine));
         let dsc = lazy_cost(&dag, &machine, &dsc_bsp(&dag, &machine));

@@ -2,11 +2,15 @@
 //!
 //! A full Rust implementation of the scheduling framework of
 //! *Efficient Multi-Processor Scheduling in Increasingly Realistic Models*
-//! (Papp, Anegg, Karanasiou, Yzelman — SPAA 2024): the BSP cost model with
+//! (Papp, Anegg, Karanasiou, Yzelman — IPPS 2024): the BSP cost model with
 //! NUMA extensions, classic baselines (Cilk, BL-EST, ETF, HDagg),
 //! initialization heuristics, hill-climbing local search, ILP refinement
 //! (with an in-tree MILP solver), and a multilevel coarsen-solve-refine
 //! scheduler.
+//!
+//! Every algorithm is also exposed behind the [`schedule::Scheduler`]
+//! trait; [`registry()`] enumerates them all for harnesses that iterate the
+//! suite polymorphically.
 //!
 //! This façade crate re-exports the sub-crates; see each for details:
 //!
@@ -39,6 +43,10 @@ pub use bsp_ilp as ilp;
 pub use bsp_model as model;
 pub use bsp_schedule as schedule;
 
+pub mod registry;
+
+pub use registry::{registry, registry_default_fast, registry_of, registry_with};
+
 /// Common imports for applications.
 pub mod prelude {
     pub use bsp_core::auto::{schedule_dag_auto, AutoConfig, Strategy};
@@ -48,5 +56,6 @@ pub mod prelude {
     pub use bsp_dag::{Dag, DagBuilder};
     pub use bsp_model::{BspParams, NumaTopology};
     pub use bsp_schedule::cost::{lazy_cost, schedule_cost, total_cost};
+    pub use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
     pub use bsp_schedule::{BspSchedule, CommSchedule};
 }

@@ -1,0 +1,82 @@
+//! The scheduler registry: every algorithm in the workspace behind one
+//! [`Scheduler`] vtable.
+//!
+//! This is the single polymorphic entry point harnesses iterate — the
+//! experiment runner's baseline columns, the `registry` criterion bench,
+//! the `quickstart` example and the registry smoke test all consume it, so
+//! a newly implemented algorithm becomes visible to every harness by adding
+//! exactly one line to [`registry_with`].
+//!
+//! ```
+//! use bsp_sched::prelude::*;
+//!
+//! let dag = bsp_sched::dag::random::random_layered_dag(3, Default::default());
+//! let machine = BspParams::new(4, 2, 5);
+//! for s in bsp_sched::registry_default_fast() {
+//!     let r = s.schedule(&dag, &machine);
+//!     assert!(bsp_sched::schedule::validate(&dag, 4, &r.sched, &r.comm).is_ok());
+//! }
+//! ```
+
+use bsp_baselines::{BlestScheduler, CilkScheduler, DscScheduler, EtfScheduler, HDaggScheduler};
+use bsp_core::auto::AutoConfig;
+use bsp_core::multilevel::MultilevelConfig;
+use bsp_core::pipeline::PipelineConfig;
+use bsp_core::{AutoScheduler, BasePipeline, BspgInit, MultilevelPipeline, SourceInit};
+use bsp_schedule::scheduler::{SchedulerKind, SharedScheduler};
+
+/// Every scheduler in the workspace, with pipeline stages using
+/// `PipelineConfig::default()` (full ILP budgets).
+pub fn registry() -> Vec<SharedScheduler> {
+    registry_with(&PipelineConfig::default())
+}
+
+/// [`registry`] with a pipeline configuration suitable for quick runs and
+/// debug builds: ILP stages disabled, everything else at paper defaults.
+pub fn registry_default_fast() -> Vec<SharedScheduler> {
+    registry_with(&PipelineConfig {
+        enable_ilp: false,
+        ..PipelineConfig::default()
+    })
+}
+
+/// Every scheduler in the workspace, with the three pipeline entries using
+/// the given stage budgets.
+///
+/// Ordering is stable: baselines, then initializers, then pipelines — the
+/// column order of the paper's tables.
+pub fn registry_with(cfg: &PipelineConfig) -> Vec<SharedScheduler> {
+    vec![
+        Box::new(CilkScheduler::default()),
+        Box::new(BlestScheduler { numa_aware: false }),
+        Box::new(BlestScheduler { numa_aware: true }),
+        Box::new(EtfScheduler { numa_aware: false }),
+        Box::new(EtfScheduler { numa_aware: true }),
+        Box::new(HDaggScheduler::default()),
+        Box::new(DscScheduler),
+        Box::new(BspgInit),
+        Box::new(SourceInit),
+        Box::new(BasePipeline { cfg: cfg.clone() }),
+        Box::new(MultilevelPipeline {
+            cfg: cfg.clone(),
+            ml: MultilevelConfig::default(),
+        }),
+        Box::new(AutoScheduler {
+            cfg: cfg.clone(),
+            auto: AutoConfig::default(),
+        }),
+    ]
+}
+
+/// The registry restricted to one family, preserving order.
+pub fn registry_of(kind: SchedulerKind, cfg: &PipelineConfig) -> Vec<SharedScheduler> {
+    registry_with(cfg)
+        .into_iter()
+        .filter(|s| s.kind() == kind)
+        .collect()
+}
+
+/// Looks up a scheduler by its stable name (`"etf"`, `"pipeline/base"`, …).
+pub fn find(name: &str, cfg: &PipelineConfig) -> Option<SharedScheduler> {
+    registry_with(cfg).into_iter().find(|s| s.name() == name)
+}

@@ -28,28 +28,56 @@ fn all_local_searches_refine_the_same_init() {
     let init_cost = lazy_cost(&dag, &machine, &init);
 
     let mut st = ScheduleState::new(&dag, &machine, &init);
-    hill_climb(&mut st, &HillClimbConfig { max_moves: Some(2000), time_limit: None });
+    hill_climb(
+        &mut st,
+        &HillClimbConfig {
+            max_moves: Some(2000),
+            time_limit: None,
+        },
+    );
     let greedy = st.cost();
 
     let mut st2 = ScheduleState::new(&dag, &machine, &init);
-    hill_climb_steepest(&mut st2, &HillClimbConfig { max_moves: Some(300), time_limit: None });
+    hill_climb_steepest(
+        &mut st2,
+        &HillClimbConfig {
+            max_moves: Some(300),
+            time_limit: None,
+        },
+    );
     let steepest = st2.cost();
 
     let (sa_sched, sa, _) = simulated_annealing(
         &dag,
         &machine,
         &init,
-        &AnnealConfig { max_steps: 30_000, time_limit: None, ..AnnealConfig::default() },
+        &AnnealConfig {
+            max_steps: 30_000,
+            time_limit: None,
+            ..AnnealConfig::default()
+        },
     );
     let (tb_sched, tb, _) = tabu_search(
         &dag,
         &machine,
         &init,
-        &TabuConfig { max_iters: 300, time_limit: None, ..TabuConfig::default() },
+        &TabuConfig {
+            max_iters: 300,
+            time_limit: None,
+            ..TabuConfig::default()
+        },
     );
 
-    for (name, cost) in [("greedy", greedy), ("steepest", steepest), ("sa", sa), ("tabu", tb)] {
-        assert!(cost <= init_cost, "{name} worsened the init: {cost} > {init_cost}");
+    for (name, cost) in [
+        ("greedy", greedy),
+        ("steepest", steepest),
+        ("sa", sa),
+        ("tabu", tb),
+    ] {
+        assert!(
+            cost <= init_cost,
+            "{name} worsened the init: {cost} > {init_cost}"
+        );
     }
     assert!(validate_lazy(&dag, 4, &sa_sched).is_ok());
     assert!(validate_lazy(&dag, 4, &tb_sched).is_ok());
@@ -109,8 +137,14 @@ fn presolve_does_not_change_ilp_stage_semantics() {
     };
     let (with, proven_with) = ilp_full(&dag, &machine, &init, &mk_cfg(true));
     let (without, proven_without) = ilp_full(&dag, &machine, &init, &mk_cfg(false));
-    let (cw, cwo) = (lazy_cost(&dag, &machine, &with), lazy_cost(&dag, &machine, &without));
-    assert!(cw <= init_cost && cwo <= init_cost, "ILPfull must be monotone");
+    let (cw, cwo) = (
+        lazy_cost(&dag, &machine, &with),
+        lazy_cost(&dag, &machine, &without),
+    );
+    assert!(
+        cw <= init_cost && cwo <= init_cost,
+        "ILPfull must be monotone"
+    );
     if proven_with && proven_without {
         assert_eq!(cw, cwo, "presolve changed the optimum");
     } else {
@@ -138,20 +172,30 @@ fn exports_render_pipeline_results() {
 
 #[test]
 fn structured_families_schedule_on_every_topology() {
-    use bsp_sched::dagdb::structured::{
-        butterfly_dag, in_tree_dag, sptrsv_dag, stencil1d_dag,
-    };
+    use bsp_sched::dagdb::structured::{butterfly_dag, in_tree_dag, sptrsv_dag, stencil1d_dag};
     let dags = [
-        ("sptrsv", sptrsv_dag(&SparsePattern::random_with_diagonal(10, 0.35, 3))),
+        (
+            "sptrsv",
+            sptrsv_dag(&SparsePattern::random_with_diagonal(10, 0.35, 3)),
+        ),
         ("butterfly", butterfly_dag(3)),
         ("stencil", stencil1d_dag(10, 4)),
         ("in_tree", in_tree_dag(3, 2)),
     ];
     let machines = [
         ("uniform", BspParams::new(6, 2, 5)),
-        ("two_level", BspParams::new(6, 2, 5).with_numa(NumaTopology::two_level(3, 2, 4))),
-        ("ring", BspParams::new(6, 2, 5).with_numa(NumaTopology::ring(6))),
-        ("grid", BspParams::new(6, 2, 5).with_numa(NumaTopology::grid(2, 3))),
+        (
+            "two_level",
+            BspParams::new(6, 2, 5).with_numa(NumaTopology::two_level(3, 2, 4)),
+        ),
+        (
+            "ring",
+            BspParams::new(6, 2, 5).with_numa(NumaTopology::ring(6)),
+        ),
+        (
+            "grid",
+            BspParams::new(6, 2, 5).with_numa(NumaTopology::grid(2, 3)),
+        ),
     ];
     let mut cfg = PipelineConfig::default();
     cfg.enable_ilp = false;
@@ -162,7 +206,11 @@ fn structured_families_schedule_on_every_topology() {
                 validate(dag, machine.p(), &r.sched, &r.comm).is_ok(),
                 "{dname} on {mname}"
             );
-            assert_eq!(r.cost, total_cost(dag, machine, &r.sched, &r.comm), "{dname} on {mname}");
+            assert_eq!(
+                r.cost,
+                total_cost(dag, machine, &r.sched, &r.comm),
+                "{dname} on {mname}"
+            );
         }
     }
 }

@@ -37,14 +37,21 @@ fn pipeline_beats_or_matches_every_baseline_family() {
     let machine = BspParams::new(4, 3, 5);
     for (name, dag) in family_dags() {
         let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
-        let hdagg =
-            lazy_cost(&dag, &machine, &hdagg_schedule(&dag, &machine, HDaggConfig::default()));
+        let hdagg = lazy_cost(
+            &dag,
+            &machine,
+            &hdagg_schedule(&dag, &machine, HDaggConfig::default()),
+        );
         let r = schedule_dag(&dag, &machine, &fast_cfg());
         assert!(validate(&dag, 4, &r.sched, &r.comm).is_ok(), "{name}");
         // The pipeline explores a strict superset of single-processor
         // schedules reachable by HC; it should never lose to both baselines
         // at once on these workloads.
-        assert!(r.cost <= cilk.max(hdagg), "{name}: ours {} vs cilk {cilk}, hdagg {hdagg}", r.cost);
+        assert!(
+            r.cost <= cilk.max(hdagg),
+            "{name}: ours {} vs cilk {cilk}, hdagg {hdagg}",
+            r.cost
+        );
     }
 }
 
@@ -117,7 +124,10 @@ fn all_baselines_valid_on_all_families() {
             ("cilk", cilk_bsp(&dag, &machine, 1)),
             ("blest", blest_bsp(&dag, &machine)),
             ("etf", etf_bsp(&dag, &machine)),
-            ("hdagg", hdagg_schedule(&dag, &machine, HDaggConfig::default())),
+            (
+                "hdagg",
+                hdagg_schedule(&dag, &machine, HDaggConfig::default()),
+            ),
         ] {
             assert!(
                 validate_lazy(&dag, 4, &sched).is_ok(),

@@ -67,8 +67,20 @@ fn figure1_communication_phase_contents() {
     // superstep 0: one 0→1 and two 1→0.
     assert_eq!(comm.len(), 3);
     assert!(comm.entries().iter().all(|e| e.step == 0));
-    assert_eq!(comm.entries().iter().filter(|e| e.from == 0 && e.to == 1).count(), 1);
-    assert_eq!(comm.entries().iter().filter(|e| e.from == 1 && e.to == 0).count(), 2);
+    assert_eq!(
+        comm.entries()
+            .iter()
+            .filter(|e| e.from == 0 && e.to == 1)
+            .count(),
+        1
+    );
+    assert_eq!(
+        comm.entries()
+            .iter()
+            .filter(|e| e.from == 1 && e.to == 0)
+            .count(),
+        2
+    );
 }
 
 #[test]
@@ -76,8 +88,7 @@ fn figure1_numa_scales_the_h_relation() {
     let (dag, sched) = figure1();
     let comm = CommSchedule::lazy(&dag, &sched);
     // λ(0,1) = 3 multiplies every transferred unit in both directions.
-    let machine =
-        BspParams::new(2, 1, 0).with_numa(NumaTopology::explicit(2, vec![0, 3, 3, 0]));
+    let machine = BspParams::new(2, 1, 0).with_numa(NumaTopology::explicit(2, vec![0, 3, 3, 0]));
     let cost = schedule_cost(&dag, &machine, &sched, &comm);
     assert_eq!(cost.per_step[0].comm, 6, "λ-weighted h-relation");
     assert_eq!(cost.total, (5 + 6) + 2);

@@ -1,0 +1,105 @@
+//! Registry smoke test: every registered scheduler must produce a valid,
+//! positive-cost schedule on a small layered DAG, under both a uniform and
+//! a NUMA machine, and registry names must be unique and stable.
+
+use bsp_sched::prelude::*;
+use bsp_sched::schedule::validity::validate;
+
+fn small_dag() -> Dag {
+    bsp_sched::dag::random::random_layered_dag(
+        7,
+        bsp_sched::dag::random::LayeredConfig {
+            layers: 4,
+            width: 4,
+            edge_prob: 0.4,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn every_registered_scheduler_is_valid_on_a_small_dag() {
+    let dag = small_dag();
+    for machine in [
+        BspParams::new(4, 2, 5),
+        BspParams::new(4, 2, 5).with_numa(NumaTopology::binary_tree(4, 3)),
+    ] {
+        for s in bsp_sched::registry_default_fast() {
+            let r = s.schedule(&dag, &machine);
+            assert!(
+                validate(&dag, machine.p(), &r.sched, &r.comm).is_ok(),
+                "{} produced an invalid schedule",
+                s.name()
+            );
+            assert!(r.total() > 0, "{} reported zero cost", s.name());
+            assert_eq!(
+                r.total(),
+                total_cost(&dag, &machine, &r.sched, &r.comm),
+                "{}'s reported cost disagrees with re-evaluation",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_has_the_full_suite_with_unique_names() {
+    let schedulers = bsp_sched::registry();
+    assert!(
+        schedulers.len() >= 8,
+        "registry shrank to {} entries",
+        schedulers.len()
+    );
+    let names: Vec<&str> = schedulers.iter().map(|s| s.name()).collect();
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(
+        unique.len(),
+        names.len(),
+        "duplicate scheduler names: {names:?}"
+    );
+    // Stable names harnesses key on.
+    for expected in [
+        "cilk",
+        "bl-est",
+        "etf",
+        "hdagg",
+        "dsc",
+        "init/bspg",
+        "init/source",
+        "pipeline/base",
+        "pipeline/multilevel",
+        "auto",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "registry lost {expected:?}: {names:?}"
+        );
+    }
+    // Every family is represented.
+    for kind in [
+        SchedulerKind::Baseline,
+        SchedulerKind::Initializer,
+        SchedulerKind::Pipeline,
+    ] {
+        assert!(
+            schedulers.iter().any(|s| s.kind() == kind),
+            "no {kind:?} registered"
+        );
+    }
+}
+
+#[test]
+fn find_returns_configured_pipelines() {
+    let cfg = PipelineConfig {
+        enable_ilp: false,
+        ..Default::default()
+    };
+    let base = bsp_sched::registry::find("pipeline/base", &cfg).expect("base pipeline registered");
+    let dag = small_dag();
+    let machine = BspParams::new(4, 2, 5);
+    let r = base.schedule(&dag, &machine);
+    assert!(validate(&dag, 4, &r.sched, &r.comm).is_ok());
+    assert!(bsp_sched::registry::find("no-such-scheduler", &cfg).is_none());
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace's bench targets use
+//! (`criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups with `sample_size` / `measurement_time`,
+//! [`BenchmarkId`], and [`Bencher::iter`]) with a lightweight measurement
+//! loop: each benchmark is warmed up once and timed over a handful of
+//! iterations, reporting the mean wall-clock time per iteration. There is no
+//! statistical analysis, HTML report, or CLI filtering — the goal is that
+//! `cargo bench` builds, runs, and prints comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches written against `criterion::black_box` compile.
+pub use std::hint::black_box;
+
+/// Maximum measured iterations per benchmark (before `sample_size` shrinks
+/// it); keeps full `cargo bench` sweeps laptop-sized.
+const MAX_ITERS: u64 = 10;
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`-shaped id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark's measurement loop via [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, iters: u64, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.total.checked_div(b.iters as u32).unwrap_or_default();
+    println!("bench: {id:<50} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: MAX_ITERS,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; configuration flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).clamp(1, MAX_ITERS);
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into().id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).clamp(1, MAX_ITERS);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in times a fixed iteration
+    /// count instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Defines and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Defines and immediately runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let mut b = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut b, input);
+        let per_iter = b.total.checked_div(b.iters as u32).unwrap_or_default();
+        println!("bench: {id:<50} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

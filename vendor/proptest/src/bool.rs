@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `true` and `false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical boolean strategy, mirroring `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.sample_bool(0.5)
+    }
+}

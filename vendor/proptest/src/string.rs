@@ -1,0 +1,126 @@
+//! String strategies from a small regex-like pattern language.
+//!
+//! Supports the pattern shapes the workspace's fuzz tests use, not full
+//! regex: a sequence of atoms, each optionally followed by a `{m,n}`
+//! repetition count. Atoms are
+//!
+//! * `\PC` — any printable character (ASCII plus a sprinkling of multi-byte
+//!   characters, to exercise char-boundary handling downstream),
+//! * `[...]` — a character class with literals, `a-z` ranges, and `\`-escapes,
+//! * any other character — itself, literally (`\` escapes the next char).
+
+use crate::test_runner::TestRng;
+
+/// Multi-byte characters mixed into `\PC` so generated text stresses UTF-8
+/// boundary handling in parsers.
+const WIDE: &[char] = &['é', 'λ', 'Ж', '中', '🦀'];
+
+enum Atom {
+    Printable,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+struct Rep {
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, Rep)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: consume the category letter.
+                    let cat = chars.next();
+                    assert_eq!(cat, Some('C'), "unsupported \\P category in {pattern:?}");
+                    Atom::Printable
+                }
+                Some(esc) => Atom::Literal(esc),
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("dangling escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some('\\') => chars.next().expect("dangling escape in class"),
+                            Some(']') => {
+                                // Trailing `-` is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                                break;
+                            }
+                            Some(ch) => ch,
+                            None => panic!("unterminated class in pattern {pattern:?}"),
+                        };
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            other => Atom::Literal(other),
+        };
+        let rep = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+            let (min, max) = match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad repetition min"),
+                    b.trim().parse().expect("bad repetition max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            };
+            Rep { min, max }
+        } else {
+            Rep { min: 1, max: 1 }
+        };
+        atoms.push((atom, rep));
+    }
+    atoms
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Printable => {
+            // Mostly printable ASCII; occasionally a multi-byte char.
+            if rng.sample_bool(0.08) {
+                WIDE[rng.sample_range(0..WIDE.len())]
+            } else {
+                rng.sample_range(0x20u32..0x7F) as u8 as char
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.sample_range(0..ranges.len())];
+            let (lo, hi) = (lo as u32, hi as u32);
+            char::from_u32(rng.sample_range(lo..=hi)).unwrap_or(lo as u8 as char)
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, rep) in parse(pattern) {
+        let count = rng.sample_range(rep.min..=rep.max);
+        for _ in 0..count {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` to keep its
+//! public types serialization-ready; nothing actually serializes yet (no
+//! `serde_json` or similar in-tree). Since the build environment has no
+//! crates.io access, this crate supplies the two trait names plus no-op
+//! derive macros so the annotations compile unchanged. When real network
+//! access arrives, swapping this for the real `serde` is a one-line change
+//! in each manifest and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,16 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! Each derive expands to nothing: the annotations on workspace types stay
+//! valid Rust, and no serialization code is generated (none is called).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
