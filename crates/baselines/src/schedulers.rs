@@ -1,7 +1,7 @@
 //! [`Scheduler`] implementations for the baseline algorithms.
 //!
 //! Each struct is a ready-to-run, configuration-carrying instance of one
-//! baseline; `bsp_sched::registry()` enumerates them next to the paper's
+//! baseline; the `bsp_sched::Registry` catalogues them next to the paper's
 //! own pipelines so every harness compares against the same field.
 //! Baselines are costed under the lazy communication schedule, exactly as
 //! the paper evaluates them.
@@ -11,9 +11,8 @@ use crate::cilk::cilk_bsp;
 use crate::cluster::dsc_bsp;
 use crate::etf::{etf_bsp, etf_bsp_numa_aware};
 use crate::hdagg::{hdagg_schedule, HDaggConfig};
-use bsp_dag::Dag;
-use bsp_model::BspParams;
 use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
+use bsp_schedule::solve::{solve_single_stage, SolveOutcome, SolveRequest};
 
 /// The Cilk work-stealing baseline. Stealing victims are drawn from a
 /// deterministic stream, so a given `seed` always reproduces the same
@@ -38,8 +37,13 @@ impl Scheduler for CilkScheduler {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Baseline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        ScheduleResult::from_lazy(dag, machine, cilk_bsp(dag, machine, self.seed))
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        // The request seed shifts (not replaces) the configured stream, so
+        // seed 0 — the default — reproduces the harness's historical tables.
+        let seed = self.seed.wrapping_add(req.seed);
+        solve_single_stage(self.name(), req, || {
+            ScheduleResult::from_lazy(req.dag, req.machine, cilk_bsp(req.dag, req.machine, seed))
+        })
     }
 }
 
@@ -62,13 +66,15 @@ impl Scheduler for BlestScheduler {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Baseline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        let sched = if self.numa_aware {
-            blest_bsp_numa_aware(dag, machine)
-        } else {
-            blest_bsp(dag, machine)
-        };
-        ScheduleResult::from_lazy(dag, machine, sched)
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        solve_single_stage(self.name(), req, || {
+            let sched = if self.numa_aware {
+                blest_bsp_numa_aware(req.dag, req.machine)
+            } else {
+                blest_bsp(req.dag, req.machine)
+            };
+            ScheduleResult::from_lazy(req.dag, req.machine, sched)
+        })
     }
 }
 
@@ -91,13 +97,15 @@ impl Scheduler for EtfScheduler {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Baseline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        let sched = if self.numa_aware {
-            etf_bsp_numa_aware(dag, machine)
-        } else {
-            etf_bsp(dag, machine)
-        };
-        ScheduleResult::from_lazy(dag, machine, sched)
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        solve_single_stage(self.name(), req, || {
+            let sched = if self.numa_aware {
+                etf_bsp_numa_aware(req.dag, req.machine)
+            } else {
+                etf_bsp(req.dag, req.machine)
+            };
+            ScheduleResult::from_lazy(req.dag, req.machine, sched)
+        })
     }
 }
 
@@ -115,8 +123,14 @@ impl Scheduler for HDaggScheduler {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Baseline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        ScheduleResult::from_lazy(dag, machine, hdagg_schedule(dag, machine, self.cfg))
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        solve_single_stage(self.name(), req, || {
+            ScheduleResult::from_lazy(
+                req.dag,
+                req.machine,
+                hdagg_schedule(req.dag, req.machine, self.cfg),
+            )
+        })
     }
 }
 
@@ -131,7 +145,9 @@ impl Scheduler for DscScheduler {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Baseline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        ScheduleResult::from_lazy(dag, machine, dsc_bsp(dag, machine))
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        solve_single_stage(self.name(), req, || {
+            ScheduleResult::from_lazy(req.dag, req.machine, dsc_bsp(req.dag, req.machine))
+        })
     }
 }

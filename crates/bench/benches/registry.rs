@@ -1,7 +1,12 @@
-//! Registry-driven benchmark: one timing per registered scheduler on the
-//! fine-grained instance families, all through the polymorphic
-//! [`bsp_sched::registry`] entry point. A new algorithm added to the
-//! registry shows up here with zero bench changes.
+//! Registry-driven benchmarks, all through the spec-addressable
+//! [`bsp_sched::Registry`] entry point:
+//!
+//! * `registry/all_schedulers` — one solve timing per registered entry on
+//!   the fine-grained instance families. A new algorithm added to the
+//!   registry shows up here with zero bench changes.
+//! * `registry/lookup` — spec-string lookup cost: `Registry::get` builds
+//!   only the requested entry, versus constructing the whole suite the way
+//!   the pre-descriptor registry had to just to pick one.
 
 use bsp_bench::{bench_instances, bench_pipeline_cfg, machine};
 use bsp_sched::prelude::*;
@@ -11,16 +16,19 @@ use std::hint::black_box;
 fn bench_registry(c: &mut Criterion) {
     let instances = bench_instances();
     let m = machine(4, 3);
+    let registry = Registry::standard();
+    let cfg = bench_pipeline_cfg(false);
     let mut group = c.benchmark_group("registry/all_schedulers");
     group.sample_size(10);
-    for scheduler in bsp_sched::registry_with(&bench_pipeline_cfg(false)) {
+    for entry in registry.entries() {
+        let scheduler = entry.build_default(&cfg);
         group.bench_with_input(
-            BenchmarkId::from_parameter(scheduler.name()),
+            BenchmarkId::from_parameter(entry.descriptor().name),
             &scheduler,
             |b, s| {
                 b.iter(|| {
                     for (_, dag) in &instances {
-                        black_box(s.schedule(dag, &m).total());
+                        black_box(s.solve(&SolveRequest::new(dag, &m)).total());
                     }
                 })
             },
@@ -29,5 +37,32 @@ fn bench_registry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_registry);
+fn bench_lookup(c: &mut Criterion) {
+    let cfg = bench_pipeline_cfg(false);
+    let registry = Registry::standard();
+    let mut group = c.benchmark_group("registry/lookup");
+    group.bench_function("get_one_spec", |b| {
+        b.iter(|| {
+            let s = registry
+                .get_with(black_box("etf?numa=on"), &cfg)
+                .expect("etf spec builds");
+            black_box(s.name().len())
+        })
+    });
+    group.bench_function("build_all_then_pick", |b| {
+        // What the pre-descriptor `find()` did: construct all 12 entries,
+        // keep one.
+        b.iter(|| {
+            let all = registry.build_all(&cfg);
+            let s = all
+                .into_iter()
+                .find(|s| s.name() == black_box("etf-numa"))
+                .expect("etf-numa registered");
+            black_box(s.name().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry, bench_lookup);
 criterion_main!(benches);

@@ -18,10 +18,13 @@
 //! * in between → run both and keep the cheaper schedule.
 
 use crate::multilevel::MultilevelConfig;
-use crate::pipeline::{schedule_dag, schedule_dag_multilevel, PipelineConfig, PipelineResult};
+use crate::pipeline::{
+    solve_base_pipeline, solve_multilevel_pipeline, PipelineConfig, PipelineResult,
+};
 use bsp_dag::analysis::numa_ccr;
 use bsp_dag::Dag;
 use bsp_model::BspParams;
+use bsp_schedule::solve::SolveCx;
 
 /// Which strategy the auto-scheduler committed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,26 +92,55 @@ pub fn schedule_dag_auto(
     cfg: &PipelineConfig,
     auto: &AutoConfig,
 ) -> (PipelineResult, Strategy) {
+    let req = bsp_schedule::solve::SolveRequest::new(dag, machine);
+    let mut cx = SolveCx::new("auto", &req);
+    solve_auto(dag, machine, cfg, auto, &mut cx)
+}
+
+/// [`schedule_dag_auto`] under `cx`'s budget clock. The CCR decision is
+/// instantaneous; the selected pipeline's stages report through `cx`. In
+/// the hysteresis band both pipelines run (budget permitting) and only the
+/// winner's stage trajectory is kept, so reports stay monotone.
+pub fn solve_auto(
+    dag: &Dag,
+    machine: &BspParams,
+    cfg: &PipelineConfig,
+    auto: &AutoConfig,
+    cx: &mut SolveCx<'_>,
+) -> (PipelineResult, Strategy) {
     let dominance = comm_dominance(dag, machine);
     let ml_viable = dag.n() >= auto.min_nodes_for_ml;
     if !ml_viable || dominance < auto.ccr_lo {
-        return (schedule_dag(dag, machine, cfg), Strategy::Base);
+        return (solve_base_pipeline(dag, machine, cfg, cx), Strategy::Base);
     }
     if dominance >= auto.ccr_hi {
         return (
-            schedule_dag_multilevel(dag, machine, cfg, &auto.ml),
+            solve_multilevel_pipeline(dag, machine, cfg, &auto.ml, cx),
             Strategy::Multilevel,
         );
     }
-    let base = schedule_dag(dag, machine, cfg);
-    let ml = schedule_dag_multilevel(dag, machine, cfg, &auto.ml);
-    let winner = if ml.cost < base.cost { ml } else { base };
-    (winner, Strategy::Both)
+    let base_from = cx.mark();
+    let base = solve_base_pipeline(dag, machine, cfg, cx);
+    if cx.check_expired() {
+        // No budget left for the multilevel run: the base result stands.
+        return (base, Strategy::Both);
+    }
+    let ml_from = cx.mark();
+    let ml = solve_multilevel_pipeline(dag, machine, cfg, &auto.ml, cx);
+    if ml.cost < base.cost {
+        cx.discard_stages(base_from, ml_from);
+        (ml, Strategy::Both)
+    } else {
+        let end = cx.mark();
+        cx.discard_stages(ml_from, end);
+        (base, Strategy::Both)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::{schedule_dag, schedule_dag_multilevel};
     use bsp_dag::random::{random_layered_dag, LayeredConfig};
     use bsp_model::NumaTopology;
     use bsp_schedule::cost::total_cost;

@@ -9,6 +9,16 @@
 //! Figure 4 pipeline: coarsen, run the Figure-3 pipeline (without `ILPcs`)
 //! on the coarse DAG, uncoarsen with refinement, then run `HCcs` + `ILPcs`
 //! on the original DAG.
+//!
+//! Both pipelines are *anytime*: [`solve_base_pipeline`] and
+//! [`solve_multilevel_pipeline`] thread a
+//! [`SolveCx`] through the stages, checking
+//! the request's deadline at every stage boundary, clamping each stage's
+//! internal wall-clock/move budgets to what remains, and emitting stage and
+//! improvement events to the request's observer. Because every stage holds
+//! the monotone contract, early exit always returns the valid best-so-far
+//! schedule. [`schedule_dag`] / [`schedule_dag_multilevel`] are the
+//! unbudgeted wrappers.
 
 use crate::anneal::{simulated_annealing, AnnealConfig};
 use crate::hc::{hill_climb, HillClimbConfig};
@@ -25,6 +35,7 @@ use bsp_dag::Dag;
 use bsp_model::BspParams;
 use bsp_schedule::compact::compact_lazy;
 use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::solve::{Budget, SolveCx, SolveRequest};
 use bsp_schedule::{BspSchedule, CommSchedule};
 
 /// Which initializer produced a schedule.
@@ -106,70 +117,145 @@ pub struct PipelineResult {
     pub ilp_cost: u64,
 }
 
-/// Runs the Figure-3 pipeline.
+/// Runs the Figure-3 pipeline with an unlimited budget and no observer.
 pub fn schedule_dag(dag: &Dag, machine: &BspParams, cfg: &PipelineConfig) -> PipelineResult {
-    let use_ilp_init = cfg
-        .use_ilp_init
-        .unwrap_or(machine.p() <= 4 && cfg.enable_ilp)
-        && cfg.enable_ilp;
+    let req = SolveRequest::new(dag, machine);
+    let mut cx = SolveCx::new("pipeline/base", &req);
+    solve_base_pipeline(dag, machine, cfg, &mut cx)
+}
 
+/// `cfg` with the remaining solve budget folded into every stage's own
+/// wall-clock/move limits and the ILP master switch. Re-evaluated before
+/// each stage, so earlier stages shrink the budgets of later ones.
+fn clamped(cfg: &PipelineConfig, cx: &SolveCx<'_>) -> PipelineConfig {
+    let mut c = cfg.clone();
+    c.hc.max_moves = cx.clamp_moves(cfg.hc.max_moves);
+    c.hc.time_limit = cx.clamp_time(cfg.hc.time_limit);
+    c.hccs.max_moves = cx.clamp_moves(cfg.hccs.max_moves);
+    c.hccs.time_limit = cx.clamp_time(cfg.hccs.time_limit);
+    if let Some(t) = cx.clamp_time(Some(cfg.ilp.limits.time_limit)) {
+        c.ilp.limits.time_limit = t;
+    }
+    c.enable_ilp = cx.ilp_enabled(cfg.enable_ilp);
+    c
+}
+
+/// Runs the Figure-3 pipeline under `cx`'s budget clock: stages `init`,
+/// `hc` (HC + HCcs + optional escape search) and `ilp`, with the deadline
+/// checked at every stage boundary. Always returns a valid schedule — under
+/// an already-expired deadline, the best initialization with its lazy `Γ`.
+pub fn solve_base_pipeline(
+    dag: &Dag,
+    machine: &BspParams,
+    cfg: &PipelineConfig,
+    cx: &mut SolveCx<'_>,
+) -> PipelineResult {
+    let enable_ilp = cx.ilp_enabled(cfg.enable_ilp);
+    let use_ilp_init = cfg.use_ilp_init.unwrap_or(machine.p() <= 4 && enable_ilp) && enable_ilp;
+
+    // Stage 1 — initialization. Runs even under an expired deadline: some
+    // valid schedule must exist before anything can be truncated.
+    cx.begin("init");
     let mut candidates: Vec<(Initializer, BspSchedule)> = vec![
         (Initializer::BspG, bspg_schedule(dag, machine)),
         (Initializer::Source, source_schedule(dag, machine)),
     ];
-    if use_ilp_init {
-        candidates.push((Initializer::IlpInit, ilp_init(dag, machine, &cfg.ilp)));
+    if use_ilp_init && !cx.expired() {
+        let icfg = clamped(cfg, cx).ilp;
+        candidates.push((Initializer::IlpInit, ilp_init(dag, machine, &icfg)));
     }
+    let costed: Vec<(u64, Initializer, BspSchedule)> = candidates
+        .into_iter()
+        .map(|(which, init)| (lazy_cost(dag, machine, &init), which, init))
+        .collect();
+    let (init_cost, mut best_init) = costed
+        .iter()
+        .map(|&(c, which, _)| (c, which))
+        .min_by_key(|&(c, _)| c)
+        .expect("at least two initializers ran");
+    cx.improved(init_cost);
+    cx.end(init_cost, false);
 
-    let mut init_cost = u64::MAX;
-    let mut best: Option<(u64, Initializer, BspSchedule, CommSchedule)> = None;
-    for (which, init) in candidates {
-        let init_c = lazy_cost(dag, machine, &init);
-        init_cost = init_cost.min(init_c);
-        // HC, then HCcs on the result.
-        let mut st = ScheduleState::new(dag, machine, &init);
-        hill_climb(&mut st, &cfg.hc);
-        let sched = compact_lazy(dag, &st.snapshot());
-        let (comm, cost) = optimize_comm_schedule(dag, machine, &sched, &cfg.hccs);
-        if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
-            best = Some((cost, which, sched, comm));
+    // Best-so-far: the cheapest initialization under its lazy Γ. Every
+    // later stage only replaces it with something strictly cheaper.
+    let mut sched = costed
+        .iter()
+        .min_by_key(|&&(c, ..)| c)
+        .map(|(_, _, s)| s.clone())
+        .unwrap();
+    let mut comm = CommSchedule::lazy(dag, &sched);
+    let mut hc_cost = init_cost;
+
+    // Stage 2 — HC, then HCcs, per candidate; keep the cheapest.
+    cx.begin("hc");
+    for (_, which, init) in &costed {
+        if cx.check_expired() {
+            break;
+        }
+        let c = clamped(cfg, cx);
+        let mut st = ScheduleState::new(dag, machine, init);
+        hill_climb(&mut st, &c.hc);
+        let cand = compact_lazy(dag, &st.snapshot());
+        let (cand_comm, cand_cost) = optimize_comm_schedule(dag, machine, &cand, &c.hccs);
+        if cand_cost < hc_cost {
+            hc_cost = cand_cost;
+            best_init = *which;
+            sched = cand;
+            comm = cand_comm;
+            cx.improved(cand_cost);
         }
     }
-    let (mut hc_cost, best_init, mut sched, mut comm) =
-        best.expect("at least two initializers ran");
 
     // Optional escape-local-minima stage on the winning candidate; folded
     // into the local-search stage cost because it refines the same move
     // space (never worse than its input by construction).
     if let Some(escape) = &cfg.escape {
-        let refined = match escape {
-            EscapeSearch::Anneal(a) => simulated_annealing(dag, machine, &sched, a).0,
-            EscapeSearch::Tabu(t) => tabu_search(dag, machine, &sched, t).0,
-        };
-        let refined = compact_lazy(dag, &refined);
-        let (r_comm, r_cost) = optimize_comm_schedule(dag, machine, &refined, &cfg.hccs);
-        if r_cost < hc_cost {
-            hc_cost = r_cost;
-            sched = refined;
-            comm = r_comm;
+        if !cx.check_expired() {
+            let c = clamped(cfg, cx);
+            let refined = match escape {
+                EscapeSearch::Anneal(a) => {
+                    let mut a = a.clone();
+                    a.seed = a.seed.wrapping_add(cx.seed());
+                    a.time_limit = cx.clamp_time(a.time_limit);
+                    simulated_annealing(dag, machine, &sched, &a).0
+                }
+                EscapeSearch::Tabu(t) => {
+                    let mut t = t.clone();
+                    t.time_limit = cx.clamp_time(t.time_limit);
+                    tabu_search(dag, machine, &sched, &t).0
+                }
+            };
+            let refined = compact_lazy(dag, &refined);
+            let (r_comm, r_cost) = optimize_comm_schedule(dag, machine, &refined, &c.hccs);
+            if r_cost < hc_cost {
+                hc_cost = r_cost;
+                sched = refined;
+                comm = r_comm;
+                cx.improved(r_cost);
+            }
         }
     }
+    let hc_truncated = cx.expired();
+    cx.end(hc_cost, hc_truncated);
+
     let mut cost = hc_cost;
     let mut part_cost = hc_cost;
 
-    if cfg.enable_ilp && dag.n() > 0 {
+    if enable_ilp && dag.n() > 0 && !cx.check_expired() {
+        cx.begin("ilp");
         // ILPfull when small; always followed by ILPpart unless optimality
-        // was proven (paper §6).
-        let (after_full, proven) = ilp_full(dag, machine, &sched, &cfg.ilp);
+        // was proven (paper §6). Budgets re-clamp between solver calls.
+        let (after_full, proven) = ilp_full(dag, machine, &sched, &clamped(cfg, cx).ilp);
         let mut assignment = after_full;
-        if !proven {
-            assignment = ilp_part(dag, machine, &assignment, &cfg.ilp);
+        if !proven && !cx.expired() {
+            assignment = ilp_part(dag, machine, &assignment, &clamped(cfg, cx).ilp);
         }
         // Re-optimize Γ on the (possibly) new assignment: HCcs then ILPcs.
-        let (hccs_comm, hccs_cost) = optimize_comm_schedule(dag, machine, &assignment, &cfg.hccs);
+        let c = clamped(cfg, cx);
+        let (hccs_comm, hccs_cost) = optimize_comm_schedule(dag, machine, &assignment, &c.hccs);
         part_cost = part_cost.min(hccs_cost);
         let (ilpcs_comm, ilpcs_cost) =
-            ilp_comm(dag, machine, &assignment, &hccs_comm, &cfg.ilp.limits);
+            ilp_comm(dag, machine, &assignment, &hccs_comm, &c.ilp.limits);
         let (new_comm, new_cost) = if ilpcs_cost <= hccs_cost {
             (ilpcs_comm, ilpcs_cost)
         } else {
@@ -179,7 +265,10 @@ pub fn schedule_dag(dag: &Dag, machine: &BspParams, cfg: &PipelineConfig) -> Pip
             sched = assignment;
             comm = new_comm;
             cost = new_cost;
+            cx.improved(cost);
         }
+        let ilp_truncated = cx.expired();
+        cx.end(cost, ilp_truncated);
     }
 
     PipelineResult {
@@ -194,28 +283,75 @@ pub fn schedule_dag(dag: &Dag, machine: &BspParams, cfg: &PipelineConfig) -> Pip
     }
 }
 
-/// Runs the Figure-4 multilevel pipeline: coarsen, schedule the coarse DAG
-/// with the Figure-3 pipeline (without `ILPcs`), uncoarsen and refine, then
-/// optimize the communication schedule on the original DAG.
+/// Runs the Figure-4 multilevel pipeline with an unlimited budget.
 pub fn schedule_dag_multilevel(
     dag: &Dag,
     machine: &BspParams,
     cfg: &PipelineConfig,
     ml: &MultilevelConfig,
 ) -> PipelineResult {
-    let mut base_cfg = cfg.clone();
-    // The base scheduler skips ILPcs (Γ is re-optimized after uncoarsening);
-    // schedule_dag applies ILPcs internally but its result is only used
-    // through the assignment, so this is naturally satisfied.
-    base_cfg.hc = cfg.hc;
-    let mut base = |d: &Dag, m: &BspParams| -> BspSchedule { schedule_dag(d, m, &base_cfg).sched };
+    let req = SolveRequest::new(dag, machine);
+    let mut cx = SolveCx::new("pipeline/multilevel", &req);
+    solve_multilevel_pipeline(dag, machine, cfg, ml, &mut cx)
+}
+
+/// Runs the Figure-4 multilevel pipeline under `cx`'s budget clock: coarsen,
+/// schedule the coarse DAG with the Figure-3 pipeline (without `ILPcs`),
+/// uncoarsen and refine (stage `multilevel`), then optimize the
+/// communication schedule on the original DAG (stage `polish`).
+pub fn solve_multilevel_pipeline(
+    dag: &Dag,
+    machine: &BspParams,
+    cfg: &PipelineConfig,
+    ml: &MultilevelConfig,
+    cx: &mut SolveCx<'_>,
+) -> PipelineResult {
+    cx.begin("multilevel");
+    // Each inner base run gets a real deadline — the outer budget's
+    // remaining time at the moment it starts — so its own stages re-check
+    // and re-clamp instead of all snapshotting the same allowance. The
+    // inner runs skip ILPcs (Γ is re-optimized after uncoarsening);
+    // solve_base_pipeline applies ILPcs internally but its result is only
+    // used through the assignment, so this is naturally satisfied.
+    let ilp_override = Some(cx.ilp_enabled(cfg.enable_ilp));
+    let inner_budget = |cx: &SolveCx<'_>| Budget {
+        deadline: cx.remaining(),
+        max_stage_moves: cx.clamp_moves(None),
+        ilp: ilp_override,
+    };
+    let mut base = |d: &Dag, m: &BspParams| -> BspSchedule {
+        let req = SolveRequest::new(d, m).with_budget(inner_budget(cx));
+        let mut inner = SolveCx::new("pipeline/multilevel/base", &req);
+        solve_base_pipeline(d, m, cfg, &mut inner).sched
+    };
     let sched = multilevel_schedule(dag, machine, ml, &mut base);
     let init_cost = lazy_cost(dag, machine, &sched);
+    cx.improved(init_cost);
+    let ml_truncated = cx.expired();
+    cx.end(init_cost, ml_truncated);
+
+    if cx.check_expired() {
+        // Deadline hit: the uncoarsened schedule under its lazy Γ is the
+        // valid best-so-far.
+        let comm = CommSchedule::lazy(dag, &sched);
+        return PipelineResult {
+            sched,
+            comm,
+            cost: init_cost,
+            init_cost,
+            best_init: Initializer::BspG,
+            hc_cost: init_cost,
+            part_cost: init_cost,
+            ilp_cost: init_cost,
+        };
+    }
 
     // Final polish on the original DAG: HCcs, then ILPcs.
-    let (hccs_comm, hccs_cost) = optimize_comm_schedule(dag, machine, &sched, &cfg.hccs);
-    let (comm, cost) = if cfg.enable_ilp {
-        let (c2, k2) = ilp_comm(dag, machine, &sched, &hccs_comm, &cfg.ilp.limits);
+    cx.begin("polish");
+    let c = clamped(cfg, cx);
+    let (hccs_comm, hccs_cost) = optimize_comm_schedule(dag, machine, &sched, &c.hccs);
+    let (comm, cost) = if c.enable_ilp && !cx.expired() {
+        let (c2, k2) = ilp_comm(dag, machine, &sched, &hccs_comm, &c.ilp.limits);
         if k2 <= hccs_cost {
             (c2, k2)
         } else {
@@ -224,6 +360,11 @@ pub fn schedule_dag_multilevel(
     } else {
         (hccs_comm, hccs_cost)
     };
+    if cost < init_cost {
+        cx.improved(cost);
+    }
+    let polish_truncated = cx.expired();
+    cx.end(cost, polish_truncated);
     PipelineResult {
         sched,
         comm,

@@ -6,14 +6,13 @@
 //! assignment); the pipelines return their own optimized communication
 //! schedule.
 
-use crate::auto::{schedule_dag_auto, AutoConfig};
+use crate::auto::{solve_auto, AutoConfig};
 use crate::init::bspg::bspg_schedule;
 use crate::init::source::source_schedule;
 use crate::multilevel::MultilevelConfig;
-use crate::pipeline::{schedule_dag, schedule_dag_multilevel, PipelineConfig};
-use bsp_dag::Dag;
-use bsp_model::BspParams;
+use crate::pipeline::{solve_base_pipeline, solve_multilevel_pipeline, PipelineConfig};
 use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
+use bsp_schedule::solve::{solve_single_stage, SolveCx, SolveOutcome, SolveRequest};
 
 /// The BSP-tailored greedy initializer (Algorithm 1), run stand-alone.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,8 +25,10 @@ impl Scheduler for BspgInit {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Initializer
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        ScheduleResult::from_lazy(dag, machine, bspg_schedule(dag, machine))
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        solve_single_stage(self.name(), req, || {
+            ScheduleResult::from_lazy(req.dag, req.machine, bspg_schedule(req.dag, req.machine))
+        })
     }
 }
 
@@ -42,8 +43,10 @@ impl Scheduler for SourceInit {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Initializer
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        ScheduleResult::from_lazy(dag, machine, source_schedule(dag, machine))
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        solve_single_stage(self.name(), req, || {
+            ScheduleResult::from_lazy(req.dag, req.machine, source_schedule(req.dag, req.machine))
+        })
     }
 }
 
@@ -61,9 +64,15 @@ impl Scheduler for BasePipeline {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Pipeline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        let r = schedule_dag(dag, machine, &self.cfg);
-        ScheduleResult::from_parts(dag, machine, r.sched, r.comm)
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        let mut cx = SolveCx::new(self.name(), req);
+        let r = solve_base_pipeline(req.dag, req.machine, &self.cfg, &mut cx);
+        cx.finish(ScheduleResult::from_parts(
+            req.dag,
+            req.machine,
+            r.sched,
+            r.comm,
+        ))
     }
 }
 
@@ -83,9 +92,15 @@ impl Scheduler for MultilevelPipeline {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Pipeline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        let r = schedule_dag_multilevel(dag, machine, &self.cfg, &self.ml);
-        ScheduleResult::from_parts(dag, machine, r.sched, r.comm)
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        let mut cx = SolveCx::new(self.name(), req);
+        let r = solve_multilevel_pipeline(req.dag, req.machine, &self.cfg, &self.ml, &mut cx);
+        cx.finish(ScheduleResult::from_parts(
+            req.dag,
+            req.machine,
+            r.sched,
+            r.comm,
+        ))
     }
 }
 
@@ -106,8 +121,14 @@ impl Scheduler for AutoScheduler {
     fn kind(&self) -> SchedulerKind {
         SchedulerKind::Pipeline
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        let (r, _strategy) = schedule_dag_auto(dag, machine, &self.cfg, &self.auto);
-        ScheduleResult::from_parts(dag, machine, r.sched, r.comm)
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        let mut cx = SolveCx::new(self.name(), req);
+        let (r, _strategy) = solve_auto(req.dag, req.machine, &self.cfg, &self.auto, &mut cx);
+        cx.finish(ScheduleResult::from_parts(
+            req.dag,
+            req.machine,
+            r.sched,
+            r.comm,
+        ))
     }
 }

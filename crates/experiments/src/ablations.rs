@@ -29,14 +29,16 @@ use bsp_dag::Dag;
 use bsp_dagdb::{dataset, DatasetKind, Instance};
 use bsp_model::{BspParams, NumaTopology};
 use bsp_schedule::cost::lazy_cost;
-use bsp_schedule::scheduler::SharedScheduler;
+use bsp_schedule::scheduler::{Scheduler, SharedScheduler};
+use bsp_schedule::solve::SolveRequest;
 use bsp_schedule::BspSchedule;
 use std::time::{Duration, Instant};
 
-/// Fetches a baseline from the scheduler registry by its stable name.
-fn registered(name: &str) -> SharedScheduler {
-    bsp_sched::registry::find(name, &bsp_core::pipeline::PipelineConfig::default())
-        .unwrap_or_else(|| panic!("{name} missing from bsp_sched::registry()"))
+/// Builds one baseline from the scheduler registry by spec string —
+/// only the requested entry is constructed.
+fn registered(spec: &str) -> SharedScheduler {
+    bsp_sched::find(spec, &bsp_core::pipeline::PipelineConfig::default())
+        .unwrap_or_else(|| panic!("{spec} missing from bsp_sched::Registry::standard()"))
 }
 
 const ELL: u64 = 5;
@@ -179,13 +181,18 @@ pub fn ablation_numa_est(cfg: &RunConfig) {
         jobs.len(),
         cfg.threads
     );
-    let suite: Vec<SharedScheduler> = ["etf", "etf-numa", "bl-est", "bl-est-numa"]
+    // The NUMA-aware variants are addressed through the spec grammar, the
+    // plain ones by bare name — both paths build exactly one entry.
+    let suite: Vec<SharedScheduler> = ["etf", "etf?numa=on", "bl-est", "bl-est?numa=on"]
         .map(registered)
         .into();
     let rows = parallel_map(cfg.threads, jobs, |(inst, p, d)| {
         let machine = BspParams::new(*p, 1, ELL).with_numa(NumaTopology::binary_tree(*p, *d));
-        let [etf_plain, etf_aware, bl_plain, bl_aware]: [u64; 4] =
-            std::array::from_fn(|i| suite[i].schedule(&inst.dag, &machine).total());
+        let [etf_plain, etf_aware, bl_plain, bl_aware]: [u64; 4] = std::array::from_fn(|i| {
+            suite[i]
+                .solve(&SolveRequest::new(&inst.dag, &machine))
+                .total()
+        });
         (*p, *d, etf_plain, etf_aware, bl_plain, bl_aware)
     });
     println!("NUMA-aware EST ablation (ratio aware/plain; < 1 means the extension helps):");
@@ -352,8 +359,11 @@ pub fn ablation_cluster(cfg: &RunConfig) {
     let suite: Vec<SharedScheduler> = ["dsc", "etf", "bl-est", "cilk"].map(registered).into();
     let rows = parallel_map(cfg.threads, jobs, |(inst, p, g)| {
         let machine = BspParams::new(*p, *g, ELL);
-        let [dsc, etf, blest, cilk]: [u64; 4] =
-            std::array::from_fn(|i| suite[i].schedule(&inst.dag, &machine).total());
+        let [dsc, etf, blest, cilk]: [u64; 4] = std::array::from_fn(|i| {
+            suite[i]
+                .solve(&SolveRequest::new(&inst.dag, &machine))
+                .total()
+        });
         (*g, dsc, etf, blest, cilk)
     });
     println!("Clustering (DSC) vs list baselines (ratio DSC/other; > 1 = DSC loses):");

@@ -3,9 +3,18 @@
 //!
 //! ```text
 //! cargo run -p bsp-experiments --release -- table1 [--scale 0.15] [--threads N]
-//! cargo run -p bsp-experiments --release -- registry   # whole-suite overview
+//! cargo run -p bsp-experiments --release -- registry   # descriptor catalogue + health
+//! cargo run -p bsp-experiments --release -- solve --sched "pipeline/base?ilp=off" --budget-ms 250
 //! cargo run -p bsp-experiments --release -- all
 //! ```
+//!
+//! `--sched <spec>` (repeatable) selects schedulers by spec string for the
+//! `registry` and `solve` commands — `"etf?numa=on"`,
+//! `"pipeline/base?ilp=off&hc_iters=200"` (grammar: README § "Choosing a
+//! scheduler"). `--budget-ms <N>` puts a wall-clock deadline on every
+//! pipeline solve of the table sweeps and the `registry`/`solve` commands;
+//! the ablation studies keep their own matched budgets and reject the
+//! flag.
 //!
 //! Defaults are scaled down (instances and budgets) so a full sweep runs on
 //! a laptop; `--scale 1.0` restores paper-sized instances. Absolute costs
@@ -35,12 +44,28 @@ fn main() {
                 cfg.threads = args[i].parse().expect("--threads takes an integer");
             }
             "--quick" => cfg.quick = true,
+            "--sched" => {
+                i += 1;
+                cfg.scheds.push(args[i].clone());
+            }
+            "--budget-ms" => {
+                i += 1;
+                cfg.budget_ms = Some(args[i].parse().expect("--budget-ms takes milliseconds"));
+            }
             other if id.is_none() => id = Some(other.to_string()),
             other => panic!("unexpected argument: {other}"),
         }
         i += 1;
     }
     let id = id.unwrap_or_else(|| "all".to_string());
+    // Reject flag/command combinations that would otherwise be silently
+    // ignored.
+    if !cfg.scheds.is_empty() && !matches!(id.as_str(), "registry" | "solve") {
+        panic!("--sched applies only to the `registry` and `solve` commands");
+    }
+    if cfg.budget_ms.is_some() && (id.starts_with("ablation") || id == "all") {
+        panic!("--budget-ms does not apply to the ablation studies (matched internal budgets)");
+    }
 
     let run = |name: &str| {
         println!("\n================ {name} ================");
@@ -64,6 +89,7 @@ fn main() {
             "fig7" => tables::table11_and_fig7(&cfg),
             "trivial" => tables::trivial_counts(&cfg),
             "registry" => tables::registry_overview(&cfg),
+            "solve" => tables::solve_specs(&cfg),
             "ablation" => ablations::all(&cfg),
             "ablation-ls" => ablations::ablation_local_search(&cfg),
             "ablation-est" => ablations::ablation_numa_est(&cfg),

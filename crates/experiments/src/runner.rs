@@ -4,10 +4,10 @@ use bsp_core::hc::HillClimbConfig;
 use bsp_core::hccs::CommHillClimbConfig;
 use bsp_core::ilp::IlpConfig;
 use bsp_core::multilevel::MultilevelConfig;
-use bsp_core::pipeline::{schedule_dag, schedule_dag_multilevel, PipelineConfig};
+use bsp_core::pipeline::{solve_base_pipeline, solve_multilevel_pipeline, PipelineConfig};
 use bsp_dag::Dag;
 use bsp_model::BspParams;
-use bsp_schedule::scheduler::SchedulerKind;
+use bsp_schedule::solve::{Budget, SolveCx, SolveRequest};
 use bsp_schedule::trivial::trivial_cost;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -21,6 +21,21 @@ pub struct RunConfig {
     pub threads: usize,
     /// Smaller parameter grids for smoke runs.
     pub quick: bool,
+    /// Scheduler spec strings selected with `--sched` (empty = command
+    /// default, usually the whole registry).
+    pub scheds: Vec<String>,
+    /// Per-solve wall-clock budget from `--budget-ms`.
+    pub budget_ms: Option<u64>,
+}
+
+impl RunConfig {
+    /// The per-request budget `--budget-ms` implies.
+    pub fn budget(&self) -> Budget {
+        match self.budget_ms {
+            Some(ms) => Budget::deadline(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        }
+    }
 }
 
 impl Default for RunConfig {
@@ -31,6 +46,8 @@ impl Default for RunConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             quick: false,
+            scheds: Vec::new(),
+            budget_ms: None,
         }
     }
 }
@@ -44,6 +61,9 @@ pub struct EvalOptions {
     pub multilevel: bool,
     /// Also run the BL-EST and ETF baselines.
     pub list_baselines: bool,
+    /// Per-solve budget (from `--budget-ms`); deadlines bound the pipeline
+    /// stages, while the atomic baselines run to completion regardless.
+    pub budget: Budget,
 }
 
 /// All costs measured for one (instance, machine) pair. Baseline schedules
@@ -132,26 +152,31 @@ fn bsp_ilp_limits(n: usize) -> bsp_ilp::SolveLimits {
     }
 }
 
-/// Evaluates one (dag, machine) pair. Baselines run through the scheduler
-/// registry (`bsp_sched::registry_of`), keeping only the four the paper's
-/// main comparison columns use (cilk, hdagg, bl-est, etf); the NUMA-aware
-/// variants and DSC are covered by the dedicated ablation tables instead.
+/// Evaluates one (dag, machine) pair. Baselines are built individually by
+/// spec string through the scheduler registry — only the four the paper's
+/// main comparison columns use (cilk, hdagg, bl-est, etf) are constructed;
+/// the NUMA-aware variants and DSC are covered by the dedicated ablation
+/// tables instead.
 pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -> Eval {
     let cfg = pipeline_config(dag.n(), opts);
-    let (mut cilk, mut hdagg, mut blest, mut etf) = (0, 0, 0, 0);
-    for baseline in bsp_sched::registry_of(SchedulerKind::Baseline, &cfg) {
-        let slot = match baseline.name() {
-            "cilk" => &mut cilk,
-            "hdagg" => &mut hdagg,
-            "bl-est" if opts.list_baselines => &mut blest,
-            "etf" if opts.list_baselines => &mut etf,
-            // NUMA-aware variants and DSC have dedicated ablation tables;
-            // the paper's main comparison columns are the four above.
-            _ => continue,
-        };
-        *slot = baseline.schedule(dag, machine).total();
-    }
-    let r = schedule_dag(dag, machine, &cfg);
+    let registry = bsp_sched::Registry::standard();
+    let run = |spec: &str| -> u64 {
+        registry
+            .get_with(spec, &cfg)
+            .unwrap_or_else(|e| panic!("baseline spec {spec:?}: {e}"))
+            .solve(&SolveRequest::new(dag, machine).with_budget(opts.budget))
+            .total()
+    };
+    let cilk = run("cilk");
+    let hdagg = run("hdagg");
+    let (blest, etf) = if opts.list_baselines {
+        (run("bl-est"), run("etf"))
+    } else {
+        (0, 0)
+    };
+    let req = SolveRequest::new(dag, machine).with_budget(opts.budget);
+    let mut cx = SolveCx::new("pipeline/base", &req);
+    let r = solve_base_pipeline(dag, machine, &cfg, &mut cx);
 
     let (ml15, ml30) = if opts.multilevel && dag.n() >= 20 {
         let ml_cost = |ratio: f64| {
@@ -159,7 +184,9 @@ pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -
                 ratios: vec![ratio],
                 ..Default::default()
             };
-            schedule_dag_multilevel(dag, machine, &cfg, &ml).cost
+            let req = SolveRequest::new(dag, machine).with_budget(opts.budget);
+            let mut cx = SolveCx::new("pipeline/multilevel", &req);
+            solve_multilevel_pipeline(dag, machine, &cfg, &ml, &mut cx).cost
         };
         (ml_cost(0.15), ml_cost(0.3))
     } else {

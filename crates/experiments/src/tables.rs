@@ -7,6 +7,8 @@ use bsp_core::init::{bspg_schedule, source_schedule};
 use bsp_dagdb::{dataset, training_set, DatasetKind, Instance};
 use bsp_model::{BspParams, NumaTopology};
 use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::scheduler::Scheduler;
+use bsp_schedule::solve::SolveRequest;
 
 const ELL: u64 = 5;
 
@@ -69,6 +71,10 @@ fn run_jobs(cfg: &RunConfig, jobs: Vec<Job>) -> Vec<(DatasetKind, usize, u64, u6
 }
 
 fn no_numa_jobs(cfg: &RunConfig, opts: EvalOptions) -> Vec<Job> {
+    let opts = EvalOptions {
+        budget: cfg.budget(),
+        ..opts
+    };
     let mut jobs = Vec::new();
     for (set, insts) in datasets(cfg) {
         for p in grid_p(cfg) {
@@ -90,6 +96,10 @@ fn no_numa_jobs(cfg: &RunConfig, opts: EvalOptions) -> Vec<Job> {
 }
 
 fn numa_jobs(cfg: &RunConfig, opts: EvalOptions, skip_tiny: bool) -> Vec<Job> {
+    let opts = EvalOptions {
+        budget: cfg.budget(),
+        ..opts
+    };
     let ps: &[usize] = if cfg.quick { &[8] } else { &[8, 16] };
     let deltas: &[u64] = if cfg.quick { &[2, 4] } else { &[2, 3, 4] };
     let mut jobs = Vec::new();
@@ -370,6 +380,7 @@ pub fn table9(cfg: &RunConfig) {
     let insts = dataset(kind, cfg.scale);
     let opts = EvalOptions {
         ilp: true,
+        budget: cfg.budget(),
         ..Default::default()
     };
     let ells: Vec<u64> = vec![2, 5, 10, 20];
@@ -631,7 +642,10 @@ fn trivial_print(results: &[(DatasetKind, usize, u64, u64, Eval)]) {
 /// Init + HC + HCcs only.
 pub fn table11_and_fig7(cfg: &RunConfig) {
     let insts = dataset(DatasetKind::Huge, cfg.scale);
-    let opts = EvalOptions::default(); // no ILP
+    let opts = EvalOptions {
+        budget: cfg.budget(),
+        ..Default::default()
+    }; // no ILP
     let mut jobs = Vec::new();
     for p in grid_p(cfg) {
         for g in grid_g(cfg) {
@@ -690,7 +704,10 @@ pub fn table11_and_fig7(cfg: &RunConfig) {
 /// Table 12 (App. C.5): huge dataset with NUMA.
 pub fn table12(cfg: &RunConfig) {
     let insts = dataset(DatasetKind::Huge, cfg.scale);
-    let opts = EvalOptions::default();
+    let opts = EvalOptions {
+        budget: cfg.budget(),
+        ..Default::default()
+    };
     let ps: &[usize] = if cfg.quick { &[8] } else { &[8, 16] };
     let deltas: &[u64] = if cfg.quick { &[2, 4] } else { &[2, 3, 4] };
     let mut jobs = Vec::new();
@@ -825,12 +842,37 @@ fn numa_grid<F: Fn(&[&Eval]) -> String>(
     }
 }
 
-/// Registry overview: every scheduler in `bsp_sched::registry()` on the
-/// tiny + small datasets, reported as geomean cost ratio vs the trivial
-/// single-processor schedule. Not a paper table — a health dashboard for
-/// the whole suite that grows automatically as algorithms are registered.
+/// Registry overview: the descriptor catalogue (name, family, flags, spec
+/// string), then every scheduler on the tiny + small datasets, reported as
+/// geomean cost ratio vs the trivial single-processor schedule. Not a paper
+/// table — a health dashboard for the whole suite that grows automatically
+/// as algorithms are registered. Respects `--sched` (subset) and
+/// `--budget-ms` (per-solve deadline).
 pub fn registry_overview(cfg: &RunConfig) {
     use bsp_schedule::trivial::trivial_cost;
+
+    let registry = bsp_sched::Registry::standard();
+    println!(
+        "registered schedulers ({} entries):",
+        registry.entries().len()
+    );
+    println!(
+        "  {:<20} {:<12} {:>5} {:>5} {:>7}  summary",
+        "spec", "kind", "numa", "det", "budget"
+    );
+    for d in registry.descriptors() {
+        let onoff = |b: bool| if b { "yes" } else { "-" };
+        println!(
+            "  {:<20} {:<12} {:>5} {:>5} {:>7}  {}",
+            d.spec(),
+            format!("{:?}", d.kind).to_lowercase(),
+            onoff(d.numa_aware),
+            onoff(d.deterministic),
+            onoff(d.supports_budget),
+            d.summary
+        );
+    }
+    println!();
 
     let mut insts = dataset(DatasetKind::Tiny, cfg.scale);
     if !cfg.quick {
@@ -843,10 +885,23 @@ pub fn registry_overview(cfg: &RunConfig) {
             BspParams::new(8, 1, ELL).with_numa(NumaTopology::binary_tree(8, 3)),
         ),
     ];
-    let schedulers = bsp_sched::registry_with(&pipeline_config(
+    let base = pipeline_config(
         insts.iter().map(|i| i.dag.n()).max().unwrap_or(0),
         EvalOptions::default(),
-    ));
+    );
+    let specs: Vec<String> = if cfg.scheds.is_empty() {
+        registry.descriptors().map(|d| d.spec()).collect()
+    } else {
+        cfg.scheds.clone()
+    };
+    let schedulers: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            registry
+                .get_with(spec, &base)
+                .unwrap_or_else(|e| panic!("--sched {spec:?}: {e}"))
+        })
+        .collect();
     eprintln!(
         "[registry] {} schedulers x {} instances x {} machines on {} threads",
         schedulers.len(),
@@ -855,25 +910,79 @@ pub fn registry_overview(cfg: &RunConfig) {
         cfg.threads
     );
     for (mname, machine) in &machines {
+        // Rows are keyed by spec index, not scheduler name — two specs may
+        // configure the same entry differently and must not pool.
         let jobs: Vec<_> = schedulers
             .iter()
-            .flat_map(|s| insts.iter().map(move |inst| (s, inst)))
+            .enumerate()
+            .flat_map(|(i, s)| insts.iter().map(move |inst| (i, s, inst)))
             .collect();
-        let rows = parallel_map(cfg.threads, jobs, |(s, inst)| {
-            let r = s.schedule(&inst.dag, machine);
-            (
-                s.name().to_string(),
-                ratio(r.total(), trivial_cost(&inst.dag, machine)),
-            )
+        let rows = parallel_map(cfg.threads, jobs, |(i, s, inst)| {
+            let req = SolveRequest::new(&inst.dag, machine).with_budget(cfg.budget());
+            let out = s.solve(&req);
+            (*i, ratio(out.total(), trivial_cost(&inst.dag, machine)))
         });
         println!("machine {mname} (geomean cost / trivial; lower is better):");
-        for s in &schedulers {
+        for (i, spec) in specs.iter().enumerate() {
             let rs: Vec<f64> = rows
                 .iter()
-                .filter(|(n, _)| n == s.name())
+                .filter(|&&(j, _)| j == i)
                 .map(|&(_, r)| r)
                 .collect();
-            println!("  {:<20} {:.3}", s.name(), geomean(&rs));
+            println!("  {spec:<28} {:.3}", geomean(&rs));
+        }
+    }
+}
+
+/// The `solve` command: run the `--sched` specs (default: the three
+/// pipelines) on a NUMA test instance under the `--budget-ms` deadline,
+/// printing the per-stage reports of each solve — the CLI window into the
+/// anytime API.
+pub fn solve_specs(cfg: &RunConfig) {
+    let registry = bsp_sched::Registry::standard();
+    let specs: Vec<String> = if cfg.scheds.is_empty() {
+        vec![
+            "pipeline/base".to_string(),
+            "pipeline/multilevel".to_string(),
+            "auto".to_string(),
+        ]
+    } else {
+        cfg.scheds.clone()
+    };
+    let insts = dataset(DatasetKind::Small, cfg.scale);
+    let inst = insts.last().expect("small dataset is non-empty");
+    let machine = BspParams::new(8, 1, ELL).with_numa(NumaTopology::binary_tree(8, 3));
+    let base = pipeline_config(inst.dag.n(), EvalOptions::default());
+    println!(
+        "instance {} (n = {}), machine P=8 NUMA Δ=3, budget {:?}",
+        inst.name,
+        inst.dag.n(),
+        cfg.budget().deadline
+    );
+    for spec in &specs {
+        let s = registry
+            .get_with(spec, &base)
+            .unwrap_or_else(|e| panic!("--sched {spec:?}: {e}"));
+        let req = SolveRequest::new(&inst.dag, &machine).with_budget(cfg.budget());
+        let out = s.solve(&req);
+        println!(
+            "\n{spec} -> cost {} in {:.1} ms{}",
+            out.total(),
+            out.elapsed.as_secs_f64() * 1e3,
+            if out.budget_exhausted {
+                " (budget exhausted)"
+            } else {
+                ""
+            }
+        );
+        for st in &out.stages {
+            println!(
+                "  stage {:<12} cost {:>8}  {:>8.1} ms{}",
+                st.stage,
+                st.cost_after,
+                st.elapsed.as_secs_f64() * 1e3,
+                if st.truncated { "  [truncated]" } else { "" }
+            );
         }
     }
 }

@@ -41,6 +41,8 @@ pub mod cost;
 pub mod export;
 pub mod schedule;
 pub mod scheduler;
+pub mod solve;
+pub mod spec;
 pub mod trivial;
 pub mod validity;
 
@@ -50,4 +52,8 @@ pub use cost::{schedule_cost, CostBreakdown};
 pub use export::{classical_to_gantt, dag_to_dot, schedule_to_dot, schedule_to_text};
 pub use schedule::BspSchedule;
 pub use scheduler::{ScheduleResult, Scheduler, SchedulerKind};
+pub use solve::{
+    Budget, ImprovementEvent, Observer, SolveCx, SolveOutcome, SolveRequest, StageReport,
+};
+pub use spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
 pub use validity::{validate, InvalidSchedule};

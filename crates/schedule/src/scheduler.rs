@@ -6,19 +6,22 @@
 //! implements this one trait, so harnesses (the experiment runner, the
 //! criterion benches, the examples, and future evaluation services) iterate
 //! a single registry instead of hand-wiring each algorithm. The registry
-//! itself lives in the `bsp-sched` façade crate (`bsp_sched::registry()`),
-//! which is the only crate that can see every implementation.
+//! itself — `Registry`, with spec-string lookup — lives in the `bsp-sched`
+//! façade crate, the only crate that can see every implementation.
 //!
-//! A [`Scheduler`] consumes a DAG and a machine description and produces a
-//! complete, costed result: the assignment `(π, τ)`, a communication
-//! schedule `Γ`, and the full [`CostBreakdown`] under the paper's BSP+NUMA
-//! cost model. Algorithms that only produce an assignment (the baselines and
-//! initializers) are costed under the lazy `Γ` — exactly how the paper
-//! evaluates them — via [`ScheduleResult::from_lazy`].
+//! A [`Scheduler`] consumes a [`SolveRequest`] — DAG, machine,
+//! [`Budget`](crate::solve::Budget), seed, observer — and produces a
+//! [`SolveOutcome`]: a complete, costed result (the assignment `(π, τ)`, a
+//! communication schedule `Γ`, and the full [`CostBreakdown`] under the
+//! paper's BSP+NUMA cost model) plus per-stage reports. Algorithms that
+//! only produce an assignment (the baselines and initializers) are costed
+//! under the lazy `Γ` — exactly how the paper evaluates them — via
+//! [`ScheduleResult::from_lazy`], and report a single `"run"` stage.
 
 use crate::comm::CommSchedule;
 use crate::cost::{schedule_cost, CostBreakdown};
 use crate::schedule::BspSchedule;
+use crate::solve::{SolveOutcome, SolveRequest};
 use bsp_dag::Dag;
 use bsp_model::BspParams;
 
@@ -71,21 +74,26 @@ impl ScheduleResult {
     }
 }
 
-/// A named scheduling algorithm: DAG + machine in, costed schedule out.
+/// A named scheduling algorithm: request in, costed outcome out.
 ///
 /// Implementations are configuration-carrying structs (seed, NUMA-awareness,
 /// pipeline budgets, …), so a registry entry is a ready-to-run instance and
-/// two entries of the same algorithm with different tuning can coexist.
+/// two entries of the same algorithm with different tuning can coexist. The
+/// request's [`Budget`](crate::solve::Budget) caps the scheduler's own
+/// configuration; anytime schedulers (the pipelines) check the deadline
+/// between stages and return their best-so-far schedule when it expires.
 pub trait Scheduler {
-    /// Stable identifier used in tables, bench ids and lookups
+    /// Stable identifier used in tables, bench ids and spec-string lookups
     /// (e.g. `"etf"`, `"pipeline/base"`).
     fn name(&self) -> &str;
 
     /// The family this scheduler belongs to.
     fn kind(&self) -> SchedulerKind;
 
-    /// Schedules `dag` on `machine`, returning a valid, costed schedule.
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult;
+    /// Solves the request, returning a valid, costed schedule with stage
+    /// reports. Must return a valid schedule for *every* budget, including
+    /// an already-expired deadline.
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome;
 }
 
 /// A boxed scheduler shareable across harness worker threads.
@@ -98,8 +106,8 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn kind(&self) -> SchedulerKind {
         (**self).kind()
     }
-    fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
-        (**self).schedule(dag, machine)
+    fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
+        (**self).solve(req)
     }
 }
 
@@ -117,12 +125,15 @@ mod tests {
         fn kind(&self) -> SchedulerKind {
             SchedulerKind::Baseline
         }
-        fn schedule(&self, dag: &Dag, machine: &BspParams) -> ScheduleResult {
+        fn solve(&self, req: &SolveRequest<'_>) -> SolveOutcome {
             // One superstep per node, processors round-robin: always valid.
-            let p = machine.p() as u32;
-            let n = dag.n() as u32;
-            let sched = BspSchedule::from_parts((0..n).map(|v| v % p).collect(), (0..n).collect());
-            ScheduleResult::from_lazy(dag, machine, sched)
+            crate::solve::solve_single_stage(self.name(), req, || {
+                let p = req.machine.p() as u32;
+                let n = req.dag.n() as u32;
+                let sched =
+                    BspSchedule::from_parts((0..n).map(|v| v % p).collect(), (0..n).collect());
+                ScheduleResult::from_lazy(req.dag, req.machine, sched)
+            })
         }
     }
 
@@ -138,10 +149,13 @@ mod tests {
         let boxed: Box<dyn Scheduler> = Box::new(RoundRobin);
         assert_eq!(boxed.name(), "round-robin");
         assert_eq!(boxed.kind(), SchedulerKind::Baseline);
-        let r = boxed.schedule(&dag, &machine);
+        let out = boxed.solve(&SolveRequest::new(&dag, &machine));
+        let r = &out.result;
         assert!(crate::validity::validate(&dag, 2, &r.sched, &r.comm).is_ok());
-        assert_eq!(r.total(), r.cost.total);
-        assert!(r.total() > 0);
+        assert_eq!(out.total(), r.cost.total);
+        assert!(out.total() > 0);
+        assert_eq!(out.stages.len(), 1);
+        assert_eq!(out.stages[0].cost_after, out.total());
     }
 
     #[test]

@@ -1,0 +1,552 @@
+//! The anytime solve API: [`SolveRequest`], [`Budget`], [`Observer`],
+//! [`StageReport`] and [`SolveOutcome`].
+//!
+//! The paper's framework is an *anytime* pipeline: initializers, hill
+//! climbing and ILP stages monotonically improve a schedule, so stopping at
+//! any stage boundary still yields a valid best-so-far schedule. This module
+//! is the request/response surface that exposes that property: a
+//! [`SolveRequest`] bundles the instance with a [`Budget`] (wall-clock
+//! deadline, per-stage move caps, ILP on/off), an RNG seed, and an
+//! [`Observer`] that receives stage and improvement events while the solve
+//! runs. Every [`Scheduler`](crate::scheduler::Scheduler) consumes a request
+//! and returns a [`SolveOutcome`]: the final costed schedule plus one
+//! [`StageReport`] per pipeline stage that ran.
+//!
+//! Budget semantics (also documented in the README):
+//!
+//! * The **deadline** is checked at stage boundaries, and additionally caps
+//!   each stage's internal wall-clock limit, so an expired deadline makes
+//!   the remaining stages degenerate to (near) no-ops. Because every stage
+//!   holds the monotone contract, the result is always a *valid* schedule —
+//!   under an already-expired deadline, the best initialization.
+//! * **Move caps** bound the accepted moves of each local-search stage.
+//! * **`ilp`** overrides the scheduler's own ILP switch; `None` defers.
+//!
+//! ```
+//! use bsp_dag::DagBuilder;
+//! use bsp_model::BspParams;
+//! use bsp_schedule::solve::{Budget, SolveRequest};
+//! use std::time::Duration;
+//!
+//! let mut b = DagBuilder::new();
+//! let u = b.add_node(2, 1);
+//! let v = b.add_node(3, 1);
+//! b.add_edge(u, v).unwrap();
+//! let dag = b.build().unwrap();
+//! let machine = BspParams::new(2, 1, 1);
+//!
+//! let req = SolveRequest::new(&dag, &machine)
+//!     .with_budget(Budget::deadline(Duration::from_millis(50)).without_ilp())
+//!     .with_seed(7);
+//! assert_eq!(req.seed, 7);
+//! assert_eq!(req.budget.ilp, Some(false));
+//! assert!(!req.budget.is_unlimited());
+//! ```
+
+use crate::scheduler::ScheduleResult;
+use bsp_dag::Dag;
+use bsp_model::BspParams;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one solve call.
+///
+/// The default budget is unlimited: no deadline, no move caps, and the
+/// scheduler's own ILP switch.
+///
+/// ```
+/// use bsp_schedule::solve::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::deadline(Duration::from_millis(250));
+/// assert_eq!(b.deadline, Some(Duration::from_millis(250)));
+/// assert!(Budget::default().is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit for the whole solve, measured from the moment
+    /// `solve` is entered. `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Cap on accepted moves per local-search stage (HC, HCcs, escape).
+    /// `None` = the scheduler's configured caps.
+    pub max_stage_moves: Option<usize>,
+    /// Override for the scheduler's ILP master switch: `Some(false)` forces
+    /// the ILP stages off, `Some(true)` on, `None` defers to the scheduler.
+    pub ilp: Option<bool>,
+}
+
+impl Budget {
+    /// The unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// An otherwise-unlimited budget with a wall-clock deadline.
+    pub fn deadline(d: Duration) -> Self {
+        Budget {
+            deadline: Some(d),
+            ..Budget::default()
+        }
+    }
+
+    /// An already-expired budget: the solve returns its best initialization
+    /// (still a valid schedule) as fast as the stages can be skipped.
+    pub fn expired() -> Self {
+        Budget::deadline(Duration::ZERO)
+    }
+
+    /// This budget with the ILP stages forced off.
+    pub fn without_ilp(mut self) -> Self {
+        self.ilp = Some(false);
+        self
+    }
+
+    /// This budget with a per-stage accepted-move cap.
+    pub fn with_max_stage_moves(mut self, moves: usize) -> Self {
+        self.max_stage_moves = Some(moves);
+        self
+    }
+
+    /// Whether this budget constrains nothing.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+}
+
+/// A stage or improvement event, as seen by an [`Observer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImprovementEvent<'e> {
+    /// Stage that produced the improvement.
+    pub stage: &'e str,
+    /// New incumbent cost.
+    pub cost: u64,
+    /// Time since the solve started.
+    pub elapsed: Duration,
+}
+
+/// Receives progress events during a solve. All methods default to no-ops,
+/// so implementors override only what they need. Observers must be [`Sync`]:
+/// harnesses solve on worker threads.
+pub trait Observer: Sync {
+    /// A pipeline stage is starting.
+    fn on_stage_start(&self, scheduler: &str, stage: &str) {
+        let _ = (scheduler, stage);
+    }
+    /// The incumbent schedule improved.
+    fn on_improvement(&self, scheduler: &str, event: &ImprovementEvent<'_>) {
+        let _ = (scheduler, event);
+    }
+    /// A pipeline stage finished (report includes truncation by budget).
+    fn on_stage_end(&self, scheduler: &str, report: &StageReport) {
+        let _ = (scheduler, report);
+    }
+}
+
+/// The do-nothing observer every request starts with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// The shared no-op observer instance.
+pub static NOOP_OBSERVER: NoopObserver = NoopObserver;
+
+/// What happened in one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stable stage name (`"init"`, `"hc"`, `"ilp"`, `"multilevel"`,
+    /// `"polish"`, or `"run"` for single-stage schedulers).
+    pub stage: String,
+    /// Incumbent cost when the stage ended. Stage reports are monotone
+    /// non-increasing in `cost_after`, and the last report equals the
+    /// outcome's final cost.
+    pub cost_after: u64,
+    /// Wall-clock time the stage consumed.
+    pub elapsed: Duration,
+    /// Whether the budget cut the stage short.
+    pub truncated: bool,
+}
+
+/// A scheduling problem plus the resources granted to solve it.
+pub struct SolveRequest<'a> {
+    /// The computational DAG to schedule.
+    pub dag: &'a Dag,
+    /// The machine description.
+    pub machine: &'a BspParams,
+    /// Resource limits; default unlimited.
+    pub budget: Budget,
+    /// RNG seed mixed into every randomized component (steal-victim
+    /// streams, simulated annealing); `0` reproduces the scheduler's
+    /// configured seeds.
+    pub seed: u64,
+    /// Progress observer; defaults to [`NOOP_OBSERVER`].
+    pub observer: &'a dyn Observer,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A request with an unlimited budget, seed 0 and no observer.
+    pub fn new(dag: &'a Dag, machine: &'a BspParams) -> Self {
+        SolveRequest {
+            dag,
+            machine,
+            budget: Budget::default(),
+            seed: 0,
+            observer: &NOOP_OBSERVER,
+        }
+    }
+
+    /// This request with the given budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// This request with the given RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// This request with the given observer.
+    pub fn with_observer(mut self, observer: &'a dyn Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+}
+
+/// A completed solve: the final costed schedule plus per-stage reports.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The final schedule, communication schedule and cost breakdown.
+    pub result: ScheduleResult,
+    /// One report per stage that ran, in execution order. `cost_after` is
+    /// monotone non-increasing and the last entry equals `result.total()`.
+    pub stages: Vec<StageReport>,
+    /// Total wall-clock time of the solve.
+    pub elapsed: Duration,
+    /// Whether the budget expired before all stages could run to
+    /// completion.
+    pub budget_exhausted: bool,
+}
+
+impl SolveOutcome {
+    /// Final total cost (shorthand for `self.result.total()`).
+    pub fn total(&self) -> u64 {
+        self.result.total()
+    }
+}
+
+/// Bookkeeping a scheduler threads through its stages: the budget clock,
+/// the observer, and the stage reports accumulated so far.
+///
+/// Pipelines call [`begin`](SolveCx::begin)/[`end`](SolveCx::end) around
+/// each stage, [`improved`](SolveCx::improved) when the incumbent drops,
+/// [`check_expired`](SolveCx::check_expired) between stages, and the
+/// `clamp_*` helpers to fold the remaining budget into per-stage configs;
+/// [`finish`](SolveCx::finish) seals everything into a [`SolveOutcome`].
+pub struct SolveCx<'a> {
+    scheduler: String,
+    observer: &'a dyn Observer,
+    start: Instant,
+    deadline: Option<Instant>,
+    max_stage_moves: Option<usize>,
+    ilp_override: Option<bool>,
+    seed: u64,
+    stages: Vec<StageReport>,
+    current: Option<(String, Instant)>,
+    exhausted: bool,
+}
+
+impl<'a> SolveCx<'a> {
+    /// Starts the clock for one solve of `req` by scheduler `scheduler`.
+    pub fn new(scheduler: &str, req: &SolveRequest<'a>) -> Self {
+        let start = Instant::now();
+        SolveCx {
+            scheduler: scheduler.to_string(),
+            observer: req.observer,
+            start,
+            deadline: req.budget.deadline.map(|d| start + d),
+            max_stage_moves: req.budget.max_stage_moves,
+            ilp_override: req.budget.ilp,
+            seed: req.seed,
+            stages: Vec::new(),
+            current: None,
+            exhausted: false,
+        }
+    }
+
+    /// Time since the solve started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Whether the wall-clock deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// [`expired`](Self::expired), additionally recording budget
+    /// exhaustion in the outcome. Use this for between-stage checks.
+    pub fn check_expired(&mut self) -> bool {
+        if self.expired() {
+            self.exhausted = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wall-clock budget left; `None` = unlimited.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The tighter of a stage's own time limit and the remaining budget.
+    pub fn clamp_time(&self, stage_limit: Option<Duration>) -> Option<Duration> {
+        match (stage_limit, self.remaining()) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(l), Some(r)) => Some(l.min(r)),
+        }
+    }
+
+    /// The tighter of a stage's own move cap and the budget's.
+    pub fn clamp_moves(&self, stage_cap: Option<usize>) -> Option<usize> {
+        match (stage_cap, self.max_stage_moves) {
+            (None, b) => b,
+            (c, None) => c,
+            (Some(c), Some(b)) => Some(c.min(b)),
+        }
+    }
+
+    /// Resolves the effective ILP switch from the scheduler's default and
+    /// the budget's override.
+    pub fn ilp_enabled(&self, scheduler_default: bool) -> bool {
+        self.ilp_override.unwrap_or(scheduler_default)
+    }
+
+    /// The request's RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Begins a named stage (notifies the observer, starts its clock).
+    pub fn begin(&mut self, stage: &str) {
+        self.observer.on_stage_start(&self.scheduler, stage);
+        self.current = Some((stage.to_string(), Instant::now()));
+    }
+
+    /// Reports an incumbent improvement within the current stage.
+    pub fn improved(&self, cost: u64) {
+        let stage = self.current.as_ref().map_or("", |(s, _)| s.as_str());
+        self.observer.on_improvement(
+            &self.scheduler,
+            &ImprovementEvent {
+                stage,
+                cost,
+                elapsed: self.elapsed(),
+            },
+        );
+    }
+
+    /// Ends the current stage with its final cost and truncation flag.
+    pub fn end(&mut self, cost_after: u64, truncated: bool) {
+        let (stage, began) = self
+            .current
+            .take()
+            .expect("SolveCx::end without a matching begin");
+        if truncated {
+            self.exhausted = true;
+        }
+        let report = StageReport {
+            stage,
+            cost_after,
+            elapsed: began.elapsed(),
+            truncated,
+        };
+        self.observer.on_stage_end(&self.scheduler, &report);
+        self.stages.push(report);
+    }
+
+    /// Number of stage reports recorded so far (a checkpoint for
+    /// [`discard_stages`](Self::discard_stages)).
+    pub fn mark(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Drops the reports in `[from, to)` — used by selectors that run
+    /// several pipelines and keep only the winner's trajectory.
+    pub fn discard_stages(&mut self, from: usize, to: usize) {
+        self.stages.drain(from..to.min(self.stages.len()));
+    }
+
+    /// Seals the context into an outcome around the final result.
+    pub fn finish(self, result: ScheduleResult) -> SolveOutcome {
+        debug_assert!(self.current.is_none(), "unfinished stage at finish");
+        SolveOutcome {
+            result,
+            stages: self.stages,
+            elapsed: self.start.elapsed(),
+            budget_exhausted: self.exhausted,
+        }
+    }
+}
+
+/// Runs a single-stage (non-anytime) scheduler under the request's clock:
+/// one `"run"` stage, one improvement event, never truncated. Baselines and
+/// stand-alone initializers are not anytime algorithms — they run to
+/// completion regardless of the budget, which keeps the "any budget yields
+/// a valid schedule" contract trivially.
+pub fn solve_single_stage(
+    scheduler: &str,
+    req: &SolveRequest<'_>,
+    run: impl FnOnce() -> ScheduleResult,
+) -> SolveOutcome {
+    let mut cx = SolveCx::new(scheduler, req);
+    cx.begin("run");
+    let result = run();
+    cx.improved(result.total());
+    cx.end(result.total(), false);
+    // A budget can be exhausted even though nothing was truncated (the
+    // stage is atomic); record it so callers can tell.
+    cx.check_expired();
+    cx.finish(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::DagBuilder;
+    use std::sync::Mutex;
+
+    fn tiny() -> (Dag, BspParams) {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(2, 1);
+        let v = b.add_node(3, 1);
+        b.add_edge(u, v).unwrap();
+        (b.build().unwrap(), BspParams::new(2, 1, 1))
+    }
+
+    #[test]
+    fn budget_builders() {
+        assert!(Budget::unlimited().is_unlimited());
+        let b = Budget::deadline(Duration::from_millis(5))
+            .without_ilp()
+            .with_max_stage_moves(10);
+        assert_eq!(b.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(b.ilp, Some(false));
+        assert_eq!(b.max_stage_moves, Some(10));
+        assert_eq!(Budget::expired().deadline, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn clamps_fold_budget_into_stage_configs() {
+        let (dag, machine) = tiny();
+        let req = SolveRequest::new(&dag, &machine)
+            .with_budget(Budget::deadline(Duration::from_secs(3600)).with_max_stage_moves(5));
+        let cx = SolveCx::new("t", &req);
+        // Remaining ≈ 1h, stage limit 1ms: stage limit wins.
+        assert_eq!(
+            cx.clamp_time(Some(Duration::from_millis(1))),
+            Some(Duration::from_millis(1))
+        );
+        // No stage limit: the budget's remaining time applies.
+        assert!(cx.clamp_time(None).unwrap() <= Duration::from_secs(3600));
+        assert_eq!(cx.clamp_moves(None), Some(5));
+        assert_eq!(cx.clamp_moves(Some(3)), Some(3));
+        assert_eq!(cx.clamp_moves(Some(9)), Some(5));
+        assert!(cx.ilp_enabled(true));
+        assert!(!cx.ilp_enabled(false));
+    }
+
+    #[test]
+    fn expired_budget_is_expired_immediately() {
+        let (dag, machine) = tiny();
+        let req = SolveRequest::new(&dag, &machine).with_budget(Budget::expired());
+        let mut cx = SolveCx::new("t", &req);
+        assert!(cx.check_expired());
+        assert_eq!(cx.remaining(), Some(Duration::ZERO));
+        assert_eq!(cx.clamp_time(None), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn single_stage_outcome_has_one_report() {
+        let (dag, machine) = tiny();
+        let req = SolveRequest::new(&dag, &machine);
+        let sched = crate::BspSchedule::from_parts(vec![0, 0], vec![0, 0]);
+        let out = solve_single_stage("t", &req, || {
+            ScheduleResult::from_lazy(&dag, &machine, sched)
+        });
+        assert_eq!(out.stages.len(), 1);
+        assert_eq!(out.stages[0].stage, "run");
+        assert_eq!(out.stages[0].cost_after, out.total());
+        assert!(!out.stages[0].truncated);
+        assert!(!out.budget_exhausted);
+    }
+
+    #[test]
+    fn observer_sees_stage_and_improvement_events() {
+        struct Recorder(Mutex<Vec<String>>);
+        impl Observer for Recorder {
+            fn on_stage_start(&self, s: &str, stage: &str) {
+                self.0.lock().unwrap().push(format!("start {s}/{stage}"));
+            }
+            fn on_improvement(&self, s: &str, ev: &ImprovementEvent<'_>) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("improve {s}/{} -> {}", ev.stage, ev.cost));
+            }
+            fn on_stage_end(&self, s: &str, r: &StageReport) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("end {s}/{} @ {}", r.stage, r.cost_after));
+            }
+        }
+        let (dag, machine) = tiny();
+        let rec = Recorder(Mutex::new(Vec::new()));
+        let req = SolveRequest::new(&dag, &machine).with_observer(&rec);
+        let mut cx = SolveCx::new("s", &req);
+        cx.begin("init");
+        cx.improved(10);
+        cx.end(10, false);
+        let out = cx.finish(ScheduleResult::from_lazy(
+            &dag,
+            &machine,
+            crate::BspSchedule::from_parts(vec![0, 0], vec![0, 0]),
+        ));
+        assert_eq!(out.stages.len(), 1);
+        let log = rec.0.lock().unwrap();
+        assert_eq!(
+            *log,
+            vec![
+                "start s/init".to_string(),
+                "improve s/init -> 10".to_string(),
+                "end s/init @ 10".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn auto_style_discard_keeps_the_winner_trajectory() {
+        let (dag, machine) = tiny();
+        let req = SolveRequest::new(&dag, &machine);
+        let mut cx = SolveCx::new("auto", &req);
+        let m0 = cx.mark();
+        cx.begin("init");
+        cx.end(20, false);
+        let m1 = cx.mark();
+        cx.begin("multilevel");
+        cx.end(15, false);
+        // Multilevel won: drop the base trajectory.
+        cx.discard_stages(m0, m1);
+        let out = cx.finish(ScheduleResult::from_lazy(
+            &dag,
+            &machine,
+            crate::BspSchedule::from_parts(vec![0, 0], vec![0, 0]),
+        ));
+        assert_eq!(out.stages.len(), 1);
+        assert_eq!(out.stages[0].stage, "multilevel");
+    }
+}

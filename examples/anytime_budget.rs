@@ -1,0 +1,113 @@
+//! The anytime solve API under shrinking budgets (and an observer watching
+//! the pipeline improve the schedule live).
+//!
+//! One NUMA instance is solved by the Figure-3 pipeline under three
+//! budgets: already expired (0 ms — the solve still returns a valid
+//! schedule, the best initialization), a 2-second deadline, and
+//! effectively unlimited. Every stage is monotone and truncation only
+//! stops the descent earlier, so the final cost is non-increasing as the
+//! budget grows — the example asserts exactly that.
+//!
+//! ```text
+//! cargo run --release --example anytime_budget
+//! ```
+
+use bsp_sched::dagdb::fine::cg_dag;
+use bsp_sched::dagdb::SparsePattern;
+use bsp_sched::prelude::*;
+use bsp_sched::schedule::validity::validate;
+use std::time::Duration;
+
+/// Prints every stage and improvement event as the solve runs.
+struct PrintObserver;
+
+impl Observer for PrintObserver {
+    fn on_improvement(&self, scheduler: &str, ev: &ImprovementEvent<'_>) {
+        println!(
+            "    [{:>8.2} ms] {scheduler}/{} improved the schedule to cost {}",
+            ev.elapsed.as_secs_f64() * 1e3,
+            ev.stage,
+            ev.cost
+        );
+    }
+    fn on_stage_end(&self, _scheduler: &str, report: &StageReport) {
+        println!(
+            "    stage {:<6} done at cost {}{}",
+            report.stage,
+            report.cost_after,
+            if report.truncated {
+                " (truncated by budget)"
+            } else {
+                ""
+            }
+        );
+    }
+}
+
+fn main() {
+    // A conjugate-gradient fine-grained DAG on an 8-processor NUMA machine
+    // with a strong hierarchy — the regime where local search has real work
+    // to do.
+    let dag = cg_dag(&SparsePattern::random_with_diagonal(12, 0.25, 5), 2);
+    let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 3));
+    println!(
+        "CG DAG: {} nodes, {} edges; P=8, NUMA Δ=3\n",
+        dag.n(),
+        dag.m()
+    );
+
+    let scheduler = Registry::standard()
+        .get("pipeline/base?ilp=off")
+        .expect("registered spec");
+
+    // Budget tiers chosen so the monotonicity assertion below is robust
+    // even on slow, loaded CI machines: the expired tier returns the best
+    // initialization (which every longer run also starts from and only
+    // improves), and the middle tier is generous enough that this small
+    // instance's local search (~20 ms here) always completes within it —
+    // making the two budgeted runs follow the identical deterministic
+    // descent. A tier that truncates mid-search would demo truncation more
+    // often but could not *guarantee* cross-budget monotonicity of the
+    // post-HCcs totals.
+    let budgets = [
+        ("expired (0 ms)", Budget::expired()),
+        ("2 s", Budget::deadline(Duration::from_secs(2))),
+        ("unlimited", Budget::unlimited()),
+    ];
+    let mut costs = Vec::new();
+    for (label, budget) in budgets {
+        println!("budget {label}:");
+        let out = scheduler.solve(
+            &SolveRequest::new(&dag, &machine)
+                .with_budget(budget)
+                .with_observer(&PrintObserver),
+        );
+        assert!(
+            validate(&dag, machine.p(), &out.result.sched, &out.result.comm).is_ok(),
+            "every budget must yield a valid schedule"
+        );
+        println!(
+            "  -> cost {} in {:.2} ms ({} stages{})\n",
+            out.total(),
+            out.elapsed.as_secs_f64() * 1e3,
+            out.stages.len(),
+            if out.budget_exhausted {
+                ", budget exhausted"
+            } else {
+                ""
+            }
+        );
+        costs.push(out.total());
+    }
+
+    // More budget never yields a worse schedule here: the expired run
+    // stops at the shared deterministic initialization, and both longer
+    // runs complete the same descent (see the budget-tier comment above).
+    for w in costs.windows(2) {
+        assert!(
+            w[1] <= w[0],
+            "cost must be monotone non-increasing as the budget grows: {costs:?}"
+        );
+    }
+    println!("cost trajectory across budgets: {costs:?} (monotone non-increasing)");
+}

@@ -5,8 +5,6 @@
 //! cargo run --release --example autotune_numa
 //! ```
 
-use bsp_sched::baselines::hdagg::HDaggConfig;
-use bsp_sched::baselines::{cilk_bsp, hdagg_schedule};
 use bsp_sched::core::auto::comm_dominance;
 use bsp_sched::dagdb::fine::cg_dag;
 use bsp_sched::dagdb::SparsePattern;
@@ -21,6 +19,11 @@ fn main() {
         "Δ", "CCR_λ", "strategy", "auto", "Cilk", "HDagg"
     );
 
+    // Baselines by spec string: only these two entries are constructed.
+    let registry = Registry::standard();
+    let cilk_s = registry.get("cilk?seed=42").expect("cilk registered");
+    let hdagg_s = registry.get("hdagg").expect("hdagg registered");
+
     let mut cfg = PipelineConfig::default();
     cfg.enable_ilp = false; // keep the sweep fast
     for delta in [0u64, 2, 3, 4] {
@@ -30,12 +33,8 @@ fn main() {
         }
         let dom = comm_dominance(&dag, &machine);
         let (result, strategy) = schedule_dag_auto(&dag, &machine, &cfg, &AutoConfig::default());
-        let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
-        let hdagg = lazy_cost(
-            &dag,
-            &machine,
-            &hdagg_schedule(&dag, &machine, HDaggConfig::default()),
-        );
+        let cilk = cilk_s.solve(&SolveRequest::new(&dag, &machine)).total();
+        let hdagg = hdagg_s.solve(&SolveRequest::new(&dag, &machine)).total();
         println!(
             "{:>3} {:>9.2} {:>12} {:>8} {:>8} {:>8}",
             delta,

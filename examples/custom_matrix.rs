@@ -60,9 +60,13 @@ fn main() {
     );
 
     let machine = BspParams::new(4, 3, 5);
-    let mut cfg = PipelineConfig::default();
-    cfg.ilp.limits.time_limit = std::time::Duration::from_millis(500);
-    let result = schedule_dag(&dag, &machine, &cfg);
+    // The base pipeline by spec string, with the per-window ILP budget
+    // tuned for interactive use.
+    let scheduler = Registry::standard()
+        .get("pipeline/base?ilp_ms=500")
+        .expect("registered spec");
+    let out = scheduler.solve(&SolveRequest::new(&dag, &machine));
+    let result = &out.result;
 
     println!();
     print!(
@@ -70,10 +74,11 @@ fn main() {
         schedule_to_text(&dag, &machine, &result.sched, Some(&result.comm))
     );
     println!();
-    println!(
-        "stage costs: init {} -> HC+HCcs {} -> ILP {}",
-        result.init_cost, result.hc_cost, result.cost
-    );
+    print!("stage costs:");
+    for st in &out.stages {
+        print!(" {} {} ->", st.stage, st.cost_after);
+    }
+    println!(" final {}", out.total());
 
     // Graphviz rendering of the first few supersteps (pipe into `dot -Tsvg`).
     let dot = schedule_to_dot(&dag, &result.sched);

@@ -9,7 +9,6 @@
 //! cargo run --release --example numa_multilevel
 //! ```
 
-use bsp_sched::core::multilevel::MultilevelConfig;
 use bsp_sched::dagdb::fine::cg_dag;
 use bsp_sched::dagdb::SparsePattern;
 use bsp_sched::prelude::*;
@@ -23,23 +22,28 @@ fn main() {
         "delta", "trivial", "base", "multilevel", "ml/base"
     );
 
+    // Both pipelines selected by spec string (ILP off keeps the sweep fast).
+    let registry = Registry::standard();
+    let base_s = registry.get("pipeline/base?ilp=off").expect("base spec");
+    let ml_s = registry
+        .get("pipeline/multilevel?ilp=off")
+        .expect("multilevel spec");
+
     for delta in [1u64, 2, 3, 4] {
         let machine = if delta == 1 {
             BspParams::new(8, 1, 5) // uniform
         } else {
             BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, delta))
         };
-        let mut cfg = PipelineConfig::default();
-        cfg.enable_ilp = false;
-        let base = schedule_dag(&dag, &machine, &cfg);
-        let ml = schedule_dag_multilevel(&dag, &machine, &cfg, &MultilevelConfig::default());
+        let base = base_s.solve(&SolveRequest::new(&dag, &machine));
+        let ml = ml_s.solve(&SolveRequest::new(&dag, &machine));
         println!(
             "{:>6} {:>10} {:>10} {:>10} {:>10.2}",
             delta,
             trivial_cost(&dag, &machine),
-            base.cost,
-            ml.cost,
-            ml.cost as f64 / base.cost as f64,
+            base.total(),
+            ml.total(),
+            ml.total() as f64 / base.total() as f64,
         );
     }
     println!("\n(ml/base < 1 means the multilevel scheduler wins — expected for large delta)");

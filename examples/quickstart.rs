@@ -60,16 +60,36 @@ fn main() {
     );
 
     // The same DAG through every scheduler in the registry — baselines,
-    // initializers, and pipelines behind the one `Scheduler` trait.
+    // initializers, and pipelines behind the one `Scheduler::solve` API.
     println!();
-    println!("the full suite, via bsp_sched::registry_default_fast() (ILP stages off):");
-    for scheduler in bsp_sched::registry_default_fast() {
-        let r = scheduler.schedule(&dag, &machine);
+    println!("the full suite, via Registry::standard() (ILP stages off):");
+    let registry = Registry::standard();
+    let fast = PipelineConfig {
+        enable_ilp: false,
+        ..PipelineConfig::default()
+    };
+    for entry in registry.entries() {
+        let scheduler = entry.build_default(&fast);
+        let out = scheduler.solve(&SolveRequest::new(&dag, &machine));
         println!(
-            "  {:<20} cost {:>4}  ({} supersteps)",
-            scheduler.name(),
-            r.total(),
-            r.cost.per_step.len()
+            "  {:<20} cost {:>4}  ({} supersteps, {} stages)",
+            entry.descriptor().spec(),
+            out.total(),
+            out.result.cost.per_step.len(),
+            out.stages.len()
         );
     }
+
+    // Spec strings select and tune a single scheduler without touching the
+    // rest of the suite (grammar: README § "Choosing a scheduler").
+    let tuned = registry
+        .get("pipeline/base?ilp=off&hc_iters=200")
+        .expect("valid spec");
+    let out = tuned.solve(&SolveRequest::new(&dag, &machine));
+    println!();
+    println!(
+        "pipeline/base?ilp=off&hc_iters=200 -> cost {} in {:.2} ms",
+        out.total(),
+        out.elapsed.as_secs_f64() * 1e3
+    );
 }

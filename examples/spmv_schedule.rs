@@ -6,8 +6,7 @@
 //! cargo run --release --example spmv_schedule
 //! ```
 
-use bsp_sched::baselines::hdagg::HDaggConfig;
-use bsp_sched::baselines::{blest_bsp, cilk_bsp, dsc_bsp, etf_bsp, etf_schedule, hdagg_schedule};
+use bsp_sched::baselines::etf_schedule;
 use bsp_sched::dagdb::fine::{exp_dag, spmv_dag};
 use bsp_sched::dagdb::SparsePattern;
 use bsp_sched::prelude::*;
@@ -24,21 +23,27 @@ fn main() {
     cfg.ilp.limits.max_nodes = 60;
     cfg.ilp.limits.time_limit = std::time::Duration::from_millis(300);
 
+    // All five comparison baselines, built by spec string.
+    let registry = Registry::standard();
+    let baseline = |spec: &str, dag: &Dag| {
+        registry
+            .get(spec)
+            .expect("registered baseline")
+            .solve(&SolveRequest::new(dag, &machine))
+            .total()
+    };
+
     for (name, dag) in [
         ("spmv (1 multiplication)", spmv_dag(&pattern)),
         ("exp  (A^4 u, 4 chained spmv)", exp_dag(&pattern, 4)),
     ] {
         println!("== {name}: n = {}, m = {} ==", dag.n(), dag.m());
 
-        let cilk = lazy_cost(&dag, &machine, &cilk_bsp(&dag, &machine, 42));
-        let hdagg = lazy_cost(
-            &dag,
-            &machine,
-            &hdagg_schedule(&dag, &machine, HDaggConfig::default()),
-        );
-        let blest = lazy_cost(&dag, &machine, &blest_bsp(&dag, &machine));
-        let etf = lazy_cost(&dag, &machine, &etf_bsp(&dag, &machine));
-        let dsc = lazy_cost(&dag, &machine, &dsc_bsp(&dag, &machine));
+        let cilk = baseline("cilk?seed=42", &dag);
+        let hdagg = baseline("hdagg", &dag);
+        let blest = baseline("bl-est", &dag);
+        let etf = baseline("etf", &dag);
+        let dsc = baseline("dsc", &dag);
 
         let result = schedule_dag(&dag, &machine, &cfg);
 

@@ -9,8 +9,13 @@
 //! scheduler.
 //!
 //! Every algorithm is also exposed behind the [`schedule::Scheduler`]
-//! trait; [`registry()`] enumerates them all for harnesses that iterate the
-//! suite polymorphically.
+//! trait's anytime `solve` API — [`SolveRequest`](prelude::SolveRequest) in
+//! (DAG + machine + [`Budget`](prelude::Budget) + seed + observer),
+//! [`SolveOutcome`](prelude::SolveOutcome) out (costed schedule + per-stage
+//! reports) — and catalogued in the spec-addressable [`Registry`]:
+//! `Registry::standard().get("pipeline/base?ilp=off&hc_iters=200")` builds
+//! exactly that scheduler. See the README's "Choosing a scheduler" section
+//! for the spec grammar and budget semantics.
 //!
 //! This façade crate re-exports the sub-crates; see each for details:
 //!
@@ -45,10 +50,13 @@ pub use bsp_schedule as schedule;
 
 pub mod registry;
 
-pub use registry::{registry, registry_default_fast, registry_of, registry_with};
+pub use registry::{
+    find, registry, registry_default_fast, registry_of, registry_with, Registry, RegistryEntry,
+};
 
 /// Common imports for applications.
 pub mod prelude {
+    pub use crate::registry::{Registry, RegistryEntry};
     pub use bsp_core::auto::{schedule_dag_auto, AutoConfig, Strategy};
     pub use bsp_core::pipeline::{
         schedule_dag, schedule_dag_multilevel, PipelineConfig, PipelineResult,
@@ -57,5 +65,9 @@ pub mod prelude {
     pub use bsp_model::{BspParams, NumaTopology};
     pub use bsp_schedule::cost::{lazy_cost, schedule_cost, total_cost};
     pub use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
+    pub use bsp_schedule::solve::{
+        Budget, ImprovementEvent, Observer, SolveOutcome, SolveRequest, StageReport,
+    };
+    pub use bsp_schedule::spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
     pub use bsp_schedule::{BspSchedule, CommSchedule};
 }

@@ -1,31 +1,426 @@
-//! The scheduler registry: every algorithm in the workspace behind one
-//! [`Scheduler`] vtable.
+//! The scheduler [`Registry`]: every algorithm in the workspace behind one
+//! spec-addressable catalogue.
 //!
-//! This is the single polymorphic entry point harnesses iterate — the
-//! experiment runner's baseline columns, the `registry` criterion bench,
-//! the `quickstart` example and the registry smoke test all consume it, so
-//! a newly implemented algorithm becomes visible to every harness by adding
-//! exactly one line to [`registry_with`].
+//! Each entry pairs a [`SchedulerDescriptor`] (stable name, family,
+//! NUMA-awareness, determinism, budget support, accepted parameters) with a
+//! factory, so harnesses can *list* the suite without constructing
+//! anything and *build* exactly the schedulers they need from spec strings
+//! like `"etf?numa=on"` or `"pipeline/base?ilp=off&hc_iters=200"` (grammar:
+//! [`SchedulerSpec`], README § "Choosing a scheduler"). The experiment
+//! runner, the `registry` criterion bench, the examples and the smoke tests
+//! all consume it, so a new algorithm becomes visible to every harness by
+//! adding exactly one entry to [`Registry::standard`].
 //!
 //! ```
 //! use bsp_sched::prelude::*;
 //!
 //! let dag = bsp_sched::dag::random::random_layered_dag(3, Default::default());
 //! let machine = BspParams::new(4, 2, 5);
-//! for s in bsp_sched::registry_default_fast() {
-//!     let r = s.schedule(&dag, &machine);
-//!     assert!(bsp_sched::schedule::validate(&dag, 4, &r.sched, &r.comm).is_ok());
+//! let registry = Registry::standard();
+//!
+//! // Spec-string lookup builds only the requested scheduler.
+//! let etf = registry.get("etf?numa=on").unwrap();
+//! let out = etf.solve(&SolveRequest::new(&dag, &machine));
+//! assert!(bsp_sched::schedule::validate(&dag, 4, &out.result.sched, &out.result.comm).is_ok());
+//!
+//! // Or iterate the whole suite.
+//! for s in registry.build_all(&PipelineConfig { enable_ilp: false, ..Default::default() }) {
+//!     let out = s.solve(&SolveRequest::new(&dag, &machine));
+//!     assert!(out.total() > 0);
 //! }
 //! ```
 
 use bsp_baselines::{BlestScheduler, CilkScheduler, DscScheduler, EtfScheduler, HDaggScheduler};
+use bsp_core::anneal::AnnealConfig;
 use bsp_core::auto::AutoConfig;
 use bsp_core::multilevel::MultilevelConfig;
-use bsp_core::pipeline::PipelineConfig;
+use bsp_core::pipeline::{EscapeSearch, PipelineConfig};
+use bsp_core::tabu::TabuConfig;
 use bsp_core::{AutoScheduler, BasePipeline, BspgInit, MultilevelPipeline, SourceInit};
 use bsp_schedule::scheduler::{SchedulerKind, SharedScheduler};
+use bsp_schedule::spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
+use std::time::Duration;
 
-/// Every scheduler in the workspace, with pipeline stages using
+/// Builds one configured scheduler from a parsed spec. The base
+/// `PipelineConfig` seeds the pipeline entries; spec parameters override it.
+type Factory = fn(&SchedulerSpec, &PipelineConfig) -> Result<SharedScheduler, SpecError>;
+
+/// One registry row: static metadata plus a factory.
+pub struct RegistryEntry {
+    descriptor: SchedulerDescriptor,
+    factory: Factory,
+}
+
+impl RegistryEntry {
+    /// The entry's static metadata.
+    pub fn descriptor(&self) -> &SchedulerDescriptor {
+        &self.descriptor
+    }
+
+    /// Builds the scheduler this spec configures. Fails on parameters the
+    /// entry does not accept or values that do not parse.
+    pub fn build(
+        &self,
+        spec: &SchedulerSpec,
+        base: &PipelineConfig,
+    ) -> Result<SharedScheduler, SpecError> {
+        spec.deny_unknown(self.descriptor.name, self.descriptor.params)?;
+        (self.factory)(spec, base)
+    }
+
+    /// Builds the entry's default configuration (a bare-name spec).
+    pub fn build_default(&self, base: &PipelineConfig) -> SharedScheduler {
+        self.build(&SchedulerSpec::bare(self.descriptor.name), base)
+            .expect("bare spec always builds")
+    }
+}
+
+/// The catalogue of registered schedulers, addressable by spec string.
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// Every scheduler in the workspace. Ordering is stable: baselines,
+    /// then initializers, then pipelines — the column order of the paper's
+    /// tables.
+    pub fn standard() -> Registry {
+        Registry {
+            entries: standard_entries(),
+        }
+    }
+
+    /// All rows, in registration order.
+    pub fn entries(&self) -> &[RegistryEntry] {
+        &self.entries
+    }
+
+    /// All descriptors, in registration order.
+    pub fn descriptors(&self) -> impl Iterator<Item = &SchedulerDescriptor> + '_ {
+        self.entries.iter().map(|e| &e.descriptor)
+    }
+
+    /// The entry named `name`, if registered.
+    pub fn entry(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries.iter().find(|e| e.descriptor.name == name)
+    }
+
+    /// Parses a spec string and builds exactly that scheduler (no other
+    /// entry is constructed), with `PipelineConfig::default()` seeding the
+    /// pipeline entries.
+    pub fn get(&self, spec: &str) -> Result<SharedScheduler, SpecError> {
+        self.get_with(spec, &PipelineConfig::default())
+    }
+
+    /// [`get`](Self::get) with an explicit base configuration — harnesses
+    /// that adapt budgets to instance size pass their tuned config here and
+    /// still let the spec override individual knobs.
+    pub fn get_with(
+        &self,
+        spec: &str,
+        base: &PipelineConfig,
+    ) -> Result<SharedScheduler, SpecError> {
+        let spec = SchedulerSpec::parse(spec)?;
+        let entry = self
+            .entry(spec.name())
+            .ok_or_else(|| SpecError::UnknownScheduler {
+                name: spec.name().to_string(),
+                known: self.descriptors().map(|d| d.name.to_string()).collect(),
+            })?;
+        entry.build(&spec, base)
+    }
+
+    /// Builds every entry at its default configuration.
+    pub fn build_all(&self, base: &PipelineConfig) -> Vec<SharedScheduler> {
+        self.entries.iter().map(|e| e.build_default(base)).collect()
+    }
+
+    /// Builds only the entries of one family, preserving order.
+    pub fn build_kind(&self, kind: SchedulerKind, base: &PipelineConfig) -> Vec<SharedScheduler> {
+        self.entries
+            .iter()
+            .filter(|e| e.descriptor.kind == kind)
+            .map(|e| e.build_default(base))
+            .collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+/// Spec keys every pipeline entry accepts (the shared tuning surface).
+const PIPELINE_PARAMS: &[&str] = &[
+    "ilp",
+    "ilp_ms",
+    "ilp_init",
+    "hc_iters",
+    "hc_ms",
+    "hccs_iters",
+    "hccs_ms",
+    "escape",
+];
+
+/// Applies the shared pipeline parameters to a copy of `base`.
+fn pipeline_cfg(spec: &SchedulerSpec, base: &PipelineConfig) -> Result<PipelineConfig, SpecError> {
+    let mut cfg = base.clone();
+    if let Some(ilp) = spec.bool_param("ilp")? {
+        cfg.enable_ilp = ilp;
+    }
+    if let Some(ms) = spec.u64_param("ilp_ms")? {
+        cfg.ilp.limits.time_limit = Duration::from_millis(ms);
+    }
+    if let Some(on) = spec.bool_param("ilp_init")? {
+        cfg.use_ilp_init = Some(on);
+    }
+    if let Some(n) = spec.usize_param("hc_iters")? {
+        cfg.hc.max_moves = Some(n);
+    }
+    if let Some(ms) = spec.u64_param("hc_ms")? {
+        cfg.hc.time_limit = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = spec.usize_param("hccs_iters")? {
+        cfg.hccs.max_moves = Some(n);
+    }
+    if let Some(ms) = spec.u64_param("hccs_ms")? {
+        cfg.hccs.time_limit = Some(Duration::from_millis(ms));
+    }
+    match spec.get("escape") {
+        None | Some("none") => {}
+        Some("anneal") => cfg.escape = Some(EscapeSearch::Anneal(AnnealConfig::default())),
+        Some("tabu") => cfg.escape = Some(EscapeSearch::Tabu(TabuConfig::default())),
+        Some(v) => {
+            return Err(SpecError::BadValue {
+                key: "escape".to_string(),
+                value: v.to_string(),
+                expected: "none|anneal|tabu",
+            })
+        }
+    }
+    Ok(cfg)
+}
+
+fn standard_entries() -> Vec<RegistryEntry> {
+    vec![
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "cilk",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &["seed"],
+                summary: "Cilk work-stealing baseline (deterministic steal stream)",
+            },
+            factory: |spec, _| {
+                let seed = spec.u64_param("seed")?.unwrap_or(42);
+                Ok(Box::new(CilkScheduler { seed }))
+            },
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "bl-est",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &["numa"],
+                summary: "BL-EST list scheduling (numa=on for per-pair λ EST)",
+            },
+            // `bl-est?numa=on` builds the same scheduler as the dedicated
+            // `bl-est-numa` entry below; the descriptor flags describe each
+            // entry's *default* configuration. Both addresses exist because
+            // the paper's tables treat the NUMA-aware variant as its own
+            // column (stable name `bl-est-numa`), while the spec parameter
+            // is the tuning-surface way to flip the extension.
+            factory: |spec, _| {
+                let numa_aware = spec.bool_param("numa")?.unwrap_or(false);
+                Ok(Box::new(BlestScheduler { numa_aware }))
+            },
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "bl-est-numa",
+                kind: SchedulerKind::Baseline,
+                numa_aware: true,
+                deterministic: true,
+                supports_budget: false,
+                params: &[],
+                summary: "BL-EST with the NUMA-aware per-pair λ EST extension (A.1)",
+            },
+            factory: |_, _| Ok(Box::new(BlestScheduler { numa_aware: true })),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "etf",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &["numa"],
+                summary: "ETF list scheduling (numa=on for per-pair λ EST)",
+            },
+            // Dual-addressed like `bl-est`: `etf?numa=on` ≡ `etf-numa`.
+            factory: |spec, _| {
+                let numa_aware = spec.bool_param("numa")?.unwrap_or(false);
+                Ok(Box::new(EtfScheduler { numa_aware }))
+            },
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "etf-numa",
+                kind: SchedulerKind::Baseline,
+                numa_aware: true,
+                deterministic: true,
+                supports_budget: false,
+                params: &[],
+                summary: "ETF with the NUMA-aware per-pair λ EST extension (A.1)",
+            },
+            factory: |_, _| Ok(Box::new(EtfScheduler { numa_aware: true })),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "hdagg",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &[],
+                summary: "HDagg wavefront aggregation baseline",
+            },
+            factory: |_, _| Ok(Box::new(HDaggScheduler::default())),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "dsc",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &[],
+                summary: "Dominant Sequence Clustering baseline",
+            },
+            factory: |_, _| Ok(Box::new(DscScheduler)),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "init/bspg",
+                kind: SchedulerKind::Initializer,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &[],
+                summary: "BSP-tailored greedy initializer (Algorithm 1), stand-alone",
+            },
+            factory: |_, _| Ok(Box::new(BspgInit)),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "init/source",
+                kind: SchedulerKind::Initializer,
+                numa_aware: false,
+                deterministic: true,
+                supports_budget: false,
+                params: &[],
+                summary: "wavefront initializer (Algorithm 2), stand-alone",
+            },
+            factory: |_, _| Ok(Box::new(SourceInit)),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "pipeline/base",
+                kind: SchedulerKind::Pipeline,
+                numa_aware: true,
+                deterministic: false,
+                supports_budget: true,
+                params: PIPELINE_PARAMS,
+                summary: "Figure-3 pipeline: init → HC/HCcs → ILP stages",
+            },
+            factory: |spec, base| {
+                Ok(Box::new(BasePipeline {
+                    cfg: pipeline_cfg(spec, base)?,
+                }))
+            },
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "pipeline/multilevel",
+                kind: SchedulerKind::Pipeline,
+                numa_aware: true,
+                deterministic: false,
+                supports_budget: true,
+                params: &[
+                    "ilp",
+                    "ilp_ms",
+                    "ilp_init",
+                    "hc_iters",
+                    "hc_ms",
+                    "hccs_iters",
+                    "hccs_ms",
+                    "escape",
+                    "ratio",
+                ],
+                summary: "Figure-4 pipeline: coarsen → solve → uncoarsen-refine",
+            },
+            factory: |spec, base| {
+                let mut ml = MultilevelConfig::default();
+                if let Some(r) = spec.f64_param("ratio")? {
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(SpecError::BadValue {
+                            key: "ratio".to_string(),
+                            value: r.to_string(),
+                            expected: "ratio in [0, 1]",
+                        });
+                    }
+                    ml.ratios = vec![r];
+                }
+                Ok(Box::new(MultilevelPipeline {
+                    cfg: pipeline_cfg(spec, base)?,
+                    ml,
+                }))
+            },
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "auto",
+                kind: SchedulerKind::Pipeline,
+                numa_aware: true,
+                deterministic: false,
+                supports_budget: true,
+                params: &[
+                    "ilp",
+                    "ilp_ms",
+                    "ilp_init",
+                    "hc_iters",
+                    "hc_ms",
+                    "hccs_iters",
+                    "hccs_ms",
+                    "escape",
+                    "ccr_lo",
+                    "ccr_hi",
+                ],
+                summary: "CCR-driven selector between the base and multilevel pipelines",
+            },
+            factory: |spec, base| {
+                let mut auto = AutoConfig::default();
+                if let Some(lo) = spec.f64_param("ccr_lo")? {
+                    auto.ccr_lo = lo;
+                }
+                if let Some(hi) = spec.f64_param("ccr_hi")? {
+                    auto.ccr_hi = hi;
+                }
+                Ok(Box::new(AutoScheduler {
+                    cfg: pipeline_cfg(spec, base)?,
+                    auto,
+                }))
+            },
+        },
+    ]
+}
+
+/// Every scheduler at default configuration, with pipeline stages using
 /// `PipelineConfig::default()` (full ILP budgets).
 pub fn registry() -> Vec<SharedScheduler> {
     registry_with(&PipelineConfig::default())
@@ -42,41 +437,20 @@ pub fn registry_default_fast() -> Vec<SharedScheduler> {
 
 /// Every scheduler in the workspace, with the three pipeline entries using
 /// the given stage budgets.
-///
-/// Ordering is stable: baselines, then initializers, then pipelines — the
-/// column order of the paper's tables.
 pub fn registry_with(cfg: &PipelineConfig) -> Vec<SharedScheduler> {
-    vec![
-        Box::new(CilkScheduler::default()),
-        Box::new(BlestScheduler { numa_aware: false }),
-        Box::new(BlestScheduler { numa_aware: true }),
-        Box::new(EtfScheduler { numa_aware: false }),
-        Box::new(EtfScheduler { numa_aware: true }),
-        Box::new(HDaggScheduler::default()),
-        Box::new(DscScheduler),
-        Box::new(BspgInit),
-        Box::new(SourceInit),
-        Box::new(BasePipeline { cfg: cfg.clone() }),
-        Box::new(MultilevelPipeline {
-            cfg: cfg.clone(),
-            ml: MultilevelConfig::default(),
-        }),
-        Box::new(AutoScheduler {
-            cfg: cfg.clone(),
-            auto: AutoConfig::default(),
-        }),
-    ]
+    Registry::standard().build_all(cfg)
 }
 
-/// The registry restricted to one family, preserving order.
+/// The registry restricted to one family, preserving order. Builds only
+/// that family's entries.
 pub fn registry_of(kind: SchedulerKind, cfg: &PipelineConfig) -> Vec<SharedScheduler> {
-    registry_with(cfg)
-        .into_iter()
-        .filter(|s| s.kind() == kind)
-        .collect()
+    Registry::standard().build_kind(kind, cfg)
 }
 
-/// Looks up a scheduler by its stable name (`"etf"`, `"pipeline/base"`, …).
-pub fn find(name: &str, cfg: &PipelineConfig) -> Option<SharedScheduler> {
-    registry_with(cfg).into_iter().find(|s| s.name() == name)
+/// Looks up a scheduler by spec string (`"etf"`, `"etf?numa=on"`,
+/// `"pipeline/base?ilp=off"`, …), building only the requested entry.
+/// Returns `None` for unknown names or invalid parameters; use
+/// [`Registry::get_with`] for the error detail.
+pub fn find(spec: &str, cfg: &PipelineConfig) -> Option<SharedScheduler> {
+    Registry::standard().get_with(spec, cfg).ok()
 }

@@ -1,6 +1,9 @@
-//! Registry smoke test: every registered scheduler must produce a valid,
-//! positive-cost schedule on a small layered DAG, under both a uniform and
-//! a NUMA machine, and registry names must be unique and stable.
+//! Registry smoke test: every registered scheduler must solve a small
+//! layered DAG through the `SolveRequest` API — under both a uniform and a
+//! NUMA machine, under unlimited *and* already-expired budgets — producing
+//! a valid, positive-cost schedule with a monotone stage-report trajectory.
+//! Registry names must be unique and stable, and spec-string lookup must
+//! build single entries.
 
 use bsp_sched::prelude::*;
 use bsp_sched::schedule::validity::validate;
@@ -17,25 +20,75 @@ fn small_dag() -> Dag {
     )
 }
 
+fn fast_cfg() -> PipelineConfig {
+    PipelineConfig {
+        enable_ilp: false,
+        ..Default::default()
+    }
+}
+
+/// Checks the outcome invariants every solve must satisfy: validity, cost
+/// consistency, and a monotone non-increasing stage trajectory that ends at
+/// the final cost.
+fn check_outcome(name: &str, dag: &Dag, machine: &BspParams, out: &SolveOutcome) {
+    let r = &out.result;
+    assert!(
+        validate(dag, machine.p(), &r.sched, &r.comm).is_ok(),
+        "{name} produced an invalid schedule"
+    );
+    assert!(out.total() > 0, "{name} reported zero cost");
+    assert_eq!(
+        out.total(),
+        total_cost(dag, machine, &r.sched, &r.comm),
+        "{name}'s reported cost disagrees with re-evaluation"
+    );
+    assert!(!out.stages.is_empty(), "{name} reported no stages");
+    for w in out.stages.windows(2) {
+        assert!(
+            w[1].cost_after <= w[0].cost_after,
+            "{name}: stage trajectory not monotone: {:?}",
+            out.stages
+        );
+    }
+    assert_eq!(
+        out.stages.last().unwrap().cost_after,
+        out.total(),
+        "{name}: last stage report disagrees with the final cost"
+    );
+}
+
 #[test]
-fn every_registered_scheduler_is_valid_on_a_small_dag() {
+fn every_registered_scheduler_solves_uniform_and_numa() {
     let dag = small_dag();
+    let registry = Registry::standard();
     for machine in [
         BspParams::new(4, 2, 5),
         BspParams::new(4, 2, 5).with_numa(NumaTopology::binary_tree(4, 3)),
     ] {
-        for s in bsp_sched::registry_default_fast() {
-            let r = s.schedule(&dag, &machine);
+        for entry in registry.entries() {
+            let s = entry.build_default(&fast_cfg());
+            let out = s.solve(&SolveRequest::new(&dag, &machine));
+            check_outcome(s.name(), &dag, &machine, &out);
+        }
+    }
+}
+
+#[test]
+fn every_registered_scheduler_survives_an_expired_budget() {
+    let dag = small_dag();
+    let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 3));
+    for entry in Registry::standard().entries() {
+        let s = entry.build_default(&fast_cfg());
+        let out = s.solve(
+            &SolveRequest::new(&dag, &machine)
+                .with_budget(Budget::expired())
+                .with_seed(11),
+        );
+        check_outcome(s.name(), &dag, &machine, &out);
+        if entry.descriptor().supports_budget {
             assert!(
-                validate(&dag, machine.p(), &r.sched, &r.comm).is_ok(),
-                "{} produced an invalid schedule",
-                s.name()
-            );
-            assert!(r.total() > 0, "{} reported zero cost", s.name());
-            assert_eq!(
-                r.total(),
-                total_cost(&dag, &machine, &r.sched, &r.comm),
-                "{}'s reported cost disagrees with re-evaluation",
+                out.budget_exhausted,
+                "{} ignored the expired deadline",
                 s.name()
             );
         }
@@ -44,13 +97,13 @@ fn every_registered_scheduler_is_valid_on_a_small_dag() {
 
 #[test]
 fn registry_has_the_full_suite_with_unique_names() {
-    let schedulers = bsp_sched::registry();
+    let registry = Registry::standard();
     assert!(
-        schedulers.len() >= 8,
+        registry.entries().len() >= 8,
         "registry shrank to {} entries",
-        schedulers.len()
+        registry.entries().len()
     );
-    let names: Vec<&str> = schedulers.iter().map(|s| s.name()).collect();
+    let names: Vec<&str> = registry.descriptors().map(|d| d.name).collect();
     let mut unique = names.clone();
     unique.sort_unstable();
     unique.dedup();
@@ -77,29 +130,70 @@ fn registry_has_the_full_suite_with_unique_names() {
             "registry lost {expected:?}: {names:?}"
         );
     }
-    // Every family is represented.
+    // Every family is represented, and built names match descriptors.
     for kind in [
         SchedulerKind::Baseline,
         SchedulerKind::Initializer,
         SchedulerKind::Pipeline,
     ] {
         assert!(
-            schedulers.iter().any(|s| s.kind() == kind),
+            registry.descriptors().any(|d| d.kind == kind),
             "no {kind:?} registered"
         );
+    }
+    for entry in registry.entries() {
+        let s = entry.build_default(&fast_cfg());
+        assert_eq!(s.name(), entry.descriptor().name);
+        assert_eq!(s.kind(), entry.descriptor().kind);
     }
 }
 
 #[test]
-fn find_returns_configured_pipelines() {
-    let cfg = PipelineConfig {
-        enable_ilp: false,
-        ..Default::default()
-    };
-    let base = bsp_sched::registry::find("pipeline/base", &cfg).expect("base pipeline registered");
+fn spec_lookup_builds_configured_single_entries() {
+    let registry = Registry::standard();
     let dag = small_dag();
     let machine = BspParams::new(4, 2, 5);
-    let r = base.schedule(&dag, &machine);
-    assert!(validate(&dag, 4, &r.sched, &r.comm).is_ok());
-    assert!(bsp_sched::registry::find("no-such-scheduler", &cfg).is_none());
+
+    let base = registry
+        .get("pipeline/base?ilp=off&hc_iters=200")
+        .expect("base pipeline spec");
+    let out = base.solve(&SolveRequest::new(&dag, &machine));
+    check_outcome("pipeline/base", &dag, &machine, &out);
+
+    // `?numa=on` reconfigures the plain list baselines into their
+    // NUMA-aware variants.
+    let etf = registry.get("etf?numa=on").expect("etf spec");
+    assert_eq!(etf.name(), "etf-numa");
+
+    // Errors carry enough context to act on.
+    assert!(matches!(
+        registry.get("no-such-scheduler"),
+        Err(SpecError::UnknownScheduler { .. })
+    ));
+    assert!(matches!(
+        registry.get("etf?nuna=on"),
+        Err(SpecError::UnknownParam { .. })
+    ));
+    assert!(matches!(
+        registry.get("pipeline/base?hc_iters=lots"),
+        Err(SpecError::BadValue { .. })
+    ));
+    assert!(bsp_sched::find("no-such-scheduler", &fast_cfg()).is_none());
+    assert!(bsp_sched::find("dsc", &fast_cfg()).is_some());
+}
+
+#[test]
+fn budget_deadline_reaches_the_pipeline_stages() {
+    // With an expired deadline the pipeline must stop after `init`; the
+    // stage reports say so explicitly.
+    let dag = small_dag();
+    let machine = BspParams::new(4, 2, 5);
+    let s = Registry::standard()
+        .get("pipeline/base?ilp=off")
+        .expect("base spec");
+    let out = s.solve(&SolveRequest::new(&dag, &machine).with_budget(Budget::expired()));
+    assert!(out.budget_exhausted);
+    assert!(out.stages.iter().any(|st| st.stage == "init"));
+    // The ILP stage can never run with an expired budget.
+    assert!(out.stages.iter().all(|st| st.stage != "ilp"));
 }
