@@ -198,8 +198,10 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
     if kind == DatasetKind::Huge {
         // 1 spmv + 2 each of exp/cg/knn + coarse traces in range.
         let mid = (lo + hi) / 2;
+        // Densities are clamped like in the sized sets below: `fit` probes
+        // small n first, where `c / n` exceeds 1 at aggressive scales.
         push_fit(&mut out, "fine/spmv/huge", lo, hi, mid / 40, |n| {
-            spmv_dag(&SparsePattern::random(n, 18.0 / n as f64, 900))
+            spmv_dag(&SparsePattern::random(n, (18.0 / n as f64).min(0.5), 900))
         });
         for (i, k) in [4usize, 10].iter().enumerate() {
             let k = *k;
@@ -211,7 +213,7 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
                 mid / (30 * k),
                 move |n| {
                     exp_dag(
-                        &SparsePattern::random(n, 12.0 / n as f64, 901 + i as u64),
+                        &SparsePattern::random(n, (12.0 / n as f64).min(0.5), 901 + i as u64),
                         k,
                     )
                 },
@@ -224,7 +226,11 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
                 mid / (80 * k),
                 move |n| {
                     cg_dag(
-                        &SparsePattern::random_with_diagonal(n, 8.0 / n as f64, 903 + i as u64),
+                        &SparsePattern::random_with_diagonal(
+                            n,
+                            (8.0 / n as f64).min(0.5),
+                            903 + i as u64,
+                        ),
                         k,
                     )
                 },
@@ -237,7 +243,11 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Vec<Instance> {
                 mid / (20 * k),
                 move |n| {
                     knn_dag(
-                        &SparsePattern::random_with_diagonal(n, 14.0 / n as f64, 905 + i as u64),
+                        &SparsePattern::random_with_diagonal(
+                            n,
+                            (14.0 / n as f64).min(0.6),
+                            905 + i as u64,
+                        ),
                         0,
                         k,
                     )

@@ -11,7 +11,9 @@
 //! * [`stencil1d_dag`] — `steps` iterations of a 3-point stencil over a
 //!   line of `width` cells (wavefront-parallel, locality-sensitive);
 //! * [`out_tree_dag`] / [`in_tree_dag`] — complete `arity`-ary
-//!   broadcast/reduction trees.
+//!   broadcast/reduction trees;
+//! * [`fork_join_dag`] — `stages` fork-join sections of `chains` parallel
+//!   chains, the canonical task-parallel (Cilk-style) program shape.
 //!
 //! All families carry the database weight rule of Appendix B
 //! (`w(v) = indeg − 1`, sources 1, `c(v) = 1`), so they drop into the same
@@ -136,6 +138,46 @@ pub fn in_tree_dag(depth: u32, arity: u32) -> Dag {
     build_with_db_weights(n, &edges)
 }
 
+/// Fork-join program of `stages` consecutive parallel sections: each
+/// section forks one coordinator node into `chains` independent chains of
+/// `depth` nodes, then joins them into the next coordinator — the textbook
+/// task-parallel shape (and the structure Cilk-style schedulers are built
+/// for).
+///
+/// Nodes per stage: `chains · depth + 1` (the join doubles as the next
+/// fork), plus the initial fork — `stages · (chains·depth + 1) + 1` total.
+///
+/// # Panics
+/// Panics if `chains`, `depth` or `stages` is 0.
+pub fn fork_join_dag(chains: usize, depth: usize, stages: usize) -> Dag {
+    assert!(
+        chains >= 1 && depth >= 1 && stages >= 1,
+        "fork-join needs chains, depth, stages >= 1"
+    );
+    let mut edges = Vec::with_capacity(stages * chains * (depth + 1));
+    let mut next: NodeId = 0;
+    let mut alloc = || {
+        let v = next;
+        next += 1;
+        v
+    };
+    let mut fork = alloc();
+    for _ in 0..stages {
+        let join = alloc();
+        for _ in 0..chains {
+            let mut prev = fork;
+            for _ in 0..depth {
+                let v = alloc();
+                edges.push((prev, v));
+                prev = v;
+            }
+            edges.push((prev, join));
+        }
+        fork = join;
+    }
+    build_with_db_weights(next as usize, &edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +287,27 @@ mod tests {
         assert_eq!(stencil1d_dag(1, 0).n(), 1);
         let b = butterfly_dag(1);
         assert_eq!(b.n(), 4);
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let dag = fork_join_dag(3, 2, 2);
+        check_weights(&dag);
+        assert_eq!(dag.n(), 2 * (3 * 2 + 1) + 1);
+        assert_eq!(dag.sources().len(), 1);
+        assert_eq!(dag.sinks().len(), 1);
+        // The fork has `chains` successors; the join has `chains` preds.
+        let fork = dag.sources()[0];
+        assert_eq!(dag.out_degree(fork), 3);
+        let sink = dag.sinks()[0];
+        assert_eq!(dag.in_degree(sink), 3);
+        // Depth: per stage, `depth` chain nodes + the join.
+        let topo = TopoInfo::new(&dag);
+        assert_eq!(topo.depth(), 1 + 2 * 3);
+        // Single chain, single stage degenerates to a path.
+        let path = fork_join_dag(1, 4, 1);
+        assert_eq!(path.n(), 6);
+        assert_eq!(path.m(), 5);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   against always-base and always-multilevel.
 
 use crate::metrics::{geomean, ratio};
-use crate::runner::{parallel_map, pipeline_config, EvalOptions, RunConfig};
+use crate::runner::{
+    dataset_dags, parallel_map, pipeline_config, EvalOptions, NamedDag, RunConfig,
+};
 use bsp_core::anneal::{simulated_annealing, AnnealConfig};
 use bsp_core::auto::{comm_dominance, schedule_dag_auto, AutoConfig, Strategy};
 use bsp_core::hc::{hill_climb, HillClimbConfig};
@@ -26,7 +28,7 @@ use bsp_core::state::ScheduleState;
 use bsp_core::steepest::hill_climb_steepest;
 use bsp_core::tabu::{tabu_search, TabuConfig};
 use bsp_dag::Dag;
-use bsp_dagdb::{dataset, DatasetKind, Instance};
+use bsp_dagdb::DatasetKind;
 use bsp_model::{BspParams, NumaTopology};
 use bsp_schedule::cost::lazy_cost;
 use bsp_schedule::scheduler::{Scheduler, SharedScheduler};
@@ -43,9 +45,9 @@ fn registered(spec: &str) -> SharedScheduler {
 
 const ELL: u64 = 5;
 
-fn small_instances(cfg: &RunConfig) -> Vec<Instance> {
-    let mut v = dataset(DatasetKind::Tiny, cfg.scale);
-    v.extend(dataset(DatasetKind::Small, cfg.scale));
+fn small_instances(cfg: &RunConfig) -> Vec<NamedDag> {
+    let mut v = dataset_dags(DatasetKind::Tiny, cfg.scale);
+    v.extend(dataset_dags(DatasetKind::Small, cfg.scale));
     v
 }
 
@@ -208,7 +210,7 @@ pub fn ablation_numa_est(cfg: &RunConfig) {
 
 /// Presolve ablation on full-window ILPs from tiny instances.
 pub fn ablation_presolve(cfg: &RunConfig) {
-    let insts = dataset(DatasetKind::Tiny, cfg.scale);
+    let insts = dataset_dags(DatasetKind::Tiny, cfg.scale);
     let limits = bsp_ilp::SolveLimits {
         max_nodes: 400,
         time_limit: Duration::from_secs(2),
@@ -273,7 +275,7 @@ pub fn ablation_presolve(cfg: &RunConfig) {
 
 /// Auto-selection ablation: CCR-driven strategy vs always-base / always-ML.
 pub fn ablation_auto(cfg: &RunConfig) {
-    let insts = dataset(DatasetKind::Small, cfg.scale);
+    let insts = dataset_dags(DatasetKind::Small, cfg.scale);
     let ps: &[usize] = if cfg.quick { &[8] } else { &[8, 16] };
     let deltas: &[u64] = &[0, 2, 4]; // 0 = uniform (no NUMA)
     let mut jobs = Vec::new();

@@ -1,0 +1,206 @@
+//! The `bench` command: machine-readable per-instance timings.
+//!
+//! Runs every `--sched` spec on every `--instances` spec (sensible
+//! defaults for both) and reports, per (instance, scheduler) pair, the
+//! solve wall-clock in nanoseconds alongside the achieved and trivial
+//! costs. With `--json <path>` the full report is written as indented
+//! JSON (`schema: "bsp-sched/bench-v1"`), establishing the `BENCH_*.json`
+//! perf-trajectory format: commit one per revision and diff them to see
+//! hot-path regressions.
+
+use crate::runner::{pipeline_config, resolve_instance_groups, EvalOptions, RunConfig};
+use bsp_instance::Instance;
+use bsp_schedule::solve::SolveRequest;
+use bsp_schedule::trivial::trivial_cost;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timed (instance, scheduler) measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// Resolved instance name (re-generatable spec).
+    pub instance: String,
+    /// Scheduler spec string.
+    pub sched: String,
+    /// Instance node count.
+    pub n: usize,
+    /// Instance edge count.
+    pub m: usize,
+    /// Machine processor count.
+    pub p: usize,
+    /// Achieved schedule cost.
+    pub cost: u64,
+    /// Trivial single-processor cost (the scale-free reference).
+    pub trivial: u64,
+    /// Solve wall-clock in nanoseconds.
+    pub nanos: u64,
+}
+
+/// The whole report: header plus per-pair runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Format marker for downstream tooling.
+    pub schema: String,
+    /// Whether `--quick` trimmed the defaults.
+    pub quick: bool,
+    /// Measurement concurrency — always 1: solves are timed sequentially
+    /// so `nanos` is comparable across revisions.
+    pub threads: usize,
+    /// All measurements, instance-major.
+    pub runs: Vec<BenchRun>,
+}
+
+/// Default instance specs: one representative of each catalogue corner.
+fn default_instance_specs(quick: bool) -> Vec<String> {
+    let mut v = vec![
+        "spmv?n=120&q=0.25 @ bsp?p=4&g=2".to_string(),
+        "butterfly?k=4 @ bsp?p=8&numa=tree&delta=3".to_string(),
+    ];
+    if !quick {
+        v.extend([
+            "sptrsv?n=80&q=0.3 @ bsp?p=4&g=2".to_string(),
+            "forkjoin?chains=4&depth=3&stages=3 @ bsp?p=8".to_string(),
+            "erdos?n=80&q=0.08 @ bsp?p=8&numa=ring".to_string(),
+            "stencil?width=20&steps=10 @ bsp?p=8&numa=sockets&sockets=2&delta=4".to_string(),
+        ]);
+    }
+    v
+}
+
+/// Runs the bench sweep, prints a human summary, and writes the JSON
+/// report to `--json <path>` when given.
+pub fn bench(cfg: &RunConfig) {
+    let inst_specs = if cfg.instances.is_empty() {
+        default_instance_specs(cfg.quick)
+    } else {
+        cfg.instances.clone()
+    };
+    let sched_specs: Vec<String> = if cfg.scheds.is_empty() {
+        [
+            "cilk",
+            "hdagg",
+            "bl-est",
+            "etf",
+            "init/bspg",
+            "init/source",
+            "pipeline/base?ilp=off",
+        ]
+        .map(str::to_string)
+        .into()
+    } else {
+        cfg.scheds.clone()
+    };
+
+    let insts: Vec<Instance> = resolve_instance_groups(&inst_specs)
+        .into_iter()
+        .flat_map(|(_, insts)| insts)
+        .collect();
+    let max_n = insts.iter().map(|i| i.dag.n()).max().unwrap_or(0);
+    let base = pipeline_config(max_n, EvalOptions::default());
+    let sched_registry = bsp_sched::Registry::standard();
+    let schedulers: Vec<_> = sched_specs
+        .iter()
+        .map(|spec| {
+            sched_registry
+                .get_with(spec, &base)
+                .unwrap_or_else(|e| panic!("--sched {spec:?}: {e}"))
+        })
+        .collect();
+
+    eprintln!(
+        "[bench] {} instances x {} schedulers, timed sequentially",
+        insts.len(),
+        schedulers.len(),
+    );
+    // Solves are timed one at a time: concurrent measurement would fold
+    // sibling contention into `nanos` and make BENCH_*.json diffs report
+    // scheduling noise as perf changes.
+    let mut runs = Vec::with_capacity(insts.len() * schedulers.len());
+    for inst in &insts {
+        for (sched, spec) in schedulers.iter().zip(&sched_specs) {
+            let req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(cfg.budget());
+            let t0 = Instant::now();
+            let out = sched.solve(&req);
+            let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            runs.push(BenchRun {
+                instance: inst.name.clone(),
+                sched: spec.clone(),
+                n: inst.dag.n(),
+                m: inst.dag.m(),
+                p: inst.machine.p(),
+                cost: out.total(),
+                trivial: trivial_cost(&inst.dag, &inst.machine),
+                nanos,
+            });
+        }
+    }
+
+    println!(
+        "{:<44} {:<24} {:>7} {:>10} {:>12}",
+        "instance", "sched", "n", "cost", "time"
+    );
+    for r in &runs {
+        println!(
+            "{:<44} {:<24} {:>7} {:>10} {:>9.2} ms",
+            truncated(&r.instance, 44),
+            r.sched,
+            r.n,
+            r.cost,
+            r.nanos as f64 / 1e6
+        );
+    }
+
+    let report = BenchReport {
+        schema: "bsp-sched/bench-v1".to_string(),
+        quick: cfg.quick,
+        threads: 1,
+        runs,
+    };
+    if let Some(path) = &cfg.json {
+        let text = serde::json::to_string_pretty(&report);
+        std::fs::write(path, text + "\n")
+            .unwrap_or_else(|e| panic!("writing --json {}: {e}", path.display()));
+        println!(
+            "\nwrote {} runs to {} (schema {})",
+            report.runs.len(),
+            path.display(),
+            report.schema
+        );
+    }
+}
+
+fn truncated(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_round_trips_through_json() {
+        let report = BenchReport {
+            schema: "bsp-sched/bench-v1".to_string(),
+            quick: true,
+            threads: 4,
+            runs: vec![BenchRun {
+                instance: "spmv?n=120&q=0.25&seed=42 @ bsp?p=4&g=2".to_string(),
+                sched: "etf".to_string(),
+                n: 120,
+                m: 300,
+                p: 4,
+                cost: 999,
+                trivial: 1500,
+                nanos: 123_456_789,
+            }],
+        };
+        let text = serde::json::to_string_pretty(&report);
+        let back: BenchReport = serde::json::from_str(&text).expect("report parses back");
+        assert_eq!(back, report);
+    }
+}

@@ -3,18 +3,24 @@
 //!
 //! ```text
 //! cargo run -p bsp-experiments --release -- table1 [--scale 0.15] [--threads N]
-//! cargo run -p bsp-experiments --release -- registry   # descriptor catalogue + health
+//! cargo run -p bsp-experiments --release -- registry   # descriptor catalogues + health
 //! cargo run -p bsp-experiments --release -- solve --sched "pipeline/base?ilp=off" --budget-ms 250
+//! cargo run -p bsp-experiments --release -- bench --instances "spmv?n=500 @ bsp?p=8" --json out.json
 //! cargo run -p bsp-experiments --release -- all
 //! ```
 //!
 //! `--sched <spec>` (repeatable) selects schedulers by spec string for the
-//! `registry` and `solve` commands — `"etf?numa=on"`,
+//! `registry`, `solve` and `bench` commands — `"etf?numa=on"`,
 //! `"pipeline/base?ilp=off&hc_iters=200"` (grammar: README § "Choosing a
-//! scheduler"). `--budget-ms <N>` puts a wall-clock deadline on every
-//! pipeline solve of the table sweeps and the `registry`/`solve` commands;
-//! the ablation studies keep their own matched budgets and reject the
-//! flag.
+//! scheduler"). `--instances <spec>` (repeatable) selects problem
+//! instances for the same commands through the instance registry —
+//! `"spmv?n=1000&q=0.3 @ bsp?p=8&numa=tree"` (grammar: README §
+//! "Instances & machines"); the table sweeps themselves fetch their
+//! datasets through the same API (`dataset/<kind>?scale=…`). `--json
+//! <path>` makes `bench` write its machine-readable timing report there.
+//! `--budget-ms <N>` puts a wall-clock deadline on every pipeline solve
+//! of the table sweeps and the `registry`/`solve`/`bench` commands; the
+//! ablation studies keep their own matched budgets and reject the flag.
 //!
 //! Defaults are scaled down (instances and budgets) so a full sweep runs on
 //! a laptop; `--scale 1.0` restores paper-sized instances. Absolute costs
@@ -22,6 +28,7 @@
 //! reproduce its comparisons.
 
 mod ablations;
+mod bench;
 mod metrics;
 mod runner;
 mod tables;
@@ -48,6 +55,14 @@ fn main() {
                 i += 1;
                 cfg.scheds.push(args[i].clone());
             }
+            "--instances" => {
+                i += 1;
+                cfg.instances.push(args[i].clone());
+            }
+            "--json" => {
+                i += 1;
+                cfg.json = Some(args[i].clone().into());
+            }
             "--budget-ms" => {
                 i += 1;
                 cfg.budget_ms = Some(args[i].parse().expect("--budget-ms takes milliseconds"));
@@ -60,8 +75,14 @@ fn main() {
     let id = id.unwrap_or_else(|| "all".to_string());
     // Reject flag/command combinations that would otherwise be silently
     // ignored.
-    if !cfg.scheds.is_empty() && !matches!(id.as_str(), "registry" | "solve") {
-        panic!("--sched applies only to the `registry` and `solve` commands");
+    if !cfg.scheds.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench") {
+        panic!("--sched applies only to the `registry`, `solve` and `bench` commands");
+    }
+    if !cfg.instances.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench") {
+        panic!("--instances applies only to the `registry`, `solve` and `bench` commands");
+    }
+    if cfg.json.is_some() && id != "bench" {
+        panic!("--json applies only to the `bench` command");
     }
     if cfg.budget_ms.is_some() && (id.starts_with("ablation") || id == "all") {
         panic!("--budget-ms does not apply to the ablation studies (matched internal budgets)");
@@ -90,6 +111,7 @@ fn main() {
             "trivial" => tables::trivial_counts(&cfg),
             "registry" => tables::registry_overview(&cfg),
             "solve" => tables::solve_specs(&cfg),
+            "bench" => bench::bench(&cfg),
             "ablation" => ablations::all(&cfg),
             "ablation-ls" => ablations::ablation_local_search(&cfg),
             "ablation-est" => ablations::ablation_numa_est(&cfg),

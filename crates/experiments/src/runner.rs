@@ -6,11 +6,22 @@ use bsp_core::ilp::IlpConfig;
 use bsp_core::multilevel::MultilevelConfig;
 use bsp_core::pipeline::{solve_base_pipeline, solve_multilevel_pipeline, PipelineConfig};
 use bsp_dag::Dag;
+use bsp_dagdb::DatasetKind;
+use bsp_instance::{InstanceRegistry, DEFAULT_SEED};
 use bsp_model::BspParams;
 use bsp_schedule::solve::{Budget, SolveCx, SolveRequest};
 use bsp_schedule::trivial::trivial_cost;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// The worker-thread fallback every sweep entry point shares: the
+/// machine's available parallelism, or 4 when undetectable.
+pub fn detect_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
 
 /// Global run options.
 #[derive(Debug, Clone)]
@@ -24,8 +35,13 @@ pub struct RunConfig {
     /// Scheduler spec strings selected with `--sched` (empty = command
     /// default, usually the whole registry).
     pub scheds: Vec<String>,
+    /// Instance spec strings selected with `--instances` (empty = command
+    /// default), resolved through [`bsp_instance::InstanceRegistry`].
+    pub instances: Vec<String>,
     /// Per-solve wall-clock budget from `--budget-ms`.
     pub budget_ms: Option<u64>,
+    /// Machine-readable output path from `--json` (the `bench` command).
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -42,14 +58,60 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             scale: 0.12,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: detect_threads(),
             quick: false,
             scheds: Vec::new(),
+            instances: Vec::new(),
             budget_ms: None,
+            json: None,
         }
     }
+}
+
+/// A named DAG from the instance registry — the unit the table sweeps
+/// pair with their machine grids (the machine clause of the spec, if any,
+/// is validated but the grids supply their own machines).
+#[derive(Debug, Clone)]
+pub struct NamedDag {
+    /// Member name as resolved by the registry.
+    pub name: String,
+    /// The generated DAG.
+    pub dag: Dag,
+}
+
+/// Resolves an instance spec's DAG side through
+/// [`InstanceRegistry::standard`], panicking with the spec and registry
+/// error on failure (CLI surface: a bad `--instances` should abort).
+pub fn instance_dags(spec: &str) -> Vec<NamedDag> {
+    InstanceRegistry::standard()
+        .dags(spec, DEFAULT_SEED)
+        .unwrap_or_else(|e| panic!("instance spec {spec:?}: {e}"))
+        .into_iter()
+        .map(|(name, dag)| NamedDag { name, dag })
+        .collect()
+}
+
+/// The paper's datasets, fetched through the spec-addressable instance
+/// API (`dataset/<kind>?scale=…`) rather than private constructors.
+pub fn dataset_dags(kind: DatasetKind, scale: f64) -> Vec<NamedDag> {
+    instance_dags(&format!("dataset/{}?scale={scale}", kind.name()))
+}
+
+/// Resolves each full `--instances` spec (`dag?… @ bsp?…`) into its
+/// instances, keeping the spec alongside its expansion. The one
+/// resolve-or-abort path shared by the `registry`, `solve` and `bench`
+/// commands; callers supply their own defaults.
+pub fn resolve_instance_groups(specs: &[String]) -> Vec<(String, Vec<bsp_instance::Instance>)> {
+    let registry = InstanceRegistry::standard();
+    specs
+        .iter()
+        .map(|spec| {
+            let insts = registry
+                .generate(spec, DEFAULT_SEED)
+                .unwrap_or_else(|e| panic!("--instances {spec:?}: {e}"));
+            (spec.clone(), insts)
+        })
+        .collect()
 }
 
 /// What to compute for an instance.
@@ -68,8 +130,9 @@ pub struct EvalOptions {
 
 /// All costs measured for one (instance, machine) pair. Baseline schedules
 /// are evaluated under the paper's cost model with lazy Γ; the pipeline
-/// stages use their optimized Γ.
-#[derive(Debug, Clone)]
+/// stages use their optimized Γ. Serializes to JSON so sweep results can
+/// be saved, diffed across revisions, and replayed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Eval {
     /// Instance name.
     pub name: String,
@@ -239,4 +302,48 @@ where
     out.into_iter()
         .map(|r| r.expect("worker completed every job"))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_round_trips_through_json() {
+        let eval = Eval {
+            name: "fine/spmv/mid".to_string(),
+            n: 123,
+            trivial: 456,
+            cilk: 400,
+            hdagg: 390,
+            blest: 0,
+            etf: 0,
+            init: 380,
+            hc: 350,
+            part: 340,
+            ours: 330,
+            ml15: u64::MAX, // the "not run" sentinel must survive
+            ml30: 320,
+        };
+        let text = serde::json::to_string(&eval);
+        let back: Eval = serde::json::from_str(&text).expect("eval parses back");
+        assert_eq!(back, eval);
+        assert_eq!(back.ml_opt(), 320);
+    }
+
+    #[test]
+    fn dataset_dags_go_through_the_instance_registry() {
+        let dags = dataset_dags(DatasetKind::Tiny, 0.5);
+        assert!(!dags.is_empty());
+        for d in &dags {
+            assert!(d.name.starts_with("dataset/tiny?scale=0.5#"), "{}", d.name);
+            assert!(d.dag.n() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "instance spec")]
+    fn bad_instance_specs_abort_with_context() {
+        instance_dags("no-such-family?x=1");
+    }
 }

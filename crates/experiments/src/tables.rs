@@ -1,18 +1,22 @@
 //! One function per paper table/figure group.
 
 use crate::metrics::{geomean, ratio, reduction_pct};
-use crate::runner::{evaluate, parallel_map, pipeline_config, Eval, EvalOptions, RunConfig};
+use crate::runner::{
+    dataset_dags, evaluate, instance_dags, parallel_map, pipeline_config, resolve_instance_groups,
+    Eval, EvalOptions, NamedDag, RunConfig,
+};
 use bsp_core::ilp::init::ilp_init;
 use bsp_core::init::{bspg_schedule, source_schedule};
-use bsp_dagdb::{dataset, training_set, DatasetKind, Instance};
-use bsp_model::{BspParams, NumaTopology};
+use bsp_dagdb::DatasetKind;
+use bsp_instance::{Instance, MachineSpec, NumaSpec};
+use bsp_model::BspParams;
 use bsp_schedule::cost::lazy_cost;
 use bsp_schedule::scheduler::Scheduler;
 use bsp_schedule::solve::SolveRequest;
 
 const ELL: u64 = 5;
 
-fn datasets(cfg: &RunConfig) -> Vec<(DatasetKind, Vec<Instance>)> {
+fn datasets(cfg: &RunConfig) -> Vec<(DatasetKind, Vec<NamedDag>)> {
     let kinds: &[DatasetKind] = if cfg.quick {
         &[DatasetKind::Tiny, DatasetKind::Small]
     } else {
@@ -23,7 +27,10 @@ fn datasets(cfg: &RunConfig) -> Vec<(DatasetKind, Vec<Instance>)> {
             DatasetKind::Large,
         ]
     };
-    kinds.iter().map(|&k| (k, dataset(k, cfg.scale))).collect()
+    kinds
+        .iter()
+        .map(|&k| (k, dataset_dags(k, cfg.scale)))
+        .collect()
 }
 
 fn grid_p(cfg: &RunConfig) -> Vec<usize> {
@@ -48,17 +55,22 @@ struct Job {
     p: usize,
     g: u64,
     delta: u64, // 0 = uniform
-    inst: Instance,
+    inst: NamedDag,
     opts: EvalOptions,
 }
 
 fn machine_of(job: &Job) -> BspParams {
-    let m = BspParams::new(job.p, job.g, ELL);
-    if job.delta > 0 {
-        m.with_numa(NumaTopology::binary_tree(job.p, job.delta))
-    } else {
-        m
+    MachineSpec {
+        p: job.p,
+        g: job.g,
+        l: ELL,
+        numa: if job.delta > 0 {
+            NumaSpec::Tree { delta: job.delta }
+        } else {
+            NumaSpec::Uniform
+        },
     }
+    .build()
 }
 
 fn run_jobs(cfg: &RunConfig, jobs: Vec<Job>) -> Vec<(DatasetKind, usize, u64, u64, Eval)> {
@@ -377,7 +389,7 @@ pub fn table9(cfg: &RunConfig) {
     } else {
         DatasetKind::Medium
     };
-    let insts = dataset(kind, cfg.scale);
+    let insts = dataset_dags(kind, cfg.scale);
     let opts = EvalOptions {
         ilp: true,
         budget: cfg.budget(),
@@ -391,7 +403,7 @@ pub fn table9(cfg: &RunConfig) {
         }
     }
     let results = parallel_map(cfg.threads, jobs, |(l, inst)| {
-        let machine = BspParams::new(8, 1, *l);
+        let machine = MachineSpec::uniform(8, 1, *l).build();
         (*l, evaluate(&inst.name, &inst.dag, &machine, opts))
     });
     println!("reduction vs Cilk / HDagg on {} (g=1, P=8):", kind.name());
@@ -641,7 +653,7 @@ fn trivial_print(results: &[(DatasetKind, usize, u64, u64, Eval)]) {
 /// Tables 11 + Figure 7 (App. C.5): the huge dataset without NUMA,
 /// Init + HC + HCcs only.
 pub fn table11_and_fig7(cfg: &RunConfig) {
-    let insts = dataset(DatasetKind::Huge, cfg.scale);
+    let insts = dataset_dags(DatasetKind::Huge, cfg.scale);
     let opts = EvalOptions {
         budget: cfg.budget(),
         ..Default::default()
@@ -703,7 +715,7 @@ pub fn table11_and_fig7(cfg: &RunConfig) {
 
 /// Table 12 (App. C.5): huge dataset with NUMA.
 pub fn table12(cfg: &RunConfig) {
-    let insts = dataset(DatasetKind::Huge, cfg.scale);
+    let insts = dataset_dags(DatasetKind::Huge, cfg.scale);
     let opts = EvalOptions {
         budget: cfg.budget(),
         ..Default::default()
@@ -732,7 +744,7 @@ pub fn table12(cfg: &RunConfig) {
 
 /// Tables 4 + 5 (App. C.1): which initializer wins on the training set.
 pub fn table4_and_5(cfg: &RunConfig) {
-    let insts = training_set(cfg.scale.max(0.1));
+    let insts = instance_dags(&format!("dataset/training?scale={}", cfg.scale.max(0.1)));
     let mut jobs = Vec::new();
     for p in grid_p(cfg) {
         for g in grid_g(cfg) {
@@ -842,12 +854,14 @@ fn numa_grid<F: Fn(&[&Eval]) -> String>(
     }
 }
 
-/// Registry overview: the descriptor catalogue (name, family, flags, spec
-/// string), then every scheduler on the tiny + small datasets, reported as
-/// geomean cost ratio vs the trivial single-processor schedule. Not a paper
-/// table — a health dashboard for the whole suite that grows automatically
-/// as algorithms are registered. Respects `--sched` (subset) and
-/// `--budget-ms` (per-solve deadline).
+/// Registry overview: the scheduler *and* instance catalogues (names,
+/// families, flags, spec strings), then every scheduler on the selected
+/// instances, reported as geomean cost ratio vs the trivial
+/// single-processor schedule. Not a paper table — a health dashboard for
+/// the whole suite that grows automatically as algorithms and instance
+/// families are registered. Respects `--sched` (scheduler subset),
+/// `--instances` (full `dag @ machine` specs; default: the tiny/small
+/// datasets on the two reference machines) and `--budget-ms`.
 pub fn registry_overview(cfg: &RunConfig) {
     use bsp_schedule::trivial::trivial_cost;
 
@@ -872,23 +886,42 @@ pub fn registry_overview(cfg: &RunConfig) {
             d.summary
         );
     }
+    let instance_registry = bsp_sched::instances();
+    println!(
+        "\nregistered instance families ({} entries):",
+        instance_registry.sources().len()
+    );
+    println!("  {:<18} {:<12} {:>5}  summary", "spec", "family", "batch");
+    for d in instance_registry.descriptors() {
+        println!(
+            "  {:<18} {:<12} {:>5}  {}",
+            d.spec(),
+            format!("{:?}", d.family).to_lowercase(),
+            if d.batch { "yes" } else { "-" },
+            d.summary
+        );
+    }
     println!();
 
-    let mut insts = dataset(DatasetKind::Tiny, cfg.scale);
-    if !cfg.quick {
-        insts.extend(dataset(DatasetKind::Small, cfg.scale));
-    }
-    let machines = [
-        ("P=4 uniform g=3", BspParams::new(4, 3, ELL)),
-        (
-            "P=8 numa d=3 g=1",
-            BspParams::new(8, 1, ELL).with_numa(NumaTopology::binary_tree(8, 3)),
-        ),
-    ];
-    let base = pipeline_config(
-        insts.iter().map(|i| i.dag.n()).max().unwrap_or(0),
-        EvalOptions::default(),
-    );
+    let inst_specs: Vec<String> = if cfg.instances.is_empty() {
+        let mut v = vec![format!("dataset/tiny?scale={} @ bsp?p=4&g=3", cfg.scale)];
+        if !cfg.quick {
+            v.push(format!(
+                "dataset/small?scale={} @ bsp?p=8&numa=tree&delta=3",
+                cfg.scale
+            ));
+        }
+        v
+    } else {
+        cfg.instances.clone()
+    };
+    let groups: Vec<(String, Vec<Instance>)> = resolve_instance_groups(&inst_specs);
+    let max_n = groups
+        .iter()
+        .flat_map(|(_, insts)| insts.iter().map(|i| i.dag.n()))
+        .max()
+        .unwrap_or(0);
+    let base = pipeline_config(max_n, EvalOptions::default());
     let specs: Vec<String> = if cfg.scheds.is_empty() {
         registry.descriptors().map(|d| d.spec()).collect()
     } else {
@@ -903,13 +936,12 @@ pub fn registry_overview(cfg: &RunConfig) {
         })
         .collect();
     eprintln!(
-        "[registry] {} schedulers x {} instances x {} machines on {} threads",
+        "[registry] {} schedulers x {} instance groups on {} threads",
         schedulers.len(),
-        insts.len(),
-        machines.len(),
+        groups.len(),
         cfg.threads
     );
-    for (mname, machine) in &machines {
+    for (gname, insts) in &groups {
         // Rows are keyed by spec index, not scheduler name — two specs may
         // configure the same entry differently and must not pool.
         let jobs: Vec<_> = schedulers
@@ -918,11 +950,17 @@ pub fn registry_overview(cfg: &RunConfig) {
             .flat_map(|(i, s)| insts.iter().map(move |inst| (i, s, inst)))
             .collect();
         let rows = parallel_map(cfg.threads, jobs, |(i, s, inst)| {
-            let req = SolveRequest::new(&inst.dag, machine).with_budget(cfg.budget());
+            let req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(cfg.budget());
             let out = s.solve(&req);
-            (*i, ratio(out.total(), trivial_cost(&inst.dag, machine)))
+            (
+                *i,
+                ratio(out.total(), trivial_cost(&inst.dag, &inst.machine)),
+            )
         });
-        println!("machine {mname} (geomean cost / trivial; lower is better):");
+        println!(
+            "instances {gname} ({} members; geomean cost / trivial; lower is better):",
+            insts.len()
+        );
         for (i, spec) in specs.iter().enumerate() {
             let rs: Vec<f64> = rows
                 .iter()
@@ -935,9 +973,12 @@ pub fn registry_overview(cfg: &RunConfig) {
 }
 
 /// The `solve` command: run the `--sched` specs (default: the three
-/// pipelines) on a NUMA test instance under the `--budget-ms` deadline,
-/// printing the per-stage reports of each solve — the CLI window into the
-/// anytime API.
+/// pipelines) on an instance named by `--instances` (default: the last
+/// member of the small dataset on the P=8 NUMA reference machine) under
+/// the `--budget-ms` deadline, printing the per-stage reports of each
+/// solve — the CLI window into the anytime API. Batch instance specs
+/// contribute their last (largest) member; every `--instances` spec gets
+/// its own block.
 pub fn solve_specs(cfg: &RunConfig) {
     let registry = bsp_sched::Registry::standard();
     let specs: Vec<String> = if cfg.scheds.is_empty() {
@@ -949,40 +990,50 @@ pub fn solve_specs(cfg: &RunConfig) {
     } else {
         cfg.scheds.clone()
     };
-    let insts = dataset(DatasetKind::Small, cfg.scale);
-    let inst = insts.last().expect("small dataset is non-empty");
-    let machine = BspParams::new(8, 1, ELL).with_numa(NumaTopology::binary_tree(8, 3));
-    let base = pipeline_config(inst.dag.n(), EvalOptions::default());
-    println!(
-        "instance {} (n = {}), machine P=8 NUMA Δ=3, budget {:?}",
-        inst.name,
-        inst.dag.n(),
-        cfg.budget().deadline
-    );
-    for spec in &specs {
-        let s = registry
-            .get_with(spec, &base)
-            .unwrap_or_else(|e| panic!("--sched {spec:?}: {e}"));
-        let req = SolveRequest::new(&inst.dag, &machine).with_budget(cfg.budget());
-        let out = s.solve(&req);
+    let inst_specs: Vec<String> = if cfg.instances.is_empty() {
+        vec![format!(
+            "dataset/small?scale={} @ bsp?p=8&numa=tree&delta=3",
+            cfg.scale
+        )]
+    } else {
+        cfg.instances.clone()
+    };
+    for (_spec, insts) in resolve_instance_groups(&inst_specs) {
+        let inst = insts.last().expect("instance spec expanded to nothing");
+        let base = pipeline_config(inst.dag.n(), EvalOptions::default());
         println!(
-            "\n{spec} -> cost {} in {:.1} ms{}",
-            out.total(),
-            out.elapsed.as_secs_f64() * 1e3,
-            if out.budget_exhausted {
-                " (budget exhausted)"
-            } else {
-                ""
-            }
+            "instance {} (n = {}, P = {}), budget {:?}",
+            inst.name,
+            inst.dag.n(),
+            inst.machine.p(),
+            cfg.budget().deadline
         );
-        for st in &out.stages {
+        for spec in &specs {
+            let s = registry
+                .get_with(spec, &base)
+                .unwrap_or_else(|e| panic!("--sched {spec:?}: {e}"));
+            let req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(cfg.budget());
+            let out = s.solve(&req);
             println!(
-                "  stage {:<12} cost {:>8}  {:>8.1} ms{}",
-                st.stage,
-                st.cost_after,
-                st.elapsed.as_secs_f64() * 1e3,
-                if st.truncated { "  [truncated]" } else { "" }
+                "\n{spec} -> cost {} in {:.1} ms{}",
+                out.total(),
+                out.elapsed.as_secs_f64() * 1e3,
+                if out.budget_exhausted {
+                    " (budget exhausted)"
+                } else {
+                    ""
+                }
             );
+            for st in &out.stages {
+                println!(
+                    "  stage {:<12} cost {:>8}  {:>8.1} ms{}",
+                    st.stage,
+                    st.cost_after,
+                    st.elapsed.as_secs_f64() * 1e3,
+                    if st.truncated { "  [truncated]" } else { "" }
+                );
+            }
         }
+        println!();
     }
 }

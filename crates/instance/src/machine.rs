@@ -1,0 +1,311 @@
+//! Machine specs: the `bsp?p=8&g=1&l=5&numa=tree&delta=3` grammar.
+//!
+//! A [`MachineSpec`] names a reproducible [`BspParams`] the same way a
+//! scheduler spec names a configured scheduler: a name (always `bsp`)
+//! plus `key=value` parameters parsed by the shared
+//! [`SchedulerSpec`] grammar. The
+//! canonical rendering round-trips: `MachineSpec::parse(m.spec()) == m`.
+//!
+//! ```
+//! use bsp_instance::{MachineSpec, NumaSpec};
+//!
+//! let m = MachineSpec::parse("bsp?p=8&numa=tree&delta=3").unwrap();
+//! assert_eq!(m.p, 8);
+//! assert_eq!(m.numa, NumaSpec::Tree { delta: 3 });
+//! assert_eq!(MachineSpec::parse(&m.spec()).unwrap(), m);
+//! // λ follows the paper's binary-tree example: λ(0,7) = Δ² = 9.
+//! assert_eq!(m.build().lambda(0, 7), 9);
+//! ```
+
+use crate::source::InstanceError;
+use bsp_model::{BspParams, NumaTopology};
+use bsp_schedule::spec::SchedulerSpec;
+
+/// Default number of processors when a spec omits `p`.
+pub const DEFAULT_P: usize = 8;
+/// Default per-unit communication cost when a spec omits `g`.
+pub const DEFAULT_G: u64 = 1;
+/// Default per-superstep latency when a spec omits `l`.
+pub const DEFAULT_L: u64 = 5;
+/// Default NUMA coefficient when `numa=tree`/`numa=sockets` omits `delta`
+/// (the paper's running example uses Δ = 3).
+pub const DEFAULT_DELTA: u64 = 3;
+
+/// The NUMA clause of a machine spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumaSpec {
+    /// Plain BSP: all off-diagonal λ equal 1.
+    Uniform,
+    /// Binary-tree hierarchy (`numa=tree&delta=Δ`); needs power-of-two `p`.
+    Tree {
+        /// Per-level coefficient multiplier Δ.
+        delta: u64,
+    },
+    /// Two-level socket hierarchy (`numa=sockets&sockets=S&delta=Δ`);
+    /// `S` must divide `p`.
+    Sockets {
+        /// Number of sockets.
+        sockets: usize,
+        /// Cross-socket coefficient Δ.
+        delta: u64,
+    },
+    /// Ring interconnect (`numa=ring`): λ is the hop distance.
+    Ring,
+    /// 2D mesh (`numa=grid&rows=R`): λ is the Manhattan distance;
+    /// `R` must divide `p`.
+    Grid {
+        /// Number of mesh rows.
+        rows: usize,
+    },
+}
+
+/// A parsed machine spec: everything needed to build a [`BspParams`]
+/// deterministically, with a canonical string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Processor count `P`.
+    pub p: usize,
+    /// Per-unit communication cost `g`.
+    pub g: u64,
+    /// Per-superstep latency `ℓ`.
+    pub l: u64,
+    /// NUMA topology clause.
+    pub numa: NumaSpec,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            p: DEFAULT_P,
+            g: DEFAULT_G,
+            l: DEFAULT_L,
+            numa: NumaSpec::Uniform,
+        }
+    }
+}
+
+/// Parameters [`MachineSpec::parse`] accepts.
+pub const MACHINE_PARAMS: &[&str] = &["p", "g", "l", "numa", "delta", "sockets", "rows"];
+
+impl MachineSpec {
+    /// A uniform machine, the spec equivalent of [`BspParams::new`].
+    pub fn uniform(p: usize, g: u64, l: u64) -> Self {
+        MachineSpec {
+            p,
+            g,
+            l,
+            numa: NumaSpec::Uniform,
+        }
+    }
+
+    /// Parses `bsp?p=8&g=1&l=5[&numa=…]`. Unknown keys, malformed values
+    /// and inconsistent topology parameters (e.g. `numa=tree` with a
+    /// non-power-of-two `p`) are errors, not silent defaults.
+    pub fn parse(s: &str) -> Result<Self, InstanceError> {
+        let spec = SchedulerSpec::parse(s.trim())?;
+        if spec.name() != "bsp" {
+            return Err(InstanceError::UnknownMachine {
+                name: spec.name().to_string(),
+            });
+        }
+        spec.deny_unknown("machine `bsp`", MACHINE_PARAMS)?;
+        let p = spec.usize_param("p")?.unwrap_or(DEFAULT_P);
+        let g = spec.u64_param("g")?.unwrap_or(DEFAULT_G);
+        let l = spec.u64_param("l")?.unwrap_or(DEFAULT_L);
+        let delta = spec.u64_param("delta")?;
+        let sockets = spec.usize_param("sockets")?;
+        let rows = spec.usize_param("rows")?;
+        let bad = |reason: String| InstanceError::BadMachine {
+            spec: s.trim().to_string(),
+            reason,
+        };
+        if p == 0 {
+            return Err(bad("p must be at least 1".to_string()));
+        }
+        let numa = match spec.get("numa").unwrap_or("uniform") {
+            "uniform" => NumaSpec::Uniform,
+            "tree" => {
+                if p < 2 || !p.is_power_of_two() {
+                    return Err(bad(format!(
+                        "numa=tree needs a power-of-two p >= 2, got p={p}"
+                    )));
+                }
+                NumaSpec::Tree {
+                    delta: delta.unwrap_or(DEFAULT_DELTA),
+                }
+            }
+            "sockets" => {
+                let sockets = sockets.unwrap_or(2);
+                if sockets == 0 || p % sockets != 0 {
+                    return Err(bad(format!(
+                        "numa=sockets needs sockets dividing p, got sockets={sockets}, p={p}"
+                    )));
+                }
+                NumaSpec::Sockets {
+                    sockets,
+                    delta: delta.unwrap_or(DEFAULT_DELTA),
+                }
+            }
+            "ring" => {
+                if p < 2 {
+                    return Err(bad(format!("numa=ring needs p >= 2, got p={p}")));
+                }
+                NumaSpec::Ring
+            }
+            "grid" => {
+                let rows = rows.unwrap_or(2);
+                if rows == 0 || p % rows != 0 {
+                    return Err(bad(format!(
+                        "numa=grid needs rows dividing p, got rows={rows}, p={p}"
+                    )));
+                }
+                NumaSpec::Grid { rows }
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown numa kind {other:?} (uniform|tree|sockets|ring|grid)"
+                )))
+            }
+        };
+        // Parameters that only make sense under specific topologies are
+        // rejected elsewhere to keep specs diffable and honest.
+        match numa {
+            NumaSpec::Tree { .. } | NumaSpec::Sockets { .. } => {}
+            _ if delta.is_some() => {
+                return Err(bad("delta only applies to numa=tree|sockets".to_string()))
+            }
+            _ => {}
+        }
+        if sockets.is_some() && !matches!(numa, NumaSpec::Sockets { .. }) {
+            return Err(bad("sockets only applies to numa=sockets".to_string()));
+        }
+        if rows.is_some() && !matches!(numa, NumaSpec::Grid { .. }) {
+            return Err(bad("rows only applies to numa=grid".to_string()));
+        }
+        Ok(MachineSpec { p, g, l, numa })
+    }
+
+    /// The canonical spec string: `p` always, `g`/`l` when non-default,
+    /// the NUMA clause when present. `parse(spec())` reproduces `self`.
+    pub fn spec(&self) -> String {
+        let mut s = format!("bsp?p={}", self.p);
+        if self.g != DEFAULT_G {
+            s += &format!("&g={}", self.g);
+        }
+        if self.l != DEFAULT_L {
+            s += &format!("&l={}", self.l);
+        }
+        match self.numa {
+            NumaSpec::Uniform => {}
+            NumaSpec::Tree { delta } => s += &format!("&numa=tree&delta={delta}"),
+            NumaSpec::Sockets { sockets, delta } => {
+                s += &format!("&numa=sockets&sockets={sockets}&delta={delta}")
+            }
+            NumaSpec::Ring => s += "&numa=ring",
+            NumaSpec::Grid { rows } => s += &format!("&numa=grid&rows={rows}"),
+        }
+        s
+    }
+
+    /// Builds the machine. Infallible for any spec [`MachineSpec::parse`]
+    /// accepts (topology constraints are validated at parse time).
+    pub fn build(&self) -> BspParams {
+        let m = BspParams::new(self.p, self.g, self.l);
+        match self.numa {
+            NumaSpec::Uniform => m,
+            NumaSpec::Tree { delta } => m.with_numa(NumaTopology::binary_tree(self.p, delta)),
+            NumaSpec::Sockets { sockets, delta } => {
+                m.with_numa(NumaTopology::two_level(sockets, self.p / sockets, delta))
+            }
+            NumaSpec::Ring => m.with_numa(NumaTopology::ring(self.p)),
+            NumaSpec::Grid { rows } => m.with_numa(NumaTopology::grid(rows, self.p / rows)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let m = MachineSpec::parse("bsp").unwrap();
+        assert_eq!(m, MachineSpec::default());
+        let m = MachineSpec::parse("bsp?p=4&g=3&l=7").unwrap();
+        assert_eq!((m.p, m.g, m.l), (4, 3, 7));
+        assert_eq!(m.numa, NumaSpec::Uniform);
+        let b = m.build();
+        assert_eq!((b.p(), b.g(), b.l()), (4, 3, 7));
+        assert!(b.is_uniform());
+    }
+
+    #[test]
+    fn parses_every_numa_kind() {
+        let m = MachineSpec::parse("bsp?p=8&numa=tree").unwrap();
+        assert_eq!(
+            m.numa,
+            NumaSpec::Tree {
+                delta: DEFAULT_DELTA
+            }
+        );
+        let m = MachineSpec::parse("bsp?p=6&numa=sockets&sockets=3&delta=5").unwrap();
+        assert_eq!(
+            m.numa,
+            NumaSpec::Sockets {
+                sockets: 3,
+                delta: 5
+            }
+        );
+        assert_eq!(m.build().lambda(0, 2), 5);
+        let m = MachineSpec::parse("bsp?p=6&numa=ring").unwrap();
+        assert_eq!(m.build().lambda(0, 3), 3);
+        let m = MachineSpec::parse("bsp?p=6&numa=grid&rows=2").unwrap();
+        assert_eq!(m.build().lambda(0, 5), 3);
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        for spec in [
+            "bsp",
+            "bsp?p=4",
+            "bsp?p=16&g=5&l=2",
+            "bsp?p=8&numa=tree&delta=2",
+            "bsp?p=12&numa=sockets&sockets=4&delta=7",
+            "bsp?p=5&numa=ring",
+            "bsp?p=9&numa=grid&rows=3",
+        ] {
+            let m = MachineSpec::parse(spec).unwrap();
+            let re = MachineSpec::parse(&m.spec()).unwrap();
+            assert_eq!(m, re, "round-trip of {spec} via {}", m.spec());
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_specs() {
+        for bad in [
+            "mesh?p=4",                       // unknown machine name
+            "bsp?p=6&numa=tree",              // tree needs power-of-two p
+            "bsp?p=0",                        // empty machine
+            "bsp?p=8&numa=sockets&sockets=3", // 3 does not divide 8
+            "bsp?p=8&numa=grid&rows=3",       // 3 does not divide 8
+            "bsp?p=1&numa=ring",              // ring needs p >= 2
+            "bsp?p=8&delta=3",                // delta without tree/sockets
+            "bsp?p=8&numa=ring&rows=2",       // rows without grid
+            "bsp?p=8&numa=maybe",             // unknown numa kind
+            "bsp?p=8&cores=2",                // unknown key
+            "bsp?p=eight",                    // bad value
+        ] {
+            assert!(MachineSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn tree_matches_paper_lambda() {
+        let m = MachineSpec::parse("bsp?p=8&numa=tree&delta=3")
+            .unwrap()
+            .build();
+        assert_eq!(m.lambda(0, 1), 1);
+        assert_eq!(m.lambda(0, 2), 3);
+        assert_eq!(m.lambda(0, 7), 9);
+    }
+}

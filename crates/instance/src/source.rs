@@ -1,0 +1,912 @@
+//! The [`InstanceRegistry`]: every DAG generator in the workspace behind
+//! one spec-addressable catalogue, mirroring the scheduler
+//! [`Registry`](../../bsp_sched/registry/index.html).
+//!
+//! Each [`InstanceSource`] pairs an [`InstanceDescriptor`] (stable name,
+//! family, accepted parameters) with a deterministic factory, so
+//! harnesses can *list* the families without generating anything and
+//! *build* exactly the instances they need from spec strings like
+//! `"spmv?n=1000&q=0.3"` or the full `"spmv?n=1000&q=0.3 @
+//! bsp?p=8&numa=tree"` naming a reproducible (DAG, machine) pair.
+//!
+//! ```
+//! use bsp_instance::InstanceRegistry;
+//!
+//! let registry = InstanceRegistry::standard();
+//! // A full spec names DAG and machine; omitted params take defaults.
+//! let inst = registry
+//!     .generate_one("butterfly?k=3 @ bsp?p=4&g=2", 42)
+//!     .unwrap();
+//! assert_eq!(inst.dag.n(), 32);
+//! assert_eq!(inst.machine.p(), 4);
+//! // The instance is addressed by its resolved canonical spec.
+//! assert_eq!(inst.name, "butterfly?k=3 @ bsp?p=4&g=2");
+//! // Same spec + seed → bit-identical instance.
+//! assert_eq!(registry.generate_one(&inst.name, 42).unwrap(), inst);
+//! ```
+
+use crate::machine::MachineSpec;
+use crate::Instance;
+use bsp_dag::random::{random_layered_dag, random_order_dag, LayeredConfig};
+use bsp_dag::Dag;
+use bsp_dagdb::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
+use bsp_dagdb::structured::{
+    butterfly_dag, fork_join_dag, in_tree_dag, out_tree_dag, sptrsv_dag, stencil1d_dag,
+};
+use bsp_dagdb::{dataset, pattern_from_matrix_market, training_set, DatasetKind, SparsePattern};
+use bsp_schedule::spec::{SchedulerSpec, SpecError};
+use std::fmt;
+
+/// Default RNG seed when neither the caller nor the spec provides one.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// A parse, lookup or generation failure for an instance spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// The spec-grammar layer rejected the string.
+    Spec(SpecError),
+    /// No instance source has this name.
+    UnknownFamily {
+        /// The name as written.
+        name: String,
+        /// All registered family names.
+        known: Vec<String>,
+    },
+    /// The machine clause names something other than `bsp`.
+    UnknownMachine {
+        /// The name as written.
+        name: String,
+    },
+    /// The machine clause parsed but is internally inconsistent.
+    BadMachine {
+        /// The clause as written.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A `#member` fragment named no member of the batch.
+    UnknownMember {
+        /// The batch spec the fragment was attached to.
+        spec: String,
+        /// The member as written.
+        member: String,
+    },
+    /// Reading external input (a MatrixMarket file) failed.
+    Io(String),
+}
+
+impl From<SpecError> for InstanceError {
+    fn from(e: SpecError) -> Self {
+        InstanceError::Spec(e)
+    }
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::Spec(e) => write!(f, "{e}"),
+            InstanceError::UnknownFamily { name, known } => write!(
+                f,
+                "no instance family named {name:?} (available: {})",
+                known.join(", ")
+            ),
+            InstanceError::UnknownMachine { name } => {
+                write!(f, "unknown machine {name:?} (expected `bsp?...`)")
+            }
+            InstanceError::BadMachine { spec, reason } => {
+                write!(f, "bad machine spec {spec:?}: {reason}")
+            }
+            InstanceError::UnknownMember { spec, member } => {
+                write!(f, "{spec:?} has no member named {member:?}")
+            }
+            InstanceError::Io(msg) => write!(f, "instance input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// Broad family an instance source belongs to, for catalogue grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceFamily {
+    /// Fine-grained algebraic kernels on random sparse patterns (§B.2).
+    Algebraic,
+    /// Classic structured shapes (butterfly, stencil, trees, fork-join).
+    Structured,
+    /// Seeded random graph models (layered, Erdős–Rényi).
+    Random,
+    /// The paper's assembled evaluation datasets (expand to many DAGs).
+    Dataset,
+    /// Instances built from external input (MatrixMarket files).
+    External,
+}
+
+/// Static metadata an instance source carries: enough for catalogues and
+/// CLI listings without generating anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceDescriptor {
+    /// Stable name, also the spec-string address (`"spmv"`,
+    /// `"dataset/tiny"`, …).
+    pub name: &'static str,
+    /// Catalogue grouping.
+    pub family: InstanceFamily,
+    /// Whether one spec expands to *multiple* instances (the datasets).
+    pub batch: bool,
+    /// Spec parameters the factory accepts.
+    pub params: &'static [&'static str],
+    /// One-line description for catalogues.
+    pub summary: &'static str,
+}
+
+impl InstanceDescriptor {
+    /// The canonical default spec for this source: its name.
+    pub fn spec(&self) -> String {
+        self.name.to_string()
+    }
+}
+
+/// Builds the named DAGs a spec describes. The returned names must embed
+/// every resolved parameter (including the effective seed) so the name
+/// alone reproduces the DAG.
+type Factory = fn(&SchedulerSpec, u64) -> Result<Vec<(String, Dag)>, InstanceError>;
+
+/// One registry row: a descriptor plus a deterministic generator.
+///
+/// ```
+/// use bsp_instance::InstanceRegistry;
+///
+/// let registry = InstanceRegistry::standard();
+/// let source = registry.source("forkjoin").unwrap();
+/// assert!(!source.descriptor().batch);
+/// // generate(seed) is deterministic: same seed, same instances.
+/// let spec = bsp_schedule::spec::SchedulerSpec::parse("forkjoin?chains=2").unwrap();
+/// let machine = bsp_instance::MachineSpec::default();
+/// let a = source.generate(&spec, &machine, 7).unwrap();
+/// let b = source.generate(&spec, &machine, 7).unwrap();
+/// assert_eq!(a, b);
+/// ```
+pub struct InstanceSource {
+    descriptor: InstanceDescriptor,
+    factory: Factory,
+}
+
+impl InstanceSource {
+    /// The source's static metadata.
+    pub fn descriptor(&self) -> &InstanceDescriptor {
+        &self.descriptor
+    }
+
+    /// Generates the instances this spec describes on the given machine.
+    /// Deterministic: the same `(spec, machine, seed)` triple always
+    /// yields identical instances. Fails on parameters the source does
+    /// not accept or values that do not parse.
+    pub fn generate(
+        &self,
+        spec: &SchedulerSpec,
+        machine: &MachineSpec,
+        seed: u64,
+    ) -> Result<Vec<Instance>, InstanceError> {
+        let machine_params = machine.build();
+        let machine_spec = machine.spec();
+        Ok(self
+            .dags(spec, seed)?
+            .into_iter()
+            .map(|(name, dag)| Instance {
+                name: format!("{name} @ {machine_spec}"),
+                dag,
+                machine: machine_params.clone(),
+            })
+            .collect())
+    }
+
+    /// Generates just the named DAGs (no machine attached) — the form the
+    /// sweep harnesses use when they pair one DAG with many machines.
+    pub fn dags(
+        &self,
+        spec: &SchedulerSpec,
+        seed: u64,
+    ) -> Result<Vec<(String, Dag)>, InstanceError> {
+        spec.deny_unknown(self.descriptor.name, self.descriptor.params)?;
+        (self.factory)(spec, seed)
+    }
+}
+
+/// The catalogue of registered instance sources, addressable by spec
+/// string. See the crate docs for the grammar.
+pub struct InstanceRegistry {
+    sources: Vec<InstanceSource>,
+}
+
+impl InstanceRegistry {
+    /// Every instance family in the workspace. Ordering is stable:
+    /// algebraic kernels, structured shapes, random models, external
+    /// input, then the datasets.
+    pub fn standard() -> InstanceRegistry {
+        InstanceRegistry {
+            sources: standard_sources(),
+        }
+    }
+
+    /// All rows, in registration order.
+    pub fn sources(&self) -> &[InstanceSource] {
+        &self.sources
+    }
+
+    /// All descriptors, in registration order.
+    pub fn descriptors(&self) -> impl Iterator<Item = &InstanceDescriptor> + '_ {
+        self.sources.iter().map(|s| &s.descriptor)
+    }
+
+    /// The source named `name`, if registered.
+    pub fn source(&self, name: &str) -> Option<&InstanceSource> {
+        self.sources.iter().find(|s| s.descriptor.name == name)
+    }
+
+    /// Resolves a full spec `dag-spec [@ machine-spec]` into instances.
+    /// The machine clause defaults to [`MachineSpec::default`] (`bsp?p=8`).
+    /// Single-DAG families yield exactly one instance; `dataset/*`
+    /// sources expand to the whole set, and a `#member` fragment
+    /// (`dataset/tiny?scale=0.2#fine/spmv/mid`) selects one member — the
+    /// form batch-generated instance names carry, so every resolved name
+    /// replays to exactly the instance it labels.
+    pub fn generate(&self, full_spec: &str, seed: u64) -> Result<Vec<Instance>, InstanceError> {
+        let (dag_part, machine_part) = split_full_spec(full_spec);
+        let machine = match machine_part {
+            Some(m) => MachineSpec::parse(m)?,
+            None => MachineSpec::default(),
+        };
+        let (spec_part, member) = split_member(dag_part);
+        let spec = SchedulerSpec::parse(spec_part)?;
+        let mut insts = self.lookup(&spec)?.generate(&spec, &machine, seed)?;
+        if let Some(member) = member {
+            insts.retain(|i| member_of(&i.name) == Some(member));
+            if insts.is_empty() {
+                return Err(InstanceError::UnknownMember {
+                    spec: spec_part.to_string(),
+                    member: member.to_string(),
+                });
+            }
+        }
+        Ok(insts)
+    }
+
+    /// [`generate`](Self::generate) for specs expected to name one
+    /// instance; batch sources return their first member.
+    pub fn generate_one(&self, full_spec: &str, seed: u64) -> Result<Instance, InstanceError> {
+        let mut all = self.generate(full_spec, seed)?;
+        if all.is_empty() {
+            return Err(InstanceError::Io(format!(
+                "spec {full_spec:?} expanded to zero instances"
+            )));
+        }
+        Ok(all.swap_remove(0))
+    }
+
+    /// Resolves just the DAG side of a spec into named DAGs, for
+    /// harnesses that sweep one DAG across many machines. A machine
+    /// clause, if present, is validated and then ignored; a `#member`
+    /// fragment selects one batch member as in [`generate`](Self::generate).
+    pub fn dags(&self, full_spec: &str, seed: u64) -> Result<Vec<(String, Dag)>, InstanceError> {
+        let (dag_part, machine_part) = split_full_spec(full_spec);
+        if let Some(m) = machine_part {
+            MachineSpec::parse(m)?;
+        }
+        let (spec_part, member) = split_member(dag_part);
+        let spec = SchedulerSpec::parse(spec_part)?;
+        let mut dags = self.lookup(&spec)?.dags(&spec, seed)?;
+        if let Some(member) = member {
+            dags.retain(|(name, _)| member_of(name) == Some(member));
+            if dags.is_empty() {
+                return Err(InstanceError::UnknownMember {
+                    spec: spec_part.to_string(),
+                    member: member.to_string(),
+                });
+            }
+        }
+        Ok(dags)
+    }
+
+    fn lookup(&self, spec: &SchedulerSpec) -> Result<&InstanceSource, InstanceError> {
+        self.source(spec.name())
+            .ok_or_else(|| InstanceError::UnknownFamily {
+                name: spec.name().to_string(),
+                known: self.descriptors().map(|d| d.name.to_string()).collect(),
+            })
+    }
+}
+
+impl Default for InstanceRegistry {
+    fn default() -> Self {
+        InstanceRegistry::standard()
+    }
+}
+
+/// Splits `dag-spec [" @ " machine-spec]` at the documented spaced
+/// delimiter. A bare `@` with no surrounding spaces stays part of the DAG
+/// side — parameter values (an `mmio` path, say) may legally contain it.
+/// A bare-`@` spec without a machine clause then fails name validation
+/// with the character named, not a misleading machine error.
+fn split_full_spec(s: &str) -> (&str, Option<&str>) {
+    match s.split_once(" @ ") {
+        Some((d, m)) => (d.trim(), Some(m.trim())),
+        None => (s.trim(), None),
+    }
+}
+
+/// Splits the DAG side's optional `#member` fragment (batch-member
+/// addressing, the form batch-generated names carry).
+fn split_member(dag_part: &str) -> (&str, Option<&str>) {
+    match dag_part.split_once('#') {
+        Some((spec, member)) => (spec.trim(), Some(member.trim())),
+        None => (dag_part, None),
+    }
+}
+
+/// The `#member` fragment of a generated name (DAG side only).
+fn member_of(name: &str) -> Option<&str> {
+    let dag_side = name.split(" @ ").next().unwrap_or(name);
+    dag_side.split_once('#').map(|(_, m)| m)
+}
+
+// ---------------------------------------------------------------------
+// The standard catalogue.
+
+/// The spec-side seed parameter: explicit `seed=` wins over the caller's.
+fn eff_seed(spec: &SchedulerSpec, seed: u64) -> Result<u64, SpecError> {
+    Ok(spec.u64_param("seed")?.unwrap_or(seed))
+}
+
+fn one(name: String, dag: Dag) -> Result<Vec<(String, Dag)>, InstanceError> {
+    Ok(vec![(name, dag)])
+}
+
+/// A small embedded MatrixMarket pattern (an 8×8 arrowhead + tridiagonal
+/// mix) so the `mmio` source generates without touching the filesystem;
+/// `path=` substitutes a real file.
+const SAMPLE_MM: &str = "%%MatrixMarket matrix coordinate pattern symmetric
+8 8 17
+1 1
+2 1
+2 2
+3 2
+3 3
+4 3
+4 4
+5 4
+5 5
+6 5
+6 6
+7 6
+7 7
+8 7
+8 8
+8 1
+7 2
+";
+
+fn dataset_kind(name: &str) -> Option<DatasetKind> {
+    match name {
+        "dataset/tiny" => Some(DatasetKind::Tiny),
+        "dataset/small" => Some(DatasetKind::Small),
+        "dataset/medium" => Some(DatasetKind::Medium),
+        "dataset/large" => Some(DatasetKind::Large),
+        "dataset/huge" => Some(DatasetKind::Huge),
+        _ => None,
+    }
+}
+
+/// Expands one dataset source: every member DAG of the paper's set at the
+/// requested scale, named `<source>?scale=<s>#<member>`.
+fn dataset_factory(spec: &SchedulerSpec, _seed: u64) -> Result<Vec<(String, Dag)>, InstanceError> {
+    let scale = spec.f64_param("scale")?.unwrap_or(0.12);
+    let name = spec.name();
+    let members = match dataset_kind(name) {
+        Some(kind) => dataset(kind, scale),
+        None => training_set(scale),
+    };
+    Ok(members
+        .into_iter()
+        .map(|m| (format!("{name}?scale={scale}#{}", m.name), m.dag))
+        .collect())
+}
+
+const SPARSE_PARAMS: &[&str] = &["n", "q", "seed"];
+const ITERATED_PARAMS: &[&str] = &["n", "q", "k", "seed"];
+
+fn standard_sources() -> Vec<InstanceSource> {
+    vec![
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "spmv",
+                family: InstanceFamily::Algebraic,
+                batch: false,
+                params: SPARSE_PARAMS,
+                summary: "sparse matrix-vector product on a random n×n pattern of density q",
+            },
+            factory: |spec, seed| {
+                let n = spec.usize_param("n")?.unwrap_or(120).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.3);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!("spmv?n={n}&q={q}&seed={seed}"),
+                    spmv_dag(&SparsePattern::random(n, q, seed)),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "exp",
+                family: InstanceFamily::Algebraic,
+                batch: false,
+                params: ITERATED_PARAMS,
+                summary: "k iterated spmv products A^k·u on a random pattern",
+            },
+            factory: |spec, seed| {
+                let n = spec.usize_param("n")?.unwrap_or(40).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.3);
+                let k = spec.usize_param("k")?.unwrap_or(3).max(1);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!("exp?k={k}&n={n}&q={q}&seed={seed}"),
+                    exp_dag(&SparsePattern::random(n, q, seed), k),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "cg",
+                family: InstanceFamily::Algebraic,
+                batch: false,
+                params: ITERATED_PARAMS,
+                summary: "k conjugate-gradient iterations on a random SPD-shaped pattern",
+            },
+            factory: |spec, seed| {
+                let n = spec.usize_param("n")?.unwrap_or(24).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.3);
+                let k = spec.usize_param("k")?.unwrap_or(3).max(1);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!("cg?k={k}&n={n}&q={q}&seed={seed}"),
+                    cg_dag(&SparsePattern::random_with_diagonal(n, q, seed), k),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "knn",
+                family: InstanceFamily::Algebraic,
+                batch: false,
+                params: ITERATED_PARAMS,
+                summary: "k-hop pattern propagation (GraphBLAS-style k-NN reachability)",
+            },
+            factory: |spec, seed| {
+                let n = spec.usize_param("n")?.unwrap_or(48).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.3);
+                let k = spec.usize_param("k")?.unwrap_or(3).max(1);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!("knn?k={k}&n={n}&q={q}&seed={seed}"),
+                    knn_dag(&SparsePattern::random_with_diagonal(n, q, seed), 0, k),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "sptrsv",
+                family: InstanceFamily::Algebraic,
+                batch: false,
+                params: SPARSE_PARAMS,
+                summary: "sparse lower-triangular solve (HDagg's native workload)",
+            },
+            factory: |spec, seed| {
+                let n = spec.usize_param("n")?.unwrap_or(60).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.3);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!("sptrsv?n={n}&q={q}&seed={seed}"),
+                    sptrsv_dag(&SparsePattern::random_with_diagonal(n, q, seed)),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "butterfly",
+                family: InstanceFamily::Structured,
+                batch: false,
+                params: &["k"],
+                summary: "2^k-point FFT butterfly circuit",
+            },
+            factory: |spec, _| {
+                let k = spec.usize_param("k")?.unwrap_or(4).clamp(1, 20) as u32;
+                one(format!("butterfly?k={k}"), butterfly_dag(k))
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "stencil",
+                family: InstanceFamily::Structured,
+                batch: false,
+                params: &["width", "steps"],
+                summary: "3-point 1D stencil, `steps` wavefront iterations",
+            },
+            factory: |spec, _| {
+                let width = spec.usize_param("width")?.unwrap_or(16).max(1);
+                let steps = spec.usize_param("steps")?.unwrap_or(8);
+                one(
+                    format!("stencil?steps={steps}&width={width}"),
+                    stencil1d_dag(width, steps),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "tree/out",
+                family: InstanceFamily::Structured,
+                batch: false,
+                params: &["depth", "arity"],
+                summary: "complete arity-ary broadcast tree",
+            },
+            factory: |spec, _| {
+                let depth = spec.usize_param("depth")?.unwrap_or(4).min(24) as u32;
+                let arity = spec.usize_param("arity")?.unwrap_or(2).clamp(1, 16) as u32;
+                one(
+                    format!("tree/out?arity={arity}&depth={depth}"),
+                    out_tree_dag(depth, arity),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "tree/in",
+                family: InstanceFamily::Structured,
+                batch: false,
+                params: &["depth", "arity"],
+                summary: "complete arity-ary reduction tree",
+            },
+            factory: |spec, _| {
+                let depth = spec.usize_param("depth")?.unwrap_or(4).min(24) as u32;
+                let arity = spec.usize_param("arity")?.unwrap_or(2).clamp(1, 16) as u32;
+                one(
+                    format!("tree/in?arity={arity}&depth={depth}"),
+                    in_tree_dag(depth, arity),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "forkjoin",
+                family: InstanceFamily::Structured,
+                batch: false,
+                params: &["chains", "depth", "stages"],
+                summary: "stages of fork-join sections, `chains` parallel chains each",
+            },
+            factory: |spec, _| {
+                let chains = spec.usize_param("chains")?.unwrap_or(4).max(1);
+                let depth = spec.usize_param("depth")?.unwrap_or(3).max(1);
+                let stages = spec.usize_param("stages")?.unwrap_or(3).max(1);
+                one(
+                    format!("forkjoin?chains={chains}&depth={depth}&stages={stages}"),
+                    fork_join_dag(chains, depth, stages),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "layered",
+                family: InstanceFamily::Random,
+                batch: false,
+                params: &["layers", "width", "q", "work", "comm", "seed"],
+                summary: "random layered DAG (layers × width, edge probability q)",
+            },
+            factory: |spec, seed| {
+                let layers = spec.usize_param("layers")?.unwrap_or(5).max(1);
+                let width = spec.usize_param("width")?.unwrap_or(8).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.3).clamp(0.0, 1.0);
+                let work = spec.u64_param("work")?.unwrap_or(8).max(1);
+                let comm = spec.u64_param("comm")?.unwrap_or(4).max(1);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!(
+                        "layered?comm={comm}&layers={layers}&q={q}&seed={seed}&width={width}&work={work}"
+                    ),
+                    random_layered_dag(
+                        seed,
+                        LayeredConfig {
+                            layers,
+                            width,
+                            edge_prob: q,
+                            max_work: work,
+                            max_comm: comm,
+                        },
+                    ),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "erdos",
+                family: InstanceFamily::Random,
+                batch: false,
+                params: &["n", "q", "work", "comm", "seed"],
+                summary: "Erdős–Rényi order DAG: forward edge (i,j), i<j, with probability q",
+            },
+            factory: |spec, seed| {
+                let n = spec.usize_param("n")?.unwrap_or(64).max(1);
+                let q = spec.f64_param("q")?.unwrap_or(0.1).clamp(0.0, 1.0);
+                let work = spec.u64_param("work")?.unwrap_or(8).max(1);
+                let comm = spec.u64_param("comm")?.unwrap_or(4).max(1);
+                let seed = eff_seed(spec, seed)?;
+                one(
+                    format!("erdos?comm={comm}&n={n}&q={q}&seed={seed}&work={work}"),
+                    random_order_dag(seed, n, q, work, comm),
+                )
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "mmio",
+                family: InstanceFamily::External,
+                batch: false,
+                params: &["path", "kernel", "k"],
+                summary:
+                    "fine-grained kernel on a MatrixMarket pattern (embedded sample if no path)",
+            },
+            factory: |spec, _| {
+                let k = spec.usize_param("k")?.unwrap_or(3).max(1);
+                let kernel = spec.get("kernel").unwrap_or("spmv");
+                let (label, text) = match spec.get("path") {
+                    Some(path) => {
+                        let text = std::fs::read_to_string(path)
+                            .map_err(|e| InstanceError::Io(format!("reading {path:?}: {e}")))?;
+                        (format!("path={path}"), text)
+                    }
+                    None => ("sample".to_string(), SAMPLE_MM.to_string()),
+                };
+                let pattern = pattern_from_matrix_market(&text)
+                    .map_err(|e| InstanceError::Io(format!("MatrixMarket ({label}): {e}")))?;
+                let dag = match kernel {
+                    "spmv" => spmv_dag(&pattern),
+                    "sptrsv" => sptrsv_dag(&pattern),
+                    "exp" => exp_dag(&pattern, k),
+                    "cg" => cg_dag(&pattern, k),
+                    "knn" => knn_dag(&pattern, 0, k),
+                    other => {
+                        return Err(InstanceError::Spec(SpecError::BadValue {
+                            key: "kernel".to_string(),
+                            value: other.to_string(),
+                            expected: "spmv|sptrsv|exp|cg|knn",
+                        }))
+                    }
+                };
+                let name = match spec.get("path") {
+                    Some(path) => format!("mmio?kernel={kernel}&k={k}&path={path}"),
+                    None => format!("mmio?kernel={kernel}&k={k}"),
+                };
+                one(name, dag)
+            },
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "dataset/training",
+                family: InstanceFamily::Dataset,
+                batch: true,
+                params: &["scale"],
+                summary: "the paper's 10-instance training set (App. C.1)",
+            },
+            factory: dataset_factory,
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "dataset/tiny",
+                family: InstanceFamily::Dataset,
+                batch: true,
+                params: &["scale"],
+                summary: "tiny evaluation set, n ∈ [40, 80] × scale",
+            },
+            factory: dataset_factory,
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "dataset/small",
+                family: InstanceFamily::Dataset,
+                batch: true,
+                params: &["scale"],
+                summary: "small evaluation set, n ∈ [250, 500] × scale",
+            },
+            factory: dataset_factory,
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "dataset/medium",
+                family: InstanceFamily::Dataset,
+                batch: true,
+                params: &["scale"],
+                summary: "medium evaluation set, n ∈ [1000, 2000] × scale",
+            },
+            factory: dataset_factory,
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "dataset/large",
+                family: InstanceFamily::Dataset,
+                batch: true,
+                params: &["scale"],
+                summary: "large evaluation set, n ∈ [5000, 10000] × scale",
+            },
+            factory: dataset_factory,
+        },
+        InstanceSource {
+            descriptor: InstanceDescriptor {
+                name: "dataset/huge",
+                family: InstanceFamily::Dataset,
+                batch: true,
+                params: &["scale"],
+                summary: "huge evaluation set, n ∈ [50000, 100000] × scale",
+            },
+            factory: dataset_factory,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_at_least_eight_distinct_families() {
+        let registry = InstanceRegistry::standard();
+        let names: Vec<&str> = registry.descriptors().map(|d| d.name).collect();
+        assert!(names.len() >= 8, "only {} families: {names:?}", names.len());
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+    }
+
+    #[test]
+    fn single_sources_resolve_and_are_deterministic() {
+        let registry = InstanceRegistry::standard();
+        for spec in [
+            "spmv?n=40&q=0.4",
+            "exp?n=12&k=2",
+            "cg?n=10&k=2",
+            "knn?n=16&k=2",
+            "sptrsv?n=20",
+            "butterfly?k=3",
+            "stencil?width=6&steps=4",
+            "tree/out?depth=3",
+            "tree/in?depth=3",
+            "forkjoin?chains=3&depth=2&stages=2",
+            "layered?layers=4&width=5",
+            "erdos?n=30&q=0.15",
+            "mmio",
+        ] {
+            let a = registry.generate(spec, 7).unwrap();
+            let b = registry.generate(spec, 7).unwrap();
+            assert_eq!(a.len(), 1, "{spec} should yield one instance");
+            assert_eq!(a, b, "{spec} must be deterministic");
+            assert!(a[0].dag.n() > 0);
+            // The resolved name re-generates the identical instance.
+            let c = registry.generate_one(&a[0].name, 7).unwrap();
+            assert_eq!(c, a[0], "{spec}: name {:?} must reproduce", a[0].name);
+        }
+    }
+
+    #[test]
+    fn seed_parameter_overrides_caller_seed() {
+        let registry = InstanceRegistry::standard();
+        let pinned_a = registry.generate_one("spmv?n=30&seed=5", 1).unwrap();
+        let pinned_b = registry.generate_one("spmv?n=30&seed=5", 2).unwrap();
+        assert_eq!(pinned_a, pinned_b);
+        let free_a = registry.generate_one("spmv?n=30", 1).unwrap();
+        let free_b = registry.generate_one("spmv?n=30", 2).unwrap();
+        assert_ne!(free_a.dag, free_b.dag, "caller seed must matter");
+    }
+
+    #[test]
+    fn machine_clause_reaches_the_instance() {
+        let registry = InstanceRegistry::standard();
+        let inst = registry
+            .generate_one("butterfly?k=3 @ bsp?p=4&g=7&numa=tree&delta=2", 1)
+            .unwrap();
+        assert_eq!(inst.machine.p(), 4);
+        assert_eq!(inst.machine.g(), 7);
+        assert_eq!(inst.machine.lambda(0, 3), 2);
+        // Default machine when the clause is omitted.
+        let inst = registry.generate_one("butterfly?k=3", 1).unwrap();
+        assert_eq!(inst.machine.p(), 8);
+        assert!(inst.machine.is_uniform());
+    }
+
+    #[test]
+    fn datasets_expand_to_batches() {
+        let registry = InstanceRegistry::standard();
+        let tiny = registry.generate("dataset/tiny?scale=1.0", 1).unwrap();
+        assert!(tiny.len() >= 10, "tiny expanded to {}", tiny.len());
+        for i in &tiny {
+            assert!(i.name.starts_with("dataset/tiny?scale=1#"), "{}", i.name);
+        }
+        let train = registry.dags("dataset/training?scale=0.5", 1).unwrap();
+        assert_eq!(train.len(), 10);
+    }
+
+    #[test]
+    fn batch_member_names_replay_to_that_member() {
+        let registry = InstanceRegistry::standard();
+        let all = registry
+            .generate("dataset/training?scale=0.3 @ bsp?p=4&g=2", 1)
+            .unwrap();
+        for inst in &all {
+            let replayed = registry
+                .generate_one(&inst.name, 1)
+                .unwrap_or_else(|e| panic!("name {:?} must replay: {e}", inst.name));
+            assert_eq!(&replayed, inst, "replay of {:?}", inst.name);
+        }
+        // A fragment naming nothing is a typed error.
+        assert!(matches!(
+            registry.generate("dataset/training?scale=0.3#no/such/member", 1),
+            Err(InstanceError::UnknownMember { .. })
+        ));
+        // dags() honours the fragment too.
+        let one = registry
+            .dags("dataset/training?scale=0.3#train/spmv/0", 1)
+            .unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let registry = InstanceRegistry::standard();
+        assert!(matches!(
+            registry.generate("nope?n=3", 1),
+            Err(InstanceError::UnknownFamily { .. })
+        ));
+        assert!(matches!(
+            registry.generate("spmv?density=0.3", 1),
+            Err(InstanceError::Spec(SpecError::UnknownParam { .. }))
+        ));
+        assert!(matches!(
+            registry.generate("spmv @ mesh?p=4", 1),
+            Err(InstanceError::UnknownMachine { .. })
+        ));
+        assert!(matches!(
+            registry.generate("spmv @ bsp?p=6&numa=tree", 1),
+            Err(InstanceError::BadMachine { .. })
+        ));
+        assert!(matches!(
+            registry.generate("mmio?path=/no/such/file.mtx", 1),
+            Err(InstanceError::Io(_))
+        ));
+        assert!(matches!(
+            registry.generate("mmio?kernel=lu", 1),
+            Err(InstanceError::Spec(SpecError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn machine_clause_needs_the_spaced_delimiter() {
+        let registry = InstanceRegistry::standard();
+        // '@' inside a parameter value is data, not a machine clause.
+        let err = registry.generate("mmio?path=/data/u@v.mtx", 1).unwrap_err();
+        assert!(
+            matches!(err, InstanceError::Io(_)),
+            "path with '@' must reach the file-read stage, got {err}"
+        );
+        // A spaced clause after such a value still parses.
+        let err = registry
+            .generate("mmio?path=/data/u@v.mtx @ bsp?p=4", 1)
+            .unwrap_err();
+        assert!(matches!(err, InstanceError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn mmio_kernels_on_the_embedded_sample() {
+        let registry = InstanceRegistry::standard();
+        for kernel in ["spmv", "sptrsv", "exp", "cg", "knn"] {
+            let inst = registry
+                .generate_one(&format!("mmio?kernel={kernel}&k=2"), 1)
+                .unwrap();
+            assert!(inst.dag.n() > 0, "{kernel} produced an empty DAG");
+        }
+    }
+}

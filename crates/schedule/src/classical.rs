@@ -65,51 +65,59 @@ impl ClassicalSchedule {
     }
 
     /// Converts to a BSP assignment by the superstep-slicing rule of
-    /// Appendix A.1. The resulting assignment keeps `π` and satisfies
+    /// Appendix A.1: scanning forward in time, the computation phase
+    /// closes right before the earliest node needing data from another
+    /// processor that no earlier communication phase could have carried.
+    /// The resulting assignment keeps `π` and satisfies
     /// [`BspSchedule::respects_precedence_lazy`].
     pub fn to_bsp(&self, dag: &Dag) -> BspSchedule {
         let n = dag.n();
+        // Order by start time with *topological* tie-breaks: zero-duration
+        // nodes (the database weight rule gives `w = indeg − 1 = 0` to
+        // every chain node) let a predecessor share its successor's start
+        // time, and id-order ties would then stall the scan below.
+        let topo = bsp_dag::TopoInfo::new(dag);
+        let mut pos = vec![0u32; n];
+        for (idx, &v) in topo.order.iter().enumerate() {
+            pos[v as usize] = idx as u32;
+        }
         let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-        order.sort_by_key(|&v| (self.start[v as usize], v));
+        order.sort_by_key(|&v| (self.start[v as usize], pos[v as usize]));
 
-        let mut step = vec![0u32; n];
-        let mut assigned = vec![false; n];
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut step = vec![UNASSIGNED; n];
         let mut superstep = 0u32;
         let mut i = 0usize;
         while i < n {
-            // Find the earliest unassigned node with an unassigned
-            // cross-processor predecessor: the barrier time.
-            let mut barrier: Option<u64> = None;
-            for &v in &order[i..] {
+            // Assign nodes in order until one needs a value that could not
+            // have been communicated yet: a cross-processor predecessor
+            // assigned to the *current* superstep (or, impossibly given
+            // the order, not assigned at all).
+            let mut j = i;
+            while j < n {
+                let v = order[j];
                 let needs_comm = dag.predecessors(v).iter().any(|&u| {
-                    !assigned[u as usize] && self.proc[u as usize] != self.proc[v as usize]
+                    self.proc[u as usize] != self.proc[v as usize] && step[u as usize] >= superstep
                 });
                 if needs_comm {
-                    barrier = Some(self.start[v as usize]);
                     break;
                 }
+                step[v as usize] = superstep;
+                j += 1;
             }
-            match barrier {
-                None => {
-                    for &v in &order[i..] {
-                        step[v as usize] = superstep;
-                        assigned[v as usize] = true;
-                    }
-                    i = n;
-                }
-                Some(t) => {
-                    let mut j = i;
-                    while j < n && self.start[order[j] as usize] < t {
-                        let v = order[j];
-                        step[v as usize] = superstep;
-                        assigned[v as usize] = true;
-                        j += 1;
-                    }
-                    debug_assert!(j > i, "conversion must make progress");
-                    i = j;
-                    superstep += 1;
+            if j < n {
+                // Every predecessor of order[j] sorts strictly earlier, so
+                // at least order[i] itself was assigned above.
+                debug_assert!(j > i, "conversion must make progress");
+                superstep += 1;
+                // Defensive: never loop forever even if the order were
+                // inconsistent with precedence.
+                if j == i {
+                    step[order[j] as usize] = superstep;
+                    j += 1;
                 }
             }
+            i = j;
         }
         BspSchedule::from_parts(self.proc.clone(), step)
     }
@@ -189,6 +197,33 @@ mod tests {
         };
         let bsp = s.to_bsp(&dag);
         assert_eq!(bsp.n_supersteps(), 1);
+    }
+
+    #[test]
+    fn conversion_handles_zero_work_ties() {
+        // Database-weighted DAGs give chain nodes w = indeg − 1 = 0, so a
+        // cross-processor predecessor can share its successor's start
+        // time. The scan must still cut a superstep between them (and must
+        // not loop forever — this stalled before the topological
+        // tie-break).
+        let mut b = DagBuilder::new();
+        let a = b.add_node(0, 1); // zero work
+        let c = b.add_node(0, 1); // zero work, same start as its pred
+        let d = b.add_node(2, 1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        let dag = b.build().unwrap();
+        let s = ClassicalSchedule {
+            proc: vec![1, 0, 0],
+            start: vec![0, 0, 0],
+        };
+        assert!(s.is_valid(&dag));
+        let bsp = s.to_bsp(&dag);
+        assert!(bsp.respects_precedence_lazy(&dag));
+        // a (p1) feeds c (p0) at the same instant: a barrier must separate
+        // them.
+        assert!(bsp.step(0) < bsp.step(1));
+        assert_eq!(bsp.step(1), bsp.step(2));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub use bsp_core as core;
 pub use bsp_dag as dag;
 pub use bsp_dagdb as dagdb;
 pub use bsp_ilp as ilp;
+pub use bsp_instance as instance;
 pub use bsp_model as model;
 pub use bsp_schedule as schedule;
 
@@ -54,6 +55,15 @@ pub use registry::{
     find, registry, registry_default_fast, registry_of, registry_with, Registry, RegistryEntry,
 };
 
+/// The standard catalogue of problem-instance families, the counterpart
+/// of [`Registry::standard`] for instances:
+/// `instances().generate_one("spmv?n=1000&q=0.3 @ bsp?p=8&numa=tree", 42)`
+/// builds exactly that reproducible (DAG, machine) pair. See the README's
+/// "Instances & machines" section for the spec grammar.
+pub fn instances() -> bsp_instance::InstanceRegistry {
+    bsp_instance::InstanceRegistry::standard()
+}
+
 /// Common imports for applications.
 pub mod prelude {
     pub use crate::registry::{Registry, RegistryEntry};
@@ -62,6 +72,10 @@ pub mod prelude {
         schedule_dag, schedule_dag_multilevel, PipelineConfig, PipelineResult,
     };
     pub use bsp_dag::{Dag, DagBuilder};
+    pub use bsp_instance::{
+        Instance, InstanceDescriptor, InstanceError, InstanceRegistry, InstanceSource, MachineSpec,
+        NumaSpec,
+    };
     pub use bsp_model::{BspParams, NumaTopology};
     pub use bsp_schedule::cost::{lazy_cost, schedule_cost, total_cost};
     pub use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};

@@ -1,0 +1,72 @@
+//! Serde round-trip of spec-generated instances: `serialize →
+//! deserialize` must reproduce the instance exactly — in particular its
+//! cost under `trivial_cost`, which folds the DAG weights *and* the
+//! machine parameters into one number, so any field lost in transit
+//! shows up here.
+
+use bsp_sched::instance::io;
+use bsp_sched::prelude::*;
+use bsp_sched::schedule::trivial::trivial_cost;
+
+#[test]
+fn instances_round_trip_through_json_with_identical_trivial_cost() {
+    let registry = bsp_sched::instances();
+    for spec in [
+        "spmv?n=40&q=0.3 @ bsp?p=4&g=2",
+        "butterfly?k=3 @ bsp?p=8&numa=tree&delta=3",
+        "forkjoin?chains=3&depth=2&stages=2 @ bsp?p=6&numa=sockets&sockets=2&delta=4",
+        "erdos?n=30&q=0.2 @ bsp?p=5&numa=ring",
+        "mmio?kernel=sptrsv @ bsp?p=4&numa=grid&rows=2",
+    ] {
+        let inst = registry.generate_one(spec, 42).unwrap();
+        let text = io::to_json(&inst);
+        let back: Instance = io::from_json(&text)
+            .unwrap_or_else(|e| panic!("{spec}: JSON from to_json must parse back: {e}\n{text}"));
+        assert_eq!(back, inst, "{spec}: lossy round-trip");
+        assert_eq!(
+            trivial_cost(&back.dag, &back.machine),
+            trivial_cost(&inst.dag, &inst.machine),
+            "{spec}: trivial cost changed across the round-trip"
+        );
+    }
+}
+
+#[test]
+fn jsonl_round_trips_a_whole_sweep() {
+    let registry = bsp_sched::instances();
+    let insts = registry
+        .generate("dataset/tiny?scale=0.3 @ bsp?p=4&g=3", 42)
+        .unwrap();
+    assert!(insts.len() > 3);
+    let text = io::to_jsonl(&insts);
+    let back: Vec<Instance> = io::from_jsonl(&text).unwrap();
+    assert_eq!(back, insts);
+    for (a, b) in back.iter().zip(&insts) {
+        assert_eq!(
+            trivial_cost(&a.dag, &a.machine),
+            trivial_cost(&b.dag, &b.machine)
+        );
+    }
+}
+
+#[test]
+fn deserialized_instances_are_schedulable() {
+    // A replayed instance must drop into the solve API unchanged.
+    let registry = bsp_sched::instances();
+    let inst = registry
+        .generate_one("stencil?width=8&steps=4 @ bsp?p=4&numa=tree&delta=2", 42)
+        .unwrap();
+    let back: Instance = io::from_json(&io::to_json(&inst)).unwrap();
+    let sched = Registry::standard()
+        .get("etf?numa=on")
+        .expect("etf spec builds");
+    let out = sched.solve(&SolveRequest::new(&back.dag, &back.machine));
+    assert!(out.total() > 0);
+    assert!(bsp_sched::schedule::validity::validate(
+        &back.dag,
+        back.machine.p(),
+        &out.result.sched,
+        &out.result.comm
+    )
+    .is_ok());
+}

@@ -1,0 +1,93 @@
+//! Property tests for the machine-spec grammar:
+//!
+//! * any well-formed `MachineSpec` round-trips through its canonical spec
+//!   string (`parse(spec()) == self`) and builds a `BspParams` with the
+//!   advertised `(P, g, ℓ)`;
+//! * `numa=tree` topologies match the paper's doc example — with `Δ` per
+//!   hierarchy level, opposite leaves cost `Δ^(log₂P − 1)`, which for
+//!   `P = 8` is the documented `λ(0,7) = Δ²` — across powers-of-two `P`.
+
+use bsp_sched::prelude::*;
+use proptest::prelude::*;
+
+/// Builds one of the five NUMA kinds from drawn raw values, normalizing
+/// the parameters so the spec is always self-consistent.
+fn numa_of(kind: usize, p: usize, delta: u64) -> NumaSpec {
+    match kind {
+        0 => NumaSpec::Uniform,
+        1 if p >= 2 && p.is_power_of_two() => NumaSpec::Tree { delta },
+        2 => NumaSpec::Sockets {
+            sockets: if p.is_multiple_of(2) { 2 } else { 1 },
+            delta,
+        },
+        3 if p >= 2 => NumaSpec::Ring,
+        4 => NumaSpec::Grid {
+            rows: if p.is_multiple_of(2) { 2 } else { 1 },
+        },
+        _ => NumaSpec::Uniform,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn machine_spec_round_trips_through_its_spec_string(
+        p_exp in 0u32..6,
+        p_off in 0usize..3,
+        g in 0u64..20,
+        l in 0u64..50,
+        kind in 0usize..5,
+        delta in 1u64..9,
+    ) {
+        let p = (1usize << p_exp) + p_off * 3; // mixes powers of two and odd sizes
+        let spec = MachineSpec { p: p.max(1), g, l, numa: numa_of(kind, p.max(1), delta) };
+        let text = spec.spec();
+        let reparsed = MachineSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical spec {text:?} must parse: {e}"));
+        prop_assert_eq!(&reparsed, &spec, "round-trip of {}", text);
+
+        let machine = spec.build();
+        prop_assert_eq!(machine.p(), spec.p);
+        prop_assert_eq!(machine.g(), spec.g);
+        prop_assert_eq!(machine.l(), spec.l);
+        // The converse does not hold (e.g. tree with Δ=1 is also uniform).
+        if spec.numa == NumaSpec::Uniform {
+            prop_assert!(machine.is_uniform());
+        }
+    }
+
+    #[test]
+    fn tree_lambda_matches_the_doc_example_across_powers_of_two(
+        p_exp in 1u32..6,
+        delta in 1u64..9,
+    ) {
+        let p = 1usize << p_exp;
+        let spec = MachineSpec::parse(&format!("bsp?p={p}&numa=tree&delta={delta}")).unwrap();
+        let machine = spec.build();
+        // Opposite leaves are log₂P levels apart: λ(0, P−1) = Δ^(log₂P − 1).
+        prop_assert_eq!(machine.lambda(0, p - 1), delta.pow(p_exp - 1));
+        // Siblings always cost 1, and the matrix is symmetric with zero
+        // diagonal.
+        if p >= 2 {
+            prop_assert_eq!(machine.lambda(0, 1), 1);
+        }
+        for a in 0..p {
+            prop_assert_eq!(machine.lambda(a, a), 0);
+            for b in 0..p {
+                prop_assert_eq!(machine.lambda(a, b), machine.lambda(b, a));
+            }
+        }
+    }
+}
+
+#[test]
+fn doc_example_p8() {
+    // The documented instance of the property: P = 8, λ(0,7) = Δ².
+    for delta in [2u64, 3, 4] {
+        let m = MachineSpec::parse(&format!("bsp?p=8&numa=tree&delta={delta}"))
+            .unwrap()
+            .build();
+        assert_eq!(m.lambda(0, 7), delta * delta);
+    }
+}

@@ -4,6 +4,11 @@
 //! a valid, positive-cost schedule with a monotone stage-report trajectory.
 //! Registry names must be unique and stable, and spec-string lookup must
 //! build single entries.
+//!
+//! The instance registry gets the same treatment: every built-in
+//! `InstanceSource` descriptor must parse as a spec, generate
+//! deterministically for a fixed seed, and yield DAGs every registered
+//! scheduler accepts.
 
 use bsp_sched::prelude::*;
 use bsp_sched::schedule::validity::validate;
@@ -180,6 +185,113 @@ fn spec_lookup_builds_configured_single_entries() {
     ));
     assert!(bsp_sched::find("no-such-scheduler", &fast_cfg()).is_none());
     assert!(bsp_sched::find("dsc", &fast_cfg()).is_some());
+}
+
+/// The spec each instance source is smoked under: datasets are shrunk
+/// hard and every size-like parameter the source accepts is pinned small,
+/// so the full catalogue × scheduler product stays test-sized.
+fn smoke_spec(d: &InstanceDescriptor) -> String {
+    if d.batch {
+        return format!("{}?scale=0.02", d.name);
+    }
+    let small = [
+        ("n", "24"),
+        ("k", "3"),
+        ("width", "8"),
+        ("steps", "4"),
+        ("depth", "3"),
+        ("layers", "3"),
+        ("chains", "3"),
+        ("stages", "2"),
+    ];
+    let params: Vec<String> = small
+        .iter()
+        .filter(|(key, _)| d.params.contains(key))
+        .map(|(key, value)| format!("{key}={value}"))
+        .collect();
+    if params.is_empty() {
+        d.spec()
+    } else {
+        format!("{}?{}", d.name, params.join("&"))
+    }
+}
+
+#[test]
+fn every_instance_source_parses_and_generates_deterministically() {
+    let registry = bsp_sched::instances();
+    assert!(
+        registry.sources().len() >= 8,
+        "instance registry shrank to {} sources",
+        registry.sources().len()
+    );
+    for d in registry.descriptors() {
+        // The descriptor's name is a valid spec address.
+        let parsed = SchedulerSpec::parse(&d.spec())
+            .unwrap_or_else(|e| panic!("descriptor spec {:?} must parse: {e}", d.spec()));
+        assert_eq!(parsed.name(), d.name);
+
+        let spec = smoke_spec(d);
+        let a = registry.generate(&spec, 1234).unwrap_or_else(|e| {
+            panic!("source {:?} failed to generate from {spec:?}: {e}", d.name)
+        });
+        let b = registry.generate(&spec, 1234).unwrap();
+        assert_eq!(a, b, "source {:?} is not deterministic", d.name);
+        assert!(!a.is_empty(), "source {:?} generated nothing", d.name);
+        assert_eq!(
+            a.len() > 1,
+            d.batch,
+            "source {:?}: batch flag disagrees with output size {}",
+            d.name,
+            a.len()
+        );
+        for inst in &a {
+            assert!(inst.dag.n() > 0, "{}: empty DAG", inst.name);
+        }
+    }
+}
+
+#[test]
+fn every_scheduler_accepts_every_instance_family() {
+    let instance_registry = bsp_sched::instances();
+    let scheduler_registry = Registry::standard();
+    // Cheap caps: this is an acceptance test, not a quality sweep.
+    let cfg = PipelineConfig {
+        enable_ilp: false,
+        hc: bsp_sched::core::hc::HillClimbConfig {
+            max_moves: Some(200),
+            time_limit: Some(std::time::Duration::from_millis(200)),
+        },
+        hccs: bsp_sched::core::hccs::CommHillClimbConfig {
+            max_moves: Some(200),
+            time_limit: Some(std::time::Duration::from_millis(200)),
+        },
+        ..Default::default()
+    };
+    let machine_clause = "bsp?p=4&numa=tree&delta=2";
+    for d in instance_registry.descriptors() {
+        let spec = format!("{} @ {machine_clause}", smoke_spec(d));
+        let inst = instance_registry
+            .generate_one(&spec, 7)
+            .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        for entry in scheduler_registry.entries() {
+            let s = entry.build_default(&cfg);
+            let out = s.solve(&SolveRequest::new(&inst.dag, &inst.machine));
+            assert!(
+                validate(
+                    &inst.dag,
+                    inst.machine.p(),
+                    &out.result.sched,
+                    &out.result.comm
+                )
+                .is_ok(),
+                "{} rejected instance {} (family {:?})",
+                s.name(),
+                inst.name,
+                d.name
+            );
+            assert!(out.total() > 0, "{} zero cost on {}", s.name(), inst.name);
+        }
+    }
 }
 
 #[test]

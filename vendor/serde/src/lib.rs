@@ -1,17 +1,853 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` + `serde_json`, now with a working data
+//! model.
 //!
-//! The workspace only *derives* `Serialize` / `Deserialize` to keep its
-//! public types serialization-ready; nothing actually serializes yet (no
-//! `serde_json` or similar in-tree). Since the build environment has no
-//! crates.io access, this crate supplies the two trait names plus no-op
-//! derive macros so the annotations compile unchanged. When real network
-//! access arrives, swapping this for the real `serde` is a one-line change
-//! in each manifest and requires no source edits.
+//! Earlier revisions of this stand-in only supplied marker traits so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations would
+//! compile; nothing actually serialized. The instance/result I/O work
+//! needs real persistence, so the stand-in grew into a small but genuine
+//! serde subset:
+//!
+//! * [`Value`] — a JSON-shaped data model (null, bool, integer, float,
+//!   string, array, object with *preserved field order* so serialized
+//!   output diffs cleanly);
+//! * [`Serialize`] / [`Deserialize`] — traits with real methods
+//!   (`to_value` / `from_value`), implemented for the primitives and
+//!   containers the workspace uses and derived for its structs by the
+//!   companion `serde_derive` (which generates actual field-by-field
+//!   code, no longer a no-op);
+//! * [`json`] — a serializer and a strict recursive-descent parser, the
+//!   `serde_json::{to_string, from_str}` surface.
+//!
+//! The API is intentionally a subset (no zero-copy, no custom
+//! serializers, no enum representations beyond what the derive rejects).
+//! When the build environment gains crates.io access, swapping in the
+//! real `serde` + `serde_json` remains a per-manifest one-liner; call
+//! sites use only names (`to_string`, `from_str`, `Serialize`,
+//! `Deserialize`) that exist there too.
+
+use std::fmt;
+
+/// A parsed or to-be-serialized JSON value.
+///
+/// Integers keep their own variants ([`Value::U64`] / [`Value::I64`])
+/// instead of collapsing into `f64`, so schedule costs near `u64::MAX`
+/// (the "not run" sentinel in sweep results) survive a round-trip
+/// bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    U64(u64),
+    /// A negative integer literal.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// `[ ... ]`.
+    Array(Vec<Value>),
+    /// `{ ... }` with field order preserved (first-write wins on
+    /// duplicate keys during parsing).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model (the stand-in's
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// The value representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model (the stand-in's
+/// `serde::Deserialize`). The lifetime parameter mirrors the real trait's
+/// signature so existing `impl<'de>` bounds compile unchanged; this subset
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value, with a descriptive error on shape or
+    /// type mismatches.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
-pub trait Serialize {}
+// ---------------------------------------------------------------------
+// Primitive and container impls.
 
-/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
-pub trait Deserialize<'de> {}
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u).map_err(|_| {
+                        Error::new(format!("integer {u} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as f64;
+                // JSON has no NaN/infinity literal; mirror serde_json's
+                // lossy `null` here.
+                if v.is_finite() { Value::F64(v) } else { Value::Null }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::new(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Support functions the derive-generated code calls.
+
+/// Views a value as an object's field list, naming `ty` on mismatch.
+/// Called by derived `Deserialize` impls.
+pub fn expect_object<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        other => Err(Error::new(format!(
+            "expected {ty} object, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts and deserializes the field `key` from an object's field list,
+/// naming `ty` in errors. Called by derived `Deserialize` impls.
+pub fn expect_field<'de, T: Deserialize<'de>>(
+    fields: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    let value = fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::new(format!("{ty}: missing field {key:?}")))?;
+    T::from_value(value).map_err(|e| Error::new(format!("{ty}.{key}: {e}")))
+}
+
+pub mod json {
+    //! JSON text ⇄ [`Value`] ⇄ Rust types — the `serde_json` surface of
+    //! the stand-in.
+
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serializes a value to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), None, 0);
+        out
+    }
+
+    /// Serializes a value to human-readable indented JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), Some(2), 0);
+        out
+    }
+
+    /// Parses JSON text into any deserializable type.
+    pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+        T::from_value(&value_from_str(s)?)
+    }
+
+    /// Parses JSON text into the [`Value`] data model, rejecting trailing
+    /// garbage.
+    pub fn value_from_str(s: &str) -> Result<Value, Error> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::new(format!(
+                "trailing characters at byte {pos} of JSON input"
+            )));
+        }
+        Ok(value)
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::U64(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::I64(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Integral floats keep a `.0` — or scientific form
+                    // beyond `{:.1}`'s comfortable range — so they
+                    // re-parse as F64, never silently flipping to U64.
+                    if *x == x.trunc() {
+                        if x.abs() < 1e15 {
+                            let _ = write!(out, "{x:.1}");
+                        } else {
+                            let _ = write!(out, "{x:e}");
+                        }
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                write_seq(out, items.iter(), indent, depth, ('[', ']'), write_value)
+            }
+            Value::Object(fields) => write_seq(
+                out,
+                fields.iter(),
+                indent,
+                depth,
+                ('{', '}'),
+                |out, (k, v), ind, d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, v, ind, d);
+                },
+            ),
+        }
+    }
+
+    fn write_seq<T>(
+        out: &mut String,
+        items: impl ExactSizeIterator<Item = T>,
+        indent: Option<usize>,
+        depth: usize,
+        (open, close): (char, char),
+        mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+    ) {
+        out.push(open);
+        let len = items.len();
+        for (i, item) in items.enumerate() {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+            }
+            write_item(out, item, indent, depth + 1);
+            if i + 1 < len {
+                out.push(',');
+            }
+        }
+        if len > 0 {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', w * depth));
+            }
+        }
+        out.push(close);
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, *pos
+            )))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::new("unexpected end of JSON input")),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::new(format!("expected ',' or ']' at byte {}", *pos)))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields: Vec<(String, Value)> = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect_byte(bytes, pos, b':')?;
+                    let value = parse_value(bytes, pos)?;
+                    if !fields.iter().any(|(k, _)| *k == key) {
+                        fields.push((key, value));
+                    }
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected ',' or '}}' at byte {}",
+                                *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, Error> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", *pos)))
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        expect_byte(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = bytes.get(*pos) else {
+                return Err(Error::new("unterminated string in JSON input"));
+            };
+            *pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = bytes.get(*pos) else {
+                        return Err(Error::new("unterminated escape in JSON input"));
+                    };
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = parse_hex4(bytes, pos)?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                expect_byte(bytes, pos, b'\\')?;
+                                expect_byte(bytes, pos, b'u')?;
+                                let lo = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::new(format!("invalid escape '\\{}'", esc as char))),
+                    }
+                }
+                // Multi-byte UTF-8: copy the full sequence through.
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in JSON string"))?;
+                    out.push_str(chunk);
+                    *pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+        if *pos + 4 > bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&bytes[*pos..*pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        *pos += 4;
+        Ok(v)
+    }
+
+    /// Checks the RFC 8259 number grammar:
+    /// `-? (0 | [1-9][0-9]*) (. [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+    fn valid_json_number(text: &str) -> bool {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        match b.get(i) {
+            Some(b'0') => i += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(b.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+            }
+            _ => return false,
+        }
+        if b.get(i) == Some(&b'.') {
+            i += 1;
+            if !matches!(b.get(i), Some(b'0'..=b'9')) {
+                return false;
+            }
+            while matches!(b.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        if matches!(b.get(i), Some(b'e' | b'E')) {
+            i += 1;
+            if matches!(b.get(i), Some(b'+' | b'-')) {
+                i += 1;
+            }
+            if !matches!(b.get(i), Some(b'0'..=b'9')) {
+                return false;
+            }
+            while matches!(b.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        i == b.len()
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::new(format!("invalid character at byte {start}")));
+        }
+        if !valid_json_number(text) {
+            return Err(Error::new(format!("invalid number {text:?}")));
+        }
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scalar_round_trips() {
+            for text in ["null", "true", "false", "0", "42", "-7", "3.5", "\"hi\""] {
+                let v = value_from_str(text).unwrap();
+                assert_eq!(to_string(&v), text, "round-trip of {text}");
+            }
+        }
+
+        #[test]
+        fn integers_preserve_u64_extremes() {
+            let v = value_from_str("18446744073709551615").unwrap();
+            assert_eq!(v, Value::U64(u64::MAX));
+            let back: u64 = from_str(&to_string(&u64::MAX)).unwrap();
+            assert_eq!(back, u64::MAX);
+        }
+
+        #[test]
+        fn containers_round_trip() {
+            let text = r#"{"name":"x","xs":[1,2,3],"nested":{"ok":true},"none":null}"#;
+            let v = value_from_str(text).unwrap();
+            assert_eq!(to_string(&v), text);
+            assert_eq!(v.get("name"), Some(&Value::Str("x".into())));
+        }
+
+        #[test]
+        fn pretty_output_reparses() {
+            let v = value_from_str(r#"{"a":[1,{"b":"c"}],"d":2.5}"#).unwrap();
+            let pretty = to_string_pretty(&v);
+            assert!(pretty.contains('\n'));
+            assert_eq!(value_from_str(&pretty).unwrap(), v);
+        }
+
+        #[test]
+        fn string_escapes() {
+            let s = "quote\" slash\\ newline\n tab\t unicode λ".to_string();
+            let text = to_string(&s);
+            let back: String = from_str(&text).unwrap();
+            assert_eq!(back, s);
+            let surrogate: String = from_str(r#""😀""#).unwrap();
+            assert_eq!(surrogate, "😀");
+        }
+
+        #[test]
+        fn floats_distinguish_from_integers() {
+            assert_eq!(to_string(&1.0f64), "1.0");
+            assert_eq!(value_from_str("1.0").unwrap(), Value::F64(1.0));
+            let x: f64 = from_str("7").unwrap();
+            assert_eq!(x, 7.0);
+            // Huge integral floats stay floats at the Value level too.
+            for huge in [1e15, 1e300, -2.5e20] {
+                let text = to_string(&huge);
+                assert_eq!(
+                    value_from_str(&text).unwrap(),
+                    Value::F64(huge),
+                    "{huge} via {text}"
+                );
+            }
+        }
+
+        #[test]
+        fn rejects_malformed_input() {
+            for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "01x", "nul", "1 2"] {
+                assert!(value_from_str(bad).is_err(), "{bad:?} should fail");
+            }
+        }
+
+        #[test]
+        fn enforces_the_json_number_grammar() {
+            for bad in ["+5", "01", "1.", ".5", "1e", "1e+", "--2", "-", "0x1"] {
+                assert!(value_from_str(bad).is_err(), "{bad:?} should fail");
+            }
+            for good in ["0", "-0", "10", "0.5", "-0.5", "1e3", "1E-3", "2.5e+7"] {
+                assert!(value_from_str(good).is_ok(), "{good:?} should parse");
+            }
+        }
+
+        #[test]
+        fn duplicate_keys_first_wins() {
+            let v = value_from_str(r#"{"a":1,"a":2}"#).unwrap();
+            assert_eq!(v.get("a"), Some(&Value::U64(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_range_checks() {
+        assert_eq!(u8::from_value(&Value::U64(255)).unwrap(), 255);
+        assert!(u8::from_value(&Value::U64(256)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(usize::from_value(&Value::I64(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn option_maps_null() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        assert_eq!(Some(3u64).to_value(), Value::U64(3));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn field_errors_name_the_path() {
+        let obj = vec![("a".to_string(), Value::Str("x".into()))];
+        let err = expect_field::<u64>(&obj, "a", "Foo").unwrap_err();
+        assert!(err.to_string().contains("Foo.a"), "{err}");
+        let err = expect_field::<u64>(&obj, "b", "Foo").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+}

@@ -1,16 +1,187 @@
-//! No-op derive macros backing the offline `serde` stand-in.
+//! Working `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in.
 //!
-//! Each derive expands to nothing: the annotations on workspace types stay
-//! valid Rust, and no serialization code is generated (none is called).
+//! Earlier revisions expanded to nothing (the workspace only *annotated*
+//! its types); the instance/result I/O work needs real code, so the
+//! derives now generate field-by-field conversions to and from
+//! `serde::Value`. No `syn`/`quote` exists in-tree, so the input item is
+//! parsed directly from the `proc_macro::TokenStream`: attributes are
+//! skipped, the struct name is captured, and each named field contributes
+//! one line to the generated impl (built as a source string and re-parsed,
+//! which is exactly what `quote!` does under the hood).
+//!
+//! Supported shape: non-generic `struct` with named fields — the only
+//! shape the workspace derives on. Anything else (enums, tuple structs,
+//! generics) produces a compile error naming the limitation rather than a
+//! silent no-op.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    expand(item, Mode::Serialize)
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    expand(item, Mode::Deserialize)
+}
+
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(item: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_named_struct(item) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("::core::compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens parse")
+        }
+    };
+    let (name, fields) = parsed;
+    let source = match mode {
+        Mode::Serialize => {
+            let mut pairs = String::new();
+            for f in &fields {
+                pairs.push_str(&format!(
+                    "(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::expect_field(__fields, {f:?}, {name:?})?,"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __fields = ::serde::expect_object(__value, {name:?})?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("generated impl tokens parse")
+}
+
+/// Extracts `(struct name, field names)` from the derive input, rejecting
+/// shapes the stand-in does not support.
+fn parse_named_struct(item: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = item.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including expanded doc comments) and
+    // the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err(
+                "the serde stand-in derives only named-field structs, not enums; \
+                        implement Serialize/Deserialize manually for this type"
+                    .to_string(),
+            )
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "the serde stand-in cannot derive for generic struct {name}"
+            ))
+        }
+        _ => {
+            return Err(format!(
+                "the serde stand-in derives only structs with named fields ({name})"
+            ))
+        }
+    };
+    parse_field_names(body).map(|fields| (name, fields))
+}
+
+/// Walks a named-field list, returning each field's identifier. Types are
+/// not needed — the generated code lets inference pick the `Deserialize`
+/// impl from the struct literal — but commas inside generic arguments must
+/// not split fields, so `<`/`>` depth is tracked.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else {
+            return Ok(fields);
+        };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        for tree in tokens.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
 }
