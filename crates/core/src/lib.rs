@@ -24,7 +24,10 @@
 //!   (Metropolis acceptance / forced best-admissible moves with a tabu
 //!   list), both guaranteed never to return worse than their input;
 //! * [`auto`] — CCR-driven selection between the base and multilevel
-//!   pipelines ("decide if coarsification is even necessary", §7.3/C.6).
+//!   pipelines ("decide if coarsification is even necessary", §7.3/C.6);
+//! * [`memrepair`] — feasibility repair for memory-bounded machines
+//!   (greedy superstep splitting plus the [`MemoryRepairScheduler`]
+//!   wrapper), the memory-constrained rung of the realistic-models ladder.
 //!
 //! ```
 //! use bsp_core::pipeline::{schedule_dag, PipelineConfig};
@@ -45,6 +48,7 @@ pub mod hc;
 pub mod hccs;
 pub mod ilp;
 pub mod init;
+pub mod memrepair;
 pub mod multilevel;
 pub mod pipeline;
 pub mod schedulers;
@@ -53,6 +57,7 @@ pub mod steepest;
 pub mod tabu;
 
 pub use auto::{schedule_dag_auto, AutoConfig, Strategy};
+pub use memrepair::{repair_memory, repair_memory_with, MemoryRepairScheduler, RepairReport};
 pub use pipeline::{
     schedule_dag, schedule_dag_multilevel, EscapeSearch, PipelineConfig, PipelineResult,
 };

@@ -6,6 +6,7 @@
 //! cargo run -p bsp-experiments --release -- registry   # descriptor catalogues + health
 //! cargo run -p bsp-experiments --release -- solve --sched "pipeline/base?ilp=off" --budget-ms 250
 //! cargo run -p bsp-experiments --release -- bench --instances "spmv?n=500 @ bsp?p=8" --json out.json
+//! cargo run -p bsp-experiments --release -- memory    # cost vs fast-memory capacity, all families
 //! cargo run -p bsp-experiments --release -- all
 //! ```
 //!
@@ -29,6 +30,7 @@
 
 mod ablations;
 mod bench;
+mod memory;
 mod metrics;
 mod runner;
 mod tables;
@@ -75,8 +77,8 @@ fn main() {
     let id = id.unwrap_or_else(|| "all".to_string());
     // Reject flag/command combinations that would otherwise be silently
     // ignored.
-    if !cfg.scheds.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench") {
-        panic!("--sched applies only to the `registry`, `solve` and `bench` commands");
+    if !cfg.scheds.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench" | "memory") {
+        panic!("--sched applies only to the `registry`, `solve`, `bench` and `memory` commands");
     }
     if !cfg.instances.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench") {
         panic!("--instances applies only to the `registry`, `solve` and `bench` commands");
@@ -112,6 +114,7 @@ fn main() {
             "registry" => tables::registry_overview(&cfg),
             "solve" => tables::solve_specs(&cfg),
             "bench" => bench::bench(&cfg),
+            "memory" => memory::memory_sweep(&cfg),
             "ablation" => ablations::all(&cfg),
             "ablation-ls" => ablations::ablation_local_search(&cfg),
             "ablation-est" => ablations::ablation_numa_est(&cfg),

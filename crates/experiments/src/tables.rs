@@ -69,6 +69,7 @@ fn machine_of(job: &Job) -> BspParams {
         } else {
             NumaSpec::Uniform
         },
+        mem: None,
     }
     .build()
 }

@@ -1,13 +1,15 @@
-//! Machine specs: the `bsp?p=8&g=1&l=5&numa=tree&delta=3` grammar.
+//! Machine specs: the `bsp?p=8&g=1&l=5&numa=tree&delta=3&mem=4096` grammar.
 //!
 //! A [`MachineSpec`] names a reproducible [`BspParams`] the same way a
 //! scheduler spec names a configured scheduler: a name (always `bsp`)
 //! plus `key=value` parameters parsed by the shared
-//! [`SchedulerSpec`] grammar. The
-//! canonical rendering round-trips: `MachineSpec::parse(m.spec()) == m`.
+//! [`SchedulerSpec`] grammar. Unknown keys are typed errors, never
+//! silently ignored. The canonical rendering round-trips:
+//! `MachineSpec::parse(m.spec()) == m`.
 //!
 //! ```
 //! use bsp_instance::{MachineSpec, NumaSpec};
+//! use bsp_model::EvictionPolicy;
 //!
 //! let m = MachineSpec::parse("bsp?p=8&numa=tree&delta=3").unwrap();
 //! assert_eq!(m.p, 8);
@@ -15,10 +17,18 @@
 //! assert_eq!(MachineSpec::parse(&m.spec()).unwrap(), m);
 //! // λ follows the paper's binary-tree example: λ(0,7) = Δ² = 9.
 //! assert_eq!(m.build().lambda(0, 7), 9);
+//!
+//! // The memory-bounded rung of the model ladder: per-processor fast
+//! // memory of capacity M with an eviction policy.
+//! let m = MachineSpec::parse("bsp?p=8&mem=4096&evict=belady").unwrap();
+//! let mem = m.mem.unwrap();
+//! assert_eq!((mem.capacity, mem.evict), (4096, EvictionPolicy::Belady));
+//! assert_eq!(m.spec(), "bsp?p=8&mem=4096&evict=belady");
+//! assert!(m.build().is_memory_bounded());
 //! ```
 
 use crate::source::InstanceError;
-use bsp_model::{BspParams, NumaTopology};
+use bsp_model::{BspParams, EvictionPolicy, MemorySpec, NumaTopology};
 use bsp_schedule::spec::SchedulerSpec;
 
 /// Default number of processors when a spec omits `p`.
@@ -71,6 +81,9 @@ pub struct MachineSpec {
     pub l: u64,
     /// NUMA topology clause.
     pub numa: NumaSpec,
+    /// Per-processor fast-memory clause (`mem=M&evict=lru|belady`);
+    /// `None` = unbounded memory, the classic BSP machine.
+    pub mem: Option<MemorySpec>,
 }
 
 impl Default for MachineSpec {
@@ -80,12 +93,15 @@ impl Default for MachineSpec {
             g: DEFAULT_G,
             l: DEFAULT_L,
             numa: NumaSpec::Uniform,
+            mem: None,
         }
     }
 }
 
 /// Parameters [`MachineSpec::parse`] accepts.
-pub const MACHINE_PARAMS: &[&str] = &["p", "g", "l", "numa", "delta", "sockets", "rows"];
+pub const MACHINE_PARAMS: &[&str] = &[
+    "p", "g", "l", "numa", "delta", "sockets", "rows", "mem", "evict",
+];
 
 impl MachineSpec {
     /// A uniform machine, the spec equivalent of [`BspParams::new`].
@@ -95,6 +111,7 @@ impl MachineSpec {
             g,
             l,
             numa: NumaSpec::Uniform,
+            mem: None,
         }
     }
 
@@ -182,11 +199,30 @@ impl MachineSpec {
         if rows.is_some() && !matches!(numa, NumaSpec::Grid { .. }) {
             return Err(bad("rows only applies to numa=grid".to_string()));
         }
-        Ok(MachineSpec { p, g, l, numa })
+        let mem = match (spec.u64_param("mem")?, spec.get("evict")) {
+            (None, None) => None,
+            (None, Some(_)) => {
+                return Err(bad(
+                    "evict only applies together with a mem= capacity".to_string()
+                ))
+            }
+            (Some(0), _) => return Err(bad("mem must be at least 1".to_string())),
+            (Some(capacity), policy) => {
+                let evict = match policy {
+                    None => EvictionPolicy::default(),
+                    Some(name) => EvictionPolicy::parse(name).ok_or_else(|| {
+                        bad(format!("unknown eviction policy {name:?} (lru|belady)"))
+                    })?,
+                };
+                Some(MemorySpec::new(capacity).with_policy(evict))
+            }
+        };
+        Ok(MachineSpec { p, g, l, numa, mem })
     }
 
     /// The canonical spec string: `p` always, `g`/`l` when non-default,
-    /// the NUMA clause when present. `parse(spec())` reproduces `self`.
+    /// the NUMA clause when present, then the memory clause (with `evict`
+    /// only when non-default). `parse(spec())` reproduces `self`.
     pub fn spec(&self) -> String {
         let mut s = format!("bsp?p={}", self.p);
         if self.g != DEFAULT_G {
@@ -204,6 +240,12 @@ impl MachineSpec {
             NumaSpec::Ring => s += "&numa=ring",
             NumaSpec::Grid { rows } => s += &format!("&numa=grid&rows={rows}"),
         }
+        if let Some(mem) = &self.mem {
+            s += &format!("&mem={}", mem.capacity);
+            if mem.evict != EvictionPolicy::default() {
+                s += &format!("&evict={}", mem.evict);
+            }
+        }
         s
     }
 
@@ -211,7 +253,7 @@ impl MachineSpec {
     /// accepts (topology constraints are validated at parse time).
     pub fn build(&self) -> BspParams {
         let m = BspParams::new(self.p, self.g, self.l);
-        match self.numa {
+        let m = match self.numa {
             NumaSpec::Uniform => m,
             NumaSpec::Tree { delta } => m.with_numa(NumaTopology::binary_tree(self.p, delta)),
             NumaSpec::Sockets { sockets, delta } => {
@@ -219,6 +261,10 @@ impl MachineSpec {
             }
             NumaSpec::Ring => m.with_numa(NumaTopology::ring(self.p)),
             NumaSpec::Grid { rows } => m.with_numa(NumaTopology::grid(rows, self.p / rows)),
+        };
+        match self.mem {
+            Some(mem) => m.with_memory(mem),
+            None => m,
         }
     }
 }
@@ -273,6 +319,9 @@ mod tests {
             "bsp?p=12&numa=sockets&sockets=4&delta=7",
             "bsp?p=5&numa=ring",
             "bsp?p=9&numa=grid&rows=3",
+            "bsp?p=4&mem=64",
+            "bsp?p=4&mem=64&evict=belady",
+            "bsp?p=8&g=2&numa=tree&delta=3&mem=4096&evict=lru",
         ] {
             let m = MachineSpec::parse(spec).unwrap();
             let re = MachineSpec::parse(&m.spec()).unwrap();
@@ -294,9 +343,46 @@ mod tests {
             "bsp?p=8&numa=maybe",             // unknown numa kind
             "bsp?p=8&cores=2",                // unknown key
             "bsp?p=eight",                    // bad value
+            "bsp?p=8&mem=0",                  // empty fast memory
+            "bsp?p=8&evict=lru",              // evict without a capacity
+            "bsp?p=8&mem=64&evict=fifo",      // unknown eviction policy
+            "bsp?p=8&mem=lots",               // bad capacity value
         ] {
             assert!(MachineSpec::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn unknown_keys_are_typed_errors() {
+        use bsp_schedule::spec::SpecError;
+        let err = MachineSpec::parse("bsp?p=8&memory=64").unwrap_err();
+        match err {
+            InstanceError::Spec(SpecError::UnknownParam { key, allowed, .. }) => {
+                assert_eq!(key, "memory");
+                assert!(allowed.iter().any(|k| k == "mem"), "{allowed:?}");
+            }
+            other => panic!("expected a typed UnknownParam error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_clause_reaches_the_machine() {
+        use bsp_model::EvictionPolicy;
+        let m = MachineSpec::parse("bsp?p=4&mem=128").unwrap();
+        let built = m.build();
+        let mem = built.memory().unwrap();
+        assert_eq!(mem.capacity, 128);
+        assert_eq!(mem.evict, EvictionPolicy::Lru);
+        // Default policy is omitted from the canonical form.
+        assert_eq!(m.spec(), "bsp?p=4&mem=128");
+        let m = MachineSpec::parse("bsp?p=4&mem=128&evict=belady").unwrap();
+        assert_eq!(m.build().memory().unwrap().evict, EvictionPolicy::Belady);
+        assert_eq!(m.spec(), "bsp?p=4&mem=128&evict=belady");
+        // No clause, no bound.
+        assert!(!MachineSpec::parse("bsp?p=4")
+            .unwrap()
+            .build()
+            .is_memory_bounded());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Per-processor fast-memory model for memory-constrained BSP scheduling.
+//!
+//! The rung of the paper's "increasingly realistic models" ladder after
+//! NUMA: every processor owns a bounded *fast memory* of capacity `M`, and
+//! a node's output value occupies `c(v)` units of it while resident (the
+//! footprint is the value's communication weight — the same units the
+//! h-relation charges). Values a processor produced are additionally backed
+//! by its slow memory, so evicting one is always safe; *re-fetching* it
+//! later costs communication again.
+//!
+//! This crate is the machine-model half of the story, deliberately free of
+//! any DAG or schedule dependency:
+//!
+//! * [`MemorySpec`] — the capacity `M` plus the [`EvictionPolicy`], the
+//!   piece attached to `BspParams` and parsed from machine specs
+//!   (`bsp?p=8&mem=4096&evict=lru`);
+//! * [`Residency`] — a deterministic bounded set of resident values with
+//!   LRU and Belady-oracle eviction, the engine behind the superstep
+//!   residency simulator in `bsp-schedule`.
+//!
+//! ```
+//! use bsp_memory::{EvictionPolicy, MemorySpec, Residency};
+//!
+//! let mut fast = Residency::new(MemorySpec::new(4));
+//! fast.insert(0, 2, 0, |_| false, |_| u64::MAX);
+//! fast.insert(1, 2, 1, |_| false, |_| u64::MAX);
+//! // Capacity 4 is full; inserting value 2 evicts the least recently used.
+//! let out = fast.insert(2, 2, 2, |_| false, |_| u64::MAX);
+//! assert_eq!(out.evicted, vec![0]);
+//! assert_eq!(fast.policy(), EvictionPolicy::Lru);
+//! ```
+
+pub mod residency;
+pub mod spec;
+
+pub use residency::{InsertOutcome, Residency};
+pub use spec::{EvictionPolicy, MemorySpec};

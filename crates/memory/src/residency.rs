@@ -1,0 +1,287 @@
+//! A deterministic bounded set of resident values with pluggable eviction.
+
+use crate::spec::{EvictionPolicy, MemorySpec};
+
+/// One resident value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Resident {
+    /// Caller-chosen value id (the producing node's id in the simulator).
+    id: u32,
+    /// Fast-memory units the value occupies.
+    footprint: u64,
+    /// Logical time of the last use (insertions and touches).
+    last_use: u64,
+}
+
+/// What an [`Residency::insert`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Ids evicted to make room, in eviction order.
+    pub evicted: Vec<u32>,
+    /// The set exceeds its capacity even after evicting every unpinned
+    /// value — the caller's working set does not fit and should be
+    /// recorded as a violation (the value is kept resident regardless, so
+    /// simulation can continue best-effort).
+    pub overflow: bool,
+}
+
+/// One processor's fast memory: which values are resident, under a
+/// capacity and an [`EvictionPolicy`]. Fully deterministic — iteration
+/// order, eviction order and all tie-breaks depend only on the call
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct Residency {
+    spec: MemorySpec,
+    used: u64,
+    /// Sorted by id (binary-searchable, deterministic iteration).
+    slots: Vec<Resident>,
+}
+
+impl Residency {
+    /// An empty fast memory of the given spec.
+    pub fn new(spec: MemorySpec) -> Self {
+        Residency {
+            spec,
+            used: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Total footprint currently resident.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The capacity `M`.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.spec.capacity
+    }
+
+    /// The eviction policy in force.
+    #[inline]
+    pub fn policy(&self) -> EvictionPolicy {
+        self.spec.evict
+    }
+
+    /// Whether the value is resident.
+    pub fn contains(&self, id: u32) -> bool {
+        self.slots.binary_search_by_key(&id, |r| r.id).is_ok()
+    }
+
+    /// Resident ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots.iter().map(|r| r.id)
+    }
+
+    /// Marks a use of a resident value at logical time `now` (LRU
+    /// recency). Returns whether the value was resident.
+    pub fn touch(&mut self, id: u32, now: u64) -> bool {
+        match self.slots.binary_search_by_key(&id, |r| r.id) {
+            Ok(i) => {
+                self.slots[i].last_use = now;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Drops a value (an explicit spill). Returns whether it was resident.
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self.slots.binary_search_by_key(&id, |r| r.id) {
+            Ok(i) => {
+                self.used -= self.slots[i].footprint;
+                self.slots.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Makes `id` resident with the given footprint, touching it at `now`.
+    /// While the set exceeds capacity, unpinned values are evicted per the
+    /// policy: LRU evicts the smallest `(last_use, id)`; Belady evicts the
+    /// largest `(next_use(id), id)` (so never-used-again values go first).
+    /// `pinned` values — the current working set — are never evicted.
+    ///
+    /// If the value is already resident this is just a touch. If capacity
+    /// cannot be reached because everything else is pinned (or the value
+    /// alone exceeds `M`), the value stays resident anyway and
+    /// [`InsertOutcome::overflow`] is set.
+    pub fn insert(
+        &mut self,
+        id: u32,
+        footprint: u64,
+        now: u64,
+        pinned: impl Fn(u32) -> bool,
+        next_use: impl Fn(u32) -> u64,
+    ) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
+        match self.slots.binary_search_by_key(&id, |r| r.id) {
+            Ok(i) => {
+                self.slots[i].last_use = now;
+                return outcome;
+            }
+            Err(i) => {
+                self.slots.insert(
+                    i,
+                    Resident {
+                        id,
+                        footprint,
+                        last_use: now,
+                    },
+                );
+                self.used += footprint;
+            }
+        }
+        while self.used > self.spec.capacity {
+            let victim = match self.spec.evict {
+                EvictionPolicy::Lru => self
+                    .slots
+                    .iter()
+                    .filter(|r| r.id != id && !pinned(r.id))
+                    .min_by_key(|r| (r.last_use, r.id))
+                    .map(|r| r.id),
+                EvictionPolicy::Belady => self
+                    .slots
+                    .iter()
+                    .filter(|r| r.id != id && !pinned(r.id))
+                    .max_by_key(|r| (next_use(r.id), r.id))
+                    .map(|r| r.id),
+            };
+            match victim {
+                Some(v) => {
+                    self.remove(v);
+                    outcome.evicted.push(v);
+                }
+                None => {
+                    outcome.overflow = true;
+                    break;
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru(capacity: u64) -> Residency {
+        Residency::new(MemorySpec::new(capacity))
+    }
+
+    fn belady(capacity: u64) -> Residency {
+        Residency::new(MemorySpec::new(capacity).with_policy(EvictionPolicy::Belady))
+    }
+
+    const FREE: fn(u32) -> bool = |_| false;
+    const NEVER: fn(u32) -> u64 = |_| u64::MAX;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut m = lru(4);
+        assert!(m.insert(0, 2, 0, FREE, NEVER).evicted.is_empty());
+        assert!(m.insert(1, 2, 1, FREE, NEVER).evicted.is_empty());
+        m.touch(0, 2); // 1 becomes the LRU value
+        let out = m.insert(2, 2, 3, FREE, NEVER);
+        assert_eq!(out.evicted, vec![1]);
+        assert!(!out.overflow);
+        assert!(m.contains(0) && !m.contains(1) && m.contains(2));
+        assert_eq!(m.used(), 4);
+    }
+
+    #[test]
+    fn lru_ties_break_to_the_smaller_id() {
+        let mut m = lru(4);
+        m.insert(7, 2, 0, FREE, NEVER);
+        m.insert(3, 2, 0, FREE, NEVER); // same recency as 7
+        let out = m.insert(9, 2, 1, FREE, NEVER);
+        assert_eq!(out.evicted, vec![3]);
+    }
+
+    #[test]
+    fn belady_evicts_the_farthest_next_use() {
+        let mut m = belady(4);
+        m.insert(0, 2, 0, FREE, NEVER);
+        m.insert(1, 2, 1, FREE, NEVER);
+        // 0 is needed at time 10, 1 at time 5: the oracle keeps 1.
+        let next = |id: u32| match id {
+            0 => 10,
+            1 => 5,
+            _ => u64::MAX,
+        };
+        let out = m.insert(2, 2, 2, FREE, next);
+        assert_eq!(out.evicted, vec![0]);
+        assert!(m.contains(1));
+    }
+
+    #[test]
+    fn belady_prefers_never_used_again() {
+        let mut m = belady(4);
+        m.insert(0, 2, 0, FREE, NEVER);
+        m.insert(1, 2, 1, FREE, NEVER);
+        let next = |id: u32| if id == 1 { 4 } else { u64::MAX };
+        let out = m.insert(2, 2, 2, FREE, next);
+        assert_eq!(out.evicted, vec![0], "dead value goes before a live one");
+    }
+
+    #[test]
+    fn pinned_values_survive_and_overflow_is_reported() {
+        let mut m = lru(4);
+        m.insert(0, 3, 0, FREE, NEVER);
+        let out = m.insert(1, 3, 1, |id| id == 0, NEVER);
+        assert!(out.overflow, "everything else pinned: must report overflow");
+        assert!(out.evicted.is_empty());
+        // Best-effort: both stay resident so simulation can continue.
+        assert!(m.contains(0) && m.contains(1));
+        assert_eq!(m.used(), 6);
+    }
+
+    #[test]
+    fn oversized_value_overflows_alone() {
+        let mut m = lru(4);
+        let out = m.insert(0, 9, 0, FREE, NEVER);
+        assert!(out.overflow);
+        assert!(m.contains(0));
+    }
+
+    #[test]
+    fn reinsert_is_a_touch_not_a_double_charge() {
+        let mut m = lru(4);
+        m.insert(0, 2, 0, FREE, NEVER);
+        m.insert(1, 2, 1, FREE, NEVER);
+        let out = m.insert(0, 2, 2, FREE, NEVER);
+        assert!(out.evicted.is_empty() && !out.overflow);
+        assert_eq!(m.used(), 4);
+        // 0 is now the most recent: inserting 2 evicts 1.
+        assert_eq!(m.insert(2, 2, 3, FREE, NEVER).evicted, vec![1]);
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut m = lru(4);
+        m.insert(0, 4, 0, FREE, NEVER);
+        assert!(m.remove(0));
+        assert!(!m.remove(0));
+        assert_eq!(m.used(), 0);
+        assert!(m.insert(1, 4, 1, FREE, NEVER).evicted.is_empty());
+        assert_eq!(m.ids().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn multi_eviction_orders_deterministically() {
+        let mut m = lru(6);
+        m.insert(0, 2, 0, FREE, NEVER);
+        m.insert(1, 2, 1, FREE, NEVER);
+        m.insert(2, 2, 2, FREE, NEVER);
+        // A footprint-5 value on top of 6 used needs three evictions
+        // (11 → 9 → 7 → 5): oldest first, in order.
+        let out = m.insert(3, 5, 3, FREE, NEVER);
+        assert_eq!(out.evicted, vec![0, 1, 2]);
+        assert!(!out.overflow);
+        assert_eq!(m.used(), 5);
+    }
+}

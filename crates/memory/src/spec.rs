@@ -1,0 +1,172 @@
+//! The memory clause of a machine description: capacity plus eviction
+//! policy.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt;
+
+/// How a processor picks the resident value to evict when its fast memory
+/// is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used value (ties to the smaller node id).
+    /// The online policy real runtimes approximate.
+    #[default]
+    Lru,
+    /// Belady's oracle: evict the value whose next use on this processor
+    /// lies farthest in the future (never-again first). The offline
+    /// optimum — a lower bound on what any online policy can achieve.
+    Belady,
+}
+
+impl EvictionPolicy {
+    /// The spec-string name (`"lru"` / `"belady"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Belady => "belady",
+        }
+    }
+
+    /// Parses a spec-string name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lru" => Some(EvictionPolicy::Lru),
+            "belady" => Some(EvictionPolicy::Belady),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-processor fast-memory limit: every processor may keep at most
+/// `capacity` units of value footprint resident, where a node's value
+/// occupies its communication weight `c(v)`.
+///
+/// ```
+/// use bsp_memory::{EvictionPolicy, MemorySpec};
+///
+/// let spec = MemorySpec::new(4096);
+/// assert_eq!(spec.capacity, 4096);
+/// assert_eq!(spec.evict, EvictionPolicy::Lru);
+/// assert!(spec.fits(4096) && !spec.fits(4097));
+///
+/// let oracle = spec.with_policy(EvictionPolicy::Belady);
+/// assert_eq!(oracle.evict.name(), "belady");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySpec {
+    /// Fast-memory capacity `M` per processor, in communication-weight
+    /// units.
+    pub capacity: u64,
+    /// Eviction policy the residency simulator replays.
+    pub evict: EvictionPolicy,
+}
+
+impl MemorySpec {
+    /// A capacity-`M` limit under the default (LRU) policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` — a processor that can hold nothing can
+    /// compute nothing.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "fast-memory capacity must be positive");
+        MemorySpec {
+            capacity,
+            evict: EvictionPolicy::default(),
+        }
+    }
+
+    /// This spec with a different eviction policy.
+    pub fn with_policy(mut self, evict: EvictionPolicy) -> Self {
+        self.evict = evict;
+        self
+    }
+
+    /// Whether a working set of `footprint` units fits in fast memory.
+    #[inline]
+    pub fn fits(&self, footprint: u64) -> bool {
+        footprint <= self.capacity
+    }
+}
+
+// Manual serde impls: the offline serde stand-in derives only named-field
+// structs, and `evict` is an enum (serialized as its spec-string name).
+impl Serialize for MemorySpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("evict".to_string(), Value::Str(self.evict.name().into())),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for MemorySpec {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let fields = serde::expect_object(value, "MemorySpec")?;
+        let capacity: u64 = serde::expect_field(fields, "capacity", "MemorySpec")?;
+        if capacity == 0 {
+            return Err(Error::new("MemorySpec.capacity: must be positive"));
+        }
+        let evict: String = serde::expect_field(fields, "evict", "MemorySpec")?;
+        let evict = EvictionPolicy::parse(&evict)
+            .ok_or_else(|| Error::new(format!("MemorySpec.evict: unknown policy {evict:?}")))?;
+        Ok(MemorySpec { capacity, evict })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_fits() {
+        let spec = MemorySpec::new(8);
+        assert_eq!(spec.capacity, 8);
+        assert_eq!(spec.evict, EvictionPolicy::Lru);
+        assert!(spec.fits(0) && spec.fits(8) && !spec.fits(9));
+        let spec = spec.with_policy(EvictionPolicy::Belady);
+        assert_eq!(spec.evict, EvictionPolicy::Belady);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        MemorySpec::new(0);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady] {
+            assert_eq!(EvictionPolicy::parse(policy.name()), Some(policy));
+            assert_eq!(policy.to_string(), policy.name());
+        }
+        assert_eq!(EvictionPolicy::parse("fifo"), None);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        for spec in [
+            MemorySpec::new(1),
+            MemorySpec::new(4096).with_policy(EvictionPolicy::Belady),
+        ] {
+            let text = serde::json::to_string(&spec);
+            let back: MemorySpec = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_specs() {
+        assert!(serde::json::from_str::<MemorySpec>("{\"capacity\":0,\"evict\":\"lru\"}").is_err());
+        assert!(
+            serde::json::from_str::<MemorySpec>("{\"capacity\":4,\"evict\":\"fifo\"}").is_err()
+        );
+        assert!(serde::json::from_str::<MemorySpec>("{\"capacity\":4}").is_err());
+        assert!(serde::json::from_str::<MemorySpec>("17").is_err());
+    }
+}

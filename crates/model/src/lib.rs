@@ -13,17 +13,26 @@
 //! where the coefficient grows by a factor `Δ` per level crossed
 //! ([`NumaTopology::binary_tree`]).
 //!
+//! Beyond NUMA, a machine may bound every processor's *fast memory*
+//! ([`BspParams::with_memory`], model from the `bsp-memory` crate): resident
+//! values occupy their communication weight, and the residency simulator in
+//! `bsp-schedule` charges eviction/re-fetch traffic into the cost model.
+//!
 //! ```
-//! use bsp_model::{BspParams, NumaTopology};
+//! use bsp_model::{BspParams, MemorySpec, NumaTopology};
 //!
 //! let machine = BspParams::new(8, 1, 5).with_numa(NumaTopology::binary_tree(8, 3));
 //! assert_eq!(machine.lambda(0, 1), 1); // siblings
 //! assert_eq!(machine.lambda(0, 2), 3); // one level up
 //! assert_eq!(machine.lambda(0, 7), 9); // across the root
+//!
+//! let bounded = machine.with_memory(MemorySpec::new(4096));
+//! assert_eq!(bounded.memory().unwrap().capacity, 4096);
 //! ```
 
 pub mod numa;
 pub mod params;
 
+pub use bsp_memory::{EvictionPolicy, MemorySpec};
 pub use numa::NumaTopology;
 pub use params::BspParams;

@@ -1,17 +1,23 @@
-//! Machine parameters `(P, g, ℓ)` plus optional NUMA topology.
+//! Machine parameters `(P, g, ℓ)` plus optional NUMA topology and
+//! fast-memory limits.
 
 use crate::numa::NumaTopology;
+use bsp_memory::MemorySpec;
 use serde::{Deserialize, Serialize};
 
 /// Full description of the target machine (paper §3.2/§3.4): processor
 /// count `P`, per-unit communication cost `g`, per-superstep latency `ℓ`,
-/// and the NUMA coefficient matrix λ (uniform by default).
+/// the NUMA coefficient matrix λ (uniform by default), and an optional
+/// per-processor fast-memory limit `M` (unbounded by default — the
+/// memory-constrained model variants of the paper's §"increasingly
+/// realistic models" arc).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BspParams {
     p: usize,
     g: u64,
     l: u64,
     numa: NumaTopology,
+    mem: Option<MemorySpec>,
 }
 
 impl BspParams {
@@ -27,6 +33,7 @@ impl BspParams {
             g,
             l,
             numa: NumaTopology::uniform(p),
+            mem: None,
         }
     }
 
@@ -37,6 +44,13 @@ impl BspParams {
     pub fn with_numa(mut self, numa: NumaTopology) -> Self {
         assert_eq!(numa.p(), self.p, "NUMA topology size must match P");
         self.numa = numa;
+        self
+    }
+
+    /// Bounds every processor's fast memory by `mem`. With no bound (the
+    /// default) the machine is exactly the unconstrained BSP+NUMA model.
+    pub fn with_memory(mut self, mem: MemorySpec) -> Self {
+        self.mem = Some(mem);
         self
     }
 
@@ -70,6 +84,18 @@ impl BspParams {
         &self.numa
     }
 
+    /// The per-processor fast-memory limit, if the machine has one.
+    #[inline]
+    pub fn memory(&self) -> Option<&MemorySpec> {
+        self.mem.as_ref()
+    }
+
+    /// Whether the machine bounds its processors' fast memory.
+    #[inline]
+    pub fn is_memory_bounded(&self) -> bool {
+        self.mem.is_some()
+    }
+
     /// Whether communication costs are uniform (no NUMA effects).
     pub fn is_uniform(&self) -> bool {
         self.numa.is_uniform()
@@ -95,6 +121,31 @@ mod tests {
         assert!(m.is_uniform());
         assert_eq!(m.lambda(1, 2), 1);
         assert_eq!(m.lambda(2, 2), 0);
+    }
+
+    #[test]
+    fn with_memory_attaches_the_bound() {
+        use bsp_memory::EvictionPolicy;
+        let m = BspParams::new(4, 1, 5);
+        assert!(!m.is_memory_bounded());
+        assert_eq!(m.memory(), None);
+        let m = m.with_memory(MemorySpec::new(64).with_policy(EvictionPolicy::Belady));
+        assert!(m.is_memory_bounded());
+        let spec = m.memory().unwrap();
+        assert_eq!(spec.capacity, 64);
+        assert_eq!(spec.evict, EvictionPolicy::Belady);
+    }
+
+    #[test]
+    fn memory_bound_survives_serde() {
+        let plain = BspParams::new(2, 1, 5);
+        let bounded = BspParams::new(2, 1, 5).with_memory(MemorySpec::new(32));
+        for m in [&plain, &bounded] {
+            let text = serde::json::to_string(m);
+            let back: BspParams = serde::json::from_str(&text).unwrap();
+            assert_eq!(&back, m);
+        }
+        assert_ne!(plain, bounded);
     }
 
     #[test]

@@ -24,14 +24,21 @@ pub struct SuperstepCost {
     /// `Ccomm(s)`: maximum λ-weighted h-relation entry (before multiplying
     /// by `g`).
     pub comm: u64,
+    /// Extra λ-weighted h-relation units caused by fast-memory re-fetches
+    /// on memory-bounded machines — the growth of `max_p max(send, recv)`
+    /// once eviction/re-fetch traffic is folded in. Always 0 from
+    /// [`schedule_cost`]; filled by
+    /// [`memory_cost`](crate::memory::memory_cost). Folded into `Ccomm`:
+    /// the superstep total charges `g · (comm + refetch)`.
+    pub refetch: u64,
     /// Latency charged (`ℓ` if non-empty, else 0).
     pub latency: u64,
 }
 
 impl SuperstepCost {
-    /// `Cwork + g·Ccomm + latency` for the machine's `g`.
+    /// `Cwork + g·(Ccomm + refetch) + latency` for the machine's `g`.
     pub fn total(&self, g: u64) -> u64 {
-        self.work + g * self.comm + self.latency
+        self.work + g * (self.comm + self.refetch) + self.latency
     }
 }
 
@@ -46,18 +53,35 @@ pub struct CostBreakdown {
     pub work_total: u64,
     /// Σ g·Ccomm over supersteps.
     pub comm_total: u64,
+    /// Σ g·refetch over supersteps (0 unless evaluated under a
+    /// memory-bounded machine by [`memory_cost`](crate::memory::memory_cost)).
+    pub refetch_total: u64,
     /// Σ latency over supersteps.
     pub latency_total: u64,
 }
 
-/// Evaluates the cost of `(π, τ, Γ)` on `machine`. Does not check validity;
-/// see [`crate::validate`].
-pub fn schedule_cost(
+/// Per-(superstep, processor) tallies of a schedule — the intermediate
+/// representation [`schedule_cost`] folds into a [`CostBreakdown`], shared
+/// with the memory-bounded evaluation in [`crate::memory`] (which adds
+/// re-fetch traffic on top before taking the h-relation maxima).
+pub(crate) struct StepTallies {
+    pub n_steps: usize,
+    /// `work[s*P + q]`: work of processor `q` in superstep `s`.
+    pub work: Vec<u64>,
+    /// λ-weighted units sent per `[step][proc]`.
+    pub send: Vec<u64>,
+    /// λ-weighted units received per `[step][proc]`.
+    pub recv: Vec<u64>,
+    pub nodes_in_step: Vec<u32>,
+    pub comms_in_step: Vec<u32>,
+}
+
+pub(crate) fn step_tallies(
     dag: &Dag,
     machine: &BspParams,
     sched: &BspSchedule,
     comm: &CommSchedule,
-) -> CostBreakdown {
+) -> StepTallies {
     let p = machine.p();
     let comp_steps = sched.n_supersteps();
     let comm_steps = comm.max_step().map_or(0, |s| s + 1);
@@ -78,26 +102,57 @@ pub fn schedule_cost(
         recv[e.step as usize * p + e.to as usize] += weighted;
         comms_in_step[e.step as usize] += 1;
     }
+    StepTallies {
+        n_steps,
+        work,
+        send,
+        recv,
+        nodes_in_step,
+        comms_in_step,
+    }
+}
 
-    let mut per_step = Vec::with_capacity(n_steps);
-    let (mut total, mut work_total, mut comm_total, mut latency_total) = (0, 0, 0, 0);
-    for s in 0..n_steps {
+/// Folds tallies into the final breakdown. `extra_send`/`extra_recv`, when
+/// present, carry per-`[step][proc]` re-fetch traffic: the increase of the
+/// h-relation maximum becomes each step's `refetch` component.
+pub(crate) fn breakdown_from_tallies(
+    machine: &BspParams,
+    t: &StepTallies,
+    extra: Option<(&[u64], &[u64])>,
+) -> CostBreakdown {
+    let p = machine.p();
+    let mut per_step = Vec::with_capacity(t.n_steps);
+    let (mut total, mut work_total, mut comm_total, mut refetch_total, mut latency_total) =
+        (0, 0, 0, 0, 0);
+    for s in 0..t.n_steps {
         let row = s * p;
-        let w = work[row..row + p].iter().copied().max().unwrap_or(0);
+        let w = t.work[row..row + p].iter().copied().max().unwrap_or(0);
         let c = (0..p)
-            .map(|q| send[row + q].max(recv[row + q]))
+            .map(|q| t.send[row + q].max(t.recv[row + q]))
             .max()
             .unwrap_or(0);
-        let nonempty = nodes_in_step[s] > 0 || comms_in_step[s] > 0;
+        let (refetch, has_refetch) = match extra {
+            None => (0, false),
+            Some((es, er)) => {
+                let with = (0..p)
+                    .map(|q| (t.send[row + q] + es[row + q]).max(t.recv[row + q] + er[row + q]))
+                    .max()
+                    .unwrap_or(0);
+                (with - c, (0..p).any(|q| es[row + q] > 0 || er[row + q] > 0))
+            }
+        };
+        let nonempty = t.nodes_in_step[s] > 0 || t.comms_in_step[s] > 0 || has_refetch;
         let latency = if nonempty { machine.l() } else { 0 };
         let sc = SuperstepCost {
             work: w,
             comm: c,
+            refetch,
             latency,
         };
         total += sc.total(machine.g());
         work_total += w;
         comm_total += machine.g() * c;
+        refetch_total += machine.g() * refetch;
         latency_total += latency;
         per_step.push(sc);
     }
@@ -106,8 +161,23 @@ pub fn schedule_cost(
         per_step,
         work_total,
         comm_total,
+        refetch_total,
         latency_total,
     }
+}
+
+/// Evaluates the cost of `(π, τ, Γ)` on `machine` under the *unbounded*
+/// memory model (every `refetch` component is 0); for memory-bounded
+/// machines, [`crate::memory::memory_cost`] adds the re-fetch traffic the
+/// residency simulator observes. Does not check validity; see
+/// [`crate::validate`].
+pub fn schedule_cost(
+    dag: &Dag,
+    machine: &BspParams,
+    sched: &BspSchedule,
+    comm: &CommSchedule,
+) -> CostBreakdown {
+    breakdown_from_tallies(machine, &step_tallies(dag, machine, sched, comm), None)
 }
 
 /// Total cost only (convenience wrapper around [`schedule_cost`]).
@@ -149,6 +219,7 @@ mod tests {
             SuperstepCost {
                 work: 2,
                 comm: 3,
+                refetch: 0,
                 latency: 4
             }
         );
@@ -157,6 +228,7 @@ mod tests {
             SuperstepCost {
                 work: 5,
                 comm: 0,
+                refetch: 0,
                 latency: 4
             }
         );

@@ -39,6 +39,7 @@ pub mod comm;
 pub mod compact;
 pub mod cost;
 pub mod export;
+pub mod memory;
 pub mod schedule;
 pub mod scheduler;
 pub mod solve;
@@ -50,10 +51,14 @@ pub use classical::ClassicalSchedule;
 pub use comm::{CommSchedule, CommStep, Transfer};
 pub use cost::{schedule_cost, CostBreakdown};
 pub use export::{classical_to_gantt, dag_to_dot, schedule_to_dot, schedule_to_text};
+pub use memory::{
+    memory_cost, memory_violations, min_repairable_capacity, node_working_set, simulate_memory,
+    MemoryReport, MemoryViolation, RefetchEvent,
+};
 pub use schedule::BspSchedule;
 pub use scheduler::{ScheduleResult, Scheduler, SchedulerKind};
 pub use solve::{
     Budget, ImprovementEvent, Observer, SolveCx, SolveOutcome, SolveRequest, StageReport,
 };
 pub use spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
-pub use validity::{validate, InvalidSchedule};
+pub use validity::{validate, validate_memory, validate_with_memory, InvalidSchedule};

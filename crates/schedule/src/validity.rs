@@ -57,6 +57,20 @@ pub enum InvalidSchedule {
         /// Superstep of the consumer.
         at_step: u32,
     },
+    /// A compute phase's working set (its distinct input values plus its
+    /// own outputs) exceeds the machine's per-processor fast-memory
+    /// capacity `M` — no eviction order can make the superstep runnable.
+    /// Only raised for memory-bounded machines (see [`validate_memory`]).
+    MemoryExceeded {
+        /// Offending processor.
+        proc: u32,
+        /// Offending superstep.
+        step: u32,
+        /// Footprint that must be simultaneously resident.
+        need: u64,
+        /// The machine's fast-memory capacity.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for InvalidSchedule {
@@ -83,6 +97,14 @@ impl fmt::Display for InvalidSchedule {
                 at_step,
             } => {
                 write!(f, "edge ({u},{v}): value of {u} not present on processor {needed_on} when {v} is computed in superstep {at_step}")
+            }
+            InvalidSchedule::MemoryExceeded {
+                proc,
+                step,
+                need,
+                capacity,
+            } => {
+                write!(f, "superstep {step} on processor {proc} needs {need} units of fast memory simultaneously, machine has {capacity}")
             }
         }
     }
@@ -161,6 +183,40 @@ pub fn validate(
         }
     }
     Ok(())
+}
+
+/// Checks the memory half of validity on a memory-bounded machine: every
+/// compute phase's working set must fit in the per-processor capacity `M`
+/// (cross-superstep pressure is legal — it costs re-fetch traffic, see
+/// [`crate::memory`] — but a single superstep's simultaneous demand is
+/// not). Trivially `Ok` for machines without a bound.
+pub fn validate_memory(
+    dag: &Dag,
+    machine: &bsp_model::BspParams,
+    sched: &BspSchedule,
+) -> Result<(), InvalidSchedule> {
+    match crate::memory::memory_violations(dag, machine, sched).first() {
+        None => Ok(()),
+        Some(v) => Err(InvalidSchedule::MemoryExceeded {
+            proc: v.proc,
+            step: v.step,
+            need: v.need,
+            capacity: v.capacity,
+        }),
+    }
+}
+
+/// Full validity on a possibly memory-bounded machine: the structural
+/// `(π, τ, Γ)` conditions of [`validate`] plus the working-set condition
+/// of [`validate_memory`].
+pub fn validate_with_memory(
+    dag: &Dag,
+    machine: &bsp_model::BspParams,
+    sched: &BspSchedule,
+    comm: &CommSchedule,
+) -> Result<(), InvalidSchedule> {
+    validate(dag, machine.p(), sched, comm)?;
+    validate_memory(dag, machine, sched)
 }
 
 /// Convenience: validate an assignment under its lazy communication
@@ -335,6 +391,39 @@ mod tests {
         assert!(validate_lazy(&dag, 2, &good).is_ok());
         let bad = BspSchedule::from_parts(vec![0, 1, 0], vec![0, 0, 1]);
         assert!(validate_lazy(&dag, 2, &bad).is_err());
+    }
+
+    #[test]
+    fn memory_validity_checks_working_sets() {
+        use bsp_model::{BspParams, MemorySpec};
+        // Three nodes of footprint 2 computed together on one processor:
+        // the working set is 6.
+        let mut b = DagBuilder::new();
+        for _ in 0..3 {
+            b.add_node(1, 2);
+        }
+        let dag = b.build().unwrap();
+        let s = BspSchedule::zeroed(3);
+        let comm = CommSchedule::empty();
+        let roomy = BspParams::new(1, 1, 0).with_memory(MemorySpec::new(6));
+        assert!(validate_with_memory(&dag, &roomy, &s, &comm).is_ok());
+        let tight = BspParams::new(1, 1, 0).with_memory(MemorySpec::new(5));
+        assert!(matches!(
+            validate_with_memory(&dag, &tight, &s, &comm),
+            Err(InvalidSchedule::MemoryExceeded {
+                proc: 0,
+                step: 0,
+                need: 6,
+                capacity: 5
+            })
+        ));
+        // Splitting the cell across supersteps fits: each set is 2.
+        let split = BspSchedule::from_parts(vec![0, 0, 0], vec![0, 1, 2]);
+        assert!(validate_memory(&dag, &tight, &split).is_ok());
+        // Unbounded machines never raise MemoryExceeded.
+        assert!(validate_with_memory(&dag, &BspParams::new(1, 1, 0), &s, &comm).is_ok());
+        let err = validate_memory(&dag, &tight, &s).unwrap_err();
+        assert!(err.to_string().contains("fast memory"), "{err}");
     }
 
     #[test]

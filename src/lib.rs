@@ -3,10 +3,13 @@
 //! A full Rust implementation of the scheduling framework of
 //! *Efficient Multi-Processor Scheduling in Increasingly Realistic Models*
 //! (Papp, Anegg, Karanasiou, Yzelman — IPPS 2024): the BSP cost model with
-//! NUMA extensions, classic baselines (Cilk, BL-EST, ETF, HDagg),
-//! initialization heuristics, hill-climbing local search, ILP refinement
-//! (with an in-tree MILP solver), and a multilevel coarsen-solve-refine
-//! scheduler.
+//! NUMA extensions and per-processor fast-memory limits (the
+//! "realistic-models ladder": classical → BSP → NUMA → memory-bounded),
+//! classic baselines (Cilk, BL-EST, ETF, HDagg), initialization
+//! heuristics, hill-climbing local search, ILP refinement (with an in-tree
+//! MILP solver), a multilevel coarsen-solve-refine scheduler, and a
+//! residency simulator plus feasibility repair for memory-bounded
+//! machines.
 //!
 //! Every algorithm is also exposed behind the [`schedule::Scheduler`]
 //! trait's anytime `solve` API — [`SolveRequest`](prelude::SolveRequest) in
@@ -68,6 +71,7 @@ pub fn instances() -> bsp_instance::InstanceRegistry {
 pub mod prelude {
     pub use crate::registry::{Registry, RegistryEntry};
     pub use bsp_core::auto::{schedule_dag_auto, AutoConfig, Strategy};
+    pub use bsp_core::memrepair::{repair_memory, MemoryRepairScheduler, RepairReport};
     pub use bsp_core::pipeline::{
         schedule_dag, schedule_dag_multilevel, PipelineConfig, PipelineResult,
     };
@@ -76,12 +80,14 @@ pub mod prelude {
         Instance, InstanceDescriptor, InstanceError, InstanceRegistry, InstanceSource, MachineSpec,
         NumaSpec,
     };
-    pub use bsp_model::{BspParams, NumaTopology};
+    pub use bsp_model::{BspParams, EvictionPolicy, MemorySpec, NumaTopology};
     pub use bsp_schedule::cost::{lazy_cost, schedule_cost, total_cost};
+    pub use bsp_schedule::memory::{memory_cost, memory_violations, simulate_memory, MemoryReport};
     pub use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
     pub use bsp_schedule::solve::{
         Budget, ImprovementEvent, Observer, SolveOutcome, SolveRequest, StageReport,
     };
     pub use bsp_schedule::spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
+    pub use bsp_schedule::validity::{validate_memory, validate_with_memory};
     pub use bsp_schedule::{BspSchedule, CommSchedule};
 }

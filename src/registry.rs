@@ -33,11 +33,12 @@
 use bsp_baselines::{BlestScheduler, CilkScheduler, DscScheduler, EtfScheduler, HDaggScheduler};
 use bsp_core::anneal::AnnealConfig;
 use bsp_core::auto::AutoConfig;
+use bsp_core::memrepair::MemoryRepairScheduler;
 use bsp_core::multilevel::MultilevelConfig;
 use bsp_core::pipeline::{EscapeSearch, PipelineConfig};
 use bsp_core::tabu::TabuConfig;
 use bsp_core::{AutoScheduler, BasePipeline, BspgInit, MultilevelPipeline, SourceInit};
-use bsp_schedule::scheduler::{SchedulerKind, SharedScheduler};
+use bsp_schedule::scheduler::{Scheduler, SchedulerKind, SharedScheduler};
 use bsp_schedule::spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
 use std::time::Duration;
 
@@ -161,7 +162,24 @@ const PIPELINE_PARAMS: &[&str] = &[
     "hccs_iters",
     "hccs_ms",
     "escape",
+    "mem",
 ];
+
+/// Applies the shared `mem=on` switch: wrap the scheduler in the
+/// feasibility repair pass, which on memory-bounded machines appends a
+/// `mem-repair` stage and re-costs the result under the residency
+/// simulator (no-op on unbounded machines and when `mem` is off).
+fn with_mem_repair<S: Scheduler + Send + Sync + 'static>(
+    spec: &SchedulerSpec,
+    name: &'static str,
+    inner: S,
+) -> Result<SharedScheduler, SpecError> {
+    Ok(if spec.bool_param("mem")?.unwrap_or(false) {
+        Box::new(MemoryRepairScheduler::new(name, inner))
+    } else {
+        Box::new(inner)
+    })
+}
 
 /// Applies the shared pipeline parameters to a copy of `base`.
 fn pipeline_cfg(spec: &SchedulerSpec, base: &PipelineConfig) -> Result<PipelineConfig, SpecError> {
@@ -254,6 +272,25 @@ fn standard_entries() -> Vec<RegistryEntry> {
         },
         RegistryEntry {
             descriptor: SchedulerDescriptor {
+                name: "bl-est/mem",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                // The repair wrapper polls the deadline between splits.
+                supports_budget: true,
+                params: &["numa"],
+                summary: "BL-EST + memory feasibility repair (for mem=-bounded machines)",
+            },
+            factory: |spec, _| {
+                let numa_aware = spec.bool_param("numa")?.unwrap_or(false);
+                Ok(Box::new(MemoryRepairScheduler::new(
+                    "bl-est/mem",
+                    BlestScheduler { numa_aware },
+                )))
+            },
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
                 name: "etf",
                 kind: SchedulerKind::Baseline,
                 numa_aware: false,
@@ -279,6 +316,25 @@ fn standard_entries() -> Vec<RegistryEntry> {
                 summary: "ETF with the NUMA-aware per-pair λ EST extension (A.1)",
             },
             factory: |_, _| Ok(Box::new(EtfScheduler { numa_aware: true })),
+        },
+        RegistryEntry {
+            descriptor: SchedulerDescriptor {
+                name: "etf/mem",
+                kind: SchedulerKind::Baseline,
+                numa_aware: false,
+                deterministic: true,
+                // The repair wrapper polls the deadline between splits.
+                supports_budget: true,
+                params: &["numa"],
+                summary: "ETF + memory feasibility repair (for mem=-bounded machines)",
+            },
+            factory: |spec, _| {
+                let numa_aware = spec.bool_param("numa")?.unwrap_or(false);
+                Ok(Box::new(MemoryRepairScheduler::new(
+                    "etf/mem",
+                    EtfScheduler { numa_aware },
+                )))
+            },
         },
         RegistryEntry {
             descriptor: SchedulerDescriptor {
@@ -339,9 +395,10 @@ fn standard_entries() -> Vec<RegistryEntry> {
                 summary: "Figure-3 pipeline: init → HC/HCcs → ILP stages",
             },
             factory: |spec, base| {
-                Ok(Box::new(BasePipeline {
+                let inner = BasePipeline {
                     cfg: pipeline_cfg(spec, base)?,
-                }))
+                };
+                with_mem_repair(spec, "pipeline/base", inner)
             },
         },
         RegistryEntry {
@@ -360,6 +417,7 @@ fn standard_entries() -> Vec<RegistryEntry> {
                     "hccs_iters",
                     "hccs_ms",
                     "escape",
+                    "mem",
                     "ratio",
                 ],
                 summary: "Figure-4 pipeline: coarsen → solve → uncoarsen-refine",
@@ -376,10 +434,11 @@ fn standard_entries() -> Vec<RegistryEntry> {
                     }
                     ml.ratios = vec![r];
                 }
-                Ok(Box::new(MultilevelPipeline {
+                let inner = MultilevelPipeline {
                     cfg: pipeline_cfg(spec, base)?,
                     ml,
-                }))
+                };
+                with_mem_repair(spec, "pipeline/multilevel", inner)
             },
         },
         RegistryEntry {
@@ -398,6 +457,7 @@ fn standard_entries() -> Vec<RegistryEntry> {
                     "hccs_iters",
                     "hccs_ms",
                     "escape",
+                    "mem",
                     "ccr_lo",
                     "ccr_hi",
                 ],
@@ -411,10 +471,11 @@ fn standard_entries() -> Vec<RegistryEntry> {
                 if let Some(hi) = spec.f64_param("ccr_hi")? {
                     auto.ccr_hi = hi;
                 }
-                Ok(Box::new(AutoScheduler {
+                let inner = AutoScheduler {
                     cfg: pipeline_cfg(spec, base)?,
                     auto,
-                }))
+                };
+                with_mem_repair(spec, "auto", inner)
             },
         },
     ]

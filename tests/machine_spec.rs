@@ -1,11 +1,15 @@
 //! Property tests for the machine-spec grammar:
 //!
-//! * any well-formed `MachineSpec` round-trips through its canonical spec
-//!   string (`parse(spec()) == self`) and builds a `BspParams` with the
-//!   advertised `(P, g, ℓ)`;
+//! * any well-formed `MachineSpec` — including the memory clause
+//!   (`mem=`/`evict=`) — round-trips through its canonical spec string
+//!   (`parse(spec()) == self`) and builds a `BspParams` with the
+//!   advertised `(P, g, ℓ, M)`;
 //! * `numa=tree` topologies match the paper's doc example — with `Δ` per
 //!   hierarchy level, opposite leaves cost `Δ^(log₂P − 1)`, which for
-//!   `P = 8` is the documented `λ(0,7) = Δ²` — across powers-of-two `P`.
+//!   `P = 8` is the documented `λ(0,7) = Δ²` — across powers-of-two `P`;
+//! * unknown `bsp?` query keys are *typed* errors, never silently ignored
+//!   — also when the machine clause arrives through a full
+//!   `"dag? @ bsp?…"` instance spec.
 
 use bsp_sched::prelude::*;
 use proptest::prelude::*;
@@ -28,6 +32,15 @@ fn numa_of(kind: usize, p: usize, delta: u64) -> NumaSpec {
     }
 }
 
+/// Builds the memory clause from drawn raw values: none, LRU, or Belady.
+fn mem_of(kind: usize, capacity: u64) -> Option<MemorySpec> {
+    match kind {
+        0 => None,
+        1 => Some(MemorySpec::new(capacity)),
+        _ => Some(MemorySpec::new(capacity).with_policy(EvictionPolicy::Belady)),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -39,9 +52,17 @@ proptest! {
         l in 0u64..50,
         kind in 0usize..5,
         delta in 1u64..9,
+        mem_kind in 0usize..3,
+        capacity in 1u64..100_000,
     ) {
         let p = (1usize << p_exp) + p_off * 3; // mixes powers of two and odd sizes
-        let spec = MachineSpec { p: p.max(1), g, l, numa: numa_of(kind, p.max(1), delta) };
+        let spec = MachineSpec {
+            p: p.max(1),
+            g,
+            l,
+            numa: numa_of(kind, p.max(1), delta),
+            mem: mem_of(mem_kind, capacity),
+        };
         let text = spec.spec();
         let reparsed = MachineSpec::parse(&text)
             .unwrap_or_else(|e| panic!("canonical spec {text:?} must parse: {e}"));
@@ -51,6 +72,8 @@ proptest! {
         prop_assert_eq!(machine.p(), spec.p);
         prop_assert_eq!(machine.g(), spec.g);
         prop_assert_eq!(machine.l(), spec.l);
+        prop_assert_eq!(machine.memory().copied(), spec.mem);
+        prop_assert_eq!(machine.is_memory_bounded(), spec.mem.is_some());
         // The converse does not hold (e.g. tree with Δ=1 is also uniform).
         if spec.numa == NumaSpec::Uniform {
             prop_assert!(machine.is_uniform());
@@ -79,6 +102,46 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn unknown_machine_keys_are_typed_errors(
+        key_pick in 0usize..6,
+        value in 1u64..100,
+    ) {
+        // Plausible-but-wrong keys a user might type: none may be
+        // silently ignored, and the error must name the offender.
+        let key = ["memory", "cache", "evictor", "m", "capacity", "fastmem"][key_pick];
+        let err = MachineSpec::parse(&format!("bsp?p=4&{key}={value}"))
+            .expect_err("unknown keys must be rejected");
+        match err {
+            InstanceError::Spec(SpecError::UnknownParam { key: k, .. }) => {
+                prop_assert_eq!(k, key);
+            }
+            other => prop_assert!(false, "expected a typed UnknownParam error, got {other:?}"),
+        }
+        // The same key through a full instance spec fails identically.
+        let full = format!("butterfly?k=2 @ bsp?p=4&{key}={value}");
+        let err = bsp_sched::instances().generate(&full, 1).unwrap_err();
+        prop_assert!(
+            matches!(err, InstanceError::Spec(SpecError::UnknownParam { .. })),
+            "instance-spec path must reject unknown machine keys, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn memory_clause_constraints_hold(capacity in 1u64..1000) {
+        // evict without mem, zero capacities and unknown policies are
+        // rejected with context.
+        prop_assert!(MachineSpec::parse("bsp?p=4&evict=lru").is_err());
+        prop_assert!(MachineSpec::parse("bsp?p=4&mem=0").is_err());
+        prop_assert!(
+            MachineSpec::parse(&format!("bsp?p=4&mem={capacity}&evict=fifo")).is_err()
+        );
+        let m = MachineSpec::parse(&format!("bsp?p=4&mem={capacity}")).unwrap();
+        prop_assert_eq!(m.mem, Some(MemorySpec::new(capacity)));
+        let built = m.build();
+        prop_assert_eq!(built.memory().unwrap().capacity, capacity);
+    }
 }
 
 #[test]
@@ -90,4 +153,18 @@ fn doc_example_p8() {
             .build();
         assert_eq!(m.lambda(0, 7), delta * delta);
     }
+}
+
+#[test]
+fn memory_machines_reach_instances() {
+    // The memory clause flows through the instance registry into the
+    // generated machine, and the resolved name replays it.
+    let inst = bsp_sched::instances()
+        .generate_one("butterfly?k=3 @ bsp?p=4&mem=48&evict=belady", 7)
+        .unwrap();
+    let mem = inst.machine.memory().expect("machine must carry the bound");
+    assert_eq!(mem.capacity, 48);
+    assert_eq!(mem.evict, EvictionPolicy::Belady);
+    let replay = bsp_sched::instances().generate_one(&inst.name, 7).unwrap();
+    assert_eq!(replay, inst);
 }

@@ -1,0 +1,169 @@
+//! The memory-constrained model, end to end: a hand-computed worked
+//! example pinning the exact re-fetch cost, plus properties over random
+//! instances:
+//!
+//! * repair never increases the number of `InvalidSchedule` memory
+//!   violations, and with enough headroom removes them all;
+//! * a machine with unlimited (or simply absent) `mem` reproduces the
+//!   unconstrained costs bit-identically — the whole memory path is
+//!   invisible until a bound is set.
+
+use bsp_sched::dag::random::{random_layered_dag, LayeredConfig};
+use bsp_sched::prelude::*;
+use bsp_sched::schedule::cost::schedule_cost;
+use proptest::prelude::*;
+
+/// The worked example (also mirrored in `bsp_schedule::memory`'s unit
+/// tests): chain `a → x → y` across two processors with a late second use
+/// of `a`, and `M = 4` forcing `a` out of p1's memory in between.
+///
+/// Node (work, comm): a(1,2) on p0 step 0; x(1,2), y(1,2), z(1,0) on p1
+/// steps 1–3; edges a→x, x→y, a→z, y→z. Machine P=2, g=1, ℓ=0.
+///
+/// Hand computation with M=4, LRU:
+/// * step 0: p0 computes a; the lazy Γ ships a→p1 (h-relation 2);
+/// * step 1: p1 computes x — working set {a, x} = 4 fits exactly;
+/// * step 2: p1 computes y — working set {x, y} = 4, so `a` is evicted;
+/// * step 3: p1 computes z from {a, y} — `a` is gone and is re-fetched
+///   from p0: c(a)·λ(p0,p1) = 2·1 = 2 extra h-relation units in step 3.
+///
+/// Per-step totals (work + g·(comm+refetch) + ℓ): (1+2) + 1 + 1 + (1+2)
+/// = 8, versus 6 for the identical schedule without the bound — the
+/// memory constraint costs exactly c(a)·g = 2, all of it `refetch`.
+#[test]
+fn worked_example_refetch_cost_matches_hand_computation() {
+    let mut b = DagBuilder::new();
+    let a = b.add_node(1, 2);
+    let x = b.add_node(1, 2);
+    let y = b.add_node(1, 2);
+    let z = b.add_node(1, 0);
+    b.add_edge(a, x).unwrap();
+    b.add_edge(x, y).unwrap();
+    b.add_edge(a, z).unwrap();
+    b.add_edge(y, z).unwrap();
+    let dag = b.build().unwrap();
+    let sched = BspSchedule::from_parts(vec![0, 1, 1, 1], vec![0, 1, 2, 3]);
+    let comm = CommSchedule::lazy(&dag, &sched);
+
+    let bounded = BspParams::new(2, 1, 0).with_memory(MemorySpec::new(4));
+    assert!(validate_with_memory(&dag, &bounded, &sched, &comm).is_ok());
+
+    let report = simulate_memory(&dag, &bounded, &sched, &comm);
+    assert_eq!(report.refetches.len(), 1);
+    assert_eq!(
+        (report.refetches[0].node, report.refetches[0].step),
+        (a, 3),
+        "the evicted value of a is re-fetched for superstep 3"
+    );
+
+    let cost = memory_cost(&dag, &bounded, &sched, &comm);
+    assert_eq!(cost.total, 8);
+    assert_eq!(cost.refetch_total, 2);
+    assert_eq!(cost.per_step[3].refetch, 2);
+    let unbounded = schedule_cost(&dag, &bounded, &sched, &comm);
+    assert_eq!(unbounded.total, 6);
+    assert_eq!(cost.total - unbounded.total, 2, "exactly c(a)·g");
+}
+
+use bsp_sched::schedule::memory::min_repairable_capacity;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn repair_never_increases_the_violation_count(
+        seed in 0u64..500,
+        layers in 3usize..6,
+        width in 3usize..7,
+        p in 2usize..5,
+        capacity in 1u64..40,
+        belady in proptest::bool::ANY,
+    ) {
+        let dag = random_layered_dag(seed, LayeredConfig {
+            layers,
+            width,
+            ..Default::default()
+        });
+        let mem = if belady {
+            MemorySpec::new(capacity).with_policy(EvictionPolicy::Belady)
+        } else {
+            MemorySpec::new(capacity)
+        };
+        let machine = BspParams::new(p, 1, 2).with_memory(mem);
+        let sched = ScheduleResult::from_lazy(
+            &dag,
+            &machine,
+            bsp_sched::baselines::blest_bsp(&dag, &machine),
+        ).sched;
+        let before = memory_violations(&dag, &machine, &sched).len();
+        let (fixed, report) = repair_memory(&dag, &machine, &sched);
+        let after = memory_violations(&dag, &machine, &fixed).len();
+        prop_assert_eq!(after, report.violations_after);
+        prop_assert_eq!(before, report.violations_before);
+        prop_assert!(after <= before, "repair went backwards: {before} -> {after}");
+        prop_assert!(fixed.respects_precedence_lazy(&dag));
+        // The repaired schedule is still structurally valid under its
+        // lazy communication schedule.
+        let comm = CommSchedule::lazy(&dag, &fixed);
+        prop_assert!(
+            bsp_sched::schedule::validate(&dag, machine.p(), &fixed, &comm).is_ok()
+        );
+    }
+
+    #[test]
+    fn repair_reaches_feasibility_with_enough_headroom(
+        seed in 0u64..500,
+        layers in 3usize..6,
+        width in 3usize..7,
+        p in 2usize..5,
+    ) {
+        let dag = random_layered_dag(seed, LayeredConfig {
+            layers,
+            width,
+            ..Default::default()
+        });
+        let machine = BspParams::new(p, 1, 2)
+            .with_memory(MemorySpec::new(min_repairable_capacity(&dag)));
+        let sched = bsp_sched::baselines::blest_bsp(&dag, &machine);
+        let (fixed, report) = repair_memory(&dag, &machine, &sched);
+        prop_assert_eq!(report.violations_after, 0, "capacity admits every node");
+        prop_assert!(validate_memory(&dag, &machine, &fixed).is_ok());
+    }
+
+    #[test]
+    fn unlimited_mem_reproduces_unbounded_costs_bit_identically(
+        seed in 0u64..500,
+        layers in 3usize..6,
+        width in 3usize..7,
+        p in 2usize..5,
+        belady in proptest::bool::ANY,
+    ) {
+        let dag = random_layered_dag(seed, LayeredConfig {
+            layers,
+            width,
+            ..Default::default()
+        });
+        let plain = BspParams::new(p, 2, 3);
+        // Total footprint is an upper bound on any working set: this
+        // machine can never evict anything it needs.
+        let mem = MemorySpec::new(dag.total_comm().max(1));
+        let mem = if belady { mem.with_policy(EvictionPolicy::Belady) } else { mem };
+        let roomy = plain.clone().with_memory(mem);
+        let sched = bsp_sched::baselines::blest_bsp(&dag, &plain);
+        let comm = CommSchedule::lazy(&dag, &sched);
+
+        // Bit-identical breakdowns (totals, every per-step component), no
+        // violations, no refetches.
+        let unbounded = schedule_cost(&dag, &plain, &sched, &comm);
+        let bounded = memory_cost(&dag, &roomy, &sched, &comm);
+        prop_assert_eq!(&bounded, &unbounded);
+        prop_assert_eq!(bounded.refetch_total, 0);
+        let report = simulate_memory(&dag, &roomy, &sched, &comm);
+        prop_assert!(report.is_feasible());
+        prop_assert!(report.refetches.is_empty());
+        // Repair is the identity here.
+        let (fixed, rep) = repair_memory(&dag, &roomy, &sched);
+        prop_assert_eq!(fixed, sched);
+        prop_assert_eq!(rep.splits, 0);
+    }
+}

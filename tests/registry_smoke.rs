@@ -100,6 +100,80 @@ fn every_registered_scheduler_survives_an_expired_budget() {
     }
 }
 
+use bsp_sched::schedule::memory::min_repairable_capacity;
+
+#[test]
+fn every_scheduler_is_feasible_or_repairable_on_memory_bounded_machines() {
+    use bsp_sched::schedule::validity::validate_memory;
+
+    let dag = small_dag();
+    let machine =
+        BspParams::new(4, 2, 5).with_memory(MemorySpec::new(min_repairable_capacity(&dag)));
+    for entry in Registry::standard().entries() {
+        let s = entry.build_default(&fast_cfg());
+        let out = s.solve(&SolveRequest::new(&dag, &machine).with_seed(3));
+        let r = &out.result;
+        assert!(
+            validate(&dag, machine.p(), &r.sched, &r.comm).is_ok(),
+            "{}: structurally invalid on a memory-bounded machine",
+            s.name()
+        );
+        // Either the schedule is memory-feasible as returned, or one
+        // deterministic repair pass makes it so.
+        let (fixed, report) = repair_memory(&dag, &machine, &r.sched);
+        assert!(
+            validate_memory(&dag, &machine, &fixed).is_ok(),
+            "{}: repair left {} violations",
+            s.name(),
+            report.violations_after
+        );
+        let (fixed_again, report_again) = repair_memory(&dag, &machine, &r.sched);
+        assert_eq!(fixed, fixed_again, "{}: repair not deterministic", s.name());
+        assert_eq!(report, report_again, "{}", s.name());
+        // The memory-aware entries come back feasible without outside help.
+        if entry.descriptor().name.contains("mem") {
+            assert!(
+                validate_memory(&dag, &machine, &r.sched).is_ok(),
+                "{}: memory-aware entry returned an infeasible schedule",
+                s.name()
+            );
+            assert_eq!(
+                out.stages.last().map(|st| st.stage.as_str()),
+                Some("mem-repair"),
+                "{}: missing the repair stage",
+                s.name()
+            );
+        }
+    }
+
+    // The deterministic memory-aware baselines are reproducible end to end.
+    let registry = Registry::standard();
+    for spec in ["bl-est/mem", "etf/mem"] {
+        let a = registry
+            .get(spec)
+            .unwrap()
+            .solve(&SolveRequest::new(&dag, &machine));
+        let b = registry
+            .get(spec)
+            .unwrap()
+            .solve(&SolveRequest::new(&dag, &machine));
+        assert_eq!(a.result.sched, b.result.sched, "{spec} not deterministic");
+        assert_eq!(a.total(), b.total(), "{spec} not deterministic");
+    }
+
+    // `mem=on` reconfigures the pipelines to repair their own output.
+    let s = registry
+        .get("pipeline/base?ilp=off&mem=on")
+        .expect("mem=on is a pipeline parameter");
+    let out = s.solve(&SolveRequest::new(&dag, &machine));
+    assert!(validate_memory(&dag, &machine, &out.result.sched).is_ok());
+    assert!(out.stages.iter().any(|st| st.stage == "mem-repair"));
+    // On an unbounded machine mem=on is invisible — no repair stage.
+    let unbounded = BspParams::new(4, 2, 5);
+    let out = s.solve(&SolveRequest::new(&dag, &unbounded));
+    assert!(out.stages.iter().all(|st| st.stage != "mem-repair"));
+}
+
 #[test]
 fn registry_has_the_full_suite_with_unique_names() {
     let registry = Registry::standard();
@@ -121,7 +195,9 @@ fn registry_has_the_full_suite_with_unique_names() {
     for expected in [
         "cilk",
         "bl-est",
+        "bl-est/mem",
         "etf",
+        "etf/mem",
         "hdagg",
         "dsc",
         "init/bspg",
@@ -291,6 +367,59 @@ fn every_scheduler_accepts_every_instance_family() {
             );
             assert!(out.total() > 0, "{} zero cost on {}", s.name(), inst.name);
         }
+    }
+}
+
+#[test]
+fn memory_repair_covers_every_instance_family() {
+    use bsp_sched::schedule::validity::validate_memory;
+
+    let instance_registry = bsp_sched::instances();
+    let scheduler_registry = Registry::standard();
+    for d in instance_registry.descriptors() {
+        // Two-step: measure the family's smallest repairable capacity,
+        // then regenerate on a machine bounded by exactly that.
+        let probe = instance_registry
+            .generate_one(&format!("{} @ bsp?p=4&g=2", smoke_spec(d)), 7)
+            .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        let m_min = min_repairable_capacity(&probe.dag);
+        let spec = format!("{} @ bsp?p=4&g=2&mem={m_min}", smoke_spec(d));
+        let inst = instance_registry
+            .generate_one(&spec, 7)
+            .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        assert!(inst.machine.is_memory_bounded());
+
+        // The memory-aware entries return feasible schedules directly.
+        for sched_spec in ["bl-est/mem", "etf/mem"] {
+            let s = scheduler_registry.get(sched_spec).unwrap();
+            let out = s.solve(&SolveRequest::new(&inst.dag, &inst.machine));
+            assert!(
+                validate(
+                    &inst.dag,
+                    inst.machine.p(),
+                    &out.result.sched,
+                    &out.result.comm
+                )
+                .is_ok(),
+                "{sched_spec} invalid on {}",
+                inst.name
+            );
+            assert!(
+                validate_memory(&inst.dag, &inst.machine, &out.result.sched).is_ok(),
+                "{sched_spec} memory-infeasible on {}",
+                inst.name
+            );
+        }
+        // And the repair pass fixes the memory-oblivious baseline.
+        let plain = scheduler_registry.get("bl-est").unwrap();
+        let out = plain.solve(&SolveRequest::new(&inst.dag, &inst.machine));
+        let (fixed, report) = repair_memory(&inst.dag, &inst.machine, &out.result.sched);
+        assert_eq!(
+            report.violations_after, 0,
+            "repair left violations on {} (family {:?})",
+            inst.name, d.name
+        );
+        assert!(validate_memory(&inst.dag, &inst.machine, &fixed).is_ok());
     }
 }
 
