@@ -2,23 +2,13 @@
 //! far each pipeline stage scales (cost evaluation, incremental moves,
 //! lazy Γ derivation, the LP solver).
 
-use bsp_bench::{machine, medium_instance};
+use bsp_bench::{machine, medium_instance, spread_schedule};
 use bsp_core::state::ScheduleState;
-use bsp_dag::TopoInfo;
 use bsp_ilp::{Model, Sense, SolveLimits};
 use bsp_schedule::cost::lazy_cost;
-use bsp_schedule::{BspSchedule, CommSchedule};
+use bsp_schedule::CommSchedule;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-
-fn spread_schedule(dag: &bsp_dag::Dag, p: u32) -> BspSchedule {
-    let topo = TopoInfo::new(dag);
-    let mut s = BspSchedule::zeroed(dag.n());
-    for v in dag.nodes() {
-        s.set(v, v % p, topo.level[v as usize]);
-    }
-    s
-}
 
 fn bench_cost_eval(c: &mut Criterion) {
     let dag = medium_instance();
@@ -48,6 +38,9 @@ fn bench_incremental_move(c: &mut Criterion) {
             st.apply_move(v, p0, s0 + 1);
             black_box(st.apply_move(v, p0, s0))
         })
+    });
+    c.bench_function("components/probe_move", |b| {
+        b.iter(|| black_box(st.probe_move(v, p0, s0 + 1)))
     });
 }
 

@@ -1,0 +1,88 @@
+//! Local-search kernel benchmarks: the cost of evaluating hill-climbing
+//! neighbourhoods, which bounds how many moves every `hc`/`tabu`/`anneal`
+//! registry stage can afford inside a budget.
+//!
+//! Two kernels are compared on identical instances and identical start
+//! schedules:
+//!
+//! * `probe` — the flat, allocation-free [`ScheduleState::probe_move`]
+//!   gain kernel (candidates evaluated read-only through `valid_procs`
+//!   windows and cached top-K row maxima, nothing mutated);
+//! * `apply_revert` — the historical kernel kept in
+//!   [`bsp_core::reference`]: per-candidate `is_move_valid` plus a full
+//!   `apply_move` + revert pair over `BTreeMap` consumer buckets,
+//!   allocating scratch `Vec`s on every candidate.
+//!
+//! `scan/*` times one full `n·3·P` steepest-descent neighbourhood scan;
+//! `move/*` times a single candidate evaluation. The probe advantage grows
+//! with the processor count (the old kernel refreshes each touched step in
+//! `O(P)` twice per candidate; the probe pays `O(changed)`), so each DAG
+//! family is measured on a small and a large machine. Reproduce with
+//! `cargo bench -p bsp-bench --bench local_search`; the `bench` experiment
+//! (`cargo run -p bsp-experiments --release -- bench --json …`) records the
+//! same comparison into `BENCH_*.json`.
+
+use bsp_bench::{kernel_scan_configs, machine, spread_schedule};
+use bsp_core::reference::{best_move_apply_revert, RefScheduleState};
+use bsp_core::state::ScheduleState;
+use bsp_core::steepest::best_move;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Full steepest-descent neighbourhood scan: every valid `(v, q, s)` with
+/// `s ∈ {τ(v)−1, τ(v), τ(v)+1}` evaluated once.
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_search/scan");
+    g.sample_size(10);
+    for (name, dag, p) in kernel_scan_configs(false) {
+        let m = machine(p as usize, 3);
+        let sched = spread_schedule(&dag, p);
+        let n = dag.n() as u32;
+        let st = ScheduleState::new(&dag, &m, &sched);
+        g.bench_function(BenchmarkId::new("probe", name), |b| {
+            b.iter(|| black_box(best_move(&st, n, p)))
+        });
+        let mut reference = RefScheduleState::new(&dag, &m, &sched);
+        g.bench_function(BenchmarkId::new("apply_revert", name), |b| {
+            b.iter(|| black_box(best_move_apply_revert(&mut reference, n, p)))
+        });
+    }
+    g.finish();
+}
+
+/// Single-candidate evaluation throughput on the layered instance.
+fn bench_single_move(c: &mut Criterion) {
+    const P: u32 = 8;
+    let m = machine(P as usize, 3);
+    let (_, dag, _) = kernel_scan_configs(true).swap_remove(0);
+    let sched = spread_schedule(&dag, P);
+    let mut st = ScheduleState::new(&dag, &m, &sched);
+    let mut reference = RefScheduleState::new(&dag, &m, &sched);
+    // A node with a valid move one superstep down stays valid forever
+    // because neither kernel's evaluation leaves a net state change.
+    let v = dag
+        .nodes()
+        .find(|&v| st.is_move_valid(v, st.proc(v), st.step(v) + 1))
+        .expect("spread schedule always admits a downward move");
+    let (p0, s0) = (st.proc(v), st.step(v));
+    let mut g = c.benchmark_group("local_search/move");
+    g.bench_function("probe", |b| {
+        b.iter(|| black_box(st.probe_move(v, p0, s0 + 1)))
+    });
+    g.bench_function("apply_revert", |b| {
+        b.iter(|| {
+            st.apply_move(v, p0, s0 + 1);
+            black_box(st.apply_move(v, p0, s0))
+        })
+    });
+    g.bench_function("apply_revert_btreemap", |b| {
+        b.iter(|| {
+            reference.apply_move(v, p0, s0 + 1);
+            black_box(reference.apply_move(v, p0, s0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_single_move);
+criterion_main!(benches);

@@ -9,10 +9,11 @@ use bsp_core::hc::HillClimbConfig;
 use bsp_core::hccs::CommHillClimbConfig;
 use bsp_core::ilp::IlpConfig;
 use bsp_core::pipeline::PipelineConfig;
-use bsp_dag::Dag;
+use bsp_dag::{Dag, TopoInfo};
 use bsp_dagdb::fine::{cg_dag, exp_dag, knn_dag, spmv_dag};
 use bsp_dagdb::SparsePattern;
 use bsp_model::{BspParams, NumaTopology};
+use bsp_schedule::BspSchedule;
 use std::time::Duration;
 
 /// A small representative instance of each fine-grained family.
@@ -39,6 +40,55 @@ pub fn medium_instance() -> Dag {
 /// A larger instance for the huge-dataset (non-ILP) path.
 pub fn large_instance() -> Dag {
     exp_dag(&SparsePattern::random(60, 0.08, 10), 8)
+}
+
+/// A deliberately scattered but valid starting schedule: topological level
+/// as superstep, round-robin processors. Used by the local-search benches
+/// because it leaves the kernels a rich neighbourhood to evaluate.
+pub fn spread_schedule(dag: &Dag, p: u32) -> BspSchedule {
+    let topo = TopoInfo::new(dag);
+    let mut s = BspSchedule::zeroed(dag.n());
+    for v in dag.nodes() {
+        s.set(v, v % p, topo.level[v as usize]);
+    }
+    s
+}
+
+/// The local-search kernel-scan configurations: one representative per DAG
+/// family (`layered` / `erdos` / `spmv`), each on a small and — unless
+/// `quick` — a large machine. Shared by the `local_search` criterion group
+/// and the `bench` experiment's `kernel` section so both measure the same
+/// workloads; the probe kernel's advantage grows with `P` because the
+/// historical kernel refreshes every touched superstep in `O(P)` twice per
+/// candidate.
+pub fn kernel_scan_configs(quick: bool) -> Vec<(&'static str, Dag, u32)> {
+    let layered = || {
+        bsp_dag::random::random_layered_dag(
+            5,
+            bsp_dag::random::LayeredConfig {
+                layers: 24,
+                width: 32,
+                edge_prob: 0.08,
+                max_work: 9,
+                max_comm: 5,
+            },
+        )
+    };
+    let erdos = || bsp_dag::random::random_order_dag(11, 500, 0.012, 9, 5);
+    let spmv = || spmv_dag(&SparsePattern::random(48, 0.25, 3));
+    let mut v = vec![
+        ("layered/p8", layered(), 8),
+        ("erdos/p8", erdos(), 8),
+        ("spmv/p4", spmv(), 4),
+    ];
+    if !quick {
+        v.extend([
+            ("layered/p32", layered(), 32),
+            ("erdos/p32", erdos(), 32),
+            ("spmv/p32", spmv(), 32),
+        ]);
+    }
+    v
 }
 
 /// Uniform machine used across benches.

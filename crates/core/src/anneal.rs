@@ -9,7 +9,10 @@
 //! temperature `T`.
 //!
 //! The run keeps the best schedule encountered, so the result is never
-//! worse than the input even though the walk itself may climb.
+//! worse than the input even though the walk itself may climb. Every
+//! proposal is evaluated through the read-only
+//! [`ScheduleState::probe_move`] gain kernel; the state is mutated only on
+//! acceptance, so rejected proposals cost no apply/revert pair.
 
 use crate::state::ScheduleState;
 use bsp_dag::Dag;
@@ -105,7 +108,7 @@ pub fn simulated_annealing(
     let p = machine.p() as u32;
     let mut temp = cfg
         .initial_temp
-        .unwrap_or_else(|| calibrate_temperature(&mut state, &mut rng, n, p));
+        .unwrap_or_else(|| calibrate_temperature(&state, &mut rng, n, p));
 
     'outer: while temp >= cfg.min_temp && stats.proposed < cfg.max_steps {
         for _ in 0..cfg.steps_per_temp {
@@ -123,18 +126,17 @@ pub fn simulated_annealing(
             let Some((v, q, s)) = propose(&state, &mut rng, n, p) else {
                 continue;
             };
-            let (cur_p, cur_s) = (state.proc(v), state.step(v));
-            let before = state.cost();
-            let after = state.apply_move(v, q, s);
-            let accept = if after <= before {
-                true
-            } else {
-                let delta = (after - before) as f64;
-                rng.gen::<f64>() < (-delta / temp).exp()
-            };
+            // Probe first: rejected proposals (the vast majority at low
+            // temperatures) cost one read-only gain evaluation and zero
+            // mutation instead of an apply/revert pair.
+            let delta = state.probe_move(v, q, s);
+            let accept = delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temp).exp();
             if accept {
+                let before = state.cost();
+                let after = state.apply_move(v, q, s);
+                debug_assert_eq!(after as i64 - before as i64, delta);
                 stats.accepted += 1;
-                if after > before {
+                if delta > 0 {
                     stats.uphill += 1;
                 }
                 if after < best_cost {
@@ -142,8 +144,6 @@ pub fn simulated_annealing(
                     best = state.snapshot();
                     stats.improved_best += 1;
                 }
-            } else {
-                state.apply_move(v, cur_p, cur_s);
             }
         }
         temp *= cfg.cooling;
@@ -175,19 +175,17 @@ fn propose(
 
 /// Samples random valid moves and returns a temperature at which the mean
 /// uphill delta is accepted with probability ≈ 0.6 (T = Δ̄ / ln(1/0.6)).
-fn calibrate_temperature(state: &mut ScheduleState<'_>, rng: &mut SmallRng, n: u32, p: u32) -> f64 {
+/// Probes only — the walk has not started yet and the state must not move.
+fn calibrate_temperature(state: &ScheduleState<'_>, rng: &mut SmallRng, n: u32, p: u32) -> f64 {
     let mut total_uphill = 0u64;
     let mut count = 0u32;
     for _ in 0..256 {
         let Some((v, q, s)) = propose(state, rng, n, p) else {
             continue;
         };
-        let (cur_p, cur_s) = (state.proc(v), state.step(v));
-        let before = state.cost();
-        let after = state.apply_move(v, q, s);
-        state.apply_move(v, cur_p, cur_s);
-        if after > before {
-            total_uphill += after - before;
+        let delta = state.probe_move(v, q, s);
+        if delta > 0 {
+            total_uphill += delta as u64;
             count += 1;
         }
     }

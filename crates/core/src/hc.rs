@@ -5,9 +5,11 @@
 //! in supersteps `s − 1` and `s + 1`. The search greedily applies the first
 //! cost-decreasing valid move it finds (the paper found greedy
 //! first-improvement as good as steepest-descent and much faster), until a
-//! local minimum or a budget is reached.
+//! local minimum or a budget is reached. Candidates are evaluated through
+//! the read-only [`ScheduleState::probe_move`] gain kernel; the state is
+//! mutated only for accepted moves.
 
-use crate::state::ScheduleState;
+use crate::state::{ProcWindow, ScheduleState};
 use bsp_dag::NodeId;
 use std::time::{Duration, Instant};
 
@@ -99,25 +101,36 @@ pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillC
     }
 }
 
-/// Attempts the neighbourhood of `v`; applies the first improving move.
+/// Attempts the neighbourhood of `v`; probes candidates read-only and
+/// applies the first improving move. Steps are pre-filtered with
+/// [`ScheduleState::valid_procs`], preserving the `(s, q)` probe order.
 fn try_improve_node(state: &mut ScheduleState<'_>, v: NodeId, p: u32) -> bool {
     let (cur_p, cur_s) = (state.proc(v), state.step(v));
-    let before = state.cost();
     let lo = cur_s.saturating_sub(1);
     let hi = cur_s + 1;
     for s in lo..=hi {
-        for q in 0..p {
-            if q == cur_p && s == cur_s {
-                continue;
+        let try_one = |state: &mut ScheduleState<'_>, q: u32| {
+            if (q, s) != (cur_p, cur_s) && state.probe_move(v, q, s) < 0 {
+                state.apply_move(v, q, s);
+                true
+            } else {
+                false
             }
-            if !state.is_move_valid(v, q, s) {
-                continue;
+        };
+        match state.valid_procs(v, s) {
+            ProcWindow::None => {}
+            ProcWindow::Only(q) => {
+                if try_one(state, q) {
+                    return true;
+                }
             }
-            let after = state.apply_move(v, q, s);
-            if after < before {
-                return true;
+            ProcWindow::All => {
+                for q in 0..p {
+                    if try_one(state, q) {
+                        return true;
+                    }
+                }
             }
-            state.apply_move(v, cur_p, cur_s); // revert
         }
     }
     false

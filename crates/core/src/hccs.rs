@@ -135,6 +135,48 @@ impl<'a> CommState<'a> {
         self.work_max[s] + self.machine.g() * c + if nonempty { self.machine.l() } else { 0 }
     }
 
+    /// Computes the exact total-cost delta of moving transfer `i` to
+    /// `new_phase` without mutating anything: the mirror of
+    /// [`crate::state::ScheduleState::probe_move`] for the communication
+    /// subproblem. A transfer touches exactly two supersteps, so no scratch
+    /// is needed; runs in `O(P)` with zero allocation.
+    fn probe_phase(&self, i: usize, new_phase: u32) -> i64 {
+        let t = self.transfers[i];
+        let old = self.phase[i] as usize;
+        let new = new_phase as usize;
+        if old == new {
+            return 0;
+        }
+        let p = self.machine.p();
+        let weighted = self.dag.comm(t.node) * self.machine.lambda(t.from as usize, t.to as usize);
+        let mut delta = 0i64;
+        for (s, sign) in [(old, -1i64), (new, 1i64)] {
+            let row = s * p;
+            let dsendrow = sign * weighted as i64;
+            let c = (0..p)
+                .map(|q| {
+                    let mut send = self.send[row + q] as i64;
+                    let mut recv = self.recv[row + q] as i64;
+                    if q == t.from as usize {
+                        send += dsendrow;
+                    }
+                    if q == t.to as usize {
+                        recv += dsendrow;
+                    }
+                    send.max(recv) as u64
+                })
+                .max()
+                .unwrap_or(0);
+            let count = (self.comm_count[s] as i64 + sign) as u32;
+            let nonempty = self.has_work[s] || count > 0;
+            let new_cost = self.work_max[s]
+                + self.machine.g() * c
+                + if nonempty { self.machine.l() } else { 0 };
+            delta += new_cost as i64 - self.step_cost[s] as i64;
+        }
+        delta
+    }
+
     /// Moves transfer `i` to `new_phase`, returning the new total cost.
     fn apply(&mut self, i: usize, new_phase: u32) -> u64 {
         let p = self.machine.p();
@@ -196,18 +238,16 @@ pub fn comm_hill_climb(state: &mut CommState<'_>, cfg: &CommHillClimbConfig) -> 
             }
             let t = state.transfers[i];
             let cur = state.phase[i];
-            let before = state.cost();
             for s in t.earliest..=t.latest {
                 if s == cur {
                     continue;
                 }
-                let after = state.apply(i, s);
-                if after < before {
+                if state.probe_phase(i, s) < 0 {
+                    state.apply(i, s);
                     accepted += 1;
                     improved = true;
                     break;
                 }
-                state.apply(i, cur);
             }
         }
         if !improved {

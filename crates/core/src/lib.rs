@@ -19,7 +19,11 @@
 //! Beyond the paper's evaluated configuration, the crate implements the
 //! extensions its conclusion (§8) and appendices name as future work:
 //!
-//! * [`steepest`] — the best-improvement hill-climbing variant of A.3;
+//! * [`steepest`] — the best-improvement hill-climbing variant of A.3,
+//!   scanning its full neighbourhood through the allocation-free
+//!   [`state::ScheduleState::probe_move`] gain kernel ([`mod@reference`]
+//!   keeps the historical apply/revert kernel as the executable
+//!   specification);
 //! * [`anneal`] and [`tabu`] — local search that escapes local minima
 //!   (Metropolis acceptance / forced best-admissible moves with a tabu
 //!   list), both guaranteed never to return worse than their input;
@@ -51,6 +55,7 @@ pub mod init;
 pub mod memrepair;
 pub mod multilevel;
 pub mod pipeline;
+pub mod reference;
 pub mod schedulers;
 pub mod state;
 pub mod steepest;

@@ -2,84 +2,354 @@
 //!
 //! [`ScheduleState`] stores an assignment `(π, τ)` together with the derived
 //! *lazy* communication schedule and the per-superstep work/send/receive
-//! tallies, so that a single-node move can be applied — and reverted — in
-//! time proportional to the node's degree instead of re-evaluating the whole
-//! schedule. This mirrors the paper's "sophisticated data structures" that
-//! make hill climbing practical: per-superstep cost tables plus, for every
-//! node and processor, the multiset of superstep indices at which the
-//! node's value is needed there (whose minimum determines the lazy transfer
-//! phase).
+//! tallies, so that a single-node move can be *probed* — its exact cost
+//! delta computed without mutating anything — and *applied* in time
+//! proportional to the node's degree instead of re-evaluating the whole
+//! schedule. This is the paper's "sophisticated data structures" claim that
+//! makes hill climbing practical, taken one step further: candidate
+//! evaluation no longer needs an apply/revert pair at all.
+//!
+//! # Flat data layout
+//!
+//! The per-superstep tables (`work`, `send`, `recv`, per-step node and
+//! transfer counts, cached step costs) are flat `S·P` arrays. The consumer
+//! multisets — for every node `v` and processor `q`, the supersteps at which
+//! `v`'s value is needed on `q`, whose minimum determines the lazy transfer
+//! phase — are a single CSR arena: `cons[cons_off[v]..cons_off[v+1]]` holds
+//! one `(proc, step)` pair per outgoing edge of `v`, kept **sorted**. The
+//! multiset cardinality of a node never changes (it is its out-degree), so a
+//! consumer retarget is a rotation inside the fixed-size slice and the arena
+//! never reallocates. Sorted order makes bucket iteration deterministic
+//! (ascending processor, then step) regardless of move history, bucket
+//! minima `O(log deg)` lookups, and apply/revert round trips bit-exact.
+//!
+//! # Probing vs applying
+//!
+//! [`ScheduleState::probe_move`] computes the exact total-cost delta of a
+//! valid candidate move through `&self`: it never grows the step tables,
+//! never touches the consumer arena, and performs zero heap allocation
+//! (its scratch buffers live behind a [`RefCell`] and retain their
+//! capacity across calls). A probe gathers the `O(deg)` changed
+//! `(superstep, processor)` cells, then re-derives each touched step's
+//! `max` work and h-relation from the cells plus cached top-`K` row maxima
+//! — `O(changed)` per step instead of the `O(P)` rescan `apply_move` pays,
+//! with an `O(P + changed)` fallback only when every cached top processor
+//! changed. Total: `O(deg)` expected, independent of `P`, versus
+//! `O(deg + t·P)` twice for an apply/revert pair (`t` = touched steps).
+//! The contract, enforced by proptests against the historical
+//! implementation ([`crate::reference`]), is
+//!
+//! ```text
+//! probe_move(v, q, s) == apply_move(v, q, s) − cost_before   (bit-for-bit)
+//! ```
+//!
+//! so steepest descent, tabu search and simulated annealing scan their
+//! neighbourhoods read-only and mutate the state only for the single move
+//! they actually accept. Scans pre-filter candidate steps with
+//! [`ScheduleState::valid_procs`] — one `O(deg)` pass per `(node, step)`
+//! replaces `P` per-candidate validity checks.
 
 use bsp_dag::{Dag, NodeId};
 use bsp_model::BspParams;
 use bsp_schedule::cost::lazy_cost;
 use bsp_schedule::BspSchedule;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 
-/// Consumer-step multisets of one node, bucketed by consumer processor.
-/// Kept as a small vector (at most `P` buckets) of ordered multisets.
-#[derive(Debug, Clone, Default)]
-struct Needs {
-    buckets: Vec<(u32, BTreeMap<u32, u32>)>,
+/// How many of a row's largest per-processor values are cached. Probed
+/// moves change ≤ 3 processors of a touched step in the common case, so
+/// four entries make the `O(P)` fallback rescan vanish even on schedules
+/// full of tied maxima (where any changed processor may be "the" max).
+const TOP_K: usize = 4;
+
+/// Cached `TOP_K` largest per-processor values of one superstep row (work,
+/// or `max(send, recv)` for the h-relation) in descending order, with the
+/// processors that attain them. Lets a probe re-derive a row maximum after
+/// changing a few cells without rescanning all `P` processors: the first
+/// cached entry whose processor did *not* change still bounds the
+/// unchanged side of the row exactly.
+#[derive(Debug, Clone, Copy)]
+struct TopK {
+    vals: [u64; TOP_K],
+    procs: [u32; TOP_K],
 }
 
-impl Needs {
-    fn bucket_mut(&mut self, q: u32) -> &mut BTreeMap<u32, u32> {
-        if let Some(i) = self.buckets.iter().position(|b| b.0 == q) {
-            &mut self.buckets[i].1
-        } else {
-            self.buckets.push((q, BTreeMap::new()));
-            &mut self.buckets.last_mut().unwrap().1
+impl TopK {
+    /// An all-zero row (also used for supersteps beyond the allocated
+    /// tables): the sentinel procs match nothing, so the unchanged side
+    /// correctly evaluates to 0.
+    const EMPTY: TopK = TopK {
+        vals: [0; TOP_K],
+        procs: [u32::MAX; TOP_K],
+    };
+
+    /// Builds the cache from one row of per-processor values.
+    fn scan(values: impl Iterator<Item = u64>) -> TopK {
+        let mut t = TopK::EMPTY;
+        for (q, v) in values.enumerate() {
+            let mut k = TOP_K;
+            while k > 0 && (t.procs[k - 1] == u32::MAX || v > t.vals[k - 1]) {
+                k -= 1;
+            }
+            if k < TOP_K {
+                for j in (k + 1..TOP_K).rev() {
+                    t.vals[j] = t.vals[j - 1];
+                    t.procs[j] = t.procs[j - 1];
+                }
+                t.vals[k] = v;
+                t.procs[k] = q as u32;
+            }
+        }
+        t
+    }
+
+    /// Exact maximum over the processors *not* in `changed`, or `None` if
+    /// every cached entry's processor changed (fallback must rescan).
+    /// Correct because entries are descending: the first unchanged entry
+    /// dominates all non-cached processors and every cached one below it.
+    #[inline]
+    fn unchanged_max(&self, changed: &[u32]) -> Option<u64> {
+        for k in 0..TOP_K {
+            if self.procs[k] == u32::MAX {
+                // Fewer than K processors exist; the rest of the row is empty.
+                return Some(0);
+            }
+            if !changed.contains(&self.procs[k]) {
+                return Some(self.vals[k]);
+            }
+        }
+        None
+    }
+}
+
+/// One `(superstep, processor)` slot of the flat tables: the work assigned
+/// there plus the λ-weighted volume the processor sends and receives in
+/// that superstep's communication phase. Interleaved so a probed cell costs
+/// one cache fetch instead of three (separate work/send/recv arrays).
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    work: u64,
+    send: u64,
+    recv: u64,
+}
+
+/// Interleaved per-superstep metadata: the node / transfer counts that
+/// decide the latency charge, the cached step cost, and the cached [`TopK`]
+/// row maxima for work and the h-relation.
+#[derive(Debug, Clone, Copy)]
+struct StepMeta {
+    /// Cached `Cwork + g·Ccomm + ℓ·[nonempty]` of this superstep.
+    cost: u64,
+    /// Nodes computed in this superstep.
+    nodes: u32,
+    /// Transfers carried in this superstep's communication phase.
+    comm: u32,
+    wtop: TopK,
+    htop: TopK,
+}
+
+impl StepMeta {
+    const EMPTY: StepMeta = StepMeta {
+        cost: 0,
+        nodes: 0,
+        comm: 0,
+        wtop: TopK::EMPTY,
+        htop: TopK::EMPTY,
+    };
+}
+
+/// One superstep touched by a probed move: net count deltas plus the head
+/// of its linked list of per-processor cell deltas.
+#[derive(Debug, Clone, Copy)]
+struct StepDelta {
+    step: u32,
+    dnodes: i64,
+    dcomm: i64,
+    /// Index of the first cell in `ProbeScratch::cells`, `u32::MAX` = none.
+    head: u32,
+}
+
+/// One changed `(superstep, processor)` cell, linked per step.
+#[derive(Debug, Clone, Copy)]
+struct CellDelta {
+    proc: u32,
+    dwork: i64,
+    dsend: i64,
+    drecv: i64,
+    next: u32,
+}
+
+/// Reusable scratch for [`ScheduleState::probe_move`]: the per-superstep
+/// and per-(superstep, processor) deltas a candidate move would cause.
+/// Cleared (capacity retained) on every probe, so probing is allocation-free
+/// once the buffers have warmed up to the working degree. Both vectors stay
+/// tiny (at most `degree + 2` steps), so lookups are linear scans.
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    steps: Vec<StepDelta>,
+    cells: Vec<CellDelta>,
+    /// Epoch-stamped per-processor accumulator for the fallback row rescan:
+    /// `(epoch, Δwork, Δsend, Δrecv)`, lazily sized to `P`.
+    row: Vec<(u32, i64, i64, i64)>,
+    epoch: u32,
+    /// Epoch-stamped step → entry index so [`ProbeScratch::step_entry`] is
+    /// `O(1)` even when a high-degree move touches many distinct phases:
+    /// `(epoch, index into steps)`, lazily sized to the largest step seen.
+    step_idx: Vec<(u32, u32)>,
+    sepoch: u32,
+}
+
+impl ProbeScratch {
+    fn clear(&mut self) {
+        self.steps.clear();
+        self.cells.clear();
+        self.sepoch = self.sepoch.wrapping_add(1);
+        if self.sepoch == 0 {
+            self.step_idx.fill((0, 0));
+            self.sepoch = 1;
         }
     }
 
-    fn min(&self, q: u32) -> Option<u32> {
-        self.buckets
-            .iter()
-            .find(|b| b.0 == q)
-            .and_then(|b| b.1.keys().next().copied())
+    fn step_entry(&mut self, s: u32) -> usize {
+        let si = s as usize;
+        if si >= self.step_idx.len() {
+            self.step_idx.resize(si + 1, (0, 0));
+        }
+        let (ep, idx) = self.step_idx[si];
+        if ep == self.sepoch {
+            return idx as usize;
+        }
+        self.steps.push(StepDelta {
+            step: s,
+            dnodes: 0,
+            dcomm: 0,
+            head: u32::MAX,
+        });
+        let idx = self.steps.len() - 1;
+        self.step_idx[si] = (self.sepoch, idx as u32);
+        idx
     }
 
-    fn insert(&mut self, q: u32, s: u32) {
-        *self.bucket_mut(q).entry(s).or_insert(0) += 1;
+    /// Adds `(dwork, dsend, drecv)` to the cell of processor `p` in the
+    /// step entry `si`, merging into an existing cell when present.
+    fn add_cell(&mut self, si: usize, p: u32, dwork: i64, dsend: i64, drecv: i64) {
+        let mut i = self.steps[si].head;
+        while i != u32::MAX {
+            let c = &mut self.cells[i as usize];
+            if c.proc == p {
+                c.dwork += dwork;
+                c.dsend += dsend;
+                c.drecv += drecv;
+                return;
+            }
+            i = c.next;
+        }
+        self.cells.push(CellDelta {
+            proc: p,
+            dwork,
+            dsend,
+            drecv,
+            next: self.steps[si].head,
+        });
+        self.steps[si].head = (self.cells.len() - 1) as u32;
     }
 
-    fn remove(&mut self, q: u32, s: u32) {
-        let b = self.bucket_mut(q);
-        let c = b
-            .get_mut(&s)
-            .expect("removing a consumer step that is not recorded");
-        *c -= 1;
-        if *c == 0 {
-            b.remove(&s);
+    fn work(&mut self, s: u32, p: u32, dwork: i64, dnodes: i64) {
+        let si = self.step_entry(s);
+        self.steps[si].dnodes += dnodes;
+        self.add_cell(si, p, dwork, 0, 0);
+    }
+
+    /// Records adding (`sign = 1`) or removing (`sign = -1`) one transfer of
+    /// λ-weighted volume `w` in communication phase `phase`. Zero-volume
+    /// transfers still flip the phase's transfer count (they keep a
+    /// superstep non-empty) but touch no cells — an unchanged cell never
+    /// affects the row maxima, so skipping it is exact.
+    fn transfer(&mut self, phase: u32, src: u32, dst: u32, w: u64, sign: i64) {
+        let si = self.step_entry(phase);
+        self.steps[si].dcomm += sign;
+        if w != 0 {
+            let dw = sign * w as i64;
+            self.add_cell(si, src, 0, dw, 0);
+            self.add_cell(si, dst, 0, 0, dw);
+        }
+    }
+
+    /// Records re-sourcing one transfer within its phase: `src_old → dst`
+    /// (volume `w_old`) is replaced by `src_new → dst` (volume `w_new`).
+    /// The phase's transfer count is unchanged, and on non-NUMA machines
+    /// `w_old == w_new` cancels the receiver delta entirely.
+    fn move_transfer_src(
+        &mut self,
+        phase: u32,
+        src_old: u32,
+        src_new: u32,
+        dst: u32,
+        w_old: u64,
+        w_new: u64,
+    ) {
+        let si = self.step_entry(phase);
+        if w_old != 0 {
+            self.add_cell(si, src_old, 0, -(w_old as i64), 0);
+        }
+        if w_new != 0 {
+            self.add_cell(si, src_new, 0, w_new as i64, 0);
+        }
+        let dr = w_new as i64 - w_old as i64;
+        if dr != 0 {
+            self.add_cell(si, dst, 0, 0, dr);
         }
     }
 }
 
-/// Mutable schedule with O(degree)-amortized single-node moves and an
-/// incrementally maintained total cost under the lazy communication model.
+/// The set of processors onto which a node may validly move within a fixed
+/// superstep (see [`ScheduleState::valid_procs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcWindow {
+    /// Every processor admits the move.
+    All,
+    /// Exactly one processor admits the move (a neighbour occupies the
+    /// same superstep, pinning the node to its processor).
+    Only(u32),
+    /// No processor admits the move.
+    None,
+}
+
+impl ProcWindow {
+    /// Intersects the window with "must be on processor `q`".
+    #[inline]
+    fn narrow(self, q: u32) -> ProcWindow {
+        match self {
+            ProcWindow::All => ProcWindow::Only(q),
+            ProcWindow::Only(p) if p == q => self,
+            _ => ProcWindow::None,
+        }
+    }
+}
+
+/// Mutable schedule with O(degree)-amortized single-node moves, read-only
+/// move probing, and an incrementally maintained total cost under the lazy
+/// communication model.
 pub struct ScheduleState<'a> {
     dag: &'a Dag,
     machine: &'a BspParams,
     proc: Vec<u32>,
     step: Vec<u32>,
     n_steps: usize,
-    /// `work[s*P + p]`: work assigned to processor `p` in superstep `s`.
-    work: Vec<u64>,
-    /// λ-weighted bytes sent per `[step][proc]`.
-    send: Vec<u64>,
-    /// λ-weighted bytes received per `[step][proc]`.
-    recv: Vec<u64>,
-    /// Nodes computed per superstep.
-    nodes_count: Vec<u32>,
-    /// Transfers carried per superstep's communication phase.
-    comm_count: Vec<u32>,
-    /// Cached `Cwork + g·Ccomm + ℓ·[nonempty]` per superstep.
-    step_cost: Vec<u64>,
+    /// `slots[s*P + p]`: interleaved work / λ-weighted send / receive of
+    /// processor `p` in superstep `s` — one cache fetch per probed cell.
+    slots: Vec<Slot>,
+    /// Per-superstep metadata (counts, cached cost, cached [`TopK`] row
+    /// maxima), likewise interleaved.
+    meta: Vec<StepMeta>,
     total: u64,
-    needs: Vec<Needs>,
-    /// Scratch: steps whose cached cost must be refreshed.
+    /// CSR consumer arena: `cons[cons_off[v]..cons_off[v+1]]` is the sorted
+    /// multiset of `(proc, step)` placements of `v`'s successors.
+    cons: Vec<(u32, u32)>,
+    cons_off: Vec<u32>,
+    /// Scratch: steps whose cached cost must be refreshed after a move.
     touched: Vec<u32>,
+    /// Scratch for read-only probing (allocation-free after warm-up).
+    probe: RefCell<ProbeScratch>,
 }
 
 impl<'a> ScheduleState<'a> {
@@ -90,49 +360,55 @@ impl<'a> ScheduleState<'a> {
         debug_assert!(sched.respects_precedence_lazy(dag));
         let p = machine.p();
         let n_steps = sched.n_supersteps().max(1) as usize;
+        let mut cons_off = Vec::with_capacity(dag.n() + 1);
+        cons_off.push(0u32);
+        for v in dag.nodes() {
+            cons_off.push(cons_off[v as usize] + dag.out_degree(v) as u32);
+        }
         let mut st = ScheduleState {
             dag,
             machine,
             proc: sched.procs().to_vec(),
             step: sched.steps().to_vec(),
             n_steps,
-            work: vec![0; n_steps * p],
-            send: vec![0; n_steps * p],
-            recv: vec![0; n_steps * p],
-            nodes_count: vec![0; n_steps],
-            comm_count: vec![0; n_steps],
-            step_cost: vec![0; n_steps],
+            slots: vec![Slot::default(); n_steps * p],
+            meta: vec![StepMeta::EMPTY; n_steps],
             total: 0,
-            needs: vec![Needs::default(); dag.n()],
+            cons: Vec::with_capacity(dag.m()),
+            cons_off,
             touched: Vec::new(),
+            probe: RefCell::new(ProbeScratch::default()),
         };
         for v in dag.nodes() {
             let (pv, sv) = (st.proc[v as usize], st.step[v as usize]);
-            st.work[sv as usize * p + pv as usize] += dag.work(v);
-            st.nodes_count[sv as usize] += 1;
+            st.slots[sv as usize * p + pv as usize].work += dag.work(v);
+            st.meta[sv as usize].nodes += 1;
             for &w in dag.successors(v) {
-                st.needs[v as usize].insert(st.proc[w as usize], st.step[w as usize]);
+                st.cons.push((st.proc[w as usize], st.step[w as usize]));
             }
+            let (lo, hi) = (st.cons_off[v as usize] as usize, st.cons.len());
+            st.cons[lo..hi].sort_unstable();
         }
-        // Materialize lazy transfers.
+        // Materialize lazy transfers: one per non-empty cross-processor
+        // bucket, in the phase before the bucket's earliest consumer step.
         for v in dag.nodes() {
             let pv = st.proc[v as usize];
-            let buckets: Vec<(u32, Option<u32>)> = st.needs[v as usize]
-                .buckets
-                .iter()
-                .map(|(q, b)| (*q, b.keys().next().copied()))
-                .collect();
-            for (q, min) in buckets {
+            let (lo, hi) = st.cons_range(v);
+            let mut i = lo;
+            while i < hi {
+                let (q, m) = st.cons[i];
+                while i < hi && st.cons[i].0 == q {
+                    i += 1;
+                }
                 if q != pv {
-                    if let Some(m) = min {
-                        st.add_transfer(v, pv, q, m - 1);
-                    }
+                    st.add_transfer(v, pv, q, m - 1);
                 }
             }
         }
+        st.touched.clear();
         for s in 0..st.n_steps {
-            st.step_cost[s] = st.compute_step_cost(s);
-            st.total += st.step_cost[s];
+            st.refresh_step(s);
+            st.total += st.meta[s].cost;
         }
         st
     }
@@ -175,6 +451,42 @@ impl<'a> ScheduleState<'a> {
         BspSchedule::from_parts(self.proc.clone(), self.step.clone())
     }
 
+    /// Which processors admit a valid move of `v` into superstep `s`, in one
+    /// `O(degree)` pass — the neighbourhood scans use this instead of `3·P`
+    /// separate [`ScheduleState::is_move_valid`] calls. A predecessor
+    /// placed *in* step `s` forces the move onto its own processor (lazy
+    /// cross-processor edges need a strictly earlier producer step), a
+    /// predecessor after `s` forbids the step entirely; successors mirror
+    /// this downwards.
+    pub fn valid_procs(&self, v: NodeId, s: u32) -> ProcWindow {
+        let mut w = ProcWindow::All;
+        for &u in self.dag.predecessors(v) {
+            let su = self.step[u as usize];
+            if su > s {
+                return ProcWindow::None;
+            }
+            if su == s {
+                w = match w.narrow(self.proc[u as usize]) {
+                    ProcWindow::None => return ProcWindow::None,
+                    nw => nw,
+                };
+            }
+        }
+        for &x in self.dag.successors(v) {
+            let sx = self.step[x as usize];
+            if sx < s {
+                return ProcWindow::None;
+            }
+            if sx == s {
+                w = match w.narrow(self.proc[x as usize]) {
+                    ProcWindow::None => return ProcWindow::None,
+                    nw => nw,
+                };
+            }
+        }
+        w
+    }
+
     /// Whether moving `v` to `(p_new, s_new)` keeps the assignment valid
     /// under the lazy communication model.
     pub fn is_move_valid(&self, v: NodeId, p_new: u32, s_new: u32) -> bool {
@@ -201,10 +513,330 @@ impl<'a> ScheduleState<'a> {
         true
     }
 
+    /// `v`'s slice bounds in the consumer arena.
+    #[inline]
+    fn cons_range(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.cons_off[v as usize] as usize,
+            self.cons_off[v as usize + 1] as usize,
+        )
+    }
+
+    /// Index of the first entry of bucket `q` in `v`'s slice (or of the
+    /// next bucket if `q` is empty). Short slices — the common case — are
+    /// scanned linearly; long ones binary-searched.
+    #[inline]
+    fn bucket_start(&self, v: NodeId, q: u32) -> usize {
+        let (lo, hi) = self.cons_range(v);
+        let sl = &self.cons[lo..hi];
+        if sl.len() <= 16 {
+            let mut i = 0;
+            while i < sl.len() && sl[i].0 < q {
+                i += 1;
+            }
+            lo + i
+        } else {
+            lo + sl.partition_point(|&(b, _)| b < q)
+        }
+    }
+
+    /// Earliest consumer step of `v` on processor `q`, if any.
+    #[inline]
+    fn bucket_min(&self, v: NodeId, q: u32) -> Option<u32> {
+        let i = self.bucket_start(v, q);
+        let (_, hi) = self.cons_range(v);
+        (i < hi && self.cons[i].0 == q).then(|| self.cons[i].1)
+    }
+
+    /// λ-weighted volume of one transfer of `v`'s value from `src` to `dst`.
+    #[inline]
+    fn weighted(&self, v: NodeId, src: u32, dst: u32) -> u64 {
+        self.dag.comm(v) * self.machine.lambda(src as usize, dst as usize)
+    }
+
+    /// One-walk extraction of everything the consumer-side probe needs from
+    /// `u`'s sorted slice: the minimum of bucket `q_rm` *before* and *after*
+    /// removing one occurrence of `s_rm`, and the minimum of bucket `q_ins`.
+    /// Replaces three independent bucket walks; exits early once the slice
+    /// passes both buckets.
+    #[inline]
+    fn pred_mins(
+        &self,
+        u: NodeId,
+        q_rm: u32,
+        s_rm: u32,
+        q_ins: u32,
+    ) -> (Option<u32>, Option<u32>, Option<u32>) {
+        let (lo, hi) = self.cons_range(u);
+        let (mut rm_head, mut rm_second, mut ins_head) = (None, None, None);
+        if hi - lo > 16 {
+            // Long slice: two binary searches beat walking the whole slice.
+            let i = self.bucket_start(u, q_rm);
+            if i < hi && self.cons[i].0 == q_rm {
+                rm_head = Some(self.cons[i].1);
+                if i + 1 < hi && self.cons[i + 1].0 == q_rm {
+                    rm_second = Some(self.cons[i + 1].1);
+                }
+            }
+            if q_ins == q_rm {
+                ins_head = rm_head;
+            } else {
+                let j = self.bucket_start(u, q_ins);
+                if j < hi && self.cons[j].0 == q_ins {
+                    ins_head = Some(self.cons[j].1);
+                }
+            }
+        } else {
+            let hi_proc = q_rm.max(q_ins);
+            let mut i = lo;
+            while i < hi {
+                let (b, s) = self.cons[i];
+                if b > hi_proc {
+                    break;
+                }
+                if b == q_rm {
+                    if rm_head.is_none() {
+                        rm_head = Some(s);
+                    } else if rm_second.is_none() {
+                        rm_second = Some(s);
+                    }
+                }
+                if b == q_ins && ins_head.is_none() {
+                    ins_head = Some(s);
+                }
+                i += 1;
+            }
+        }
+        debug_assert!(rm_head.is_some_and(|m| m <= s_rm));
+        let rm_after = if rm_head != Some(s_rm) {
+            rm_head // the removed step was not the minimum
+        } else {
+            rm_second
+        };
+        (rm_head, rm_after, ins_head)
+    }
+
+    /// Computes the **exact** total-cost delta of moving `v` to
+    /// `(p_new, s_new)` without mutating the state: no table growth, no
+    /// consumer retargeting, no heap allocation. The move must be valid
+    /// ([`ScheduleState::is_move_valid`]); the returned delta equals
+    /// `apply_move(v, p_new, s_new) − cost()` bit-for-bit, including moves
+    /// into supersteps beyond the currently allocated table (probed
+    /// virtually as empty). Runs in `O(deg · log deg + t · P)` for `t ≤
+    /// deg + 2` touched supersteps.
+    pub fn probe_move(&self, v: NodeId, p_new: u32, s_new: u32) -> i64 {
+        let (p_old, s_old) = (self.proc[v as usize], self.step[v as usize]);
+        if p_old == p_new && s_old == s_new {
+            return 0;
+        }
+        debug_assert!(self.is_move_valid(v, p_new, s_new));
+        let mut scratch = self.probe.borrow_mut();
+        let sc = &mut *scratch;
+        sc.clear();
+
+        // 1. Work movement and per-step node counts.
+        let w = self.dag.work(v) as i64;
+        sc.work(s_old, p_old, -w, -1);
+        sc.work(s_new, p_new, w, 1);
+
+        // 2. Producer side: v's outgoing transfers change source processor.
+        //    Phases are fixed by the consumers, which do not move, so a
+        //    bucket that stays remote is one re-sourced transfer in place.
+        if p_old != p_new {
+            let (lo, hi) = self.cons_range(v);
+            let mut i = lo;
+            while i < hi {
+                let (q, m) = self.cons[i];
+                while i < hi && self.cons[i].0 == q {
+                    i += 1;
+                }
+                if q == p_old {
+                    sc.transfer(m - 1, p_new, q, self.weighted(v, p_new, q), 1);
+                } else if q == p_new {
+                    sc.transfer(m - 1, p_old, q, self.weighted(v, p_old, q), -1);
+                } else {
+                    sc.move_transfer_src(
+                        m - 1,
+                        p_old,
+                        p_new,
+                        q,
+                        self.weighted(v, p_old, q),
+                        self.weighted(v, p_new, q),
+                    );
+                }
+            }
+        }
+
+        // 3. Consumer side: each predecessor's bucket minima may shift,
+        //    moving (or creating / destroying) its lazy transfer.
+        for &u in self.dag.predecessors(v) {
+            let pu = self.proc[u as usize];
+            if p_old == p_new {
+                if p_old == pu {
+                    continue; // local consumer stays local: no transfer
+                }
+                let (before, removed, _) = self.pred_mins(u, p_old, s_old, p_old);
+                let after = Some(removed.map_or(s_new, |m| m.min(s_new)));
+                if before != after {
+                    let w = self.weighted(u, pu, p_old);
+                    if let Some(m) = before {
+                        sc.transfer(m - 1, pu, p_old, w, -1);
+                    }
+                    if let Some(m) = after {
+                        sc.transfer(m - 1, pu, p_old, w, 1);
+                    }
+                }
+                continue;
+            }
+            let (rm_before, rm_after, ins_before) = self.pred_mins(u, p_old, s_old, p_new);
+            if p_old != pu && rm_before != rm_after {
+                let w = self.weighted(u, pu, p_old);
+                if let Some(m) = rm_before {
+                    sc.transfer(m - 1, pu, p_old, w, -1);
+                }
+                if let Some(m) = rm_after {
+                    sc.transfer(m - 1, pu, p_old, w, 1);
+                }
+            }
+            if p_new != pu {
+                let after = Some(ins_before.map_or(s_new, |m| m.min(s_new)));
+                if ins_before != after {
+                    let w = self.weighted(u, pu, p_new);
+                    if let Some(m) = ins_before {
+                        sc.transfer(m - 1, pu, p_new, w, -1);
+                    }
+                    if let Some(m) = after {
+                        sc.transfer(m - 1, pu, p_new, w, 1);
+                    }
+                }
+            }
+        }
+
+        self.eval_probe(sc)
+    }
+
+    /// Folds the accumulated deltas into a total-cost delta. Per touched
+    /// superstep, the new row maxima are derived from the changed cells and
+    /// the cached [`TopK`] entries — `O(changed)` per step, falling back
+    /// to an `O(P)` rescan only when both cached top processors changed.
+    /// Steps at or beyond `n_steps` read as empty.
+    fn eval_probe(&self, sc: &mut ProbeScratch) -> i64 {
+        let p = self.machine.p();
+        let (g, l) = (self.machine.g(), self.machine.l());
+        let mut delta = 0i64;
+        for ei in 0..sc.steps.len() {
+            let e = sc.steps[ei];
+            let s = e.step as usize;
+            let in_range = s < self.n_steps;
+            let row = s * p;
+            let m = if in_range {
+                self.meta[s]
+            } else {
+                StepMeta::EMPTY
+            };
+            let (wt, ht) = (m.wtop, m.htop);
+            // Maxima over the changed processors (their adjusted values),
+            // recording which processors changed at all.
+            let (mut wcand, mut hcand) = (0u64, 0u64);
+            let mut changed = [0u32; 32];
+            let mut n_changed = 0usize;
+            let mut i = e.head;
+            while i != u32::MAX {
+                let c = sc.cells[i as usize];
+                let q = c.proc as usize;
+                let b = if in_range {
+                    self.slots[row + q]
+                } else {
+                    Slot::default()
+                };
+                wcand = wcand.max((b.work as i64 + c.dwork) as u64);
+                let h = ((b.send as i64 + c.dsend) as u64).max((b.recv as i64 + c.drecv) as u64);
+                hcand = hcand.max(h);
+                if n_changed < changed.len() {
+                    changed[n_changed] = c.proc;
+                }
+                n_changed += 1;
+                i = c.next;
+            }
+            // Unchanged side: the first cached top entry on an unchanged
+            // processor is exact; rescan only if all K tops changed (or
+            // the changed set overflowed the inline buffer).
+            let (w_unch, h_unch) = if n_changed <= changed.len() {
+                let ch = &changed[..n_changed];
+                (wt.unchanged_max(ch), ht.unchanged_max(ch))
+            } else {
+                (None, None)
+            };
+            let w_max = match w_unch {
+                Some(u) => wcand.max(u),
+                None => self.rescan_adjusted(sc, e.head, in_range, row, false),
+            };
+            let c_max = match h_unch {
+                Some(u) => hcand.max(u),
+                None => self.rescan_adjusted(sc, e.head, in_range, row, true),
+            };
+            let nonempty = m.nodes as i64 + e.dnodes > 0 || m.comm as i64 + e.dcomm > 0;
+            let new_cost = w_max + g * c_max + if nonempty { l } else { 0 };
+            delta += new_cost as i64 - m.cost as i64;
+        }
+        delta
+    }
+
+    /// Full adjusted row maximum (work when `hrel` is false, h-relation
+    /// otherwise): the rare probe fallback when every cached top processor
+    /// of a touched step changed. `O(P + cells)` via the epoch-stamped
+    /// per-processor accumulator in the scratch.
+    fn rescan_adjusted(
+        &self,
+        sc: &mut ProbeScratch,
+        head: u32,
+        in_range: bool,
+        row: usize,
+        hrel: bool,
+    ) -> u64 {
+        let p = self.machine.p();
+        if sc.row.len() < p {
+            sc.row.resize(p, (0, 0, 0, 0));
+        }
+        sc.epoch = sc.epoch.wrapping_add(1);
+        if sc.epoch == 0 {
+            sc.row.fill((0, 0, 0, 0));
+            sc.epoch = 1;
+        }
+        let mut i = head;
+        while i != u32::MAX {
+            let c = sc.cells[i as usize];
+            sc.row[c.proc as usize] = (sc.epoch, c.dwork, c.dsend, c.drecv);
+            i = c.next;
+        }
+        let mut best = 0u64;
+        for q in 0..p {
+            let (ep, dw, ds, dr) = sc.row[q];
+            let (dw, ds, dr) = if ep == sc.epoch {
+                (dw, ds, dr)
+            } else {
+                (0, 0, 0)
+            };
+            let b = if in_range {
+                self.slots[row + q]
+            } else {
+                Slot::default()
+            };
+            let val = if hrel {
+                ((b.send as i64 + ds) as u64).max((b.recv as i64 + dr) as u64)
+            } else {
+                (b.work as i64 + dw) as u64
+            };
+            best = best.max(val);
+        }
+        best
+    }
+
     /// Applies the move of `v` to `(p_new, s_new)` and returns the new total
     /// cost. The caller is responsible for having checked
     /// [`ScheduleState::is_move_valid`]; the move is exactly reversible by
-    /// applying the inverse move.
+    /// applying the inverse move, and allocation-free apart from one-time
+    /// step-table growth when `s_new` exceeds every step seen so far.
     pub fn apply_move(&mut self, v: NodeId, p_new: u32, s_new: u32) -> u64 {
         let p = self.machine.p();
         let (p_old, s_old) = (self.proc[v as usize], self.step[v as usize]);
@@ -216,28 +848,32 @@ impl<'a> ScheduleState<'a> {
 
         // 1. Producer side: drop v's outgoing transfers under the old π(v).
         if p_old != p_new {
-            let outgoing: Vec<(u32, u32)> = self.needs[v as usize]
-                .buckets
-                .iter()
-                .filter(|(q, b)| *q != p_old && !b.is_empty())
-                .map(|(q, b)| (*q, *b.keys().next().unwrap()))
-                .collect();
-            for (q, m) in outgoing {
-                self.remove_transfer(v, p_old, q, m - 1);
+            let (lo, hi) = self.cons_range(v);
+            let mut i = lo;
+            while i < hi {
+                let (q, m) = self.cons[i];
+                while i < hi && self.cons[i].0 == q {
+                    i += 1;
+                }
+                if q != p_old {
+                    self.remove_transfer(v, p_old, q, m - 1);
+                }
             }
         }
 
-        // 2. Consumer side: update each predecessor's needs multiset.
-        let preds: Vec<NodeId> = self.dag.predecessors(v).to_vec();
-        for u in preds {
+        // 2. Consumer side: update each predecessor's consumer multiset.
+        //    (`self.dag` is a plain reference copy, so iterating its adjacency
+        //    while mutating the state borrows nothing from `self`.)
+        let dag = self.dag;
+        for &u in dag.predecessors(v) {
             self.retarget_consumer(u, p_old, s_old, p_new, s_new);
         }
 
         // 3. Work movement.
-        self.work[s_old as usize * p + p_old as usize] -= self.dag.work(v);
-        self.nodes_count[s_old as usize] -= 1;
-        self.work[s_new as usize * p + p_new as usize] += self.dag.work(v);
-        self.nodes_count[s_new as usize] += 1;
+        self.slots[s_old as usize * p + p_old as usize].work -= dag.work(v);
+        self.meta[s_old as usize].nodes -= 1;
+        self.slots[s_new as usize * p + p_new as usize].work += dag.work(v);
+        self.meta[s_new as usize].nodes += 1;
         self.touched.push(s_old);
         self.touched.push(s_new);
         self.proc[v as usize] = p_new;
@@ -245,14 +881,16 @@ impl<'a> ScheduleState<'a> {
 
         // 4. Producer side: re-add v's outgoing transfers under the new π(v).
         if p_old != p_new {
-            let outgoing: Vec<(u32, u32)> = self.needs[v as usize]
-                .buckets
-                .iter()
-                .filter(|(q, b)| *q != p_new && !b.is_empty())
-                .map(|(q, b)| (*q, *b.keys().next().unwrap()))
-                .collect();
-            for (q, m) in outgoing {
-                self.add_transfer(v, p_new, q, m - 1);
+            let (lo, hi) = self.cons_range(v);
+            let mut i = lo;
+            while i < hi {
+                let (q, m) = self.cons[i];
+                while i < hi && self.cons[i].0 == q {
+                    i += 1;
+                }
+                if q != p_new {
+                    self.add_transfer(v, p_new, q, m - 1);
+                }
             }
         }
 
@@ -262,9 +900,9 @@ impl<'a> ScheduleState<'a> {
         touched.dedup();
         for &s in &touched {
             let s = s as usize;
-            self.total -= self.step_cost[s];
-            self.step_cost[s] = self.compute_step_cost(s);
-            self.total += self.step_cost[s];
+            self.total -= self.meta[s].cost;
+            self.refresh_step(s);
+            self.total += self.meta[s].cost;
         }
         touched.clear();
         self.touched = touched;
@@ -272,13 +910,26 @@ impl<'a> ScheduleState<'a> {
     }
 
     /// Moves consumer `v` of producer `u` from `(p_old, s_old)` to
-    /// `(p_new, s_new)` in `u`'s needs map, shifting `u`'s lazy transfers.
+    /// `(p_new, s_new)` in `u`'s consumer multiset, shifting `u`'s lazy
+    /// transfers when a bucket minimum changes.
     fn retarget_consumer(&mut self, u: NodeId, p_old: u32, s_old: u32, p_new: u32, s_new: u32) {
         let pu = self.proc[u as usize];
-        // Remove from the old bucket.
-        let old_min_before = self.needs[u as usize].min(p_old);
-        self.needs[u as usize].remove(p_old, s_old);
-        let old_min_after = self.needs[u as usize].min(p_old);
+        let old_min_before = self.bucket_min(u, p_old);
+        let new_min_before = self.bucket_min(u, p_new);
+        self.slice_retarget(u, (p_old, s_old), (p_new, s_new));
+        let old_min_after = self.bucket_min(u, p_old);
+        if p_old == p_new {
+            // Single bucket: the net min change covers remove + insert.
+            if p_old != pu && old_min_before != old_min_after {
+                if let Some(m) = old_min_before {
+                    self.remove_transfer(u, pu, p_old, m - 1);
+                }
+                if let Some(m) = old_min_after {
+                    self.add_transfer(u, pu, p_old, m - 1);
+                }
+            }
+            return;
+        }
         if p_old != pu && old_min_before != old_min_after {
             if let Some(m) = old_min_before {
                 self.remove_transfer(u, pu, p_old, m - 1);
@@ -287,10 +938,7 @@ impl<'a> ScheduleState<'a> {
                 self.add_transfer(u, pu, p_old, m - 1);
             }
         }
-        // Add to the new bucket.
-        let new_min_before = self.needs[u as usize].min(p_new);
-        self.needs[u as usize].insert(p_new, s_new);
-        let new_min_after = self.needs[u as usize].min(p_new);
+        let new_min_after = self.bucket_min(u, p_new);
         if p_new != pu && new_min_before != new_min_after {
             if let Some(m) = new_min_before {
                 self.remove_transfer(u, pu, p_new, m - 1);
@@ -301,22 +949,40 @@ impl<'a> ScheduleState<'a> {
         }
     }
 
+    /// Replaces one `old` entry of `u`'s sorted consumer slice with `new`,
+    /// preserving sorted order by rotating the span between the two
+    /// positions (the slice length is fixed at `out_degree(u)`).
+    fn slice_retarget(&mut self, u: NodeId, old: (u32, u32), new: (u32, u32)) {
+        let (lo, hi) = self.cons_range(u);
+        let sl = &mut self.cons[lo..hi];
+        let i = sl.partition_point(|&e| e < old);
+        debug_assert!(sl[i] == old, "retargeting an unrecorded consumer entry");
+        let j = sl.partition_point(|&e| e < new);
+        if j > i {
+            sl[i..j].rotate_left(1);
+            sl[j - 1] = new;
+        } else {
+            sl[j..=i].rotate_right(1);
+            sl[j] = new;
+        }
+    }
+
     fn add_transfer(&mut self, v: NodeId, src: u32, dst: u32, phase: u32) {
         let p = self.machine.p();
         self.ensure_steps(phase as usize + 1);
-        let weighted = self.dag.comm(v) * self.machine.lambda(src as usize, dst as usize);
-        self.send[phase as usize * p + src as usize] += weighted;
-        self.recv[phase as usize * p + dst as usize] += weighted;
-        self.comm_count[phase as usize] += 1;
+        let weighted = self.weighted(v, src, dst);
+        self.slots[phase as usize * p + src as usize].send += weighted;
+        self.slots[phase as usize * p + dst as usize].recv += weighted;
+        self.meta[phase as usize].comm += 1;
         self.touched.push(phase);
     }
 
     fn remove_transfer(&mut self, v: NodeId, src: u32, dst: u32, phase: u32) {
         let p = self.machine.p();
-        let weighted = self.dag.comm(v) * self.machine.lambda(src as usize, dst as usize);
-        self.send[phase as usize * p + src as usize] -= weighted;
-        self.recv[phase as usize * p + dst as usize] -= weighted;
-        self.comm_count[phase as usize] -= 1;
+        let weighted = self.weighted(v, src, dst);
+        self.slots[phase as usize * p + src as usize].send -= weighted;
+        self.slots[phase as usize * p + dst as usize].recv -= weighted;
+        self.meta[phase as usize].comm -= 1;
         self.touched.push(phase);
     }
 
@@ -325,25 +991,25 @@ impl<'a> ScheduleState<'a> {
             return;
         }
         let p = self.machine.p();
-        self.work.resize(want * p, 0);
-        self.send.resize(want * p, 0);
-        self.recv.resize(want * p, 0);
-        self.nodes_count.resize(want, 0);
-        self.comm_count.resize(want, 0);
-        self.step_cost.resize(want, 0);
+        self.slots.resize(want * p, Slot::default());
+        self.meta.resize(want, StepMeta::EMPTY);
         self.n_steps = want;
     }
 
-    fn compute_step_cost(&self, s: usize) -> u64 {
+    /// Rescans superstep `s`, refreshing its cached cost and [`TopK`]
+    /// row maxima in one `O(P)` pass.
+    fn refresh_step(&mut self, s: usize) {
         let p = self.machine.p();
         let row = s * p;
-        let w = self.work[row..row + p].iter().copied().max().unwrap_or(0);
-        let c = (0..p)
-            .map(|q| self.send[row + q].max(self.recv[row + q]))
-            .max()
-            .unwrap_or(0);
-        let nonempty = self.nodes_count[s] > 0 || self.comm_count[s] > 0;
-        w + self.machine.g() * c + if nonempty { self.machine.l() } else { 0 }
+        let wt = TopK::scan(self.slots[row..row + p].iter().map(|b| b.work));
+        let ht = TopK::scan(self.slots[row..row + p].iter().map(|b| b.send.max(b.recv)));
+        let m = &mut self.meta[s];
+        let nonempty = m.nodes > 0 || m.comm > 0;
+        m.cost = wt.vals[0]
+            + self.machine.g() * ht.vals[0]
+            + if nonempty { self.machine.l() } else { 0 };
+        m.wtop = wt;
+        m.htop = ht;
     }
 
     /// Full O(n + m + S·P) recomputation of the total cost; used by tests to
@@ -411,6 +1077,49 @@ mod tests {
     }
 
     #[test]
+    fn probe_equals_apply_delta_on_diamond() {
+        let dag = diamond();
+        let machine = BspParams::new(2, 3, 5);
+        let sched = BspSchedule::from_parts(vec![0, 0, 1, 1], vec![0, 1, 1, 2]);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        for v in 0..4u32 {
+            let (cp, cs) = (st.proc(v), st.step(v));
+            for s in cs.saturating_sub(1)..=cs + 2 {
+                for q in 0..2u32 {
+                    if (q, s) == (cp, cs) || !st.is_move_valid(v, q, s) {
+                        continue;
+                    }
+                    let before = st.cost();
+                    let delta = st.probe_move(v, q, s);
+                    let after = st.apply_move(v, q, s);
+                    assert_eq!(
+                        after as i64 - before as i64,
+                        delta,
+                        "probe mismatch for {v} -> ({q}, {s})"
+                    );
+                    assert_eq!(st.apply_move(v, cp, cs), before, "revert broken");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_is_read_only_beyond_the_step_table() {
+        let dag = diamond();
+        let machine = BspParams::new(2, 1, 1);
+        let sched = BspSchedule::from_parts(vec![0, 0, 1, 1], vec![0, 1, 1, 2]);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        let steps_before = st.n_steps();
+        assert!(st.is_move_valid(3, 0, 5));
+        let delta = st.probe_move(3, 0, 5);
+        assert_eq!(st.n_steps(), steps_before, "probe must never grow state");
+        let before = st.cost();
+        let after = st.apply_move(3, 0, 5);
+        assert_eq!(after as i64 - before as i64, delta);
+        assert!(st.n_steps() >= 6);
+    }
+
+    #[test]
     fn moves_grow_superstep_axis() {
         let dag = diamond();
         let machine = BspParams::new(2, 1, 1);
@@ -430,8 +1139,10 @@ mod tests {
         let sched = BspSchedule::from_parts(vec![0, 0, 0, 0], vec![0, 1, 1, 2]);
         let mut st = ScheduleState::new(&dag, &machine, &sched);
         let before = st.cost();
+        let probed = st.probe_move(3, 0, 1);
         let after = st.apply_move(3, 0, 1);
         assert_eq!(after, st.recomputed_cost());
+        assert_eq!(after as i64 - before as i64, probed);
         assert!(
             after + 100 <= before,
             "latency saving not captured: {before} -> {after}"

@@ -8,9 +8,17 @@
 //! descent is much slower per step; this module exists so that the claim can
 //! be reproduced (see the `ablation` experiment and the `bench_ablations`
 //! target).
+//!
+//! The `n · 3 · P` neighbourhood scan evaluates every candidate through the
+//! read-only [`ScheduleState::probe_move`] gain kernel and mutates the state
+//! only for the single winning move, so a scan allocates nothing and never
+//! grows the superstep tables. The scan's decisions are bit-identical to the
+//! historical apply/revert implementation
+//! ([`crate::reference::best_move_apply_revert`]), which the
+//! `kernel_equivalence` tests enforce.
 
 use crate::hc::{HillClimbConfig, HillClimbStats};
-use crate::state::ScheduleState;
+use crate::state::{ProcWindow, ScheduleState};
 use bsp_dag::NodeId;
 use std::time::Instant;
 
@@ -42,7 +50,7 @@ pub fn hill_climb_steepest(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig)
             }
         }
         match best_move(state, n, p) {
-            Some((v, q, s)) => {
+            Some((v, q, s, _)) => {
                 state.apply_move(v, q, s);
                 accepted += 1;
             }
@@ -60,29 +68,43 @@ pub fn hill_climb_steepest(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig)
     }
 }
 
-/// Evaluates every valid move and returns the one with the strictly largest
-/// cost decrease (ties to the first found in scan order), or `None` at a
-/// local minimum.
-fn best_move(state: &mut ScheduleState<'_>, n: u32, p: u32) -> Option<(NodeId, u32, u32)> {
-    let before = state.cost();
-    let mut best: Option<(u64, NodeId, u32, u32)> = None;
+/// Probes every valid move and returns the one with the strictly largest
+/// cost decrease (ties to the first found in scan order) together with its
+/// negative delta, or `None` at a local minimum. Read-only: the scan never
+/// mutates `state`, grows its superstep tables, or allocates. Candidate
+/// steps are pre-filtered with [`ScheduleState::valid_procs`] (one
+/// `O(degree)` pass per step instead of `P` validity checks), preserving
+/// the historical `(v, s, q)` enumeration order exactly.
+pub fn best_move(state: &ScheduleState<'_>, n: u32, p: u32) -> Option<(NodeId, u32, u32, i64)> {
+    let mut best: Option<(i64, NodeId, u32, u32)> = None;
+    let mut consider = |state: &ScheduleState<'_>, v: NodeId, q: u32, s: u32| {
+        let delta = state.probe_move(v, q, s);
+        if delta < 0 && best.as_ref().is_none_or(|&(b, ..)| delta < b) {
+            best = Some((delta, v, q, s));
+        }
+    };
     for v in 0..n as NodeId {
         let (cur_p, cur_s) = (state.proc(v), state.step(v));
         let lo = cur_s.saturating_sub(1);
         for s in lo..=cur_s + 1 {
-            for q in 0..p {
-                if (q, s) == (cur_p, cur_s) || !state.is_move_valid(v, q, s) {
-                    continue;
+            match state.valid_procs(v, s) {
+                ProcWindow::None => {}
+                ProcWindow::Only(q) => {
+                    if (q, s) != (cur_p, cur_s) {
+                        consider(state, v, q, s);
+                    }
                 }
-                let after = state.apply_move(v, q, s);
-                state.apply_move(v, cur_p, cur_s); // revert; moves are exact inverses
-                if after < before && best.as_ref().is_none_or(|&(b, ..)| after < b) {
-                    best = Some((after, v, q, s));
+                ProcWindow::All => {
+                    for q in 0..p {
+                        if (q, s) != (cur_p, cur_s) {
+                            consider(state, v, q, s);
+                        }
+                    }
                 }
             }
         }
     }
-    best.map(|(_, v, q, s)| (v, q, s))
+    best.map(|(d, v, q, s)| (v, q, s, d))
 }
 
 #[cfg(test)]

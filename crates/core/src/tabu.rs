@@ -9,9 +9,11 @@
 //! standard *aspiration* criterion).
 //!
 //! The best schedule encountered is returned, so the result is never worse
-//! than the input.
+//! than the input. The per-iteration neighbourhood scan probes every
+//! candidate read-only ([`ScheduleState::probe_move`]) and applies only the
+//! chosen move.
 
-use crate::state::ScheduleState;
+use crate::state::{ProcWindow, ScheduleState};
 use bsp_dag::{Dag, NodeId};
 use bsp_model::BspParams;
 use bsp_schedule::BspSchedule;
@@ -104,7 +106,7 @@ pub fn tabu_search(
             }
         }
         let Some((v, q, s, after, aspirated)) =
-            best_admissible_move(&mut state, &tabu, iter, best_cost, n, p)
+            best_admissible_move(&state, &tabu, iter, best_cost, n, p)
         else {
             break; // no valid move anywhere (degenerate neighbourhood)
         };
@@ -136,36 +138,49 @@ pub fn tabu_search(
     (best, best_cost, stats)
 }
 
-/// Scans the whole neighbourhood and returns the admissible move with the
+/// Scans the whole neighbourhood read-only (via
+/// [`ScheduleState::probe_move`]) and returns the admissible move with the
 /// lowest resulting cost: non-tabu moves always qualify; tabu moves qualify
 /// only if they beat `best_cost` (aspiration). Returns
 /// `(node, proc, step, resulting_cost, was_aspirated)`.
 fn best_admissible_move(
-    state: &mut ScheduleState<'_>,
+    state: &ScheduleState<'_>,
     tabu: &HashMap<(NodeId, u32, u32), usize>,
     iter: usize,
     best_cost: u64,
     n: u32,
     p: u32,
 ) -> Option<(NodeId, u32, u32, u64, bool)> {
+    let before = state.cost() as i64;
     let mut best: Option<(u64, NodeId, u32, u32, bool)> = None;
+    let mut consider = |state: &ScheduleState<'_>, v: NodeId, q: u32, s: u32| {
+        let is_tabu = tabu.get(&(v, q, s)).is_some_and(|&until| until > iter);
+        let after = (before + state.probe_move(v, q, s)) as u64;
+        let aspirated = is_tabu && after < best_cost;
+        if is_tabu && !aspirated {
+            return;
+        }
+        if best.as_ref().is_none_or(|&(b, ..)| after < b) {
+            best = Some((after, v, q, s, aspirated));
+        }
+    };
     for v in 0..n as NodeId {
         let (cur_p, cur_s) = (state.proc(v), state.step(v));
         let lo = cur_s.saturating_sub(1);
         for s in lo..=cur_s + 1 {
-            for q in 0..p {
-                if (q, s) == (cur_p, cur_s) || !state.is_move_valid(v, q, s) {
-                    continue;
+            match state.valid_procs(v, s) {
+                ProcWindow::None => {}
+                ProcWindow::Only(q) => {
+                    if (q, s) != (cur_p, cur_s) {
+                        consider(state, v, q, s);
+                    }
                 }
-                let after = state.apply_move(v, q, s);
-                state.apply_move(v, cur_p, cur_s);
-                let is_tabu = tabu.get(&(v, q, s)).is_some_and(|&until| until > iter);
-                let aspirated = is_tabu && after < best_cost;
-                if is_tabu && !aspirated {
-                    continue;
-                }
-                if best.as_ref().is_none_or(|&(b, ..)| after < b) {
-                    best = Some((after, v, q, s, aspirated));
+                ProcWindow::All => {
+                    for q in 0..p {
+                        if (q, s) != (cur_p, cur_s) {
+                            consider(state, v, q, s);
+                        }
+                    }
                 }
             }
         }

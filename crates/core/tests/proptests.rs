@@ -10,8 +10,9 @@ use bsp_core::hc::{hill_climb, HillClimbConfig};
 use bsp_core::hccs::{optimize_comm_schedule, CommHillClimbConfig};
 use bsp_core::init::{bspg_schedule, source_schedule};
 use bsp_core::multilevel::{coarsen, multilevel_schedule, stage_graph, MultilevelConfig};
-use bsp_core::state::ScheduleState;
-use bsp_dag::random::{random_layered_dag, LayeredConfig};
+use bsp_core::reference::RefScheduleState;
+use bsp_core::state::{ProcWindow, ScheduleState};
+use bsp_dag::random::{random_layered_dag, random_order_dag, LayeredConfig};
 use bsp_dag::topo::is_topological_order;
 use bsp_dag::{Dag, TopoInfo};
 use bsp_model::{BspParams, NumaTopology};
@@ -49,6 +50,11 @@ fn arb_machine() -> impl Strategy<Value = BspParams> {
     })
 }
 
+fn arb_erdos_dag() -> impl Strategy<Value = Dag> {
+    (0u64..400, 2usize..28, 0.02f64..0.4)
+        .prop_map(|(seed, n, q)| random_order_dag(seed, n, q, 7, 5))
+}
+
 fn random_valid_assignment(dag: &Dag, p: u32, seed: u64) -> BspSchedule {
     let topo = TopoInfo::new(dag);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -67,6 +73,64 @@ fn random_valid_assignment(dag: &Dag, p: u32, seed: u64) -> BspSchedule {
         sched.set(v, proc, min_step + rng.gen_range(0..2));
     }
     sched
+}
+
+/// Drives random valid moves through the flat kernel and the historical
+/// reference side by side: `probe_move` must equal the applied delta
+/// bit-for-bit, and both kernels must track identical total costs.
+fn probe_contract(
+    dag: &Dag,
+    machine: &BspParams,
+    seed: u64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let p = machine.p() as u32;
+    let sched = random_valid_assignment(dag, p, seed);
+    let mut st = ScheduleState::new(dag, machine, &sched);
+    let mut reference = RefScheduleState::new(dag, machine, &sched);
+    prop_assert_eq!(st.cost(), reference.cost());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9b0b);
+    let mut checked = 0;
+    for _ in 0..60 {
+        if dag.n() == 0 {
+            break;
+        }
+        let v = rng.gen_range(0..dag.n() as u32);
+        let q = rng.gen_range(0..p);
+        let s = st.step(v).saturating_sub(1) + rng.gen_range(0..3);
+        // The batched validity window must agree with the per-candidate check.
+        let windowed = match st.valid_procs(v, s) {
+            ProcWindow::All => true,
+            ProcWindow::Only(w) => w == q,
+            ProcWindow::None => false,
+        };
+        prop_assert_eq!(st.is_move_valid(v, q, s), windowed, "window disagrees");
+        if (q, s) == (st.proc(v), st.step(v)) || !st.is_move_valid(v, q, s) {
+            continue;
+        }
+        let steps_before = st.n_steps();
+        let before = st.cost();
+        let delta = st.probe_move(v, q, s);
+        prop_assert_eq!(st.n_steps(), steps_before, "probe grew the step table");
+        prop_assert_eq!(st.cost(), before, "probe changed the cost");
+        let after = st.apply_move(v, q, s);
+        prop_assert_eq!(
+            after as i64 - before as i64,
+            delta,
+            "probe({}, {}, {}) disagrees with the applied delta",
+            v,
+            q,
+            s
+        );
+        prop_assert_eq!(reference.apply_move(v, q, s), after, "kernels diverged");
+        checked += 1;
+        if rng.gen_bool(0.25) {
+            prop_assert_eq!(st.cost(), st.recomputed_cost());
+        }
+    }
+    // The generators above always admit some valid move on non-trivial DAGs.
+    prop_assert!(dag.n() < 2 || checked > 0);
+    prop_assert_eq!(st.cost(), st.recomputed_cost());
+    Ok(())
 }
 
 proptest! {
@@ -105,6 +169,30 @@ proptest! {
         }
         prop_assert_eq!(st.cost(), st.recomputed_cost());
         prop_assert!(validate_lazy(&dag, machine.p(), &st.snapshot()).is_ok());
+    }
+
+    /// The probe contract on layered DAGs:
+    /// `probe_move(v,q,s) == apply_move(v,q,s) − cost_before`, bit-for-bit,
+    /// for random valid moves — and the flat kernel agrees move-by-move
+    /// with the historical BTreeMap/apply-revert implementation.
+    #[test]
+    fn probe_equals_apply_delta_layered(
+        dag in arb_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        probe_contract(&dag, &machine, seed)?;
+    }
+
+    /// Same probe contract on Erdős–Rényi (random-order) DAGs, whose degree
+    /// distribution and bucket shapes differ from the layered family.
+    #[test]
+    fn probe_equals_apply_delta_erdos(
+        dag in arb_erdos_dag(),
+        machine in arb_machine(),
+        seed in 0u64..10_000,
+    ) {
+        probe_contract(&dag, &machine, seed)?;
     }
 
     /// Hill climbing: monotone, consistent, valid.

@@ -3,13 +3,20 @@
 //! Runs every `--sched` spec on every `--instances` spec (sensible
 //! defaults for both) and reports, per (instance, scheduler) pair, the
 //! solve wall-clock in nanoseconds alongside the achieved and trivial
-//! costs. With `--json <path>` the full report is written as indented
-//! JSON (`schema: "bsp-sched/bench-v1"`), establishing the `BENCH_*.json`
-//! perf-trajectory format: commit one per revision and diff them to see
-//! hot-path regressions.
+//! costs, plus a `kernel` section timing the local-search neighbourhood
+//! scan under the probe and the historical apply/revert kernels. With
+//! `--json <path>` the full report is written as indented JSON
+//! (`schema: "bsp-sched/bench-v2"`), the `BENCH_*.json` perf-trajectory
+//! format: commit one per revision and diff them to see hot-path
+//! regressions.
 
 use crate::runner::{pipeline_config, resolve_instance_groups, EvalOptions, RunConfig};
+use bsp_bench::{kernel_scan_configs, spread_schedule};
+use bsp_core::reference::{best_move_apply_revert, RefScheduleState};
+use bsp_core::state::ScheduleState;
+use bsp_core::steepest::best_move;
 use bsp_instance::Instance;
+use bsp_model::BspParams;
 use bsp_schedule::solve::SolveRequest;
 use bsp_schedule::trivial::trivial_cost;
 use serde::{Deserialize, Serialize};
@@ -36,6 +43,27 @@ pub struct BenchRun {
     pub nanos: u64,
 }
 
+/// One local-search kernel measurement: the full steepest-descent
+/// neighbourhood scan, timed with the probe kernel and with the historical
+/// apply/revert kernel on the same instance and start schedule. The ratio
+/// `nanos_apply_revert / nanos_probe` is the kernel speedup tracked across
+/// revisions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Config label, `<family>/p<P>`.
+    pub bench: String,
+    /// Instance node count.
+    pub n: usize,
+    /// Instance edge count.
+    pub m: usize,
+    /// Machine processor count.
+    pub p: usize,
+    /// Full-neighbourhood scan wall-clock with `probe_move` (best of 3).
+    pub nanos_probe: u64,
+    /// Same scan with the historical apply/revert kernel (best of 3).
+    pub nanos_apply_revert: u64,
+}
+
 /// The whole report: header plus per-pair runs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -48,6 +76,8 @@ pub struct BenchReport {
     pub threads: usize,
     /// All measurements, instance-major.
     pub runs: Vec<BenchRun>,
+    /// Local-search kernel scan timings (probe vs apply/revert).
+    pub kernel: Vec<KernelRun>,
 }
 
 /// Default instance specs: one representative of each catalogue corner,
@@ -69,6 +99,50 @@ fn default_instance_specs(quick: bool) -> Vec<String> {
         ]);
     }
     v
+}
+
+/// Times the full steepest neighbourhood scan under both kernels, on the
+/// configurations shared with the `local_search` criterion group
+/// ([`bsp_bench::kernel_scan_configs`]) so `BENCH_*.json` and
+/// `cargo bench` measure identical workloads.
+fn kernel_runs(quick: bool) -> Vec<KernelRun> {
+    let reps = if quick { 1 } else { 3 };
+    kernel_scan_configs(quick)
+        .into_iter()
+        .map(|(bench, dag, p)| {
+            let p = p as usize;
+            let bench = bench.to_string();
+            let machine = BspParams::new(p, 3, 5);
+            let sched = spread_schedule(&dag, p as u32);
+            let n = dag.n() as u32;
+            let st = ScheduleState::new(&dag, &machine, &sched);
+            let nanos_probe = (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(best_move(&st, n, p as u32));
+                    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+                })
+                .min()
+                .unwrap_or(0);
+            let mut reference = RefScheduleState::new(&dag, &machine, &sched);
+            let nanos_apply_revert = (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(best_move_apply_revert(&mut reference, n, p as u32));
+                    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+                })
+                .min()
+                .unwrap_or(0);
+            KernelRun {
+                bench,
+                n: dag.n(),
+                m: dag.m(),
+                p,
+                nanos_probe,
+                nanos_apply_revert,
+            }
+        })
+        .collect()
 }
 
 /// Runs the bench sweep, prints a human summary, and writes the JSON
@@ -167,11 +241,30 @@ pub fn bench(cfg: &RunConfig) {
         );
     }
 
+    eprintln!("[bench] timing local-search kernel scans (probe vs apply/revert)");
+    let kernel = kernel_runs(cfg.quick);
+    println!(
+        "\n{:<16} {:>7} {:>4} {:>12} {:>14} {:>8}",
+        "kernel scan", "n", "p", "probe", "apply_revert", "speedup"
+    );
+    for k in &kernel {
+        println!(
+            "{:<16} {:>7} {:>4} {:>9.2} ms {:>11.2} ms {:>7.2}x",
+            k.bench,
+            k.n,
+            k.p,
+            k.nanos_probe as f64 / 1e6,
+            k.nanos_apply_revert as f64 / 1e6,
+            k.nanos_apply_revert as f64 / k.nanos_probe.max(1) as f64,
+        );
+    }
+
     let report = BenchReport {
-        schema: "bsp-sched/bench-v1".to_string(),
+        schema: "bsp-sched/bench-v2".to_string(),
         quick: cfg.quick,
         threads: 1,
         runs,
+        kernel,
     };
     if let Some(path) = &cfg.json {
         let text = serde::json::to_string_pretty(&report);
@@ -202,7 +295,7 @@ mod tests {
     #[test]
     fn bench_report_round_trips_through_json() {
         let report = BenchReport {
-            schema: "bsp-sched/bench-v1".to_string(),
+            schema: "bsp-sched/bench-v2".to_string(),
             quick: true,
             threads: 4,
             runs: vec![BenchRun {
@@ -215,9 +308,36 @@ mod tests {
                 trivial: 1500,
                 nanos: 123_456_789,
             }],
+            kernel: vec![KernelRun {
+                bench: "layered/p8".to_string(),
+                n: 768,
+                m: 1920,
+                p: 8,
+                nanos_probe: 1_700_000,
+                nanos_apply_revert: 5_100_000,
+            }],
         };
         let text = serde::json::to_string_pretty(&report);
         let back: BenchReport = serde::json::from_str(&text).expect("report parses back");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn kernel_configs_cover_all_three_families_at_two_machine_sizes() {
+        let full = kernel_scan_configs(false);
+        for fam in ["layered", "erdos", "spmv"] {
+            let sizes: Vec<u32> = full
+                .iter()
+                .filter(|(b, ..)| b.starts_with(fam))
+                .map(|&(_, _, p)| p)
+                .collect();
+            assert_eq!(sizes.len(), 2, "{fam} must be scanned at two sizes");
+            assert!(sizes.iter().any(|&p| p >= 32), "{fam} needs a large-P row");
+        }
+        assert_eq!(
+            kernel_scan_configs(true).len(),
+            3,
+            "quick trims to one per family"
+        );
     }
 }

@@ -10,6 +10,14 @@
 //! computes at least one node or carries at least one transfer). After
 //! [`crate::compact`]ion this equals the paper's per-superstep charge, and it
 //! lets local search claim the ℓ saving the moment it empties a superstep.
+//!
+//! The functions here re-evaluate a whole schedule from scratch in
+//! `O(n + m + S·P)`; they are the ground truth the incremental machinery is
+//! tested against. Local search never calls them per candidate move: the
+//! `bsp-core` crate's `ScheduleState` maintains this exact cost
+//! incrementally and exposes an allocation-free, read-only
+//! `probe_move(v, q, s)` that returns the delta of a single-node move in
+//! `O(degree)` — bit-for-bit equal to applying the move and subtracting.
 
 use crate::comm::CommSchedule;
 use crate::schedule::BspSchedule;

@@ -19,6 +19,13 @@ pub use std::hint::black_box;
 /// it); keeps full `cargo bench` sweeps laptop-sized.
 const MAX_ITERS: u64 = 10;
 
+/// Mirrors real criterion's `--test` CLI flag (`cargo bench -- --test`):
+/// run every benchmark exactly once, unmeasured, so CI can smoke-test that
+/// bench targets still execute without paying for a measurement sweep.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// A benchmark identifier: function name plus optional parameter.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -72,6 +79,15 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, iters: u64, mut f: F) {
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test: {id:<50} ... ok");
+        return;
+    }
     let mut b = Bencher {
         iters,
         total: Duration::ZERO,
@@ -168,13 +184,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = format!("{}/{}", self.name, id.into().id);
-        let mut b = Bencher {
-            iters: self.sample_size,
-            total: Duration::ZERO,
-        };
-        f(&mut b, input);
-        let per_iter = b.total.checked_div(b.iters as u32).unwrap_or_default();
-        println!("bench: {id:<50} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        run_benchmark(&id, self.sample_size, |b| f(b, input));
         self
     }
 
