@@ -40,7 +40,7 @@ fn bench_scan(c: &mut Criterion) {
         let n = dag.n() as u32;
         let st = ScheduleState::new(&dag, &m, &sched);
         g.bench_function(BenchmarkId::new("probe", name), |b| {
-            b.iter(|| black_box(best_move(&st, n, p)))
+            b.iter(|| black_box(best_move(&st)))
         });
         let mut reference = RefScheduleState::new(&dag, &m, &sched);
         g.bench_function(BenchmarkId::new("apply_revert", name), |b| {

@@ -126,5 +126,8 @@ pub fn bench_pipeline_cfg(ilp: bool) -> PipelineConfig {
         enable_ilp: ilp,
         use_ilp_init: Some(false),
         escape: None,
+        // Benches time one solve at a time; keep in-solve scans sequential
+        // so measurements are comparable across hosts.
+        threads: 1,
     }
 }

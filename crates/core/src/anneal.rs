@@ -104,11 +104,9 @@ pub fn simulated_annealing(
 
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let n = dag.n() as u32;
-    let p = machine.p() as u32;
     let mut temp = cfg
         .initial_temp
-        .unwrap_or_else(|| calibrate_temperature(&state, &mut rng, n, p));
+        .unwrap_or_else(|| calibrate_temperature(&state, &mut rng));
 
     'outer: while temp >= cfg.min_temp && stats.proposed < cfg.max_steps {
         for _ in 0..cfg.steps_per_temp {
@@ -123,7 +121,7 @@ pub fn simulated_annealing(
                 }
             }
             stats.proposed += 1;
-            let Some((v, q, s)) = propose(&state, &mut rng, n, p) else {
+            let Some((v, q, s)) = propose(&state, &mut rng) else {
                 continue;
             };
             // Probe first: rejected proposals (the vast majority at low
@@ -153,12 +151,8 @@ pub fn simulated_annealing(
 
 /// Draws one uniformly random valid move from the hill-climbing
 /// neighbourhood, or `None` if the sampled node has no valid alternative.
-fn propose(
-    state: &ScheduleState<'_>,
-    rng: &mut SmallRng,
-    n: u32,
-    p: u32,
-) -> Option<(bsp_dag::NodeId, u32, u32)> {
+fn propose(state: &ScheduleState<'_>, rng: &mut SmallRng) -> Option<(bsp_dag::NodeId, u32, u32)> {
+    let (n, p) = (state.n() as u32, state.p());
     let v = rng.gen_range(0..n);
     let (cur_p, cur_s) = (state.proc(v), state.step(v));
     let q = rng.gen_range(0..p);
@@ -176,11 +170,11 @@ fn propose(
 /// Samples random valid moves and returns a temperature at which the mean
 /// uphill delta is accepted with probability ≈ 0.6 (T = Δ̄ / ln(1/0.6)).
 /// Probes only — the walk has not started yet and the state must not move.
-fn calibrate_temperature(state: &ScheduleState<'_>, rng: &mut SmallRng, n: u32, p: u32) -> f64 {
+fn calibrate_temperature(state: &ScheduleState<'_>, rng: &mut SmallRng) -> f64 {
     let mut total_uphill = 0u64;
     let mut count = 0u32;
     for _ in 0..256 {
-        let Some((v, q, s)) = propose(state, rng, n, p) else {
+        let Some((v, q, s)) = propose(state, rng) else {
             continue;
         };
         let delta = state.probe_move(v, q, s);

@@ -222,12 +222,62 @@ impl<'a> CommState<'a> {
 /// Runs greedy first-improvement hill climbing over transfer phases.
 /// Returns the number of accepted moves; the cost never increases.
 pub fn comm_hill_climb(state: &mut CommState<'_>, cfg: &CommHillClimbConfig) -> usize {
+    comm_hill_climb_threaded(state, cfg, 1)
+}
+
+/// The first improving phase for transfer `i`, probing candidate phases in
+/// window order — exactly the sequential inner loop's acceptance test.
+fn first_improving_phase(state: &CommState<'_>, i: usize) -> Option<u32> {
+    let t = state.transfers[i];
+    let cur = state.phase[i];
+    (t.earliest..=t.latest).find(|&s| s != cur && state.probe_phase(i, s) < 0)
+}
+
+/// [`comm_hill_climb`] with the transfer scan fanned out over `threads`
+/// workers (`0` = auto-detect, `1` = sequential). First-improvement search
+/// parallelizes exactly because probes are pure between applies: each round
+/// finds the **lowest-index** transfer at or after the resume position with
+/// an improving phase ([`bsp_par::par_find_first`]), applies it, and
+/// resumes after it — the accepted move sequence is **bit-identical** to
+/// the sequential scan for every thread count. Budget limits are checked
+/// once per accepted move rather than once per probed transfer, so a
+/// deadline may be overshot by one scan round.
+pub fn comm_hill_climb_threaded(
+    state: &mut CommState<'_>,
+    cfg: &CommHillClimbConfig,
+    threads: usize,
+) -> usize {
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
     let max_moves = cfg.max_moves.unwrap_or(usize::MAX);
+    let threads = bsp_par::resolve_threads(threads);
     let mut accepted = 0usize;
+    if threads <= 1 || state.transfers.len() < 2 * PAR_CHUNK {
+        loop {
+            let mut improved = false;
+            for i in 0..state.transfers.len() {
+                if accepted >= max_moves {
+                    return accepted;
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return accepted;
+                    }
+                }
+                if let Some(s) = first_improving_phase(state, i) {
+                    state.apply(i, s);
+                    accepted += 1;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return accepted;
+            }
+        }
+    }
     loop {
         let mut improved = false;
-        for i in 0..state.transfers.len() {
+        let mut pos = 0usize;
+        while pos < state.transfers.len() {
             if accepted >= max_moves {
                 return accepted;
             }
@@ -236,18 +286,21 @@ pub fn comm_hill_climb(state: &mut CommState<'_>, cfg: &CommHillClimbConfig) -> 
                     return accepted;
                 }
             }
-            let t = state.transfers[i];
-            let cur = state.phase[i];
-            for s in t.earliest..=t.latest {
-                if s == cur {
-                    continue;
-                }
-                if state.probe_phase(i, s) < 0 {
+            let found = {
+                let st: &CommState<'_> = &*state;
+                bsp_par::par_find_first(threads, st.transfers.len() - pos, PAR_CHUNK, |k| {
+                    first_improving_phase(st, pos + k)
+                })
+            };
+            match found {
+                Some((k, s)) => {
+                    let i = pos + k;
                     state.apply(i, s);
                     accepted += 1;
                     improved = true;
-                    break;
+                    pos = i + 1;
                 }
+                None => break,
             }
         }
         if !improved {
@@ -255,6 +308,9 @@ pub fn comm_hill_climb(state: &mut CommState<'_>, cfg: &CommHillClimbConfig) -> 
         }
     }
 }
+
+/// Transfers per parallel work unit in the first-improvement scan.
+const PAR_CHUNK: usize = 64;
 
 /// Convenience wrapper: derives transfers from `sched`, optimizes their
 /// phases, and returns the explicit `Γ` plus its total cost.
@@ -264,8 +320,21 @@ pub fn optimize_comm_schedule(
     sched: &BspSchedule,
     cfg: &CommHillClimbConfig,
 ) -> (CommSchedule, u64) {
+    optimize_comm_schedule_threaded(dag, machine, sched, cfg, 1)
+}
+
+/// [`optimize_comm_schedule`] running the climb through
+/// [`comm_hill_climb_threaded`]; the returned `Γ` and cost are identical
+/// to the sequential wrapper for every thread count.
+pub fn optimize_comm_schedule_threaded(
+    dag: &Dag,
+    machine: &BspParams,
+    sched: &BspSchedule,
+    cfg: &CommHillClimbConfig,
+    threads: usize,
+) -> (CommSchedule, u64) {
     let mut st = CommState::new(dag, machine, sched);
-    comm_hill_climb(&mut st, cfg);
+    comm_hill_climb_threaded(&mut st, cfg, threads);
     let cost = st.cost();
     (st.comm_schedule(), cost)
 }

@@ -230,9 +230,10 @@ impl<S: Scheduler> Scheduler for MemoryRepairScheduler<S> {
                     .budget
                     .deadline
                     .map(|d| d.saturating_sub(inner_out.elapsed)),
-                ..req.budget
+                ..req.budget.clone()
             },
             seed: req.seed,
+            threads: req.threads,
             observer: req.observer,
         };
         let mut cx = SolveCx::new(&self.name, &sub_req);

@@ -22,7 +22,7 @@
 
 use crate::anneal::{simulated_annealing, AnnealConfig};
 use crate::hc::{hill_climb, HillClimbConfig};
-use crate::hccs::{optimize_comm_schedule, CommHillClimbConfig};
+use crate::hccs::{optimize_comm_schedule_threaded, CommHillClimbConfig};
 use crate::ilp::comm::ilp_comm;
 use crate::ilp::init::ilp_init;
 use crate::ilp::{ilp_full, ilp_part, IlpConfig};
@@ -30,7 +30,7 @@ use crate::init::bspg::bspg_schedule;
 use crate::init::source::source_schedule;
 use crate::multilevel::{multilevel_schedule, MultilevelConfig};
 use crate::state::ScheduleState;
-use crate::tabu::{tabu_search, TabuConfig};
+use crate::tabu::{tabu_search_threaded, TabuConfig};
 use bsp_dag::Dag;
 use bsp_model::BspParams;
 use bsp_schedule::compact::compact_lazy;
@@ -79,6 +79,12 @@ pub struct PipelineConfig {
     /// after HC (folded into the reported `hc_cost` stage). `None`
     /// reproduces the paper's evaluated configuration.
     pub escape: Option<EscapeSearch>,
+    /// Worker threads for the parallel neighbourhood scans (HCcs and the
+    /// tabu escape stage): `0` = auto-detect, `1` = sequential. A
+    /// [`SolveRequest::with_threads`] override wins over this default.
+    /// Never changes the schedule — parallel scans are bit-identical to
+    /// sequential ones — only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +96,7 @@ impl Default for PipelineConfig {
             enable_ilp: true,
             use_ilp_init: None,
             escape: None,
+            threads: bsp_par::default_threads(),
         }
     }
 }
@@ -152,6 +159,7 @@ pub fn solve_base_pipeline(
 ) -> PipelineResult {
     let enable_ilp = cx.ilp_enabled(cfg.enable_ilp);
     let use_ilp_init = cfg.use_ilp_init.unwrap_or(machine.p() <= 4 && enable_ilp) && enable_ilp;
+    let threads = cx.threads(cfg.threads);
 
     // Stage 1 — initialization. Runs even under an expired deadline: some
     // valid schedule must exist before anything can be truncated.
@@ -196,7 +204,8 @@ pub fn solve_base_pipeline(
         let mut st = ScheduleState::new(dag, machine, init);
         hill_climb(&mut st, &c.hc);
         let cand = compact_lazy(dag, &st.snapshot());
-        let (cand_comm, cand_cost) = optimize_comm_schedule(dag, machine, &cand, &c.hccs);
+        let (cand_comm, cand_cost) =
+            optimize_comm_schedule_threaded(dag, machine, &cand, &c.hccs, threads);
         if cand_cost < hc_cost {
             hc_cost = cand_cost;
             best_init = *which;
@@ -222,11 +231,12 @@ pub fn solve_base_pipeline(
                 EscapeSearch::Tabu(t) => {
                     let mut t = t.clone();
                     t.time_limit = cx.clamp_time(t.time_limit);
-                    tabu_search(dag, machine, &sched, &t).0
+                    tabu_search_threaded(dag, machine, &sched, &t, threads).0
                 }
             };
             let refined = compact_lazy(dag, &refined);
-            let (r_comm, r_cost) = optimize_comm_schedule(dag, machine, &refined, &c.hccs);
+            let (r_comm, r_cost) =
+                optimize_comm_schedule_threaded(dag, machine, &refined, &c.hccs, threads);
             if r_cost < hc_cost {
                 hc_cost = r_cost;
                 sched = refined;
@@ -252,7 +262,8 @@ pub fn solve_base_pipeline(
         }
         // Re-optimize Γ on the (possibly) new assignment: HCcs then ILPcs.
         let c = clamped(cfg, cx);
-        let (hccs_comm, hccs_cost) = optimize_comm_schedule(dag, machine, &assignment, &c.hccs);
+        let (hccs_comm, hccs_cost) =
+            optimize_comm_schedule_threaded(dag, machine, &assignment, &c.hccs, threads);
         part_cost = part_cost.min(hccs_cost);
         let (ilpcs_comm, ilpcs_cost) =
             ilp_comm(dag, machine, &assignment, &hccs_comm, &c.ilp.limits);
@@ -318,6 +329,7 @@ pub fn solve_multilevel_pipeline(
         deadline: cx.remaining(),
         max_stage_moves: cx.clamp_moves(None),
         ilp: ilp_override,
+        cancel: cx.cancel_token(),
     };
     let mut base = |d: &Dag, m: &BspParams| -> BspSchedule {
         let req = SolveRequest::new(d, m).with_budget(inner_budget(cx));
@@ -349,7 +361,8 @@ pub fn solve_multilevel_pipeline(
     // Final polish on the original DAG: HCcs, then ILPcs.
     cx.begin("polish");
     let c = clamped(cfg, cx);
-    let (hccs_comm, hccs_cost) = optimize_comm_schedule(dag, machine, &sched, &c.hccs);
+    let (hccs_comm, hccs_cost) =
+        optimize_comm_schedule_threaded(dag, machine, &sched, &c.hccs, cx.threads(cfg.threads));
     let (comm, cost) = if c.enable_ilp && !cx.expired() {
         let (c2, k2) = ilp_comm(dag, machine, &sched, &hccs_comm, &c.ilp.limits);
         if k2 <= hccs_cost {

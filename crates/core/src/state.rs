@@ -28,8 +28,10 @@
 //! [`ScheduleState::probe_move`] computes the exact total-cost delta of a
 //! valid candidate move through `&self`: it never grows the step tables,
 //! never touches the consumer arena, and performs zero heap allocation
-//! (its scratch buffers live behind a [`RefCell`] and retain their
-//! capacity across calls). A probe gathers the `O(deg)` changed
+//! (its scratch buffers live behind an uncontended [`Mutex`] and retain
+//! their capacity across calls; parallel scans hand each worker its own
+//! [`ProbeScratch`] via [`ScheduleState::probe_move_in`] so probing scales
+//! without lock traffic). A probe gathers the `O(deg)` changed
 //! `(superstep, processor)` cells, then re-derives each touched step's
 //! `max` work and h-relation from the cells plus cached top-`K` row maxima
 //! — `O(changed)` per step instead of the `O(P)` rescan `apply_move` pays,
@@ -53,7 +55,7 @@ use bsp_dag::{Dag, NodeId};
 use bsp_model::BspParams;
 use bsp_schedule::cost::lazy_cost;
 use bsp_schedule::BspSchedule;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// How many of a row's largest per-processor values are cached. Probed
 /// moves change ≤ 3 processors of a touched step in the common case, so
@@ -183,8 +185,13 @@ struct CellDelta {
 /// Cleared (capacity retained) on every probe, so probing is allocation-free
 /// once the buffers have warmed up to the working degree. Both vectors stay
 /// tiny (at most `degree + 2` steps), so lookups are linear scans.
+///
+/// Sequential callers never see this type — [`ScheduleState::probe_move`]
+/// keeps one instance internally. Parallel neighbourhood scans allocate one
+/// per worker (`ProbeScratch::default()`) and probe through
+/// [`ScheduleState::probe_move_in`], which shares nothing between workers.
 #[derive(Debug, Default)]
-struct ProbeScratch {
+pub struct ProbeScratch {
     steps: Vec<StepDelta>,
     cells: Vec<CellDelta>,
     /// Epoch-stamped per-processor accumulator for the fallback row rescan:
@@ -348,8 +355,11 @@ pub struct ScheduleState<'a> {
     cons_off: Vec<u32>,
     /// Scratch: steps whose cached cost must be refreshed after a move.
     touched: Vec<u32>,
-    /// Scratch for read-only probing (allocation-free after warm-up).
-    probe: RefCell<ProbeScratch>,
+    /// Scratch for read-only probing (allocation-free after warm-up). A
+    /// `Mutex` rather than a `RefCell` so `ScheduleState` is `Sync` and
+    /// parallel scans can probe through shared references; sequential
+    /// probes lock it uncontended.
+    probe: Mutex<ProbeScratch>,
 }
 
 impl<'a> ScheduleState<'a> {
@@ -377,7 +387,7 @@ impl<'a> ScheduleState<'a> {
             cons: Vec::with_capacity(dag.m()),
             cons_off,
             touched: Vec::new(),
-            probe: RefCell::new(ProbeScratch::default()),
+            probe: Mutex::new(ProbeScratch::default()),
         };
         for v in dag.nodes() {
             let (pv, sv) = (st.proc[v as usize], st.step[v as usize]);
@@ -416,6 +426,18 @@ impl<'a> ScheduleState<'a> {
     /// Underlying DAG.
     pub fn dag(&self) -> &Dag {
         self.dag
+    }
+
+    /// Number of DAG nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.dag.n()
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn p(&self) -> u32 {
+        self.machine.p() as u32
     }
 
     /// Machine parameters.
@@ -625,13 +647,25 @@ impl<'a> ScheduleState<'a> {
     /// virtually as empty). Runs in `O(deg · log deg + t · P)` for `t ≤
     /// deg + 2` touched supersteps.
     pub fn probe_move(&self, v: NodeId, p_new: u32, s_new: u32) -> i64 {
+        let mut scratch = self
+            .probe
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.probe_move_in(&mut scratch, v, p_new, s_new)
+    }
+
+    /// [`ScheduleState::probe_move`] with caller-supplied scratch: the
+    /// entry point for parallel neighbourhood scans, where each worker owns
+    /// a private [`ProbeScratch`] and probes through `&ScheduleState`
+    /// without touching the internal mutex. The result is a pure function
+    /// of the state and the move — independent of which scratch is passed —
+    /// so sequential and parallel scans see bit-identical deltas.
+    pub fn probe_move_in(&self, sc: &mut ProbeScratch, v: NodeId, p_new: u32, s_new: u32) -> i64 {
         let (p_old, s_old) = (self.proc[v as usize], self.step[v as usize]);
         if p_old == p_new && s_old == s_new {
             return 0;
         }
         debug_assert!(self.is_move_valid(v, p_new, s_new));
-        let mut scratch = self.probe.borrow_mut();
-        let sc = &mut *scratch;
         sc.clear();
 
         // 1. Work movement and per-step node counts.

@@ -18,7 +18,7 @@
 //! `kernel_equivalence` tests enforce.
 
 use crate::hc::{HillClimbConfig, HillClimbStats};
-use crate::state::{ProcWindow, ScheduleState};
+use crate::state::{ProbeScratch, ProcWindow, ScheduleState};
 use bsp_dag::NodeId;
 use std::time::Instant;
 
@@ -27,13 +27,24 @@ use std::time::Instant;
 /// move is applied. Stops at a local minimum or when the budget runs out.
 /// The cost of `state` never increases.
 pub fn hill_climb_steepest(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillClimbStats {
+    hill_climb_steepest_threaded(state, cfg, 1)
+}
+
+/// [`hill_climb_steepest`] with the neighbourhood scan fanned out over
+/// `threads` workers (`0` = auto-detect, `1` = sequential). The move
+/// sequence — and therefore the final schedule — is **bit-identical** to
+/// the sequential run for every thread count: each round's winner is the
+/// same move (see [`best_move_threaded`]), only wall-clock time changes.
+pub fn hill_climb_steepest_threaded(
+    state: &mut ScheduleState<'_>,
+    cfg: &HillClimbConfig,
+    threads: usize,
+) -> HillClimbStats {
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
     let max_moves = cfg.max_moves.unwrap_or(usize::MAX);
-    let n = state.dag().n() as u32;
-    let p = state.machine().p() as u32;
     let mut accepted = 0usize;
 
-    if n == 0 {
+    if state.n() == 0 {
         return HillClimbStats {
             accepted: 0,
             local_minimum: true,
@@ -49,7 +60,7 @@ pub fn hill_climb_steepest(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig)
                 };
             }
         }
-        match best_move(state, n, p) {
+        match best_move_threaded(state, threads) {
             Some((v, q, s, _)) => {
                 state.apply_move(v, q, s);
                 accepted += 1;
@@ -68,44 +79,96 @@ pub fn hill_climb_steepest(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig)
     }
 }
 
-/// Probes every valid move and returns the one with the strictly largest
-/// cost decrease (ties to the first found in scan order) together with its
-/// negative delta, or `None` at a local minimum. Read-only: the scan never
-/// mutates `state`, grows its superstep tables, or allocates. Candidate
-/// steps are pre-filtered with [`ScheduleState::valid_procs`] (one
-/// `O(degree)` pass per step instead of `P` validity checks), preserving
-/// the historical `(v, s, q)` enumeration order exactly.
-pub fn best_move(state: &ScheduleState<'_>, n: u32, p: u32) -> Option<(NodeId, u32, u32, i64)> {
+/// Scans the neighbourhoods of nodes `lo..hi` with a private scratch and
+/// returns the best improving move as `(delta, v, s, q)` — the strict-`<`
+/// fold over the `v asc, s asc, q asc` enumeration makes the result the
+/// lexicographic minimum of that tuple, which is exactly the sequential
+/// scan's first-encountered-best tie-break.
+fn scan_best(
+    state: &ScheduleState<'_>,
+    sc: &mut ProbeScratch,
+    lo: u32,
+    hi: u32,
+) -> Option<(i64, NodeId, u32, u32)> {
+    let p = state.p();
     let mut best: Option<(i64, NodeId, u32, u32)> = None;
-    let mut consider = |state: &ScheduleState<'_>, v: NodeId, q: u32, s: u32| {
-        let delta = state.probe_move(v, q, s);
+    let mut consider = |sc: &mut ProbeScratch, v: NodeId, q: u32, s: u32| {
+        let delta = state.probe_move_in(sc, v, q, s);
         if delta < 0 && best.as_ref().is_none_or(|&(b, ..)| delta < b) {
-            best = Some((delta, v, q, s));
+            best = Some((delta, v, s, q));
         }
     };
-    for v in 0..n as NodeId {
+    for v in lo..hi {
         let (cur_p, cur_s) = (state.proc(v), state.step(v));
-        let lo = cur_s.saturating_sub(1);
-        for s in lo..=cur_s + 1 {
+        let first = cur_s.saturating_sub(1);
+        for s in first..=cur_s + 1 {
             match state.valid_procs(v, s) {
                 ProcWindow::None => {}
                 ProcWindow::Only(q) => {
                     if (q, s) != (cur_p, cur_s) {
-                        consider(state, v, q, s);
+                        consider(sc, v, q, s);
                     }
                 }
                 ProcWindow::All => {
                     for q in 0..p {
                         if (q, s) != (cur_p, cur_s) {
-                            consider(state, v, q, s);
+                            consider(sc, v, q, s);
                         }
                     }
                 }
             }
         }
     }
-    best.map(|(d, v, q, s)| (v, q, s, d))
+    best
 }
+
+/// Probes every valid move and returns the one with the strictly largest
+/// cost decrease (ties to the first found in scan order) together with its
+/// negative delta, or `None` at a local minimum. Read-only: the scan never
+/// mutates `state`, grows its superstep tables, or allocates beyond a
+/// one-time scratch warm-up. Candidate steps are pre-filtered with
+/// [`ScheduleState::valid_procs`] (one `O(degree)` pass per step instead
+/// of `P` validity checks), preserving the historical `(v, s, q)`
+/// enumeration order exactly.
+pub fn best_move(state: &ScheduleState<'_>) -> Option<(NodeId, u32, u32, i64)> {
+    let mut sc = ProbeScratch::default();
+    scan_best(state, &mut sc, 0, state.n() as u32).map(|(d, v, s, q)| (v, q, s, d))
+}
+
+/// [`best_move`] with the node range split over `threads` workers (`0` =
+/// auto-detect, `1` = no spawns). Each worker scans a contiguous node chunk
+/// with its own [`ProbeScratch`]; per-chunk winners come back in chunk
+/// order and are folded with the same strict-`<` rule the sequential scan
+/// uses, so the returned move is **bit-identical** to [`best_move`] — the
+/// global lexicographic minimum of `(delta, v, s, q)` — for any thread
+/// count and any chunk size.
+pub fn best_move_threaded(
+    state: &ScheduleState<'_>,
+    threads: usize,
+) -> Option<(NodeId, u32, u32, i64)> {
+    let n = state.n();
+    let threads = bsp_par::resolve_threads(threads);
+    if threads <= 1 || n < 2 * PAR_CHUNK {
+        return best_move(state);
+    }
+    let per_chunk = bsp_par::par_chunks(threads, n, PAR_CHUNK, |range| {
+        let mut sc = ProbeScratch::default();
+        scan_best(state, &mut sc, range.start as u32, range.end as u32)
+    });
+    let mut best: Option<(i64, NodeId, u32, u32)> = None;
+    for cand in per_chunk.into_iter().flatten() {
+        if best.as_ref().is_none_or(|&(b, ..)| cand.0 < b) {
+            best = Some(cand);
+        }
+    }
+    best.map(|(d, v, s, q)| (v, q, s, d))
+}
+
+/// Nodes per parallel work unit: small enough to balance skewed
+/// neighbourhood sizes, large enough that the atomic chunk-claim is noise.
+/// Has no effect on results (the reduce is order-independent), only on
+/// load balance.
+const PAR_CHUNK: usize = 32;
 
 #[cfg(test)]
 mod tests {

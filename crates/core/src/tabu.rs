@@ -13,7 +13,7 @@
 //! candidate read-only ([`ScheduleState::probe_move`]) and applies only the
 //! chosen move.
 
-use crate::state::{ProcWindow, ScheduleState};
+use crate::state::{ProbeScratch, ProcWindow, ScheduleState};
 use bsp_dag::{Dag, NodeId};
 use bsp_model::BspParams;
 use bsp_schedule::BspSchedule;
@@ -81,6 +81,21 @@ pub fn tabu_search(
     sched: &BspSchedule,
     cfg: &TabuConfig,
 ) -> (BspSchedule, u64, TabuStats) {
+    tabu_search_threaded(dag, machine, sched, cfg, 1)
+}
+
+/// [`tabu_search`] with each iteration's neighbourhood scan fanned out over
+/// `threads` workers (`0` = auto-detect, `1` = sequential). Every iteration
+/// selects the same move as the sequential run — the per-chunk winners are
+/// folded under the sequential tie-break — so the returned schedule, cost,
+/// and statistics are **bit-identical** for every thread count.
+pub fn tabu_search_threaded(
+    dag: &Dag,
+    machine: &BspParams,
+    sched: &BspSchedule,
+    cfg: &TabuConfig,
+    threads: usize,
+) -> (BspSchedule, u64, TabuStats) {
     let mut state = ScheduleState::new(dag, machine, sched);
     let mut stats = TabuStats::default();
     let mut best = sched.clone();
@@ -90,8 +105,6 @@ pub fn tabu_search(
     }
 
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
-    let n = dag.n() as u32;
-    let p = machine.p() as u32;
     // (node, proc, step) → iteration index until which the placement is tabu.
     let mut tabu: HashMap<(NodeId, u32, u32), usize> = HashMap::new();
     let mut stall = 0usize;
@@ -106,7 +119,7 @@ pub fn tabu_search(
             }
         }
         let Some((v, q, s, after, aspirated)) =
-            best_admissible_move(&state, &tabu, iter, best_cost, n, p)
+            best_admissible_move_threaded(&state, &tabu, iter, best_cost, threads)
         else {
             break; // no valid move anywhere (degenerate neighbourhood)
         };
@@ -138,24 +151,27 @@ pub fn tabu_search(
     (best, best_cost, stats)
 }
 
-/// Scans the whole neighbourhood read-only (via
-/// [`ScheduleState::probe_move`]) and returns the admissible move with the
-/// lowest resulting cost: non-tabu moves always qualify; tabu moves qualify
-/// only if they beat `best_cost` (aspiration). Returns
-/// `(node, proc, step, resulting_cost, was_aspirated)`.
-fn best_admissible_move(
+/// Scans the neighbourhoods of nodes `lo..hi` read-only (via
+/// [`ScheduleState::probe_move_in`]) and returns the admissible move with
+/// the lowest resulting cost as `(after, v, q, s, aspirated)`: non-tabu
+/// moves always qualify; tabu moves qualify only if they beat `best_cost`
+/// (aspiration). The strict-`<` fold over the `v asc, s asc, q asc`
+/// enumeration reproduces the sequential first-encountered-best tie-break.
+fn scan_admissible(
     state: &ScheduleState<'_>,
+    sc: &mut ProbeScratch,
     tabu: &HashMap<(NodeId, u32, u32), usize>,
     iter: usize,
     best_cost: u64,
-    n: u32,
-    p: u32,
-) -> Option<(NodeId, u32, u32, u64, bool)> {
+    lo: u32,
+    hi: u32,
+) -> Option<(u64, NodeId, u32, u32, bool)> {
+    let p = state.p();
     let before = state.cost() as i64;
     let mut best: Option<(u64, NodeId, u32, u32, bool)> = None;
-    let mut consider = |state: &ScheduleState<'_>, v: NodeId, q: u32, s: u32| {
+    let mut consider = |sc: &mut ProbeScratch, v: NodeId, q: u32, s: u32| {
         let is_tabu = tabu.get(&(v, q, s)).is_some_and(|&until| until > iter);
-        let after = (before + state.probe_move(v, q, s)) as u64;
+        let after = (before + state.probe_move_in(sc, v, q, s)) as u64;
         let aspirated = is_tabu && after < best_cost;
         if is_tabu && !aspirated {
             return;
@@ -164,29 +180,74 @@ fn best_admissible_move(
             best = Some((after, v, q, s, aspirated));
         }
     };
-    for v in 0..n as NodeId {
+    for v in lo..hi {
         let (cur_p, cur_s) = (state.proc(v), state.step(v));
-        let lo = cur_s.saturating_sub(1);
-        for s in lo..=cur_s + 1 {
+        let first = cur_s.saturating_sub(1);
+        for s in first..=cur_s + 1 {
             match state.valid_procs(v, s) {
                 ProcWindow::None => {}
                 ProcWindow::Only(q) => {
                     if (q, s) != (cur_p, cur_s) {
-                        consider(state, v, q, s);
+                        consider(sc, v, q, s);
                     }
                 }
                 ProcWindow::All => {
                     for q in 0..p {
                         if (q, s) != (cur_p, cur_s) {
-                            consider(state, v, q, s);
+                            consider(sc, v, q, s);
                         }
                     }
                 }
             }
         }
     }
+    best
+}
+
+/// Whole-neighbourhood admissible-move scan, optionally fanned out over
+/// `threads` workers with one private [`ProbeScratch`] per chunk. Chunk
+/// winners come back in ascending node order and are folded with the same
+/// strict-`<` rule [`scan_admissible`] uses internally, so the selected
+/// move — `(node, proc, step, resulting_cost, was_aspirated)` — is
+/// identical to a sequential scan for any thread count.
+fn best_admissible_move_threaded(
+    state: &ScheduleState<'_>,
+    tabu: &HashMap<(NodeId, u32, u32), usize>,
+    iter: usize,
+    best_cost: u64,
+    threads: usize,
+) -> Option<(NodeId, u32, u32, u64, bool)> {
+    let n = state.n();
+    let threads = bsp_par::resolve_threads(threads);
+    let best = if threads <= 1 || n < 2 * PAR_CHUNK {
+        let mut sc = ProbeScratch::default();
+        scan_admissible(state, &mut sc, tabu, iter, best_cost, 0, n as u32)
+    } else {
+        let per_chunk = bsp_par::par_chunks(threads, n, PAR_CHUNK, |range| {
+            let mut sc = ProbeScratch::default();
+            scan_admissible(
+                state,
+                &mut sc,
+                tabu,
+                iter,
+                best_cost,
+                range.start as u32,
+                range.end as u32,
+            )
+        });
+        let mut best: Option<(u64, NodeId, u32, u32, bool)> = None;
+        for cand in per_chunk.into_iter().flatten() {
+            if best.as_ref().is_none_or(|&(b, ..)| cand.0 < b) {
+                best = Some(cand);
+            }
+        }
+        best
+    };
     best.map(|(c, v, q, s, a)| (v, q, s, c, a))
 }
+
+/// Nodes per parallel work unit (see [`crate::steepest`]).
+const PAR_CHUNK: usize = 32;
 
 #[cfg(test)]
 mod tests {

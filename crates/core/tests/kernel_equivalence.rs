@@ -107,7 +107,7 @@ fn steepest_move_sequence_matches_apply_revert_reference() {
         let (n, p) = (dag.n() as u32, machine.p() as u32);
         let mut moves = 0usize;
         loop {
-            let a = best_move(&probed, n, p).map(|(v, q, s, _)| (v, q, s));
+            let a = best_move(&probed).map(|(v, q, s, _)| (v, q, s));
             let b = best_move_apply_revert(&mut reference, n, p);
             assert_eq!(a, b, "kernels diverged after {moves} moves");
             let Some((v, q, s)) = a else { break };

@@ -299,7 +299,7 @@ pub fn ablation_auto(cfg: &RunConfig) {
         if *d > 0 {
             machine = machine.with_numa(NumaTopology::binary_tree(*p, *d));
         }
-        let pipe = pipeline_config(inst.dag.n(), EvalOptions::default());
+        let pipe = pipeline_config(inst.dag.n(), &EvalOptions::default());
         let base = schedule_dag(&inst.dag, &machine, &pipe).cost;
         let ml =
             schedule_dag_multilevel(&inst.dag, &machine, &pipe, &MultilevelConfig::default()).cost;

@@ -4,17 +4,21 @@
 //! defaults for both) and reports, per (instance, scheduler) pair, the
 //! solve wall-clock in nanoseconds alongside the achieved and trivial
 //! costs, plus a `kernel` section timing the local-search neighbourhood
-//! scan under the probe and the historical apply/revert kernels. With
-//! `--json <path>` the full report is written as indented JSON
-//! (`schema: "bsp-sched/bench-v2"`), the `BENCH_*.json` perf-trajectory
+//! scan under the probe and the historical apply/revert kernels, and a
+//! `parallel` section timing the same steepest scan fanned out over 1, 2,
+//! 4 and 8 worker threads ([`bsp_core::steepest::best_move_threaded`]).
+//! With `--json <path>` the full report is written as indented JSON
+//! (`schema: "bsp-sched/bench-v3"`), the `BENCH_*.json` perf-trajectory
 //! format: commit one per revision and diff them to see hot-path
 //! regressions.
 
-use crate::runner::{pipeline_config, resolve_instance_groups, EvalOptions, RunConfig};
+use crate::runner::{
+    detect_threads, pipeline_config, resolve_instance_groups, EvalOptions, RunConfig,
+};
 use bsp_bench::{kernel_scan_configs, spread_schedule};
 use bsp_core::reference::{best_move_apply_revert, RefScheduleState};
 use bsp_core::state::ScheduleState;
-use bsp_core::steepest::best_move;
+use bsp_core::steepest::{best_move, best_move_threaded};
 use bsp_instance::Instance;
 use bsp_model::BspParams;
 use bsp_schedule::solve::SolveRequest;
@@ -64,6 +68,26 @@ pub struct KernelRun {
     pub nanos_apply_revert: u64,
 }
 
+/// One parallel-scan measurement: the full steepest-descent neighbourhood
+/// scan ([`best_move_threaded`]) at one worker-thread count. Rows with the
+/// same `bench` differ only in `threads`; `nanos(1) / nanos(t)` is the
+/// scan speedup at `t` workers on the recording host (see `host_threads`
+/// in [`BenchReport`] — speedups are only meaningful when the host has
+/// that many cores).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelScanRun {
+    /// Config label, `<family>/p<P>`.
+    pub bench: String,
+    /// Instance node count.
+    pub n: usize,
+    /// Machine processor count.
+    pub p: usize,
+    /// Worker threads the scan was fanned out over.
+    pub threads: usize,
+    /// Full-neighbourhood scan wall-clock (best of 3).
+    pub nanos: u64,
+}
+
 /// The whole report: header plus per-pair runs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -71,13 +95,20 @@ pub struct BenchReport {
     pub schema: String,
     /// Whether `--quick` trimmed the defaults.
     pub quick: bool,
-    /// Measurement concurrency — always 1: solves are timed sequentially
-    /// so `nanos` is comparable across revisions.
+    /// Resolved `--threads` of the run configuration. Solve measurements
+    /// are still timed one at a time so `nanos` is comparable across
+    /// revisions; this records the setting the sweep commands would use.
     pub threads: usize,
+    /// Detected available parallelism of the recording host — the context
+    /// needed to read the `parallel` section (a 1-core host cannot show
+    /// scan speedups regardless of the thread count).
+    pub host_threads: usize,
     /// All measurements, instance-major.
     pub runs: Vec<BenchRun>,
     /// Local-search kernel scan timings (probe vs apply/revert).
     pub kernel: Vec<KernelRun>,
+    /// Parallel steepest-scan timings at 1/2/4/8 worker threads.
+    pub parallel: Vec<ParallelScanRun>,
 }
 
 /// Default instance specs: one representative of each catalogue corner,
@@ -119,7 +150,7 @@ fn kernel_runs(quick: bool) -> Vec<KernelRun> {
             let nanos_probe = (0..reps)
                 .map(|_| {
                     let t0 = Instant::now();
-                    std::hint::black_box(best_move(&st, n, p as u32));
+                    std::hint::black_box(best_move(&st));
                     t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
                 })
                 .min()
@@ -143,6 +174,50 @@ fn kernel_runs(quick: bool) -> Vec<KernelRun> {
             }
         })
         .collect()
+}
+
+/// Thread counts the parallel section samples: sequential baseline plus
+/// the powers of two the acceptance targets quote.
+const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Times the full steepest neighbourhood scan under
+/// [`best_move_threaded`] at each [`PARALLEL_THREADS`] count, on the same
+/// configurations as [`kernel_runs`]. Every thread count is asserted to
+/// select the same winning move as the sequential scan — the
+/// bit-identical-determinism contract — before its timing is recorded.
+fn parallel_scan_runs(quick: bool) -> Vec<ParallelScanRun> {
+    let reps = if quick { 1 } else { 3 };
+    let mut out = Vec::new();
+    for (bench, dag, p) in kernel_scan_configs(quick) {
+        let p = p as usize;
+        let machine = BspParams::new(p, 3, 5);
+        let sched = spread_schedule(&dag, p as u32);
+        let st = ScheduleState::new(&dag, &machine, &sched);
+        let reference = best_move(&st);
+        for threads in PARALLEL_THREADS {
+            assert_eq!(
+                best_move_threaded(&st, threads),
+                reference,
+                "parallel scan diverged from sequential at {threads} threads"
+            );
+            let nanos = (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(best_move_threaded(&st, threads));
+                    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+                })
+                .min()
+                .unwrap_or(0);
+            out.push(ParallelScanRun {
+                bench: bench.to_string(),
+                n: dag.n(),
+                p,
+                threads,
+                nanos,
+            });
+        }
+    }
+    out
 }
 
 /// Runs the bench sweep, prints a human summary, and writes the JSON
@@ -175,7 +250,7 @@ pub fn bench(cfg: &RunConfig) {
         .flat_map(|(_, insts)| insts)
         .collect();
     let max_n = insts.iter().map(|i| i.dag.n()).max().unwrap_or(0);
-    let base = pipeline_config(max_n, EvalOptions::default());
+    let base = pipeline_config(max_n, &EvalOptions::default());
     let sched_registry = bsp_sched::Registry::standard();
     let schedulers: Vec<_> = sched_specs
         .iter()
@@ -259,12 +334,36 @@ pub fn bench(cfg: &RunConfig) {
         );
     }
 
+    eprintln!("[bench] timing parallel steepest scans (1/2/4/8 worker threads)");
+    let parallel = parallel_scan_runs(cfg.quick);
+    println!(
+        "\n{:<16} {:>7} {:>4} {:>3} {:>12} {:>8}",
+        "parallel scan", "n", "p", "t", "nanos", "speedup"
+    );
+    for r in &parallel {
+        let base = parallel
+            .iter()
+            .find(|b| b.bench == r.bench && b.threads == 1)
+            .map_or(r.nanos, |b| b.nanos);
+        println!(
+            "{:<16} {:>7} {:>4} {:>3} {:>9.2} ms {:>7.2}x",
+            r.bench,
+            r.n,
+            r.p,
+            r.threads,
+            r.nanos as f64 / 1e6,
+            base as f64 / r.nanos.max(1) as f64,
+        );
+    }
+
     let report = BenchReport {
-        schema: "bsp-sched/bench-v2".to_string(),
+        schema: "bsp-sched/bench-v3".to_string(),
         quick: cfg.quick,
-        threads: 1,
+        threads: cfg.threads,
+        host_threads: detect_threads(),
         runs,
         kernel,
+        parallel,
     };
     if let Some(path) = &cfg.json {
         let text = serde::json::to_string_pretty(&report);
@@ -295,9 +394,10 @@ mod tests {
     #[test]
     fn bench_report_round_trips_through_json() {
         let report = BenchReport {
-            schema: "bsp-sched/bench-v2".to_string(),
+            schema: "bsp-sched/bench-v3".to_string(),
             quick: true,
             threads: 4,
+            host_threads: 8,
             runs: vec![BenchRun {
                 instance: "spmv?n=120&q=0.25&seed=42 @ bsp?p=4&g=2".to_string(),
                 sched: "etf".to_string(),
@@ -315,6 +415,13 @@ mod tests {
                 p: 8,
                 nanos_probe: 1_700_000,
                 nanos_apply_revert: 5_100_000,
+            }],
+            parallel: vec![ParallelScanRun {
+                bench: "layered/p8".to_string(),
+                n: 768,
+                p: 8,
+                threads: 4,
+                nanos: 600_000,
             }],
         };
         let text = serde::json::to_string_pretty(&report);

@@ -50,7 +50,9 @@ fn main() {
             }
             "--threads" => {
                 i += 1;
-                cfg.threads = args[i].parse().expect("--threads takes an integer");
+                // 0 = auto-detect, matching the bsp-par convention.
+                let requested = args[i].parse().expect("--threads takes an integer");
+                cfg.threads = bsp_par::resolve_threads(requested);
             }
             "--quick" => cfg.quick = true,
             "--sched" => {

@@ -12,15 +12,13 @@ use bsp_model::BspParams;
 use bsp_schedule::solve::{Budget, SolveCx, SolveRequest};
 use bsp_schedule::trivial::trivial_cost;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// The worker-thread fallback every sweep entry point shares: the
-/// machine's available parallelism, or 4 when undetectable.
+/// machine's available parallelism, or 4 when undetectable
+/// (re-exported from [`bsp_par::detect_threads`]).
 pub fn detect_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    bsp_par::detect_threads()
 }
 
 /// Global run options.
@@ -115,7 +113,7 @@ pub fn resolve_instance_groups(specs: &[String]) -> Vec<(String, Vec<bsp_instanc
 }
 
 /// What to compute for an instance.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EvalOptions {
     /// Run the ILP stages of the pipeline.
     pub ilp: bool,
@@ -173,7 +171,7 @@ impl Eval {
 }
 
 /// Budgets adapted to instance size so sweeps stay laptop-sized.
-pub fn pipeline_config(n: usize, opts: EvalOptions) -> PipelineConfig {
+pub fn pipeline_config(n: usize, opts: &EvalOptions) -> PipelineConfig {
     let hc_moves = if n <= 600 {
         4000
     } else {
@@ -204,6 +202,9 @@ pub fn pipeline_config(n: usize, opts: EvalOptions) -> PipelineConfig {
         enable_ilp,
         use_ilp_init: Some(false), // run explicitly where tables need it
         escape: None,
+        // Sweeps parallelize across instances (one solve per worker), so
+        // in-solve scans stay sequential rather than oversubscribing.
+        threads: 1,
     }
 }
 
@@ -220,14 +221,14 @@ fn bsp_ilp_limits(n: usize) -> bsp_ilp::SolveLimits {
 /// main comparison columns use (cilk, hdagg, bl-est, etf) are constructed;
 /// the NUMA-aware variants and DSC are covered by the dedicated ablation
 /// tables instead.
-pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -> Eval {
+pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: &EvalOptions) -> Eval {
     let cfg = pipeline_config(dag.n(), opts);
     let registry = bsp_sched::Registry::standard();
     let run = |spec: &str| -> u64 {
         registry
             .get_with(spec, &cfg)
             .unwrap_or_else(|e| panic!("baseline spec {spec:?}: {e}"))
-            .solve(&SolveRequest::new(dag, machine).with_budget(opts.budget))
+            .solve(&SolveRequest::new(dag, machine).with_budget(opts.budget.clone()))
             .total()
     };
     let cilk = run("cilk");
@@ -237,7 +238,7 @@ pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -
     } else {
         (0, 0)
     };
-    let req = SolveRequest::new(dag, machine).with_budget(opts.budget);
+    let req = SolveRequest::new(dag, machine).with_budget(opts.budget.clone());
     let mut cx = SolveCx::new("pipeline/base", &req);
     let r = solve_base_pipeline(dag, machine, &cfg, &mut cx);
 
@@ -247,7 +248,7 @@ pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -
                 ratios: vec![ratio],
                 ..Default::default()
             };
-            let req = SolveRequest::new(dag, machine).with_budget(opts.budget);
+            let req = SolveRequest::new(dag, machine).with_budget(opts.budget.clone());
             let mut cx = SolveCx::new("pipeline/multilevel", &req);
             solve_multilevel_pipeline(dag, machine, &cfg, &ml, &mut cx).cost
         };
@@ -274,34 +275,14 @@ pub fn evaluate(name: &str, dag: &Dag, machine: &BspParams, opts: EvalOptions) -
 }
 
 /// Runs `f` over `jobs` on `threads` workers, preserving job order in the
-/// output.
+/// output (delegates to [`bsp_par::parallel_map`]).
 pub fn parallel_map<T, R, F>(threads: usize, jobs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = jobs.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                **slots[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    out.into_iter()
-        .map(|r| r.expect("worker completed every job"))
-        .collect()
+    bsp_par::parallel_map(threads, jobs, f)
 }
 
 #[cfg(test)]

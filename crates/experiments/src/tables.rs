@@ -78,7 +78,7 @@ fn run_jobs(cfg: &RunConfig, jobs: Vec<Job>) -> Vec<(DatasetKind, usize, u64, u6
     eprintln!("[sweep] {} jobs on {} threads", jobs.len(), cfg.threads);
     parallel_map(cfg.threads, jobs, |j| {
         let machine = machine_of(j);
-        let e = evaluate(&j.inst.name, &j.inst.dag, &machine, j.opts);
+        let e = evaluate(&j.inst.name, &j.inst.dag, &machine, &j.opts);
         (j.set, j.p, j.g, j.delta, e)
     })
 }
@@ -99,7 +99,7 @@ fn no_numa_jobs(cfg: &RunConfig, opts: EvalOptions) -> Vec<Job> {
                         g,
                         delta: 0,
                         inst: inst.clone(),
-                        opts,
+                        opts: opts.clone(),
                     });
                 }
             }
@@ -129,7 +129,7 @@ fn numa_jobs(cfg: &RunConfig, opts: EvalOptions, skip_tiny: bool) -> Vec<Job> {
                         g: 1,
                         delta,
                         inst: inst.clone(),
-                        opts,
+                        opts: opts.clone(),
                     });
                 }
             }
@@ -405,7 +405,7 @@ pub fn table9(cfg: &RunConfig) {
     }
     let results = parallel_map(cfg.threads, jobs, |(l, inst)| {
         let machine = MachineSpec::uniform(8, 1, *l).build();
-        (*l, evaluate(&inst.name, &inst.dag, &machine, opts))
+        (*l, evaluate(&inst.name, &inst.dag, &machine, &opts))
     });
     println!("reduction vs Cilk / HDagg on {} (g=1, P=8):", kind.name());
     for &l in &ells {
@@ -669,7 +669,7 @@ pub fn table11_and_fig7(cfg: &RunConfig) {
                     g,
                     delta: 0,
                     inst: inst.clone(),
-                    opts,
+                    opts: opts.clone(),
                 });
             }
         }
@@ -733,7 +733,7 @@ pub fn table12(cfg: &RunConfig) {
                     g: 1,
                     delta,
                     inst: inst.clone(),
-                    opts,
+                    opts: opts.clone(),
                 });
             }
         }
@@ -765,7 +765,7 @@ pub fn table4_and_5(cfg: &RunConfig) {
         let ilp_cost = if ilp_feasible {
             let mut icfg = pipeline_config(
                 inst.dag.n(),
-                EvalOptions {
+                &EvalOptions {
                     ilp: true,
                     ..Default::default()
                 },
@@ -922,7 +922,7 @@ pub fn registry_overview(cfg: &RunConfig) {
         .flat_map(|(_, insts)| insts.iter().map(|i| i.dag.n()))
         .max()
         .unwrap_or(0);
-    let base = pipeline_config(max_n, EvalOptions::default());
+    let base = pipeline_config(max_n, &EvalOptions::default());
     let specs: Vec<String> = if cfg.scheds.is_empty() {
         registry.descriptors().map(|d| d.spec()).collect()
     } else {
@@ -1001,7 +1001,7 @@ pub fn solve_specs(cfg: &RunConfig) {
     };
     for (_spec, insts) in resolve_instance_groups(&inst_specs) {
         let inst = insts.last().expect("instance spec expanded to nothing");
-        let base = pipeline_config(inst.dag.n(), EvalOptions::default());
+        let base = pipeline_config(inst.dag.n(), &EvalOptions::default());
         println!(
             "instance {} (n = {}, P = {}), budget {:?}",
             inst.name,

@@ -1,0 +1,397 @@
+//! Std-only scoped-thread parallel runtime for the scheduling workspace.
+//!
+//! Every parallel code path in the workspace — the sharded local-search
+//! neighbourhood scans, the portfolio-racing scheduler, and the experiment
+//! sweeps — runs on the primitives in this crate, which are built entirely
+//! on [`std::thread::scope`]: no external dependency, no global thread
+//! pool, no unsafe code. Work is distributed over a *chunked atomic
+//! cursor* (workers repeatedly claim the next chunk index), results are
+//! returned **in chunk order** so deterministic reductions are trivial,
+//! and a panicking worker propagates its panic to the caller at join.
+//!
+//! Thread-count conventions, shared by every consumer:
+//!
+//! * `threads == 0` means "auto": [`resolve_threads`] replaces it with
+//!   [`detect_threads`] (the machine's available parallelism).
+//! * `threads == 1` is always the plain sequential path — no threads are
+//!   spawned, so single-threaded callers pay nothing.
+//! * The `BSP_THREADS` environment variable ([`env_threads`]) provides a
+//!   process-wide default ([`default_threads`]) used by configuration
+//!   defaults, so e.g. `BSP_THREADS=4 cargo test` exercises the parallel
+//!   paths without touching any call site.
+//!
+//! Cooperative cancellation uses [`CancelToken`], a shared atomic flag
+//! with optional parent chaining: cancelling a parent cancels every child
+//! token derived from it, while a child can be cancelled without touching
+//! its siblings — exactly the shape portfolio racing needs.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The machine's available parallelism, or 4 when undetectable.
+///
+/// ```
+/// assert!(bsp_par::detect_threads() >= 1);
+/// ```
+pub fn detect_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// The `BSP_THREADS` environment override, if set and parseable. `0` is
+/// accepted and means "auto-detect" (see [`resolve_threads`]).
+pub fn env_threads() -> Option<usize> {
+    std::env::var("BSP_THREADS").ok()?.trim().parse().ok()
+}
+
+/// Resolves a requested thread count: `0` means auto-detect, anything
+/// else is taken literally.
+///
+/// ```
+/// assert_eq!(bsp_par::resolve_threads(3), 3);
+/// assert_eq!(bsp_par::resolve_threads(0), bsp_par::detect_threads());
+/// ```
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        detect_threads()
+    } else {
+        requested
+    }
+}
+
+/// The process-wide default thread count for configuration defaults:
+/// `BSP_THREADS` (resolved through [`resolve_threads`]) when set,
+/// otherwise 1 (sequential). Deliberately *not* auto-detecting: parallel
+/// scans are opt-in via explicit configuration, a CLI flag, or the
+/// environment, so default runs stay reproducible on any machine.
+pub fn default_threads() -> usize {
+    env_threads().map(resolve_threads).unwrap_or(1)
+}
+
+/// A shared cooperative-cancellation flag with optional parent chaining.
+///
+/// Cloning shares the flag. [`CancelToken::child`] derives a token that is
+/// cancelled when *either* it or its parent is cancelled, while cancelling
+/// the child leaves the parent (and the child's siblings) untouched.
+///
+/// ```
+/// use bsp_par::CancelToken;
+///
+/// let parent = CancelToken::new();
+/// let child = parent.child();
+/// assert!(!child.is_cancelled());
+/// child.cancel();
+/// assert!(child.is_cancelled() && !parent.is_cancelled());
+///
+/// let sibling = parent.child();
+/// parent.cancel();
+/// assert!(sibling.is_cancelled(), "parent cancellation reaches children");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no parent.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A new token that is also cancelled whenever `self` is.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
+    }
+
+    /// Raises the flag on this token (and so on every child derived from
+    /// it). Idempotent and safe to call from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+}
+
+/// Splits `0..n_items` into chunks of `chunk_size`, runs `f` on every
+/// chunk across `threads` scoped workers (chunks are claimed through an
+/// atomic cursor), and returns the per-chunk results **in chunk order** —
+/// so folding the returned vector left-to-right is bit-identical to a
+/// sequential pass, regardless of which worker ran which chunk. With
+/// `threads <= 1` no thread is spawned. A worker panic propagates to the
+/// caller.
+///
+/// ```
+/// // Deterministic parallel min: fold chunk results in chunk order.
+/// let data: Vec<u64> = (0..1000).map(|i| (i * 7919) % 101).collect();
+/// let partials = bsp_par::par_chunks(4, data.len(), 64, |r| {
+///     data[r].iter().copied().min()
+/// });
+/// let m = partials.into_iter().flatten().min();
+/// assert_eq!(m, data.iter().copied().min());
+/// ```
+pub fn par_chunks<R, F>(threads: usize, n_items: usize, chunk_size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let chunk = chunk_size.max(1);
+    let n_chunks = n_items.div_ceil(chunk);
+    let threads = resolve_threads(threads).min(n_chunks.max(1));
+    if threads <= 1 {
+        return (0..n_chunks)
+            .map(|c| f(c * chunk..((c + 1) * chunk).min(n_items)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        local.push((c, f(lo..(lo + chunk).min(n_items))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(c, _)| c);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parallel first-improvement search: finds the **lowest** index `i` in
+/// `0..n_items` for which `f(i)` is `Some`, exactly as a sequential scan
+/// would, but probing chunks on `threads` workers. Workers share the best
+/// index found so far and skip chunks (and suffixes of chunks) that cannot
+/// beat it, so the early-exit behaviour of sequential first-improvement is
+/// preserved in spirit while the *result* is preserved exactly.
+///
+/// ```
+/// let hit = bsp_par::par_find_first(4, 1000, 32, |i| (i >= 123).then_some(i * 2));
+/// assert_eq!(hit, Some((123, 246)));
+/// assert_eq!(bsp_par::par_find_first(4, 50, 8, |_| None::<()>), None);
+/// ```
+pub fn par_find_first<R, F>(
+    threads: usize,
+    n_items: usize,
+    chunk_size: usize,
+    f: F,
+) -> Option<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize) -> Option<R> + Sync,
+{
+    let chunk = chunk_size.max(1);
+    let threads = resolve_threads(threads);
+    if threads <= 1 || n_items <= chunk {
+        return (0..n_items).find_map(|i| f(i).map(|r| (i, r)));
+    }
+    let n_chunks = n_items.div_ceil(chunk);
+    let threads = threads.min(n_chunks);
+    let cursor = AtomicUsize::new(0);
+    let best_idx = AtomicUsize::new(usize::MAX);
+    let mut hits: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Option<(usize, R)> = None;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        // Chunks are claimed in ascending order, so once the
+                        // chunk start passes the best hit no later chunk can
+                        // improve on it.
+                        if lo > best_idx.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        for i in lo..(lo + chunk).min(n_items) {
+                            if i > best_idx.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if let Some(r) = f(i) {
+                                best_idx.fetch_min(i, Ordering::Relaxed);
+                                if local.as_ref().is_none_or(|&(j, _)| i < j) {
+                                    local = Some((i, r));
+                                }
+                                break; // later indices in this chunk are larger
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    hits.sort_unstable_by_key(|&(i, _)| i);
+    hits.into_iter().next()
+}
+
+/// Runs `f` over `jobs` on `threads` scoped workers, preserving job order
+/// in the output. Jobs are claimed one at a time through an atomic cursor,
+/// so long and short jobs interleave without static partitioning skew.
+/// With `threads <= 1` (or one job) everything runs on the caller's
+/// thread.
+///
+/// ```
+/// let squares = bsp_par::parallel_map(3, (0..10u64).collect(), |&x| x * x);
+/// assert_eq!(squares, (0..10u64).map(|x| x * x).collect::<Vec<_>>());
+/// ```
+pub fn parallel_map<T, R, F>(threads: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = jobs.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_and_defaults() {
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+        assert!(detect_threads() >= 1);
+        // default_threads is 1 or the BSP_THREADS override; never 0.
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_returns_chunk_order_at_every_thread_count() {
+        for threads in [1, 2, 3, 8] {
+            let ids = par_chunks(threads, 103, 10, |r| r.start);
+            let expected: Vec<usize> = (0..11).map(|c| c * 10).collect();
+            assert_eq!(ids, expected, "threads={threads}");
+        }
+        assert!(par_chunks(4, 0, 16, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_min_reduce_matches_sequential() {
+        let data: Vec<i64> = (0..997)
+            .map(|i| ((i * 2654435761u64) % 4093) as i64 - 2000)
+            .collect();
+        let seq = data.iter().copied().min();
+        for threads in [2, 3, 8] {
+            let partials = par_chunks(threads, data.len(), 37, |r| data[r].iter().copied().min());
+            assert_eq!(partials.into_iter().flatten().min(), seq);
+        }
+    }
+
+    #[test]
+    fn par_find_first_matches_sequential_scan() {
+        // Several hits: the lowest index must win at any thread count.
+        let hit = |i: usize| (i % 97 == 13).then_some(i);
+        let seq = (0..5000).find_map(|i| hit(i).map(|r| (i, r)));
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                par_find_first(threads, 5000, 64, hit),
+                seq,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(par_find_first(8, 5000, 64, |_| None::<usize>), None);
+        assert_eq!(par_find_first(8, 0, 64, Some), None);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1, 2, 5] {
+            let out = parallel_map(threads, (0..57usize).collect(), |&x| 2 * x + 1);
+            assert_eq!(out, (0..57).map(|x| 2 * x + 1).collect::<Vec<_>>());
+        }
+        let empty: Vec<usize> = parallel_map(4, Vec::<usize>::new(), |&x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            par_chunks(4, 100, 8, |r| {
+                if r.contains(&50) {
+                    panic!("boom");
+                }
+                r.len()
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn cancel_token_chain() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        let shared = a.clone();
+        a.cancel();
+        assert!(shared.is_cancelled(), "clones share the flag");
+        assert!(!b.is_cancelled() && !root.is_cancelled());
+        root.cancel();
+        assert!(b.is_cancelled());
+    }
+}

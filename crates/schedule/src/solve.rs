@@ -21,6 +21,11 @@
 //!   under an already-expired deadline, the best initialization.
 //! * **Move caps** bound the accepted moves of each local-search stage.
 //! * **`ilp`** overrides the scheduler's own ILP switch; `None` defers.
+//! * The **cancel token** ([`Budget::with_cancel`]) makes the budget count
+//!   as expired the moment the token is cancelled — the cooperative-stop
+//!   channel used by portfolio racing and interactive callers. It reuses
+//!   the deadline machinery, so the monotone "any budget yields a valid
+//!   schedule" contract is unchanged.
 //!
 //! ```
 //! use bsp_dag::DagBuilder;
@@ -46,6 +51,7 @@
 use crate::scheduler::ScheduleResult;
 use bsp_dag::Dag;
 use bsp_model::BspParams;
+pub use bsp_par::CancelToken;
 use std::time::{Duration, Instant};
 
 /// Resource limits for one solve call.
@@ -61,7 +67,7 @@ use std::time::{Duration, Instant};
 /// assert_eq!(b.deadline, Some(Duration::from_millis(250)));
 /// assert!(Budget::default().is_unlimited());
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Wall-clock limit for the whole solve, measured from the moment
     /// `solve` is entered. `None` = unlimited.
@@ -72,6 +78,11 @@ pub struct Budget {
     /// Override for the scheduler's ILP master switch: `Some(false)` forces
     /// the ILP stages off, `Some(true)` on, `None` defers to the scheduler.
     pub ilp: Option<bool>,
+    /// Shared cooperative-cancellation token: once cancelled, the budget
+    /// counts as expired at every [`SolveCx::check_expired`] site, so the
+    /// solve winds down to its best-so-far schedule exactly as under an
+    /// expired deadline. `None` = not externally cancellable.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -106,9 +117,18 @@ impl Budget {
         self
     }
 
-    /// Whether this budget constrains nothing.
+    /// This budget with a shared cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this budget constrains nothing (and cannot be cancelled).
     pub fn is_unlimited(&self) -> bool {
-        *self == Budget::default()
+        self.deadline.is_none()
+            && self.max_stage_moves.is_none()
+            && self.ilp.is_none()
+            && self.cancel.is_none()
     }
 }
 
@@ -178,6 +198,12 @@ pub struct SolveRequest<'a> {
     /// streams, simulated annealing); `0` reproduces the scheduler's
     /// configured seeds.
     pub seed: u64,
+    /// Worker-thread override for the scheduler's parallel scans: `None`
+    /// defers to the scheduler's own configuration, `Some(0)` auto-detects
+    /// ([`bsp_par::detect_threads`]), `Some(n)` requests exactly `n`.
+    /// Parallel scans are bit-identical to sequential ones, so this knob
+    /// never changes the computed schedule — only the wall-clock.
+    pub threads: Option<usize>,
     /// Progress observer; defaults to [`NOOP_OBSERVER`].
     pub observer: &'a dyn Observer,
 }
@@ -190,6 +216,7 @@ impl<'a> SolveRequest<'a> {
             machine,
             budget: Budget::default(),
             seed: 0,
+            threads: None,
             observer: &NOOP_OBSERVER,
         }
     }
@@ -203,6 +230,13 @@ impl<'a> SolveRequest<'a> {
     /// This request with the given RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// This request with a worker-thread override for parallel scans
+    /// (`0` = auto-detect; see [`SolveRequest::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -250,6 +284,8 @@ pub struct SolveCx<'a> {
     deadline: Option<Instant>,
     max_stage_moves: Option<usize>,
     ilp_override: Option<bool>,
+    cancel: Option<CancelToken>,
+    threads_override: Option<usize>,
     seed: u64,
     stages: Vec<StageReport>,
     current: Option<(String, Instant)>,
@@ -267,6 +303,8 @@ impl<'a> SolveCx<'a> {
             deadline: req.budget.deadline.map(|d| start + d),
             max_stage_moves: req.budget.max_stage_moves,
             ilp_override: req.budget.ilp,
+            cancel: req.budget.cancel.clone(),
+            threads_override: req.threads,
             seed: req.seed,
             stages: Vec::new(),
             current: None,
@@ -279,9 +317,22 @@ impl<'a> SolveCx<'a> {
         self.start.elapsed()
     }
 
-    /// Whether the wall-clock deadline has passed.
+    /// Whether the budget's cancellation token has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// The budget's cancellation token, if any. Nested solves (multilevel
+    /// inner runs, repair stages) clone this into their sub-budgets so an
+    /// outer cancellation reaches them too.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.clone()
+    }
+
+    /// Whether the wall-clock deadline has passed or the budget's
+    /// cancellation token has been cancelled.
     pub fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// [`expired`](Self::expired), additionally recording budget
@@ -295,8 +346,13 @@ impl<'a> SolveCx<'a> {
         }
     }
 
-    /// Wall-clock budget left; `None` = unlimited.
+    /// Wall-clock budget left; `None` = unlimited. A cancelled token
+    /// reports zero remaining, so stage clamps degrade the remaining
+    /// stages to (near) no-ops exactly as an expired deadline would.
     pub fn remaining(&self) -> Option<Duration> {
+        if self.cancelled() {
+            return Some(Duration::ZERO);
+        }
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
@@ -323,6 +379,13 @@ impl<'a> SolveCx<'a> {
     /// the budget's override.
     pub fn ilp_enabled(&self, scheduler_default: bool) -> bool {
         self.ilp_override.unwrap_or(scheduler_default)
+    }
+
+    /// Resolves the effective worker-thread count for parallel scans from
+    /// the scheduler's default and the request's override; `0` on either
+    /// side auto-detects (see [`bsp_par::resolve_threads`]).
+    pub fn threads(&self, scheduler_default: usize) -> usize {
+        bsp_par::resolve_threads(self.threads_override.unwrap_or(scheduler_default))
     }
 
     /// The request's RNG seed.
@@ -467,6 +530,40 @@ mod tests {
         assert!(cx.check_expired());
         assert_eq!(cx.remaining(), Some(Duration::ZERO));
         assert_eq!(cx.clamp_time(None), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancellation_counts_as_expired() {
+        let (dag, machine) = tiny();
+        let token = CancelToken::new();
+        let req = SolveRequest::new(&dag, &machine)
+            .with_budget(Budget::unlimited().with_cancel(token.clone()));
+        assert!(
+            !req.budget.is_unlimited(),
+            "a cancellable budget is a constraint"
+        );
+        let mut cx = SolveCx::new("t", &req);
+        assert!(!cx.check_expired());
+        assert_eq!(cx.remaining(), None);
+        token.cancel();
+        assert!(cx.expired());
+        assert!(cx.check_expired());
+        assert_eq!(cx.remaining(), Some(Duration::ZERO));
+        assert_eq!(cx.clamp_time(None), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn thread_override_resolution() {
+        let (dag, machine) = tiny();
+        // No override: the scheduler's default applies (0 = auto-detect).
+        let req = SolveRequest::new(&dag, &machine);
+        let cx = SolveCx::new("t", &req);
+        assert_eq!(cx.threads(3), 3);
+        assert!(cx.threads(0) >= 1);
+        // Override wins over the scheduler default.
+        let req = SolveRequest::new(&dag, &machine).with_threads(2);
+        let cx = SolveCx::new("t", &req);
+        assert_eq!(cx.threads(8), 2);
     }
 
     #[test]

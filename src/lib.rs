@@ -52,8 +52,10 @@ pub use bsp_instance as instance;
 pub use bsp_model as model;
 pub use bsp_schedule as schedule;
 
+pub mod race;
 pub mod registry;
 
+pub use race::RaceScheduler;
 pub use registry::{
     find, registry, registry_default_fast, registry_of, registry_with, Registry, RegistryEntry,
 };
@@ -85,7 +87,7 @@ pub mod prelude {
     pub use bsp_schedule::memory::{memory_cost, memory_violations, simulate_memory, MemoryReport};
     pub use bsp_schedule::scheduler::{ScheduleResult, Scheduler, SchedulerKind};
     pub use bsp_schedule::solve::{
-        Budget, ImprovementEvent, Observer, SolveOutcome, SolveRequest, StageReport,
+        Budget, CancelToken, ImprovementEvent, Observer, SolveOutcome, SolveRequest, StageReport,
     };
     pub use bsp_schedule::spec::{SchedulerDescriptor, SchedulerSpec, SpecError};
     pub use bsp_schedule::validity::{validate_memory, validate_with_memory};

@@ -116,11 +116,20 @@ impl Registry {
     /// [`get`](Self::get) with an explicit base configuration — harnesses
     /// that adapt budgets to instance size pass their tuned config here and
     /// still let the spec override individual knobs.
+    ///
+    /// `race/<spec>,<spec>,…` builds a [`RaceScheduler`](crate::race)
+    /// portfolio: each comma-separated element is resolved through this
+    /// same method (so every registered spec can race), the racers run
+    /// concurrently under one shared budget, and the first finisher
+    /// cancels the rest. Races cannot nest.
     pub fn get_with(
         &self,
         spec: &str,
         base: &PipelineConfig,
     ) -> Result<SharedScheduler, SpecError> {
+        if let Some(rest) = spec.strip_prefix(crate::race::RACE_PREFIX) {
+            return self.get_race(spec, rest, base);
+        }
         let spec = SchedulerSpec::parse(spec)?;
         let entry = self
             .entry(spec.name())
@@ -129,6 +138,37 @@ impl Registry {
                 known: self.descriptors().map(|d| d.name.to_string()).collect(),
             })?;
         entry.build(&spec, base)
+    }
+
+    /// Resolves the comma-separated racer list of a `race/…` spec. `full`
+    /// is the whole spec string (the race's stable name), `rest` the part
+    /// after the prefix.
+    fn get_race(
+        &self,
+        full: &str,
+        rest: &str,
+        base: &PipelineConfig,
+    ) -> Result<SharedScheduler, SpecError> {
+        let specs: Vec<String> = rest.split(',').map(str::to_string).collect();
+        let mut racers = Vec::with_capacity(specs.len());
+        for sub in &specs {
+            if sub.starts_with(crate::race::RACE_PREFIX) {
+                return Err(SpecError::BadValue {
+                    key: "race".to_string(),
+                    value: sub.clone(),
+                    expected: "a non-race scheduler spec (races cannot nest)",
+                });
+            }
+            // Recursion resolves parameters and unknown-name errors with
+            // the ordinary diagnostics; an empty element ("race/a,,b" or
+            // a bare "race/") fails as EmptyName.
+            racers.push(self.get_with(sub, base)?);
+        }
+        Ok(Box::new(crate::race::RaceScheduler::new(
+            full.to_string(),
+            specs,
+            racers,
+        )))
     }
 
     /// Builds every entry at its default configuration.
@@ -163,6 +203,7 @@ const PIPELINE_PARAMS: &[&str] = &[
     "hccs_ms",
     "escape",
     "mem",
+    "threads",
 ];
 
 /// Applies the shared `mem=on` switch: wrap the scheduler in the
@@ -204,6 +245,10 @@ fn pipeline_cfg(spec: &SchedulerSpec, base: &PipelineConfig) -> Result<PipelineC
     }
     if let Some(ms) = spec.u64_param("hccs_ms")? {
         cfg.hccs.time_limit = Some(Duration::from_millis(ms));
+    }
+    if let Some(t) = spec.usize_param("threads")? {
+        // 0 = auto-detect, 1 = sequential scans; resolved at solve time.
+        cfg.threads = t;
     }
     match spec.get("escape") {
         None | Some("none") => {}
@@ -418,6 +463,7 @@ fn standard_entries() -> Vec<RegistryEntry> {
                     "hccs_ms",
                     "escape",
                     "mem",
+                    "threads",
                     "ratio",
                 ],
                 summary: "Figure-4 pipeline: coarsen → solve → uncoarsen-refine",
@@ -458,6 +504,7 @@ fn standard_entries() -> Vec<RegistryEntry> {
                     "hccs_ms",
                     "escape",
                     "mem",
+                    "threads",
                     "ccr_lo",
                     "ccr_hi",
                 ],
