@@ -60,6 +60,7 @@ pub mod schedulers;
 pub mod state;
 pub mod steepest;
 pub mod tabu;
+pub mod warm;
 
 pub use auto::{schedule_dag_auto, AutoConfig, Strategy};
 pub use memrepair::{repair_memory, repair_memory_with, MemoryRepairScheduler, RepairReport};
@@ -68,3 +69,4 @@ pub use pipeline::{
 };
 pub use schedulers::{AutoScheduler, BasePipeline, BspgInit, MultilevelPipeline, SourceInit};
 pub use state::ScheduleState;
+pub use warm::{place_new_nodes, repair_precedence, solve_warm_pipeline, warm_start_from_map};

@@ -147,6 +147,12 @@ fn clamped(cfg: &PipelineConfig, cx: &SolveCx<'_>) -> PipelineConfig {
     c
 }
 
+/// [`clamped`] for the warm-start pipeline (`crate::warm`), which shares
+/// the budget-folding behaviour but lives in another module.
+pub(crate) fn clamped_for_warm(cfg: &PipelineConfig, cx: &SolveCx<'_>) -> PipelineConfig {
+    clamped(cfg, cx)
+}
+
 /// Runs the Figure-3 pipeline under `cx`'s budget clock: stages `init`,
 /// `hc` (HC + HCcs + optional escape search) and `ilp`, with the deadline
 /// checked at every stage boundary. Always returns a valid schedule — under

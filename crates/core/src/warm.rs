@@ -1,0 +1,370 @@
+//! Warm-started re-solves: schedule an edited DAG starting from a cached
+//! schedule of its base instance instead of from scratch.
+//!
+//! This is the algorithmic core of the `bsp-serve` delta-instance API and
+//! the service-side twin of online-arrival scheduling: a DAG edit arrives
+//! against an instance we already solved, and the new schedule should cost
+//! a *repair*, not a cold solve. The pipeline is
+//!
+//! 1. **transplant** — surviving nodes keep their cached `(processor,
+//!    superstep)` assignment through the edit's node map
+//!    ([`warm_start_from_map`]);
+//! 2. **list insertion** — nodes the edit introduced are placed greedily:
+//!    earliest superstep their placed predecessors allow, least-loaded
+//!    processor in that superstep ([`place_new_nodes`]);
+//! 3. **precedence repair** — one topological pass pushes nodes later
+//!    until every edge is satisfied again (edits only ever *delay*
+//!    nodes, so the pass terminates and is deterministic;
+//!    [`repair_precedence`]), then empty supersteps are compacted away;
+//! 4. **feasibility repair** — on memory-bounded machines, the
+//!    `memrepair` superstep-splitting pass restores the working-set
+//!    condition;
+//! 5. **local re-optimization** — the PR 5 probe kernel (hill climbing +
+//!    communication-schedule search) polishes the repaired schedule under
+//!    the request's remaining budget.
+//!
+//! The monotone guarantee of the anytime API carries over: the warm
+//! result is **never worse than its repaired starting point** (stage 5
+//! only replaces the incumbent with strictly cheaper schedules), and any
+//! budget — including an already-expired one — yields a valid schedule.
+//!
+//! ```
+//! use bsp_core::pipeline::{schedule_dag, PipelineConfig};
+//! use bsp_core::{solve_warm_pipeline, warm_start_from_map};
+//! use bsp_dag::DagBuilder;
+//! use bsp_model::BspParams;
+//! use bsp_schedule::cost::lazy_cost;
+//! use bsp_schedule::solve::{SolveCx, SolveRequest};
+//!
+//! // Base instance u → v, solved cold.
+//! let mut b = DagBuilder::new();
+//! let u = b.add_node(4, 1);
+//! let v = b.add_node(3, 1);
+//! b.add_edge(u, v).unwrap();
+//! let base_dag = b.build().unwrap();
+//! let machine = BspParams::new(2, 1, 2);
+//! let cfg = PipelineConfig { enable_ilp: false, ..Default::default() };
+//! let base = schedule_dag(&base_dag, &machine, &cfg);
+//!
+//! // The edit appended a consumer w of v; nodes 0 and 1 survive as-is.
+//! let mut b = DagBuilder::new();
+//! let u = b.add_node(4, 1);
+//! let v = b.add_node(3, 1);
+//! let w = b.add_node(2, 1);
+//! b.add_edge(u, v).unwrap();
+//! b.add_edge(v, w).unwrap();
+//! let edited = b.build().unwrap();
+//!
+//! let initial = warm_start_from_map(&edited, &machine, &base.sched, &[Some(0), Some(1)]);
+//! let start = lazy_cost(&edited, &machine, &initial);
+//! let req = SolveRequest::new(&edited, &machine);
+//! let mut cx = SolveCx::new("warm", &req);
+//! let r = solve_warm_pipeline(&edited, &machine, &initial, &cfg, &mut cx);
+//! assert!(r.cost <= start); // monotone: never worse than the repaired start
+//! ```
+
+use crate::hc::hill_climb;
+use crate::hccs::optimize_comm_schedule_threaded;
+use crate::memrepair::repair_memory_with;
+use crate::pipeline::{clamped_for_warm, PipelineConfig, PipelineResult};
+use crate::state::ScheduleState;
+use bsp_dag::topo::TopoInfo;
+use bsp_dag::{Dag, NodeId};
+use bsp_model::BspParams;
+use bsp_schedule::compact::compact_lazy;
+use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::solve::SolveCx;
+use bsp_schedule::{BspSchedule, CommSchedule};
+
+/// Transplants `base` (a schedule of the *pre-edit* DAG) onto the edited
+/// `dag`: surviving nodes keep their assignment through `node_map`
+/// (`node_map[old] = Some(new)` as produced by
+/// `bsp_instance::apply_edits`), added nodes are list-inserted, and the
+/// result is precedence-repaired and compacted into a valid schedule.
+///
+/// `node_map` must map into `0..dag.n()`; nodes of the edited DAG that no
+/// map entry hits are treated as new.
+pub fn warm_start_from_map(
+    dag: &Dag,
+    machine: &BspParams,
+    base: &BspSchedule,
+    node_map: &[Option<NodeId>],
+) -> BspSchedule {
+    let p = machine.p() as u32;
+    let mut assign: Vec<Option<(u32, u32)>> = vec![None; dag.n()];
+    for (old, new) in node_map.iter().enumerate() {
+        if let Some(new) = *new {
+            debug_assert!((new as usize) < dag.n(), "node_map out of range");
+            // Clamp the cached processor in case the machine shrank.
+            let proc = base.proc(old as NodeId).min(p.saturating_sub(1));
+            assign[new as usize] = Some((proc, base.step(old as NodeId)));
+        }
+    }
+    let placed = place_new_nodes(dag, machine, &assign);
+    compact_lazy(dag, &repair_precedence(dag, &placed))
+}
+
+/// Greedy list insertion for unplaced nodes: in topological order, each
+/// `None` slot gets the earliest superstep after its placed predecessors
+/// and the processor with the least work in that superstep (lowest id on
+/// ties). Already-placed nodes are untouched; the result still needs a
+/// [`repair_precedence`] pass (placed nodes' precedence is not yet
+/// re-checked here).
+pub fn place_new_nodes(
+    dag: &Dag,
+    machine: &BspParams,
+    assign: &[Option<(u32, u32)>],
+) -> BspSchedule {
+    debug_assert_eq!(assign.len(), dag.n());
+    let p = machine.p() as u32;
+    let topo = TopoInfo::new(dag);
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    order.sort_unstable_by_key(|&v| (topo.position[v as usize], v));
+
+    let mut proc = vec![0u32; dag.n()];
+    let mut step = vec![0u32; dag.n()];
+    let mut placed = vec![false; dag.n()];
+    for (v, a) in assign.iter().enumerate() {
+        if let Some((q, s)) = *a {
+            proc[v] = q.min(p.saturating_sub(1));
+            step[v] = s;
+            placed[v] = true;
+        }
+    }
+    // work[(q, s)] tracked sparsely: steps grow as insertions demand.
+    let mut work: Vec<Vec<u64>> = Vec::new(); // work[s][q]
+    let ensure_step = |work: &mut Vec<Vec<u64>>, s: u32| {
+        while work.len() <= s as usize {
+            work.push(vec![0u64; p as usize]);
+        }
+    };
+    for v in dag.nodes() {
+        if placed[v as usize] {
+            ensure_step(&mut work, step[v as usize]);
+            work[step[v as usize] as usize][proc[v as usize] as usize] += dag.work(v);
+        }
+    }
+
+    for &v in &order {
+        if placed[v as usize] {
+            continue;
+        }
+        // Earliest superstep strictly after every placed predecessor (a
+        // same-superstep read is only legal on the producer's processor;
+        // the conservative +1 keeps the choice processor-independent).
+        let s = dag
+            .predecessors(v)
+            .iter()
+            .map(|&u| step[u as usize] + 1)
+            .max()
+            .unwrap_or(0);
+        ensure_step(&mut work, s);
+        let row = &work[s as usize];
+        let q = (0..p).min_by_key(|&q| (row[q as usize], q)).unwrap_or(0);
+        proc[v as usize] = q;
+        step[v as usize] = s;
+        placed[v as usize] = true;
+        work[s as usize][q as usize] += dag.work(v);
+    }
+    BspSchedule::from_parts(proc, step)
+}
+
+/// Restores lazy-Γ precedence by delaying nodes: one topological pass
+/// sets `τ(v) ← max(τ(v), τ(u))` over same-processor predecessors `u`
+/// and `max(τ(v), τ(u)+1)` over cross-processor ones. Processors never
+/// change, nodes only move later, and the pass visits each edge once, so
+/// the result is valid (lazily) and deterministic.
+pub fn repair_precedence(dag: &Dag, sched: &BspSchedule) -> BspSchedule {
+    let topo = TopoInfo::new(dag);
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    order.sort_unstable_by_key(|&v| (topo.position[v as usize], v));
+    let mut step: Vec<u32> = sched.steps().to_vec();
+    for &v in &order {
+        let mut s = step[v as usize];
+        for &u in dag.predecessors(v) {
+            let min = if sched.proc(u) == sched.proc(v) {
+                step[u as usize]
+            } else {
+                step[u as usize] + 1
+            };
+            s = s.max(min);
+        }
+        step[v as usize] = s;
+    }
+    BspSchedule::from_parts(sched.procs().to_vec(), step)
+}
+
+/// Runs the warm-start pipeline under `cx`'s budget clock: stage
+/// `warm-init` (feasibility repair of `initial` — precedence is assumed
+/// already valid, memory is repaired on bounded machines) and stage `hc`
+/// (probe-kernel hill climbing plus communication-schedule search).
+///
+/// `initial` must be a valid (lazy-Γ) schedule of `dag` — the output of
+/// [`warm_start_from_map`]. The result never costs more than the repaired
+/// starting point, and an expired budget returns that starting point.
+pub fn solve_warm_pipeline(
+    dag: &Dag,
+    machine: &BspParams,
+    initial: &BspSchedule,
+    cfg: &PipelineConfig,
+    cx: &mut SolveCx<'_>,
+) -> PipelineResult {
+    let threads = cx.threads(cfg.threads);
+
+    // Stage 1 — repair. Runs even under an expired deadline so that a
+    // valid best-so-far exists (mirrors the cold pipeline's init stage).
+    cx.begin("warm-init");
+    let mut sched = initial.clone();
+    if machine.memory().is_some() {
+        let (repaired, _) = repair_memory_with(dag, machine, &sched, || cx.expired());
+        sched = repaired;
+    }
+    let init_cost = lazy_cost(dag, machine, &sched);
+    cx.improved(init_cost);
+    cx.end(init_cost, false);
+
+    let mut comm = CommSchedule::lazy(dag, &sched);
+    let mut cost = init_cost;
+
+    // Stage 2 — local re-optimization with the probe kernel.
+    if !cx.check_expired() {
+        cx.begin("hc");
+        let c = clamped_for_warm(cfg, cx);
+        let mut st = ScheduleState::new(dag, machine, &sched);
+        hill_climb(&mut st, &c.hc);
+        let cand = compact_lazy(dag, &st.snapshot());
+        let (cand_comm, cand_cost) =
+            optimize_comm_schedule_threaded(dag, machine, &cand, &c.hccs, threads);
+        if cand_cost < cost {
+            cost = cand_cost;
+            sched = cand;
+            comm = cand_comm;
+            cx.improved(cand_cost);
+        }
+        let truncated = cx.expired();
+        cx.end(cost, truncated);
+    }
+
+    PipelineResult {
+        sched,
+        comm,
+        cost,
+        init_cost,
+        best_init: crate::pipeline::Initializer::BspG,
+        hc_cost: cost,
+        part_cost: cost,
+        ilp_cost: cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_dag::random::{random_layered_dag, LayeredConfig};
+    use bsp_dag::DagBuilder;
+    use bsp_schedule::solve::SolveRequest;
+    use bsp_schedule::validity::validate_lazy;
+
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_node(1, 1)).collect();
+        b.add_edge(v[0], v[1]).unwrap();
+        b.add_edge(v[1], v[2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn repair_precedence_pushes_consumers_later() {
+        let dag = chain3();
+        // Node 2 on another processor in the same superstep as node 1:
+        // cross-processor needs a strictly later step.
+        let broken = BspSchedule::from_parts(vec![0, 0, 1], vec![0, 1, 1]);
+        let fixed = repair_precedence(&dag, &broken);
+        assert_eq!(fixed.step(2), 2);
+        assert!(validate_lazy(&dag, 2, &fixed).is_ok());
+        // An already-valid schedule passes through unchanged.
+        let ok = BspSchedule::from_parts(vec![0, 0, 0], vec![0, 0, 0]);
+        assert_eq!(repair_precedence(&dag, &ok), ok);
+    }
+
+    #[test]
+    fn place_new_nodes_picks_least_loaded_processor() {
+        let dag = chain3();
+        let machine = BspParams::new(2, 1, 1);
+        // Only node 0 placed (on proc 1); 1 and 2 are "new".
+        let placed = place_new_nodes(&dag, &machine, &[Some((1, 0)), None, None]);
+        assert_eq!(placed.step(1), 1);
+        assert_eq!(placed.step(2), 2);
+        assert!(validate_lazy(&dag, 2, &repair_precedence(&dag, &placed)).is_ok());
+    }
+
+    #[test]
+    fn warm_start_from_map_survives_node_removal() {
+        let dag = random_layered_dag(5, LayeredConfig::default());
+        let machine = BspParams::new(4, 2, 3);
+        let base = crate::init::bspg::bspg_schedule(&dag, &machine);
+        // "Edit": drop node 0 — build the induced sub-DAG and its map.
+        let keep: Vec<NodeId> = (1..dag.n() as NodeId).collect();
+        let (sub, map) = dag.induced_subgraph(&keep);
+        let warm = warm_start_from_map(&sub, &machine, &base, &map);
+        assert!(validate_lazy(&sub, 4, &warm).is_ok());
+    }
+
+    #[test]
+    fn warm_pipeline_never_worse_than_repaired_start() {
+        let dag = random_layered_dag(
+            9,
+            LayeredConfig {
+                layers: 5,
+                width: 5,
+                edge_prob: 0.3,
+                ..Default::default()
+            },
+        );
+        let machine = BspParams::new(4, 2, 3);
+        let initial = warm_start_from_map(
+            &dag,
+            &machine,
+            &crate::init::bspg::bspg_schedule(&dag, &machine),
+            &(0..dag.n() as NodeId).map(Some).collect::<Vec<_>>(),
+        );
+        let start_cost = lazy_cost(&dag, &machine, &initial);
+        let req = SolveRequest::new(&dag, &machine);
+        let mut cx = SolveCx::new("warm", &req);
+        let cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
+        let r = solve_warm_pipeline(&dag, &machine, &initial, &cfg, &mut cx);
+        assert!(r.cost <= start_cost, "warm solve must be monotone");
+        assert!(validate_lazy(&dag, 4, &r.sched).is_ok());
+        assert_eq!(
+            r.cost,
+            bsp_schedule::cost::total_cost(&dag, &machine, &r.sched, &r.comm)
+        );
+    }
+
+    #[test]
+    fn warm_pipeline_expired_budget_returns_valid_start() {
+        let dag = random_layered_dag(3, LayeredConfig::default());
+        let machine = BspParams::new(4, 2, 3);
+        let initial = warm_start_from_map(
+            &dag,
+            &machine,
+            &crate::init::bspg::bspg_schedule(&dag, &machine),
+            &(0..dag.n() as NodeId).map(Some).collect::<Vec<_>>(),
+        );
+        let req =
+            SolveRequest::new(&dag, &machine).with_budget(bsp_schedule::solve::Budget::expired());
+        let mut cx = SolveCx::new("warm", &req);
+        let r = solve_warm_pipeline(
+            &dag,
+            &machine,
+            &initial,
+            &PipelineConfig::default(),
+            &mut cx,
+        );
+        assert!(validate_lazy(&dag, 4, &r.sched).is_ok());
+        assert_eq!(r.cost, lazy_cost(&dag, &machine, &r.sched));
+    }
+}

@@ -6,11 +6,13 @@
 //! costs, plus a `kernel` section timing the local-search neighbourhood
 //! scan under the probe and the historical apply/revert kernels, and a
 //! `parallel` section timing the same steepest scan fanned out over 1, 2,
-//! 4 and 8 worker threads ([`bsp_core::steepest::best_move_threaded`]).
-//! With `--json <path>` the full report is written as indented JSON
-//! (`schema: "bsp-sched/bench-v3"`), the `BENCH_*.json` perf-trajectory
-//! format: commit one per revision and diff them to see hot-path
-//! regressions.
+//! 4 and 8 worker threads ([`bsp_core::steepest::best_move_threaded`]),
+//! and a `serve` section measuring `bsp-serve` request throughput on the
+//! cold / cached / warm service paths over loopback TCP
+//! ([`crate::serve_cmd::serve_bench_runs`]). With `--json <path>` the
+//! full report is written as indented JSON (`schema:
+//! "bsp-sched/bench-v4"`), the `BENCH_*.json` perf-trajectory format:
+//! commit one per revision and diff them to see hot-path regressions.
 
 use crate::runner::{
     detect_threads, pipeline_config, resolve_instance_groups, EvalOptions, RunConfig,
@@ -109,6 +111,8 @@ pub struct BenchReport {
     pub kernel: Vec<KernelRun>,
     /// Parallel steepest-scan timings at 1/2/4/8 worker threads.
     pub parallel: Vec<ParallelScanRun>,
+    /// `bsp-serve` request throughput on the cold/cached/warm paths.
+    pub serve: Vec<crate::serve_cmd::ServeRun>,
 }
 
 /// Default instance specs: one representative of each catalogue corner,
@@ -356,14 +360,19 @@ pub fn bench(cfg: &RunConfig) {
         );
     }
 
+    eprintln!("[bench] measuring bsp-serve throughput (cold/cached/warm over loopback)");
+    let serve = crate::serve_cmd::serve_bench_runs(cfg);
+    crate::serve_cmd::print_serve_runs(&serve);
+
     let report = BenchReport {
-        schema: "bsp-sched/bench-v3".to_string(),
+        schema: "bsp-sched/bench-v4".to_string(),
         quick: cfg.quick,
         threads: cfg.threads,
         host_threads: detect_threads(),
         runs,
         kernel,
         parallel,
+        serve,
     };
     if let Some(path) = &cfg.json {
         let text = serde::json::to_string_pretty(&report);
@@ -394,7 +403,7 @@ mod tests {
     #[test]
     fn bench_report_round_trips_through_json() {
         let report = BenchReport {
-            schema: "bsp-sched/bench-v3".to_string(),
+            schema: "bsp-sched/bench-v4".to_string(),
             quick: true,
             threads: 4,
             host_threads: 8,
@@ -422,6 +431,14 @@ mod tests {
                 p: 8,
                 threads: 4,
                 nanos: 600_000,
+            }],
+            serve: vec![crate::serve_cmd::ServeRun {
+                path: "cached".to_string(),
+                instance: "layered?layers=10&width=20 @ bsp?p=4&g=2&l=5".to_string(),
+                requests: 1000,
+                nanos: 450_000_000,
+                requests_per_sec: 2222,
+                mean_cost: 4321,
             }],
         };
         let text = serde::json::to_string_pretty(&report);

@@ -7,6 +7,8 @@
 //! cargo run -p bsp-experiments --release -- solve --sched "pipeline/base?ilp=off" --budget-ms 250
 //! cargo run -p bsp-experiments --release -- bench --instances "spmv?n=500 @ bsp?p=8" --json out.json
 //! cargo run -p bsp-experiments --release -- memory    # cost vs fast-memory capacity, all families
+//! cargo run -p bsp-experiments --release -- serve --addr 127.0.0.1:7570 --store results.json
+//! cargo run -p bsp-experiments --release -- loadgen --quick
 //! cargo run -p bsp-experiments --release -- all
 //! ```
 //!
@@ -23,6 +25,14 @@
 //! of the table sweeps and the `registry`/`solve`/`bench` commands; the
 //! ablation studies keep their own matched budgets and reject the flag.
 //!
+//! `serve` runs the `bsp-serve` scheduling daemon (README § "Service"):
+//! `--addr <host:port>` binds it (default `127.0.0.1:7570`), `--store
+//! <path>` persists the result cache across restarts, `--threads` sizes
+//! the worker pool and `--budget-ms` sets the default per-request budget.
+//! `loadgen` measures request throughput on the cold / cached / warm
+//! service paths; the same measurement fills the `serve` section of the
+//! `bench` report.
+//!
 //! Defaults are scaled down (instances and budgets) so a full sweep runs on
 //! a laptop; `--scale 1.0` restores paper-sized instances. Absolute costs
 //! are not comparable with the paper's testbed, but the reported *ratios*
@@ -33,6 +43,7 @@ mod bench;
 mod memory;
 mod metrics;
 mod runner;
+mod serve_cmd;
 mod tables;
 
 use std::env;
@@ -71,6 +82,14 @@ fn main() {
                 i += 1;
                 cfg.budget_ms = Some(args[i].parse().expect("--budget-ms takes milliseconds"));
             }
+            "--addr" => {
+                i += 1;
+                cfg.addr = Some(args[i].clone());
+            }
+            "--store" => {
+                i += 1;
+                cfg.store = Some(args[i].clone().into());
+            }
             other if id.is_none() => id = Some(other.to_string()),
             other => panic!("unexpected argument: {other}"),
         }
@@ -90,6 +109,12 @@ fn main() {
     }
     if cfg.budget_ms.is_some() && (id.starts_with("ablation") || id == "all") {
         panic!("--budget-ms does not apply to the ablation studies (matched internal budgets)");
+    }
+    if cfg.addr.is_some() && id != "serve" {
+        panic!("--addr applies only to the `serve` command");
+    }
+    if cfg.store.is_some() && id != "serve" {
+        panic!("--store applies only to the `serve` command");
     }
 
     let run = |name: &str| {
@@ -116,6 +141,8 @@ fn main() {
             "registry" => tables::registry_overview(&cfg),
             "solve" => tables::solve_specs(&cfg),
             "bench" => bench::bench(&cfg),
+            "serve" => serve_cmd::serve(&cfg),
+            "loadgen" => serve_cmd::loadgen(&cfg),
             "memory" => memory::memory_sweep(&cfg),
             "ablation" => ablations::all(&cfg),
             "ablation-ls" => ablations::ablation_local_search(&cfg),

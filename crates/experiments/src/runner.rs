@@ -40,6 +40,10 @@ pub struct RunConfig {
     pub budget_ms: Option<u64>,
     /// Machine-readable output path from `--json` (the `bench` command).
     pub json: Option<std::path::PathBuf>,
+    /// Bind address from `--addr` (the `serve` command).
+    pub addr: Option<String>,
+    /// Result-store path from `--store` (the `serve` command).
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -62,6 +66,8 @@ impl Default for RunConfig {
             instances: Vec::new(),
             budget_ms: None,
             json: None,
+            addr: None,
+            store: None,
         }
     }
 }

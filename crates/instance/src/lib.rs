@@ -30,9 +30,11 @@
 //! assert_eq!(back, inst);
 //! ```
 
+pub mod edit;
 pub mod machine;
 pub mod source;
 
+pub use edit::{apply_edits, DagEdit, EditError, EditOutcome};
 pub use machine::{MachineSpec, NumaSpec};
 pub use source::{
     InstanceDescriptor, InstanceError, InstanceFamily, InstanceRegistry, InstanceSource,

@@ -1,0 +1,196 @@
+//! Serializable progress events: the wire form of the [`Observer`]
+//! callbacks and [`StageReport`]s.
+//!
+//! The solve API reports progress through borrowed, non-serializable
+//! types ([`Observer`] methods and [`StageReport`], which holds a
+//! [`Duration`](std::time::Duration)). A service streaming progress over
+//! a socket needs owned, serde-able frames instead. This module provides
+//!
+//! * [`SolveEvent`] — one owned, JSON-serializable progress event,
+//! * [`StageReportWire`] — the JSON shape of a [`StageReport`]
+//!   (`elapsed` flattened to microseconds), and
+//! * [`EventObserver`] — an [`Observer`] adaptor forwarding every
+//!   callback as a [`SolveEvent`] to a caller-supplied `Fn` (a channel
+//!   send, a socket write, a log line).
+//!
+//! ```
+//! use bsp_schedule::events::{EventObserver, SolveEvent};
+//! use std::sync::Mutex;
+//!
+//! let log: Mutex<Vec<SolveEvent>> = Mutex::new(Vec::new());
+//! let obs = EventObserver::new(|ev| log.lock().unwrap().push(ev));
+//! use bsp_schedule::solve::Observer;
+//! obs.on_stage_start("pipeline/base", "init");
+//! assert_eq!(log.lock().unwrap()[0].kind, "stage_start");
+//! ```
+
+use crate::solve::{ImprovementEvent, Observer, StageReport};
+use serde::{Deserialize, Serialize};
+
+/// One solve progress event in wire form. `kind` is `"stage_start"`,
+/// `"improvement"` or `"stage_end"`; fields that do not apply to a kind
+/// are `None`/zero (flat struct — the stand-in serde derives no enums).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveEvent {
+    /// `"stage_start"`, `"improvement"` or `"stage_end"`.
+    pub kind: String,
+    /// Scheduler name the event came from.
+    pub scheduler: String,
+    /// Stage name.
+    pub stage: String,
+    /// Incumbent cost (`improvement`: new incumbent; `stage_end`: cost
+    /// after the stage; `stage_start`: `None`).
+    pub cost: Option<u64>,
+    /// Microseconds since the solve started (`improvement`) or the
+    /// stage's wall-clock (`stage_end`); `None` for `stage_start`.
+    pub elapsed_us: Option<u64>,
+    /// Whether the budget cut the stage short (`stage_end` only).
+    pub truncated: Option<bool>,
+}
+
+/// The JSON shape of a [`StageReport`]: `elapsed` flattened to
+/// microseconds so the stand-in serde (no `Duration` support) carries it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageReportWire {
+    /// Stage name (`"init"`, `"hc"`, `"ilp"`, …).
+    pub stage: String,
+    /// Incumbent cost when the stage ended.
+    pub cost_after: u64,
+    /// Stage wall-clock in microseconds.
+    pub elapsed_us: u64,
+    /// Whether the budget cut the stage short.
+    pub truncated: bool,
+}
+
+impl From<&StageReport> for StageReportWire {
+    fn from(r: &StageReport) -> Self {
+        StageReportWire {
+            stage: r.stage.clone(),
+            cost_after: r.cost_after,
+            elapsed_us: r.elapsed.as_micros().min(u64::MAX as u128) as u64,
+            truncated: r.truncated,
+        }
+    }
+}
+
+/// An [`Observer`] forwarding every callback as an owned [`SolveEvent`]
+/// to `sink`. The sink must be `Sync` (solves run on worker threads);
+/// wrap channel senders or writers in a `Mutex`.
+pub struct EventObserver<F: Fn(SolveEvent) + Sync> {
+    sink: F,
+}
+
+impl<F: Fn(SolveEvent) + Sync> EventObserver<F> {
+    /// Wraps `sink` as an observer.
+    pub fn new(sink: F) -> Self {
+        EventObserver { sink }
+    }
+}
+
+impl<F: Fn(SolveEvent) + Sync> Observer for EventObserver<F> {
+    fn on_stage_start(&self, scheduler: &str, stage: &str) {
+        (self.sink)(SolveEvent {
+            kind: "stage_start".to_string(),
+            scheduler: scheduler.to_string(),
+            stage: stage.to_string(),
+            cost: None,
+            elapsed_us: None,
+            truncated: None,
+        });
+    }
+
+    fn on_improvement(&self, scheduler: &str, event: &ImprovementEvent<'_>) {
+        (self.sink)(SolveEvent {
+            kind: "improvement".to_string(),
+            scheduler: scheduler.to_string(),
+            stage: event.stage.to_string(),
+            cost: Some(event.cost),
+            elapsed_us: Some(event.elapsed.as_micros().min(u64::MAX as u128) as u64),
+            truncated: None,
+        });
+    }
+
+    fn on_stage_end(&self, scheduler: &str, report: &StageReport) {
+        let wire = StageReportWire::from(report);
+        (self.sink)(SolveEvent {
+            kind: "stage_end".to_string(),
+            scheduler: scheduler.to_string(),
+            stage: wire.stage,
+            cost: Some(wire.cost_after),
+            elapsed_us: Some(wire.elapsed_us),
+            truncated: Some(wire.truncated),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[test]
+    fn observer_callbacks_become_events() {
+        let log: Mutex<Vec<SolveEvent>> = Mutex::new(Vec::new());
+        let obs = EventObserver::new(|ev| log.lock().unwrap().push(ev));
+        obs.on_stage_start("s", "init");
+        obs.on_improvement(
+            "s",
+            &ImprovementEvent {
+                stage: "init",
+                cost: 42,
+                elapsed: Duration::from_micros(7),
+            },
+        );
+        obs.on_stage_end(
+            "s",
+            &StageReport {
+                stage: "init".to_string(),
+                cost_after: 42,
+                elapsed: Duration::from_micros(9),
+                truncated: true,
+            },
+        );
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].kind, "stage_start");
+        assert_eq!(log[1].cost, Some(42));
+        assert_eq!(log[1].elapsed_us, Some(7));
+        assert_eq!(log[2].kind, "stage_end");
+        assert_eq!(log[2].truncated, Some(true));
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let ev = SolveEvent {
+            kind: "stage_end".to_string(),
+            scheduler: "pipeline/base".to_string(),
+            stage: "hc".to_string(),
+            cost: Some(99),
+            elapsed_us: Some(1234),
+            truncated: Some(false),
+        };
+        let back: SolveEvent = json::from_str(&json::to_string(&ev)).unwrap();
+        assert_eq!(back, ev);
+        let start: SolveEvent = json::from_str(
+            "{\"kind\":\"stage_start\",\"scheduler\":\"s\",\"stage\":\"init\",\
+             \"cost\":null,\"elapsed_us\":null,\"truncated\":null}",
+        )
+        .unwrap();
+        assert_eq!(start.cost, None);
+    }
+
+    #[test]
+    fn stage_report_wire_conversion() {
+        let wire = StageReportWire::from(&StageReport {
+            stage: "ilp".to_string(),
+            cost_after: 7,
+            elapsed: Duration::from_millis(2),
+            truncated: false,
+        });
+        assert_eq!(wire.elapsed_us, 2000);
+        let back: StageReportWire = json::from_str(&json::to_string(&wire)).unwrap();
+        assert_eq!(back, wire);
+    }
+}

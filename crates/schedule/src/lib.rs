@@ -38,6 +38,7 @@ pub mod classical;
 pub mod comm;
 pub mod compact;
 pub mod cost;
+pub mod events;
 pub mod export;
 pub mod memory;
 pub mod schedule;
@@ -50,6 +51,7 @@ pub mod validity;
 pub use classical::ClassicalSchedule;
 pub use comm::{CommSchedule, CommStep, Transfer};
 pub use cost::{schedule_cost, CostBreakdown};
+pub use events::{EventObserver, SolveEvent, StageReportWire};
 pub use export::{classical_to_gantt, dag_to_dot, schedule_to_dot, schedule_to_text};
 pub use memory::{
     memory_cost, memory_violations, min_repairable_capacity, node_working_set, simulate_memory,

@@ -1,0 +1,336 @@
+//! The spec-keyed result store and the in-memory instance cache.
+//!
+//! A solve result is addressed by the canonical triple
+//! `(instance_spec, machine_spec, sched_spec)` — exactly the strings the
+//! registries round-trip through [`spec()`][bsp_schedule::SchedulerSpec],
+//! so two requests naming the same problem in different parameter order
+//! land on the same entry. The store persists as a single JSON document
+//! ([`STORE_SCHEMA`]) and survives server restarts.
+//!
+//! The [`InstanceCache`] keeps generated (and delta-edited) instances in
+//! memory so `delta` requests can reference them by name and chain:
+//! an edited instance is cached under its derived name and can itself be
+//! the base of the next edit.
+//!
+//! ```
+//! use bsp_serve::cache::ResultKey;
+//!
+//! let key = ResultKey::from_name("spmv?n=500&q=0.25 @ bsp?p=4&g=2", "etf").unwrap();
+//! assert_eq!(key.machine, "bsp?p=4&g=2");
+//! assert_eq!(key.composite(), "spmv?n=500&q=0.25 @ bsp?p=4&g=2 :: etf");
+//! ```
+
+use bsp_instance::Instance;
+use serde::{json, Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Schema tag of the persisted store file.
+pub const STORE_SCHEMA: &str = "bsp-serve/store-v1";
+
+/// The canonical address of one cached result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// DAG half of the instance spec (`"spmv?n=500"`).
+    pub instance: String,
+    /// Machine half of the instance spec (`"bsp?p=4&g=2&l=5"`).
+    pub machine: String,
+    /// Canonical scheduler spec (`"pipeline/base?ilp=off"`).
+    pub sched: String,
+}
+
+impl ResultKey {
+    /// Builds a key from a full instance name (`"dag @ machine"`) and a
+    /// canonical scheduler spec. Returns `None` if `name` has no
+    /// `" @ "` separator.
+    pub fn from_name(name: &str, sched: &str) -> Option<ResultKey> {
+        let (dag, machine) = name.split_once(" @ ")?;
+        Some(ResultKey {
+            instance: dag.to_string(),
+            machine: machine.to_string(),
+            sched: sched.to_string(),
+        })
+    }
+
+    /// The flat string form used as the persisted map key.
+    pub fn composite(&self) -> String {
+        format!("{} @ {} :: {}", self.instance, self.machine, self.sched)
+    }
+}
+
+/// One cached schedule: the assignment vectors plus its cost, in a form
+/// that serializes directly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedResult {
+    /// DAG half of the instance spec.
+    pub instance: String,
+    /// Machine half of the instance spec.
+    pub machine: String,
+    /// Canonical scheduler spec.
+    pub sched: String,
+    /// Final schedule cost.
+    pub cost: u64,
+    /// Node → processor assignment.
+    pub procs: Vec<u32>,
+    /// Node → superstep assignment.
+    pub steps: Vec<u32>,
+}
+
+impl CachedResult {
+    /// The key this entry lives under.
+    pub fn key(&self) -> ResultKey {
+        ResultKey {
+            instance: self.instance.clone(),
+            machine: self.machine.clone(),
+            sched: self.sched.clone(),
+        }
+    }
+}
+
+/// The persisted file shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoreFile {
+    schema: String,
+    entries: Vec<CachedResult>,
+}
+
+/// Hit/miss counters of a [`ResultStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub len: u64,
+}
+
+/// The spec-keyed result store. Not internally synchronized — the server
+/// wraps it in a `Mutex`.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    map: HashMap<String, CachedResult>,
+    hits: u64,
+    misses: u64,
+    dirty: bool,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ResultStore::default()
+    }
+
+    /// Loads a store from `path`. A missing file yields an empty store;
+    /// a present-but-malformed file is an error (the server refuses to
+    /// silently discard a corrupt cache).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ResultStore::new()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let file: StoreFile =
+            json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if file.schema != STORE_SCHEMA {
+            return Err(format!(
+                "{}: schema {:?}, expected {STORE_SCHEMA:?}",
+                path.display(),
+                file.schema
+            ));
+        }
+        let mut store = ResultStore::new();
+        for entry in file.entries {
+            store.map.insert(entry.key().composite(), entry);
+        }
+        Ok(store)
+    }
+
+    /// Writes the store to `path` (atomically: temp file + rename) and
+    /// clears the dirty flag. Entries are sorted by key for byte-stable
+    /// output.
+    pub fn save(&mut self, path: &Path) -> Result<(), String> {
+        let mut entries: Vec<&CachedResult> = self.map.values().collect();
+        entries.sort_by_key(|e| e.key().composite());
+        let file = StoreFile {
+            schema: STORE_SCHEMA.to_string(),
+            entries: entries.into_iter().cloned().collect(),
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json::to_string(&file))
+            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&mut self, key: &ResultKey) -> Option<CachedResult> {
+        match self.map.get(&key.composite()) {
+            Some(e) => {
+                self.hits += 1;
+                Some(e.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without touching the counters (internal warm-start
+    /// probes are not client-visible cache traffic).
+    pub fn peek(&self, key: &ResultKey) -> Option<&CachedResult> {
+        self.map.get(&key.composite())
+    }
+
+    /// Inserts (or replaces) an entry and marks the store dirty.
+    pub fn insert(&mut self, entry: CachedResult) {
+        self.map.insert(entry.key().composite(), entry);
+        self.dirty = true;
+    }
+
+    /// Whether there are unsaved changes.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len() as u64,
+        }
+    }
+}
+
+/// In-memory cache of generated and delta-edited instances, addressed by
+/// name. Raw request specs are remembered as aliases of the canonical
+/// name, so `"spmv?q=0.3&n=100 @ bsp?p=4"` and its canonical ordering
+/// resolve to the same entry.
+#[derive(Debug, Default)]
+pub struct InstanceCache {
+    map: HashMap<String, Arc<Instance>>,
+    aliases: HashMap<String, String>,
+}
+
+impl InstanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        InstanceCache::default()
+    }
+
+    /// Resolves `name` through the alias table, then the cache.
+    pub fn get(&self, name: &str) -> Option<Arc<Instance>> {
+        let canonical = self.aliases.get(name).map(String::as_str).unwrap_or(name);
+        self.map.get(canonical).cloned()
+    }
+
+    /// Caches `instance` under its own name; `alias` (the raw request
+    /// spec, a delta label) additionally points at it.
+    pub fn insert(&mut self, instance: Arc<Instance>, alias: Option<&str>) {
+        if let Some(alias) = alias {
+            if alias != instance.name {
+                self.aliases
+                    .insert(alias.to_string(), instance.name.clone());
+            }
+        }
+        self.map.insert(instance.name.clone(), instance);
+    }
+
+    /// Number of distinct cached instances.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(instance: &str, sched: &str, cost: u64) -> CachedResult {
+        CachedResult {
+            instance: instance.to_string(),
+            machine: "bsp?p=4".to_string(),
+            sched: sched.to_string(),
+            cost,
+            procs: vec![0, 1, 2],
+            steps: vec![0, 0, 1],
+        }
+    }
+
+    #[test]
+    fn store_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("bsp-serve-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = ResultStore::new();
+        store.insert(entry("spmv?n=100", "pipeline/base?ilp=off", 42));
+        store.insert(entry("grid?side=8", "etf", 99));
+        assert!(store.is_dirty());
+        store.save(&path).unwrap();
+        assert!(!store.is_dirty());
+
+        let mut loaded = ResultStore::load(&path).unwrap();
+        let key = ResultKey {
+            instance: "spmv?n=100".to_string(),
+            machine: "bsp?p=4".to_string(),
+            sched: "pipeline/base?ilp=off".to_string(),
+        };
+        let got = loaded.get(&key).unwrap();
+        assert_eq!(got.cost, 42);
+        assert_eq!(loaded.stats().hits, 1);
+        assert_eq!(loaded.stats().len, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_loads_empty_but_corrupt_file_errors() {
+        let dir = std::env::temp_dir().join("bsp-serve-cache-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("absent.json");
+        let _ = std::fs::remove_file(&missing);
+        assert_eq!(ResultStore::load(&missing).unwrap().stats().len, 0);
+
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{not json").unwrap();
+        assert!(ResultStore::load(&corrupt).is_err());
+        let _ = std::fs::remove_file(&corrupt);
+    }
+
+    #[test]
+    fn key_from_name_splits_at_separator() {
+        let key = ResultKey::from_name("spmv?n=5 @ bsp?p=2&g=1", "etf").unwrap();
+        assert_eq!(key.instance, "spmv?n=5");
+        assert_eq!(key.machine, "bsp?p=2&g=1");
+        assert!(ResultKey::from_name("no-separator", "etf").is_none());
+    }
+
+    #[test]
+    fn instance_cache_resolves_aliases() {
+        use bsp_dag::DagBuilder;
+        use bsp_model::BspParams;
+        let mut b = DagBuilder::new();
+        b.add_node(1, 1);
+        let inst = Arc::new(Instance {
+            name: "canonical @ bsp?p=2".to_string(),
+            dag: b.build().unwrap(),
+            machine: BspParams::new(2, 1, 1),
+        });
+        let mut cache = InstanceCache::new();
+        cache.insert(inst.clone(), Some("raw-alias"));
+        assert!(cache.get("canonical @ bsp?p=2").is_some());
+        assert!(cache.get("raw-alias").is_some());
+        assert!(cache.get("unknown").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! A small blocking client for the JSONL protocol — used by the test
+//! suite, the CI smoke job and the `loadgen` benchmark driver.
+
+use crate::protocol::{parse_line, to_line, Frame, Request, ServerStats, MAX_LINE};
+use crate::protocol::{read_line_capped, LineRead};
+use bsp_instance::DagEdit;
+use bsp_schedule::events::SolveEvent;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-response).
+    Io(String),
+    /// The server sent something the client cannot parse.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server {
+        /// One of [`codes`](crate::protocol::codes).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+        }
+    }
+}
+
+/// A solve result plus the progress events streamed before it.
+#[derive(Debug)]
+pub struct Response {
+    /// The final `kind: "result"` frame.
+    pub result: Frame,
+    /// Progress events, in arrival order (empty unless streaming).
+    pub events: Vec<SolveEvent>,
+}
+
+/// Parameters of a `solve` call.
+#[derive(Debug, Clone, Default)]
+pub struct SolveParams {
+    /// Full instance spec (`"spmv?n=500 @ bsp?p=4"`). Required.
+    pub instance: String,
+    /// Scheduler spec; `None` = server default.
+    pub sched: Option<String>,
+    /// Wall-clock budget in ms; `None` = server default.
+    pub budget_ms: Option<u64>,
+    /// Instance-generation seed; `None` = registry default.
+    pub seed: Option<u64>,
+    /// Ask for streamed progress events.
+    pub stream: bool,
+}
+
+/// Parameters of a `delta` call.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaParams {
+    /// Name of the cached base instance. Required.
+    pub base: String,
+    /// The edits to apply. Required, non-empty.
+    pub edits: Vec<DagEdit>,
+    /// Scheduler spec; `None` = server default.
+    pub sched: Option<String>,
+    /// Wall-clock budget in ms; `None` = server default.
+    pub budget_ms: Option<u64>,
+    /// Optional alias for the edited instance.
+    pub label: Option<String>,
+    /// Ask for streamed progress events.
+    pub stream: bool,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ClientError::Io(e.to_string()))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Sets (or clears) the socket read timeout — useful in tests that
+    /// must not hang on a wedged server.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    /// Sends `req` (with a fresh correlation id) and collects frames
+    /// until the matching terminal frame arrives. Event frames for the id
+    /// are accumulated; frames for *other* ids are dropped (this blocking
+    /// client never has two requests in flight).
+    pub fn request(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        req.id = Some(id);
+        let line = to_line(&req);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+
+        let mut events = Vec::new();
+        loop {
+            let line = match read_line_capped(&mut self.reader, MAX_LINE)
+                .map_err(|e| ClientError::Io(e.to_string()))?
+            {
+                LineRead::Line(l) => l,
+                LineRead::Eof => {
+                    return Err(ClientError::Io("connection closed mid-response".into()))
+                }
+                LineRead::Oversize => {
+                    return Err(ClientError::Protocol("oversize response line".into()))
+                }
+            };
+            let frame: Frame =
+                parse_line(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            // Typed errors without an id (bad_json, oversize_line) also
+            // terminate this request: nothing else is coming for it.
+            if frame.id != Some(id) && frame.id.is_some() {
+                continue;
+            }
+            match frame.kind.as_str() {
+                "event" => {
+                    if let Some(ev) = frame.event {
+                        events.push(ev);
+                    }
+                }
+                "error" => {
+                    return Err(ClientError::Server {
+                        code: frame.error.unwrap_or_else(|| "unknown".to_string()),
+                        message: frame.message.unwrap_or_default(),
+                    })
+                }
+                _ => {
+                    return Ok(Response {
+                        result: frame,
+                        events,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Round-trips a `ping`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let resp = self.request(Request::new("ping"))?;
+        if resp.result.kind == "pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected pong, got {:?}",
+                resp.result.kind
+            )))
+        }
+    }
+
+    /// Fetches server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let resp = self.request(Request::new("stats"))?;
+        resp.result
+            .stats
+            .ok_or_else(|| ClientError::Protocol("stats frame without stats".into()))
+    }
+
+    /// Requests a graceful server shutdown.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let resp = self.request(Request::new("shutdown"))?;
+        if resp.result.kind == "bye" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected bye, got {:?}",
+                resp.result.kind
+            )))
+        }
+    }
+
+    /// Solves an instance spec (possibly served from the cache).
+    pub fn solve(&mut self, params: &SolveParams) -> Result<Response, ClientError> {
+        let mut req = Request::new("solve");
+        req.instance = Some(params.instance.clone());
+        req.sched = params.sched.clone();
+        req.budget_ms = params.budget_ms;
+        req.seed = params.seed;
+        req.stream = if params.stream { Some(true) } else { None };
+        self.request(req)
+    }
+
+    /// Re-solves an edited instance, warm-starting when the server has
+    /// the base schedule cached.
+    pub fn delta(&mut self, params: &DeltaParams) -> Result<Response, ClientError> {
+        let mut req = Request::new("delta");
+        req.base = Some(params.base.clone());
+        req.edits = Some(params.edits.clone());
+        req.sched = params.sched.clone();
+        req.budget_ms = params.budget_ms;
+        req.label = params.label.clone();
+        req.stream = if params.stream { Some(true) } else { None };
+        self.request(req)
+    }
+
+    /// Sends a raw line (not necessarily valid JSON) and reads one frame
+    /// back — the test hook for protocol-error paths.
+    pub fn raw_roundtrip(&mut self, line: &str) -> Result<Frame, ClientError> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        match read_line_capped(&mut self.reader, MAX_LINE)
+            .map_err(|e| ClientError::Io(e.to_string()))?
+        {
+            LineRead::Line(l) => parse_line(&l).map_err(|e| ClientError::Protocol(e.to_string())),
+            LineRead::Eof => Err(ClientError::Io("connection closed".into())),
+            LineRead::Oversize => Err(ClientError::Protocol("oversize response".into())),
+        }
+    }
+}
+
+/// Convenience for error-path assertions in tests.
+impl ClientError {
+    /// The typed server error code, if this is a server error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the given typed server error.
+    pub fn is_code(&self, code: &str) -> bool {
+        self.code() == Some(code)
+    }
+}

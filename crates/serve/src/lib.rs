@@ -1,0 +1,56 @@
+//! Scheduling as a service: a long-running daemon that solves BSP+NUMA
+//! scheduling requests over a line-delimited JSON protocol, caches
+//! results by canonical spec, and *warm-starts* re-solves of edited
+//! instances from the cached schedule of their base.
+//!
+//! The service turns the workspace's spec-addressable registries into a
+//! cache: an instance spec (`"spmv?n=500 @ bsp?p=4"`), its machine half
+//! and a scheduler spec (`"pipeline/base?ilp=off"`) round-trip through
+//! canonical forms, so the triple is a byte-stable key. A repeated
+//! request is a hash lookup; an *edited* request (the delta API,
+//! [`bsp_instance::DagEdit`]) transplants the cached schedule through the
+//! edit's node map, repairs it, and hands the result to local search —
+//! typically far cheaper than solving from scratch, and never worse than
+//! its repaired starting point ([`bsp_core::solve_warm_pipeline`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use bsp_serve::server::{start, ServeConfig};
+//! use bsp_serve::client::{Client, SolveParams};
+//!
+//! let mut cfg = ServeConfig::default(); // binds 127.0.0.1:0
+//! cfg.threads = 1;
+//! let handle = start(cfg).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let mut params = SolveParams::default();
+//! params.instance = "forkjoin?chains=2&depth=2&stages=2 @ bsp?p=2".to_string();
+//! params.budget_ms = Some(200);
+//! let first = client.solve(&params).unwrap();
+//! assert_eq!(first.result.cache_hit, Some(false));
+//! let again = client.solve(&params).unwrap();
+//! assert_eq!(again.result.cache_hit, Some(true));
+//! assert_eq!(again.result.cost, first.result.cost);
+//!
+//! client.shutdown().unwrap();
+//! handle.wait();
+//! ```
+//!
+//! # Protocol
+//!
+//! One JSON object per line in both directions; see [`protocol`] for the
+//! message shapes, [`protocol::codes`] for the typed error codes, and the
+//! README's "Service" section for the full grammar and wire examples.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CachedResult, InstanceCache, ResultKey, ResultStore, StoreStats};
+pub use client::{Client, ClientError, DeltaParams, Response, SolveParams};
+pub use protocol::{codes, Frame, Request, ServerStats, MAX_LINE};
+pub use queue::{JobQueue, PushError};
+pub use server::{shutdown_on_sigint, start, ServeConfig, ServerHandle};

@@ -1,0 +1,391 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every message is one JSON object on one `\n`-terminated line. Clients
+//! send [`Request`]s; the server answers with [`Frame`]s. Responses carry
+//! the request's `id`, so clients may pipeline: several requests can be in
+//! flight on one connection and the frames are matched back by `id`.
+//! Progress events (`kind: "event"`) for a streamed solve are interleaved
+//! before the final `kind: "result"` frame of the same `id`.
+//!
+//! Malformed input never kills the connection silently — the server
+//! answers with a typed `kind: "error"` frame whose `error` field is one
+//! of the [`codes`]. The only fatal frame is [`codes::OVERSIZE_LINE`]
+//! (the connection closes after it, because the line tail cannot be
+//! resynchronized safely).
+//!
+//! Both [`Request`] and [`Frame`] serialize *sparsely*: `None` fields are
+//! omitted, and absent keys deserialize as `None` (the derive of the
+//! vendored serde would instead demand every key, which is wrong for a
+//! wire format that must accept hand-written requests).
+
+use bsp_instance::DagEdit;
+use bsp_schedule::events::{SolveEvent, StageReportWire};
+use serde::{json, Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Hard cap on one protocol line, in bytes (1 MiB). Lines longer than
+/// this are answered with [`codes::OVERSIZE_LINE`] and the connection is
+/// closed.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Typed error codes carried in the `error` field of error frames.
+pub mod codes {
+    /// `method` is not one of the served methods.
+    pub const UNKNOWN_METHOD: &str = "unknown_method";
+    /// The line was not a JSON object (syntax error or wrong shape).
+    pub const BAD_JSON: &str = "bad_json";
+    /// A required field is missing for the requested method.
+    pub const MISSING_FIELD: &str = "missing_field";
+    /// An instance or scheduler spec did not resolve.
+    pub const BAD_SPEC: &str = "bad_spec";
+    /// A DAG edit failed to apply (unknown node, cycle, …).
+    pub const BAD_EDIT: &str = "bad_edit";
+    /// A delta request referenced a base instance the server has not seen.
+    pub const UNKNOWN_BASE: &str = "unknown_base";
+    /// The protocol line exceeded [`super::MAX_LINE`] bytes (fatal).
+    pub const OVERSIZE_LINE: &str = "oversize_line";
+    /// The job queue is full; retry later.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The server is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// One client request. `method` selects the operation; the remaining
+/// fields are method-specific and optional on the wire:
+///
+/// | method     | uses                                                    |
+/// |------------|---------------------------------------------------------|
+/// | `solve`    | `instance` (required), `sched`, `budget_ms`, `seed`, `stream` |
+/// | `delta`    | `base` (required), `edits` (required), `label`, `sched`, `budget_ms`, `seed`, `stream` |
+/// | `stats`    | —                                                       |
+/// | `ping`     | —                                                       |
+/// | `shutdown` | —                                                       |
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Request {
+    /// `"solve"`, `"delta"`, `"stats"`, `"ping"` or `"shutdown"`.
+    pub method: String,
+    /// Client-chosen correlation id, echoed on every response frame.
+    pub id: Option<u64>,
+    /// Full instance spec, e.g. `"spmv?n=500 @ bsp?p=4"` (`solve`).
+    pub instance: Option<String>,
+    /// Scheduler spec (defaults to the server's default scheduler).
+    pub sched: Option<String>,
+    /// Wall-clock budget in milliseconds (defaults to the server's).
+    pub budget_ms: Option<u64>,
+    /// Instance-generation seed (defaults to the registry default).
+    pub seed: Option<u64>,
+    /// Stream `kind: "event"` progress frames before the result.
+    pub stream: Option<bool>,
+    /// Name of the cached base instance a `delta` edits.
+    pub base: Option<String>,
+    /// The DAG edits a `delta` applies, in order.
+    pub edits: Option<Vec<DagEdit>>,
+    /// Optional alias under which the edited instance is re-cached.
+    pub label: Option<String>,
+}
+
+impl Request {
+    /// A bare request for `method`.
+    pub fn new(method: &str) -> Self {
+        Request {
+            method: method.to_string(),
+            ..Request::default()
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("method".to_string(), Value::Str(self.method.clone()))];
+        push_opt(&mut fields, "id", &self.id);
+        push_opt(&mut fields, "instance", &self.instance);
+        push_opt(&mut fields, "sched", &self.sched);
+        push_opt(&mut fields, "budget_ms", &self.budget_ms);
+        push_opt(&mut fields, "seed", &self.seed);
+        push_opt(&mut fields, "stream", &self.stream);
+        push_opt(&mut fields, "base", &self.base);
+        push_opt(&mut fields, "edits", &self.edits);
+        push_opt(&mut fields, "label", &self.label);
+        Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(SerdeError::new("request: expected a JSON object"));
+        }
+        Ok(Request {
+            method: req_field(value, "method")?,
+            id: opt_field(value, "id")?,
+            instance: opt_field(value, "instance")?,
+            sched: opt_field(value, "sched")?,
+            budget_ms: opt_field(value, "budget_ms")?,
+            seed: opt_field(value, "seed")?,
+            stream: opt_field(value, "stream")?,
+            base: opt_field(value, "base")?,
+            edits: opt_field(value, "edits")?,
+            label: opt_field(value, "label")?,
+        })
+    }
+}
+
+/// One server response frame. `kind` is `"result"`, `"error"`, `"event"`,
+/// `"stats"`, `"pong"` or `"bye"`; the remaining fields are kind-specific
+/// and omitted when `None`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Frame {
+    /// Frame kind (see type docs).
+    pub kind: String,
+    /// Correlation id of the request this frame answers.
+    pub id: Option<u64>,
+    /// Canonical instance name the result is for (`"dag @ machine"`).
+    pub instance: Option<String>,
+    /// Canonical scheduler spec the result was produced by.
+    pub sched: Option<String>,
+    /// Final schedule cost.
+    pub cost: Option<u64>,
+    /// Number of supersteps in the final schedule.
+    pub supersteps: Option<u64>,
+    /// Whether the result came straight from the cache.
+    pub cache_hit: Option<bool>,
+    /// Whether a delta re-solve warm-started from a cached schedule.
+    pub warm: Option<bool>,
+    /// Cost of the repaired warm-start the solve began from (delta only).
+    pub warm_init_cost: Option<u64>,
+    /// Server-side wall-clock of the request, microseconds.
+    pub elapsed_us: Option<u64>,
+    /// Whether the budget expired before all stages completed.
+    pub budget_exhausted: Option<bool>,
+    /// Per-stage reports of the solve (absent on cache hits).
+    pub stages: Option<Vec<StageReportWire>>,
+    /// Typed error code (error frames; one of [`codes`]).
+    pub error: Option<String>,
+    /// Human-readable error detail.
+    pub message: Option<String>,
+    /// One progress event (event frames).
+    pub event: Option<SolveEvent>,
+    /// Server statistics (stats frames).
+    pub stats: Option<ServerStats>,
+}
+
+impl Frame {
+    /// An error frame with a typed `code` from [`codes`].
+    pub fn error(id: Option<u64>, code: &str, message: impl Into<String>) -> Self {
+        Frame {
+            kind: "error".to_string(),
+            id,
+            error: Some(code.to_string()),
+            message: Some(message.into()),
+            ..Frame::default()
+        }
+    }
+
+    /// An event frame wrapping one progress event.
+    pub fn event(id: Option<u64>, event: SolveEvent) -> Self {
+        Frame {
+            kind: "event".to_string(),
+            id,
+            event: Some(event),
+            ..Frame::default()
+        }
+    }
+}
+
+impl Serialize for Frame {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("kind".to_string(), Value::Str(self.kind.clone()))];
+        push_opt(&mut fields, "id", &self.id);
+        push_opt(&mut fields, "instance", &self.instance);
+        push_opt(&mut fields, "sched", &self.sched);
+        push_opt(&mut fields, "cost", &self.cost);
+        push_opt(&mut fields, "supersteps", &self.supersteps);
+        push_opt(&mut fields, "cache_hit", &self.cache_hit);
+        push_opt(&mut fields, "warm", &self.warm);
+        push_opt(&mut fields, "warm_init_cost", &self.warm_init_cost);
+        push_opt(&mut fields, "elapsed_us", &self.elapsed_us);
+        push_opt(&mut fields, "budget_exhausted", &self.budget_exhausted);
+        push_opt(&mut fields, "stages", &self.stages);
+        push_opt(&mut fields, "error", &self.error);
+        push_opt(&mut fields, "message", &self.message);
+        push_opt(&mut fields, "event", &self.event);
+        push_opt(&mut fields, "stats", &self.stats);
+        Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for Frame {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(SerdeError::new("frame: expected a JSON object"));
+        }
+        Ok(Frame {
+            kind: req_field(value, "kind")?,
+            id: opt_field(value, "id")?,
+            instance: opt_field(value, "instance")?,
+            sched: opt_field(value, "sched")?,
+            cost: opt_field(value, "cost")?,
+            supersteps: opt_field(value, "supersteps")?,
+            cache_hit: opt_field(value, "cache_hit")?,
+            warm: opt_field(value, "warm")?,
+            warm_init_cost: opt_field(value, "warm_init_cost")?,
+            elapsed_us: opt_field(value, "elapsed_us")?,
+            budget_exhausted: opt_field(value, "budget_exhausted")?,
+            stages: opt_field(value, "stages")?,
+            error: opt_field(value, "error")?,
+            message: opt_field(value, "message")?,
+            event: opt_field(value, "event")?,
+            stats: opt_field(value, "stats")?,
+        })
+    }
+}
+
+/// A snapshot of server counters, served by the `stats` method.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Results currently in the store.
+    pub cached_results: u64,
+    /// Result-store lookups that hit.
+    pub hits: u64,
+    /// Result-store lookups that missed.
+    pub misses: u64,
+    /// Instances currently in the in-memory instance cache.
+    pub cached_instances: u64,
+    /// Jobs fully processed since startup.
+    pub jobs_done: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Worker threads draining the queue.
+    pub workers: u64,
+}
+
+/// Parses one protocol line into `T`, tagging errors with the line's
+/// syntactic problem.
+pub fn parse_line<'de, T: Deserialize<'de>>(line: &str) -> Result<T, SerdeError> {
+    json::from_str(line.trim())
+}
+
+/// Serializes `msg` as one protocol line (no trailing newline).
+pub fn to_line<T: Serialize>(msg: &T) -> String {
+    json::to_string(msg)
+}
+
+/// Outcome of reading one protocol line.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line (without the `\n`).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the cap; the tail was not consumed.
+    Oversize,
+}
+
+/// Reads one `\n`-terminated line from `r`, enforcing a byte cap. Returns
+/// [`LineRead::Oversize`] as soon as the cap is crossed (the remainder of
+/// the line stays in the stream — callers should close the connection).
+pub fn read_line_capped<R: std::io::BufRead>(r: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    use std::io::{BufRead, Read};
+    let mut buf: Vec<u8> = Vec::new();
+    let mut take = r.take((cap + 1) as u64);
+    let n = take.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if buf.len() > cap {
+        return Ok(LineRead::Oversize);
+    }
+    // A final unterminated line (EOF without '\n') within the cap is
+    // accepted — it lets `printf '...' | nc` style clients work.
+    Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+fn push_opt<T: Serialize>(fields: &mut Vec<(String, Value)>, key: &str, v: &Option<T>) {
+    if let Some(v) = v {
+        fields.push((key.to_string(), v.to_value()));
+    }
+}
+
+fn req_field<'de, T: Deserialize<'de>>(value: &Value, key: &str) -> Result<T, SerdeError> {
+    match value.get(key) {
+        Some(v) => T::from_value(v).map_err(|e| SerdeError::new(format!("field {key:?}: {e}"))),
+        None => Err(SerdeError::new(format!("missing field {key:?}"))),
+    }
+}
+
+fn opt_field<'de, T: Deserialize<'de>>(value: &Value, key: &str) -> Result<Option<T>, SerdeError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            Option::<T>::from_value(v).map_err(|e| SerdeError::new(format!("field {key:?}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_sparsely() {
+        let mut req = Request::new("solve");
+        req.id = Some(7);
+        req.instance = Some("spmv?n=100 @ bsp?p=4".to_string());
+        let line = to_line(&req);
+        // None fields are omitted from the wire form entirely.
+        assert!(!line.contains("edits"));
+        assert!(!line.contains("label"));
+        let back: Request = parse_line(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn absent_keys_read_as_none() {
+        let req: Request = parse_line("{\"method\":\"ping\"}").unwrap();
+        assert_eq!(req.method, "ping");
+        assert_eq!(req.id, None);
+        assert_eq!(req.edits, None);
+        assert!(parse_line::<Request>("{\"id\":3}").is_err());
+        assert!(parse_line::<Request>("[1,2]").is_err());
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut f = Frame::error(Some(9), codes::BAD_SPEC, "no such instance");
+        f.elapsed_us = Some(12);
+        let back: Frame = parse_line(&to_line(&f)).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.error.as_deref(), Some(codes::BAD_SPEC));
+    }
+
+    #[test]
+    fn capped_reader_flags_oversize_lines() {
+        let data = b"short\n0123456789abcdef\n";
+        let mut r = BufReader::new(&data[..]);
+        match read_line_capped(&mut r, 8).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "short"),
+            other => panic!("expected line, got {other:?}"),
+        }
+        assert!(matches!(
+            read_line_capped(&mut r, 8).unwrap(),
+            LineRead::Oversize
+        ));
+        let data = b"no-newline-at-eof";
+        let mut r = BufReader::new(&data[..]);
+        match read_line_capped(&mut r, 64).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "no-newline-at-eof"),
+            other => panic!("expected line, got {other:?}"),
+        }
+        assert!(matches!(
+            read_line_capped(&mut r, 64).unwrap(),
+            LineRead::Eof
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! A bounded, closeable MPMC job queue (`Mutex` + `Condvar`).
+//!
+//! Producers (connection reader threads) never block: [`JobQueue::try_push`]
+//! fails fast with [`PushError::Full`] so the server can answer
+//! `queue_full` instead of stalling the socket. Consumers (the worker
+//! pool) block in [`JobQueue::pop`] until a job arrives or the queue is
+//! closed; after [`JobQueue::close`], remaining jobs are still drained —
+//! `pop` returns `None` only once the queue is *closed and empty*, which
+//! is exactly the graceful-shutdown contract.
+//!
+//! ```
+//! use bsp_serve::queue::{JobQueue, PushError};
+//!
+//! let q = JobQueue::new(1);
+//! q.try_push(1).unwrap();
+//! assert_eq!(q.try_push(2), Err(PushError::Full));
+//! q.close(); // shutdown: drain what's queued, then report empty
+//! assert_eq!(q.pop(), Some(1));
+//! assert_eq!(q.pop(), None);
+//! assert_eq!(q.try_push(3), Err(PushError::Closed));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed; the server is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded job queue. Shared by `Arc`.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `cap` jobs (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `job` without blocking.
+    pub fn try_push(&self, job: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.q.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        inner.q.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed *and*
+    /// drained; `None` means "no more work, ever".
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.q.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, poppers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().q.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_respects_capacity() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::new(8);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(77).unwrap();
+        assert_eq!(h.join().unwrap(), Some(77));
+    }
+}

@@ -1,0 +1,753 @@
+//! The scheduling daemon: accept loop, connection readers, worker pool,
+//! request handlers, graceful shutdown.
+//!
+//! Architecture (one box per thread):
+//!
+//! ```text
+//!  accept loop ──spawns──▶ connection reader ──try_push──▶ JobQueue
+//!       │                      │ (typed protocol errors,       │
+//!       │                      │  pong/stats inline)           ▼
+//!       │                      ▼                         worker pool
+//!       │                 CancelToken chain          (Registry per worker)
+//!       │            server ⊃ connection ⊃ job            │
+//!       ▼                                                 ▼
+//!   stop token ◀──────── shutdown request          result/event frames
+//! ```
+//!
+//! Cancellation is hierarchical: the server's stop token is the parent of
+//! every connection token, which parents every job token. A client
+//! disconnect cancels its connection token, so in-flight solves for that
+//! client wind down to their best-so-far and the (still valid) results
+//! land in the cache for the next request. A shutdown cancels the server
+//! token: every in-flight solve returns its best-so-far, queued jobs are
+//! drained under the already-cancelled budget (valid results, fast), and
+//! the result store is flushed to disk.
+
+use crate::cache::{CachedResult, InstanceCache, ResultKey, ResultStore};
+use crate::protocol::{
+    codes, parse_line, read_line_capped, to_line, Frame, LineRead, Request, ServerStats, MAX_LINE,
+};
+use crate::queue::{JobQueue, PushError};
+use bsp_core::pipeline::PipelineConfig;
+use bsp_core::{solve_warm_pipeline, warm_start_from_map};
+use bsp_instance::source::{InstanceRegistry, DEFAULT_SEED};
+use bsp_instance::{apply_edits, Instance};
+use bsp_par::CancelToken;
+use bsp_sched::race::RACE_PREFIX;
+use bsp_sched::registry::Registry;
+use bsp_schedule::events::{EventObserver, StageReportWire};
+use bsp_schedule::scheduler::ScheduleResult;
+use bsp_schedule::solve::{Budget, SolveCx, SolveOutcome, SolveRequest};
+use bsp_schedule::spec::SchedulerSpec;
+use bsp_schedule::BspSchedule;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port (tests).
+    pub addr: String,
+    /// Worker threads draining the job queue. `0` resolves through
+    /// `BSP_THREADS` ([`bsp_par::default_threads`]); an explicit `n` is
+    /// passed through [`bsp_par::resolve_threads`].
+    pub threads: usize,
+    /// Job-queue capacity; pushes beyond it answer `queue_full`.
+    pub queue_cap: usize,
+    /// Persist the result store here (loaded at startup, flushed on
+    /// shutdown). `None` = in-memory only.
+    pub store_path: Option<PathBuf>,
+    /// Default per-request wall-clock budget when a request names none.
+    /// `None` = unlimited (not recommended for a shared server).
+    pub default_budget_ms: Option<u64>,
+    /// Scheduler spec used when a request names none.
+    pub default_sched: String,
+    /// Base pipeline configuration; request spec parameters override it.
+    pub pipeline: PipelineConfig,
+    /// Per-line byte cap of the protocol reader.
+    pub max_line: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let mut pipeline = PipelineConfig::default();
+        // ILP refinement is off by default server-side: interactive
+        // budgets are milliseconds, not the seconds ILP wants. A request
+        // can turn it back on via its scheduler spec (`?ilp=on`).
+        pipeline.enable_ilp = false;
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_cap: 64,
+            store_path: None,
+            default_budget_ms: Some(2000),
+            default_sched: "pipeline/base?ilp=off".to_string(),
+            pipeline,
+            max_line: MAX_LINE,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The resolved worker-pool size: `0` → `BSP_THREADS` or 1, explicit
+    /// `n` → [`bsp_par::resolve_threads`] (so `--threads 0` means
+    /// auto-detect only when the env says so).
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            bsp_par::default_threads()
+        } else {
+            bsp_par::resolve_threads(self.threads)
+        }
+        .max(1)
+    }
+}
+
+/// One queued unit of work: a `solve`/`delta` request plus where to write
+/// its frames and the token that cancels it.
+struct Job {
+    req: Request,
+    out: Arc<Mutex<TcpStream>>,
+    cancel: CancelToken,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: JobQueue<Job>,
+    store: Mutex<ResultStore>,
+    icache: Mutex<InstanceCache>,
+    stop: CancelToken,
+    jobs_done: AtomicU64,
+    workers: usize,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.stop.cancel();
+        self.queue.close();
+    }
+
+    fn stats(&self) -> ServerStats {
+        let s = self.store.lock().unwrap().stats();
+        ServerStats {
+            cached_results: s.len,
+            hits: s.hits,
+            misses: s.misses,
+            cached_instances: self.icache.lock().unwrap().len() as u64,
+            jobs_done: self.jobs_done.load(Ordering::Relaxed),
+            queued: self.queue.len() as u64,
+            workers: self.workers as u64,
+        }
+    }
+}
+
+/// A running server: bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown without waiting: stops accepting, closes the
+    /// queue (remaining jobs drain), cancels in-flight budgets.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether a shutdown (request, signal or [`Self::begin_shutdown`])
+    /// is in progress.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.is_cancelled()
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until the server has fully stopped (accept loop exited,
+    /// workers drained), then flushes the result store. Returns the final
+    /// counters.
+    pub fn wait(self) -> ServerStats {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let stats = self.shared.stats();
+        let mut store = self.shared.store.lock().unwrap();
+        if let Some(path) = &self.shared.cfg.store_path {
+            if store.is_dirty() {
+                if let Err(e) = store.save(path) {
+                    eprintln!("bsp-serve: store flush failed: {e}");
+                }
+            }
+        }
+        stats
+    }
+
+    /// [`Self::begin_shutdown`] + [`Self::wait`].
+    pub fn shutdown(self) -> ServerStats {
+        self.begin_shutdown();
+        self.wait()
+    }
+}
+
+/// Starts the daemon: binds `cfg.addr`, loads the persisted store (if
+/// any), spawns the worker pool and the accept loop, and returns.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let store = match &cfg.store_path {
+        Some(path) => ResultStore::load(path)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        None => ResultStore::new(),
+    };
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.worker_threads();
+
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(cfg.queue_cap),
+        store: Mutex::new(store),
+        icache: Mutex::new(InstanceCache::new()),
+        stop: CancelToken::new(),
+        jobs_done: AtomicU64::new(0),
+        workers,
+        cfg,
+    });
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("bsp-serve-worker-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("bsp-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, shared))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept,
+        workers: worker_handles,
+    })
+}
+
+/// Installs a SIGINT handler that triggers the same graceful shutdown as
+/// a `shutdown` request would on `handle`'s server. Call at most once per
+/// process; non-Unix platforms get a no-op.
+pub fn shutdown_on_sigint(handle: &ServerHandle) {
+    sigint::install(handle.shared.clone());
+}
+
+#[cfg(unix)]
+mod sigint {
+    use super::Shared;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    static TARGET: OnceLock<Mutex<Option<Arc<Shared>>>> = OnceLock::new();
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Async-signal-safe: set a flag; the watcher thread does the work.
+        FIRED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)` from the C runtime std already links against —
+        // enough for a graceful-shutdown hook without a libc crate.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install(shared: Arc<Shared>) {
+        let slot = TARGET.get_or_init(|| Mutex::new(None));
+        *slot.lock().unwrap() = Some(shared);
+        unsafe {
+            signal(2 /* SIGINT */, on_sigint as *const () as usize);
+        }
+        std::thread::Builder::new()
+            .name("bsp-serve-sigint".to_string())
+            .spawn(|| loop {
+                if FIRED.swap(false, Ordering::SeqCst) {
+                    if let Some(slot) = TARGET.get() {
+                        if let Some(shared) = slot.lock().unwrap().take() {
+                            shared.begin_shutdown();
+                            return;
+                        }
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            })
+            .expect("spawn sigint watcher");
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use super::Shared;
+    use std::sync::Arc;
+    pub fn install(_shared: Arc<Shared>) {}
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = shared.clone();
+                let _ = std::thread::Builder::new()
+                    .name("bsp-serve-conn".to_string())
+                    .spawn(move || conn_loop(stream, shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Writes one frame (plus newline) to the shared connection writer,
+/// swallowing errors — a vanished client only means nobody is reading.
+fn send(out: &Mutex<TcpStream>, frame: &Frame) {
+    let line = to_line(frame);
+    let mut stream = out.lock().unwrap();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    let out = Arc::new(Mutex::new(stream));
+    // Connection token: child of the server's stop token; cancelled when
+    // the client goes away, which cancels every job spawned from here.
+    let conn_token = shared.stop.child();
+
+    loop {
+        let line = match read_line_capped(&mut reader, shared.cfg.max_line) {
+            Ok(LineRead::Line(l)) => l,
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::Oversize) => {
+                send(
+                    &out,
+                    &Frame::error(
+                        None,
+                        codes::OVERSIZE_LINE,
+                        format!("line exceeds {} bytes; closing", shared.cfg.max_line),
+                    ),
+                );
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: Request = match parse_line(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                send(&out, &Frame::error(None, codes::BAD_JSON, e.to_string()));
+                continue;
+            }
+        };
+        let id = req.id;
+        match req.method.as_str() {
+            "ping" => send(
+                &out,
+                &Frame {
+                    kind: "pong".to_string(),
+                    id,
+                    ..Frame::default()
+                },
+            ),
+            "stats" => send(
+                &out,
+                &Frame {
+                    kind: "stats".to_string(),
+                    id,
+                    stats: Some(shared.stats()),
+                    ..Frame::default()
+                },
+            ),
+            "shutdown" => {
+                send(
+                    &out,
+                    &Frame {
+                        kind: "bye".to_string(),
+                        id,
+                        ..Frame::default()
+                    },
+                );
+                shared.begin_shutdown();
+            }
+            "solve" | "delta" => {
+                if shared.stop.is_cancelled() {
+                    send(
+                        &out,
+                        &Frame::error(id, codes::SHUTTING_DOWN, "server is draining"),
+                    );
+                    continue;
+                }
+                let job = Job {
+                    req,
+                    out: out.clone(),
+                    cancel: conn_token.child(),
+                };
+                match shared.queue.try_push(job) {
+                    Ok(()) => {}
+                    Err(PushError::Full) => send(
+                        &out,
+                        &Frame::error(id, codes::QUEUE_FULL, "job queue at capacity; retry"),
+                    ),
+                    Err(PushError::Closed) => send(
+                        &out,
+                        &Frame::error(id, codes::SHUTTING_DOWN, "server is draining"),
+                    ),
+                }
+            }
+            m => send(
+                &out,
+                &Frame::error(id, codes::UNKNOWN_METHOD, format!("unknown method {m:?}")),
+            ),
+        }
+    }
+    // Client gone: wind down anything still running for this connection.
+    conn_token.cancel();
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    // Registries are static catalogues — one per worker avoids sharing.
+    let registry = Registry::standard();
+    let instances = InstanceRegistry::standard();
+    while let Some(job) = shared.queue.pop() {
+        let frame = match job.req.method.as_str() {
+            "solve" => handle_solve(&shared, &registry, &instances, &job),
+            "delta" => handle_delta(&shared, &registry, &job),
+            // Unreachable: conn_loop only enqueues solve/delta.
+            m => Frame::error(job.req.id, codes::UNKNOWN_METHOD, format!("{m:?}")),
+        };
+        send(&job.out, &frame);
+        shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Canonicalizes a scheduler spec so differently-ordered parameters hit
+/// the same cache entry. `race/` portfolios pass through verbatim.
+fn canonical_sched(raw: &str) -> Result<String, String> {
+    if raw.starts_with(RACE_PREFIX) {
+        return Ok(raw.to_string());
+    }
+    SchedulerSpec::parse(raw)
+        .map(|s| s.canonical())
+        .map_err(|e| e.to_string())
+}
+
+fn supersteps_of(steps: &[u32]) -> u64 {
+    steps.iter().max().map(|&m| m as u64 + 1).unwrap_or(0)
+}
+
+fn make_budget(shared: &Shared, req: &Request, cancel: &CancelToken) -> Budget {
+    let mut budget = Budget::default();
+    budget.deadline = req
+        .budget_ms
+        .map(Duration::from_millis)
+        .or_else(|| shared.cfg.default_budget_ms.map(Duration::from_millis));
+    budget.cancel = Some(cancel.clone());
+    budget
+}
+
+/// Fetches `spec` from the instance cache or generates and caches it.
+fn resolve_instance(
+    shared: &Shared,
+    instances: &InstanceRegistry,
+    spec: &str,
+    seed: Option<u64>,
+) -> Result<Arc<Instance>, String> {
+    if let Some(inst) = shared.icache.lock().unwrap().get(spec) {
+        return Ok(inst);
+    }
+    let inst = instances
+        .generate_one(spec, seed.unwrap_or(DEFAULT_SEED))
+        .map_err(|e| e.to_string())?;
+    let inst = Arc::new(inst);
+    shared
+        .icache
+        .lock()
+        .unwrap()
+        .insert(inst.clone(), Some(spec));
+    Ok(inst)
+}
+
+fn result_frame(id: Option<u64>, key: &ResultKey, start: Instant) -> Frame {
+    Frame {
+        kind: "result".to_string(),
+        id,
+        instance: Some(format!("{} @ {}", key.instance, key.machine)),
+        sched: Some(key.sched.clone()),
+        elapsed_us: Some(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
+        ..Frame::default()
+    }
+}
+
+fn store_entry(key: &ResultKey, outcome: &SolveOutcome) -> CachedResult {
+    CachedResult {
+        instance: key.instance.clone(),
+        machine: key.machine.clone(),
+        sched: key.sched.clone(),
+        cost: outcome.total(),
+        procs: outcome.result.sched.procs().to_vec(),
+        steps: outcome.result.sched.steps().to_vec(),
+    }
+}
+
+fn handle_solve(
+    shared: &Shared,
+    registry: &Registry,
+    instances: &InstanceRegistry,
+    job: &Job,
+) -> Frame {
+    let start = Instant::now();
+    let req = &job.req;
+    let id = req.id;
+    let Some(spec) = req.instance.as_deref() else {
+        return Frame::error(id, codes::MISSING_FIELD, "solve requires \"instance\"");
+    };
+    let sched_raw = req.sched.as_deref().unwrap_or(&shared.cfg.default_sched);
+    let sched_key = match canonical_sched(sched_raw) {
+        Ok(k) => k,
+        Err(e) => return Frame::error(id, codes::BAD_SPEC, e),
+    };
+    let inst = match resolve_instance(shared, instances, spec, req.seed) {
+        Ok(i) => i,
+        Err(e) => return Frame::error(id, codes::BAD_SPEC, e),
+    };
+    let Some(key) = ResultKey::from_name(&inst.name, &sched_key) else {
+        return Frame::error(
+            id,
+            codes::BAD_SPEC,
+            format!("instance name {:?} has no \" @ \" machine part", inst.name),
+        );
+    };
+
+    if let Some(hit) = shared.store.lock().unwrap().get(&key) {
+        let mut frame = result_frame(id, &key, start);
+        frame.cost = Some(hit.cost);
+        frame.supersteps = Some(supersteps_of(&hit.steps));
+        frame.cache_hit = Some(true);
+        return frame;
+    }
+
+    let scheduler = match registry.get_with(sched_raw, &shared.cfg.pipeline) {
+        Ok(s) => s,
+        Err(e) => return Frame::error(id, codes::BAD_SPEC, e.to_string()),
+    };
+    let budget = make_budget(shared, req, &job.cancel);
+    let stream = req.stream.unwrap_or(false);
+    let out = job.out.clone();
+    let observer = EventObserver::new(move |ev| send(&out, &Frame::event(id, ev)));
+    let mut solve_req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(budget);
+    if stream {
+        solve_req = solve_req.with_observer(&observer);
+    }
+    let outcome = scheduler.solve(&solve_req);
+
+    shared
+        .store
+        .lock()
+        .unwrap()
+        .insert(store_entry(&key, &outcome));
+
+    let mut frame = result_frame(id, &key, start);
+    frame.cost = Some(outcome.total());
+    frame.supersteps = Some(supersteps_of(outcome.result.sched.steps()));
+    frame.cache_hit = Some(false);
+    frame.budget_exhausted = Some(outcome.budget_exhausted);
+    frame.stages = Some(outcome.stages.iter().map(StageReportWire::from).collect());
+    frame
+}
+
+/// FNV-1a of the canonical JSON of the edit list — the suffix that names
+/// an edited instance.
+fn edits_fingerprint(edits: &[bsp_instance::DagEdit]) -> u64 {
+    let text = serde::json::to_string(&edits.to_vec());
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
+    let start = Instant::now();
+    let req = &job.req;
+    let id = req.id;
+    let Some(base) = req.base.as_deref() else {
+        return Frame::error(id, codes::MISSING_FIELD, "delta requires \"base\"");
+    };
+    let edits = match req.edits.as_ref() {
+        Some(e) if !e.is_empty() => e,
+        _ => {
+            return Frame::error(
+                id,
+                codes::MISSING_FIELD,
+                "delta requires a non-empty \"edits\" array",
+            )
+        }
+    };
+    let Some(base_inst) = shared.icache.lock().unwrap().get(base) else {
+        return Frame::error(
+            id,
+            codes::UNKNOWN_BASE,
+            format!("no cached instance {base:?}; solve it first"),
+        );
+    };
+    let sched_raw = req.sched.as_deref().unwrap_or(&shared.cfg.default_sched);
+    let sched_key = match canonical_sched(sched_raw) {
+        Ok(k) => k,
+        Err(e) => return Frame::error(id, codes::BAD_SPEC, e),
+    };
+
+    let edited = match apply_edits(&base_inst.dag, edits) {
+        Ok(o) => o,
+        Err(e) => return Frame::error(id, codes::BAD_EDIT, e.to_string()),
+    };
+
+    let Some((base_dag_spec, machine_spec)) = base_inst.name.split_once(" @ ") else {
+        return Frame::error(
+            id,
+            codes::BAD_SPEC,
+            format!("base name {:?} has no \" @ \" machine part", base_inst.name),
+        );
+    };
+    let name = format!(
+        "{base_dag_spec}+edit{:08x} @ {machine_spec}",
+        edits_fingerprint(edits)
+    );
+    let inst = Arc::new(Instance {
+        name,
+        dag: edited.dag,
+        machine: base_inst.machine.clone(),
+    });
+    let key = ResultKey::from_name(&inst.name, &sched_key).expect("derived name has machine part");
+
+    // The same edit on the same base under the same scheduler is the same
+    // problem — the derived key can itself hit the cache.
+    if let Some(hit) = shared.store.lock().unwrap().get(&key) {
+        shared
+            .icache
+            .lock()
+            .unwrap()
+            .insert(inst.clone(), req.label.as_deref());
+        let mut frame = result_frame(id, &key, start);
+        frame.cost = Some(hit.cost);
+        frame.supersteps = Some(supersteps_of(&hit.steps));
+        frame.cache_hit = Some(true);
+        return frame;
+    }
+
+    // Warm start requires a cached schedule of the *base* under the same
+    // scheduler (internal probe: no client-visible hit/miss counting).
+    let base_sched = ResultKey::from_name(&base_inst.name, &sched_key).and_then(|k| {
+        let store = shared.store.lock().unwrap();
+        let cached = store.peek(&k)?;
+        if cached.procs.len() == base_inst.dag.n() {
+            Some(BspSchedule::from_parts(
+                cached.procs.clone(),
+                cached.steps.clone(),
+            ))
+        } else {
+            None
+        }
+    });
+
+    let budget = make_budget(shared, req, &job.cancel);
+    let stream = req.stream.unwrap_or(false);
+    let out = job.out.clone();
+    let observer = EventObserver::new(move |ev| send(&out, &Frame::event(id, ev)));
+
+    let (outcome, warm, warm_init_cost) = match base_sched {
+        Some(base_sched) => {
+            let initial =
+                warm_start_from_map(&inst.dag, &inst.machine, &base_sched, &edited.node_map);
+            let mut solve_req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(budget);
+            if stream {
+                solve_req = solve_req.with_observer(&observer);
+            }
+            let mut cx = SolveCx::new("warm", &solve_req);
+            let r = solve_warm_pipeline(
+                &inst.dag,
+                &inst.machine,
+                &initial,
+                &shared.cfg.pipeline,
+                &mut cx,
+            );
+            let init_cost = r.init_cost;
+            let outcome = cx.finish(ScheduleResult::from_parts(
+                &inst.dag,
+                &inst.machine,
+                r.sched,
+                r.comm,
+            ));
+            (outcome, true, Some(init_cost))
+        }
+        None => {
+            // No cached base schedule: fall back to a cold solve of the
+            // edited instance.
+            let scheduler = match registry.get_with(sched_raw, &shared.cfg.pipeline) {
+                Ok(s) => s,
+                Err(e) => return Frame::error(id, codes::BAD_SPEC, e.to_string()),
+            };
+            let mut solve_req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(budget);
+            if stream {
+                solve_req = solve_req.with_observer(&observer);
+            }
+            (scheduler.solve(&solve_req), false, None)
+        }
+    };
+
+    shared
+        .store
+        .lock()
+        .unwrap()
+        .insert(store_entry(&key, &outcome));
+    shared
+        .icache
+        .lock()
+        .unwrap()
+        .insert(inst.clone(), req.label.as_deref());
+
+    let mut frame = result_frame(id, &key, start);
+    frame.cost = Some(outcome.total());
+    frame.supersteps = Some(supersteps_of(outcome.result.sched.steps()));
+    frame.cache_hit = Some(false);
+    frame.warm = Some(warm);
+    frame.warm_init_cost = warm_init_cost;
+    frame.budget_exhausted = Some(outcome.budget_exhausted);
+    frame.stages = Some(outcome.stages.iter().map(StageReportWire::from).collect());
+    frame
+}

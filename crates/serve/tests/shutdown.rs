@@ -1,0 +1,124 @@
+//! Graceful-shutdown tests: a shutdown request drains the queue through
+//! the shared cancel token (queued jobs still answer with *valid*
+//! best-so-far schedules), the result store is flushed to disk, and a
+//! restarted server serves the persisted results as cache hits.
+
+use bsp_serve::cache::ResultStore;
+use bsp_serve::client::{Client, SolveParams};
+use bsp_serve::protocol::{parse_line, Frame};
+use bsp_serve::server::{start, ServeConfig};
+use std::io::Write;
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("bsp-serve-shutdown-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.json"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn shutdown_drains_queue_and_flushes_store() {
+    let store_path = temp_store("drain");
+    let mut cfg = ServeConfig::default();
+    cfg.threads = 1;
+    cfg.store_path = Some(store_path.clone());
+    let handle = start(cfg).unwrap();
+
+    // Burst three solves followed by a shutdown on the raw socket: the
+    // reader enqueues all three, then begins the shutdown — so the jobs
+    // drain under an already-cancelled budget and must still answer with
+    // valid (best-so-far) schedules.
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    let specs = [
+        (
+            "layered?layers=4&width=6&seed=1 @ bsp?p=4",
+            "pipeline/base?ilp=off",
+        ),
+        ("layered?layers=4&width=6&seed=2 @ bsp?p=4", "etf"),
+        ("forkjoin?chains=3&depth=2&stages=2 @ bsp?p=2", "init/bspg"),
+    ];
+    let mut lines = String::new();
+    for (i, (inst, sched)) in specs.iter().enumerate() {
+        lines.push_str(&format!(
+            "{{\"method\":\"solve\",\"id\":{},\"instance\":\"{inst}\",\"sched\":\"{sched}\",\"budget_ms\":60000}}\n",
+            i + 1
+        ));
+    }
+    lines.push_str("{\"method\":\"shutdown\",\"id\":99}\n");
+    writer.write_all(lines.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let mut results = 0;
+    let mut saw_bye = false;
+    for _ in 0..4 {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let frame: Frame = parse_line(&line).unwrap();
+        match frame.kind.as_str() {
+            "bye" => saw_bye = true,
+            "result" => {
+                assert!(frame.cost.unwrap() > 0, "drained job returned no schedule");
+                results += 1;
+            }
+            other => panic!("unexpected frame kind {other:?}: {line}"),
+        }
+    }
+    assert!(saw_bye);
+    assert_eq!(results, 3, "all queued jobs must drain to valid results");
+
+    let stats = handle.wait();
+    assert_eq!(stats.jobs_done, 3);
+
+    // The store was flushed to disk with all three results.
+    let store = ResultStore::load(&store_path).unwrap();
+    assert_eq!(store.stats().len, 3);
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
+fn persisted_store_survives_restart_as_cache_hits() {
+    let store_path = temp_store("restart");
+    let spec = "layered?layers=3&width=4&seed=5 @ bsp?p=2";
+
+    let mut cfg = ServeConfig::default();
+    cfg.threads = 1;
+    cfg.store_path = Some(store_path.clone());
+    let handle = start(cfg.clone()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut params = SolveParams::default();
+    params.instance = spec.to_string();
+    params.budget_ms = Some(500);
+    let cold = client.solve(&params).unwrap();
+    assert_eq!(cold.result.cache_hit, Some(false));
+    client.shutdown().unwrap();
+    handle.wait();
+
+    // Same store, fresh server: the very first request is a cache hit.
+    let handle = start(cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let hit = client.solve(&params).unwrap();
+    assert_eq!(hit.result.cache_hit, Some(true));
+    assert_eq!(hit.result.cost, cold.result.cost);
+    handle.shutdown();
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
+fn begin_shutdown_rejects_new_work_with_typed_error() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+    handle.begin_shutdown();
+    assert!(handle.is_shutting_down());
+    let mut params = SolveParams::default();
+    params.instance = "forkjoin @ bsp?p=2".to_string();
+    let err = client.solve(&params).unwrap_err();
+    assert!(
+        err.is_code(bsp_serve::codes::SHUTTING_DOWN),
+        "expected shutting_down, got {err}"
+    );
+    handle.wait();
+}

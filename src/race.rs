@@ -9,7 +9,7 @@
 //!
 //! Execution model: every racer runs on its own scoped thread under the
 //! *shared* request budget, extended with one common
-//! [`CancelToken`](bsp_par::CancelToken) (a child of the request's own
+//! [`CancelToken`] (a child of the request's own
 //! token when it has one, so an outer cancellation still reaches every
 //! racer). The first racer to finish cancels the token; the anytime
 //! pipelines observe the cancellation at their next budget check and wind

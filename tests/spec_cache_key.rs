@@ -1,0 +1,143 @@
+//! Cache-key invariance: the canonical spec strings the service uses as
+//! cache keys are *byte-stable* fixed points. For instances, machines and
+//! schedulers alike,
+//!
+//! * `parse → canonical/spec()` is idempotent (canonicalizing a canonical
+//!   string is the identity),
+//! * shuffled parameter order converges to the same canonical bytes, and
+//! * a round-trip through serde JSON (the wire format of `bsp-serve`
+//!   requests) returns exactly the same bytes — no escaping or re-ordering
+//!   may perturb a key in flight.
+
+use bsp_sched::instance::source::InstanceRegistry;
+use bsp_sched::instance::MachineSpec;
+use bsp_sched::schedule::spec::SchedulerSpec;
+use proptest::prelude::*;
+use serde::{json, Deserialize, Serialize, Value};
+
+/// JSON round-trip of one string, as a `bsp-serve` request would carry it.
+fn through_json(s: &str) -> String {
+    let v = Value::Str(s.to_string());
+    let text = json::to_string(&v);
+    let back: Value = json::from_str(&text).expect("wire strings re-parse");
+    match back {
+        Value::Str(s) => s,
+        other => panic!("string came back as {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn machine_specs_are_byte_stable_keys(
+        p_exp in 0u32..4,
+        g in 1u64..20,
+        l in 0u64..50,
+        numa in proptest::bool::ANY,
+        mem_raw in 0u64..4096,
+        shuffle in proptest::bool::ANY,
+    ) {
+        // No `option` strategy in the vendored proptest: 0 reads as None.
+        let mem = (mem_raw >= 64).then_some(mem_raw);
+        // NUMA topologies want a power-of-two p ≥ 2.
+        let p = 1usize << if numa { p_exp.max(1) } else { p_exp };
+        let mut clauses = vec![format!("p={p}"), format!("g={g}"), format!("l={l}")];
+        if numa {
+            clauses.push("numa=tree".to_string());
+        }
+        if let Some(m) = mem {
+            clauses.push(format!("mem={m}"));
+        }
+        if shuffle {
+            clauses.reverse();
+        }
+        let raw = format!("bsp?{}", clauses.join("&"));
+        let machine = MachineSpec::parse(&raw).expect("assembled machine spec parses");
+        let canonical = machine.spec();
+
+        // Fixed point: parse(canonical).spec() == canonical, byte for byte.
+        let reparsed = MachineSpec::parse(&canonical).unwrap();
+        prop_assert_eq!(reparsed.spec(), canonical.clone());
+        // Parameter order does not leak into the key.
+        prop_assert_eq!(MachineSpec::parse(&raw).unwrap().spec(), canonical.clone());
+        // The wire carries the key untouched.
+        prop_assert_eq!(through_json(&canonical), canonical);
+    }
+
+    #[test]
+    fn scheduler_specs_are_byte_stable_keys(idx in 0usize..32) {
+        let registry = bsp_sched::prelude::Registry::standard();
+        let entries = registry.entries();
+        let descriptor = entries[idx % entries.len()].descriptor();
+        let canonical = SchedulerSpec::parse(&descriptor.spec())
+            .expect("descriptor specs parse")
+            .canonical();
+
+        // Idempotent canonicalization.
+        let again = SchedulerSpec::parse(&canonical).unwrap().canonical();
+        prop_assert_eq!(again, canonical.clone());
+        // JSON round-trip preserves the exact bytes.
+        prop_assert_eq!(through_json(&canonical), canonical);
+    }
+
+    #[test]
+    fn instance_specs_are_byte_stable_keys(
+        layers in 2usize..6,
+        width in 2usize..8,
+        seed in 0u64..500,
+        p_exp in 0u32..4,
+        g in 1u64..10,
+    ) {
+        let registry = InstanceRegistry::standard();
+        let p = 1usize << p_exp;
+        // Deliberately non-canonical parameter order on both halves.
+        let raw = format!(
+            "layered?width={width}&seed={seed}&layers={layers} @ bsp?g={g}&p={p}"
+        );
+        let inst = registry.generate_one(&raw, 42).expect("layered spec generates");
+        let canonical = inst.name.clone();
+
+        // The canonical name is a fixed point of generation...
+        let again = registry.generate_one(&canonical, 42).unwrap();
+        prop_assert_eq!(again.name, canonical.clone());
+        // ...and of the JSON wire format.
+        prop_assert_eq!(through_json(&canonical), canonical.clone());
+
+        // Equal canonical names mean equal problems: same DAG shape and
+        // machine (the cache-correctness property the server relies on).
+        let twin = registry.generate_one(&raw, 42).unwrap();
+        prop_assert_eq!(twin.dag.n(), inst.dag.n());
+        prop_assert_eq!(twin.machine.p(), inst.machine.p());
+    }
+}
+
+/// The full wire trip: a spec embedded in a serialized request struct
+/// (field order, escaping, nested objects) comes back byte-identical.
+#[test]
+fn specs_survive_structured_wire_round_trips() {
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct WireProbe {
+        instance: String,
+        sched: String,
+    }
+    let probes = [
+        (
+            "spmv?n=500&q=0.25 @ bsp?p=8&numa=tree&delta=2",
+            "pipeline/base?ilp=off",
+        ),
+        (
+            "dataset/tiny?scale=0.5 @ bsp?p=4&g=2&l=5&mem=256",
+            "race/etf,init/bspg",
+        ),
+        ("mmio?path=/tmp/a b@c.mtx @ bsp?p=2", "hdagg"),
+    ];
+    for (instance, sched) in probes {
+        let probe = WireProbe {
+            instance: instance.to_string(),
+            sched: sched.to_string(),
+        };
+        let back: WireProbe = json::from_str(&json::to_string(&probe)).unwrap();
+        assert_eq!(back, probe);
+    }
+}
