@@ -43,6 +43,21 @@ pub struct HillClimbStats {
 /// Runs greedy first-improvement hill climbing in place. The cost of
 /// `state` never increases.
 pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillClimbStats {
+    hill_climb_from(state, cfg, 0)
+}
+
+/// [`hill_climb`] restricted to the tentative suffix of an online
+/// schedule: nodes in supersteps below `floor` are *committed* (already
+/// dispatched) — they are never moved, and no node is ever moved into a
+/// superstep below `floor`. Committed nodes still participate in every
+/// cost and precedence computation, so a suffix move is accepted only if
+/// it is valid against the frozen prefix too. `floor == 0` is exactly
+/// [`hill_climb`].
+pub fn hill_climb_from(
+    state: &mut ScheduleState<'_>,
+    cfg: &HillClimbConfig,
+    floor: u32,
+) -> HillClimbStats {
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
     let max_moves = cfg.max_moves.unwrap_or(usize::MAX);
     let n = state.dag().n() as u32;
@@ -73,11 +88,14 @@ pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillC
                     };
                 }
             }
+            if state.step(v) < floor {
+                continue;
+            }
             // Try moves for v until none improves (a node can profitably
             // move several times across sweeps; within the sweep we retry
             // the same node after a success, matching greedy descent).
             loop {
-                match try_improve_node(state, v, p) {
+                match try_improve_node(state, v, p, floor) {
                     true => {
                         accepted += 1;
                         improved_this_sweep = true;
@@ -104,9 +122,10 @@ pub fn hill_climb(state: &mut ScheduleState<'_>, cfg: &HillClimbConfig) -> HillC
 /// Attempts the neighbourhood of `v`; probes candidates read-only and
 /// applies the first improving move. Steps are pre-filtered with
 /// [`ScheduleState::valid_procs`], preserving the `(s, q)` probe order.
-fn try_improve_node(state: &mut ScheduleState<'_>, v: NodeId, p: u32) -> bool {
+/// Steps below `floor` are never probed (committed-prefix protection).
+fn try_improve_node(state: &mut ScheduleState<'_>, v: NodeId, p: u32, floor: u32) -> bool {
     let (cur_p, cur_s) = (state.proc(v), state.step(v));
-    let lo = cur_s.saturating_sub(1);
+    let lo = cur_s.saturating_sub(1).max(floor);
     let hi = cur_s + 1;
     for s in lo..=hi {
         let try_one = |state: &mut ScheduleState<'_>, q: u32| {
@@ -202,6 +221,45 @@ mod tests {
         );
         assert!(st.cost() <= 22, "got {}", st.cost());
         assert_eq!(st.cost(), st.recomputed_cost());
+    }
+
+    #[test]
+    fn floor_freezes_the_committed_prefix() {
+        // The scattered chain again, but supersteps 0..3 are committed:
+        // nodes 0..3 must keep their exact assignment and nothing may move
+        // below superstep 3.
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_node(1, 5)).collect();
+        for i in 0..5 {
+            b.add_edge(v[i], v[i + 1]).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let machine = BspParams::new(2, 5, 3);
+        let sched = BspSchedule::from_parts(vec![0, 1, 0, 1, 0, 1], vec![0, 1, 2, 3, 4, 5]);
+        let mut st = ScheduleState::new(&dag, &machine, &sched);
+        let before = st.cost();
+        let cfg = HillClimbConfig {
+            max_moves: None,
+            time_limit: None,
+        };
+        hill_climb_from(&mut st, &cfg, 3);
+        let after = st.snapshot();
+        for v in 0..3 {
+            assert_eq!(after.proc(v), sched.proc(v), "committed node {v} moved");
+            assert_eq!(after.step(v), sched.step(v), "committed node {v} moved");
+        }
+        for v in 3..6 {
+            assert!(after.step(v) >= 3, "node {v} moved below the floor");
+        }
+        assert!(st.cost() <= before);
+        assert!(validate_lazy(&dag, 2, &after).is_ok());
+
+        // floor 0 reproduces plain hill_climb exactly.
+        let mut a = ScheduleState::new(&dag, &machine, &sched);
+        let mut b2 = ScheduleState::new(&dag, &machine, &sched);
+        hill_climb(&mut a, &cfg);
+        hill_climb_from(&mut b2, &cfg, 0);
+        assert_eq!(a.snapshot(), b2.snapshot());
     }
 
     #[test]

@@ -69,4 +69,7 @@ pub use pipeline::{
 };
 pub use schedulers::{AutoScheduler, BasePipeline, BspgInit, MultilevelPipeline, SourceInit};
 pub use state::ScheduleState;
-pub use warm::{place_new_nodes, repair_precedence, solve_warm_pipeline, warm_start_from_map};
+pub use warm::{
+    place_new_nodes, repair_precedence, repair_precedence_from, solve_warm_pipeline,
+    solve_warm_suffix, warm_start_from_map, SuffixOutcome,
+};

@@ -10,8 +10,9 @@
 //!    superstep)` assignment through the edit's node map
 //!    ([`warm_start_from_map`]);
 //! 2. **list insertion** — nodes the edit introduced are placed greedily:
-//!    earliest superstep their placed predecessors allow, least-loaded
-//!    processor in that superstep ([`place_new_nodes`]);
+//!    earliest superstep their placed predecessors allow, cheapest
+//!    processor of that superstep under a comm-aware score
+//!    ([`place_new_nodes`]);
 //! 3. **precedence repair** — one topological pass pushes nodes later
 //!    until every edge is satisfied again (edits only ever *delay*
 //!    nodes, so the pass terminates and is deterministic;
@@ -63,7 +64,7 @@
 //! assert!(r.cost <= start); // monotone: never worse than the repaired start
 //! ```
 
-use crate::hc::hill_climb;
+use crate::hc::{hill_climb, hill_climb_from, HillClimbStats};
 use crate::hccs::optimize_comm_schedule_threaded;
 use crate::memrepair::repair_memory_with;
 use crate::pipeline::{clamped_for_warm, PipelineConfig, PipelineResult};
@@ -71,8 +72,9 @@ use crate::state::ScheduleState;
 use bsp_dag::topo::TopoInfo;
 use bsp_dag::{Dag, NodeId};
 use bsp_model::BspParams;
-use bsp_schedule::compact::compact_lazy;
+use bsp_schedule::compact::{compact_lazy, compact_lazy_from};
 use bsp_schedule::cost::lazy_cost;
+use bsp_schedule::prefix::PrefixViolation;
 use bsp_schedule::solve::SolveCx;
 use bsp_schedule::{BspSchedule, CommSchedule};
 
@@ -106,8 +108,14 @@ pub fn warm_start_from_map(
 
 /// Greedy list insertion for unplaced nodes: in topological order, each
 /// `None` slot gets the earliest superstep after its placed predecessors
-/// and the processor with the least work in that superstep (lowest id on
-/// ties). Already-placed nodes are untouched; the result still needs a
+/// and the processor minimizing a cost-model score — the NUMA-weighted
+/// communication from its predecessors (`g · Σ c(u)·λ(π(u), q)`) plus
+/// the marginal work-imbalance increase of that superstep — tie-broken
+/// by superstep load, then processor id. On uniform machines with light
+/// comm weights this degrades to least-loaded insertion; on NUMA
+/// machines it keeps consumers near their producers' subtree, which the
+/// floor-restricted hill climb cannot recover after the fact.
+/// Already-placed nodes are untouched; the result still needs a
 /// [`repair_precedence`] pass (placed nodes' precedence is not yet
 /// re-checked here).
 pub fn place_new_nodes(
@@ -160,7 +168,17 @@ pub fn place_new_nodes(
             .unwrap_or(0);
         ensure_step(&mut work, s);
         let row = &work[s as usize];
-        let q = (0..p).min_by_key(|&q| (row[q as usize], q)).unwrap_or(0);
+        let numa = machine.numa();
+        let q = (0..p)
+            .min_by_key(|&q| {
+                let comm: u64 = dag
+                    .predecessors(v)
+                    .iter()
+                    .map(|&u| dag.comm(u) * numa.lambda(proc[u as usize] as usize, q as usize))
+                    .sum();
+                (row[q as usize] + dag.work(v) + machine.g() * comm, q)
+            })
+            .unwrap_or(0);
         proc[v as usize] = q;
         step[v as usize] = s;
         placed[v as usize] = true;
@@ -192,6 +210,126 @@ pub fn repair_precedence(dag: &Dag, sched: &BspSchedule) -> BspSchedule {
         step[v as usize] = s;
     }
     BspSchedule::from_parts(sched.procs().to_vec(), step)
+}
+
+/// [`repair_precedence`] for online schedules with a committed prefix:
+/// supersteps below `floor` are frozen, so only nodes at `floor` and
+/// above may be delayed. A precedence violation that would require
+/// delaying a *committed* node (equivalently: an edge into a committed
+/// consumer from a tentative producer, or a committed-committed edge the
+/// frozen assignment breaks) cannot be repaired by delay and is returned
+/// as the typed [`PrefixViolation`] instead. Nodes with `τ(v) < floor`
+/// count as committed; `floor == 0` is exactly [`repair_precedence`]
+/// (and never fails).
+pub fn repair_precedence_from(
+    dag: &Dag,
+    sched: &BspSchedule,
+    floor: u32,
+) -> Result<BspSchedule, PrefixViolation> {
+    let topo = TopoInfo::new(dag);
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    order.sort_unstable_by_key(|&v| (topo.position[v as usize], v));
+    let mut step: Vec<u32> = sched.steps().to_vec();
+    for &v in &order {
+        let committed = step[v as usize] < floor;
+        let mut s = step[v as usize];
+        for &u in dag.predecessors(v) {
+            if committed && step[u as usize] >= floor {
+                return Err(PrefixViolation::ProducerTentative { from: u, to: v });
+            }
+            let min = if sched.proc(u) == sched.proc(v) {
+                step[u as usize]
+            } else {
+                step[u as usize] + 1
+            };
+            if committed && min > s {
+                return Err(PrefixViolation::EdgeViolation {
+                    from: u,
+                    to: v,
+                    from_step: step[u as usize],
+                    to_step: s,
+                });
+            }
+            s = s.max(min);
+        }
+        step[v as usize] = s;
+    }
+    Ok(BspSchedule::from_parts(sched.procs().to_vec(), step))
+}
+
+/// What [`solve_warm_suffix`] did: the pipeline result plus the
+/// hill-climbing counters (the per-arrival work-budget evidence an online
+/// runtime records).
+#[derive(Debug, Clone)]
+pub struct SuffixOutcome {
+    /// The re-optimized schedule, lazy Γ and cost.
+    pub result: PipelineResult,
+    /// Accepted-move counters of the suffix hill climb.
+    pub hc: HillClimbStats,
+}
+
+/// The incremental warm entry point for online re-planning: re-optimizes
+/// the *tentative suffix* (supersteps `floor` and above) of `initial`
+/// under `cx`'s work budget, leaving the committed prefix untouched.
+///
+/// `initial` must be lazily valid (the output of
+/// [`repair_precedence_from`] + [`compact_lazy_from`]). The stages mirror
+/// [`solve_warm_pipeline`] — `warm-init` then `hc` — but hill climbing is
+/// floor-restricted ([`hill_climb_from`]), compaction preserves committed
+/// superstep indices, and the communication schedule stays lazy (the
+/// suffix is still tentative; Γ is finalized at dispatch time). The
+/// monotone contract carries over: the result never costs more than
+/// `initial`, and an expired budget returns `initial` as-is.
+pub fn solve_warm_suffix(
+    dag: &Dag,
+    machine: &BspParams,
+    initial: &BspSchedule,
+    floor: u32,
+    cfg: &PipelineConfig,
+    cx: &mut SolveCx<'_>,
+) -> SuffixOutcome {
+    cx.begin("warm-init");
+    let mut sched = initial.clone();
+    let init_cost = lazy_cost(dag, machine, &sched);
+    cx.improved(init_cost);
+    cx.end(init_cost, false);
+
+    let mut cost = init_cost;
+    let mut hc_stats = HillClimbStats {
+        accepted: 0,
+        local_minimum: false,
+    };
+
+    if !cx.check_expired() {
+        cx.begin("hc");
+        let c = clamped_for_warm(cfg, cx);
+        let mut st = ScheduleState::new(dag, machine, &sched);
+        hc_stats = hill_climb_from(&mut st, &c.hc, floor);
+        let cand = compact_lazy_from(dag, &st.snapshot(), floor);
+        let cand_cost = lazy_cost(dag, machine, &cand);
+        if cand_cost < cost {
+            cost = cand_cost;
+            sched = cand;
+            cx.improved(cand_cost);
+        }
+        let truncated = cx.expired();
+        cx.end(cost, truncated);
+    }
+
+    let comm = CommSchedule::lazy(dag, &sched);
+    SuffixOutcome {
+        result: PipelineResult {
+            sched,
+            comm,
+            cost,
+            init_cost,
+            best_init: crate::pipeline::Initializer::BspG,
+            hc_cost: cost,
+            part_cost: cost,
+            ilp_cost: cost,
+        },
+        hc: hc_stats,
+    }
 }
 
 /// Runs the warm-start pipeline under `cx`'s budget clock: stage
@@ -296,6 +434,107 @@ mod tests {
         assert_eq!(placed.step(1), 1);
         assert_eq!(placed.step(2), 2);
         assert!(validate_lazy(&dag, 2, &repair_precedence(&dag, &placed)).is_ok());
+    }
+
+    #[test]
+    fn repair_precedence_from_delays_only_the_suffix() {
+        let dag = chain3();
+        // Node 0 committed (step 0); nodes 1, 2 tentative but too early.
+        let broken = BspSchedule::from_parts(vec![0, 1, 0], vec![0, 1, 1]);
+        let fixed = repair_precedence_from(&dag, &broken, 1).unwrap();
+        assert_eq!(fixed.step(0), 0);
+        assert_eq!(fixed.step(2), 2);
+        assert!(validate_lazy(&dag, 2, &fixed).is_ok());
+        // floor 0 agrees with the unconstrained repair.
+        assert_eq!(
+            repair_precedence_from(&dag, &broken, 0).unwrap(),
+            repair_precedence(&dag, &broken)
+        );
+    }
+
+    #[test]
+    fn repair_precedence_from_rejects_committed_conflicts() {
+        let dag = chain3();
+        use bsp_schedule::prefix::PrefixViolation;
+        // Node 1 committed at step 0 but its producer 0 is tentative.
+        let sched = BspSchedule::from_parts(vec![0, 0, 0], vec![1, 0, 2]);
+        assert_eq!(
+            repair_precedence_from(&dag, &sched, 1),
+            Err(PrefixViolation::ProducerTentative { from: 0, to: 1 })
+        );
+        // Both committed, cross-processor in the same superstep: the
+        // frozen consumer would need delaying.
+        let sched = BspSchedule::from_parts(vec![0, 1, 0], vec![0, 0, 3]);
+        assert_eq!(
+            repair_precedence_from(&dag, &sched, 1),
+            Err(PrefixViolation::EdgeViolation {
+                from: 0,
+                to: 1,
+                from_step: 0,
+                to_step: 0
+            })
+        );
+    }
+
+    #[test]
+    fn suffix_solve_is_monotone_and_preserves_the_prefix() {
+        let dag = random_layered_dag(
+            11,
+            LayeredConfig {
+                layers: 6,
+                width: 5,
+                edge_prob: 0.3,
+                ..Default::default()
+            },
+        );
+        let machine = BspParams::new(4, 2, 3);
+        let initial = warm_start_from_map(
+            &dag,
+            &machine,
+            &crate::init::bspg::bspg_schedule(&dag, &machine),
+            &(0..dag.n() as NodeId).map(Some).collect::<Vec<_>>(),
+        );
+        let floor = initial.n_supersteps() / 2;
+        let start_cost = lazy_cost(&dag, &machine, &initial);
+        let req = SolveRequest::new(&dag, &machine);
+        let mut cx = SolveCx::new("online", &req);
+        let cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
+        let out = solve_warm_suffix(&dag, &machine, &initial, floor, &cfg, &mut cx);
+        assert!(out.result.cost <= start_cost);
+        assert!(validate_lazy(&dag, 4, &out.result.sched).is_ok());
+        for v in dag.nodes() {
+            if initial.step(v) < floor {
+                assert_eq!(out.result.sched.proc(v), initial.proc(v), "node {v}");
+                assert_eq!(out.result.sched.step(v), initial.step(v), "node {v}");
+            } else {
+                assert!(out.result.sched.step(v) >= floor, "node {v}");
+            }
+        }
+        assert!(bsp_schedule::prefix::validate_prefix(&dag, 4, &out.result.sched, floor).is_ok());
+    }
+
+    #[test]
+    fn suffix_solve_respects_move_caps() {
+        let dag = random_layered_dag(4, LayeredConfig::default());
+        let machine = BspParams::new(4, 2, 3);
+        let initial = warm_start_from_map(
+            &dag,
+            &machine,
+            &crate::init::bspg::bspg_schedule(&dag, &machine),
+            &(0..dag.n() as NodeId).map(Some).collect::<Vec<_>>(),
+        );
+        let req = SolveRequest::new(&dag, &machine)
+            .with_budget(bsp_schedule::solve::Budget::unlimited().with_max_stage_moves(3));
+        let mut cx = SolveCx::new("online", &req);
+        let cfg = PipelineConfig {
+            enable_ilp: false,
+            ..Default::default()
+        };
+        let out = solve_warm_suffix(&dag, &machine, &initial, 0, &cfg, &mut cx);
+        assert!(out.hc.accepted <= 3);
     }
 
     #[test]

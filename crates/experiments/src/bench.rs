@@ -9,9 +9,12 @@
 //! 4 and 8 worker threads ([`bsp_core::steepest::best_move_threaded`]),
 //! and a `serve` section measuring `bsp-serve` request throughput on the
 //! cold / cached / warm service paths over loopback TCP
-//! ([`crate::serve_cmd::serve_bench_runs`]). With `--json <path>` the
+//! ([`crate::serve_cmd::serve_bench_runs`]), and an `online` section
+//! replaying streaming-arrival traces through the incremental prefix
+//! scheduler and comparing the final cost against the offline cold solve
+//! ([`crate::online_cmd::online_bench_runs`]). With `--json <path>` the
 //! full report is written as indented JSON (`schema:
-//! "bsp-sched/bench-v4"`), the `BENCH_*.json` perf-trajectory format:
+//! "bsp-sched/bench-v5"`), the `BENCH_*.json` perf-trajectory format:
 //! commit one per revision and diff them to see hot-path regressions.
 
 use crate::runner::{
@@ -113,6 +116,9 @@ pub struct BenchReport {
     pub parallel: Vec<ParallelScanRun>,
     /// `bsp-serve` request throughput on the cold/cached/warm paths.
     pub serve: Vec<crate::serve_cmd::ServeRun>,
+    /// Streaming-arrival replays: final online cost vs offline cold
+    /// solve, per (instance, arrival order).
+    pub online: Vec<crate::online_cmd::OnlineRun>,
 }
 
 /// Default instance specs: one representative of each catalogue corner,
@@ -364,8 +370,14 @@ pub fn bench(cfg: &RunConfig) {
     let serve = crate::serve_cmd::serve_bench_runs(cfg);
     crate::serve_cmd::print_serve_runs(&serve);
 
+    eprintln!("[bench] replaying streaming-arrival traces (online vs cold solve)");
+    // The online section keeps its own memory-free instance defaults —
+    // `--instances` rows with memory-bounded machines are skipped there.
+    let online = crate::online_cmd::online_bench_runs(cfg);
+    crate::online_cmd::print_online_runs(&online);
+
     let report = BenchReport {
-        schema: "bsp-sched/bench-v4".to_string(),
+        schema: "bsp-sched/bench-v5".to_string(),
         quick: cfg.quick,
         threads: cfg.threads,
         host_threads: detect_threads(),
@@ -373,6 +385,7 @@ pub fn bench(cfg: &RunConfig) {
         kernel,
         parallel,
         serve,
+        online,
     };
     if let Some(path) = &cfg.json {
         let text = serde::json::to_string_pretty(&report);
@@ -403,7 +416,7 @@ mod tests {
     #[test]
     fn bench_report_round_trips_through_json() {
         let report = BenchReport {
-            schema: "bsp-sched/bench-v4".to_string(),
+            schema: "bsp-sched/bench-v5".to_string(),
             quick: true,
             threads: 4,
             host_threads: 8,
@@ -438,7 +451,23 @@ mod tests {
                 requests: 1000,
                 nanos: 450_000_000,
                 requests_per_sec: 2222,
+                p50_us: 410,
+                p99_us: 980,
                 mean_cost: 4321,
+            }],
+            online: vec![crate::online_cmd::OnlineRun {
+                instance: "spmv?n=120&q=0.25&seed=42 @ bsp?p=4&g=2".to_string(),
+                order: "layered".to_string(),
+                n: 120,
+                arrivals: 120,
+                reveals: 28,
+                replans: 15,
+                online_cost: 1070,
+                cold_cost: 1000,
+                cost_ratio_x1000: 1070,
+                p50_us: 650,
+                p99_us: 1900,
+                nanos: 37_000_000,
             }],
         };
         let text = serde::json::to_string_pretty(&report);

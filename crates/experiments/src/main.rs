@@ -7,8 +7,9 @@
 //! cargo run -p bsp-experiments --release -- solve --sched "pipeline/base?ilp=off" --budget-ms 250
 //! cargo run -p bsp-experiments --release -- bench --instances "spmv?n=500 @ bsp?p=8" --json out.json
 //! cargo run -p bsp-experiments --release -- memory    # cost vs fast-memory capacity, all families
-//! cargo run -p bsp-experiments --release -- serve --addr 127.0.0.1:7570 --store results.json
+//! cargo run -p bsp-experiments --release -- serve --addr 127.0.0.1:7570 --store results.json --store-cap 512
 //! cargo run -p bsp-experiments --release -- loadgen --quick
+//! cargo run -p bsp-experiments --release -- online --check [--order shuffle] [--budget-ms 2]
 //! cargo run -p bsp-experiments --release -- all
 //! ```
 //!
@@ -42,6 +43,7 @@ mod ablations;
 mod bench;
 mod memory;
 mod metrics;
+mod online_cmd;
 mod runner;
 mod serve_cmd;
 mod tables;
@@ -90,6 +92,15 @@ fn main() {
                 i += 1;
                 cfg.store = Some(args[i].clone().into());
             }
+            "--store-cap" => {
+                i += 1;
+                cfg.store_cap = Some(args[i].parse().expect("--store-cap takes an entry count"));
+            }
+            "--order" => {
+                i += 1;
+                cfg.order = Some(args[i].clone());
+            }
+            "--check" => cfg.check = true,
             other if id.is_none() => id = Some(other.to_string()),
             other => panic!("unexpected argument: {other}"),
         }
@@ -101,8 +112,12 @@ fn main() {
     if !cfg.scheds.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench" | "memory") {
         panic!("--sched applies only to the `registry`, `solve`, `bench` and `memory` commands");
     }
-    if !cfg.instances.is_empty() && !matches!(id.as_str(), "registry" | "solve" | "bench") {
-        panic!("--instances applies only to the `registry`, `solve` and `bench` commands");
+    if !cfg.instances.is_empty()
+        && !matches!(id.as_str(), "registry" | "solve" | "bench" | "online")
+    {
+        panic!(
+            "--instances applies only to the `registry`, `solve`, `bench` and `online` commands"
+        );
     }
     if cfg.json.is_some() && id != "bench" {
         panic!("--json applies only to the `bench` command");
@@ -115,6 +130,15 @@ fn main() {
     }
     if cfg.store.is_some() && id != "serve" {
         panic!("--store applies only to the `serve` command");
+    }
+    if cfg.store_cap.is_some() && id != "serve" {
+        panic!("--store-cap applies only to the `serve` command");
+    }
+    if cfg.order.is_some() && id != "online" {
+        panic!("--order applies only to the `online` command");
+    }
+    if cfg.check && id != "online" {
+        panic!("--check applies only to the `online` command");
     }
 
     let run = |name: &str| {
@@ -143,6 +167,7 @@ fn main() {
             "bench" => bench::bench(&cfg),
             "serve" => serve_cmd::serve(&cfg),
             "loadgen" => serve_cmd::loadgen(&cfg),
+            "online" => online_cmd::online(&cfg),
             "memory" => memory::memory_sweep(&cfg),
             "ablation" => ablations::all(&cfg),
             "ablation-ls" => ablations::ablation_local_search(&cfg),

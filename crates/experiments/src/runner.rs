@@ -44,6 +44,15 @@ pub struct RunConfig {
     pub addr: Option<String>,
     /// Result-store path from `--store` (the `serve` command).
     pub store: Option<std::path::PathBuf>,
+    /// LRU entry cap of the serve result store from `--store-cap`
+    /// (`None` = unbounded).
+    pub store_cap: Option<usize>,
+    /// Arrival-order filter from `--order` (the `online` command;
+    /// `None` = all generators).
+    pub order: Option<String>,
+    /// Fail the `online` command if any replayed final cost exceeds the
+    /// acceptance ratio over the cold solve (`--check`).
+    pub check: bool,
 }
 
 impl RunConfig {
@@ -68,6 +77,9 @@ impl Default for RunConfig {
             json: None,
             addr: None,
             store: None,
+            store_cap: None,
+            order: None,
+            check: false,
         }
     }
 }

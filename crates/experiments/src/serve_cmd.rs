@@ -30,9 +30,26 @@ pub struct ServeRun {
     pub nanos: u64,
     /// Derived throughput, `requests / seconds`, rounded down.
     pub requests_per_sec: u64,
+    /// Median per-request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-request latency, microseconds (the tail a
+    /// deployment's SLO watches; equals the max for small sample counts).
+    pub p99_us: u64,
     /// Mean reported schedule cost across the answers (identical for
     /// `cached` rows; sanity context for `warm` vs `cold`).
     pub mean_cost: u64,
+}
+
+/// Nearest-rank percentile of a latency sample set (any unit). `pct` is
+/// 0–100; an empty sample set yields 0.
+pub fn percentile(samples: &[u64], pct: u64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = (sorted.len() - 1) * pct as usize / 100;
+    sorted[idx]
 }
 
 /// The instance the load generator exercises: big enough that a cold
@@ -50,6 +67,7 @@ fn serve_config(cfg: &RunConfig) -> ServeConfig {
     sc.threads = cfg.threads;
     sc.default_budget_ms = Some(cfg.budget_ms.unwrap_or(2000));
     sc.store_path = cfg.store.clone();
+    sc.store_cap = cfg.store_cap;
     if let Some(addr) = &cfg.addr {
         sc.addr = addr.clone();
     }
@@ -114,10 +132,15 @@ pub fn serve_bench_runs(cfg: &RunConfig) -> Vec<ServeRun> {
         .expect("canonical instance name");
 
     // Cached path: every further identical request is a store lookup.
+    // Per-request timings feed the p50/p99 columns — throughput alone
+    // hides tail latency.
     let cached_requests: u64 = if cfg.quick { 200 } else { 1000 };
+    let mut cached_samples = Vec::with_capacity(cached_requests as usize);
     let t = Instant::now();
     for _ in 0..cached_requests {
+        let t1 = Instant::now();
         let hit = client.solve(&params).expect("cached solve answers");
+        cached_samples.push(t1.elapsed().as_nanos() as u64);
         assert_eq!(hit.result.cache_hit, Some(true), "cached path missed");
     }
     let cached_nanos = t.elapsed().as_nanos() as u64;
@@ -125,9 +148,11 @@ pub fn serve_bench_runs(cfg: &RunConfig) -> Vec<ServeRun> {
     // Warm path: distinct one-node edits against the cached base, each a
     // fresh derived instance (distinct edit fingerprint), each warm.
     let warm_requests: u64 = if cfg.quick { 3 } else { 8 };
+    let mut warm_samples = Vec::with_capacity(warm_requests as usize);
     let mut warm_cost_sum = 0u64;
     let t = Instant::now();
     for i in 0..warm_requests {
+        let t1 = Instant::now();
         let mut delta = DeltaParams::default();
         delta.base = canonical.clone();
         delta.edits = vec![DagEdit::AddNode {
@@ -144,26 +169,36 @@ pub fn serve_bench_runs(cfg: &RunConfig) -> Vec<ServeRun> {
             "warm result worse than its repaired start"
         );
         warm_cost_sum += cost;
+        warm_samples.push(t1.elapsed().as_nanos() as u64);
     }
     let warm_nanos = t.elapsed().as_nanos() as u64;
 
     handle.shutdown();
 
-    let row = |path: &str, requests: u64, nanos: u64, mean_cost: u64| ServeRun {
+    let row = |path: &str, requests: u64, nanos: u64, samples: &[u64], mean_cost: u64| ServeRun {
         path: path.to_string(),
         instance: canonical.clone(),
         requests,
         nanos,
         requests_per_sec: (requests as f64 / (nanos.max(1) as f64 / 1e9)) as u64,
+        p50_us: percentile(samples, 50) / 1000,
+        p99_us: percentile(samples, 99) / 1000,
         mean_cost,
     };
     vec![
-        row("cold", 1, cold_nanos, cold_cost),
-        row("cached", cached_requests, cached_nanos, cold_cost),
+        row("cold", 1, cold_nanos, &[cold_nanos], cold_cost),
+        row(
+            "cached",
+            cached_requests,
+            cached_nanos,
+            &cached_samples,
+            cold_cost,
+        ),
         row(
             "warm",
             warm_requests,
             warm_nanos,
+            &warm_samples,
             warm_cost_sum / warm_requests,
         ),
     ]
@@ -191,16 +226,18 @@ pub fn loadgen(cfg: &RunConfig) {
 /// Shared table printer for `loadgen` and the `bench` serve section.
 pub fn print_serve_runs(runs: &[ServeRun]) {
     println!(
-        "\n{:<8} {:>9} {:>12} {:>12} {:>10}",
-        "path", "requests", "total", "req/s", "mean cost"
+        "\n{:<8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "path", "requests", "total", "req/s", "p50", "p99", "mean cost"
     );
     for r in runs {
         println!(
-            "{:<8} {:>9} {:>9.2} ms {:>12} {:>10}",
+            "{:<8} {:>9} {:>9.2} ms {:>12} {:>7} us {:>7} us {:>10}",
             r.path,
             r.requests,
             r.nanos as f64 / 1e6,
             r.requests_per_sec,
+            r.p50_us,
+            r.p99_us,
             r.mean_cost,
         );
     }

@@ -33,6 +33,7 @@
 pub mod edit;
 pub mod machine;
 pub mod source;
+pub mod trace;
 
 pub use edit::{apply_edits, DagEdit, EditError, EditOutcome};
 pub use machine::{MachineSpec, NumaSpec};
@@ -40,6 +41,7 @@ pub use source::{
     InstanceDescriptor, InstanceError, InstanceFamily, InstanceRegistry, InstanceSource,
     DEFAULT_SEED,
 };
+pub use trace::{arrival_trace, ArrivalEvent, ArrivalOrder, ArrivalTrace, TraceConfig};
 
 use bsp_dag::Dag;
 use bsp_model::BspParams;

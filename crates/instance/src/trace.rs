@@ -1,0 +1,486 @@
+//! Arrival traces: the streaming view of a problem instance.
+//!
+//! An [`ArrivalTrace`] is a typed event stream describing a DAG revealed
+//! over time — the input of the `bsp-online` runtime:
+//!
+//! ```text
+//! {"ev":"arrive","node":4,"work":3,"comm":1,"deps":[0,2]}
+//! {"ev":"reveal","from":1,"to":4}
+//! {"ev":"finalize"}
+//! ```
+//!
+//! * **`Arrive`** introduces a node with its weights and the incoming
+//!   edges known *at arrival time* (`deps`, producers that arrived
+//!   earlier).
+//! * **`Reveal`** discloses an edge late: both endpoints have already
+//!   arrived, but the dependency was not known when the consumer did.
+//!   Generators bound reveal lateness by [`TraceConfig::reveal_delay`]
+//!   arrivals, so an online scheduler with a matching guard window never
+//!   commits a consumer that may still gain an edge.
+//! * **`Finalize`** marks the end of the stream — no further events are
+//!   legal.
+//!
+//! [`arrival_trace`] derives a trace from any DAG (hence from any
+//! registry instance) under one of three deterministic arrival orders
+//! ([`ArrivalOrder`]): plain topological, layered batches (level sets of
+//! the DAG arrive together), and a seeded shuffle constrained so a node
+//! never arrives before its predecessors. Node ids in the trace are the
+//! source DAG's ids, so a replayed schedule compares node-for-node
+//! against the offline solve of the same instance.
+//!
+//! ```
+//! use bsp_dag::DagBuilder;
+//! use bsp_instance::trace::{arrival_trace, ArrivalEvent, ArrivalOrder, TraceConfig};
+//!
+//! let mut b = DagBuilder::new();
+//! let u = b.add_node(2, 1);
+//! let v = b.add_node(3, 1);
+//! b.add_edge(u, v).unwrap();
+//! let dag = b.build().unwrap();
+//!
+//! let trace = arrival_trace(&dag, "tiny", &TraceConfig::default());
+//! assert_eq!(trace.arrivals(), 2);
+//! assert!(matches!(trace.events.last(), Some(ArrivalEvent::Finalize)));
+//! ```
+
+use bsp_dag::topo::TopoInfo;
+use bsp_dag::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+
+/// One event of an arrival stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalEvent {
+    /// A node arrives with its weights and currently-known producers.
+    Arrive {
+        /// Caller-chosen node id (generators use the source DAG's ids).
+        node: u32,
+        /// Work weight `w(v)`.
+        work: u64,
+        /// Communication weight `c(v)`.
+        comm: u64,
+        /// Producers known at arrival time; all arrived earlier.
+        deps: Vec<u32>,
+    },
+    /// A late-disclosed edge between two already-arrived nodes.
+    Reveal {
+        /// Producer endpoint.
+        from: u32,
+        /// Consumer endpoint.
+        to: u32,
+    },
+    /// End of stream.
+    Finalize,
+}
+
+/// A named arrival-event stream, replayable against a machine spec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// Label (generators use the source instance name).
+    pub name: String,
+    /// The event stream, ending in [`ArrivalEvent::Finalize`].
+    pub events: Vec<ArrivalEvent>,
+}
+
+impl ArrivalTrace {
+    /// Number of `Arrive` events.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ArrivalEvent::Arrive { .. }))
+            .count()
+    }
+
+    /// Number of `Reveal` events.
+    pub fn reveals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ArrivalEvent::Reveal { .. }))
+            .count()
+    }
+}
+
+/// Deterministic arrival orders a trace can be generated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// The DAG's canonical topological order (Kahn, smallest id first).
+    Topological,
+    /// Level sets arrive as batches: all of level 0, then level 1, …
+    /// (ascending id within a level).
+    LayeredBatch,
+    /// Seeded shuffle under the ready constraint: each step picks a
+    /// uniformly random node among those whose predecessors all arrived.
+    ShuffledReady,
+}
+
+impl ArrivalOrder {
+    /// All orders, in registry order.
+    pub const ALL: [ArrivalOrder; 3] = [
+        ArrivalOrder::Topological,
+        ArrivalOrder::LayeredBatch,
+        ArrivalOrder::ShuffledReady,
+    ];
+
+    /// Stable short name (`topo`, `layered`, `shuffle`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalOrder::Topological => "topo",
+            ArrivalOrder::LayeredBatch => "layered",
+            ArrivalOrder::ShuffledReady => "shuffle",
+        }
+    }
+
+    /// Parses a short name back.
+    pub fn parse(s: &str) -> Option<ArrivalOrder> {
+        match s {
+            "topo" => Some(ArrivalOrder::Topological),
+            "layered" => Some(ArrivalOrder::LayeredBatch),
+            "shuffle" => Some(ArrivalOrder::ShuffledReady),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ArrivalOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How [`arrival_trace`] turns a DAG into an event stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Arrival order of the nodes.
+    pub order: ArrivalOrder,
+    /// Fraction of edges withheld from their consumer's `deps` and
+    /// disclosed late as `Reveal` events (`0.0` = every edge is known at
+    /// arrival time).
+    pub reveal_frac: f64,
+    /// Upper bound on reveal lateness, in arrivals: a withheld edge is
+    /// revealed at most this many arrivals after its consumer arrived.
+    /// Clamped to [`MAX_REVEAL_DELAY`].
+    pub reveal_delay: u32,
+    /// Seed for the shuffled order and the withheld-edge choices.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            order: ArrivalOrder::Topological,
+            reveal_frac: 0.0,
+            reveal_delay: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Hard cap on [`TraceConfig::reveal_delay`]: online schedulers size
+/// their commit guard window against this bound.
+pub const MAX_REVEAL_DELAY: u32 = 8;
+
+/// Derives the deterministic arrival trace of `dag` under `cfg`. Same
+/// DAG, same config ⇒ bit-identical trace. The resulting stream replays
+/// into exactly `dag`: every edge appears either as an arrival dep or as
+/// a reveal, and every node arrives after all its predecessors.
+pub fn arrival_trace(dag: &Dag, name: &str, cfg: &TraceConfig) -> ArrivalTrace {
+    let n = dag.n();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6f6e_6c69_6e65); // "online"
+    let order = arrival_order(dag, cfg.order, &mut rng);
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+
+    // Withhold a seeded fraction of edges; schedule each withheld edge's
+    // reveal a bounded number of arrivals after its consumer.
+    let delay_cap = cfg.reveal_delay.min(MAX_REVEAL_DELAY);
+    let mut withheld = vec![Vec::new(); n]; // per consumer: withheld producers
+    let mut reveal_after: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n.max(1)];
+    for (u, v) in dag.edges() {
+        if cfg.reveal_frac > 0.0 && rng.gen_bool(cfg.reveal_frac.clamp(0.0, 1.0)) {
+            withheld[v as usize].push(u);
+            let delay = if delay_cap == 0 {
+                0
+            } else {
+                rng.gen_range(0..=delay_cap)
+            };
+            let slot = (pos[v as usize] + delay).min(n as u32 - 1);
+            reveal_after[slot as usize].push((u, v));
+        }
+    }
+
+    let mut events = Vec::with_capacity(n + 1);
+    for (i, &v) in order.iter().enumerate() {
+        let deps: Vec<u32> = dag
+            .predecessors(v)
+            .iter()
+            .copied()
+            .filter(|u| !withheld[v as usize].contains(u))
+            .collect();
+        events.push(ArrivalEvent::Arrive {
+            node: v,
+            work: dag.work(v),
+            comm: dag.comm(v),
+            deps,
+        });
+        for &(u, w) in &reveal_after[i] {
+            events.push(ArrivalEvent::Reveal { from: u, to: w });
+        }
+    }
+    events.push(ArrivalEvent::Finalize);
+    ArrivalTrace {
+        name: name.to_string(),
+        events,
+    }
+}
+
+/// The node permutation of one arrival order. Every order respects the
+/// *full* DAG's precedence (the ready constraint is over true
+/// predecessors, revealed or not).
+fn arrival_order(dag: &Dag, order: ArrivalOrder, rng: &mut StdRng) -> Vec<NodeId> {
+    let n = dag.n();
+    match order {
+        ArrivalOrder::Topological => TopoInfo::new(dag).order,
+        ArrivalOrder::LayeredBatch => {
+            let topo = TopoInfo::new(dag);
+            let mut nodes: Vec<NodeId> = dag.nodes().collect();
+            nodes.sort_unstable_by_key(|&v| (topo.level[v as usize], v));
+            nodes
+        }
+        ArrivalOrder::ShuffledReady => {
+            let mut indeg: Vec<u32> = (0..n).map(|v| dag.in_degree(v as NodeId) as u32).collect();
+            let mut ready: Vec<NodeId> = (0..n as NodeId)
+                .filter(|&v| indeg[v as usize] == 0)
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            while !ready.is_empty() {
+                let i = rng.gen_range(0..ready.len());
+                let v = ready.swap_remove(i);
+                out.push(v);
+                for &w in dag.successors(v) {
+                    indeg[w as usize] -= 1;
+                    if indeg[w as usize] == 0 {
+                        ready.push(w);
+                    }
+                }
+            }
+            debug_assert_eq!(out.len(), n, "input must be acyclic");
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire format (manual serde: the stand-in derive does not do enums).
+
+impl Serialize for ArrivalEvent {
+    fn to_value(&self) -> Value {
+        let obj = |fields: Vec<(&str, Value)>| {
+            Value::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        match self {
+            ArrivalEvent::Arrive {
+                node,
+                work,
+                comm,
+                deps,
+            } => obj(vec![
+                ("ev", Value::Str("arrive".into())),
+                ("node", node.to_value()),
+                ("work", work.to_value()),
+                ("comm", comm.to_value()),
+                ("deps", deps.to_value()),
+            ]),
+            ArrivalEvent::Reveal { from, to } => obj(vec![
+                ("ev", Value::Str("reveal".into())),
+                ("from", from.to_value()),
+                ("to", to.to_value()),
+            ]),
+            ArrivalEvent::Finalize => obj(vec![("ev", Value::Str("finalize".into()))]),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for ArrivalEvent {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let ev: String = field(value, "ev")?;
+        match ev.as_str() {
+            "arrive" => Ok(ArrivalEvent::Arrive {
+                node: field(value, "node")?,
+                work: field(value, "work")?,
+                comm: field(value, "comm")?,
+                deps: field(value, "deps")?,
+            }),
+            "reveal" => Ok(ArrivalEvent::Reveal {
+                from: field(value, "from")?,
+                to: field(value, "to")?,
+            }),
+            "finalize" => Ok(ArrivalEvent::Finalize),
+            other => Err(SerdeError::new(format!(
+                "unknown trace event {other:?} (expected arrive, reveal or finalize)"
+            ))),
+        }
+    }
+}
+
+fn field<'de, T: Deserialize<'de>>(value: &Value, key: &str) -> Result<T, SerdeError> {
+    match value.get(key) {
+        Some(v) => {
+            T::from_value(v).map_err(|e| SerdeError::new(format!("trace field {key:?}: {e}")))
+        }
+        None => Err(SerdeError::new(format!("trace event is missing {key:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{InstanceRegistry, DEFAULT_SEED};
+    use serde::json;
+    use std::collections::HashSet;
+
+    fn sample_dag() -> Dag {
+        InstanceRegistry::standard()
+            .generate_one("spmv?n=24&q=0.3 @ bsp?p=4", DEFAULT_SEED)
+            .unwrap()
+            .dag
+    }
+
+    /// Every generator property the online runtime relies on.
+    fn check_trace(dag: &Dag, trace: &ArrivalTrace, cfg: &TraceConfig) {
+        assert_eq!(trace.arrivals(), dag.n());
+        assert!(matches!(trace.events.last(), Some(ArrivalEvent::Finalize)));
+        let mut arrived: HashSet<u32> = HashSet::new();
+        let mut pos_of = vec![usize::MAX; dag.n()];
+        let mut arrivals = 0usize;
+        let mut edges_seen = HashSet::new();
+        for e in &trace.events {
+            match e {
+                ArrivalEvent::Arrive {
+                    node,
+                    work,
+                    comm,
+                    deps,
+                } => {
+                    assert!(arrived.insert(*node), "node {node} arrived twice");
+                    pos_of[*node as usize] = arrivals;
+                    arrivals += 1;
+                    assert_eq!(*work, dag.work(*node));
+                    assert_eq!(*comm, dag.comm(*node));
+                    for d in deps {
+                        assert!(arrived.contains(d), "dep {d} not yet arrived");
+                        assert!(edges_seen.insert((*d, *node)));
+                    }
+                    // Ready constraint holds over *all* true predecessors.
+                    for &u in dag.predecessors(*node) {
+                        assert!(arrived.contains(&u), "ready constraint broken");
+                    }
+                }
+                ArrivalEvent::Reveal { from, to } => {
+                    assert!(arrived.contains(from) && arrived.contains(to));
+                    assert!(edges_seen.insert((*from, *to)), "edge revealed twice");
+                    // Bounded lateness: the consumer is among the last
+                    // reveal_delay + 1 arrivals.
+                    let lag = arrivals - 1 - pos_of[*to as usize];
+                    assert!(
+                        lag <= cfg.reveal_delay.min(MAX_REVEAL_DELAY) as usize,
+                        "reveal lag {lag} exceeds the configured delay"
+                    );
+                }
+                ArrivalEvent::Finalize => {}
+            }
+        }
+        // The stream reveals exactly the DAG's edge set.
+        let want: HashSet<(u32, u32)> = dag.edges().collect();
+        assert_eq!(edges_seen, want);
+    }
+
+    #[test]
+    fn all_orders_replay_the_full_edge_set() {
+        let dag = sample_dag();
+        for order in ArrivalOrder::ALL {
+            for reveal_frac in [0.0, 0.3] {
+                let cfg = TraceConfig {
+                    order,
+                    reveal_frac,
+                    ..Default::default()
+                };
+                let trace = arrival_trace(&dag, "t", &cfg);
+                check_trace(&dag, &trace, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_seed_sensitive() {
+        let dag = sample_dag();
+        let cfg = TraceConfig {
+            order: ArrivalOrder::ShuffledReady,
+            reveal_frac: 0.25,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = arrival_trace(&dag, "t", &cfg);
+        let b = arrival_trace(&dag, "t", &cfg);
+        assert_eq!(a, b);
+        let c = arrival_trace(&dag, "t", &TraceConfig { seed: 8, ..cfg });
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn layered_order_batches_level_sets() {
+        let dag = sample_dag();
+        let topo = TopoInfo::new(&dag);
+        let trace = arrival_trace(
+            &dag,
+            "t",
+            &TraceConfig {
+                order: ArrivalOrder::LayeredBatch,
+                ..Default::default()
+            },
+        );
+        let mut last_level = 0;
+        for e in &trace.events {
+            if let ArrivalEvent::Arrive { node, .. } = e {
+                let level = topo.level[*node as usize];
+                assert!(level >= last_level, "levels must be non-decreasing");
+                last_level = level;
+            }
+        }
+    }
+
+    #[test]
+    fn order_names_round_trip() {
+        for order in ArrivalOrder::ALL {
+            assert_eq!(ArrivalOrder::parse(order.name()), Some(order));
+        }
+        assert_eq!(ArrivalOrder::parse("nope"), None);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let dag = sample_dag();
+        let trace = arrival_trace(
+            &dag,
+            "spmv",
+            &TraceConfig {
+                order: ArrivalOrder::ShuffledReady,
+                reveal_frac: 0.2,
+                ..Default::default()
+            },
+        );
+        let text = json::to_string(&trace);
+        let back: ArrivalTrace = json::from_str(&text).unwrap();
+        assert_eq!(back, trace);
+        assert!(json::from_str::<ArrivalEvent>("{\"ev\":\"explode\"}").is_err());
+        assert!(json::from_str::<ArrivalEvent>("{\"node\":1}").is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Property tests for the online arrival runtime — the two ISSUE-level
+//! invariants plus the replay/stream equivalences:
+//!
+//! 1. replaying any full `ArrivalTrace` yields a schedule accepted by
+//!    `validate` / `validate_with_memory` (over the revealed DAG and,
+//!    re-expressed via `for_source`, over the source DAG);
+//! 2. the committed prefix is a valid schedule of the revealed subgraph
+//!    after *every* event, the frontier is monotone, and per-batch
+//!    re-planning work never exceeds the configured move budget.
+
+use bsp_dag::random::{random_layered_dag, LayeredConfig};
+use bsp_dag::Dag;
+use bsp_instance::trace::{arrival_trace, ArrivalEvent, ArrivalOrder, TraceConfig};
+use bsp_model::BspParams;
+use bsp_online::{replay, OnlineConfig, OnlineError, OnlineScheduler};
+use bsp_schedule::cost::total_cost;
+use bsp_schedule::prefix::validate_prefix;
+use bsp_schedule::validity::{validate, validate_with_memory};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (0u64..300, 2usize..5, 2usize..5, 0.15f64..0.6).prop_map(|(seed, layers, width, p)| {
+        random_layered_dag(
+            seed,
+            LayeredConfig {
+                layers,
+                width,
+                edge_prob: p,
+                max_work: 7,
+                max_comm: 5,
+            },
+        )
+    })
+}
+
+fn arb_trace_cfg() -> impl Strategy<Value = TraceConfig> {
+    (0usize..3, 0.0f64..0.6, 0u32..8, 0u64..1000).prop_map(|(o, frac, delay, seed)| TraceConfig {
+        order: ArrivalOrder::ALL[o],
+        reveal_frac: frac,
+        reveal_delay: delay,
+        seed,
+    })
+}
+
+/// Deterministic test configuration: a deadline far beyond what any of
+/// these instances need, so the accepted-move cap is the only budget that
+/// ever binds and runs are reproducible.
+fn test_cfg() -> OnlineConfig {
+    let mut cfg = OnlineConfig::default();
+    cfg.batch_size = 4;
+    cfg.budget_per_arrival = Duration::from_secs(5);
+    cfg.moves_per_arrival = Some(32);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: a full-trace replay is a valid schedule of the whole
+    /// DAG, under both the plain and the memory-aware validators, with an
+    /// exactly-reported cost — and it re-expresses losslessly over the
+    /// source instance's node ids.
+    #[test]
+    fn full_trace_replay_is_valid(
+        dag in arb_dag(),
+        tcfg in arb_trace_cfg(),
+        pi in 0usize..2,
+    ) {
+        let p = [2usize, 4][pi];
+        let machine = BspParams::new(p, 1, 3);
+        let trace = arrival_trace(&dag, "prop", &tcfg);
+        let outcome = replay(&trace, &machine, &test_cfg()).unwrap();
+        prop_assert_eq!(outcome.stats.arrivals as usize, dag.n());
+        prop_assert_eq!(outcome.dag.n(), dag.n());
+        prop_assert!(validate(&outcome.dag, p, &outcome.sched, &outcome.comm).is_ok());
+        prop_assert!(
+            validate_with_memory(&outcome.dag, &machine, &outcome.sched, &outcome.comm).is_ok()
+        );
+        prop_assert_eq!(
+            outcome.cost,
+            total_cost(&outcome.dag, &machine, &outcome.sched, &outcome.comm)
+        );
+        let (sched, comm) = outcome.for_source().unwrap();
+        prop_assert!(validate(&dag, p, &sched, &comm).is_ok());
+        prop_assert_eq!(outcome.cost, total_cost(&dag, &machine, &sched, &comm));
+    }
+
+    /// Invariant 2: at every event of the stream the committed prefix is
+    /// a valid schedule of the revealed subgraph, the frontier never
+    /// retreats, and each batch's accepted hill-climbing moves stay
+    /// within `moves_per_arrival × arrivals`.
+    #[test]
+    fn prefix_stays_valid_and_budget_is_respected(
+        dag in arb_dag(),
+        tcfg in arb_trace_cfg(),
+        pi in 0usize..2,
+        ti in 0usize..2,
+    ) {
+        let p = [2usize, 4][pi];
+        let threads = [1usize, 4][ti];
+        let machine = BspParams::new(p, 1, 3);
+        let trace = arrival_trace(&dag, "prop", &tcfg);
+        let mut cfg = test_cfg();
+        cfg.pipeline.threads = threads;
+        let mut sch = OnlineScheduler::new(&machine, cfg.clone()).unwrap();
+        let mut frontier = 0u32;
+        for ev in &trace.events {
+            let report = sch.push(ev).unwrap();
+            prop_assert!(
+                validate_prefix(sch.dag(), p, sch.schedule(), sch.frontier()).is_ok(),
+                "prefix invalid after {:?}", ev
+            );
+            prop_assert!(sch.frontier() >= frontier, "frontier retreated");
+            frontier = sch.frontier();
+            if let Some(r) = report {
+                let cap = cfg.moves_per_arrival.unwrap() as u64
+                    * r.arrivals.max(cfg.batch_size as u64);
+                prop_assert!(
+                    r.hc_moves <= cap,
+                    "batch {} accepted {} moves, budget {}", r.batch, r.hc_moves, cap
+                );
+            }
+        }
+        prop_assert!(sch.is_finalized());
+        let outcome = sch.outcome().unwrap();
+        prop_assert_eq!(outcome.sched.n_supersteps(), sch.frontier());
+        // The suffix view of a finalized stream is empty: all dispatched.
+        prop_assert!(sch.suffix().nodes.is_empty());
+    }
+}
+
+#[test]
+fn replay_equals_manual_pushes() {
+    let dag = random_layered_dag(
+        11,
+        LayeredConfig {
+            layers: 4,
+            width: 4,
+            edge_prob: 0.4,
+            max_work: 7,
+            max_comm: 5,
+        },
+    );
+    let machine = BspParams::new(4, 1, 3);
+    let tcfg = TraceConfig {
+        order: ArrivalOrder::ShuffledReady,
+        reveal_frac: 0.3,
+        reveal_delay: 5,
+        seed: 7,
+    };
+    let trace = arrival_trace(&dag, "manual", &tcfg);
+    let a = replay(&trace, &machine, &test_cfg()).unwrap();
+    let mut sch = OnlineScheduler::new(&machine, test_cfg()).unwrap();
+    for ev in &trace.events {
+        sch.push(ev).unwrap();
+    }
+    let b = sch.outcome().unwrap();
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.sched, b.sched);
+    assert_eq!(a.ext_ids, b.ext_ids);
+}
+
+#[test]
+fn thread_count_does_not_change_the_replayed_schedule() {
+    let dag = random_layered_dag(
+        23,
+        LayeredConfig {
+            layers: 4,
+            width: 4,
+            edge_prob: 0.35,
+            max_work: 6,
+            max_comm: 4,
+        },
+    );
+    let machine = BspParams::new(4, 2, 4);
+    let trace = arrival_trace(&dag, "threads", &TraceConfig::default());
+    let mut one = test_cfg();
+    one.pipeline.threads = 1;
+    let mut four = test_cfg();
+    four.pipeline.threads = 4;
+    let a = replay(&trace, &machine, &one).unwrap();
+    let b = replay(&trace, &machine, &four).unwrap();
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.sched, b.sched);
+}
+
+#[test]
+fn stream_protocol_errors_are_typed() {
+    let machine = BspParams::new(2, 1, 2);
+    let mut sch = OnlineScheduler::new(&machine, test_cfg()).unwrap();
+    sch.push(&ArrivalEvent::Arrive {
+        node: 3,
+        work: 1,
+        comm: 1,
+        deps: vec![],
+    })
+    .unwrap();
+    assert_eq!(
+        sch.push(&ArrivalEvent::Arrive {
+            node: 3,
+            work: 1,
+            comm: 1,
+            deps: vec![]
+        }),
+        Err(OnlineError::DuplicateNode { node: 3 })
+    );
+    assert_eq!(
+        sch.push(&ArrivalEvent::Arrive {
+            node: 4,
+            work: 1,
+            comm: 1,
+            deps: vec![9]
+        }),
+        Err(OnlineError::UnknownNode { node: 9 })
+    );
+    assert_eq!(
+        sch.push(&ArrivalEvent::Reveal { from: 3, to: 8 }),
+        Err(OnlineError::UnknownNode { node: 8 })
+    );
+    sch.push(&ArrivalEvent::Finalize).unwrap();
+    assert_eq!(
+        sch.push(&ArrivalEvent::Finalize),
+        Err(OnlineError::Finalized)
+    );
+}
+
+#[test]
+fn memory_bounded_machines_are_rejected() {
+    use bsp_instance::MachineSpec;
+    let machine = MachineSpec::parse("bsp?p=2&mem=64").unwrap().build();
+    assert!(
+        machine.memory().is_some(),
+        "spec should carry a memory bound"
+    );
+    assert_eq!(
+        OnlineScheduler::new(&machine, test_cfg()).err(),
+        Some(OnlineError::UnsupportedMachine)
+    );
+}
+
+#[test]
+fn empty_stream_finalizes_cleanly() {
+    let machine = BspParams::new(2, 1, 2);
+    let mut sch = OnlineScheduler::new(&machine, test_cfg()).unwrap();
+    sch.push(&ArrivalEvent::Finalize).unwrap();
+    let outcome = sch.outcome().unwrap();
+    assert_eq!(outcome.dag.n(), 0);
+    assert_eq!(outcome.cost, 0);
+}

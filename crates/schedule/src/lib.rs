@@ -41,6 +41,7 @@ pub mod cost;
 pub mod events;
 pub mod export;
 pub mod memory;
+pub mod prefix;
 pub mod schedule;
 pub mod scheduler;
 pub mod solve;
@@ -57,6 +58,7 @@ pub use memory::{
     memory_cost, memory_violations, min_repairable_capacity, node_working_set, simulate_memory,
     MemoryReport, MemoryViolation, RefetchEvent,
 };
+pub use prefix::{split_at, validate_prefix, PrefixViolation};
 pub use schedule::BspSchedule;
 pub use scheduler::{ScheduleResult, Scheduler, SchedulerKind};
 pub use solve::{

@@ -1,0 +1,252 @@
+//! Committed-prefix semantics for online scheduling.
+//!
+//! An online scheduler dispatches supersteps as real time passes: once the
+//! machine has *executed* superstep `s`, the assignment of every node in
+//! supersteps `0..s` is frozen. This module gives that boundary a name —
+//! the **commit frontier** `F` — and the split it induces:
+//!
+//! * the **committed prefix**: nodes with `τ(v) < F`, immutable;
+//! * the **tentative suffix**: nodes with `τ(v) ≥ F`, free to be
+//!   rewritten by later re-planning.
+//!
+//! [`validate_prefix`] checks the invariant the `bsp-online` runtime
+//! maintains at every arrival event: the committed prefix is a valid
+//! (lazy-Γ) schedule of the revealed subgraph. Concretely, every edge into
+//! a committed consumer must (a) come from a committed producer — the
+//! machine cannot execute a superstep whose input has not even been
+//! scheduled — and (b) satisfy the lazy precedence rule (same processor:
+//! `τ(u) ≤ τ(v)`; cross-processor: `τ(u) < τ(v)`).
+//!
+//! With `frontier ≥ n_supersteps` every node is committed and the check
+//! degenerates to full lazy validation; with `frontier == 0` it is
+//! trivially satisfied.
+//!
+//! ```
+//! use bsp_dag::DagBuilder;
+//! use bsp_schedule::prefix::{split_at, validate_prefix};
+//! use bsp_schedule::BspSchedule;
+//!
+//! let mut b = DagBuilder::new();
+//! let u = b.add_node(1, 1);
+//! let v = b.add_node(1, 1);
+//! b.add_edge(u, v).unwrap();
+//! let dag = b.build().unwrap();
+//!
+//! // u committed in superstep 0, v tentative in superstep 1.
+//! let sched = BspSchedule::from_parts(vec![0, 1], vec![0, 1]);
+//! assert!(validate_prefix(&dag, 2, &sched, 1).is_ok());
+//! let (committed, tentative) = split_at(&sched, 1);
+//! assert_eq!(committed, vec![0]);
+//! assert_eq!(tentative, vec![1]);
+//! ```
+
+use crate::schedule::BspSchedule;
+use bsp_dag::{Dag, NodeId};
+use std::fmt;
+
+/// Why a committed prefix is not a valid schedule of the revealed
+/// subgraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixViolation {
+    /// A committed node is assigned to a processor outside `0..p`.
+    ProcOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Its processor assignment.
+        proc: u32,
+    },
+    /// An edge into a committed consumer comes from a tentative (or
+    /// later-revealed) producer: the dispatched superstep would read data
+    /// that is not scheduled before the frontier.
+    ProducerTentative {
+        /// Producer endpoint (tentative).
+        from: NodeId,
+        /// Consumer endpoint (committed).
+        to: NodeId,
+    },
+    /// An edge between two committed nodes breaks the lazy precedence
+    /// rule (same processor: `τ(u) ≤ τ(v)`; cross-processor:
+    /// `τ(u) < τ(v)`).
+    EdgeViolation {
+        /// Producer endpoint.
+        from: NodeId,
+        /// Consumer endpoint.
+        to: NodeId,
+        /// Producer superstep.
+        from_step: u32,
+        /// Consumer superstep.
+        to_step: u32,
+    },
+}
+
+impl fmt::Display for PrefixViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixViolation::ProcOutOfRange { node, proc } => {
+                write!(f, "committed node {node} on out-of-range processor {proc}")
+            }
+            PrefixViolation::ProducerTentative { from, to } => {
+                write!(
+                    f,
+                    "committed node {to} reads tentative producer {from} \
+                     (edge crosses the commit frontier backwards)"
+                )
+            }
+            PrefixViolation::EdgeViolation {
+                from,
+                to,
+                from_step,
+                to_step,
+            } => {
+                write!(
+                    f,
+                    "committed edge ({from},{to}) breaks precedence: \
+                     producer in superstep {from_step}, consumer in {to_step}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefixViolation {}
+
+/// Checks that the committed prefix of `sched` (nodes with
+/// `τ(v) < frontier`) is a valid lazy-Γ schedule of the revealed subgraph
+/// `dag`. See the module docs for the exact conditions.
+pub fn validate_prefix(
+    dag: &Dag,
+    p: usize,
+    sched: &BspSchedule,
+    frontier: u32,
+) -> Result<(), PrefixViolation> {
+    debug_assert_eq!(sched.n(), dag.n(), "schedule must cover the revealed DAG");
+    for v in dag.nodes() {
+        if sched.step(v) >= frontier {
+            continue;
+        }
+        if sched.proc(v) as usize >= p {
+            return Err(PrefixViolation::ProcOutOfRange {
+                node: v,
+                proc: sched.proc(v),
+            });
+        }
+        for &u in dag.predecessors(v) {
+            if sched.step(u) >= frontier {
+                return Err(PrefixViolation::ProducerTentative { from: u, to: v });
+            }
+            let ok = if sched.proc(u) == sched.proc(v) {
+                sched.step(u) <= sched.step(v)
+            } else {
+                sched.step(u) < sched.step(v)
+            };
+            if !ok {
+                return Err(PrefixViolation::EdgeViolation {
+                    from: u,
+                    to: v,
+                    from_step: sched.step(u),
+                    to_step: sched.step(v),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits the nodes of `sched` at the commit frontier: `(committed,
+/// tentative)`, each in ascending node id. Committed nodes are those with
+/// `τ(v) < frontier`.
+pub fn split_at(sched: &BspSchedule, frontier: u32) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut committed = Vec::new();
+    let mut tentative = Vec::new();
+    for v in 0..sched.n() as NodeId {
+        if sched.step(v) < frontier {
+            committed.push(v);
+        } else {
+            tentative.push(v);
+        }
+    }
+    (committed, tentative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::validate_lazy;
+    use bsp_dag::DagBuilder;
+
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_node(1, 1)).collect();
+        b.add_edge(v[0], v[1]).unwrap();
+        b.add_edge(v[1], v[2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn frontier_zero_is_trivially_valid() {
+        let dag = chain3();
+        // Even a wildly invalid schedule has a valid (empty) prefix.
+        let broken = BspSchedule::from_parts(vec![0, 1, 0], vec![5, 0, 0]);
+        assert!(validate_prefix(&dag, 2, &broken, 0).is_ok());
+    }
+
+    #[test]
+    fn full_frontier_matches_lazy_validation() {
+        let dag = chain3();
+        let good = BspSchedule::from_parts(vec![0, 0, 1], vec![0, 1, 2]);
+        let bad = BspSchedule::from_parts(vec![0, 1, 0], vec![0, 0, 1]);
+        for sched in [&good, &bad] {
+            let frontier = sched.n_supersteps();
+            assert_eq!(
+                validate_prefix(&dag, 2, sched, frontier).is_ok(),
+                validate_lazy(&dag, 2, sched).is_ok(),
+            );
+        }
+    }
+
+    #[test]
+    fn tentative_producer_into_committed_consumer_is_rejected() {
+        let dag = chain3();
+        // Node 1 committed (step 0) but its producer 0 sits at step 2.
+        let sched = BspSchedule::from_parts(vec![0, 0, 0], vec![2, 0, 2]);
+        assert_eq!(
+            validate_prefix(&dag, 1, &sched, 1),
+            Err(PrefixViolation::ProducerTentative { from: 0, to: 1 })
+        );
+        // With everything tentative the same schedule passes.
+        assert!(validate_prefix(&dag, 1, &sched, 0).is_ok());
+    }
+
+    #[test]
+    fn committed_edge_violation_is_reported() {
+        let dag = chain3();
+        // Cross-processor edge (0,1) in the same committed superstep.
+        let sched = BspSchedule::from_parts(vec![0, 1, 1], vec![0, 0, 5]);
+        assert_eq!(
+            validate_prefix(&dag, 2, &sched, 1),
+            Err(PrefixViolation::EdgeViolation {
+                from: 0,
+                to: 1,
+                from_step: 0,
+                to_step: 0
+            })
+        );
+        // Out-of-range processor on a committed node.
+        let sched = BspSchedule::from_parts(vec![7, 0, 0], vec![0, 1, 2]);
+        assert_eq!(
+            validate_prefix(&dag, 2, &sched, 1),
+            Err(PrefixViolation::ProcOutOfRange { node: 0, proc: 7 })
+        );
+    }
+
+    #[test]
+    fn split_partitions_by_step() {
+        let sched = BspSchedule::from_parts(vec![0, 1, 0, 1], vec![0, 2, 1, 3]);
+        let (committed, tentative) = split_at(&sched, 2);
+        assert_eq!(committed, vec![0, 2]);
+        assert_eq!(tentative, vec![1, 3]);
+        let (all, none) = split_at(&sched, 4);
+        assert_eq!(all.len(), 4);
+        assert!(none.is_empty());
+    }
+}

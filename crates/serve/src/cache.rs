@@ -104,15 +104,26 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries currently stored.
     pub len: u64,
+    /// Entries evicted by the LRU cap.
+    pub evictions: u64,
 }
 
 /// The spec-keyed result store. Not internally synchronized — the server
-/// wraps it in a `Mutex`.
+/// wraps it in a `Mutex`. An optional LRU entry cap (`--store-cap`)
+/// bounds its size: recency is tracked per lookup/insert and the
+/// least-recently-used entry is dropped when an insert overflows the cap.
 #[derive(Debug, Default)]
 pub struct ResultStore {
     map: HashMap<String, CachedResult>,
+    /// Entry cap; `None` = unbounded (the default).
+    cap: Option<usize>,
+    /// Logical clock for LRU recency (ticks on get/insert).
+    tick: u64,
+    /// Key → last-used tick.
+    recency: HashMap<String, u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     dirty: bool,
 }
 
@@ -120,6 +131,42 @@ impl ResultStore {
     /// An empty store.
     pub fn new() -> Self {
         ResultStore::default()
+    }
+
+    /// Sets the LRU entry cap (`None` = unbounded), evicting down to it
+    /// immediately if the store already overflows.
+    pub fn set_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.enforce_cap();
+    }
+
+    /// The configured entry cap.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    fn touch(&mut self, key: &str) {
+        self.tick += 1;
+        self.recency.insert(key.to_string(), self.tick);
+    }
+
+    /// Evicts least-recently-used entries until the cap holds. Entries
+    /// never looked up rank oldest (tick 0); composite-key order breaks
+    /// ties for determinism.
+    fn enforce_cap(&mut self) {
+        let Some(cap) = self.cap else { return };
+        while self.map.len() > cap {
+            let victim = self
+                .map
+                .keys()
+                .min_by_key(|k| (self.recency.get(*k).copied().unwrap_or(0), (*k).clone()))
+                .cloned()
+                .expect("len > cap ≥ 0 implies non-empty");
+            self.map.remove(&victim);
+            self.recency.remove(&victim);
+            self.evictions += 1;
+            self.dirty = true;
+        }
     }
 
     /// Loads a store from `path`. A missing file yields an empty store;
@@ -165,12 +212,16 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Looks up `key`, counting the hit or miss.
+    /// Looks up `key`, counting the hit or miss and refreshing the
+    /// entry's LRU recency.
     pub fn get(&mut self, key: &ResultKey) -> Option<CachedResult> {
-        match self.map.get(&key.composite()) {
+        let composite = key.composite();
+        match self.map.get(&composite) {
             Some(e) => {
+                let e = e.clone();
                 self.hits += 1;
-                Some(e.clone())
+                self.touch(&composite);
+                Some(e)
             }
             None => {
                 self.misses += 1;
@@ -185,10 +236,14 @@ impl ResultStore {
         self.map.get(&key.composite())
     }
 
-    /// Inserts (or replaces) an entry and marks the store dirty.
+    /// Inserts (or replaces) an entry, marks the store dirty and evicts
+    /// the least-recently-used entry if the cap overflows.
     pub fn insert(&mut self, entry: CachedResult) {
-        self.map.insert(entry.key().composite(), entry);
+        let composite = entry.key().composite();
+        self.map.insert(composite.clone(), entry);
+        self.touch(&composite);
         self.dirty = true;
+        self.enforce_cap();
     }
 
     /// Whether there are unsaved changes.
@@ -202,6 +257,7 @@ impl ResultStore {
             hits: self.hits,
             misses: self.misses,
             len: self.map.len() as u64,
+            evictions: self.evictions,
         }
     }
 }
@@ -305,6 +361,32 @@ mod tests {
         std::fs::write(&corrupt, "{not json").unwrap();
         assert!(ResultStore::load(&corrupt).is_err());
         let _ = std::fs::remove_file(&corrupt);
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used() {
+        let mut store = ResultStore::new();
+        store.set_cap(Some(2));
+        store.insert(entry("a", "etf", 1));
+        store.insert(entry("b", "etf", 2));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(store.get(&entry("a", "etf", 1).key()).is_some());
+        store.insert(entry("c", "etf", 3));
+        assert_eq!(store.stats().len, 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.peek(&entry("b", "etf", 2).key()).is_none());
+        assert!(store.peek(&entry("a", "etf", 1).key()).is_some());
+        assert!(store.peek(&entry("c", "etf", 3).key()).is_some());
+
+        // Shrinking the cap evicts down immediately.
+        store.set_cap(Some(1));
+        assert_eq!(store.stats().len, 1);
+        assert_eq!(store.stats().evictions, 2);
+        // Unbounded again: inserts accumulate freely.
+        store.set_cap(None);
+        store.insert(entry("d", "etf", 4));
+        store.insert(entry("e", "etf", 5));
+        assert_eq!(store.stats().len, 3);
     }
 
     #[test]

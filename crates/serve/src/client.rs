@@ -3,6 +3,7 @@
 
 use crate::protocol::{parse_line, to_line, Frame, Request, ServerStats, MAX_LINE};
 use crate::protocol::{read_line_capped, LineRead};
+use bsp_instance::trace::ArrivalEvent;
 use bsp_instance::DagEdit;
 use bsp_schedule::events::SolveEvent;
 use std::io::{BufReader, Write};
@@ -221,6 +222,43 @@ impl Client {
         req.label = params.label.clone();
         req.stream = if params.stream { Some(true) } else { None };
         self.request(req)
+    }
+
+    /// Opens a stream session: `machine_spec` names the target machine
+    /// (`"bsp?p=4&g=1&l=5"`), `budget_ms` the per-arrival re-planning
+    /// budget (`None` = server default).
+    pub fn stream_open(
+        &mut self,
+        session: &str,
+        machine_spec: &str,
+        budget_ms: Option<u64>,
+    ) -> Result<Frame, ClientError> {
+        let mut req = Request::new("stream_open");
+        req.session = Some(session.to_string());
+        req.instance = Some(machine_spec.to_string());
+        req.budget_ms = budget_ms;
+        Ok(self.request(req)?.result)
+    }
+
+    /// Pushes an arrival-event batch into an open session; the returned
+    /// frame carries the updated tentative suffix.
+    pub fn stream_push(
+        &mut self,
+        session: &str,
+        events: &[ArrivalEvent],
+    ) -> Result<Frame, ClientError> {
+        let mut req = Request::new("stream_push");
+        req.session = Some(session.to_string());
+        req.events = Some(events.to_vec());
+        Ok(self.request(req)?.result)
+    }
+
+    /// Finalizes and closes a session; the returned `result` frame
+    /// carries the total cost and the full final assignment.
+    pub fn stream_close(&mut self, session: &str) -> Result<Frame, ClientError> {
+        let mut req = Request::new("stream_close");
+        req.session = Some(session.to_string());
+        Ok(self.request(req)?.result)
     }
 
     /// Sends a raw line (not necessarily valid JSON) and reads one frame

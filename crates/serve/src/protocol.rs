@@ -18,6 +18,7 @@
 //! vendored serde would instead demand every key, which is wrong for a
 //! wire format that must accept hand-written requests).
 
+use bsp_instance::trace::ArrivalEvent;
 use bsp_instance::DagEdit;
 use bsp_schedule::events::{SolveEvent, StageReportWire};
 use serde::{json, Deserialize, Error as SerdeError, Serialize, Value};
@@ -47,21 +48,31 @@ pub mod codes {
     pub const QUEUE_FULL: &str = "queue_full";
     /// The server is draining and accepts no new work.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A stream request referenced a session this connection never opened
+    /// (or already closed).
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+    /// An arrival event was rejected by the online scheduler (duplicate
+    /// node, unknown dependency, commit conflict, event after finalize).
+    pub const BAD_EVENT: &str = "bad_event";
 }
 
 /// One client request. `method` selects the operation; the remaining
 /// fields are method-specific and optional on the wire:
 ///
-/// | method     | uses                                                    |
-/// |------------|---------------------------------------------------------|
-/// | `solve`    | `instance` (required), `sched`, `budget_ms`, `seed`, `stream` |
-/// | `delta`    | `base` (required), `edits` (required), `label`, `sched`, `budget_ms`, `seed`, `stream` |
-/// | `stats`    | —                                                       |
-/// | `ping`     | —                                                       |
-/// | `shutdown` | —                                                       |
+/// | method         | uses                                                |
+/// |----------------|-----------------------------------------------------|
+/// | `solve`        | `instance` (required), `sched`, `budget_ms`, `seed`, `stream` |
+/// | `delta`        | `base` (required), `edits` (required), `label`, `sched`, `budget_ms`, `seed`, `stream` |
+/// | `stream_open`  | `session` (required), `instance` = machine spec (required), `budget_ms` = per-arrival |
+/// | `stream_push`  | `session` (required), `events` (required)           |
+/// | `stream_close` | `session` (required)                                |
+/// | `stats`        | —                                                   |
+/// | `ping`         | —                                                   |
+/// | `shutdown`     | —                                                   |
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Request {
-    /// `"solve"`, `"delta"`, `"stats"`, `"ping"` or `"shutdown"`.
+    /// `"solve"`, `"delta"`, `"stream_open"`, `"stream_push"`,
+    /// `"stream_close"`, `"stats"`, `"ping"` or `"shutdown"`.
     pub method: String,
     /// Client-chosen correlation id, echoed on every response frame.
     pub id: Option<u64>,
@@ -81,6 +92,10 @@ pub struct Request {
     pub edits: Option<Vec<DagEdit>>,
     /// Optional alias under which the edited instance is re-cached.
     pub label: Option<String>,
+    /// Connection-scoped stream session name (`stream_*` methods).
+    pub session: Option<String>,
+    /// Arrival events a `stream_push` feeds, in order.
+    pub events: Option<Vec<ArrivalEvent>>,
 }
 
 impl Request {
@@ -106,6 +121,8 @@ impl Serialize for Request {
         push_opt(&mut fields, "base", &self.base);
         push_opt(&mut fields, "edits", &self.edits);
         push_opt(&mut fields, "label", &self.label);
+        push_opt(&mut fields, "session", &self.session);
+        push_opt(&mut fields, "events", &self.events);
         Value::Object(fields)
     }
 }
@@ -126,13 +143,20 @@ impl<'de> Deserialize<'de> for Request {
             base: opt_field(value, "base")?,
             edits: opt_field(value, "edits")?,
             label: opt_field(value, "label")?,
+            session: opt_field(value, "session")?,
+            events: opt_field(value, "events")?,
         })
     }
 }
 
 /// One server response frame. `kind` is `"result"`, `"error"`, `"event"`,
-/// `"stats"`, `"pong"` or `"bye"`; the remaining fields are kind-specific
-/// and omitted when `None`.
+/// `"stream"`, `"stats"`, `"pong"` or `"bye"`; the remaining fields are
+/// kind-specific and omitted when `None`. A `"stream"` frame carries the
+/// updated tentative suffix after a `stream_open`/`stream_push`: the
+/// commit `frontier` plus the parallel `suffix_nodes`/`suffix_procs`/
+/// `suffix_steps` arrays (trace-level node ids). The `"result"` frame of
+/// a `stream_close` reuses the same three arrays for the *full* final
+/// assignment.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Frame {
     /// Frame kind (see type docs).
@@ -167,6 +191,19 @@ pub struct Frame {
     pub event: Option<SolveEvent>,
     /// Server statistics (stats frames).
     pub stats: Option<ServerStats>,
+    /// Stream session the frame belongs to (stream frames).
+    pub session: Option<String>,
+    /// Commit frontier after the push (stream frames).
+    pub frontier: Option<u64>,
+    /// Total arrivals integrated so far (stream frames).
+    pub arrivals: Option<u64>,
+    /// Trace-level ids of the tentative nodes (stream frames) or of all
+    /// nodes (stream_close result).
+    pub suffix_nodes: Option<Vec<u32>>,
+    /// Processor assignment parallel to `suffix_nodes`.
+    pub suffix_procs: Option<Vec<u32>>,
+    /// Superstep assignment parallel to `suffix_nodes`.
+    pub suffix_steps: Option<Vec<u32>>,
 }
 
 impl Frame {
@@ -211,6 +248,12 @@ impl Serialize for Frame {
         push_opt(&mut fields, "message", &self.message);
         push_opt(&mut fields, "event", &self.event);
         push_opt(&mut fields, "stats", &self.stats);
+        push_opt(&mut fields, "session", &self.session);
+        push_opt(&mut fields, "frontier", &self.frontier);
+        push_opt(&mut fields, "arrivals", &self.arrivals);
+        push_opt(&mut fields, "suffix_nodes", &self.suffix_nodes);
+        push_opt(&mut fields, "suffix_procs", &self.suffix_procs);
+        push_opt(&mut fields, "suffix_steps", &self.suffix_steps);
         Value::Object(fields)
     }
 }
@@ -237,6 +280,12 @@ impl<'de> Deserialize<'de> for Frame {
             message: opt_field(value, "message")?,
             event: opt_field(value, "event")?,
             stats: opt_field(value, "stats")?,
+            session: opt_field(value, "session")?,
+            frontier: opt_field(value, "frontier")?,
+            arrivals: opt_field(value, "arrivals")?,
+            suffix_nodes: opt_field(value, "suffix_nodes")?,
+            suffix_procs: opt_field(value, "suffix_procs")?,
+            suffix_steps: opt_field(value, "suffix_steps")?,
         })
     }
 }
@@ -250,6 +299,8 @@ pub struct ServerStats {
     pub hits: u64,
     /// Result-store lookups that missed.
     pub misses: u64,
+    /// Result-store entries evicted by the LRU cap (`--store-cap`).
+    pub evictions: u64,
     /// Instances currently in the in-memory instance cache.
     pub cached_instances: u64,
     /// Jobs fully processed since startup.

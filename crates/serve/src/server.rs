@@ -31,7 +31,8 @@ use crate::queue::{JobQueue, PushError};
 use bsp_core::pipeline::PipelineConfig;
 use bsp_core::{solve_warm_pipeline, warm_start_from_map};
 use bsp_instance::source::{InstanceRegistry, DEFAULT_SEED};
-use bsp_instance::{apply_edits, Instance};
+use bsp_instance::{apply_edits, Instance, MachineSpec};
+use bsp_online::{OnlineConfig, OnlineScheduler};
 use bsp_par::CancelToken;
 use bsp_sched::race::RACE_PREFIX;
 use bsp_sched::registry::Registry;
@@ -40,6 +41,7 @@ use bsp_schedule::scheduler::ScheduleResult;
 use bsp_schedule::solve::{Budget, SolveCx, SolveOutcome, SolveRequest};
 use bsp_schedule::spec::SchedulerSpec;
 use bsp_schedule::BspSchedule;
+use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -62,6 +64,9 @@ pub struct ServeConfig {
     /// Persist the result store here (loaded at startup, flushed on
     /// shutdown). `None` = in-memory only.
     pub store_path: Option<PathBuf>,
+    /// LRU entry cap of the result store (`--store-cap`); `None` =
+    /// unbounded (the default). Evictions are counted in `stats`.
+    pub store_cap: Option<usize>,
     /// Default per-request wall-clock budget when a request names none.
     /// `None` = unlimited (not recommended for a shared server).
     pub default_budget_ms: Option<u64>,
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             threads: 0,
             queue_cap: 64,
             store_path: None,
+            store_cap: None,
             default_budget_ms: Some(2000),
             default_sched: "pipeline/base?ilp=off".to_string(),
             pipeline,
@@ -137,6 +143,7 @@ impl Shared {
             cached_results: s.len,
             hits: s.hits,
             misses: s.misses,
+            evictions: s.evictions,
             cached_instances: self.icache.lock().unwrap().len() as u64,
             jobs_done: self.jobs_done.load(Ordering::Relaxed),
             queued: self.queue.len() as u64,
@@ -206,11 +213,12 @@ impl ServerHandle {
 /// Starts the daemon: binds `cfg.addr`, loads the persisted store (if
 /// any), spawns the worker pool and the accept loop, and returns.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
-    let store = match &cfg.store_path {
+    let mut store = match &cfg.store_path {
         Some(path) => ResultStore::load(path)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
         None => ResultStore::new(),
     };
+    store.set_cap(cfg.store_cap);
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -347,6 +355,10 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
     // Connection token: child of the server's stop token; cancelled when
     // the client goes away, which cancels every job spawned from here.
     let conn_token = shared.stop.child();
+    // Stream sessions are connection-scoped and handled inline on this
+    // reader thread: events of one session are naturally ordered, and a
+    // vanished client takes its sessions with it.
+    let mut sessions: HashMap<String, OnlineScheduler> = HashMap::new();
 
     loop {
         let line = match read_line_capped(&mut reader, shared.cfg.max_line) {
@@ -404,6 +416,9 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
                 );
                 shared.begin_shutdown();
             }
+            "stream_open" => send(&out, &handle_stream_open(&shared, &mut sessions, &req)),
+            "stream_push" => send(&out, &handle_stream_push(&mut sessions, &req)),
+            "stream_close" => send(&out, &handle_stream_close(&mut sessions, &req)),
             "solve" | "delta" => {
                 if shared.stop.is_cancelled() {
                     send(
@@ -437,6 +452,156 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
     }
     // Client gone: wind down anything still running for this connection.
     conn_token.cancel();
+}
+
+/// Opens a stream session: `instance` carries the *machine* spec
+/// (`"bsp?p=4&g=1&l=5"`) — the DAG side arrives event by event —
+/// and `budget_ms` is the per-arrival re-planning budget.
+fn handle_stream_open(
+    shared: &Shared,
+    sessions: &mut HashMap<String, OnlineScheduler>,
+    req: &Request,
+) -> Frame {
+    let id = req.id;
+    let Some(session) = req.session.as_deref() else {
+        return Frame::error(id, codes::MISSING_FIELD, "stream_open requires \"session\"");
+    };
+    let Some(machine_spec) = req.instance.as_deref() else {
+        return Frame::error(
+            id,
+            codes::MISSING_FIELD,
+            "stream_open requires \"instance\" (a machine spec like \"bsp?p=4\")",
+        );
+    };
+    if sessions.contains_key(session) {
+        return Frame::error(
+            id,
+            codes::BAD_SPEC,
+            format!("session {session:?} is already open on this connection"),
+        );
+    }
+    let machine = match MachineSpec::parse(machine_spec) {
+        Ok(m) => m.build(),
+        Err(e) => return Frame::error(id, codes::BAD_SPEC, e.to_string()),
+    };
+    let mut cfg = OnlineConfig::default();
+    cfg.pipeline = shared.cfg.pipeline.clone();
+    cfg.pipeline.enable_ilp = false;
+    if let Some(ms) = req.budget_ms {
+        cfg.budget_per_arrival = Duration::from_millis(ms);
+    }
+    let scheduler = match OnlineScheduler::new(&machine, cfg) {
+        Ok(s) => s,
+        Err(e) => return Frame::error(id, codes::BAD_SPEC, e.to_string()),
+    };
+    sessions.insert(session.to_string(), scheduler);
+    Frame {
+        kind: "stream".to_string(),
+        id,
+        session: Some(session.to_string()),
+        frontier: Some(0),
+        arrivals: Some(0),
+        ..Frame::default()
+    }
+}
+
+/// Feeds an event batch into a session and answers with the updated
+/// tentative suffix. Any partial arrival batch is flushed, so the frame
+/// always reflects every event of the request.
+fn handle_stream_push(sessions: &mut HashMap<String, OnlineScheduler>, req: &Request) -> Frame {
+    let start = Instant::now();
+    let id = req.id;
+    let Some(session) = req.session.as_deref() else {
+        return Frame::error(id, codes::MISSING_FIELD, "stream_push requires \"session\"");
+    };
+    let events = match req.events.as_ref() {
+        Some(e) if !e.is_empty() => e,
+        _ => {
+            return Frame::error(
+                id,
+                codes::MISSING_FIELD,
+                "stream_push requires a non-empty \"events\" array",
+            )
+        }
+    };
+    let Some(sch) = sessions.get_mut(session) else {
+        return Frame::error(
+            id,
+            codes::UNKNOWN_SESSION,
+            format!("no open session {session:?} on this connection"),
+        );
+    };
+    for ev in events {
+        if let Err(e) = sch.push(ev) {
+            return Frame::error(id, codes::BAD_EVENT, e.to_string());
+        }
+    }
+    if let Err(e) = sch.flush() {
+        return Frame::error(id, codes::BAD_EVENT, e.to_string());
+    }
+    let suffix = sch.suffix();
+    let stats = sch.stats();
+    let mut frame = Frame {
+        kind: "stream".to_string(),
+        id,
+        session: Some(session.to_string()),
+        frontier: Some(suffix.frontier as u64),
+        arrivals: Some(stats.arrivals),
+        supersteps: Some(sch.schedule().n_supersteps() as u64),
+        suffix_nodes: Some(suffix.nodes),
+        suffix_procs: Some(suffix.procs),
+        suffix_steps: Some(suffix.steps),
+        elapsed_us: Some(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
+        ..Frame::default()
+    };
+    frame.cost = match sch.outcome() {
+        Some(outcome) => Some(outcome.cost),
+        None => stats.batches.last().map(|b| b.cost),
+    };
+    frame
+}
+
+/// Finalizes a session (if the client did not already push `Finalize`)
+/// and answers with the sealed result: total cost and the full final
+/// assignment, in trace-level node ids.
+fn handle_stream_close(sessions: &mut HashMap<String, OnlineScheduler>, req: &Request) -> Frame {
+    let start = Instant::now();
+    let id = req.id;
+    let Some(session) = req.session.as_deref() else {
+        return Frame::error(
+            id,
+            codes::MISSING_FIELD,
+            "stream_close requires \"session\"",
+        );
+    };
+    let Some(mut sch) = sessions.remove(session) else {
+        return Frame::error(
+            id,
+            codes::UNKNOWN_SESSION,
+            format!("no open session {session:?} on this connection"),
+        );
+    };
+    if !sch.is_finalized() {
+        if let Err(e) = sch.push(&bsp_instance::trace::ArrivalEvent::Finalize) {
+            return Frame::error(id, codes::BAD_EVENT, e.to_string());
+        }
+    }
+    let outcome = sch.outcome().expect("finalized stream has an outcome");
+    let n = outcome.dag.n() as u32;
+    Frame {
+        kind: "result".to_string(),
+        id,
+        session: Some(session.to_string()),
+        cost: Some(outcome.cost),
+        supersteps: Some(outcome.sched.n_supersteps() as u64),
+        frontier: Some(outcome.sched.n_supersteps() as u64),
+        arrivals: Some(outcome.stats.arrivals),
+        suffix_nodes: Some(outcome.ext_ids.clone()),
+        suffix_procs: Some((0..n).map(|v| outcome.sched.proc(v)).collect()),
+        suffix_steps: Some((0..n).map(|v| outcome.sched.step(v)).collect()),
+        elapsed_us: Some(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
+        ..Frame::default()
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>) {
