@@ -1,0 +1,62 @@
+//! Observability overhead guard: the fully instrumented solve pipeline
+//! (a [`TracingObserver`] recording spans and per-stage histograms) must
+//! cost within 2% of the same pipeline under the default no-op observer.
+//!
+//! The guard *asserts* before timing, interleaving best-of-N pairs so a
+//! scheduler hiccup hits both sides equally: if the instrumented minimum
+//! exceeds `noop_min * 1.02 + 2ms`, the bench run fails — which is how
+//! CI (release, `-- --test`) enforces the budget rather than just
+//! charting it. Both sides pay the always-on pipeline spans and local-
+//! search counters (single relaxed atomics, flushed per scan); the delta
+//! measured here is the observer bridge itself.
+
+use bsp_bench::{bench_pipeline_cfg, machine, medium_instance};
+use bsp_core::pipeline::solve_base_pipeline;
+use bsp_schedule::obs::TracingObserver;
+use bsp_schedule::solve::{SolveCx, SolveRequest};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn run_pipeline(observer: Option<&TracingObserver>) -> Duration {
+    let dag = medium_instance();
+    let m = machine(8, 2);
+    let cfg = bench_pipeline_cfg(false);
+    let mut req = SolveRequest::new(&dag, &m);
+    if let Some(obs) = observer {
+        req = req.with_observer(obs);
+    }
+    let mut cx = SolveCx::new("pipeline/base", &req);
+    let t = Instant::now();
+    black_box(solve_base_pipeline(&dag, &m, &cfg, &mut cx));
+    t.elapsed()
+}
+
+/// Best-of-N interleaved comparison; panics if instrumentation costs
+/// more than 2% (plus a 2ms absolute epsilon for timer noise).
+fn assert_overhead_within_bounds() {
+    let obs = TracingObserver::new();
+    let (mut noop_best, mut traced_best) = (Duration::MAX, Duration::MAX);
+    for _ in 0..5 {
+        noop_best = noop_best.min(run_pipeline(None));
+        traced_best = traced_best.min(run_pipeline(Some(&obs)));
+    }
+    let bound = noop_best + noop_best / 50 + Duration::from_millis(2);
+    assert!(
+        traced_best <= bound,
+        "instrumented pipeline {traced_best:?} exceeds noop {noop_best:?} + 2% + 2ms"
+    );
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    assert_overhead_within_bounds();
+    let obs = TracingObserver::new();
+    let mut g = c.benchmark_group("obs_overhead/pipeline");
+    g.sample_size(10);
+    g.bench_function("noop", |b| b.iter(|| black_box(run_pipeline(None))));
+    g.bench_function("traced", |b| b.iter(|| black_box(run_pipeline(Some(&obs)))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -58,6 +58,17 @@ pub fn hill_climb_from(
     cfg: &HillClimbConfig,
     floor: u32,
 ) -> HillClimbStats {
+    let stats = hill_climb_from_inner(state, cfg, floor);
+    // One flush per run: the sweeps themselves stay counter-free.
+    crate::obs::ls_metrics().moves.add(stats.accepted as u64);
+    stats
+}
+
+fn hill_climb_from_inner(
+    state: &mut ScheduleState<'_>,
+    cfg: &HillClimbConfig,
+    floor: u32,
+) -> HillClimbStats {
     let deadline = cfg.time_limit.map(|t| Instant::now() + t);
     let max_moves = cfg.max_moves.unwrap_or(usize::MAX);
     let n = state.dag().n() as u32;

@@ -54,6 +54,7 @@ pub mod ilp;
 pub mod init;
 pub mod memrepair;
 pub mod multilevel;
+pub(crate) mod obs;
 pub mod pipeline;
 pub mod reference;
 pub mod schedulers;

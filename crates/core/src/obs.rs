@@ -1,0 +1,28 @@
+//! Process-global operation counters for the local-search kernels.
+//!
+//! The hot loops (probe scans, greedy sweeps) tally into locals and
+//! flush once per scan/call with a single relaxed `fetch_add`, so the
+//! counters cost nothing measurable (the `obs_overhead` bench guards
+//! this). Exposed series: `bsp_ls_probes_total` (gain-kernel probes),
+//! `bsp_ls_scans_total` (full neighbourhood scans) and
+//! `bsp_ls_moves_total` (accepted moves).
+
+use std::sync::OnceLock;
+
+pub(crate) struct LsMetrics {
+    pub probes: bsp_obs::Counter,
+    pub scans: bsp_obs::Counter,
+    pub moves: bsp_obs::Counter,
+}
+
+pub(crate) fn ls_metrics() -> &'static LsMetrics {
+    static METRICS: OnceLock<LsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = bsp_obs::global();
+        LsMetrics {
+            probes: reg.counter("bsp_ls_probes_total", &[]),
+            scans: reg.counter("bsp_ls_scans_total", &[]),
+            moves: reg.counter("bsp_ls_moves_total", &[]),
+        }
+    })
+}

@@ -37,6 +37,7 @@ use bsp_schedule::compact::compact_lazy;
 use bsp_schedule::cost::lazy_cost;
 use bsp_schedule::solve::{Budget, SolveCx, SolveRequest};
 use bsp_schedule::{BspSchedule, CommSchedule};
+use std::time::{Duration, Instant};
 
 /// Which initializer produced a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +123,8 @@ pub struct PipelineResult {
     pub part_cost: u64,
     /// Cost after the ILP stages (equals `cost`).
     pub ilp_cost: u64,
+    /// Wall-clock time the pipeline spent end to end.
+    pub elapsed: Duration,
 }
 
 /// Runs the Figure-3 pipeline with an unlimited budget and no observer.
@@ -163,6 +166,8 @@ pub fn solve_base_pipeline(
     cfg: &PipelineConfig,
     cx: &mut SolveCx<'_>,
 ) -> PipelineResult {
+    let began = Instant::now();
+    let _pipeline_span = bsp_obs::trace::global().span("pipeline/base", "pipeline");
     let enable_ilp = cx.ilp_enabled(cfg.enable_ilp);
     let use_ilp_init = cfg.use_ilp_init.unwrap_or(machine.p() <= 4 && enable_ilp) && enable_ilp;
     let threads = cx.threads(cfg.threads);
@@ -170,6 +175,7 @@ pub fn solve_base_pipeline(
     // Stage 1 — initialization. Runs even under an expired deadline: some
     // valid schedule must exist before anything can be truncated.
     cx.begin("init");
+    let init_span = bsp_obs::trace::global().span("init", "pipeline");
     let mut candidates: Vec<(Initializer, BspSchedule)> = vec![
         (Initializer::BspG, bspg_schedule(dag, machine)),
         (Initializer::Source, source_schedule(dag, machine)),
@@ -188,6 +194,7 @@ pub fn solve_base_pipeline(
         .min_by_key(|&(c, _)| c)
         .expect("at least two initializers ran");
     cx.improved(init_cost);
+    init_span.finish();
     cx.end(init_cost, false);
 
     // Best-so-far: the cheapest initialization under its lazy Γ. Every
@@ -202,6 +209,7 @@ pub fn solve_base_pipeline(
 
     // Stage 2 — HC, then HCcs, per candidate; keep the cheapest.
     cx.begin("hc");
+    let hc_span = bsp_obs::trace::global().span("hc", "pipeline");
     for (_, which, init) in &costed {
         if cx.check_expired() {
             break;
@@ -226,6 +234,13 @@ pub fn solve_base_pipeline(
     // space (never worse than its input by construction).
     if let Some(escape) = &cfg.escape {
         if !cx.check_expired() {
+            let _escape_span = bsp_obs::trace::global().span(
+                match escape {
+                    EscapeSearch::Anneal(_) => "escape/anneal",
+                    EscapeSearch::Tabu(_) => "escape/tabu",
+                },
+                "pipeline",
+            );
             let c = clamped(cfg, cx);
             let refined = match escape {
                 EscapeSearch::Anneal(a) => {
@@ -251,6 +266,7 @@ pub fn solve_base_pipeline(
             }
         }
     }
+    hc_span.finish();
     let hc_truncated = cx.expired();
     cx.end(hc_cost, hc_truncated);
 
@@ -259,6 +275,7 @@ pub fn solve_base_pipeline(
 
     if enable_ilp && dag.n() > 0 && !cx.check_expired() {
         cx.begin("ilp");
+        let _ilp_span = bsp_obs::trace::global().span("ilp", "pipeline");
         // ILPfull when small; always followed by ILPpart unless optimality
         // was proven (paper §6). Budgets re-clamp between solver calls.
         let (after_full, proven) = ilp_full(dag, machine, &sched, &clamped(cfg, cx).ilp);
@@ -297,6 +314,7 @@ pub fn solve_base_pipeline(
         hc_cost,
         part_cost,
         ilp_cost: cost,
+        elapsed: began.elapsed(),
     }
 }
 
@@ -323,7 +341,10 @@ pub fn solve_multilevel_pipeline(
     ml: &MultilevelConfig,
     cx: &mut SolveCx<'_>,
 ) -> PipelineResult {
+    let began = Instant::now();
+    let _pipeline_span = bsp_obs::trace::global().span("pipeline/multilevel", "pipeline");
     cx.begin("multilevel");
+    let ml_span = bsp_obs::trace::global().span("multilevel", "pipeline");
     // Each inner base run gets a real deadline — the outer budget's
     // remaining time at the moment it starts — so its own stages re-check
     // and re-clamp instead of all snapshotting the same allowance. The
@@ -345,6 +366,7 @@ pub fn solve_multilevel_pipeline(
     let sched = multilevel_schedule(dag, machine, ml, &mut base);
     let init_cost = lazy_cost(dag, machine, &sched);
     cx.improved(init_cost);
+    ml_span.finish();
     let ml_truncated = cx.expired();
     cx.end(init_cost, ml_truncated);
 
@@ -361,11 +383,13 @@ pub fn solve_multilevel_pipeline(
             hc_cost: init_cost,
             part_cost: init_cost,
             ilp_cost: init_cost,
+            elapsed: began.elapsed(),
         };
     }
 
     // Final polish on the original DAG: HCcs, then ILPcs.
     cx.begin("polish");
+    let _polish_span = bsp_obs::trace::global().span("polish", "pipeline");
     let c = clamped(cfg, cx);
     let (hccs_comm, hccs_cost) =
         optimize_comm_schedule_threaded(dag, machine, &sched, &c.hccs, cx.threads(cfg.threads));
@@ -393,6 +417,7 @@ pub fn solve_multilevel_pipeline(
         hc_cost: hccs_cost,
         part_cost: hccs_cost,
         ilp_cost: cost,
+        elapsed: began.elapsed(),
     }
 }
 

@@ -18,6 +18,7 @@
 //! `kernel_equivalence` tests enforce.
 
 use crate::hc::{HillClimbConfig, HillClimbStats};
+use crate::obs::ls_metrics;
 use crate::state::{ProbeScratch, ProcWindow, ScheduleState};
 use bsp_dag::NodeId;
 use std::time::Instant;
@@ -51,13 +52,11 @@ pub fn hill_climb_steepest_threaded(
         };
     }
 
+    let mut local_minimum = false;
     while accepted < max_moves {
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                return HillClimbStats {
-                    accepted,
-                    local_minimum: false,
-                };
+                break;
             }
         }
         match best_move_threaded(state, threads) {
@@ -66,16 +65,15 @@ pub fn hill_climb_steepest_threaded(
                 accepted += 1;
             }
             None => {
-                return HillClimbStats {
-                    accepted,
-                    local_minimum: true,
-                }
+                local_minimum = true;
+                break;
             }
         }
     }
+    ls_metrics().moves.add(accepted as u64);
     HillClimbStats {
         accepted,
-        local_minimum: false,
+        local_minimum,
     }
 }
 
@@ -92,7 +90,9 @@ fn scan_best(
 ) -> Option<(i64, NodeId, u32, u32)> {
     let p = state.p();
     let mut best: Option<(i64, NodeId, u32, u32)> = None;
+    let mut probes = 0u64;
     let mut consider = |sc: &mut ProbeScratch, v: NodeId, q: u32, s: u32| {
+        probes += 1;
         let delta = state.probe_move_in(sc, v, q, s);
         if delta < 0 && best.as_ref().is_none_or(|&(b, ..)| delta < b) {
             best = Some((delta, v, s, q));
@@ -119,6 +119,9 @@ fn scan_best(
             }
         }
     }
+    // One flush per scanned range, not per probe: a single relaxed
+    // fetch_add covers the whole chunk, keeping the kernel unperturbed.
+    ls_metrics().probes.add(probes);
     best
 }
 
@@ -131,6 +134,7 @@ fn scan_best(
 /// of `P` validity checks), preserving the historical `(v, s, q)`
 /// enumeration order exactly.
 pub fn best_move(state: &ScheduleState<'_>) -> Option<(NodeId, u32, u32, i64)> {
+    ls_metrics().scans.inc();
     let mut sc = ProbeScratch::default();
     scan_best(state, &mut sc, 0, state.n() as u32).map(|(d, v, s, q)| (v, q, s, d))
 }
@@ -151,6 +155,7 @@ pub fn best_move_threaded(
     if threads <= 1 || n < 2 * PAR_CHUNK {
         return best_move(state);
     }
+    ls_metrics().scans.inc();
     let per_chunk = bsp_par::par_chunks(threads, n, PAR_CHUNK, |range| {
         let mut sc = ProbeScratch::default();
         scan_best(state, &mut sc, range.start as u32, range.end as u32)

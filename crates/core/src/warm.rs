@@ -288,6 +288,8 @@ pub fn solve_warm_suffix(
     cfg: &PipelineConfig,
     cx: &mut SolveCx<'_>,
 ) -> SuffixOutcome {
+    let began = std::time::Instant::now();
+    let _span = bsp_obs::trace::global().span("pipeline/warm-suffix", "pipeline");
     cx.begin("warm-init");
     let mut sched = initial.clone();
     let init_cost = lazy_cost(dag, machine, &sched);
@@ -327,6 +329,7 @@ pub fn solve_warm_suffix(
             hc_cost: cost,
             part_cost: cost,
             ilp_cost: cost,
+            elapsed: began.elapsed(),
         },
         hc: hc_stats,
     }
@@ -347,6 +350,8 @@ pub fn solve_warm_pipeline(
     cfg: &PipelineConfig,
     cx: &mut SolveCx<'_>,
 ) -> PipelineResult {
+    let began = std::time::Instant::now();
+    let _span = bsp_obs::trace::global().span("pipeline/warm", "pipeline");
     let threads = cx.threads(cfg.threads);
 
     // Stage 1 — repair. Runs even under an expired deadline so that a
@@ -392,6 +397,7 @@ pub fn solve_warm_pipeline(
         hc_cost: cost,
         part_cost: cost,
         ilp_cost: cost,
+        elapsed: began.elapsed(),
     }
 }
 

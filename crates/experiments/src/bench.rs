@@ -12,10 +12,12 @@
 //! ([`crate::serve_cmd::serve_bench_runs`]), and an `online` section
 //! replaying streaming-arrival traces through the incremental prefix
 //! scheduler and comparing the final cost against the offline cold solve
-//! ([`crate::online_cmd::online_bench_runs`]). With `--json <path>` the
-//! full report is written as indented JSON (`schema:
-//! "bsp-sched/bench-v5"`), the `BENCH_*.json` perf-trajectory format:
-//! commit one per revision and diff them to see hot-path regressions.
+//! ([`crate::online_cmd::online_bench_runs`]), and a `metrics` section
+//! snapshotting the process-wide `bsp-obs` registry at the end of the
+//! run. With `--json <path>` the full report is written as indented JSON
+//! (`schema: "bsp-sched/bench-v6"`), the `BENCH_*.json` perf-trajectory
+//! format: commit one per revision and diff them to see hot-path
+//! regressions.
 
 use crate::runner::{
     detect_threads, pipeline_config, resolve_instance_groups, EvalOptions, RunConfig,
@@ -119,6 +121,12 @@ pub struct BenchReport {
     /// Streaming-arrival replays: final online cost vs offline cold
     /// solve, per (instance, arrival order).
     pub online: Vec<crate::online_cmd::OnlineRun>,
+    /// Flat snapshot of the process-wide `bsp-obs` registry at the end
+    /// of the run: every counter and gauge the measured subsystems
+    /// incremented (solver stage counts, local-search probes/scans,
+    /// parallel-runtime chunk counts, serve cache traffic). Histograms
+    /// appear through the p50/p99 columns of the serve/online sections.
+    pub metrics: Vec<bsp_serve::MetricWire>,
 }
 
 /// Default instance specs: one representative of each catalogue corner,
@@ -377,7 +385,7 @@ pub fn bench(cfg: &RunConfig) {
     crate::online_cmd::print_online_runs(&online);
 
     let report = BenchReport {
-        schema: "bsp-sched/bench-v5".to_string(),
+        schema: "bsp-sched/bench-v6".to_string(),
         quick: cfg.quick,
         threads: cfg.threads,
         host_threads: detect_threads(),
@@ -386,6 +394,7 @@ pub fn bench(cfg: &RunConfig) {
         parallel,
         serve,
         online,
+        metrics: bsp_serve::metric_wires(&bsp_obs::global().snapshot()),
     };
     if let Some(path) = &cfg.json {
         let text = serde::json::to_string_pretty(&report);
@@ -416,7 +425,7 @@ mod tests {
     #[test]
     fn bench_report_round_trips_through_json() {
         let report = BenchReport {
-            schema: "bsp-sched/bench-v5".to_string(),
+            schema: "bsp-sched/bench-v6".to_string(),
             quick: true,
             threads: 4,
             host_threads: 8,
@@ -468,6 +477,11 @@ mod tests {
                 p50_us: 650,
                 p99_us: 1900,
                 nanos: 37_000_000,
+            }],
+            metrics: vec![bsp_serve::MetricWire {
+                name: "bsp_serve_requests_total{method=\"solve\"}".to_string(),
+                kind: "counter".to_string(),
+                value: 1001,
             }],
         };
         let text = serde::json::to_string_pretty(&report);

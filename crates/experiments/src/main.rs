@@ -29,7 +29,10 @@
 //! `serve` runs the `bsp-serve` scheduling daemon (README § "Service"):
 //! `--addr <host:port>` binds it (default `127.0.0.1:7570`), `--store
 //! <path>` persists the result cache across restarts, `--threads` sizes
-//! the worker pool and `--budget-ms` sets the default per-request budget.
+//! the worker pool, `--budget-ms` sets the default per-request budget and
+//! `--metrics-addr <host:port>` additionally binds the observability
+//! sidecar (`GET /metrics` Prometheus text, `GET /trace` Chrome trace
+//! JSON — README § "Observability").
 //! `loadgen` measures request throughput on the cold / cached / warm
 //! service paths; the same measurement fills the `serve` section of the
 //! `bench` report.
@@ -88,6 +91,10 @@ fn main() {
                 i += 1;
                 cfg.addr = Some(args[i].clone());
             }
+            "--metrics-addr" => {
+                i += 1;
+                cfg.metrics_addr = Some(args[i].clone());
+            }
             "--store" => {
                 i += 1;
                 cfg.store = Some(args[i].clone().into());
@@ -127,6 +134,9 @@ fn main() {
     }
     if cfg.addr.is_some() && id != "serve" {
         panic!("--addr applies only to the `serve` command");
+    }
+    if cfg.metrics_addr.is_some() && id != "serve" {
+        panic!("--metrics-addr applies only to the `serve` command");
     }
     if cfg.store.is_some() && id != "serve" {
         panic!("--store applies only to the `serve` command");

@@ -12,10 +12,10 @@
 //! `--check` the command fails if any ratio exceeds the acceptance
 //! threshold — the regression gate the CI `online-smoke` job runs. The
 //! same rows fill the `online` section of the `bench` JSON report
-//! (`schema: "bsp-sched/bench-v5"`).
+//! (`schema: "bsp-sched/bench-v6"`).
 
 use crate::runner::{pipeline_config, resolve_instance_groups, EvalOptions, RunConfig};
-use crate::serve_cmd::percentile;
+use crate::serve_cmd::latency_summary;
 use bsp_instance::trace::{arrival_trace, ArrivalOrder, TraceConfig};
 use bsp_online::{replay, OnlineConfig};
 use bsp_schedule::solve::{SolveCx, SolveRequest};
@@ -49,9 +49,11 @@ pub struct OnlineRun {
     /// `online_cost * 1000 / cold_cost`, rounded down (1000 = parity;
     /// the `--check` gate enforces [`ACCEPT_RATIO_X1000`]).
     pub cost_ratio_x1000: u64,
-    /// Median per-arrival re-planning latency, microseconds.
+    /// Median per-arrival re-planning latency, microseconds (histogram
+    /// bucket upper bound — see [`bsp_obs::Histogram::percentile`]).
     pub p50_us: u64,
-    /// 99th-percentile per-arrival re-planning latency, microseconds.
+    /// 99th-percentile per-arrival re-planning latency, microseconds,
+    /// quantized like `p50_us`.
     pub p99_us: u64,
     /// Whole-trace replay wall-clock, nanoseconds.
     pub nanos: u64,
@@ -131,6 +133,11 @@ pub fn online_bench_runs(cfg: &RunConfig) -> Vec<OnlineRun> {
                     .unwrap_or_else(|e| panic!("online replay of {}: {e}", inst.name));
                 let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 let lat = outcome.stats.per_arrival_latencies_us();
+                let (p50_us, p99_us) = latency_summary(
+                    "bsp_online_arrival_latency_us",
+                    ("order", order.name()),
+                    &lat,
+                );
                 out.push(OnlineRun {
                     instance: inst.name.clone(),
                     order: order.name().to_string(),
@@ -141,8 +148,8 @@ pub fn online_bench_runs(cfg: &RunConfig) -> Vec<OnlineRun> {
                     online_cost: outcome.cost,
                     cold_cost: cold.cost,
                     cost_ratio_x1000: outcome.cost * 1000 / cold.cost.max(1),
-                    p50_us: percentile(&lat, 50),
-                    p99_us: percentile(&lat, 99),
+                    p50_us,
+                    p99_us,
                     nanos,
                 });
             }

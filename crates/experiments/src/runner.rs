@@ -42,6 +42,9 @@ pub struct RunConfig {
     pub json: Option<std::path::PathBuf>,
     /// Bind address from `--addr` (the `serve` command).
     pub addr: Option<String>,
+    /// Observability-sidecar bind address from `--metrics-addr` (the
+    /// `serve` command; `None` = sidecar disabled).
+    pub metrics_addr: Option<String>,
     /// Result-store path from `--store` (the `serve` command).
     pub store: Option<std::path::PathBuf>,
     /// LRU entry cap of the serve result store from `--store-cap`
@@ -76,6 +79,7 @@ impl Default for RunConfig {
             budget_ms: None,
             json: None,
             addr: None,
+            metrics_addr: None,
             store: None,
             store_cap: None,
             order: None,

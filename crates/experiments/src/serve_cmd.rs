@@ -6,7 +6,7 @@
 //! blocking client, so the measured numbers include JSON framing and
 //! socket round-trips — the figure a deployment would see. The same
 //! measurement feeds the `serve` section of the `bench` command's JSON
-//! report (`schema: "bsp-sched/bench-v4"`, see `BENCH_registry.json`).
+//! report (`schema: "bsp-sched/bench-v6"`, see `BENCH_registry.json`).
 
 use crate::runner::RunConfig;
 use bsp_instance::DagEdit;
@@ -30,26 +30,32 @@ pub struct ServeRun {
     pub nanos: u64,
     /// Derived throughput, `requests / seconds`, rounded down.
     pub requests_per_sec: u64,
-    /// Median per-request latency, microseconds.
+    /// Median per-request latency, microseconds (histogram bucket upper
+    /// bound — see [`bsp_obs::Histogram::percentile`]).
     pub p50_us: u64,
     /// 99th-percentile per-request latency, microseconds (the tail a
-    /// deployment's SLO watches; equals the max for small sample counts).
+    /// deployment's SLO watches), quantized like `p50_us`.
     pub p99_us: u64,
     /// Mean reported schedule cost across the answers (identical for
     /// `cached` rows; sanity context for `warm` vs `cold`).
     pub mean_cost: u64,
 }
 
-/// Nearest-rank percentile of a latency sample set (any unit). `pct` is
-/// 0–100; an empty sample set yields 0.
-pub fn percentile(samples: &[u64], pct: u64) -> u64 {
-    if samples.is_empty() {
-        return 0;
+/// Summarizes microsecond latency samples through the shared `bsp-obs`
+/// histogram machinery: the samples are recorded into the process
+/// registry under `name{label}` (so they show up on `/metrics` and in
+/// `bench`'s metrics section), and p50/p99 are read from a *fresh*
+/// histogram fed only this run's samples — same bucket quantization,
+/// no bleed from earlier runs in the process. Percentiles are bucket
+/// upper bounds ([`bsp_obs::Histogram::percentile`]).
+pub fn latency_summary(name: &str, label: (&str, &str), samples_us: &[u64]) -> (u64, u64) {
+    let shared = bsp_obs::global().histogram(name, &[label]);
+    let local = bsp_obs::Histogram::unregistered();
+    for &s in samples_us {
+        shared.observe(s);
+        local.observe(s);
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let idx = (sorted.len() - 1) * pct as usize / 100;
-    sorted[idx]
+    (local.percentile(50), local.percentile(99))
 }
 
 /// The instance the load generator exercises: big enough that a cold
@@ -71,6 +77,7 @@ fn serve_config(cfg: &RunConfig) -> ServeConfig {
     if let Some(addr) = &cfg.addr {
         sc.addr = addr.clone();
     }
+    sc.metrics_addr = cfg.metrics_addr.clone();
     sc
 }
 
@@ -93,6 +100,11 @@ pub fn serve(cfg: &RunConfig) {
             .as_ref()
             .map_or("in-memory".to_string(), |p| p.display().to_string()),
     );
+    if let Some(metrics) = handle.metrics_addr() {
+        println!(
+            "observability sidecar on http://{metrics} (/metrics Prometheus, /trace Chrome JSON)"
+        );
+    }
     println!("line-delimited JSON; try: {{\"method\":\"ping\",\"id\":1}} — Ctrl-C to stop");
     shutdown_on_sigint(&handle);
     let stats = handle.wait();
@@ -140,7 +152,7 @@ pub fn serve_bench_runs(cfg: &RunConfig) -> Vec<ServeRun> {
     for _ in 0..cached_requests {
         let t1 = Instant::now();
         let hit = client.solve(&params).expect("cached solve answers");
-        cached_samples.push(t1.elapsed().as_nanos() as u64);
+        cached_samples.push(t1.elapsed().as_micros().min(u64::MAX as u128) as u64);
         assert_eq!(hit.result.cache_hit, Some(true), "cached path missed");
     }
     let cached_nanos = t.elapsed().as_nanos() as u64;
@@ -169,24 +181,28 @@ pub fn serve_bench_runs(cfg: &RunConfig) -> Vec<ServeRun> {
             "warm result worse than its repaired start"
         );
         warm_cost_sum += cost;
-        warm_samples.push(t1.elapsed().as_nanos() as u64);
+        warm_samples.push(t1.elapsed().as_micros().min(u64::MAX as u128) as u64);
     }
     let warm_nanos = t.elapsed().as_nanos() as u64;
 
     handle.shutdown();
 
-    let row = |path: &str, requests: u64, nanos: u64, samples: &[u64], mean_cost: u64| ServeRun {
-        path: path.to_string(),
-        instance: canonical.clone(),
-        requests,
-        nanos,
-        requests_per_sec: (requests as f64 / (nanos.max(1) as f64 / 1e9)) as u64,
-        p50_us: percentile(samples, 50) / 1000,
-        p99_us: percentile(samples, 99) / 1000,
-        mean_cost,
+    let row = |path: &str, requests: u64, nanos: u64, samples: &[u64], mean_cost: u64| {
+        let (p50_us, p99_us) =
+            latency_summary("bsp_loadgen_request_latency_us", ("path", path), samples);
+        ServeRun {
+            path: path.to_string(),
+            instance: canonical.clone(),
+            requests,
+            nanos,
+            requests_per_sec: (requests as f64 / (nanos.max(1) as f64 / 1e9)) as u64,
+            p50_us,
+            p99_us,
+            mean_cost,
+        }
     };
     vec![
-        row("cold", 1, cold_nanos, &[cold_nanos], cold_cost),
+        row("cold", 1, cold_nanos, &[cold_nanos / 1000], cold_cost),
         row(
             "cached",
             cached_requests,

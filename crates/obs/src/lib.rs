@@ -1,0 +1,662 @@
+//! Std-only observability primitives for the scheduling workspace.
+//!
+//! Like `bsp-par`, this crate is a dependency-free leaf: every other
+//! crate can instrument itself without pulling anything in. Two
+//! subsystems live here:
+//!
+//! * **Metrics** — a process-wide [`MetricRegistry`] of monotone
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s. Handles
+//!   are registered once (named + labeled, the cold path takes a mutex)
+//!   and then shared as `Arc`'d atomics, so hot-path updates are single
+//!   `fetch_add`s — no lock, no allocation, safe to call from any
+//!   thread. Render paths: Prometheus text exposition
+//!   ([`MetricRegistry::render_prometheus`]) and a human `stats` table
+//!   ([`MetricRegistry::render_table`]).
+//! * **Tracing** — structured spans recorded into a bounded ring buffer
+//!   ([`trace::TraceBuffer`]) with RAII guards and parent tracking, and
+//!   a JSONL exporter in Chrome trace-event format that loads directly
+//!   in `chrome://tracing` / Perfetto.
+//!
+//! Both have a process-global default instance ([`global`],
+//! [`trace::global`]) used by the instrumented crates, plus local
+//! construction for isolated tests.
+//!
+//! ```
+//! use bsp_obs::MetricRegistry;
+//!
+//! let reg = MetricRegistry::new();
+//! let reqs = reg.counter("requests_total", &[("method", "solve")]);
+//! reqs.inc();
+//! reqs.add(2);
+//! assert_eq!(reqs.get(), 3);
+//!
+//! let lat = reg.histogram("latency_us", &[]);
+//! lat.observe(700);
+//! assert_eq!(lat.percentile(50), 1_000); // bucket upper bound
+//!
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("requests_total{method=\"solve\"} 3"));
+//! assert!(text.contains("latency_us_bucket{le=\"1000\"} 1"));
+//! ```
+
+pub mod trace;
+
+pub use trace::{Span, SpanRecord, TraceBuffer};
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotone counter. Cloning shares the underlying atomic, so a handle
+/// registered once can be cached (e.g. in a `OnceLock`) and bumped from
+/// any thread with a single relaxed `fetch_add`.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depth,
+/// in-flight jobs). Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrease).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket upper bounds: a 1-2-5 decade series from
+/// 1 µs to 10 s — wide enough for per-request and per-stage latencies
+/// in microseconds, the workspace's canonical duration unit.
+pub const DEFAULT_BOUNDS: [u64; 22] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+struct HistogramCore {
+    /// Inclusive bucket upper bounds, strictly increasing.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the overflow (`+Inf`) bucket last.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram. An observation lands in the first bucket
+/// whose upper bound is `>= value` (Prometheus `le` semantics); values
+/// above every bound land in the implicit `+Inf` bucket. Observation is
+/// three relaxed `fetch_add`s — no lock, no allocation. Cloning shares
+/// the buckets.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A standalone (unregistered) histogram with [`DEFAULT_BOUNDS`] —
+    /// for local percentile computations that don't need exposition.
+    pub fn unregistered() -> Self {
+        Histogram::with_bounds(&DEFAULT_BOUNDS)
+    }
+
+    /// A standalone histogram with custom bounds (must be non-empty and
+    /// strictly increasing).
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < value);
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the workspace convention).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank percentile resolved to a bucket upper bound: the
+    /// smallest bound whose cumulative count covers `pct`% of the
+    /// observations. Values in the overflow bucket report the largest
+    /// bound. Bucket-coarse by construction; 0 when empty.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        self.snapshot().percentile(pct)
+    }
+
+    /// A point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: self
+                .0
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the extra last entry is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::percentile`].
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * pct.min(100)).div_ceil(100).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+}
+
+/// One metric's value in a [`MetricRegistry::snapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// A monotone counter.
+    Counter(u64),
+    /// A gauge.
+    Gauge(i64),
+    /// A histogram's buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named + labeled metric in a registry snapshot.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// Metric name (`bsp_serve_requests_total`).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub fn kind(&self) -> &'static str {
+        match self.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// The name with rendered labels: `name{k="v",…}` (bare name when
+    /// unlabeled) — the flat key wire formats use.
+    pub fn full_name(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        format!("{}{{{}}}", self.name, render_labels(&self.labels))
+    }
+
+    /// Counter/gauge scalar value; `None` for histograms.
+    pub fn scalar(&self) -> Option<i64> {
+        match &self.value {
+            MetricValue::Counter(v) => Some((*v).min(i64::MAX as u64) as i64),
+            MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Histogram(_) => None,
+        }
+    }
+}
+
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A process-wide metric registry. Registration (`counter`/`gauge`/
+/// `histogram`) is the cold path — it takes a mutex and allocates — and
+/// is idempotent: the same `(name, labels)` always returns the same
+/// shared handle. Updates through the returned handles are lock-free.
+/// The registry itself is cheap to clone (shared `Arc`).
+///
+/// ```
+/// use bsp_obs::MetricRegistry;
+///
+/// let reg = MetricRegistry::new();
+/// let depth = reg.gauge("queue_depth", &[]);
+/// depth.inc();
+/// // Re-registering returns the same handle.
+/// assert_eq!(reg.gauge("queue_depth", &[]).get(), 1);
+/// assert!(reg.render_table().contains("queue_depth"));
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+/// The process-global registry the instrumented crates record into.
+pub fn global() -> &'static MetricRegistry {
+    static GLOBAL: OnceLock<MetricRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricRegistry::new)
+}
+
+impl MetricRegistry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        as_kind: impl Fn(&Handle) -> Option<T>,
+        make: impl FnOnce() -> (T, Handle),
+    ) -> T {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && label_eq(&e.labels, labels))
+        {
+            return as_kind(&e.handle)
+                .unwrap_or_else(|| panic!("metric {name:?} re-registered with a different kind"));
+        }
+        let (handle, stored) = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle: stored,
+        });
+        handle
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.register(
+            name,
+            labels,
+            |h| match h {
+                Handle::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::default();
+                (c.clone(), Handle::Counter(c))
+            },
+        )
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.register(
+            name,
+            labels,
+            |h| match h {
+                Handle::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::default();
+                (g.clone(), Handle::Gauge(g))
+            },
+        )
+    }
+
+    /// Registers (or fetches) a histogram with [`DEFAULT_BOUNDS`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram_with(name, labels, &DEFAULT_BOUNDS)
+    }
+
+    /// Registers (or fetches) a histogram with custom bounds. Bounds are
+    /// fixed at first registration; later calls return the existing
+    /// buckets regardless of the bounds passed.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        self.register(
+            name,
+            labels,
+            |h| match h {
+                Handle::Histogram(hi) => Some(hi.clone()),
+                _ => None,
+            },
+            || {
+                let h = Histogram::with_bounds(bounds);
+                (h.clone(), Handle::Histogram(h))
+            },
+        )
+    }
+
+    /// A point-in-time copy of every metric, sorted by name then labels
+    /// (so renders and wire snapshots are deterministic).
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let entries = self.entries.lock().unwrap();
+        let mut out: Vec<MetricSample> = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: match &e.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+
+    /// Prometheus text exposition format (`text/plain; version=0.0.4`):
+    /// one `# TYPE` line per metric name, `name{labels} value` samples,
+    /// histograms expanded to cumulative `_bucket{le=…}` / `_sum` /
+    /// `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for s in self.snapshot() {
+            if s.name != last_name {
+                out.push_str(&format!("# TYPE {} {}\n", s.name, s.kind()));
+                last_name = s.name.clone();
+            }
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{} {v}\n", s.full_name()));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{} {v}\n", s.full_name()));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &b) in h.bounds.iter().enumerate() {
+                        cum += h.counts[i];
+                        out.push_str(&format!(
+                            "{}_bucket{{{}}} {cum}\n",
+                            s.name,
+                            join_labels(&s.labels, &format!("le=\"{b}\"")),
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{{{}}} {}\n",
+                        s.name,
+                        join_labels(&s.labels, "le=\"+Inf\""),
+                        h.count,
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        s.name,
+                        label_block(&s.labels),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        s.name,
+                        label_block(&s.labels),
+                        h.count,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// A human-readable table of every metric — the render behind the
+    /// service's `stats` output and the experiments' summaries.
+    /// Histograms are summarized as `count / p50 / p99 / mean`.
+    pub fn render_table(&self) -> String {
+        let mut out = format!("{:<56} {:<10} {:>14}\n", "metric", "kind", "value");
+        for s in self.snapshot() {
+            let value = match &s.value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => v.to_string(),
+                MetricValue::Histogram(h) => format!(
+                    "n={} p50={} p99={} mean={}",
+                    h.count,
+                    h.percentile(50),
+                    h.percentile(99),
+                    h.sum / h.count.max(1),
+                ),
+            };
+            out.push_str(&format!(
+                "{:<56} {:<10} {:>14}\n",
+                s.full_name(),
+                s.kind(),
+                value
+            ));
+        }
+        out
+    }
+}
+
+fn label_eq(stored: &[(String, String)], given: &[(&str, &str)]) -> bool {
+    stored.len() == given.len()
+        && stored
+            .iter()
+            .zip(given)
+            .all(|((k, v), &(gk, gv))| k == gk && v == gv)
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `{k="v",…}` or the empty string when unlabeled.
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", render_labels(labels))
+    }
+}
+
+/// The label body with `extra` appended (histogram `le` label).
+fn join_labels(labels: &[(String, String)], extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{},{extra}", render_labels(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_handles() {
+        let reg = MetricRegistry::new();
+        let a = reg.counter("ops_total", &[("kind", "probe")]);
+        let b = reg.counter("ops_total", &[("kind", "probe")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        // Different labels are a different series.
+        let c = reg.counter("ops_total", &[("kind", "apply")]);
+        assert_eq!(c.get(), 0);
+
+        let g = reg.gauge("depth", &[]);
+        g.set(5);
+        g.dec();
+        g.add(-2);
+        assert_eq!(reg.gauge("depth", &[]).get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricRegistry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let h = Histogram::with_bounds(&[10, 100, 1000]);
+        // Exactly on a bound lands in that bucket (le semantics).
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(1000);
+        h.observe(1001); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 2, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 10 + 11 + 100 + 1000 + 1001);
+        // Percentiles resolve to bucket upper bounds; overflow clamps to
+        // the largest bound.
+        assert_eq!(s.percentile(20), 10);
+        assert_eq!(s.percentile(60), 100);
+        assert_eq!(s.percentile(99), 1000);
+        assert_eq!(s.percentile(0), 10);
+        assert_eq!(
+            HistogramSnapshot::percentile(&Histogram::unregistered().snapshot(), 50),
+            0
+        );
+    }
+
+    #[test]
+    fn concurrent_hammering_sums_exactly() {
+        // N threads each bump the same counter and histogram K times:
+        // the totals must be exact — the lock-free contract.
+        let reg = MetricRegistry::new();
+        let (threads, per_thread) = (8, 10_000u64);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let c = reg.counter("hammer_total", &[]);
+                let h = reg.histogram("hammer_us", &[]);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.observe((t as u64 * per_thread + i) % 1_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reg.counter("hammer_total", &[]).get(),
+            threads as u64 * per_thread
+        );
+        let snap = reg.histogram("hammer_us", &[]).snapshot();
+        assert_eq!(snap.count, threads as u64 * per_thread);
+        assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let reg = MetricRegistry::new();
+        reg.counter("req_total", &[("method", "solve")]).add(3);
+        reg.gauge("depth", &[]).set(-2);
+        let h = reg.histogram_with("lat_us", &[("path", "warm")], &[10, 100]);
+        h.observe(7);
+        h.observe(7);
+        h.observe(50);
+        h.observe(5_000);
+        let text = reg.render_prometheus();
+        let expected = "\
+# TYPE depth gauge
+depth -2
+# TYPE lat_us histogram
+lat_us_bucket{path=\"warm\",le=\"10\"} 2
+lat_us_bucket{path=\"warm\",le=\"100\"} 3
+lat_us_bucket{path=\"warm\",le=\"+Inf\"} 4
+lat_us_sum{path=\"warm\"} 5064
+lat_us_count{path=\"warm\"} 4
+# TYPE req_total counter
+req_total{method=\"solve\"} 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn table_render_lists_every_metric() {
+        let reg = MetricRegistry::new();
+        reg.counter("a_total", &[]).inc();
+        reg.histogram("b_us", &[]).observe(42);
+        let table = reg.render_table();
+        assert!(table.contains("a_total"));
+        assert!(table.contains("p50=50"), "{table}");
+    }
+}

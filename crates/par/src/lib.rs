@@ -27,7 +27,30 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Runtime counters, registered once in the process-global registry:
+/// `bsp_par_scopes_total` (threaded scopes entered), `bsp_par_chunks_total`
+/// (chunks/jobs distributed) and `bsp_par_worker_busy_us` (summed worker
+/// wall-time). Only the threaded paths record — `threads <= 1` stays
+/// zero-cost.
+fn par_metrics() -> &'static (bsp_obs::Counter, bsp_obs::Counter, bsp_obs::Counter) {
+    static METRICS: OnceLock<(bsp_obs::Counter, bsp_obs::Counter, bsp_obs::Counter)> =
+        OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = bsp_obs::global();
+        (
+            reg.counter("bsp_par_scopes_total", &[]),
+            reg.counter("bsp_par_chunks_total", &[]),
+            reg.counter("bsp_par_worker_busy_us", &[]),
+        )
+    })
+}
+
+/// Microseconds elapsed since `start`, saturating.
+fn us_since(start: std::time::Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
 
 /// The machine's available parallelism, or 4 when undetectable.
 ///
@@ -151,11 +174,15 @@ where
             .map(|c| f(c * chunk..((c + 1) * chunk).min(n_items)))
             .collect();
     }
+    let (scopes, chunks, busy) = par_metrics();
+    scopes.inc();
+    chunks.add(n_chunks as u64);
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let began = std::time::Instant::now();
                     let mut local = Vec::new();
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -165,6 +192,7 @@ where
                         let lo = c * chunk;
                         local.push((c, f(lo..(lo + chunk).min(n_items))));
                     }
+                    busy.add(us_since(began));
                     local
                 })
             })
@@ -210,12 +238,16 @@ where
     }
     let n_chunks = n_items.div_ceil(chunk);
     let threads = threads.min(n_chunks);
+    let (scopes, chunks, busy) = par_metrics();
+    scopes.inc();
+    chunks.add(n_chunks as u64);
     let cursor = AtomicUsize::new(0);
     let best_idx = AtomicUsize::new(usize::MAX);
     let mut hits: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let began = std::time::Instant::now();
                     let mut local: Option<(usize, R)> = None;
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -242,6 +274,7 @@ where
                             }
                         }
                     }
+                    busy.add(us_since(began));
                     local
                 })
             })
@@ -279,11 +312,15 @@ where
     if threads <= 1 {
         return jobs.iter().map(&f).collect();
     }
+    let (scopes, chunks, busy) = par_metrics();
+    scopes.inc();
+    chunks.add(n as u64);
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let began = std::time::Instant::now();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -292,6 +329,7 @@ where
                         }
                         local.push((i, f(&jobs[i])));
                     }
+                    busy.add(us_since(began));
                     local
                 })
             })

@@ -1,0 +1,198 @@
+//! [`TracingObserver`]: bridges [`Observer`] stage/improvement events
+//! into `bsp-obs` spans and metrics.
+//!
+//! Attach one to a [`SolveRequest`](crate::solve::SolveRequest) and every
+//! pipeline stage becomes a trace span (category `"solve"`) plus a
+//! sample in the `bsp_solve_stage_duration_us{stage=…}` histogram, with
+//! `bsp_solve_stages_total{stage=…}` and `bsp_solve_improvements_total`
+//! counting along the way. By default it records into the process-global
+//! registry and trace buffer; tests inject local targets via
+//! [`TracingObserver::with_targets`] to get isolated, exactly-countable
+//! state.
+//!
+//! ```
+//! use bsp_obs::{MetricRegistry, TraceBuffer};
+//! use bsp_schedule::obs::TracingObserver;
+//! use bsp_schedule::solve::Observer;
+//!
+//! let reg = MetricRegistry::new();
+//! let buf = TraceBuffer::new(64);
+//! let obs = TracingObserver::with_targets(reg.clone(), buf.clone());
+//!
+//! // Normally driven by SolveCx; hand-rolled here for the example.
+//! obs.on_stage_start("demo", "hc");
+//! # let report = bsp_schedule::solve::StageReport {
+//! #     stage: "hc".to_string(),
+//! #     cost_after: 42,
+//! #     elapsed: std::time::Duration::from_micros(900),
+//! #     truncated: false,
+//! # };
+//! obs.on_stage_end("demo", &report);
+//!
+//! assert_eq!(buf.snapshot().len(), 1);
+//! assert!(reg
+//!     .render_prometheus()
+//!     .contains("bsp_solve_stages_total{stage=\"hc\"} 1"));
+//! ```
+
+use crate::solve::{ImprovementEvent, Observer, StageReport};
+use bsp_obs::trace::{Span, TraceBuffer};
+use bsp_obs::MetricRegistry;
+use std::sync::Mutex;
+
+/// An [`Observer`] that turns stage events into trace spans and
+/// per-stage duration histograms. See the [module docs](self).
+pub struct TracingObserver {
+    registry: MetricRegistry,
+    trace: TraceBuffer,
+    /// Stage spans opened by `on_stage_start` and not yet closed,
+    /// oldest first. Stages can nest (a pipeline stage may run a named
+    /// sub-solve), so `on_stage_end` pops the *latest* span with a
+    /// matching stage name.
+    open: Mutex<Vec<(String, Span)>>,
+    improvements: bsp_obs::Counter,
+}
+
+impl TracingObserver {
+    /// An observer recording into the process-global registry and trace
+    /// buffer ([`bsp_obs::global`], [`bsp_obs::trace::global`]).
+    pub fn new() -> Self {
+        TracingObserver::with_targets(bsp_obs::global().clone(), bsp_obs::trace::global().clone())
+    }
+
+    /// An observer recording into explicit targets — for tests that
+    /// need isolation from other threads' metrics.
+    pub fn with_targets(registry: MetricRegistry, trace: TraceBuffer) -> Self {
+        let improvements = registry.counter("bsp_solve_improvements_total", &[]);
+        TracingObserver {
+            registry,
+            trace,
+            open: Mutex::new(Vec::new()),
+            improvements,
+        }
+    }
+}
+
+impl Default for TracingObserver {
+    fn default() -> Self {
+        TracingObserver::new()
+    }
+}
+
+impl Observer for TracingObserver {
+    fn on_stage_start(&self, _scheduler: &str, stage: &str) {
+        let span = self.trace.span(stage, "solve");
+        self.open.lock().unwrap().push((stage.to_string(), span));
+    }
+
+    fn on_improvement(&self, _scheduler: &str, _event: &ImprovementEvent) {
+        self.improvements.inc();
+    }
+
+    fn on_stage_end(&self, _scheduler: &str, report: &StageReport) {
+        let span = {
+            let mut open = self.open.lock().unwrap();
+            open.iter()
+                .rposition(|(name, _)| name == &report.stage)
+                .map(|pos| open.remove(pos).1)
+        };
+        if let Some(span) = span {
+            span.finish();
+        }
+        self.registry
+            .histogram("bsp_solve_stage_duration_us", &[("stage", &report.stage)])
+            .observe_duration(report.elapsed);
+        self.registry
+            .counter("bsp_solve_stages_total", &[("stage", &report.stage)])
+            .inc();
+    }
+}
+
+// Dropping the observer drops any still-open spans, which records them
+// via `Span`'s RAII close — a truncated solve still leaves a coherent
+// trace.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{SolveCx, SolveRequest};
+    use bsp_dag::DagBuilder;
+    use bsp_model::BspParams;
+
+    fn demo_dag() -> bsp_dag::Dag {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(2, 1);
+        let v = b.add_node(3, 1);
+        b.add_edge(u, v).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stages_become_spans_and_histogram_samples() {
+        let reg = MetricRegistry::new();
+        let buf = TraceBuffer::new(64);
+        let obs = TracingObserver::with_targets(reg.clone(), buf.clone());
+
+        let dag = demo_dag();
+        let machine = BspParams::new(2, 2, 5);
+        let req = SolveRequest::new(&dag, &machine).with_observer(&obs);
+        let mut cx = SolveCx::new("test", &req);
+        cx.begin("init");
+        cx.improved(100);
+        cx.end(100, false);
+        cx.begin("hc");
+        cx.improved(90);
+        cx.improved(80);
+        cx.end(80, false);
+        let result = crate::scheduler::ScheduleResult::from_lazy(
+            &dag,
+            &machine,
+            crate::schedule::BspSchedule::from_parts(vec![0, 0], vec![0, 1]),
+        );
+        let outcome = cx.finish(result);
+
+        // One span per completed stage, names matching the reports.
+        let spans = buf.snapshot();
+        assert_eq!(
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            outcome
+                .stages
+                .iter()
+                .map(|r| r.stage.as_str())
+                .collect::<Vec<_>>()
+        );
+        assert!(spans.iter().all(|s| s.cat == "solve" && s.parent == 0));
+
+        assert_eq!(reg.counter("bsp_solve_improvements_total", &[]).get(), 3);
+        assert_eq!(
+            reg.counter("bsp_solve_stages_total", &[("stage", "hc")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            reg.histogram("bsp_solve_stage_duration_us", &[("stage", "init")])
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unmatched_stage_end_still_records_metrics() {
+        let reg = MetricRegistry::new();
+        let buf = TraceBuffer::new(8);
+        let obs = TracingObserver::with_targets(reg.clone(), buf.clone());
+        let report = StageReport {
+            stage: "ghost".to_string(),
+            cost_after: 1,
+            elapsed: std::time::Duration::from_micros(5),
+            truncated: false,
+        };
+        obs.on_stage_end("test", &report);
+        assert!(buf.snapshot().is_empty());
+        assert_eq!(
+            reg.counter("bsp_solve_stages_total", &[("stage", "ghost")])
+                .get(),
+            1
+        );
+    }
+}

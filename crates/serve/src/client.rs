@@ -1,7 +1,7 @@
 //! A small blocking client for the JSONL protocol — used by the test
 //! suite, the CI smoke job and the `loadgen` benchmark driver.
 
-use crate::protocol::{parse_line, to_line, Frame, Request, ServerStats, MAX_LINE};
+use crate::protocol::{parse_line, to_line, Frame, MetricWire, Request, ServerStats, MAX_LINE};
 use crate::protocol::{read_line_capped, LineRead};
 use bsp_instance::trace::ArrivalEvent;
 use bsp_instance::DagEdit;
@@ -185,6 +185,19 @@ impl Client {
         resp.result
             .stats
             .ok_or_else(|| ClientError::Protocol("stats frame without stats".into()))
+    }
+
+    /// Requests server statistics together with the flat metrics
+    /// snapshot (process-wide counters and gauges) the stats frame
+    /// carries — programmatic access to the same numbers the sidecar's
+    /// `/metrics` endpoint exposes.
+    pub fn stats_with_metrics(&mut self) -> Result<(ServerStats, Vec<MetricWire>), ClientError> {
+        let resp = self.request(Request::new("stats"))?;
+        let stats = resp
+            .result
+            .stats
+            .ok_or_else(|| ClientError::Protocol("stats frame without stats".into()))?;
+        Ok((stats, resp.result.metrics.unwrap_or_default()))
     }
 
     /// Requests a graceful server shutdown.

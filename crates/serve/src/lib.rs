@@ -48,9 +48,10 @@ pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub(crate) mod sidecar;
 
 pub use cache::{CachedResult, InstanceCache, ResultKey, ResultStore, StoreStats};
 pub use client::{Client, ClientError, DeltaParams, Response, SolveParams};
-pub use protocol::{codes, Frame, Request, ServerStats, MAX_LINE};
+pub use protocol::{codes, metric_wires, Frame, MetricWire, Request, ServerStats, MAX_LINE};
 pub use queue::{JobQueue, PushError};
 pub use server::{shutdown_on_sigint, start, ServeConfig, ServerHandle};

@@ -191,6 +191,9 @@ pub struct Frame {
     pub event: Option<SolveEvent>,
     /// Server statistics (stats frames).
     pub stats: Option<ServerStats>,
+    /// Flat metrics snapshot (stats frames): process-wide counters and
+    /// gauges, so clients get programmatic metrics without the sidecar.
+    pub metrics: Option<Vec<MetricWire>>,
     /// Stream session the frame belongs to (stream frames).
     pub session: Option<String>,
     /// Commit frontier after the push (stream frames).
@@ -248,6 +251,7 @@ impl Serialize for Frame {
         push_opt(&mut fields, "message", &self.message);
         push_opt(&mut fields, "event", &self.event);
         push_opt(&mut fields, "stats", &self.stats);
+        push_opt(&mut fields, "metrics", &self.metrics);
         push_opt(&mut fields, "session", &self.session);
         push_opt(&mut fields, "frontier", &self.frontier);
         push_opt(&mut fields, "arrivals", &self.arrivals);
@@ -280,6 +284,7 @@ impl<'de> Deserialize<'de> for Frame {
             message: opt_field(value, "message")?,
             event: opt_field(value, "event")?,
             stats: opt_field(value, "stats")?,
+            metrics: opt_field(value, "metrics")?,
             session: opt_field(value, "session")?,
             frontier: opt_field(value, "frontier")?,
             arrivals: opt_field(value, "arrivals")?,
@@ -309,6 +314,35 @@ pub struct ServerStats {
     pub queued: u64,
     /// Worker threads draining the queue.
     pub workers: u64,
+}
+
+/// One scalar metric on the wire (`stats` frames): the flattened
+/// `name{labels}` key, the metric kind (`"counter"` or `"gauge"`;
+/// histograms are summarized by the sidecar, not the wire snapshot) and
+/// the current value.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricWire {
+    /// Flattened metric key, e.g. `bsp_serve_requests_total{method="solve"}`.
+    pub name: String,
+    /// `"counter"` or `"gauge"`.
+    pub kind: String,
+    /// Current value (counters clamp to `i64::MAX`).
+    pub value: i64,
+}
+
+/// Flattens a registry snapshot into wire metrics: counters and gauges
+/// only, in the snapshot's deterministic (name, labels) order.
+pub fn metric_wires(samples: &[bsp_obs::MetricSample]) -> Vec<MetricWire> {
+    samples
+        .iter()
+        .filter_map(|s| {
+            Some(MetricWire {
+                name: s.full_name(),
+                kind: s.kind().to_string(),
+                value: s.scalar()?,
+            })
+        })
+        .collect()
 }
 
 /// Parses one protocol line into `T`, tagging errors with the line's

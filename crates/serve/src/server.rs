@@ -32,6 +32,7 @@ use bsp_core::pipeline::PipelineConfig;
 use bsp_core::{solve_warm_pipeline, warm_start_from_map};
 use bsp_instance::source::{InstanceRegistry, DEFAULT_SEED};
 use bsp_instance::{apply_edits, Instance, MachineSpec};
+use bsp_obs::{Counter, Gauge, Histogram};
 use bsp_online::{OnlineConfig, OnlineScheduler};
 use bsp_par::CancelToken;
 use bsp_sched::race::RACE_PREFIX;
@@ -76,6 +77,10 @@ pub struct ServeConfig {
     pub pipeline: PipelineConfig,
     /// Per-line byte cap of the protocol reader.
     pub max_line: usize,
+    /// Bind address of the observability sidecar (`GET /metrics`
+    /// Prometheus exposition, `GET /trace` Chrome trace JSON). `None`
+    /// (the default) disables the sidecar; port `0` picks a free port.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +100,7 @@ impl Default for ServeConfig {
             default_sched: "pipeline/base?ilp=off".to_string(),
             pipeline,
             max_line: MAX_LINE,
+            metrics_addr: None,
         }
     }
 }
@@ -121,6 +127,71 @@ struct Job {
     cancel: CancelToken,
 }
 
+/// Per-method request metrics (one set each for `solve` and `delta`).
+struct MethodMetrics {
+    requests: Counter,
+    latency: Histogram,
+}
+
+/// The server's handles into the process-wide [`bsp_obs`] registry,
+/// registered once at startup so the hot paths are single atomic ops.
+/// Counters are process-global and monotone; a test running several
+/// servers in one process should assert with `>=`, not `==`.
+struct ServeMetrics {
+    queue_depth: Gauge,
+    inflight: Gauge,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    warm_solves: Counter,
+    cold_solves: Counter,
+    solve: MethodMetrics,
+    delta: MethodMetrics,
+    /// Store evictions already forwarded to `cache_evictions` — the
+    /// store's own counter is monotone, so the delta since the last sync
+    /// is exactly what is new.
+    evictions_seen: AtomicU64,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let reg = bsp_obs::global();
+        let method = |m: &str| MethodMetrics {
+            requests: reg.counter("bsp_serve_requests_total", &[("method", m)]),
+            latency: reg.histogram("bsp_serve_request_duration_us", &[("method", m)]),
+        };
+        ServeMetrics {
+            queue_depth: reg.gauge("bsp_serve_queue_depth", &[]),
+            inflight: reg.gauge("bsp_serve_inflight_jobs", &[]),
+            cache_hits: reg.counter("bsp_serve_cache_hits_total", &[]),
+            cache_misses: reg.counter("bsp_serve_cache_misses_total", &[]),
+            cache_evictions: reg.counter("bsp_serve_cache_evictions_total", &[]),
+            warm_solves: reg.counter("bsp_serve_warm_solves_total", &[]),
+            cold_solves: reg.counter("bsp_serve_cold_solves_total", &[]),
+            solve: method("solve"),
+            delta: method("delta"),
+            evictions_seen: AtomicU64::new(0),
+        }
+    }
+
+    fn method(&self, name: &str) -> &MethodMetrics {
+        match name {
+            "delta" => &self.delta,
+            _ => &self.solve,
+        }
+    }
+
+    /// Forwards store evictions accrued since the last sync. `fetch_max`
+    /// makes concurrent syncs race-free: each eviction is counted by
+    /// exactly one caller, whichever observed it first.
+    fn sync_evictions(&self, evictions_now: u64) {
+        let seen = self
+            .evictions_seen
+            .fetch_max(evictions_now, Ordering::Relaxed);
+        self.cache_evictions.add(evictions_now.saturating_sub(seen));
+    }
+}
+
 struct Shared {
     cfg: ServeConfig,
     queue: JobQueue<Job>,
@@ -129,6 +200,7 @@ struct Shared {
     stop: CancelToken,
     jobs_done: AtomicU64,
     workers: usize,
+    metrics: ServeMetrics,
 }
 
 impl Shared {
@@ -155,8 +227,10 @@ impl Shared {
 /// A running server: bound address plus the handles needed to stop it.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
+    sidecar: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -164,6 +238,11 @@ impl ServerHandle {
     /// The address the server actually bound (resolves port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The observability sidecar's bound address, if one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Signals shutdown without waiting: stops accepting, closes the
@@ -188,6 +267,9 @@ impl ServerHandle {
     /// counters.
     pub fn wait(self) -> ServerStats {
         let _ = self.accept.join();
+        if let Some(sidecar) = self.sidecar {
+            let _ = sidecar.join();
+        }
         for w in self.workers {
             let _ = w.join();
         }
@@ -231,8 +313,17 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         stop: CancelToken::new(),
         jobs_done: AtomicU64::new(0),
         workers,
+        metrics: ServeMetrics::new(),
         cfg,
     });
+
+    let (metrics_addr, sidecar) = match &shared.cfg.metrics_addr {
+        Some(addr) => {
+            let (addr, handle) = crate::sidecar::start(addr, shared.stop.clone())?;
+            (Some(addr), Some(handle))
+        }
+        None => (None, None),
+    };
 
     let worker_handles: Vec<JoinHandle<()>> = (0..workers)
         .map(|i| {
@@ -254,8 +345,10 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         shared,
         accept,
+        sidecar,
         workers: worker_handles,
     })
 }
@@ -402,6 +495,7 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
                     kind: "stats".to_string(),
                     id,
                     stats: Some(shared.stats()),
+                    metrics: Some(crate::protocol::metric_wires(&bsp_obs::global().snapshot())),
                     ..Frame::default()
                 },
             ),
@@ -433,7 +527,7 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
                     cancel: conn_token.child(),
                 };
                 match shared.queue.try_push(job) {
-                    Ok(()) => {}
+                    Ok(()) => shared.metrics.queue_depth.inc(),
                     Err(PushError::Full) => send(
                         &out,
                         &Frame::error(id, codes::QUEUE_FULL, "job queue at capacity; retry"),
@@ -609,6 +703,9 @@ fn worker_loop(shared: Arc<Shared>) {
     let registry = Registry::standard();
     let instances = InstanceRegistry::standard();
     while let Some(job) = shared.queue.pop() {
+        let began = Instant::now();
+        shared.metrics.queue_depth.dec();
+        shared.metrics.inflight.inc();
         let frame = match job.req.method.as_str() {
             "solve" => handle_solve(&shared, &registry, &instances, &job),
             "delta" => handle_delta(&shared, &registry, &job),
@@ -617,6 +714,12 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         send(&job.out, &frame);
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.inflight.dec();
+        let mm = shared.metrics.method(&job.req.method);
+        mm.requests.inc();
+        mm.latency.observe_duration(began.elapsed());
+        let evictions = shared.store.lock().unwrap().stats().evictions;
+        shared.metrics.sync_evictions(evictions);
     }
 }
 
@@ -719,12 +822,15 @@ fn handle_solve(
     };
 
     if let Some(hit) = shared.store.lock().unwrap().get(&key) {
+        shared.metrics.cache_hits.inc();
         let mut frame = result_frame(id, &key, start);
         frame.cost = Some(hit.cost);
         frame.supersteps = Some(supersteps_of(&hit.steps));
         frame.cache_hit = Some(true);
         return frame;
     }
+    shared.metrics.cache_misses.inc();
+    shared.metrics.cold_solves.inc();
 
     let scheduler = match registry.get_with(sched_raw, &shared.cfg.pipeline) {
         Ok(s) => s,
@@ -823,6 +929,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
     // The same edit on the same base under the same scheduler is the same
     // problem — the derived key can itself hit the cache.
     if let Some(hit) = shared.store.lock().unwrap().get(&key) {
+        shared.metrics.cache_hits.inc();
         shared
             .icache
             .lock()
@@ -834,6 +941,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
         frame.cache_hit = Some(true);
         return frame;
     }
+    shared.metrics.cache_misses.inc();
 
     // Warm start requires a cached schedule of the *base* under the same
     // scheduler (internal probe: no client-visible hit/miss counting).
@@ -857,6 +965,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
 
     let (outcome, warm, warm_init_cost) = match base_sched {
         Some(base_sched) => {
+            shared.metrics.warm_solves.inc();
             let initial =
                 warm_start_from_map(&inst.dag, &inst.machine, &base_sched, &edited.node_map);
             let mut solve_req = SolveRequest::new(&inst.dag, &inst.machine).with_budget(budget);
@@ -883,6 +992,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
         None => {
             // No cached base schedule: fall back to a cold solve of the
             // edited instance.
+            shared.metrics.cold_solves.inc();
             let scheduler = match registry.get_with(sched_raw, &shared.cfg.pipeline) {
                 Ok(s) => s,
                 Err(e) => return Frame::error(id, codes::BAD_SPEC, e.to_string()),

@@ -55,6 +55,66 @@ fn cold_solve_then_cache_hit() {
 }
 
 #[test]
+fn stats_carries_metrics_and_sidecar_serves_them() {
+    use std::io::{Read, Write};
+
+    let mut cfg = ServeConfig::default();
+    cfg.threads = 2;
+    cfg.default_budget_ms = Some(1000);
+    cfg.metrics_addr = Some("127.0.0.1:0".to_string());
+    let handle = start(cfg).unwrap();
+    let sidecar = handle.metrics_addr().expect("sidecar was configured");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Cold solve then a guaranteed hit, so the counters have signal.
+    let mut p = solve_params(300);
+    p.instance = "forkjoin?chains=2&depth=2&stages=2 @ bsp?p=2".to_string();
+    assert_eq!(client.solve(&p).unwrap().result.cache_hit, Some(false));
+    assert_eq!(client.solve(&p).unwrap().result.cache_hit, Some(true));
+
+    // The stats frame carries a flat metrics snapshot. Metrics are
+    // process-wide (shared by every server in this test binary), so
+    // assert lower bounds, not exact counts.
+    let (_, metrics) = client.stats_with_metrics().unwrap();
+    let value = |name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing from {metrics:?}"))
+            .value
+    };
+    assert!(value("bsp_serve_cache_hits_total") >= 1);
+    assert!(value("bsp_serve_cache_misses_total") >= 1);
+    assert!(value("bsp_serve_cold_solves_total") >= 1);
+    assert!(value("bsp_serve_requests_total{method=\"solve\"}") >= 2);
+    assert!(value("bsp_serve_queue_depth") >= 0);
+
+    // The sidecar serves the same registry as Prometheus text.
+    let mut s = std::net::TcpStream::connect(sidecar).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    s.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"));
+    assert!(body.contains("# TYPE bsp_serve_cache_hits_total counter"));
+    assert!(body.contains("# TYPE bsp_serve_request_duration_us histogram"));
+    assert!(body.contains("bsp_serve_request_duration_us_bucket"));
+
+    // And the trace endpoint is Chrome trace-event JSON with the
+    // pipeline spans the cold solve just recorded.
+    let mut s = std::net::TcpStream::connect(sidecar).unwrap();
+    s.write_all(b"GET /trace HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut trace = String::new();
+    s.read_to_string(&mut trace).unwrap();
+    assert!(trace.starts_with("HTTP/1.1 200 OK"));
+    assert!(trace.contains("\"ph\":\"X\""));
+    assert!(trace.contains("pipeline/base"));
+
+    handle.shutdown();
+}
+
+#[test]
 fn delta_resolve_warm_starts_from_cached_base() {
     let handle = test_server();
     let mut client = Client::connect(handle.addr()).unwrap();
