@@ -1,0 +1,247 @@
+//! The `chaos` command: smoke the serving stack under a deterministic
+//! fault plan (README § "Fault tolerance") and prove three properties a
+//! deployment cares about:
+//!
+//! 1. **The server survives.** Injected panics, dropped frames and I/O
+//!    errors surface as typed `internal_error` frames or broken
+//!    connections, never as a dead worker pool — every request below
+//!    eventually succeeds through the client's retry/backoff path.
+//! 2. **Faults really fired.** The observability sidecar's `/metrics`
+//!    page must report a nonzero `bsp_faults_injected_total`, so a green
+//!    run cannot be a silently disabled plan.
+//! 3. **Chaos is replayable.** An online replay under the same fault
+//!    seed twice yields bit-identical final costs and identical injected
+//!    fault counts — "it crashed once" is reproducible from a seed.
+//!
+//! This is the CI `chaos-smoke` gate: `cargo run -p bsp-experiments
+//! --release -- chaos --quick`. Override the plan with `--faults <spec>`
+//! (grammar: `bsp_faults::FaultPlan`).
+
+use crate::runner::{resolve_instance_groups, RunConfig};
+use bsp_faults::FaultPlan;
+use bsp_instance::trace::{arrival_trace, ArrivalOrder, TraceConfig};
+use bsp_online::{replay, OnlineConfig};
+use bsp_serve::client::{Client, ClientError, RetryPolicy, SolveParams};
+use bsp_serve::protocol::codes;
+use bsp_serve::server::{start, ServeConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default chaos plan: every fault kind enabled at rates high enough to
+/// fire many times across a smoke run, `slow_ms` kept tiny so injected
+/// latency does not dominate wall-clock.
+const DEFAULT_PLAN: &str = "faults?seed=7&io_err=0.04&drop=0.02&panic=0.02&slow=0.15&slow_ms=2";
+
+/// Attempt ceiling per request: `internal_error` answers (injected job
+/// panics) are re-sent this many times before the run is declared broken.
+const MAX_ATTEMPTS: u32 = 40;
+
+/// The `chaos` command entry point.
+pub fn chaos(cfg: &RunConfig) {
+    let spec = cfg
+        .faults
+        .clone()
+        .unwrap_or_else(|| DEFAULT_PLAN.to_string());
+    // Parse up front: a bad `--faults` should abort with the grammar
+    // error, not a server bind failure.
+    let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("--faults {spec:?}: {e}"));
+    println!("fault plan: {}", plan.spec());
+
+    serve_chaos(cfg, &spec, plan.seed());
+    online_chaos(cfg, plan.seed());
+    println!("\nchaos ok: server survived, faults fired, replay deterministic");
+}
+
+/// Drives the serve stack under the plan: N solve requests, each retried
+/// until it succeeds, against a server whose read/write/job/stream/par
+/// paths are all being perturbed.
+fn serve_chaos(cfg: &RunConfig, spec: &str, seed: u64) {
+    let mut sc = ServeConfig::default();
+    sc.addr = "127.0.0.1:0".to_string();
+    sc.metrics_addr = Some("127.0.0.1:0".to_string());
+    sc.threads = cfg.threads;
+    sc.default_budget_ms = Some(cfg.budget_ms.unwrap_or(2000));
+    sc.faults = Some(spec.to_string());
+    let handle = start(sc).expect("chaos server binds a loopback port");
+    let metrics_addr = handle.metrics_addr().expect("chaos sidecar bound");
+
+    let requests: u64 = if cfg.quick { 30 } else { 120 };
+    let policy = RetryPolicy {
+        max_retries: 8,
+        base_ms: 5,
+        cap_ms: 200,
+        seed,
+    };
+    let mut client = connect_client(&handle);
+    let mut successes = 0u64;
+    let mut internal_errors = 0u64;
+    let mut io_failures = 0u64;
+    for i in 0..requests {
+        // A small rotating family: a mix of cold solves and cached hits,
+        // so the job bodies, the store and the cache path all see faults.
+        let mut params = SolveParams::default();
+        params.instance = format!(
+            "layered?layers=3&width=4&q=0.3&seed={} @ bsp?p=4&g=2&l=5",
+            i % 6
+        );
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= MAX_ATTEMPTS,
+                "request {i} did not succeed within {MAX_ATTEMPTS} attempts — \
+                 the server or its retry path is broken under {spec:?}"
+            );
+            match client.solve_with_retry(&params, &policy) {
+                Ok(resp) => {
+                    assert!(resp.result.cost.is_some(), "success frame without a cost");
+                    successes += 1;
+                    break;
+                }
+                // Injected job/stream panic: the typed frame proves the
+                // worker pool survived; the same connection is reusable.
+                Err(ClientError::Server { code, .. }) if code == codes::INTERNAL_ERROR => {
+                    internal_errors += 1;
+                }
+                // Dropped frame or injected read error killed the
+                // connection faster than the built-in retry could mend
+                // it: reconnect and go again.
+                Err(ClientError::Io(_)) => {
+                    io_failures += 1;
+                    client = connect_client(&handle);
+                }
+                Err(e) => panic!("unexpected client error under chaos: {e}"),
+            }
+        }
+    }
+
+    let metrics = fetch_metrics(metrics_addr);
+    let injected = counter_sum(&metrics, "bsp_faults_injected_total");
+    let failed = counter_sum(&metrics, "bsp_jobs_failed_total");
+    let retries = counter_sum(&metrics, "bsp_retries_total");
+    let stats = handle.shutdown();
+
+    println!(
+        "serve chaos: {successes}/{requests} requests succeeded \
+         ({internal_errors} internal_error answers, {io_failures} reconnects)"
+    );
+    println!(
+        "metrics: bsp_faults_injected_total={injected} bsp_jobs_failed_total={failed} \
+         bsp_retries_total={retries}"
+    );
+    println!(
+        "server drained clean: {} jobs done, {} queued",
+        stats.jobs_done, stats.queued
+    );
+    assert_eq!(successes, requests, "every request must eventually succeed");
+    assert!(
+        injected > 0,
+        "the fault plan never fired — /metrics shows no bsp_faults_injected_total"
+    );
+}
+
+/// Replays one streaming trace twice under fresh plans parsed from the
+/// same seed and asserts bit-identical outcomes: the fault decision
+/// streams, and therefore the perturbed replay, are pure functions of
+/// the spec. The replay plan injects only non-panicking kinds at the
+/// `online` site (a panic would abort the replay itself, which is the
+/// serve path's job to contain, not the harness's).
+fn online_chaos(cfg: &RunConfig, seed: u64) {
+    let replay_spec = format!("faults?seed={seed}&io_err=0.2&slow=0.05&slow_ms=1&only=online");
+    let inst_spec = "spmv?n=60&q=0.25 @ bsp?p=4&g=2".to_string();
+    let groups = resolve_instance_groups(&[inst_spec]);
+    let inst = &groups[0].1[0];
+    let tcfg = TraceConfig {
+        order: ArrivalOrder::ALL[0],
+        reveal_frac: 0.2,
+        reveal_delay: 4,
+        seed: 7,
+    };
+    let trace = arrival_trace(&inst.dag, &inst.name, &tcfg);
+    let mut ocfg = OnlineConfig::default();
+    if let Some(ms) = cfg.budget_ms {
+        ocfg.budget_per_arrival = Duration::from_millis(ms);
+    }
+
+    let run = || {
+        let plan = Arc::new(FaultPlan::parse(&replay_spec).expect("replay plan parses"));
+        let _guard = bsp_faults::install(plan.clone());
+        let outcome = replay(&trace, &inst.machine, &ocfg)
+            .unwrap_or_else(|e| panic!("chaos replay of {}: {e}", inst.name));
+        (outcome.cost, outcome.stats.replans, plan.injected_counts())
+    };
+    let (cost_a, replans_a, injected_a) = run();
+    let (cost_b, replans_b, injected_b) = run();
+    println!(
+        "online chaos replay ({replay_spec}): cost {cost_a} twice, \
+         {replans_a} replans, injected {injected_a:?}"
+    );
+    assert_eq!(cost_a, cost_b, "replayed final cost differs across runs");
+    assert_eq!(replans_a, replans_b, "replan count differs across runs");
+    assert_eq!(
+        injected_a, injected_b,
+        "injected fault counts differ across runs"
+    );
+}
+
+fn connect_client(handle: &bsp_serve::server::ServerHandle) -> Client {
+    let mut client = Client::connect(handle.addr()).expect("chaos client connects");
+    // A short operation timeout turns injected dropped frames into fast
+    // retries instead of 30 s stalls.
+    client
+        .set_op_timeout(Some(Duration::from_secs(2)))
+        .expect("set op timeout");
+    client
+}
+
+/// Fetches the sidecar's Prometheus page over plain HTTP/1.1.
+fn fetch_metrics(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics sidecar");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("metrics read timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n")
+        .expect("send metrics request");
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .expect("read metrics response");
+    text
+}
+
+/// Sums every sample of `name` (all label sets) on a Prometheus page.
+fn counter_sum(page: &str, name: &str) -> u64 {
+    page.lines()
+        .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sum_adds_all_label_sets_and_ignores_others() {
+        let page = "# HELP bsp_faults_injected_total total\n\
+                    # TYPE bsp_faults_injected_total counter\n\
+                    bsp_faults_injected_total{kind=\"io_err\"} 3\n\
+                    bsp_faults_injected_total{kind=\"slow\"} 4\n\
+                    bsp_jobs_failed_total 2\n";
+        assert_eq!(counter_sum(page, "bsp_faults_injected_total"), 7);
+        assert_eq!(counter_sum(page, "bsp_jobs_failed_total"), 2);
+        assert_eq!(counter_sum(page, "bsp_retries_total"), 0);
+    }
+
+    #[test]
+    fn default_plan_parses_and_is_not_a_noop() {
+        let plan = FaultPlan::parse(DEFAULT_PLAN).expect("default chaos plan parses");
+        assert!(!plan.is_noop());
+        assert_eq!(plan.seed(), 7);
+    }
+}

@@ -9,6 +9,7 @@
 //! cargo run -p bsp-experiments --release -- memory    # cost vs fast-memory capacity, all families
 //! cargo run -p bsp-experiments --release -- serve --addr 127.0.0.1:7570 --store results.json --store-cap 512
 //! cargo run -p bsp-experiments --release -- loadgen --quick
+//! cargo run -p bsp-experiments --release -- chaos --quick [--faults "faults?seed=7&panic=0.02"]
 //! cargo run -p bsp-experiments --release -- online --check [--order shuffle] [--budget-ms 2]
 //! cargo run -p bsp-experiments --release -- all
 //! ```
@@ -44,6 +45,7 @@
 
 mod ablations;
 mod bench;
+mod chaos_cmd;
 mod memory;
 mod metrics;
 mod online_cmd;
@@ -108,6 +110,10 @@ fn main() {
                 cfg.order = Some(args[i].clone());
             }
             "--check" => cfg.check = true,
+            "--faults" => {
+                i += 1;
+                cfg.faults = Some(args[i].clone());
+            }
             other if id.is_none() => id = Some(other.to_string()),
             other => panic!("unexpected argument: {other}"),
         }
@@ -150,6 +156,9 @@ fn main() {
     if cfg.check && id != "online" {
         panic!("--check applies only to the `online` command");
     }
+    if cfg.faults.is_some() && !matches!(id.as_str(), "serve" | "chaos") {
+        panic!("--faults applies only to the `serve` and `chaos` commands");
+    }
 
     let run = |name: &str| {
         println!("\n================ {name} ================");
@@ -177,6 +186,7 @@ fn main() {
             "bench" => bench::bench(&cfg),
             "serve" => serve_cmd::serve(&cfg),
             "loadgen" => serve_cmd::loadgen(&cfg),
+            "chaos" => chaos_cmd::chaos(&cfg),
             "online" => online_cmd::online(&cfg),
             "memory" => memory::memory_sweep(&cfg),
             "ablation" => ablations::all(&cfg),

@@ -56,6 +56,9 @@ pub struct RunConfig {
     /// Fail the `online` command if any replayed final cost exceeds the
     /// acceptance ratio over the cold solve (`--check`).
     pub check: bool,
+    /// Fault-plan spec from `--faults` (the `serve` and `chaos`
+    /// commands; `None` = injection disabled).
+    pub faults: Option<String>,
 }
 
 impl RunConfig {
@@ -84,6 +87,7 @@ impl Default for RunConfig {
             store_cap: None,
             order: None,
             check: false,
+            faults: None,
         }
     }
 }

@@ -78,6 +78,7 @@ fn serve_config(cfg: &RunConfig) -> ServeConfig {
         sc.addr = addr.clone();
     }
     sc.metrics_addr = cfg.metrics_addr.clone();
+    sc.faults = cfg.faults.clone();
     sc
 }
 

@@ -1,0 +1,556 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is parsed from a spec string in the same `name?k=v&…`
+//! grammar as every other registry spec in the workspace:
+//!
+//! ```text
+//! faults?seed=7&io_err=0.01&drop=0.005&panic=0.001&slow=0.02&slow_ms=50
+//! ```
+//!
+//! Each parameter names a fault *kind* and its per-decision probability;
+//! `slow_ms` sizes the injected latency, `max=<n>` caps the total number
+//! of injected faults (so e.g. `panic=1.0&max=1` poisons exactly one
+//! operation and then gets out of the way), and `only=<site,…>` restricts
+//! injection to named [`Site`]s.
+//!
+//! Decisions are **deterministic**: every injection site owns an atomic
+//! draw counter, and the n-th decision at site `s` is a pure function of
+//! `(seed, s, n)` (a splitmix64 finalizer). Replaying the same request
+//! sequence against the same plan spec yields the same faults in the same
+//! places — chaos runs are reproducible, which turns "it crashed once in
+//! prod" into a seed.
+//!
+//! Plans reach injection points through a *scoped thread-local*: a server
+//! (or test) [`install`]s its plan around the work it wants perturbed and
+//! every `bsp-par`/`bsp-online` hook below consults [`current`]. When no
+//! plan is installed anywhere in the process, [`current`] is a single
+//! relaxed atomic load — the disabled hooks are free.
+//!
+//! ```
+//! use bsp_faults::{FaultPlan, Fault, Site};
+//!
+//! let plan = FaultPlan::parse("faults?seed=7&panic=1.0&max=1").unwrap();
+//! assert_eq!(plan.fault_at(Site::Job), Some(Fault::Panic));
+//! assert_eq!(plan.fault_at(Site::Job), None, "max=1 spent the budget");
+//! assert_eq!(plan.injected_total(), 1);
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Injection sites threaded through the stack. Each site owns its own
+/// deterministic decision stream; the site names below are the tokens the
+/// `only=` spec parameter accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Server connection reads (one decision per protocol line).
+    Read,
+    /// Server frame writes (one decision per outgoing frame).
+    Write,
+    /// Serve worker job bodies (solve/delta execution).
+    Job,
+    /// Result-store loads.
+    StoreLoad,
+    /// Result-store flushes.
+    StoreSave,
+    /// `bsp-par` worker chunk bodies.
+    Par,
+    /// Stream-session event pushes in `bsp-serve`.
+    Stream,
+    /// `bsp-online` re-plan passes.
+    Online,
+}
+
+/// Number of distinct [`Site`]s (sizes the per-site counter arrays).
+pub const N_SITES: usize = 8;
+
+const ALL_SITES: [Site; N_SITES] = [
+    Site::Read,
+    Site::Write,
+    Site::Job,
+    Site::StoreLoad,
+    Site::StoreSave,
+    Site::Par,
+    Site::Stream,
+    Site::Online,
+];
+
+impl Site {
+    /// Stable site index into the per-site counter arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            Site::Read => 0,
+            Site::Write => 1,
+            Site::Job => 2,
+            Site::StoreLoad => 3,
+            Site::StoreSave => 4,
+            Site::Par => 5,
+            Site::Stream => 6,
+            Site::Online => 7,
+        }
+    }
+
+    /// The spec token naming this site (`only=` parameter).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Read => "read",
+            Site::Write => "write",
+            Site::Job => "job",
+            Site::StoreLoad => "store.load",
+            Site::StoreSave => "store.save",
+            Site::Par => "par",
+            Site::Stream => "stream",
+            Site::Online => "online",
+        }
+    }
+
+    /// Parses a spec token back into a site.
+    pub fn from_name(name: &str) -> Option<Site> {
+        ALL_SITES.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+/// One injected fault, drawn at an injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Simulate an I/O error (a failed read/write/flush).
+    IoErr,
+    /// Simulate a dropped connection or lost message.
+    Drop,
+    /// Panic at the injection point (exercises panic isolation).
+    Panic,
+    /// Sleep for the plan's `slow_ms` before proceeding.
+    Slow(u64),
+}
+
+impl Fault {
+    fn kind_idx(self) -> usize {
+        match self {
+            Fault::IoErr => 0,
+            Fault::Drop => 1,
+            Fault::Panic => 2,
+            Fault::Slow(_) => 3,
+        }
+    }
+
+    /// The metric label / display name of the fault kind.
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            Fault::IoErr => "io_err",
+            Fault::Drop => "drop",
+            Fault::Panic => "panic",
+            Fault::Slow(_) => "slow",
+        }
+    }
+}
+
+/// Why a fault spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// The spec does not start with `faults` (before the `?`).
+    BadName(String),
+    /// A `k=v` clause is malformed.
+    BadClause(String),
+    /// An unknown parameter key.
+    UnknownKey(String),
+    /// A value failed to parse or is out of range.
+    BadValue { key: String, value: String },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::BadName(n) => {
+                write!(f, "fault spec must be named \"faults\", got {n:?}")
+            }
+            FaultSpecError::BadClause(c) => write!(f, "malformed fault clause {c:?} (want k=v)"),
+            FaultSpecError::UnknownKey(k) => write!(
+                f,
+                "unknown fault parameter {k:?} (known: seed, io_err, drop, panic, slow, slow_ms, max, only)"
+            ),
+            FaultSpecError::BadValue { key, value } => {
+                write!(f, "bad value {value:?} for fault parameter {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A deterministic fault-injection plan. See the crate docs for the spec
+/// grammar and determinism contract. Cheap to share behind an [`Arc`];
+/// the per-site draw counters and injection tallies live inside.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    io_err: f64,
+    drop_p: f64,
+    panic_p: f64,
+    slow_p: f64,
+    slow_ms: u64,
+    max: Option<u64>,
+    /// Site mask from `only=`; bit `Site::idx()` set = site enabled.
+    site_mask: u16,
+    draws: [AtomicU64; N_SITES],
+    used: AtomicU64,
+    injected: [AtomicU64; 4],
+    metrics: [bsp_obs::Counter; 4],
+}
+
+/// splitmix64 finalizer over `(seed, site, n)`, mapped to `[0, 1)`.
+fn unit(seed: u64, site: Site, n: u64) -> f64 {
+    let mut x = seed
+        ^ (site.idx() as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ n.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// Parses a fault spec (crate docs have the grammar). Probabilities
+    /// must lie in `[0, 1]`; unknown keys are typed errors, not ignored.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let (name, params) = match spec.split_once('?') {
+            Some((n, p)) => (n, p),
+            None => (spec, ""),
+        };
+        if name != "faults" {
+            return Err(FaultSpecError::BadName(name.to_string()));
+        }
+        let mut seed = 0u64;
+        let (mut io_err, mut drop_p, mut panic_p, mut slow_p) = (0.0, 0.0, 0.0, 0.0);
+        let mut slow_ms = 50u64;
+        let mut max = None;
+        let mut site_mask = u16::MAX;
+        let prob = |key: &str, value: &str| -> Result<f64, FaultSpecError> {
+            let v: f64 = value.parse().map_err(|_| FaultSpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            })?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(FaultSpecError::BadValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                });
+            }
+            Ok(v)
+        };
+        for clause in params.split('&').filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::BadClause(clause.to_string()))?;
+            let bad = |key: &str, value: &str| FaultSpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "seed" => seed = value.parse().map_err(|_| bad(key, value))?,
+                "io_err" => io_err = prob(key, value)?,
+                "drop" => drop_p = prob(key, value)?,
+                "panic" => panic_p = prob(key, value)?,
+                "slow" => slow_p = prob(key, value)?,
+                "slow_ms" => slow_ms = value.parse().map_err(|_| bad(key, value))?,
+                "max" => max = Some(value.parse().map_err(|_| bad(key, value))?),
+                "only" => {
+                    let mut mask = 0u16;
+                    for tok in value.split(',').filter(|t| !t.is_empty()) {
+                        let site = Site::from_name(tok).ok_or_else(|| bad(key, tok))?;
+                        mask |= 1 << site.idx();
+                    }
+                    site_mask = mask;
+                }
+                _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
+            }
+        }
+        let reg = bsp_obs::global();
+        let metric = |kind: &str| reg.counter("bsp_faults_injected_total", &[("kind", kind)]);
+        Ok(FaultPlan {
+            seed,
+            io_err,
+            drop_p,
+            panic_p,
+            slow_p,
+            slow_ms,
+            max,
+            site_mask,
+            draws: Default::default(),
+            used: AtomicU64::new(0),
+            injected: Default::default(),
+            metrics: [
+                metric("io_err"),
+                metric("drop"),
+                metric("panic"),
+                metric("slow"),
+            ],
+        })
+    }
+
+    /// The canonical spec string of this plan (parameters in fixed order,
+    /// zero-probability kinds omitted).
+    pub fn spec(&self) -> String {
+        let mut clauses = vec![format!("seed={}", self.seed)];
+        let mut push_prob = |key: &str, v: f64| {
+            if v > 0.0 {
+                clauses.push(format!("{key}={v}"));
+            }
+        };
+        push_prob("io_err", self.io_err);
+        push_prob("drop", self.drop_p);
+        push_prob("panic", self.panic_p);
+        push_prob("slow", self.slow_p);
+        if self.slow_p > 0.0 {
+            clauses.push(format!("slow_ms={}", self.slow_ms));
+        }
+        if let Some(m) = self.max {
+            clauses.push(format!("max={m}"));
+        }
+        if self.site_mask != u16::MAX {
+            let names: Vec<&str> = ALL_SITES
+                .iter()
+                .filter(|s| self.site_mask & (1 << s.idx()) != 0)
+                .map(|s| s.name())
+                .collect();
+            clauses.push(format!("only={}", names.join(",")));
+        }
+        format!("faults?{}", clauses.join("&"))
+    }
+
+    /// Draws the next decision at `site`. Returns the fault to inject, or
+    /// `None` (no fault this time / site filtered / `max` budget spent).
+    /// Every call consumes exactly one position of the site's decision
+    /// stream, so the sequence of outcomes at a site is a pure function
+    /// of the plan spec.
+    pub fn fault_at(&self, site: Site) -> Option<Fault> {
+        if self.site_mask & (1 << site.idx()) == 0 {
+            return None;
+        }
+        let n = self.draws[site.idx()].fetch_add(1, Ordering::Relaxed);
+        let u = unit(self.seed, site, n);
+        let mut acc = self.panic_p;
+        let fault = if u < acc {
+            Fault::Panic
+        } else if u < {
+            acc += self.drop_p;
+            acc
+        } {
+            Fault::Drop
+        } else if u < {
+            acc += self.io_err;
+            acc
+        } {
+            Fault::IoErr
+        } else if u < {
+            acc += self.slow_p;
+            acc
+        } {
+            Fault::Slow(self.slow_ms)
+        } else {
+            return None;
+        };
+        if let Some(max) = self.max {
+            if self.used.fetch_add(1, Ordering::Relaxed) >= max {
+                return None;
+            }
+        }
+        self.injected[fault.kind_idx()].fetch_add(1, Ordering::Relaxed);
+        self.metrics[fault.kind_idx()].inc();
+        Some(fault)
+    }
+
+    /// Compute-site helper: honors `Panic` (panics with a tagged message)
+    /// and `Slow` (sleeps); I/O kinds do not apply and are swallowed. Used
+    /// by `bsp-par` chunk bodies, serve job bodies and online re-plans.
+    pub fn apply_sync(&self, site: Site) {
+        match self.fault_at(site) {
+            Some(Fault::Panic) => panic!("injected fault: panic at site {:?}", site.name()),
+            Some(Fault::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+
+    /// Injected counts per kind, in `(io_err, drop, panic, slow)` order.
+    pub fn injected_counts(&self) -> [u64; 4] {
+        [
+            self.injected[0].load(Ordering::Relaxed),
+            self.injected[1].load(Ordering::Relaxed),
+            self.injected[2].load(Ordering::Relaxed),
+            self.injected[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Total faults injected by this plan so far.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_counts().iter().sum()
+    }
+
+    /// Whether every probability is zero (the plan can never fire).
+    pub fn is_noop(&self) -> bool {
+        self.io_err == 0.0 && self.drop_p == 0.0 && self.panic_p == 0.0 && self.slow_p == 0.0
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped thread-local plan: `install` sets the calling thread's current
+// plan and returns a guard restoring the previous one on drop. `current`
+// is gated by a process-wide count of live installs, so with no plan
+// anywhere it costs one relaxed load.
+
+static ACTIVE_PLANS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<FaultPlan>>> = const { RefCell::new(None) };
+}
+
+/// Guard returned by [`install`]; restores the previously installed plan
+/// (if any) when dropped.
+pub struct PlanGuard {
+    prev: Option<Arc<FaultPlan>>,
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+        ACTIVE_PLANS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Installs `plan` as the calling thread's current fault plan for the
+/// guard's lifetime. Nested installs stack (inner shadows outer).
+pub fn install(plan: Arc<FaultPlan>) -> PlanGuard {
+    ACTIVE_PLANS.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(plan));
+    PlanGuard { prev }
+}
+
+/// The calling thread's installed fault plan, if any. With no plan
+/// installed anywhere in the process this is a single relaxed atomic
+/// load — the hooks in hot paths are free when injection is off.
+#[inline]
+pub fn current() -> Option<Arc<FaultPlan>> {
+    if ACTIVE_PLANS.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let plan = FaultPlan::parse(
+            "faults?seed=7&io_err=0.01&drop=0.005&panic=0.001&slow=0.02&slow_ms=50",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(
+            plan.spec(),
+            "faults?seed=7&io_err=0.01&drop=0.005&panic=0.001&slow=0.02&slow_ms=50"
+        );
+        // Canonical form is a fixed point.
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap().spec(), plan.spec());
+
+        assert!(matches!(
+            FaultPlan::parse("chaos?seed=1"),
+            Err(FaultSpecError::BadName(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("faults?frequency=1"),
+            Err(FaultSpecError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("faults?panic=1.5"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("faults?panic"),
+            Err(FaultSpecError::BadClause(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("faults?only=job,nowhere"),
+            Err(FaultSpecError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn decision_streams_are_deterministic_per_site() {
+        let spec = "faults?seed=42&io_err=0.2&drop=0.1&panic=0.05&slow=0.1&slow_ms=5";
+        let a = FaultPlan::parse(spec).unwrap();
+        let b = FaultPlan::parse(spec).unwrap();
+        for site in [Site::Read, Site::Write, Site::Job, Site::Par] {
+            let sa: Vec<_> = (0..200).map(|_| a.fault_at(site)).collect();
+            let sb: Vec<_> = (0..200).map(|_| b.fault_at(site)).collect();
+            assert_eq!(sa, sb, "site {:?} stream differs", site.name());
+            assert!(
+                sa.iter().any(|f| f.is_some()),
+                "probabilities this high must fire within 200 draws"
+            );
+        }
+        assert_eq!(a.injected_counts(), b.injected_counts());
+    }
+
+    #[test]
+    fn zero_probability_never_fires_and_one_always_fires() {
+        let silent = FaultPlan::parse("faults?seed=1").unwrap();
+        assert!(silent.is_noop());
+        assert!((0..500).all(|_| silent.fault_at(Site::Job).is_none()));
+
+        let loud = FaultPlan::parse("faults?seed=1&panic=1.0").unwrap();
+        assert!((0..50).all(|_| loud.fault_at(Site::Job) == Some(Fault::Panic)));
+    }
+
+    #[test]
+    fn max_caps_total_injections() {
+        let plan = FaultPlan::parse("faults?seed=3&panic=1.0&max=2").unwrap();
+        let fired: Vec<_> = (0..10).map(|_| plan.fault_at(Site::Job)).collect();
+        assert_eq!(fired.iter().filter(|f| f.is_some()).count(), 2);
+        assert!(fired[..2].iter().all(|f| f.is_some()), "cap spends first");
+        assert_eq!(plan.injected_total(), 2);
+    }
+
+    #[test]
+    fn only_filters_sites() {
+        let plan = FaultPlan::parse("faults?seed=3&panic=1.0&only=par").unwrap();
+        assert_eq!(plan.fault_at(Site::Job), None);
+        assert_eq!(plan.fault_at(Site::Par), Some(Fault::Panic));
+        assert!(plan.spec().contains("only=par"));
+    }
+
+    #[test]
+    fn scoped_install_nests_and_restores() {
+        assert!(current().is_none());
+        let outer = Arc::new(FaultPlan::parse("faults?seed=1").unwrap());
+        let inner = Arc::new(FaultPlan::parse("faults?seed=2").unwrap());
+        {
+            let _g1 = install(outer.clone());
+            assert_eq!(current().unwrap().seed(), 1);
+            {
+                let _g2 = install(inner);
+                assert_eq!(current().unwrap().seed(), 2);
+            }
+            assert_eq!(current().unwrap().seed(), 1);
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn apply_sync_panics_on_injected_panic() {
+        let plan = FaultPlan::parse("faults?seed=1&panic=1.0&max=1").unwrap();
+        let caught = std::panic::catch_unwind(|| plan.apply_sync(Site::Job));
+        assert!(caught.is_err());
+        // Budget spent: the next application is a no-op.
+        plan.apply_sync(Site::Job);
+    }
+}

@@ -444,6 +444,12 @@ impl OnlineScheduler {
     /// Integrates the pending batch and re-optimizes the suffix under the
     /// per-arrival work budget.
     fn replan(&mut self) -> Result<BatchReport, OnlineError> {
+        // Fault-injection site for stream sessions: an injected panic
+        // unwinds into the serving layer's isolation boundary (which
+        // closes the session), an injected slow stretches the re-plan.
+        if let Some(plan) = bsp_faults::current() {
+            plan.apply_sync(bsp_faults::Site::Online);
+        }
         let t0 = Instant::now();
         let pending = std::mem::take(&mut self.pending);
 

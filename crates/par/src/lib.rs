@@ -24,27 +24,101 @@
 //! with optional parent chaining: cancelling a parent cancels every child
 //! token derived from it, while a child can be cancelled without touching
 //! its siblings — exactly the shape portfolio racing needs.
+//!
+//! Panic isolation: every chunk body in the threaded paths runs under
+//! `catch_unwind`, so a panicking chunk never tears down the scoped pool
+//! mid-flight. Siblings drain quickly via a shared abort flag, the panic
+//! from the **lowest** chunk index is re-raised at join (deterministic
+//! regardless of worker interleaving), and `bsp_par_chunk_panics_total`
+//! counts every caught chunk panic. Callers still observe "a worker panic
+//! propagates", but the pool itself always joins cleanly first.
 
+use std::any::Any;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Runtime counters, registered once in the process-global registry:
 /// `bsp_par_scopes_total` (threaded scopes entered), `bsp_par_chunks_total`
-/// (chunks/jobs distributed) and `bsp_par_worker_busy_us` (summed worker
-/// wall-time). Only the threaded paths record — `threads <= 1` stays
-/// zero-cost.
-fn par_metrics() -> &'static (bsp_obs::Counter, bsp_obs::Counter, bsp_obs::Counter) {
-    static METRICS: OnceLock<(bsp_obs::Counter, bsp_obs::Counter, bsp_obs::Counter)> =
-        OnceLock::new();
+/// (chunks/jobs distributed), `bsp_par_worker_busy_us` (summed worker
+/// wall-time) and `bsp_par_chunk_panics_total` (chunk bodies that
+/// panicked and were caught). Only the threaded paths record —
+/// `threads <= 1` stays zero-cost.
+struct ParMetrics {
+    scopes: bsp_obs::Counter,
+    chunks: bsp_obs::Counter,
+    busy: bsp_obs::Counter,
+    chunk_panics: bsp_obs::Counter,
+}
+
+fn par_metrics() -> &'static ParMetrics {
+    static METRICS: OnceLock<ParMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let reg = bsp_obs::global();
-        (
-            reg.counter("bsp_par_scopes_total", &[]),
-            reg.counter("bsp_par_chunks_total", &[]),
-            reg.counter("bsp_par_worker_busy_us", &[]),
-        )
+        ParMetrics {
+            scopes: reg.counter("bsp_par_scopes_total", &[]),
+            chunks: reg.counter("bsp_par_chunks_total", &[]),
+            busy: reg.counter("bsp_par_worker_busy_us", &[]),
+            chunk_panics: reg.counter("bsp_par_chunk_panics_total", &[]),
+        }
     })
+}
+
+/// The first (lowest-index) panic caught across a scope's chunk bodies,
+/// plus the abort flag that tells sibling workers to stop claiming work.
+struct PanicSlot {
+    first: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+    abort: AtomicBool,
+}
+
+impl PanicSlot {
+    fn new() -> Self {
+        PanicSlot {
+            first: Mutex::new(None),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Records a caught chunk panic, keeping only the lowest chunk index so
+    /// the re-raised payload is deterministic, and raises the abort flag.
+    fn record(&self, idx: usize, payload: Box<dyn Any + Send>) {
+        par_metrics().chunk_panics.inc();
+        self.abort.store(true, Ordering::Relaxed);
+        let mut slot = self.first.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.as_ref().is_none_or(|&(prev, _)| idx < prev) {
+            *slot = Some((idx, payload));
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Re-raises the recorded panic, if any. Called after the scope joined.
+    fn resume(self) {
+        let slot = self.first.into_inner().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, payload)) = slot {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Runs one chunk body under `catch_unwind`, applying the installed fault
+/// plan's `par` site first (an injected panic is indistinguishable from an
+/// organic one downstream). `AssertUnwindSafe` is sound here: a panicking
+/// chunk contributes no result, the abort flag drains the scope, and the
+/// caller re-raises — partially-mutated captures are never observed again
+/// on the panicking path.
+fn run_chunk<R>(
+    plan: &Option<Arc<bsp_faults::FaultPlan>>,
+    body: impl FnOnce() -> R,
+) -> Result<R, Box<dyn Any + Send>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(p) = plan {
+            p.apply_sync(bsp_faults::Site::Par);
+        }
+        body()
+    }))
 }
 
 /// Microseconds elapsed since `start`, saturating.
@@ -174,9 +248,11 @@ where
             .map(|c| f(c * chunk..((c + 1) * chunk).min(n_items)))
             .collect();
     }
-    let (scopes, chunks, busy) = par_metrics();
-    scopes.inc();
-    chunks.add(n_chunks as u64);
+    let metrics = par_metrics();
+    metrics.scopes.inc();
+    metrics.chunks.add(n_chunks as u64);
+    let plan = bsp_faults::current();
+    let panics = PanicSlot::new();
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -185,26 +261,33 @@ where
                     let began = std::time::Instant::now();
                     let mut local = Vec::new();
                     loop {
+                        if panics.aborted() {
+                            break;
+                        }
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
                         }
                         let lo = c * chunk;
-                        local.push((c, f(lo..(lo + chunk).min(n_items))));
+                        match run_chunk(&plan, || f(lo..(lo + chunk).min(n_items))) {
+                            Ok(r) => local.push((c, r)),
+                            Err(payload) => {
+                                panics.record(c, payload);
+                                break;
+                            }
+                        }
                     }
-                    busy.add(us_since(began));
+                    metrics.busy.add(us_since(began));
                     local
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(v) => v,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
+            .flat_map(|h| h.join().expect("bsp-par worker died outside a chunk body"))
             .collect()
     });
+    panics.resume();
     tagged.sort_unstable_by_key(|&(c, _)| c);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
@@ -238,9 +321,11 @@ where
     }
     let n_chunks = n_items.div_ceil(chunk);
     let threads = threads.min(n_chunks);
-    let (scopes, chunks, busy) = par_metrics();
-    scopes.inc();
-    chunks.add(n_chunks as u64);
+    let metrics = par_metrics();
+    metrics.scopes.inc();
+    metrics.chunks.add(n_chunks as u64);
+    let plan = bsp_faults::current();
+    let panics = PanicSlot::new();
     let cursor = AtomicUsize::new(0);
     let best_idx = AtomicUsize::new(usize::MAX);
     let mut hits: Vec<(usize, R)> = std::thread::scope(|scope| {
@@ -250,6 +335,9 @@ where
                     let began = std::time::Instant::now();
                     let mut local: Option<(usize, R)> = None;
                     loop {
+                        if panics.aborted() {
+                            break;
+                        }
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
@@ -261,32 +349,42 @@ where
                         if lo > best_idx.load(Ordering::Relaxed) {
                             break;
                         }
-                        for i in lo..(lo + chunk).min(n_items) {
-                            if i > best_idx.load(Ordering::Relaxed) {
-                                break;
+                        let scanned = run_chunk(&plan, || {
+                            for i in lo..(lo + chunk).min(n_items) {
+                                if i > best_idx.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                if let Some(r) = f(i) {
+                                    best_idx.fetch_min(i, Ordering::Relaxed);
+                                    return Some((i, r));
+                                }
                             }
-                            if let Some(r) = f(i) {
-                                best_idx.fetch_min(i, Ordering::Relaxed);
+                            None
+                        });
+                        match scanned {
+                            Ok(Some((i, r))) => {
                                 if local.as_ref().is_none_or(|&(j, _)| i < j) {
                                     local = Some((i, r));
                                 }
-                                break; // later indices in this chunk are larger
+                            }
+                            Ok(None) => {}
+                            Err(payload) => {
+                                panics.record(c, payload);
+                                break;
                             }
                         }
                     }
-                    busy.add(us_since(began));
+                    metrics.busy.add(us_since(began));
                     local
                 })
             })
             .collect();
         handles
             .into_iter()
-            .filter_map(|h| match h.join() {
-                Ok(v) => v,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
+            .filter_map(|h| h.join().expect("bsp-par worker died outside a chunk body"))
             .collect()
     });
+    panics.resume();
     hits.sort_unstable_by_key(|&(i, _)| i);
     hits.into_iter().next()
 }
@@ -312,9 +410,11 @@ where
     if threads <= 1 {
         return jobs.iter().map(&f).collect();
     }
-    let (scopes, chunks, busy) = par_metrics();
-    scopes.inc();
-    chunks.add(n as u64);
+    let metrics = par_metrics();
+    metrics.scopes.inc();
+    metrics.chunks.add(n as u64);
+    let plan = bsp_faults::current();
+    let panics = PanicSlot::new();
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -323,25 +423,32 @@ where
                     let began = std::time::Instant::now();
                     let mut local = Vec::new();
                     loop {
+                        if panics.aborted() {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&jobs[i])));
+                        match run_chunk(&plan, || f(&jobs[i])) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                panics.record(i, payload);
+                                break;
+                            }
+                        }
                     }
-                    busy.add(us_since(began));
+                    metrics.busy.add(us_since(began));
                     local
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(v) => v,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
+            .flat_map(|h| h.join().expect("bsp-par worker died outside a chunk body"))
             .collect()
     });
+    panics.resume();
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
@@ -418,6 +525,46 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn lowest_chunk_panic_wins_and_pool_survives() {
+        // Two chunks panic with distinct payloads; the re-raised payload
+        // must be the lowest chunk's regardless of worker interleaving,
+        // and the scope must join cleanly enough to run again right after.
+        for _ in 0..20 {
+            let caught = std::panic::catch_unwind(|| {
+                par_chunks(4, 100, 10, |r| {
+                    if r.start == 30 || r.start == 70 {
+                        panic!("chunk-{}", r.start);
+                    }
+                    r.len()
+                })
+            });
+            let payload = caught.expect_err("must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "chunk-30", "lowest chunk index must win");
+            // The pool is reusable immediately after a panic.
+            let ok = par_chunks(4, 50, 5, |r| r.len());
+            assert_eq!(ok.iter().sum::<usize>(), 50);
+        }
+    }
+
+    #[test]
+    fn injected_par_panic_propagates_and_counts() {
+        let plan = Arc::new(
+            bsp_faults::FaultPlan::parse("faults?seed=3&panic=1.0&only=par&max=1").unwrap(),
+        );
+        let _guard = bsp_faults::install(plan.clone());
+        let caught = std::panic::catch_unwind(|| par_chunks(2, 40, 10, |r| r.len()));
+        assert!(caught.is_err(), "injected panic must surface at join");
+        assert_eq!(plan.injected_total(), 1);
+        // max=1 exhausted: the very next scope runs clean under the same plan.
+        let ok = par_chunks(2, 40, 10, |r| r.len());
+        assert_eq!(ok.iter().sum::<usize>(), 40);
     }
 
     #[test]

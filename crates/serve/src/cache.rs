@@ -4,8 +4,14 @@
 //! `(instance_spec, machine_spec, sched_spec)` — exactly the strings the
 //! registries round-trip through [`spec()`][bsp_schedule::SchedulerSpec],
 //! so two requests naming the same problem in different parameter order
-//! land on the same entry. The store persists as a single JSON document
-//! ([`STORE_SCHEMA`]) and survives server restarts.
+//! land on the same entry. The store persists as a line-oriented,
+//! per-entry checksummed file ([`STORE_SCHEMA`], "store-v2") and
+//! survives server restarts — including restarts after a crash mid-write:
+//! every entry line carries its own byte length and FNV-1a 64 checksum,
+//! so truncated or bit-flipped lines are quarantined to `<path>.corrupt`
+//! (and counted in `bsp_store_corrupt_total`) while every intact entry
+//! keeps being served. Legacy single-JSON-document v1 files are migrated
+//! transparently on load and rewritten as v2 on the next save.
 //!
 //! The [`InstanceCache`] keeps generated (and delta-edited) instances in
 //! memory so `delta` requests can reference them by name and chain:
@@ -26,8 +32,49 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
-/// Schema tag of the persisted store file.
-pub const STORE_SCHEMA: &str = "bsp-serve/store-v1";
+/// Schema tag of the persisted store file: the first line of a v2 file.
+/// Every following line frames one entry as
+/// `<json-byte-len> <fnv64-hex> <entry-json>`.
+pub const STORE_SCHEMA: &str = "bsp-serve/store-v2";
+
+/// Schema tag of the legacy single-JSON-document format, still accepted
+/// (and migrated) on load.
+pub const STORE_SCHEMA_V1: &str = "bsp-serve/store-v1";
+
+/// FNV-1a 64-bit hash — the per-entry store checksum, also reused for
+/// instance fingerprints elsewhere in the crate.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Process-global counter of quarantined store entries.
+fn store_corrupt_metric() -> &'static bsp_obs::Counter {
+    static METRIC: std::sync::OnceLock<bsp_obs::Counter> = std::sync::OnceLock::new();
+    METRIC.get_or_init(|| bsp_obs::global().counter("bsp_store_corrupt_total", &[]))
+}
+
+/// Raises any injected fault for a store I/O site: `io_err`/`drop` become
+/// an `Err` the caller surfaces, `panic`/`slow` act in place.
+fn store_fault(site: bsp_faults::Site, what: &str) -> Result<(), String> {
+    if let Some(plan) = bsp_faults::current() {
+        match plan.fault_at(site) {
+            Some(bsp_faults::Fault::IoErr) | Some(bsp_faults::Fault::Drop) => {
+                return Err(format!("injected fault: io_err during {what}"));
+            }
+            Some(bsp_faults::Fault::Panic) => panic!("injected fault: panic during {what}"),
+            Some(bsp_faults::Fault::Slow(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms))
+            }
+            None => {}
+        }
+    }
+    Ok(())
+}
 
 /// The canonical address of one cached result.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -106,6 +153,8 @@ pub struct StoreStats {
     pub len: u64,
     /// Entries evicted by the LRU cap.
     pub evictions: u64,
+    /// Corrupt/truncated entries quarantined at load time.
+    pub corrupt: u64,
 }
 
 /// The spec-keyed result store. Not internally synchronized — the server
@@ -124,6 +173,7 @@ pub struct ResultStore {
     hits: u64,
     misses: u64,
     evictions: u64,
+    corrupt: u64,
     dirty: bool,
 }
 
@@ -169,45 +219,129 @@ impl ResultStore {
         }
     }
 
-    /// Loads a store from `path`. A missing file yields an empty store;
-    /// a present-but-malformed file is an error (the server refuses to
-    /// silently discard a corrupt cache).
+    /// Parses one v2 entry line (`<len> <fnv64-hex> <json>`), returning
+    /// `None` for truncated, bit-flipped or otherwise malformed lines.
+    fn parse_v2_line(line: &str) -> Option<CachedResult> {
+        let (len_s, rest) = line.split_once(' ')?;
+        let (sum_s, body) = rest.split_once(' ')?;
+        let len: usize = len_s.parse().ok()?;
+        let sum = u64::from_str_radix(sum_s, 16).ok()?;
+        if body.len() != len || fnv64(body.as_bytes()) != sum {
+            return None;
+        }
+        json::from_str::<CachedResult>(body).ok()
+    }
+
+    /// Loads a store from `path`. A missing file yields an empty store.
+    /// Corrupt or truncated content never aborts startup: v2 entry lines
+    /// that fail their length/checksum/JSON validation — and v1 documents
+    /// that fail to parse — are appended verbatim to `<path>.corrupt`,
+    /// counted in [`StoreStats::corrupt`] and `bsp_store_corrupt_total`,
+    /// while every intact entry is served. Legacy v1 documents that *do*
+    /// parse are migrated in memory (the store comes back dirty so the
+    /// next save rewrites them as v2).
     pub fn load(path: &Path) -> Result<Self, String> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+        store_fault(bsp_faults::Site::StoreLoad, "store load")?;
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ResultStore::new()),
             Err(e) => return Err(format!("{}: {e}", path.display())),
         };
-        let file: StoreFile =
-            json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        if file.schema != STORE_SCHEMA {
-            return Err(format!(
-                "{}: schema {:?}, expected {STORE_SCHEMA:?}",
-                path.display(),
-                file.schema
-            ));
-        }
+        // Lossy decode: a bit-flip can make a line invalid UTF-8, and
+        // that line must land in quarantine (the replacement characters
+        // fail its checksum), not abort the whole load.
+        let text = String::from_utf8_lossy(&bytes);
         let mut store = ResultStore::new();
-        for entry in file.entries {
-            store.map.insert(entry.key().composite(), entry);
+        let mut quarantined: Vec<&str> = Vec::new();
+        let mut lines = text.lines();
+        match lines.next() {
+            None => {}
+            Some(header) if header == STORE_SCHEMA => {
+                for line in lines {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match ResultStore::parse_v2_line(line) {
+                        Some(entry) => {
+                            store.map.insert(entry.key().composite(), entry);
+                        }
+                        None => quarantined.push(line),
+                    }
+                }
+            }
+            Some(header) if header.trim_start().starts_with('{') => {
+                match json::from_str::<StoreFile>(&text) {
+                    Ok(file) if file.schema == STORE_SCHEMA_V1 => {
+                        for entry in file.entries {
+                            store.map.insert(entry.key().composite(), entry);
+                        }
+                        store.dirty = true; // rewrite as v2 on the next save
+                    }
+                    _ => quarantined.push(text.trim_end()),
+                }
+            }
+            Some(_) => quarantined.push(text.trim_end()),
+        }
+        if !quarantined.is_empty() {
+            store.corrupt = quarantined.len() as u64;
+            store_corrupt_metric().add(store.corrupt);
+            let qpath = format!("{}.corrupt", path.display());
+            let mut blob = quarantined.join("\n");
+            blob.push('\n');
+            use std::io::Write;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&qpath)
+            {
+                Ok(mut f) => {
+                    let _ = f.write_all(blob.as_bytes());
+                }
+                Err(e) => return Err(format!("{qpath}: {e}")),
+            }
         }
         Ok(store)
     }
 
-    /// Writes the store to `path` (atomically: temp file + rename) and
-    /// clears the dirty flag. Entries are sorted by key for byte-stable
-    /// output.
+    /// Writes the store to `path` in v2 format — atomically (temp file +
+    /// rename) and durably (fsync of the temp file before the rename, of
+    /// the parent directory after) — then clears the dirty flag. Entries
+    /// are sorted by key for byte-stable output.
     pub fn save(&mut self, path: &Path) -> Result<(), String> {
+        store_fault(bsp_faults::Site::StoreSave, "store save")?;
         let mut entries: Vec<&CachedResult> = self.map.values().collect();
         entries.sort_by_key(|e| e.key().composite());
-        let file = StoreFile {
-            schema: STORE_SCHEMA.to_string(),
-            entries: entries.into_iter().cloned().collect(),
-        };
+        let mut out = String::with_capacity(64 + entries.len() * 128);
+        out.push_str(STORE_SCHEMA);
+        out.push('\n');
+        for entry in entries {
+            let body = json::to_string(entry);
+            out.push_str(&format!(
+                "{} {:016x} {body}\n",
+                body.len(),
+                fnv64(body.as_bytes())
+            ));
+        }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json::to_string(&file))
-            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        {
+            use std::io::Write;
+            let mut f =
+                std::fs::File::create(&tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+            f.write_all(out.as_bytes())
+                .map_err(|e| format!("{}: {e}", tmp.display()))?;
+            f.sync_all()
+                .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        }
         std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                // Make the rename itself durable; best-effort on platforms
+                // where directories cannot be fsynced.
+                if let Ok(dir) = std::fs::File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
         self.dirty = false;
         Ok(())
     }
@@ -258,6 +392,7 @@ impl ResultStore {
             misses: self.misses,
             len: self.map.len() as u64,
             evictions: self.evictions,
+            corrupt: self.corrupt,
         }
     }
 }
@@ -350,17 +485,84 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_loads_empty_but_corrupt_file_errors() {
+    fn missing_file_loads_empty_and_corrupt_content_is_quarantined() {
         let dir = std::env::temp_dir().join("bsp-serve-cache-test2");
         std::fs::create_dir_all(&dir).unwrap();
         let missing = dir.join("absent.json");
         let _ = std::fs::remove_file(&missing);
         assert_eq!(ResultStore::load(&missing).unwrap().stats().len, 0);
 
+        // A malformed JSON-looking file no longer aborts startup: the
+        // whole document is quarantined and the store comes back empty.
         let corrupt = dir.join("corrupt.json");
+        let qpath = format!("{}.corrupt", corrupt.display());
+        let _ = std::fs::remove_file(&qpath);
         std::fs::write(&corrupt, "{not json").unwrap();
-        assert!(ResultStore::load(&corrupt).is_err());
+        let store = ResultStore::load(&corrupt).unwrap();
+        assert_eq!(store.stats().len, 0);
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(std::fs::read_to_string(&qpath)
+            .unwrap()
+            .contains("{not json"));
         let _ = std::fs::remove_file(&corrupt);
+        let _ = std::fs::remove_file(&qpath);
+    }
+
+    #[test]
+    fn v2_bad_lines_are_quarantined_and_good_lines_served() {
+        let dir = std::env::temp_dir().join("bsp-serve-cache-test-v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let qpath = format!("{}.corrupt", path.display());
+        let _ = std::fs::remove_file(&qpath);
+
+        let mut store = ResultStore::new();
+        store.insert(entry("good-a", "etf", 1));
+        store.insert(entry("good-b", "etf", 2));
+        store.save(&path).unwrap();
+
+        // Corrupt the file: flip a byte in the first entry line and append
+        // a truncated line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        assert_eq!(lines.len(), 3, "header + 2 entries");
+        let flipped = lines[1].replace("good-a", "gXod-a");
+        assert_ne!(flipped, lines[1]);
+        lines[1] = flipped;
+        lines.push("999 0123456789abcdef {\"trunc".to_string());
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.stats().len, 1, "intact entry survives");
+        assert_eq!(loaded.stats().corrupt, 2, "flipped + truncated");
+        assert!(loaded.peek(&entry("good-b", "etf", 2).key()).is_some());
+        let q = std::fs::read_to_string(&qpath).unwrap();
+        assert!(q.contains("gXod-a") && q.contains("trunc"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&qpath);
+    }
+
+    #[test]
+    fn v1_document_migrates_to_v2_on_next_save() {
+        let dir = std::env::temp_dir().join("bsp-serve-cache-test-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+
+        let v1 = StoreFile {
+            schema: STORE_SCHEMA_V1.to_string(),
+            entries: vec![entry("legacy", "etf", 7)],
+        };
+        std::fs::write(&path, json::to_string(&v1)).unwrap();
+
+        let mut loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.stats().len, 1);
+        assert_eq!(loaded.stats().corrupt, 0);
+        assert!(loaded.is_dirty(), "migration marks the store dirty");
+        loaded.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(STORE_SCHEMA));
+        assert_eq!(ResultStore::load(&path).unwrap().stats().len, 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,14 +1,20 @@
 //! A small blocking client for the JSONL protocol — used by the test
 //! suite, the CI smoke job and the `loadgen` benchmark driver.
 
-use crate::protocol::{parse_line, to_line, Frame, MetricWire, Request, ServerStats, MAX_LINE};
+use crate::protocol::{
+    codes, parse_line, to_line, Frame, MetricWire, Request, ServerStats, MAX_LINE,
+};
 use crate::protocol::{read_line_capped, LineRead};
 use bsp_instance::trace::ArrivalEvent;
 use bsp_instance::DagEdit;
 use bsp_schedule::events::SolveEvent;
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Default per-operation timeout of a fresh [`Client`]: generous next to
+/// the server's default 2s solve budget, but no call can hang forever.
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -23,7 +29,68 @@ pub enum ClientError {
         code: String,
         /// Human-readable detail.
         message: String,
+        /// Server backoff hint (`queue_full` frames).
+        retry_after_ms: Option<u64>,
     },
+}
+
+/// Capped exponential backoff with deterministic jitter, used by the
+/// `*_with_retry` client calls. Attempt `n` waits roughly
+/// `base_ms · 2ⁿ` (capped at `cap_ms`), jittered into the upper half of
+/// that window by a pure function of `(seed, n)` — two clients with
+/// different seeds de-synchronize, the same seed replays identically. A
+/// server `retry_after_ms` hint overrides the computed delay.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = no retries).
+    pub max_retries: u32,
+    /// Backoff of the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; vary it per client, pin it for reproducible runs.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_ms: 25,
+            cap_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based). `server_hint_ms`
+    /// (from a `queue_full` frame) takes precedence, capped at `cap_ms`.
+    pub fn delay(&self, attempt: u32, server_hint_ms: Option<u64>) -> Duration {
+        if let Some(ms) = server_hint_ms {
+            return Duration::from_millis(ms.min(self.cap_ms));
+        }
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap_ms.max(1));
+        // splitmix64 finalizer: deterministic jitter into [exp/2, exp].
+        let mut z = self
+            .seed
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let half = exp / 2;
+        Duration::from_millis(half + z % (exp - half + 1))
+    }
+}
+
+/// Process-global count of client-side retries (all causes).
+fn retries_metric() -> &'static bsp_obs::Counter {
+    static METRIC: std::sync::OnceLock<bsp_obs::Counter> = std::sync::OnceLock::new();
+    METRIC.get_or_init(|| bsp_obs::global().counter("bsp_retries_total", &[]))
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,7 +98,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
-            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            ClientError::Server { code, message, .. } => {
+                write!(f, "server error {code}: {message}")
+            }
         }
     }
 }
@@ -77,18 +146,37 @@ pub struct DeltaParams {
     pub stream: bool,
 }
 
-/// A blocking protocol client over one TCP connection.
+/// A blocking protocol client over one TCP connection, with a default
+/// per-operation timeout ([`DEFAULT_OP_TIMEOUT`]) so no call can hang on
+/// a wedged server, and `*_with_retry` variants that survive
+/// `queue_full`, dropped connections and read timeouts.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// The peer we connected to — reconnect target for the retry paths.
+    peer: Option<SocketAddr>,
+    op_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a running server.
+    fn open_stream(addr: &SocketAddr, timeout: Option<Duration>) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(stream)
+    }
+
+    /// Connects to a running server with the default operation timeout.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
         let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(DEFAULT_OP_TIMEOUT))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let peer = stream.peer_addr().ok();
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -98,15 +186,125 @@ impl Client {
             reader,
             writer: stream,
             next_id: 1,
+            peer,
+            op_timeout: Some(DEFAULT_OP_TIMEOUT),
         })
     }
 
-    /// Sets (or clears) the socket read timeout — useful in tests that
-    /// must not hang on a wedged server.
+    /// Sets (or clears, with `None`) the per-operation timeout, replacing
+    /// the [`DEFAULT_OP_TIMEOUT`] every fresh client starts with.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.op_timeout = timeout;
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    /// Sets (or clears) the socket read timeout for the *current*
+    /// connection only (a reconnect re-applies the operation timeout set
+    /// via [`Client::set_op_timeout`]).
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.writer
             .set_read_timeout(timeout)
             .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    /// Drops the wedged connection and dials the original peer again.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let peer = self
+            .peer
+            .ok_or_else(|| ClientError::Io("no peer address to reconnect to".into()))?;
+        let stream = Client::open_stream(&peer, self.op_timeout)?;
+        self.reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ClientError::Io(e.to_string()))?,
+        );
+        self.writer = stream;
+        Ok(())
+    }
+
+    /// Whether an error is worth retrying: socket-level failures (the
+    /// connection is re-dialed first) and `queue_full` backpressure.
+    fn retriable(err: &ClientError) -> bool {
+        match err {
+            ClientError::Io(_) => true,
+            ClientError::Server { code, .. } => code == codes::QUEUE_FULL,
+            ClientError::Protocol(_) => false,
+        }
+    }
+
+    /// Sends `req` with retries under `policy`: capped exponential
+    /// backoff with deterministic jitter, honoring the server's
+    /// `retry_after_ms` hint on `queue_full`, re-dialing the peer after
+    /// socket errors. The request is stamped with an idempotent `rkey`
+    /// (unless the caller set one), so a retry racing its not-actually-
+    /// dead predecessor attaches to the in-flight job server-side
+    /// instead of solving twice. Every retry counts `bsp_retries_total`.
+    pub fn request_with_retry(
+        &mut self,
+        mut req: Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        if req.rkey.is_none() {
+            req.rkey = Some(format!(
+                "rk-{:016x}-{}",
+                policy.seed ^ crate::cache::fnv64(to_line(&req).as_bytes()),
+                self.next_id
+            ));
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.request(req.clone()) {
+                Ok(resp) => return Ok(resp),
+                Err(err) => {
+                    if attempt >= policy.max_retries || !Client::retriable(&err) {
+                        return Err(err);
+                    }
+                    retries_metric().inc();
+                    let hint = match &err {
+                        ClientError::Server { retry_after_ms, .. } => *retry_after_ms,
+                        _ => None,
+                    };
+                    std::thread::sleep(policy.delay(attempt, hint));
+                    if matches!(err, ClientError::Io(_)) {
+                        // Reconnect failures burn attempts too: keep
+                        // backing off until the server is reachable or
+                        // the budget runs out.
+                        while self.reconnect().is_err() {
+                            attempt += 1;
+                            if attempt > policy.max_retries {
+                                return Err(ClientError::Io(format!(
+                                    "reconnect to {:?} kept failing",
+                                    self.peer
+                                )));
+                            }
+                            retries_metric().inc();
+                            std::thread::sleep(policy.delay(attempt, None));
+                        }
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// [`Client::solve`] with retries under `policy`.
+    pub fn solve_with_retry(
+        &mut self,
+        params: &SolveParams,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        self.request_with_retry(solve_request(params), policy)
+    }
+
+    /// [`Client::delta`] with retries under `policy`.
+    pub fn delta_with_retry(
+        &mut self,
+        params: &DeltaParams,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        self.request_with_retry(delta_request(params), policy)
     }
 
     /// Sends `req` (with a fresh correlation id) and collects frames
@@ -154,6 +352,7 @@ impl Client {
                     return Err(ClientError::Server {
                         code: frame.error.unwrap_or_else(|| "unknown".to_string()),
                         message: frame.message.unwrap_or_default(),
+                        retry_after_ms: frame.retry_after_ms,
                     })
                 }
                 _ => {
@@ -215,26 +414,13 @@ impl Client {
 
     /// Solves an instance spec (possibly served from the cache).
     pub fn solve(&mut self, params: &SolveParams) -> Result<Response, ClientError> {
-        let mut req = Request::new("solve");
-        req.instance = Some(params.instance.clone());
-        req.sched = params.sched.clone();
-        req.budget_ms = params.budget_ms;
-        req.seed = params.seed;
-        req.stream = if params.stream { Some(true) } else { None };
-        self.request(req)
+        self.request(solve_request(params))
     }
 
     /// Re-solves an edited instance, warm-starting when the server has
     /// the base schedule cached.
     pub fn delta(&mut self, params: &DeltaParams) -> Result<Response, ClientError> {
-        let mut req = Request::new("delta");
-        req.base = Some(params.base.clone());
-        req.edits = Some(params.edits.clone());
-        req.sched = params.sched.clone();
-        req.budget_ms = params.budget_ms;
-        req.label = params.label.clone();
-        req.stream = if params.stream { Some(true) } else { None };
-        self.request(req)
+        self.request(delta_request(params))
     }
 
     /// Opens a stream session: `machine_spec` names the target machine
@@ -290,6 +476,29 @@ impl Client {
             LineRead::Oversize => Err(ClientError::Protocol("oversize response".into())),
         }
     }
+}
+
+/// Builds the wire request of a `solve` call.
+fn solve_request(params: &SolveParams) -> Request {
+    let mut req = Request::new("solve");
+    req.instance = Some(params.instance.clone());
+    req.sched = params.sched.clone();
+    req.budget_ms = params.budget_ms;
+    req.seed = params.seed;
+    req.stream = if params.stream { Some(true) } else { None };
+    req
+}
+
+/// Builds the wire request of a `delta` call.
+fn delta_request(params: &DeltaParams) -> Request {
+    let mut req = Request::new("delta");
+    req.base = Some(params.base.clone());
+    req.edits = Some(params.edits.clone());
+    req.sched = params.sched.clone();
+    req.budget_ms = params.budget_ms;
+    req.label = params.label.clone();
+    req.stream = if params.stream { Some(true) } else { None };
+    req
 }
 
 /// Convenience for error-path assertions in tests.

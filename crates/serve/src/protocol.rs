@@ -54,6 +54,12 @@ pub mod codes {
     /// An arrival event was rejected by the online scheduler (duplicate
     /// node, unknown dependency, commit conflict, event after finalize).
     pub const BAD_EVENT: &str = "bad_event";
+    /// The handler for this request panicked (or an injected fault fired).
+    /// The job is failed, the worker pool and the connection survive.
+    pub const INTERNAL_ERROR: &str = "internal_error";
+    /// The request's deadline expired before a worker could start it, so
+    /// it was shed instead of solved (deadline-aware queue admission).
+    pub const DEADLINE_SHED: &str = "deadline_shed";
 }
 
 /// One client request. `method` selects the operation; the remaining
@@ -96,6 +102,15 @@ pub struct Request {
     pub session: Option<String>,
     /// Arrival events a `stream_push` feeds, in order.
     pub events: Option<Vec<ArrivalEvent>>,
+    /// Idempotent request key (`solve`/`delta`): a retry carrying the same
+    /// key while the original job is still in flight attaches to that job
+    /// instead of enqueuing a duplicate solve.
+    pub rkey: Option<String>,
+    /// Per-request deadline in milliseconds from admission. A job whose
+    /// deadline expires before a worker picks it up is shed with a typed
+    /// `deadline_shed` error; the solve budget is clamped to the
+    /// remaining deadline otherwise.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -123,6 +138,8 @@ impl Serialize for Request {
         push_opt(&mut fields, "label", &self.label);
         push_opt(&mut fields, "session", &self.session);
         push_opt(&mut fields, "events", &self.events);
+        push_opt(&mut fields, "rkey", &self.rkey);
+        push_opt(&mut fields, "deadline_ms", &self.deadline_ms);
         Value::Object(fields)
     }
 }
@@ -145,6 +162,8 @@ impl<'de> Deserialize<'de> for Request {
             label: opt_field(value, "label")?,
             session: opt_field(value, "session")?,
             events: opt_field(value, "events")?,
+            rkey: opt_field(value, "rkey")?,
+            deadline_ms: opt_field(value, "deadline_ms")?,
         })
     }
 }
@@ -187,6 +206,10 @@ pub struct Frame {
     pub error: Option<String>,
     /// Human-readable error detail.
     pub message: Option<String>,
+    /// Backoff hint on `queue_full` errors, derived from the current
+    /// queue depth; a well-behaved client waits this long before
+    /// retrying.
+    pub retry_after_ms: Option<u64>,
     /// One progress event (event frames).
     pub event: Option<SolveEvent>,
     /// Server statistics (stats frames).
@@ -249,6 +272,7 @@ impl Serialize for Frame {
         push_opt(&mut fields, "stages", &self.stages);
         push_opt(&mut fields, "error", &self.error);
         push_opt(&mut fields, "message", &self.message);
+        push_opt(&mut fields, "retry_after_ms", &self.retry_after_ms);
         push_opt(&mut fields, "event", &self.event);
         push_opt(&mut fields, "stats", &self.stats);
         push_opt(&mut fields, "metrics", &self.metrics);
@@ -282,6 +306,7 @@ impl<'de> Deserialize<'de> for Frame {
             stages: opt_field(value, "stages")?,
             error: opt_field(value, "error")?,
             message: opt_field(value, "message")?,
+            retry_after_ms: opt_field(value, "retry_after_ms")?,
             event: opt_field(value, "event")?,
             stats: opt_field(value, "stats")?,
             metrics: opt_field(value, "metrics")?,
@@ -306,6 +331,8 @@ pub struct ServerStats {
     pub misses: u64,
     /// Result-store entries evicted by the LRU cap (`--store-cap`).
     pub evictions: u64,
+    /// Corrupt/truncated store entries quarantined at startup.
+    pub corrupt: u64,
     /// Instances currently in the in-memory instance cache.
     pub cached_instances: u64,
     /// Jobs fully processed since startup.

@@ -30,6 +30,7 @@ use crate::protocol::{
 use crate::queue::{JobQueue, PushError};
 use bsp_core::pipeline::PipelineConfig;
 use bsp_core::{solve_warm_pipeline, warm_start_from_map};
+use bsp_faults::{Fault, FaultPlan, Site};
 use bsp_instance::source::{InstanceRegistry, DEFAULT_SEED};
 use bsp_instance::{apply_edits, Instance, MachineSpec};
 use bsp_obs::{Counter, Gauge, Histogram};
@@ -45,11 +46,31 @@ use bsp_schedule::BspSchedule;
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning: a handler panic is already
+/// isolated (counted and answered as `internal_error`), so the shared
+/// state it may have been holding must keep serving — the store and the
+/// instance cache are always internally consistent between operations.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A human-readable rendering of a caught panic payload.
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -81,6 +102,14 @@ pub struct ServeConfig {
     /// Prometheus exposition, `GET /trace` Chrome trace JSON). `None`
     /// (the default) disables the sidecar; port `0` picks a free port.
     pub metrics_addr: Option<String>,
+    /// Per-connection read timeout of the sidecar's HTTP handler, so a
+    /// slow scraper cannot hold a handler thread forever.
+    pub sidecar_read_timeout: Duration,
+    /// Fault-injection spec (e.g. `"faults?seed=7&io_err=0.01"`); `None`
+    /// (the default) disables injection entirely — the hooks are a single
+    /// relaxed atomic load. Parsed at startup; a malformed spec fails
+    /// [`start`].
+    pub faults: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +130,8 @@ impl Default for ServeConfig {
             pipeline,
             max_line: MAX_LINE,
             metrics_addr: None,
+            sidecar_read_timeout: Duration::from_secs(2),
+            faults: None,
         }
     }
 }
@@ -125,6 +156,9 @@ struct Job {
     req: Request,
     out: Arc<Mutex<TcpStream>>,
     cancel: CancelToken,
+    /// Absolute deadline computed at admission from `req.deadline_ms`;
+    /// a job still queued past it is shed instead of solved.
+    deadline: Option<Instant>,
 }
 
 /// Per-method request metrics (one set each for `solve` and `delta`).
@@ -145,6 +179,10 @@ struct ServeMetrics {
     cache_evictions: Counter,
     warm_solves: Counter,
     cold_solves: Counter,
+    /// Jobs whose handler panicked (isolated, answered `internal_error`).
+    jobs_failed: Counter,
+    /// Jobs shed because their deadline expired before a worker started.
+    deadline_shed: Counter,
     solve: MethodMetrics,
     delta: MethodMetrics,
     /// Store evictions already forwarded to `cache_evictions` — the
@@ -168,6 +206,8 @@ impl ServeMetrics {
             cache_evictions: reg.counter("bsp_serve_cache_evictions_total", &[]),
             warm_solves: reg.counter("bsp_serve_warm_solves_total", &[]),
             cold_solves: reg.counter("bsp_serve_cold_solves_total", &[]),
+            jobs_failed: reg.counter("bsp_jobs_failed_total", &[]),
+            deadline_shed: reg.counter("bsp_deadline_shed_total", &[]),
             solve: method("solve"),
             delta: method("delta"),
             evictions_seen: AtomicU64::new(0),
@@ -192,6 +232,11 @@ impl ServeMetrics {
     }
 }
 
+/// Retries of an in-flight idempotent request attach here instead of
+/// enqueuing a duplicate job: key → the extra `(writer, id)` pairs to
+/// answer when the original job completes.
+type InflightWaiters = HashMap<String, Vec<(Arc<Mutex<TcpStream>>, Option<u64>)>>;
+
 struct Shared {
     cfg: ServeConfig,
     queue: JobQueue<Job>,
@@ -201,6 +246,10 @@ struct Shared {
     jobs_done: AtomicU64,
     workers: usize,
     metrics: ServeMetrics,
+    /// The parsed fault plan (`cfg.faults`), installed on every worker
+    /// and connection thread; `None` = injection disabled.
+    faults: Option<Arc<FaultPlan>>,
+    inflight_keys: Mutex<InflightWaiters>,
 }
 
 impl Shared {
@@ -209,14 +258,24 @@ impl Shared {
         self.queue.close();
     }
 
+    /// The `retry_after_ms` hint for a `queue_full` answer: roughly how
+    /// long the backlog needs to half-drain, assuming each queued job
+    /// burns its default budget, clamped to a sane interactive range.
+    fn retry_after_hint(&self) -> u64 {
+        let depth = self.queue.len() as u64;
+        let per_job = self.cfg.default_budget_ms.unwrap_or(100).max(1);
+        (depth * per_job / (2 * self.workers.max(1) as u64)).clamp(10, 5_000)
+    }
+
     fn stats(&self) -> ServerStats {
-        let s = self.store.lock().unwrap().stats();
+        let s = lock(&self.store).stats();
         ServerStats {
             cached_results: s.len,
             hits: s.hits,
             misses: s.misses,
             evictions: s.evictions,
-            cached_instances: self.icache.lock().unwrap().len() as u64,
+            corrupt: s.corrupt,
+            cached_instances: lock(&self.icache).len() as u64,
             jobs_done: self.jobs_done.load(Ordering::Relaxed),
             queued: self.queue.len() as u64,
             workers: self.workers as u64,
@@ -274,9 +333,10 @@ impl ServerHandle {
             let _ = w.join();
         }
         let stats = self.shared.stats();
-        let mut store = self.shared.store.lock().unwrap();
+        let mut store = lock(&self.shared.store);
         if let Some(path) = &self.shared.cfg.store_path {
             if store.is_dirty() {
+                let _guard = self.shared.faults.clone().map(bsp_faults::install);
                 if let Err(e) = store.save(path) {
                     eprintln!("bsp-serve: store flush failed: {e}");
                 }
@@ -295,9 +355,19 @@ impl ServerHandle {
 /// Starts the daemon: binds `cfg.addr`, loads the persisted store (if
 /// any), spawns the worker pool and the accept loop, and returns.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let faults = match &cfg.faults {
+        Some(spec) => Some(Arc::new(FaultPlan::parse(spec).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+        })?)),
+        None => None,
+    };
     let mut store = match &cfg.store_path {
-        Some(path) => ResultStore::load(path)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        Some(path) => {
+            // The plan covers the startup load too (`store.load` site).
+            let _guard = faults.clone().map(bsp_faults::install);
+            ResultStore::load(path)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        }
         None => ResultStore::new(),
     };
     store.set_cap(cfg.store_cap);
@@ -314,12 +384,15 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         jobs_done: AtomicU64::new(0),
         workers,
         metrics: ServeMetrics::new(),
+        faults,
+        inflight_keys: Mutex::new(HashMap::new()),
         cfg,
     });
 
     let (metrics_addr, sidecar) = match &shared.cfg.metrics_addr {
         Some(addr) => {
-            let (addr, handle) = crate::sidecar::start(addr, shared.stop.clone())?;
+            let (addr, handle) =
+                crate::sidecar::start(addr, shared.stop.clone(), shared.cfg.sidecar_read_timeout)?;
             (Some(addr), Some(handle))
         }
         None => (None, None),
@@ -429,15 +502,46 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 /// Writes one frame (plus newline) to the shared connection writer,
 /// swallowing errors — a vanished client only means nobody is reading.
+/// The `write` fault site drops the frame entirely (any injected kind
+/// reads as a lost write here: this is the one site where panicking
+/// would kill a pool thread outside the isolation boundary).
 fn send(out: &Mutex<TcpStream>, frame: &Frame) {
+    if let Some(plan) = bsp_faults::current() {
+        match plan.fault_at(Site::Write) {
+            Some(Fault::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(_) => return,
+            None => {}
+        }
+    }
     let line = to_line(frame);
-    let mut stream = out.lock().unwrap();
+    let mut stream = lock(out);
     let _ = stream.write_all(line.as_bytes());
     let _ = stream.write_all(b"\n");
     let _ = stream.flush();
 }
 
+/// Applies any injected fault for a serve-side handler site. `Some` is a
+/// typed `internal_error` frame the caller answers with (io_err/drop);
+/// an injected panic unwinds into the caller's isolation boundary, and a
+/// slow fault just sleeps in place.
+fn inject_handler_fault(site: Site, id: Option<u64>, what: &str) -> Option<Frame> {
+    let plan = bsp_faults::current()?;
+    match plan.fault_at(site)? {
+        Fault::IoErr | Fault::Drop => Some(Frame::error(
+            id,
+            codes::INTERNAL_ERROR,
+            format!("injected fault: io_err during {what}"),
+        )),
+        Fault::Panic => panic!("injected fault: panic during {what}"),
+        Fault::Slow(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+    }
+}
+
 fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _faults = shared.faults.clone().map(bsp_faults::install);
     let _ = stream.set_nodelay(true);
     let read_half = match stream.try_clone() {
         Ok(s) => s,
@@ -469,6 +573,15 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
                 break;
             }
         };
+        if let Some(plan) = bsp_faults::current() {
+            match plan.fault_at(Site::Read) {
+                Some(Fault::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                // Any other injected kind reads as the connection dying
+                // mid-read; the client reconnects and retries.
+                Some(_) => break,
+                None => {}
+            }
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -510,9 +623,34 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
                 );
                 shared.begin_shutdown();
             }
-            "stream_open" => send(&out, &handle_stream_open(&shared, &mut sessions, &req)),
-            "stream_push" => send(&out, &handle_stream_push(&mut sessions, &req)),
-            "stream_close" => send(&out, &handle_stream_close(&mut sessions, &req)),
+            "stream_open" | "stream_push" | "stream_close" => {
+                // Stream handlers run inline on this reader thread, so
+                // they get their own isolation boundary: a panicking
+                // handler answers `internal_error` and — since the
+                // session's scheduler may be half-mutated — closes that
+                // session, while the connection keeps serving.
+                let caught =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| match req.method.as_str() {
+                        "stream_open" => handle_stream_open(&shared, &mut sessions, &req),
+                        "stream_push" => handle_stream_push(&mut sessions, &req),
+                        _ => handle_stream_close(&mut sessions, &req),
+                    }));
+                let frame = match caught {
+                    Ok(frame) => frame,
+                    Err(payload) => {
+                        shared.metrics.jobs_failed.inc();
+                        if let Some(session) = req.session.as_deref() {
+                            sessions.remove(session);
+                        }
+                        Frame::error(
+                            id,
+                            codes::INTERNAL_ERROR,
+                            format!("stream handler panicked: {}", panic_msg(&*payload)),
+                        )
+                    }
+                };
+                send(&out, &frame);
+            }
             "solve" | "delta" => {
                 if shared.stop.is_cancelled() {
                     send(
@@ -521,21 +659,56 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
                     );
                     continue;
                 }
+                if req.deadline_ms == Some(0) {
+                    shared.metrics.deadline_shed.inc();
+                    send(
+                        &out,
+                        &Frame::error(id, codes::DEADLINE_SHED, "deadline expired at admission"),
+                    );
+                    continue;
+                }
+                let deadline = req
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let rkey = req.rkey.clone();
                 let job = Job {
                     req,
                     out: out.clone(),
                     cancel: conn_token.child(),
+                    deadline,
                 };
+                // The in-flight map is held across admission so two
+                // concurrent retries of one key cannot both enqueue.
+                let mut inflight = lock(&shared.inflight_keys);
+                if let Some(key) = &rkey {
+                    if let Some(waiters) = inflight.get_mut(key) {
+                        // Idempotent retry of a job still in flight:
+                        // attach to it instead of solving twice.
+                        waiters.push((out.clone(), id));
+                        continue;
+                    }
+                }
                 match shared.queue.try_push(job) {
-                    Ok(()) => shared.metrics.queue_depth.inc(),
-                    Err(PushError::Full) => send(
-                        &out,
-                        &Frame::error(id, codes::QUEUE_FULL, "job queue at capacity; retry"),
-                    ),
-                    Err(PushError::Closed) => send(
-                        &out,
-                        &Frame::error(id, codes::SHUTTING_DOWN, "server is draining"),
-                    ),
+                    Ok(()) => {
+                        shared.metrics.queue_depth.inc();
+                        if let Some(key) = rkey {
+                            inflight.insert(key, Vec::new());
+                        }
+                    }
+                    Err(PushError::Full) => {
+                        let mut frame =
+                            Frame::error(id, codes::QUEUE_FULL, "job queue at capacity; retry");
+                        frame.retry_after_ms = Some(shared.retry_after_hint());
+                        drop(inflight);
+                        send(&out, &frame);
+                    }
+                    Err(PushError::Closed) => {
+                        drop(inflight);
+                        send(
+                            &out,
+                            &Frame::error(id, codes::SHUTTING_DOWN, "server is draining"),
+                        );
+                    }
                 }
             }
             m => send(
@@ -605,6 +778,9 @@ fn handle_stream_open(
 fn handle_stream_push(sessions: &mut HashMap<String, OnlineScheduler>, req: &Request) -> Frame {
     let start = Instant::now();
     let id = req.id;
+    if let Some(frame) = inject_handler_fault(Site::Stream, id, "stream push") {
+        return frame;
+    }
     let Some(session) = req.session.as_deref() else {
         return Frame::error(id, codes::MISSING_FIELD, "stream_push requires \"session\"");
     };
@@ -698,27 +874,75 @@ fn handle_stream_close(sessions: &mut HashMap<String, OnlineScheduler>, req: &Re
     }
 }
 
+/// Answers the job's own connection plus every idempotent-retry waiter
+/// attached to its `rkey` (each with its own correlation id), then
+/// clears the in-flight registration.
+fn answer_job(shared: &Shared, job: &Job, frame: &Frame) {
+    send(&job.out, frame);
+    if let Some(rkey) = &job.req.rkey {
+        let waiters = lock(&shared.inflight_keys).remove(rkey);
+        for (out, wid) in waiters.unwrap_or_default() {
+            let mut echo = frame.clone();
+            echo.id = wid;
+            send(&out, &echo);
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>) {
+    let _faults = shared.faults.clone().map(bsp_faults::install);
     // Registries are static catalogues — one per worker avoids sharing.
     let registry = Registry::standard();
     let instances = InstanceRegistry::standard();
     while let Some(job) = shared.queue.pop() {
         let began = Instant::now();
         shared.metrics.queue_depth.dec();
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            // Deadline-aware admission at dequeue: the client stopped
+            // caring, so don't burn a solve budget on the answer.
+            shared.metrics.deadline_shed.inc();
+            let frame = Frame::error(
+                job.req.id,
+                codes::DEADLINE_SHED,
+                "deadline expired while the job was queued",
+            );
+            answer_job(&shared, &job, &frame);
+            shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         shared.metrics.inflight.inc();
-        let frame = match job.req.method.as_str() {
-            "solve" => handle_solve(&shared, &registry, &instances, &job),
-            "delta" => handle_delta(&shared, &registry, &job),
-            // Unreachable: conn_loop only enqueues solve/delta.
-            m => Frame::error(job.req.id, codes::UNKNOWN_METHOD, format!("{m:?}")),
+        // Isolation boundary: a panic inside a handler (organic or
+        // injected) fails this job with a typed `internal_error` frame
+        // while the worker and its siblings keep draining the queue.
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(frame) = inject_handler_fault(Site::Job, job.req.id, &job.req.method) {
+                return frame;
+            }
+            match job.req.method.as_str() {
+                "solve" => handle_solve(&shared, &registry, &instances, &job),
+                "delta" => handle_delta(&shared, &registry, &job),
+                // Unreachable: conn_loop only enqueues solve/delta.
+                m => Frame::error(job.req.id, codes::UNKNOWN_METHOD, format!("{m:?}")),
+            }
+        }));
+        let frame = match caught {
+            Ok(frame) => frame,
+            Err(payload) => {
+                shared.metrics.jobs_failed.inc();
+                Frame::error(
+                    job.req.id,
+                    codes::INTERNAL_ERROR,
+                    format!("job panicked: {}", panic_msg(&*payload)),
+                )
+            }
         };
-        send(&job.out, &frame);
+        answer_job(&shared, &job, &frame);
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
         shared.metrics.inflight.dec();
         let mm = shared.metrics.method(&job.req.method);
         mm.requests.inc();
         mm.latency.observe_duration(began.elapsed());
-        let evictions = shared.store.lock().unwrap().stats().evictions;
+        let evictions = lock(&shared.store).stats().evictions;
         shared.metrics.sync_evictions(evictions);
     }
 }
@@ -738,13 +962,20 @@ fn supersteps_of(steps: &[u32]) -> u64 {
     steps.iter().max().map(|&m| m as u64 + 1).unwrap_or(0)
 }
 
-fn make_budget(shared: &Shared, req: &Request, cancel: &CancelToken) -> Budget {
+fn make_budget(shared: &Shared, job: &Job) -> Budget {
     let mut budget = Budget::default();
-    budget.deadline = req
+    budget.deadline = job
+        .req
         .budget_ms
         .map(Duration::from_millis)
         .or_else(|| shared.cfg.default_budget_ms.map(Duration::from_millis));
-    budget.cancel = Some(cancel.clone());
+    // A per-request deadline caps the solve budget at whatever is left of
+    // it — an answer after the deadline is worthless to the client.
+    if let Some(deadline) = job.deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        budget.deadline = Some(budget.deadline.map_or(remaining, |b| b.min(remaining)));
+    }
+    budget.cancel = Some(job.cancel.clone());
     budget
 }
 
@@ -755,18 +986,14 @@ fn resolve_instance(
     spec: &str,
     seed: Option<u64>,
 ) -> Result<Arc<Instance>, String> {
-    if let Some(inst) = shared.icache.lock().unwrap().get(spec) {
+    if let Some(inst) = lock(&shared.icache).get(spec) {
         return Ok(inst);
     }
     let inst = instances
         .generate_one(spec, seed.unwrap_or(DEFAULT_SEED))
         .map_err(|e| e.to_string())?;
     let inst = Arc::new(inst);
-    shared
-        .icache
-        .lock()
-        .unwrap()
-        .insert(inst.clone(), Some(spec));
+    lock(&shared.icache).insert(inst.clone(), Some(spec));
     Ok(inst)
 }
 
@@ -821,7 +1048,7 @@ fn handle_solve(
         );
     };
 
-    if let Some(hit) = shared.store.lock().unwrap().get(&key) {
+    if let Some(hit) = lock(&shared.store).get(&key) {
         shared.metrics.cache_hits.inc();
         let mut frame = result_frame(id, &key, start);
         frame.cost = Some(hit.cost);
@@ -836,7 +1063,7 @@ fn handle_solve(
         Ok(s) => s,
         Err(e) => return Frame::error(id, codes::BAD_SPEC, e.to_string()),
     };
-    let budget = make_budget(shared, req, &job.cancel);
+    let budget = make_budget(shared, job);
     let stream = req.stream.unwrap_or(false);
     let out = job.out.clone();
     let observer = EventObserver::new(move |ev| send(&out, &Frame::event(id, ev)));
@@ -846,11 +1073,7 @@ fn handle_solve(
     }
     let outcome = scheduler.solve(&solve_req);
 
-    shared
-        .store
-        .lock()
-        .unwrap()
-        .insert(store_entry(&key, &outcome));
+    lock(&shared.store).insert(store_entry(&key, &outcome));
 
     let mut frame = result_frame(id, &key, start);
     frame.cost = Some(outcome.total());
@@ -865,12 +1088,7 @@ fn handle_solve(
 /// an edited instance.
 fn edits_fingerprint(edits: &[bsp_instance::DagEdit]) -> u64 {
     let text = serde::json::to_string(&edits.to_vec());
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    crate::cache::fnv64(text.as_bytes())
 }
 
 fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
@@ -890,7 +1108,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
             )
         }
     };
-    let Some(base_inst) = shared.icache.lock().unwrap().get(base) else {
+    let Some(base_inst) = lock(&shared.icache).get(base) else {
         return Frame::error(
             id,
             codes::UNKNOWN_BASE,
@@ -928,13 +1146,9 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
 
     // The same edit on the same base under the same scheduler is the same
     // problem — the derived key can itself hit the cache.
-    if let Some(hit) = shared.store.lock().unwrap().get(&key) {
+    if let Some(hit) = lock(&shared.store).get(&key) {
         shared.metrics.cache_hits.inc();
-        shared
-            .icache
-            .lock()
-            .unwrap()
-            .insert(inst.clone(), req.label.as_deref());
+        lock(&shared.icache).insert(inst.clone(), req.label.as_deref());
         let mut frame = result_frame(id, &key, start);
         frame.cost = Some(hit.cost);
         frame.supersteps = Some(supersteps_of(&hit.steps));
@@ -946,7 +1160,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
     // Warm start requires a cached schedule of the *base* under the same
     // scheduler (internal probe: no client-visible hit/miss counting).
     let base_sched = ResultKey::from_name(&base_inst.name, &sched_key).and_then(|k| {
-        let store = shared.store.lock().unwrap();
+        let store = lock(&shared.store);
         let cached = store.peek(&k)?;
         if cached.procs.len() == base_inst.dag.n() {
             Some(BspSchedule::from_parts(
@@ -958,7 +1172,7 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
         }
     });
 
-    let budget = make_budget(shared, req, &job.cancel);
+    let budget = make_budget(shared, job);
     let stream = req.stream.unwrap_or(false);
     let out = job.out.clone();
     let observer = EventObserver::new(move |ev| send(&out, &Frame::event(id, ev)));
@@ -1005,16 +1219,8 @@ fn handle_delta(shared: &Shared, registry: &Registry, job: &Job) -> Frame {
         }
     };
 
-    shared
-        .store
-        .lock()
-        .unwrap()
-        .insert(store_entry(&key, &outcome));
-    shared
-        .icache
-        .lock()
-        .unwrap()
-        .insert(inst.clone(), req.label.as_deref());
+    lock(&shared.store).insert(store_entry(&key, &outcome));
+    lock(&shared.icache).insert(inst.clone(), req.label.as_deref());
 
     let mut frame = result_frame(id, &key, start);
     frame.cost = Some(outcome.total());

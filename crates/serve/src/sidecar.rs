@@ -11,7 +11,9 @@
 //! loop) and winds down with the rest of the daemon. Responses are
 //! one-shot (`Connection: close`) — scrapers reconnect per scrape, which
 //! keeps the handler stateless and immune to slow clients holding
-//! threads: a 2s read timeout bounds every connection.
+//! threads: a configurable read timeout
+//! ([`ServeConfig::sidecar_read_timeout`][crate::ServeConfig], 2s by
+//! default) bounds every connection.
 
 use bsp_par::CancelToken;
 use std::io::{BufRead, BufReader, Write};
@@ -24,24 +26,25 @@ use std::time::Duration;
 pub(crate) fn start(
     addr: &str,
     stop: CancelToken,
+    read_timeout: Duration,
 ) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let handle = std::thread::Builder::new()
         .name("bsp-serve-sidecar".to_string())
-        .spawn(move || accept_loop(listener, stop))
+        .spawn(move || accept_loop(listener, stop, read_timeout))
         .expect("spawn sidecar accept loop");
     Ok((addr, handle))
 }
 
-fn accept_loop(listener: TcpListener, stop: CancelToken) {
+fn accept_loop(listener: TcpListener, stop: CancelToken, read_timeout: Duration) {
     while !stop.is_cancelled() {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = std::thread::Builder::new()
                     .name("bsp-serve-sidecar-conn".to_string())
-                    .spawn(move || handle_conn(stream));
+                    .spawn(move || handle_conn(stream, read_timeout));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -51,8 +54,15 @@ fn accept_loop(listener: TcpListener, stop: CancelToken) {
     }
 }
 
-fn handle_conn(stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+fn handle_conn(stream: TcpStream, read_timeout: Duration) {
+    // Zero would mean "no timeout at all" to the socket API; clamp it to
+    // something that still bounds the connection.
+    let timeout = if read_timeout.is_zero() {
+        Duration::from_millis(1)
+    } else {
+        read_timeout
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -143,7 +153,7 @@ mod tests {
             .finish();
 
         let stop = CancelToken::new();
-        let (addr, handle) = start("127.0.0.1:0", stop.clone()).unwrap();
+        let (addr, handle) = start("127.0.0.1:0", stop.clone(), Duration::from_secs(2)).unwrap();
 
         let metrics = http_get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.1 200 OK"));
